@@ -1,0 +1,181 @@
+//! The whole-program analysis driver.
+
+use ipds_dataflow::{AliasAnalysis, Summaries};
+use ipds_ir::{FuncId, Function, Program};
+
+use crate::correlate::build_tables;
+use crate::encode::table_sizes;
+use crate::hash::find_perfect_hash;
+use crate::tables::{BranchInfo, FunctionAnalysis};
+
+/// Tuning knobs for the analysis (ablation switches and limits).
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Use load-anchored triggers/targets (the paper's load→load loop).
+    pub load_anchors: bool,
+    /// Use store-anchored triggers (the paper's store→load loop).
+    pub store_anchors: bool,
+    /// Extension (off by default, documented in DESIGN.md): constant stores
+    /// pin exact values and emit actions through the block's terminating
+    /// branch.
+    pub const_store: bool,
+    /// Upper bound on the perfect-hash space (log2).
+    pub max_hash_log2: u32,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            load_anchors: true,
+            store_anchors: true,
+            const_store: false,
+            max_hash_log2: 24,
+        }
+    }
+}
+
+/// Analysis results for a whole program: one [`FunctionAnalysis`] per
+/// function, in function-id order.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// Per-function tables, indexed by `FuncId`.
+    pub functions: Vec<FunctionAnalysis>,
+}
+
+impl ProgramAnalysis {
+    /// The analysis for `func`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is out of range.
+    pub fn of(&self, func: FuncId) -> &FunctionAnalysis {
+        &self.functions[func.0 as usize]
+    }
+
+    /// Total branches across the program.
+    pub fn branch_count(&self) -> usize {
+        self.functions.iter().map(|f| f.branches.len()).sum()
+    }
+
+    /// Total checked branches across the program.
+    pub fn checked_count(&self) -> usize {
+        self.functions.iter().map(|f| f.checked_count()).sum()
+    }
+}
+
+/// Analyzes one function given shared whole-program facts.
+///
+/// # Panics
+///
+/// Panics if the perfect-hash search fails within `config.max_hash_log2`
+/// (possible only for pathological functions with more than `2^24`
+/// instructions).
+pub fn analyze_function(
+    program: &Program,
+    func: &Function,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+) -> FunctionAnalysis {
+    let raw = build_tables(program, func, alias, summaries, config);
+    let pcs: Vec<u64> = raw
+        .branch_blocks
+        .iter()
+        .map(|&b| func.terminator_pc(b))
+        .collect();
+    let hash = find_perfect_hash(&pcs, func.pc_base, config.max_hash_log2)
+        .expect("perfect hash search must succeed within the identity fallback");
+    let branches: Vec<BranchInfo> = raw
+        .branch_blocks
+        .iter()
+        .zip(&pcs)
+        .map(|(&block, &pc)| BranchInfo {
+            block,
+            pc,
+            slot: hash.slot(pc),
+        })
+        .collect();
+    let sizes = table_sizes(&raw.bat, &branches, &hash);
+    FunctionAnalysis {
+        func: func.id,
+        name: func.name.clone(),
+        branches,
+        checked: raw.checked,
+        bat: raw.bat,
+        hash,
+        sizes,
+    }
+}
+
+/// Runs alias analysis, summaries and per-function correlation over the
+/// whole program.
+pub fn analyze_program(program: &Program, config: &AnalysisConfig) -> ProgramAnalysis {
+    let alias = AliasAnalysis::analyze(program);
+    let summaries = Summaries::compute(program, &alias);
+    let functions = program
+        .functions
+        .iter()
+        .map(|f| analyze_function(program, f, &alias, &summaries, config))
+        .collect();
+    ProgramAnalysis { functions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyzes_multi_function_programs() {
+        let p = ipds_ir::parse(
+            "int mode; \
+             fn check() -> int { if (mode == 1) { return 1; } return 0; } \
+             fn main() -> int { mode = read_int(); if (mode == 1) { print_int(1); } return check(); }",
+        )
+        .unwrap();
+        let a = analyze_program(&p, &AnalysisConfig::default());
+        assert_eq!(a.functions.len(), 2);
+        assert_eq!(a.branch_count(), 2);
+        // Hash slots are collision-free per function.
+        for f in &a.functions {
+            let mut seen = std::collections::HashSet::new();
+            for b in &f.branches {
+                assert!(seen.insert(b.slot), "collision in {}", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_populated() {
+        let p = ipds_ir::parse(
+            "fn main() -> int { int x; x = read_int(); \
+             if (x < 5) { print_int(1); } if (x < 5) { print_int(2); } return 0; }",
+        )
+        .unwrap();
+        let a = analyze_program(&p, &AnalysisConfig::default());
+        let m = a.of(ipds_ir::FuncId(0));
+        assert!(m.sizes.bsv_bits >= 2 * m.branches.len());
+        assert!(m.sizes.bat_bits > 16, "correlations present ⇒ BAT content");
+        // Shape from the paper: BAT dominates BSV, BSV ≥ BCV.
+        assert!(m.sizes.bat_bits > m.sizes.bcv_bits);
+        assert_eq!(m.sizes.bsv_bits, 2 * m.sizes.bcv_bits);
+    }
+
+    #[test]
+    fn ablation_switches_reduce_content() {
+        let src = "fn main() -> int { int x; x = read_int(); \
+             if (x < 5) { print_int(1); } if (x < 10) { print_int(2); } return 0; }";
+        let p = ipds_ir::parse(src).unwrap();
+        let full = analyze_program(&p, &AnalysisConfig::default());
+        let none = analyze_program(
+            &p,
+            &AnalysisConfig {
+                load_anchors: false,
+                store_anchors: false,
+                ..AnalysisConfig::default()
+            },
+        );
+        assert!(full.checked_count() > 0);
+        assert_eq!(none.checked_count(), 0);
+        assert!(none.of(ipds_ir::FuncId(0)).bat.is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! Collision-free shift/XOR hashing of branch PCs (§5.2).
+//!
+//! A straightforward hash table over branch PCs would need tags to resolve
+//! collisions, and the tag (~10 bits) would dwarf the 2-bit payload. The
+//! paper instead has the compiler search, per function, for a parameterized
+//! hash built from shifts and XORs that is **collision-free** over that
+//! function's branches, enlarging the hash space on failure. No collisions ⇒
+//! no tags.
+//!
+//! Our hash takes `x = (pc - pc_base) / 4` (the instruction index) and
+//! computes `(x ^ (x >> s1) ^ (x >> s2)) & (2^log2_size - 1)`. The search is
+//! guaranteed to terminate: once `2^log2_size` exceeds the function's
+//! instruction count, `s1 = s2 = 0` degenerates to the identity (x ^ x ^ x =
+//! x), which is trivially collision-free.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+/// Parameters of a per-function perfect hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HashParams {
+    /// First shift amount.
+    pub shift1: u32,
+    /// Second shift amount.
+    pub shift2: u32,
+    /// Log2 of the hash-space size.
+    pub log2_size: u32,
+    /// The function's code base address (hash input is the instruction
+    /// index relative to it).
+    pub pc_base: u64,
+}
+
+impl HashParams {
+    /// The hash-space size in slots.
+    pub fn space(&self) -> u32 {
+        1 << self.log2_size
+    }
+
+    /// Number of bits needed to name a slot.
+    pub fn slot_bits(&self) -> u32 {
+        self.log2_size.max(1)
+    }
+
+    /// Hashes a branch PC to its slot.
+    pub fn slot(&self, pc: u64) -> u32 {
+        let x = pc.wrapping_sub(self.pc_base) >> 2;
+        let h = x ^ (x >> self.shift1) ^ (x >> self.shift2);
+        (h as u32) & (self.space() - 1)
+    }
+}
+
+/// The perfect-hash search failed within the configured limits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfectHashError {
+    /// Number of keys that had to be hashed.
+    pub keys: usize,
+    /// Largest hash space tried (log2).
+    pub max_log2: u32,
+}
+
+impl fmt::Display for PerfectHashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no collision-free hash for {} branches within 2^{} slots",
+            self.keys, self.max_log2
+        )
+    }
+}
+
+impl Error for PerfectHashError {}
+
+/// Searches for a collision-free hash over the given branch PCs by
+/// trial-and-error, starting from the smallest power-of-two space that can
+/// hold them and enlarging on failure (the paper's §5.2 procedure).
+///
+/// # Errors
+///
+/// Returns [`PerfectHashError`] only if `max_log2` is too small to admit the
+/// identity fallback (i.e. smaller than `log2(max instruction index)`).
+pub fn find_perfect_hash(
+    pcs: &[u64],
+    pc_base: u64,
+    max_log2: u32,
+) -> Result<HashParams, PerfectHashError> {
+    if pcs.is_empty() {
+        return Ok(HashParams {
+            shift1: 0,
+            shift2: 0,
+            log2_size: 0,
+            pc_base,
+        });
+    }
+    let min_log2 = usize::BITS - (pcs.len() - 1).leading_zeros();
+    let min_log2 = min_log2.max(1);
+    let mut seen = HashSet::with_capacity(pcs.len());
+    for log2_size in min_log2..=max_log2 {
+        // Try shift pairs in a fixed order; small shifts mix low bits which
+        // is what densely indexed branch PCs need.
+        for shift1 in 0..=12u32 {
+            for shift2 in shift1..=12u32 {
+                let params = HashParams {
+                    shift1,
+                    shift2,
+                    log2_size,
+                    pc_base,
+                };
+                seen.clear();
+                if pcs.iter().all(|&pc| seen.insert(params.slot(pc))) {
+                    return Ok(params);
+                }
+            }
+        }
+    }
+    Err(PerfectHashError {
+        keys: pcs.len(),
+        max_log2,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_perfect(params: &HashParams, pcs: &[u64]) {
+        let mut seen = HashSet::new();
+        for &pc in pcs {
+            let s = params.slot(pc);
+            assert!(s < params.space(), "slot {s} within space");
+            assert!(seen.insert(s), "collision at {pc:#x}");
+        }
+    }
+
+    #[test]
+    fn empty_function_gets_trivial_hash() {
+        let p = find_perfect_hash(&[], 0x1000, 20).unwrap();
+        assert_eq!(p.space(), 1);
+    }
+
+    #[test]
+    fn dense_pcs_hash_small() {
+        // Branches every other instruction: 8 branches should fit in a
+        // small space.
+        let base = 0x1000u64;
+        let pcs: Vec<u64> = (0..8).map(|i| base + 8 * i).collect();
+        let p = find_perfect_hash(&pcs, base, 20).unwrap();
+        assert_perfect(&p, &pcs);
+        assert!(p.log2_size <= 6, "space 2^{} unexpectedly large", p.log2_size);
+    }
+
+    #[test]
+    fn sparse_irregular_pcs_still_resolve() {
+        let base = 0x4000u64;
+        let pcs: Vec<u64> = [3u64, 17, 40, 41, 97, 250, 251, 252, 600, 999]
+            .iter()
+            .map(|i| base + 4 * i)
+            .collect();
+        let p = find_perfect_hash(&pcs, base, 20).unwrap();
+        assert_perfect(&p, &pcs);
+    }
+
+    #[test]
+    fn identity_fallback_guarantees_success() {
+        // Adversarial: indices that collide in small spaces for many shift
+        // pairs — identity at a big enough space must still work.
+        let base = 0u64;
+        let pcs: Vec<u64> = (0..64).map(|i| base + 4 * (i * 17 % 1021)).collect();
+        let p = find_perfect_hash(&pcs, base, 12).unwrap();
+        assert_perfect(&p, &pcs);
+    }
+
+    #[test]
+    fn error_when_space_capped_too_small() {
+        // 16 distinct keys cannot fit in 2^3 slots.
+        let pcs: Vec<u64> = (0..16).map(|i| 4 * i * 1000).collect();
+        let e = find_perfect_hash(&pcs, 0, 3).unwrap_err();
+        assert_eq!(e.keys, 16);
+    }
+
+    #[test]
+    fn growth_on_failure() {
+        // Keys engineered to collide at the minimum space: all ≡ 0 mod 16
+        // indices. With 5 keys min space is 8; x & 7 == 0 for all, so the
+        // search must either find shifts that separate them or grow.
+        let base = 0u64;
+        let pcs: Vec<u64> = (0..5).map(|i| base + 4 * (i * 16)).collect();
+        let p = find_perfect_hash(&pcs, base, 20).unwrap();
+        assert_perfect(&p, &pcs);
+    }
+}

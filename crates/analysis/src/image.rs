@@ -1,0 +1,302 @@
+//! The binary table image and function information table (Fig. 6).
+//!
+//! The paper's compiler attaches the BSV/BCV/BAT tables to the program
+//! binary; at load time they are mapped into a reserved, hardware-protected
+//! memory region, and a **function information table** tells the IPDS, for
+//! each function, where its tables live, its entry address, and the hash
+//! parameters to use ("The information includes entry addresses of BSV, BCV
+//! and BAT, the entry address of the function, hash function parameters
+//! etc.").
+//!
+//! [`TableImage::build`] serializes a whole [`ProgramAnalysis`] into one
+//! self-contained byte image; [`TableImage::load`] reconstructs an
+//! equivalent analysis. The round trip is exact (tested per workload), so
+//! the runtime can be driven entirely from the attached image — proving the
+//! compiler→binary→runtime hand-off the paper describes actually carries
+//! all the information it needs.
+//!
+//! ## Layout
+//!
+//! ```text
+//! [magic "IPDS" u32] [version u16] [function count u16]
+//! per function (the function information table):
+//!   [entry pc u64] [hash: shift1 u8, shift2 u8, log2_size u8, pad u8]
+//!   [branch count u16] [bcv offset u32] [bat offset u32] [bat len u32]
+//! then the payload pool:
+//!   per function: packed branch PCs (delta-coded u16 ×4 from entry),
+//!                 packed BCV bits, packed BAT (the encode.rs format)
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use ipds_ir::{BlockId, FuncId};
+
+use crate::compile::ProgramAnalysis;
+use crate::encode::{decode_bat, encode_bat, table_sizes, BitReader, BitWriter};
+use crate::hash::HashParams;
+use crate::tables::{BranchInfo, FunctionAnalysis};
+
+const MAGIC: u32 = 0x4950_4453; // "IPDS"
+const VERSION: u16 = 1;
+
+/// A serialized whole-program table image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableImage {
+    bytes: Vec<u8>,
+}
+
+/// Image parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPDS table image: {}", self.message)
+    }
+}
+
+impl Error for ImageError {}
+
+fn err(message: impl Into<String>) -> ImageError {
+    ImageError {
+        message: message.into(),
+    }
+}
+
+impl TableImage {
+    /// Serializes an analysis into an attachable image.
+    pub fn build(analysis: &ProgramAnalysis) -> TableImage {
+        let mut w = BitWriter::new();
+        w.push(MAGIC as u64, 32);
+        w.push(VERSION as u64, 16);
+        w.push(analysis.functions.len() as u64, 16);
+
+        // Payload pool assembled first so the info table can carry offsets.
+        let mut pool: Vec<u8> = Vec::new();
+        let mut entries: Vec<(u32, u32, u32)> = Vec::new(); // (bcv_off, bat_off, bat_len)
+        for f in &analysis.functions {
+            // Branch PCs: delta-coded in instruction units from the base.
+            let mut fw = BitWriter::new();
+            for b in &f.branches {
+                let delta = (b.pc - f.hash.pc_base) >> 2;
+                fw.push(delta, 16);
+            }
+            // BCV bits in branch order.
+            for &c in &f.checked {
+                fw.push(c as u64, 1);
+            }
+            let branch_bytes = fw.into_bytes();
+            let bcv_off = pool.len() as u32;
+            pool.extend_from_slice(&branch_bytes);
+            let bat = encode_bat(&f.bat, &f.branches, &f.hash);
+            let bat_off = pool.len() as u32;
+            let bat_len = bat.len() as u32;
+            pool.extend_from_slice(&bat);
+            entries.push((bcv_off, bat_off, bat_len));
+        }
+
+        for (f, (bcv_off, bat_off, bat_len)) in analysis.functions.iter().zip(&entries) {
+            w.push(f.hash.pc_base, 64);
+            w.push(f.hash.shift1 as u64, 8);
+            w.push(f.hash.shift2 as u64, 8);
+            w.push(f.hash.log2_size as u64, 8);
+            w.push(0, 8); // pad
+            w.push(f.branches.len() as u64, 16);
+            w.push(*bcv_off as u64, 32);
+            w.push(*bat_off as u64, 32);
+            w.push(*bat_len as u64, 32);
+        }
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&pool);
+        TableImage { bytes }
+    }
+
+    /// The raw bytes (what would be appended to the binary).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Total image size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the image is empty (never: the header is always present).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Wraps raw bytes (e.g. read back from a binary) for loading.
+    pub fn from_bytes(bytes: Vec<u8>) -> TableImage {
+        TableImage { bytes }
+    }
+
+    /// Reconstructs the analysis tables from the image.
+    ///
+    /// Function names and branch block-ids are not stored in the image (the
+    /// hardware only needs PCs); loaded analyses carry placeholder names
+    /// and sequential block ids, which the runtime never consults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageError`] on a bad magic/version, truncated header, or
+    /// malformed payload.
+    pub fn load(&self) -> Result<ProgramAnalysis, ImageError> {
+        let mut r = BitReader::new(&self.bytes);
+        if r.read(32) != Some(MAGIC as u64) {
+            return Err(err("bad magic"));
+        }
+        if r.read(16) != Some(VERSION as u64) {
+            return Err(err("unsupported version"));
+        }
+        let count = r.read(16).ok_or_else(|| err("truncated header"))? as usize;
+
+        struct Info {
+            pc_base: u64,
+            hash: HashParams,
+            branch_count: usize,
+            bcv_off: usize,
+            bat_off: usize,
+            bat_len: usize,
+        }
+        let mut infos = Vec::with_capacity(count);
+        for _ in 0..count {
+            let pc_base = r.read(64).ok_or_else(|| err("truncated info table"))?;
+            let shift1 = r.read(8).ok_or_else(|| err("truncated info table"))? as u32;
+            let shift2 = r.read(8).ok_or_else(|| err("truncated info table"))? as u32;
+            let log2_size = r.read(8).ok_or_else(|| err("truncated info table"))? as u32;
+            let _pad = r.read(8).ok_or_else(|| err("truncated info table"))?;
+            let branch_count = r.read(16).ok_or_else(|| err("truncated info table"))? as usize;
+            let bcv_off = r.read(32).ok_or_else(|| err("truncated info table"))? as usize;
+            let bat_off = r.read(32).ok_or_else(|| err("truncated info table"))? as usize;
+            let bat_len = r.read(32).ok_or_else(|| err("truncated info table"))? as usize;
+            infos.push(Info {
+                pc_base,
+                hash: HashParams {
+                    shift1,
+                    shift2,
+                    log2_size,
+                    pc_base,
+                },
+                branch_count,
+                bcv_off,
+                bat_off,
+                bat_len,
+            });
+        }
+
+        // Header length in bytes: 8 (magic+version+count) plus 26 per
+        // function entry (64+8+8+8+8+16+32+32+32 bits).
+        let header_len = 8 + count * 26;
+        let pool = self
+            .bytes
+            .get(header_len..)
+            .ok_or_else(|| err("missing payload pool"))?;
+
+        let mut functions = Vec::with_capacity(count);
+        for (i, info) in infos.iter().enumerate() {
+            let branch_bits = info.branch_count * 16 + info.branch_count;
+            let branch_bytes = branch_bits.div_ceil(8);
+            let slice = pool
+                .get(info.bcv_off..info.bcv_off + branch_bytes)
+                .ok_or_else(|| err("branch table out of range"))?;
+            let mut fr = BitReader::new(slice);
+            let mut branches = Vec::with_capacity(info.branch_count);
+            for b in 0..info.branch_count {
+                let delta = fr.read(16).ok_or_else(|| err("truncated branch pcs"))?;
+                let pc = info.pc_base + (delta << 2);
+                branches.push(BranchInfo {
+                    block: BlockId(b as u32),
+                    pc,
+                    slot: info.hash.slot(pc),
+                });
+            }
+            let mut checked = Vec::with_capacity(info.branch_count);
+            for _ in 0..info.branch_count {
+                checked.push(fr.read(1).ok_or_else(|| err("truncated BCV"))? != 0);
+            }
+            let bat_slice = pool
+                .get(info.bat_off..info.bat_off + info.bat_len)
+                .ok_or_else(|| err("BAT out of range"))?;
+            let bat = decode_bat(bat_slice, &branches, &info.hash)
+                .ok_or_else(|| err("malformed BAT"))?;
+            let sizes = table_sizes(&bat, &branches, &info.hash);
+            functions.push(FunctionAnalysis {
+                func: FuncId(i as u32),
+                name: format!("fn#{i}"),
+                branches,
+                checked,
+                bat,
+                hash: info.hash,
+                sizes,
+            });
+        }
+        Ok(ProgramAnalysis { functions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{analyze_program, AnalysisConfig};
+
+    fn analysis() -> ProgramAnalysis {
+        let p = ipds_ir::parse(
+            "fn helper(int v) -> int { if (v < 3) { return 1; } return 0; } \
+             fn main() -> int { int x; x = read_int(); \
+             if (x < 5) { print_int(1); } \
+             if (x < 10) { print_int(2); } \
+             return helper(x); }",
+        )
+        .unwrap();
+        analyze_program(&p, &AnalysisConfig::default())
+    }
+
+    #[test]
+    fn image_roundtrips_tables() {
+        let a = analysis();
+        let image = TableImage::build(&a);
+        assert!(!image.is_empty());
+        let loaded = image.load().expect("valid image");
+        assert_eq!(loaded.functions.len(), a.functions.len());
+        for (orig, back) in a.functions.iter().zip(&loaded.functions) {
+            assert_eq!(orig.branches.len(), back.branches.len());
+            for (b1, b2) in orig.branches.iter().zip(&back.branches) {
+                assert_eq!(b1.pc, b2.pc);
+                assert_eq!(b1.slot, b2.slot);
+            }
+            assert_eq!(orig.checked, back.checked);
+            assert_eq!(orig.bat, back.bat);
+            assert_eq!(orig.hash, back.hash);
+            assert_eq!(orig.sizes, back.sizes);
+        }
+    }
+
+    #[test]
+    fn image_survives_byte_transport() {
+        let a = analysis();
+        let image = TableImage::build(&a);
+        let copied = TableImage::from_bytes(image.as_bytes().to_vec());
+        assert_eq!(copied.load().unwrap().functions.len(), a.functions.len());
+    }
+
+    #[test]
+    fn corrupted_images_are_rejected() {
+        let a = analysis();
+        let image = TableImage::build(&a);
+        // Bad magic.
+        let mut bad = image.as_bytes().to_vec();
+        bad[0] ^= 0xFF;
+        assert!(TableImage::from_bytes(bad).load().is_err());
+        // Truncation.
+        let mut short = image.as_bytes().to_vec();
+        short.truncate(short.len() / 2);
+        assert!(TableImage::from_bytes(short).load().is_err());
+        // Empty.
+        assert!(TableImage::from_bytes(Vec::new()).load().is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Branch-edge regions: the instructions that may execute between a branch
+//! commit and the next branch commit.
+//!
+//! BAT actions fire on branch commits, but the events that invalidate a
+//! correlation are *stores*. To attach a store's kill to a trigger the
+//! runtime will actually see, we compute for every branch edge `(br, dir)`
+//! the set of instructions reachable from that edge before the **next**
+//! conditional branch (crossing unconditional jumps, stopping at returns).
+//!
+//! Every dynamic path segment between two consecutive conditional-branch
+//! commits is covered by exactly the region of the earlier branch, so a
+//! `SET_UN` attached to every region containing a killing store is
+//! guaranteed to take effect before the next verification — the
+//! zero-false-positive invariant (see DESIGN.md).
+
+use std::collections::BTreeSet;
+
+use ipds_ir::{BlockId, Function, Terminator};
+
+/// A location inside a function: block plus instruction index.
+pub type InstLoc = (BlockId, usize);
+
+/// Computes, for each branch edge, the instruction locations reachable
+/// before the next conditional branch.
+///
+/// Returns entries keyed by `(branch block, direction)`. The region includes
+/// the instructions of every block visited, including the block terminated
+/// by the *next* branch (its instructions run before that branch commits),
+/// but never crosses a conditional-branch terminator.
+pub fn branch_edge_regions(
+    func: &Function,
+) -> Vec<((BlockId, bool), Vec<InstLoc>)> {
+    let mut out = Vec::new();
+    for (bid, block) in func.iter_blocks() {
+        if let Terminator::Branch {
+            taken, not_taken, ..
+        } = block.term
+        {
+            out.push(((bid, true), region_from(func, taken)));
+            out.push(((bid, false), region_from(func, not_taken)));
+        }
+    }
+    out
+}
+
+/// The instructions reachable from the start of `start` before any
+/// conditional-branch commit (also used for the function-entry region).
+pub fn region_from(func: &Function, start: BlockId) -> Vec<InstLoc> {
+    let mut visited: BTreeSet<BlockId> = BTreeSet::new();
+    let mut work = vec![start];
+    let mut locs = Vec::new();
+    while let Some(b) = work.pop() {
+        if !visited.insert(b) {
+            continue;
+        }
+        let block = func.block(b);
+        for i in 0..block.insts.len() {
+            locs.push((b, i));
+        }
+        match &block.term {
+            Terminator::Jump(t) => work.push(*t),
+            // Stop at the next conditional branch or at a return.
+            Terminator::Branch { .. } | Terminator::Return(_) => {}
+        }
+    }
+    locs.sort();
+    locs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipds_ir::parse;
+
+    type Regions = Vec<((BlockId, bool), Vec<InstLoc>)>;
+
+    /// Collects regions keyed for easy assertions.
+    fn regions_of(src: &str) -> (ipds_ir::Program, Regions) {
+        let p = parse(src).unwrap();
+        let f = p.main().unwrap().clone();
+        let r = branch_edge_regions(&f);
+        (p, r)
+    }
+
+    #[test]
+    fn diamond_regions_stop_at_join_branch() {
+        // if (a) { x = 1; } else { x = 2; }  if (b) …
+        let (p, regions) = regions_of(
+            "fn main() -> int { int a; int b; int x; a = read_int(); b = read_int(); \
+             if (a < 1) { x = 1; } else { x = 2; } if (b < 1) { x = 3; } return x; }",
+        );
+        let f = p.main().unwrap();
+        // First branch has two edges; each region must contain one store to
+        // x and stop before the second branch's own region.
+        let first_branch = f
+            .iter_blocks()
+            .find(|(_, b)| b.term.is_branch())
+            .unwrap()
+            .0;
+        let taken: Vec<_> = regions
+            .iter()
+            .filter(|((b, d), _)| *b == first_branch && *d)
+            .flat_map(|(_, locs)| locs.clone())
+            .collect();
+        let not_taken: Vec<_> = regions
+            .iter()
+            .filter(|((b, d), _)| *b == first_branch && !*d)
+            .flat_map(|(_, locs)| locs.clone())
+            .collect();
+        assert!(!taken.is_empty());
+        assert!(!not_taken.is_empty());
+        // The regions from the two edges flow into the join and the second
+        // branch's block; both stop there, so they share the join suffix.
+        let shared: Vec<_> = taken.iter().filter(|l| not_taken.contains(l)).collect();
+        assert!(!shared.is_empty(), "both edges flow through the join block");
+    }
+
+    #[test]
+    fn loop_region_terminates() {
+        // A while loop: back edge region must not loop forever.
+        let (_, regions) = regions_of(
+            "fn main() -> int { int i; i = 0; while (i < 5) { i = i + 1; } return i; }",
+        );
+        assert!(!regions.is_empty());
+        for ((_, _), locs) in &regions {
+            // Sanity: bounded and sorted.
+            assert!(locs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn region_covers_jump_chains() {
+        // Nested blocks produce jump-only chains; the region must follow
+        // them until the next branch.
+        let (p, regions) = regions_of(
+            "fn main() -> int { int a; int x; a = read_int(); \
+             if (a < 1) { { { x = 1; } } } else { x = 2; } x = x + 1; if (x < 2) { return 1; } return x; }",
+        );
+        let f = p.main().unwrap();
+        // Count stores to x reachable from the first branch taken edge.
+        let first_branch = f
+            .iter_blocks()
+            .find(|(_, b)| b.term.is_branch())
+            .unwrap()
+            .0;
+        let region = regions
+            .iter()
+            .find(|((b, d), _)| *b == first_branch && *d)
+            .map(|(_, locs)| locs.clone())
+            .unwrap();
+        let stores = region
+            .iter()
+            .filter(|(b, i)| f.block(*b).insts[*i].is_store())
+            .count();
+        // x = 1 on the taken arm plus the shared x = x + 1.
+        assert!(stores >= 2, "found {stores} stores in {region:?}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Aggregate table-size statistics (Fig. 8 of the paper).
+
+use crate::compile::ProgramAnalysis;
+
+/// Average per-function table sizes in bits, as reported in Fig. 8 (the
+/// paper measured BSV ≈ 34, BCV ≈ 17, BAT ≈ 393 on its server benchmarks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeStats {
+    /// Number of functions aggregated.
+    pub functions: usize,
+    /// Mean BSV bits per function.
+    pub avg_bsv_bits: f64,
+    /// Mean BCV bits per function.
+    pub avg_bcv_bits: f64,
+    /// Mean BAT bits per function.
+    pub avg_bat_bits: f64,
+    /// Mean branches per function.
+    pub avg_branches: f64,
+    /// Mean checked branches per function.
+    pub avg_checked: f64,
+    /// Mean BAT entries per function.
+    pub avg_bat_entries: f64,
+}
+
+impl SizeStats {
+    /// Aggregates over a program's analysis.
+    pub fn collect(analysis: &ProgramAnalysis) -> SizeStats {
+        let n = analysis.functions.len().max(1) as f64;
+        let mut s = SizeStats {
+            functions: analysis.functions.len(),
+            avg_bsv_bits: 0.0,
+            avg_bcv_bits: 0.0,
+            avg_bat_bits: 0.0,
+            avg_branches: 0.0,
+            avg_checked: 0.0,
+            avg_bat_entries: 0.0,
+        };
+        for f in &analysis.functions {
+            s.avg_bsv_bits += f.sizes.bsv_bits as f64;
+            s.avg_bcv_bits += f.sizes.bcv_bits as f64;
+            s.avg_bat_bits += f.sizes.bat_bits as f64;
+            s.avg_branches += f.branches.len() as f64;
+            s.avg_checked += f.checked_count() as f64;
+            s.avg_bat_entries += f.bat_entry_count() as f64;
+        }
+        s.avg_bsv_bits /= n;
+        s.avg_bcv_bits /= n;
+        s.avg_bat_bits /= n;
+        s.avg_branches /= n;
+        s.avg_checked /= n;
+        s.avg_bat_entries /= n;
+        s
+    }
+
+    /// Aggregates several per-program stats into one weighted average.
+    pub fn merge(all: &[SizeStats]) -> SizeStats {
+        let total_fns: usize = all.iter().map(|s| s.functions).sum();
+        let w = |f: fn(&SizeStats) -> f64| -> f64 {
+            if total_fns == 0 {
+                return 0.0;
+            }
+            all.iter().map(|s| f(s) * s.functions as f64).sum::<f64>() / total_fns as f64
+        };
+        SizeStats {
+            functions: total_fns,
+            avg_bsv_bits: w(|s| s.avg_bsv_bits),
+            avg_bcv_bits: w(|s| s.avg_bcv_bits),
+            avg_bat_bits: w(|s| s.avg_bat_bits),
+            avg_branches: w(|s| s.avg_branches),
+            avg_checked: w(|s| s.avg_checked),
+            avg_bat_entries: w(|s| s.avg_bat_entries),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{analyze_program, AnalysisConfig};
+
+    #[test]
+    fn collects_and_merges() {
+        let p = ipds_ir::parse(
+            "fn a() -> int { int x; x = read_int(); if (x < 3) { return 1; } return 0; } \
+             fn main() -> int { return a(); }",
+        )
+        .unwrap();
+        let an = analyze_program(&p, &AnalysisConfig::default());
+        let s = SizeStats::collect(&an);
+        assert_eq!(s.functions, 2);
+        assert!(s.avg_bsv_bits > 0.0);
+        assert_eq!(s.avg_bsv_bits, 2.0 * s.avg_bcv_bits);
+
+        let merged = SizeStats::merge(&[s, s]);
+        assert_eq!(merged.functions, 4);
+        assert!((merged.avg_bat_bits - s.avg_bat_bits).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_merge_is_zero() {
+        let m = SizeStats::merge(&[]);
+        assert_eq!(m.functions, 0);
+        assert_eq!(m.avg_bsv_bits, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Edge cases of the correlation construction that the unit tests don't
+//! reach: call-result flags, untraceable arithmetic, cross-function
+//! isolation, short-circuit chains, and deeply nested regions.
+
+use ipds_analysis::{analyze_program, AnalysisConfig, BrAction, ProgramAnalysis};
+use ipds_ir::Program;
+
+fn analyze(src: &str) -> (Program, ProgramAnalysis) {
+    let p = ipds_ir::parse(src).unwrap();
+    let a = analyze_program(&p, &AnalysisConfig::default());
+    (p, a)
+}
+
+#[test]
+fn call_result_flag_correlates_between_tests() {
+    // The Fig. 1 idiom through a library call: strcmp's result is opaque,
+    // but once stored to `rc`, the two `rc == 0` tests must agree.
+    let (_, a) = analyze(
+        "fn main() -> int { int rc; int buf[8]; \
+         strcpy(buf, \"admin\"); \
+         rc = strcmp(buf, \"admin\"); \
+         if (rc == 0) { print_int(1); } \
+         print_int(7); \
+         if (rc == 0) { print_int(2); } \
+         return rc; }",
+    );
+    let main = &a.functions[0];
+    assert_eq!(main.branches.len(), 2);
+    assert!(main.checked[0] && main.checked[1]);
+    let row = main.actions(0, true);
+    assert!(
+        row.iter()
+            .any(|e| e.target == 1 && e.action == BrAction::SetTaken),
+        "{row:?}"
+    );
+}
+
+#[test]
+fn nonaffine_arithmetic_defeats_anchoring() {
+    // x % 2 is not an affine image of x: the branch must stay unanchored
+    // (conservative, not wrong).
+    let (_, a) = analyze(
+        "fn main() -> int { int x; x = read_int(); \
+         if (x % 2 == 0) { print_int(1); } \
+         if (x % 2 == 0) { print_int(2); } \
+         return 0; }",
+    );
+    let main = &a.functions[0];
+    // Neither branch can be checked: their conditions trace to a Rem.
+    assert!(!main.checked.iter().any(|&c| c), "{:?}", main.checked);
+}
+
+#[test]
+fn multiplication_defeats_anchoring_but_addition_does_not() {
+    let (_, a) = analyze(
+        "fn main() -> int { int x; x = read_int(); \
+         if (x * 2 < 10) { print_int(1); } \
+         if (x + 2 < 10) { print_int(2); } \
+         if (x + 2 < 10) { print_int(3); } \
+         return 0; }",
+    );
+    let main = &a.functions[0];
+    assert!(!main.checked[0], "x*2 is not affine(±1)");
+    assert!(main.checked[1] || main.checked[2], "x+2 is affine");
+}
+
+#[test]
+fn correlations_never_cross_functions() {
+    // The same global tested in two functions: each function's BAT may only
+    // reference its own branches (tables are per-function, stacked).
+    let (_, a) = analyze(
+        "int mode; \
+         fn check() -> int { if (mode == 1) { return 1; } return 0; } \
+         fn main() -> int { mode = read_int(); \
+         if (mode == 1) { print_int(1); } return check(); }",
+    );
+    for f in &a.functions {
+        let n = f.branches.len() as u32;
+        for ((trigger, _), entries) in &f.bat {
+            assert!(*trigger < n, "{}: trigger out of range", f.name);
+            for e in entries {
+                assert!(e.target < n, "{}: target out of range", f.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn short_circuit_chain_correlates_piecewise() {
+    // `a < 5 && a < 10` in one condition: the second test is subsumed by
+    // the first within the same chain.
+    let (_, a) = analyze(
+        "fn main() -> int { int v; v = read_int(); \
+         if (v < 5 && v < 10) { print_int(1); } \
+         return 0; }",
+    );
+    let main = &a.functions[0];
+    assert_eq!(main.branches.len(), 2, "two primitive branches");
+    // First branch taken (v ≤ 4) forces the second (v < 10) taken.
+    let row = main.actions(0, true);
+    assert!(
+        row.iter()
+            .any(|e| e.target == 1 && e.action == BrAction::SetTaken),
+        "{row:?}"
+    );
+}
+
+#[test]
+fn nested_region_kill_reaches_through_blocks() {
+    // The killing store hides two scopes deep behind unconditional jumps;
+    // the region walk must still attach the SET_UN.
+    let (_, a) = analyze(
+        "fn main() -> int { int x; int t; x = read_int(); t = read_int(); \
+         if (x < 5) { print_int(1); } \
+         if (t < 0) { { { x = read_int(); print_int(9); } } } \
+         if (x < 5) { print_int(2); } \
+         return 0; }",
+    );
+    let main = &a.functions[0];
+    // Branch 1 is the t-test; its taken edge must kill the x-tests.
+    let row = main.actions(1, true);
+    assert!(
+        row.iter().any(|e| e.action == BrAction::SetUnknown),
+        "{row:?}"
+    );
+    // And the not-taken edge must not.
+    let row_nt = main.actions(1, false);
+    assert!(
+        row_nt.iter().all(|e| e.action != BrAction::SetUnknown),
+        "{row_nt:?}"
+    );
+}
+
+#[test]
+fn equality_and_inequality_ranges_compose() {
+    // x == 7 taken ⇒ x != 3 test must be taken; x != 7 (not-taken of the
+    // first) doesn't determine x != 3.
+    let (_, a) = analyze(
+        "fn main() -> int { int x; x = read_int(); \
+         if (x == 7) { print_int(1); } \
+         if (x != 3) { print_int(2); } \
+         return 0; }",
+    );
+    let main = &a.functions[0];
+    let row_t = main.actions(0, true);
+    assert!(
+        row_t
+            .iter()
+            .any(|e| e.target == 1 && e.action == BrAction::SetTaken),
+        "{row_t:?}"
+    );
+    let row_nt = main.actions(0, false);
+    assert!(
+        row_nt
+            .iter()
+            .all(|e| e.target != 1 || e.action == BrAction::SetUnknown),
+        "x != 7 says nothing about x != 3: {row_nt:?}"
+    );
+}
+
+#[test]
+fn recursion_analyzes_without_divergence() {
+    let (_, a) = analyze(
+        "fn f(int n) -> int { if (n <= 0) { return 0; } return f(n - 1) + n; } \
+         fn main() -> int { return f(read_int()); }",
+    );
+    assert_eq!(a.functions.len(), 2);
+    // The recursive call kills nothing local (params are per-activation).
+    let f = a.functions.iter().find(|f| f.name == "f").unwrap();
+    assert_eq!(f.branches.len(), 1);
+}
+
+#[test]
+fn loop_with_two_variables_keeps_them_separate() {
+    let (_, a) = analyze(
+        "fn main() -> int { int i; int limit; limit = read_int(); \
+         for (i = 0; i < 10; i = i + 1) { \
+           if (limit > 100) { print_int(1); } \
+         } return i; }",
+    );
+    let main = &a.functions[0];
+    // The limit-test self-correlates (limit never written in the loop):
+    // its taken edge must set itself taken, with no SET_UN on itself.
+    let limit_idx = main
+        .checked
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(i, _)| i as u32)
+        .find(|&i| {
+            main.actions(i, true)
+                .iter()
+                .any(|e| e.target == i && e.action == BrAction::SetTaken)
+        });
+    assert!(limit_idx.is_some(), "a self-stable branch must exist");
+}
+
+#[test]
+fn empty_function_has_empty_tables() {
+    let (_, a) = analyze("fn nop() { } fn main() -> int { nop(); return 0; }");
+    let nop = a.functions.iter().find(|f| f.name == "nop").unwrap();
+    assert!(nop.branches.is_empty());
+    assert!(nop.bat.is_empty());
+    assert_eq!(nop.hash.space(), 1);
+    assert_eq!(nop.sizes.bat_bits, 16, "just the row-count header");
+}

@@ -1,0 +1,103 @@
+//! Property tests for the perfect hash and the packed table encodings.
+
+use std::collections::{BTreeMap, HashSet};
+
+use ipds_analysis::encode::{decode_bat, encode_bat, table_sizes};
+use ipds_analysis::hash::find_perfect_hash;
+use ipds_analysis::{BitReader, BitWriter, BrAction, BatEntry, BranchInfo};
+use ipds_ir::BlockId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary sequences of (value, width) survive the bit-packing
+    /// round trip in order.
+    #[test]
+    fn bit_stream_roundtrips(items in proptest::collection::vec((any::<u64>(), 1u32..=64), 0..64)) {
+        let mut w = BitWriter::new();
+        for (v, width) in &items {
+            w.push(*v, *width);
+        }
+        let expected_bits: usize = items.iter().map(|(_, w)| *w as usize).sum();
+        prop_assert_eq!(w.bit_len(), expected_bits);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for (v, width) in &items {
+            let mask = if *width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            prop_assert_eq!(r.read(*width), Some(v & mask));
+        }
+    }
+
+    /// The perfect-hash search succeeds on any set of distinct 4-aligned
+    /// PCs and produces no collisions.
+    #[test]
+    fn perfect_hash_always_found(
+        idxs in proptest::collection::hash_set(0u64..4096, 0..48),
+        base in 0u64..0x10000,
+    ) {
+        let base = base * 4;
+        let pcs: Vec<u64> = idxs.iter().map(|i| base + 4 * i).collect();
+        let params = find_perfect_hash(&pcs, base, 24).expect("search succeeds");
+        let mut seen = HashSet::new();
+        for &pc in &pcs {
+            prop_assert!(seen.insert(params.slot(pc)), "collision at {pc:#x}");
+        }
+    }
+
+    /// Arbitrary BATs round-trip through the packed wire format, and the
+    /// size accounting covers the encoding.
+    #[test]
+    fn bat_roundtrips(
+        n_branches in 1u32..24,
+        rows in proptest::collection::vec(
+            (0u32..24, proptest::bool::ANY,
+             proptest::collection::vec((0u32..24, 0u8..4), 1..10)),
+            0..16,
+        ),
+    ) {
+        // Distinct, collision-free branch inventory.
+        let base = 0x1000u64;
+        let pcs: Vec<u64> = (0..n_branches).map(|i| base + 8 * i as u64).collect();
+        let hash = find_perfect_hash(&pcs, base, 24).expect("hashable");
+        let branches: Vec<BranchInfo> = pcs
+            .iter()
+            .enumerate()
+            .map(|(i, &pc)| BranchInfo {
+                block: BlockId(i as u32),
+                pc,
+                slot: hash.slot(pc),
+            })
+            .collect();
+
+        // Clamp row contents into range; dedup (trigger, dir) keys and
+        // entry targets the way the builder does.
+        let mut bat: BTreeMap<(u32, bool), Vec<BatEntry>> = BTreeMap::new();
+        for (t, d, entries) in rows {
+            let trigger = t % n_branches;
+            let mut list: Vec<BatEntry> = Vec::new();
+            let mut seen = HashSet::new();
+            for (target, act) in entries {
+                let target = target % n_branches;
+                if seen.insert(target) {
+                    let action = match act {
+                        0 => BrAction::SetTaken,
+                        1 => BrAction::SetNotTaken,
+                        _ => BrAction::SetUnknown,
+                    };
+                    list.push(BatEntry { target, action });
+                }
+            }
+            if !list.is_empty() {
+                bat.insert((trigger, d), list);
+            }
+        }
+
+        let bytes = encode_bat(&bat, &branches, &hash);
+        let back = decode_bat(&bytes, &branches, &hash).expect("decodes");
+        prop_assert_eq!(&back, &bat);
+        let sizes = table_sizes(&bat, &branches, &hash);
+        prop_assert!(sizes.bat_bits <= bytes.len() * 8);
+        prop_assert!(sizes.bat_bits + 8 > bytes.len() * 8, "no more than padding slack");
+        prop_assert_eq!(sizes.bsv_bits, 2 * hash.space() as usize);
+        prop_assert_eq!(sizes.bcv_bits, hash.space() as usize);
+    }
+}

@@ -1,0 +1,40 @@
+//! Throughput of the functional checker: committed branches per second
+//! through verify-then-update (the paper's claim that "the average checking
+//! speed is normally higher than the program execution").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipds_analysis::{analyze_program, AnalysisConfig};
+use ipds_runtime::IpdsChecker;
+
+fn bench_checker(c: &mut Criterion) {
+    let program = ipds_ir::parse(
+        "fn main() -> int { int x; int i; x = read_int(); \
+         for (i = 0; i < 10; i = i + 1) { \
+           if (x < 5) { print_int(1); } \
+           if (x < 10) { print_int(2); } \
+         } return 0; }",
+    )
+    .expect("valid program");
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+    let main = &analysis.functions[0];
+    let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+
+    let mut group = c.benchmark_group("checker");
+    const N: u64 = 10_000;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("on_branch_x10k", |b| {
+        b.iter(|| {
+            let mut ipds = IpdsChecker::new(&analysis);
+            ipds.on_call(main.func);
+            for i in 0..N {
+                let pc = pcs[(i % pcs.len() as u64) as usize];
+                ipds.on_branch(pc, true);
+            }
+            ipds.stats().branches
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! §6 compile time — "the compilation time for all benchmarks is up to a
+//! few seconds": end-to-end MiniC → IR → tables per workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipds::Protected;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_time");
+    for w in ipds_workloads::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &w.source, |b, src| {
+            b.iter(|| Protected::compile(src).expect("workload compiles"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench over the Fig. 8 pipeline: full compiler analysis (alias,
+//! summaries, correlation, hashing, encoding) per workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipds::Config;
+use ipds_analysis::analyze_program;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_analysis");
+    for w in ipds_workloads::all() {
+        let program = w.program();
+        group.bench_with_input(BenchmarkId::from_parameter(w.name), &program, |b, p| {
+            b.iter(|| analyze_program(p, &Config::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench over the Fig. 9 pipeline: one timed run (cycle model +
+//! IPDS) per workload, against the no-IPDS baseline run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipds_runtime::HwConfig;
+
+fn bench_timed_runs(c: &mut Criterion) {
+    let hw = HwConfig::table1_default();
+    let mut group = c.benchmark_group("fig9_timed");
+    group.sample_size(10);
+    for w in ipds_workloads::all() {
+        let protected = ipds_bench::protect(&w);
+        let inputs = w.inputs(1);
+        group.bench_function(BenchmarkId::new("baseline", w.name), |b| {
+            b.iter(|| protected.timed_baseline(&inputs, &hw));
+        });
+        group.bench_function(BenchmarkId::new("ipds", w.name), |b| {
+            b.iter(|| protected.timed(&inputs, &hw));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_timed_runs);
+criterion_main!(benches);

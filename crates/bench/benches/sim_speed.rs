@@ -1,0 +1,45 @@
+//! Host-side simulation throughput: interpreted steps per second, with and
+//! without the IPDS observer attached. This is the practical cost of the
+//! reproduction's "Bochs" layer, and quantifies the paper's qualitative
+//! claim that checking is cheap relative to execution (here: the functional
+//! checker adds a bounded constant factor).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ipds_analysis::{analyze_program, AnalysisConfig};
+use ipds_runtime::IpdsChecker;
+use ipds_sim::{ExecLimits, Interp, IpdsObserver, NullObserver};
+
+fn bench_sim_speed(c: &mut Criterion) {
+    let w = ipds_workloads::by_name("portmap").expect("portmap exists");
+    let program = w.program();
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+    let inputs = w.inputs(1);
+    let steps = {
+        let mut i = Interp::new(&program, inputs.clone(), ExecLimits::default());
+        i.run(&mut NullObserver);
+        i.steps()
+    };
+
+    let mut group = c.benchmark_group("sim_speed");
+    group.throughput(Throughput::Elements(steps));
+    group.bench_function("interp_bare", |b| {
+        b.iter(|| {
+            let mut i = Interp::new(&program, inputs.clone(), ExecLimits::default());
+            i.run(&mut NullObserver);
+            i.steps()
+        });
+    });
+    group.bench_function("interp_with_checker", |b| {
+        b.iter(|| {
+            let mut obs = IpdsObserver::new(IpdsChecker::new(&analysis));
+            obs.checker.on_call(program.main().expect("main").id);
+            let mut i = Interp::new(&program, inputs.clone(), ExecLimits::default());
+            i.run(&mut obs);
+            i.steps()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_speed);
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Ablation studies (beyond the paper): the contribution of each anchor
+//! class, the constant-store extension, and the on-chip buffer sizing.
+//!
+//! DESIGN.md motivates these as the design choices the paper makes
+//! implicitly: store→load vs load→load correlation (Fig. 5's two loops),
+//! and the hardware budget of §5.4.
+
+use ipds::{Config, Protected, SizeStats};
+use ipds_runtime::HwConfig;
+use ipds_workloads::all;
+
+/// One analysis variant under test.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Display name.
+    pub name: &'static str,
+    /// The analysis switches.
+    pub config: Config,
+}
+
+/// The standard variant set.
+pub fn variants() -> Vec<Variant> {
+    vec![
+        Variant {
+            name: "full",
+            config: Config::default(),
+        },
+        Variant {
+            name: "no-store",
+            config: Config {
+                store_anchors: false,
+                ..Config::default()
+            },
+        },
+        Variant {
+            name: "no-load",
+            config: Config {
+                load_anchors: false,
+                ..Config::default()
+            },
+        },
+        Variant {
+            name: "+const-store",
+            config: Config {
+                const_store: true,
+                ..Config::default()
+            },
+        },
+    ]
+}
+
+/// Detection/size results for one variant.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant name.
+    pub name: &'static str,
+    /// Mean detection rate over the workloads.
+    pub mean_detected: f64,
+    /// Mean control-flow-change rate (identical across variants; sanity).
+    pub mean_cf_changed: f64,
+    /// Merged table sizes.
+    pub sizes: SizeStats,
+}
+
+/// Runs the correlation-class ablation. The extra `optimized` row applies
+/// the block-local load-forwarding pass first, reproducing the paper's
+/// observation that "compiler optimizations can remove some correlations,
+/// reducing the detection rate".
+pub fn run(attacks: u32, seed: u64, input_seed: u64) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for v in variants() {
+        rows.push(measure(v.name, &v.config, false, attacks, seed, input_seed));
+    }
+    rows.push(measure(
+        "optimized",
+        &Config::default(),
+        true,
+        attacks,
+        seed,
+        input_seed,
+    ));
+    rows
+}
+
+fn measure(
+    name: &'static str,
+    config: &Config,
+    optimize: bool,
+    attacks: u32,
+    seed: u64,
+    input_seed: u64,
+) -> AblationRow {
+    let mut det = 0.0;
+    let mut cf = 0.0;
+    let mut stats = Vec::new();
+    for w in all() {
+        let mut program = w.program();
+        if optimize {
+            ipds_ir::opt::forward_loads(&mut program);
+        }
+        let protected = Protected::from_program(program, config);
+        let inputs = w.inputs(input_seed);
+        let r = protected.campaign(&inputs, attacks, seed ^ w.name.len() as u64, w.vuln);
+        det += r.detected_rate();
+        cf += r.cf_changed_rate();
+        stats.push(protected.size_stats());
+    }
+    let n = all().len() as f64;
+    AblationRow {
+        name,
+        mean_detected: det / n,
+        mean_cf_changed: cf / n,
+        sizes: SizeStats::merge(&stats),
+    }
+}
+
+/// On-chip buffer sweep: normalized performance as the BAT buffer shrinks.
+#[derive(Debug, Clone)]
+pub struct BufferRow {
+    /// Total on-chip bits.
+    pub onchip_bits: usize,
+    /// Mean normalized performance across workloads.
+    pub mean_normalized: f64,
+    /// Total spill/fill events.
+    pub spills: u64,
+}
+
+/// Runs the buffer-sizing sweep.
+pub fn buffer_sweep(input_seed: u64) -> Vec<BufferRow> {
+    let mut rows = Vec::new();
+    for shift in [0u32, 2, 4, 6, 8] {
+        let mut hw = HwConfig::table1_default();
+        hw.bat_stack_bits >>= shift;
+        hw.bsv_stack_bits >>= shift;
+        hw.bcv_stack_bits >>= shift;
+        let fig9 = crate::fig9::run(&hw, input_seed);
+        rows.push(BufferRow {
+            onchip_bits: hw.total_onchip_bits(),
+            mean_normalized: crate::fig9::mean_normalized(&fig9),
+            spills: fig9.iter().map(|r| r.spills).sum(),
+        });
+    }
+    rows
+}
+
+/// Prints both ablations.
+pub fn print(rows: &[AblationRow], buffers: &[BufferRow]) {
+    println!("Ablation A. Correlation classes vs detection rate and BAT size");
+    println!("{:-<64}", "");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}",
+        "variant", "detected", "cf-changed", "BAT bits", "checked"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:>12} {:>12} {:>12.1} {:>10.1}",
+            r.name,
+            crate::pct(r.mean_detected),
+            crate::pct(r.mean_cf_changed),
+            r.sizes.avg_bat_bits,
+            r.sizes.avg_checked
+        );
+    }
+    println!();
+    println!("Ablation B. On-chip buffer sizing vs slowdown");
+    println!("{:-<46}", "");
+    println!("{:<14} {:>14} {:>12}", "on-chip bits", "normalized", "spills");
+    for b in buffers {
+        println!(
+            "{:<14} {:>14.4} {:>12}",
+            b.onchip_bits, b.mean_normalized, b.spills
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabling_anchors_reduces_detection() {
+        let rows = run(15, 5, 5);
+        let full = rows.iter().find(|r| r.name == "full").unwrap();
+        let no_load = rows.iter().find(|r| r.name == "no-load").unwrap();
+        assert!(full.mean_detected >= no_load.mean_detected, "{rows:?}");
+        // Control-flow-change rate is a property of the attack, not the
+        // analysis variant — except for the `optimized` row, which runs a
+        // different (shorter) program and therefore a different campaign.
+        for r in rows.iter().filter(|r| r.name != "optimized") {
+            assert!((r.mean_cf_changed - full.mean_cf_changed).abs() < 1e-9);
+        }
+        // The optimizer strictly shrinks the correlation surface.
+        let optimized = rows.iter().find(|r| r.name == "optimized").unwrap();
+        assert!(optimized.sizes.avg_checked < full.sizes.avg_checked, "{rows:?}");
+    }
+
+    #[test]
+    fn shrinking_buffers_increases_spills() {
+        let rows = buffer_sweep(4);
+        assert!(rows.first().unwrap().spills <= rows.last().unwrap().spills);
+        for r in &rows {
+            assert!(r.mean_normalized >= 1.0 - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Ablation studies: anchor classes, const-store extension, buffer sizing.
+//!
+//! Usage: `cargo run --release -p ipds-bench --bin exp_ablation [attacks]`
+
+fn main() {
+    let attacks: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let rows = ipds_bench::ablation::run(attacks, 2006, 2006);
+    let buffers = ipds_bench::ablation::buffer_sweep(2006);
+    ipds_bench::ablation::print(&rows, &buffers);
+}

@@ -1,0 +1,34 @@
+//! Runs every experiment in sequence (the full paper reproduction).
+
+use ipds_runtime::HwConfig;
+
+fn main() {
+    let attacks: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100);
+    let hw = HwConfig::table1_default();
+    ipds_bench::table1::print(&hw);
+    println!();
+    let f7 = ipds_bench::fig7::run(attacks, 2006, 2006);
+    ipds_bench::fig7::print(&f7);
+    println!();
+    let f8 = ipds_bench::fig8::run();
+    ipds_bench::fig8::print(&f8);
+    println!();
+    let f9 = ipds_bench::fig9::run(&hw, 2006);
+    ipds_bench::fig9::print(&f9);
+    println!();
+    let lat = ipds_bench::latency::run(&hw, 2006);
+    ipds_bench::latency::print(&lat);
+    println!();
+    let ab = ipds_bench::ablation::run(attacks.min(50), 2006, 2006);
+    let buf = ipds_bench::ablation::buffer_sweep(2006);
+    ipds_bench::ablation::print(&ab, &buf);
+    println!();
+    let ctx = ipds_bench::context::run(&hw);
+    ipds_bench::context::print(&ctx);
+    println!();
+    let micro = ipds_bench::micro::run(&hw);
+    ipds_bench::micro::print(&micro);
+}

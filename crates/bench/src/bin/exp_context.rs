@@ -1,0 +1,9 @@
+//! Context-switch cost study (§5.4): full swap vs top-of-stack swap vs BAT
+//! region splitting vs switching to an unprotected process.
+
+use ipds_runtime::HwConfig;
+
+fn main() {
+    let rows = ipds_bench::context::run(&HwConfig::table1_default());
+    ipds_bench::context::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 (average BSV/BCV/BAT sizes in bits).
+
+fn main() {
+    let result = ipds_bench::fig8::run();
+    ipds_bench::fig8::print(&result);
+}

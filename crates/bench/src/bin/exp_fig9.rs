@@ -1,0 +1,12 @@
+//! Regenerates Figure 9 (normalized performance with IPDS attached).
+
+use ipds_runtime::HwConfig;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2006);
+    let rows = ipds_bench::fig9::run(&HwConfig::table1_default(), seed);
+    ipds_bench::fig9::print(&rows);
+}

@@ -1,0 +1,12 @@
+//! Measures the branch-to-verification detection latency (§6: 11.7 cycles).
+
+use ipds_runtime::HwConfig;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2006);
+    let rows = ipds_bench::latency::run(&HwConfig::table1_default(), seed);
+    ipds_bench::latency::print(&rows);
+}

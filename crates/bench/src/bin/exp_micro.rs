@@ -1,0 +1,9 @@
+//! Microbenchmark characterization of the timing model (calibration table
+//! behind Fig. 9).
+
+use ipds_runtime::HwConfig;
+
+fn main() {
+    let rows = ipds_bench::micro::run(&HwConfig::table1_default());
+    ipds_bench::micro::print(&rows);
+}

@@ -1,0 +1,5 @@
+//! Prints Table 1 (simulated processor parameters) from the live config.
+
+fn main() {
+    ipds_bench::table1::print(&ipds_runtime::HwConfig::table1_default());
+}

@@ -1,0 +1,39 @@
+//! # ipds-bench — experiment drivers regenerating the paper's results
+//!
+//! One module per table/figure of the evaluation section (§6), each with a
+//! `run()` producing structured rows and a `print()` rendering the same
+//! table the paper reports. The `exp_*` binaries in `src/bin` are thin
+//! wrappers; the Criterion benches in `benches/` measure the costs (compile
+//! time, checking throughput, simulation speed) on the same drivers.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Fig. 7 detection rates | [`fig7`] | `exp_fig7` |
+//! | Fig. 8 table sizes | [`fig8`] | `exp_fig8` |
+//! | Fig. 9 normalized performance | [`fig9`] | `exp_fig9` |
+//! | Table 1 processor config | [`table1`] | `exp_table1` |
+//! | §6 detection latency (11.7 cycles) | [`latency`] | `exp_latency` |
+//! | Ablations (ours) | [`ablation`] | `exp_ablation` |
+//! | §5.4 context-switch costs | [`context`] | `exp_context` |
+
+pub mod ablation;
+pub mod context;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod latency;
+pub mod micro;
+pub mod table1;
+
+use ipds::Protected;
+use ipds_workloads::Workload;
+
+/// Compiles a workload into a [`Protected`] program with default analysis.
+pub fn protect(w: &Workload) -> Protected {
+    Protected::from_program(w.program(), &ipds::Config::default())
+}
+
+/// Renders a percentage for table output.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}

@@ -1,0 +1,129 @@
+//! Microbenchmark characterization of the timing model and IPDS engine.
+//!
+//! Not a paper figure — this is the calibration table behind Fig. 9: each
+//! kernel isolates one axis (branch density, call depth, cache footprint)
+//! so regressions in the model show up as a shape change here.
+
+use ipds::{Config, Protected};
+use ipds_runtime::HwConfig;
+use ipds_workloads::micro::{all_micros, micro_inputs};
+
+/// One kernel's characterization.
+#[derive(Debug, Clone)]
+pub struct MicroRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// What it stresses.
+    pub stresses: &'static str,
+    /// Baseline IPC.
+    pub ipc: f64,
+    /// Branches per instruction.
+    pub branch_density: f64,
+    /// L1-D miss rate.
+    pub l1d_miss: f64,
+    /// Normalized slowdown with IPDS.
+    pub overhead: f64,
+    /// Mean check latency (cycles).
+    pub check_latency: f64,
+    /// Spill/fill events.
+    pub spills: u64,
+}
+
+/// Runs every kernel through baseline and IPDS-attached timing.
+pub fn run(hw: &HwConfig) -> Vec<MicroRow> {
+    let inputs = micro_inputs();
+    all_micros()
+        .into_iter()
+        .map(|m| {
+            let protected = Protected::compile_with(m.source, &Config::default())
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let base = protected.timed_baseline(&inputs, hw);
+            let with = protected.timed(&inputs, hw);
+            MicroRow {
+                name: m.name,
+                stresses: m.stresses,
+                ipc: base.ipc(),
+                branch_density: base.branches as f64 / base.instructions.max(1) as f64,
+                l1d_miss: base.l1d_miss_rate,
+                overhead: with.cycles as f64 / base.cycles.max(1) as f64 - 1.0,
+                check_latency: with.mean_detection_latency,
+                spills: with.spills,
+            }
+        })
+        .collect()
+}
+
+/// Prints the characterization table.
+pub fn print(rows: &[MicroRow]) {
+    println!("Microbenchmark characterization of the timing model");
+    println!("{:-<92}", "");
+    println!(
+        "{:<13} {:>6} {:>9} {:>9} {:>10} {:>9} {:>7}  stresses",
+        "kernel", "IPC", "br/inst", "L1D miss", "overhead", "chk lat", "spills"
+    );
+    for r in rows {
+        println!(
+            "{:<13} {:>6.2} {:>9.3} {:>8.1}% {:>9.2}% {:>9.1} {:>7}  {}",
+            r.name,
+            r.ipc,
+            r.branch_density,
+            100.0 * r.l1d_miss,
+            100.0 * r.overhead,
+            r.check_latency,
+            r.spills,
+            r.stresses
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_separate_the_axes() {
+        let rows = run(&HwConfig::table1_default());
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+        let storm = get("branch_storm");
+        let alu = get("alu_bound");
+        let stream = get("mem_stream");
+
+        // Branch density axis.
+        assert!(
+            storm.branch_density > 2.0 * alu.branch_density,
+            "storm {} vs alu {}",
+            storm.branch_density,
+            alu.branch_density
+        );
+        // The branch-dense kernel is the one that pressures the checker.
+        assert!(
+            storm.overhead >= alu.overhead,
+            "storm {} vs alu {}",
+            storm.overhead,
+            alu.overhead
+        );
+        // Streaming touches more distinct lines than the ALU kernel.
+        assert!(
+            stream.l1d_miss >= alu.l1d_miss,
+            "stream {} vs alu {}",
+            stream.l1d_miss,
+            alu.l1d_miss
+        );
+        // Everything stays functional.
+        for r in &rows {
+            assert!(r.overhead >= -1e-9, "{r:?}");
+            assert!(r.ipc > 0.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn recursion_spills_with_tiny_buffers() {
+        let mut hw = HwConfig::table1_default();
+        hw.bsv_stack_bits = 256;
+        hw.bcv_stack_bits = 128;
+        hw.bat_stack_bits = 1024;
+        let rows = run(&hw);
+        let rec = rows.iter().find(|r| r.name == "recursion").unwrap();
+        assert!(rec.spills > 0, "deep recursion must spill tiny buffers: {rec:?}");
+    }
+}

@@ -1,0 +1,71 @@
+//! Table 1 — default parameters of the simulated processor.
+
+use ipds_runtime::HwConfig;
+
+/// Prints Table 1 from the live config (asserting the struct carries the
+/// paper's values happens in `ipds-runtime`'s tests).
+pub fn print(c: &HwConfig) {
+    println!("Table 1. Default parameters of the processor simulated");
+    println!("{:-<58}", "");
+    let rows: Vec<(String, String)> = vec![
+        ("Clock frequency".into(), format!("{} GHz", c.clock_hz as f64 / 1e9)),
+        ("Fetch queue".into(), format!("{} entries", c.fetch_queue)),
+        ("Decode width".into(), c.decode_width.to_string()),
+        ("Issue width".into(), c.issue_width.to_string()),
+        ("Commit width".into(), c.commit_width.to_string()),
+        ("RUU size".into(), c.ruu_size.to_string()),
+        ("LSQ size".into(), c.lsq_size.to_string()),
+        ("Branch predictor".into(), "2 Level".into()),
+        (
+            "L1 I/D".into(),
+            format!(
+                "{}K, {} way, {} cycle, {}B block",
+                c.l1_size / 1024,
+                c.l1_ways,
+                c.l1_latency,
+                c.block_size
+            ),
+        ),
+        (
+            "Unified L2".into(),
+            format!(
+                "{}K, {} way, {}B block, latency {} cycles",
+                c.l2_size / 1024,
+                c.l2_ways,
+                c.block_size,
+                c.l2_latency
+            ),
+        ),
+        (
+            "Memory bus".into(),
+            format!("200M, {} Byte wide", c.mem_bus_bytes),
+        ),
+        (
+            "Memory latency".into(),
+            format!(
+                "first chunk: {} cycles, inter chunk: {} cycles",
+                c.mem_first_chunk, c.mem_inter_chunk
+            ),
+        ),
+        ("TLB miss".into(), format!("{} cycles", c.tlb_miss)),
+        ("BSV stack".into(), format!("{}K bits", c.bsv_stack_bits / 1024)),
+        ("BCV stack".into(), format!("{}K bits", c.bcv_stack_bits / 1024)),
+        ("BAT stack".into(), format!("{}K bits", c.bat_stack_bits / 1024)),
+    ];
+    for (k, v) in rows {
+        println!("{k:<18} {v}");
+    }
+    println!("{:-<58}", "");
+    println!(
+        "total on-chip IPDS buffers: {}K bits (paper: 35K bits)",
+        c.total_onchip_bits() / 1024
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn printing_does_not_panic() {
+        super::print(&ipds_runtime::HwConfig::table1_default());
+    }
+}

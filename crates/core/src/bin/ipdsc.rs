@@ -1,0 +1,319 @@
+//! `ipdsc` — the IPDS command-line driver.
+//!
+//! ```text
+//! ipdsc compile FILE [--dump]           parse + analyze, print table summary
+//! ipdsc run FILE [--input LIST]         run under IPDS checking
+//! ipdsc attack FILE --var NAME --value V --step N [--input LIST]
+//! ipdsc campaign FILE [--attacks N] [--seed S] [--model fs|boa|block] [--input LIST]
+//! ipdsc time FILE [--input LIST]        cycle model, baseline vs IPDS
+//! ipdsc trace FILE [--input LIST] [--limit N]   per-branch check trace
+//! ```
+//!
+//! `--input` is a comma-separated list; bare integers become `read_int`
+//! items, `s:text` becomes a `read_str` item. Example:
+//! `--input 1,42,s:hello,0`.
+
+use std::process::ExitCode;
+
+use ipds::{Config, Input, Protected};
+use ipds_runtime::HwConfig;
+use ipds_sim::AttackModel;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ipdsc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let Some(file) = args.get(1) else {
+        return Err(usage());
+    };
+    let source = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let rest = &args[2..];
+    match cmd.as_str() {
+        "compile" => compile(&source, has_flag(rest, "--dump")),
+        "run" => run_program(&source, &inputs_of(rest)?),
+        "attack" => attack(
+            &source,
+            &inputs_of(rest)?,
+            &flag_value(rest, "--var").ok_or("attack requires --var NAME")?,
+            parse_num(rest, "--value").ok_or("attack requires --value V")?,
+            parse_num(rest, "--step").unwrap_or(10) as u64,
+        ),
+        "campaign" => campaign(
+            &source,
+            &inputs_of(rest)?,
+            parse_num(rest, "--attacks").unwrap_or(100) as u32,
+            parse_num(rest, "--seed").unwrap_or(2006) as u64,
+            match flag_value(rest, "--model").as_deref() {
+                Some("boa") => AttackModel::BufferOverflow,
+                Some("block") => AttackModel::ContiguousOverflow,
+                _ => AttackModel::FormatString,
+            },
+        ),
+        "time" => time(&source, &inputs_of(rest)?),
+        "trace" => trace(
+            &source,
+            &inputs_of(rest)?,
+            parse_num(rest, "--limit").unwrap_or(64) as usize,
+        ),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage: ipdsc <compile|run|attack|campaign|time|trace> FILE [options]\n\
+     see `ipdsc` module docs for options"
+        .to_string()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_num(args: &[String], name: &str) -> Option<i64> {
+    flag_value(args, name).and_then(|v| v.parse().ok())
+}
+
+fn inputs_of(args: &[String]) -> Result<Vec<Input>, String> {
+    let Some(list) = flag_value(args, "--input") else {
+        return Ok(Vec::new());
+    };
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|item| {
+            if let Some(text) = item.strip_prefix("s:") {
+                Ok(Input::Str(text.to_string()))
+            } else {
+                item.parse::<i64>()
+                    .map(Input::Int)
+                    .map_err(|_| format!("bad input item `{item}` (use INT or s:TEXT)"))
+            }
+        })
+        .collect()
+}
+
+fn protect(source: &str) -> Result<Protected, String> {
+    Protected::compile_with(source, &Config::default()).map_err(|e| e.to_string())
+}
+
+fn compile(source: &str, dump: bool) -> Result<(), String> {
+    let p = protect(source)?;
+    println!(
+        "{} function(s), {} branches, {} checked",
+        p.analysis.functions.len(),
+        p.analysis.branch_count(),
+        p.analysis.checked_count()
+    );
+    for f in &p.analysis.functions {
+        println!(
+            "  {:<16} branches {:>3}  checked {:>3}  BAT entries {:>4}  bits BSV/BCV/BAT {}/{}/{}  hash 2^{}",
+            f.name,
+            f.branches.len(),
+            f.checked_count(),
+            f.bat_entry_count(),
+            f.sizes.bsv_bits,
+            f.sizes.bcv_bits,
+            f.sizes.bat_bits,
+            f.hash.log2_size,
+        );
+    }
+    if dump {
+        println!("\n== IR ==\n{}", p.program);
+        println!("== BAT ==");
+        for f in &p.analysis.functions {
+            for ((t, d), entries) in &f.bat {
+                let acts: Vec<String> = entries
+                    .iter()
+                    .map(|e| format!("#{}<-{}", e.target, e.action))
+                    .collect();
+                println!(
+                    "  {}#{} {}: {}",
+                    f.name,
+                    t,
+                    if *d { "T " } else { "NT" },
+                    acts.join(" ")
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn run_program(source: &str, inputs: &[Input]) -> Result<(), String> {
+    let p = protect(source)?;
+    let r = p.run(inputs);
+    println!("status : {:?}", r.status);
+    println!("output : {:?}", r.output);
+    println!(
+        "checked: {} branches verified, {} BAT entries applied",
+        r.stats.verified, r.stats.bat_entries_applied
+    );
+    if r.alarms.is_empty() {
+        println!("alarms : none (feasible path)");
+    } else {
+        for a in &r.alarms {
+            println!(
+                "ALARM  : pc {:#x} expected {} got {}",
+                a.pc,
+                a.expected,
+                if a.actual { "taken" } else { "not-taken" }
+            );
+        }
+    }
+    Ok(())
+}
+
+fn attack(
+    source: &str,
+    inputs: &[Input],
+    var: &str,
+    value: i64,
+    step: u64,
+) -> Result<(), String> {
+    let p = protect(source)?;
+    let r = p.run_with_tamper(inputs, step, var, value);
+    println!("tampered `{var}` = {value} after {step} steps");
+    println!("status : {:?}", r.status);
+    println!("output : {:?}", r.output);
+    if r.detected() {
+        let a = &r.alarms[0];
+        println!(
+            "DETECTED: infeasible path at pc {:#x} (expected {}, got {})",
+            a.pc,
+            a.expected,
+            if a.actual { "taken" } else { "not-taken" }
+        );
+    } else {
+        println!("not detected (control flow may be unchanged or unanchored)");
+    }
+    Ok(())
+}
+
+fn campaign(
+    source: &str,
+    inputs: &[Input],
+    attacks: u32,
+    seed: u64,
+    model: AttackModel,
+) -> Result<(), String> {
+    let p = protect(source)?;
+    let r = p.campaign(inputs, attacks, seed, model);
+    println!("{attacks} attacks under {model:?}:");
+    println!(
+        "  control flow changed: {:>4} ({:.1}%)",
+        r.cf_changed,
+        100.0 * r.cf_changed_rate()
+    );
+    println!(
+        "  detected            : {:>4} ({:.1}%)",
+        r.detected,
+        100.0 * r.detected_rate()
+    );
+    println!(
+        "  detected | cf      :        ({:.1}%)",
+        100.0 * r.detected_given_cf()
+    );
+    Ok(())
+}
+
+fn trace(source: &str, inputs: &[Input], limit: usize) -> Result<(), String> {
+    use ipds::runtime::IpdsChecker;
+    use ipds::sim::{ExecLimits, Interp};
+    use ipds_sim::ExecObserver;
+
+    struct Tracer<'a> {
+        checker: IpdsChecker<'a>,
+        printed: usize,
+        limit: usize,
+    }
+    impl ExecObserver for Tracer<'_> {
+        fn on_branch(&mut self, pc: u64, dir: bool) {
+            let expected = self
+                .checker
+                .expected_status(pc)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "?".into());
+            let out = self.checker.on_branch(pc, dir);
+            if self.printed < self.limit {
+                self.printed += 1;
+                println!(
+                    "  br {:>4}  pc {:#06x}  {}  expected {:<2}  {}{}",
+                    self.checker.stats().branches,
+                    pc,
+                    if dir { "T " } else { "NT" },
+                    expected,
+                    if out.verified { "verified" } else { "unchecked" },
+                    if out.alarm { "  <-- ALARM" } else { "" },
+                );
+            }
+        }
+        fn on_call(&mut self, func: ipds::ir::FuncId) {
+            self.checker.on_call(func);
+        }
+        fn on_return(&mut self) {
+            self.checker.on_return();
+        }
+    }
+
+    let p = protect(source)?;
+    let mut tracer = Tracer {
+        checker: IpdsChecker::new(&p.analysis),
+        printed: 0,
+        limit,
+    };
+    tracer
+        .checker
+        .on_call(p.program.main().ok_or("program needs a main")?.id);
+    let mut interp = Interp::new(&p.program, inputs.to_vec(), ExecLimits::default());
+    let status = interp.run(&mut tracer);
+    if tracer.printed == limit {
+        println!("  ... (trace capped at {limit} branches; --limit N to widen)");
+    }
+    println!("status : {status:?}");
+    println!("output : {:?}", interp.output());
+    println!(
+        "summary: {} branches, {} verified, {} alarms",
+        tracer.checker.stats().branches,
+        tracer.checker.stats().verified,
+        tracer.checker.stats().alarms,
+    );
+    Ok(())
+}
+
+fn time(source: &str, inputs: &[Input]) -> Result<(), String> {
+    let p = protect(source)?;
+    let hw = HwConfig::table1_default();
+    let base = p.timed_baseline(inputs, &hw);
+    let with = p.timed(inputs, &hw);
+    println!(
+        "baseline : {:>10} cycles  IPC {:.2}",
+        base.cycles,
+        base.ipc()
+    );
+    println!(
+        "with IPDS: {:>10} cycles  (+{:.3}%)  check latency {:.1} cyc  stalls {}  spills {}",
+        with.cycles,
+        100.0 * (with.cycles as f64 / base.cycles.max(1) as f64 - 1.0),
+        with.mean_detection_latency,
+        with.ipds_stall_cycles,
+        with.spills
+    );
+    Ok(())
+}

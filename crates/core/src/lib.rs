@@ -1,0 +1,304 @@
+//! # ipds — Infeasible Path Detection System
+//!
+//! A full reproduction of *"Using Branch Correlation to Identify Infeasible
+//! Paths for Anomaly Detection"* (MICRO 2006): a compiler pass that derives
+//! correlations between conditional branches over memory-resident data, and
+//! a modeled hardware runtime that verifies every committed branch against
+//! the expected direction those correlations imply. Memory tampering that
+//! changes control flow onto an *infeasible path* trips the check; clean
+//! executions never do (zero false positives).
+//!
+//! This crate is the facade: compile MiniC source, get a [`Protected`]
+//! program, run it cleanly, under attack, or under the cycle-level timing
+//! model.
+//!
+//! ```
+//! use ipds::{Protected, Input};
+//!
+//! let protected = Protected::compile(r#"
+//!     fn main() -> int {
+//!         int user;
+//!         user = read_int();
+//!         if (user == 1) { print_int(100); }
+//!         if (user == 1) { print_int(200); } else { print_int(300); }
+//!         return 0;
+//!     }
+//! "#).expect("valid MiniC");
+//!
+//! // A clean run never alarms.
+//! let clean = protected.run(&[Input::Int(0)]);
+//! assert!(clean.alarms.is_empty());
+//!
+//! // Tampering `user` between the two checks is detected.
+//! let report = protected.run_with_tamper(&[Input::Int(0)], 6, "user", 1);
+//! assert!(report.detected());
+//! ```
+
+use ipds_analysis::{analyze_program, AnalysisConfig, ProgramAnalysis};
+use ipds_ir::{CompileError, Program, VarId};
+use ipds_runtime::{Alarm, HwConfig, IpdsChecker, IpdsStats};
+use ipds_sim::pipeline::core::timed_run;
+use ipds_sim::{
+    AttackModel, Campaign, CampaignResult, ExecLimits, ExecStatus, Interp, IpdsObserver,
+    PerfReport,
+};
+
+pub use ipds_analysis::{self as analysis, BrAction, BranchStatus, SizeStats};
+pub use ipds_dataflow as dataflow;
+pub use ipds_ir::{self as ir};
+pub use ipds_runtime::{self as runtime};
+pub use ipds_sim::{self as sim, Input as SimInput};
+pub use ipds_workloads as workloads;
+
+// Re-export the most used leaf types at the top level.
+pub use ipds_analysis::AnalysisConfig as Config;
+pub use ipds_runtime::HwConfig as Hardware;
+pub use ipds_sim::Input;
+
+/// Result of one protected execution.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// How the program terminated.
+    pub status: ExecStatus,
+    /// Everything the program printed.
+    pub output: Vec<i64>,
+    /// Alarms the IPDS raised (empty for clean runs, by construction).
+    pub alarms: Vec<Alarm>,
+    /// Checker statistics.
+    pub stats: IpdsStats,
+}
+
+impl RunReport {
+    /// True if the IPDS flagged an infeasible path.
+    pub fn detected(&self) -> bool {
+        !self.alarms.is_empty()
+    }
+}
+
+/// A compiled-and-analyzed program: the unit everything else operates on.
+#[derive(Debug, Clone)]
+pub struct Protected {
+    /// The IR program.
+    pub program: Program,
+    /// The compiler-side tables (BSV/BCV/BAT + hashes) per function.
+    pub analysis: ProgramAnalysis,
+}
+
+impl Protected {
+    /// Compiles MiniC source and runs the full correlation analysis with
+    /// default settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`CompileError`] on lexical, syntactic or
+    /// semantic problems.
+    pub fn compile(source: &str) -> Result<Protected, CompileError> {
+        Protected::compile_with(source, &AnalysisConfig::default())
+    }
+
+    /// Compiles with explicit analysis settings (ablation switches etc.).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`CompileError`].
+    pub fn compile_with(
+        source: &str,
+        config: &AnalysisConfig,
+    ) -> Result<Protected, CompileError> {
+        let program = ipds_ir::parse(source)?;
+        let analysis = analyze_program(&program, config);
+        Ok(Protected { program, analysis })
+    }
+
+    /// Wraps an already-built IR program.
+    pub fn from_program(program: Program, config: &AnalysisConfig) -> Protected {
+        let analysis = analyze_program(&program, config);
+        Protected { program, analysis }
+    }
+
+    /// Executes cleanly under IPDS checking.
+    pub fn run(&self, inputs: &[Input]) -> RunReport {
+        self.run_limited(inputs, ExecLimits::default())
+    }
+
+    /// Executes cleanly under IPDS checking with explicit limits.
+    pub fn run_limited(&self, inputs: &[Input], limits: ExecLimits) -> RunReport {
+        let mut interp = Interp::new(&self.program, inputs.to_vec(), limits);
+        let mut obs = IpdsObserver::new(IpdsChecker::new(&self.analysis));
+        obs.checker
+            .on_call(self.program.main().expect("main required").id);
+        let status = interp.run(&mut obs);
+        RunReport {
+            status,
+            output: interp.output().to_vec(),
+            alarms: obs.checker.alarms().to_vec(),
+            stats: *obs.checker.stats(),
+        }
+    }
+
+    /// Executes with a single targeted tamper: after `trigger_step`
+    /// interpreter steps, the named scalar variable of `main`'s frame (or a
+    /// global) is overwritten with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var_name` names no variable of `main` or global scope.
+    pub fn run_with_tamper(
+        &self,
+        inputs: &[Input],
+        trigger_step: u64,
+        var_name: &str,
+        value: i64,
+    ) -> RunReport {
+        let mut interp = Interp::new(&self.program, inputs.to_vec(), ExecLimits::default());
+        let mut obs = IpdsObserver::new(IpdsChecker::new(&self.analysis));
+        let main = self.program.main().expect("main required");
+        obs.checker.on_call(main.id);
+        interp.run_steps(trigger_step, &mut obs);
+        // Tampering is a no-op when the program already finished (the
+        // trigger landed past the end) or main's frame is gone.
+        if interp.status() == &ipds_sim::ExecStatus::Running && !interp.mem.frames().is_empty() {
+            let var = self.resolve_var(var_name);
+            let addr = interp.mem.addr_of(0, var);
+            interp.mem.tamper(addr, value);
+        }
+        let status = interp.run(&mut obs);
+        RunReport {
+            status,
+            output: interp.output().to_vec(),
+            alarms: obs.checker.alarms().to_vec(),
+            stats: *obs.checker.stats(),
+        }
+    }
+
+    fn resolve_var(&self, name: &str) -> VarId {
+        let main = self.program.main().expect("main required");
+        if let Some(i) = main.vars.iter().position(|v| v.name == name) {
+            return VarId::local(i as u32);
+        }
+        if let Some(i) = self.program.globals.iter().position(|v| v.name == name) {
+            return VarId::global(i as u32);
+        }
+        panic!("no variable named `{name}` in main or globals");
+    }
+
+    /// Runs a seeded attack campaign (the Fig. 7 protocol).
+    pub fn campaign(
+        &self,
+        inputs: &[Input],
+        attacks: u32,
+        seed: u64,
+        model: AttackModel,
+    ) -> CampaignResult {
+        let limits = self.campaign_limits(inputs);
+        let campaign = Campaign {
+            attacks,
+            seed,
+            model,
+            limits,
+        };
+        ipds_sim::attack::run_campaign(&self.program, &self.analysis, inputs, &campaign)
+    }
+
+    /// Limits derived from the golden run so a tampered run that loops
+    /// cannot drag a campaign out indefinitely.
+    fn campaign_limits(&self, inputs: &[Input]) -> ExecLimits {
+        let (_, steps, _) =
+            ipds_sim::attack::golden_run(&self.program, inputs, ExecLimits::default());
+        ExecLimits {
+            max_steps: steps.saturating_mul(4).max(100_000),
+            max_depth: 256,
+        }
+    }
+
+    /// Cycle-level run **with** the IPDS attached.
+    pub fn timed(&self, inputs: &[Input], hw: &HwConfig) -> PerfReport {
+        timed_run(
+            &self.program,
+            inputs,
+            Some(&self.analysis),
+            hw,
+            ExecLimits::default(),
+        )
+    }
+
+    /// Cycle-level run **without** the IPDS (the Fig. 9 baseline).
+    pub fn timed_baseline(&self, inputs: &[Input], hw: &HwConfig) -> PerfReport {
+        timed_run(&self.program, inputs, None, hw, ExecLimits::default())
+    }
+
+    /// Table-size statistics over this program (the Fig. 8 quantities).
+    pub fn size_stats(&self) -> SizeStats {
+        SizeStats::collect(&self.analysis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "fn main() -> int { int user; user = read_int(); \
+        if (user == 1) { print_int(1); } \
+        print_int(read_int()); \
+        if (user == 1) { print_int(2); } else { print_int(3); } \
+        return 0; }";
+
+    #[test]
+    fn clean_runs_never_alarm() {
+        let p = Protected::compile(SRC).unwrap();
+        for user in [-1, 0, 1, 2] {
+            let r = p.run(&[Input::Int(user), Input::Int(9)]);
+            assert!(!r.detected(), "user={user}: {:?}", r.alarms);
+            assert!(matches!(r.status, ExecStatus::Exited(_)));
+        }
+    }
+
+    #[test]
+    fn tamper_between_checks_detected() {
+        let p = Protected::compile(SRC).unwrap();
+        // Flip user from 0 to 1 after the first check has committed.
+        let r = p.run_with_tamper(&[Input::Int(0), Input::Int(9)], 8, "user", 1);
+        assert!(r.detected());
+        let a = &r.alarms[0];
+        assert_eq!(a.expected, BranchStatus::NotTaken);
+        assert!(a.actual);
+    }
+
+    #[test]
+    fn campaign_smoke() {
+        let p = Protected::compile(SRC).unwrap();
+        let r = p.campaign(&[Input::Int(0), Input::Int(9)], 40, 3, AttackModel::FormatString);
+        assert!(r.detected <= r.cf_changed);
+        assert!(r.detected > 0);
+    }
+
+    #[test]
+    fn timing_baseline_vs_protected() {
+        let p = Protected::compile(
+            "fn main() -> int { int i; int s; s = 0; \
+             for (i = 0; i < 500; i = i + 1) { if (s < 100000) { s = s + i; } } return s; }",
+        )
+        .unwrap();
+        let hw = HwConfig::table1_default();
+        let base = p.timed_baseline(&[], &hw);
+        let with = p.timed(&[], &hw);
+        assert_eq!(base.instructions, with.instructions);
+        assert!(with.cycles >= base.cycles);
+        assert_eq!(with.alarms, 0);
+    }
+
+    #[test]
+    fn size_stats_exposed() {
+        let p = Protected::compile(SRC).unwrap();
+        let s = p.size_stats();
+        assert_eq!(s.functions, 1);
+        assert!(s.avg_bat_bits > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no variable named")]
+    fn tamper_unknown_var_panics() {
+        let p = Protected::compile(SRC).unwrap();
+        p.run_with_tamper(&[], 1, "ghost", 1);
+    }
+}

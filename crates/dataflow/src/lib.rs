@@ -1,0 +1,34 @@
+//! # ipds-dataflow — program analyses feeding the IPDS branch-correlation pass
+//!
+//! The paper's BAT-construction algorithm (Fig. 5) starts from "alias
+//! analysis and identify memory resident values" and leans on knowing, for
+//! every load/store, *which* variables it may touch and whether the access is
+//! uniquely aliased. This crate supplies those facts plus the value-range
+//! machinery:
+//!
+//! * [`memvar`] — program-wide naming of memory variables and may-access
+//!   sets.
+//! * [`alias`] — flow-insensitive Andersen-style points-to analysis and
+//!   per-access classification (unique scalar / known set / anything).
+//! * [`summary`] — callee side-effect summaries (pure, writes-through-
+//!   pointer-parameters, writes-anything) with exact models for the C
+//!   library builtins, used to expand call sites into pseudo stores exactly
+//!   as §5.3 describes.
+//! * [`range`] — the interval-with-disequality value range domain, range
+//!   implication (`subsumes`) and the affine shifts needed for Fig. 3.c.
+//! * [`anchor`] — extraction of *branch anchors*: for each conditional
+//!   branch, the memory variable, affine transform and predicate such that
+//!   the branch's direction implies a range of that variable (and vice
+//!   versa).
+
+pub mod alias;
+pub mod anchor;
+pub mod memvar;
+pub mod range;
+pub mod summary;
+
+pub use alias::{AccessClass, AliasAnalysis};
+pub use anchor::{find_anchors, AnchorKind, BranchAnchor};
+pub use memvar::MemVar;
+pub use range::Range;
+pub use summary::{CallEffect, Summaries};

@@ -1,0 +1,136 @@
+//! Program-wide naming of memory variables.
+
+use std::fmt;
+
+use ipds_ir::{FuncId, Function, Program, VarId};
+
+/// A memory variable named uniquely across the whole program.
+///
+/// Locals are qualified by their owning function; globals stand alone. Two
+/// `MemVar`s are equal exactly when they denote the same static storage (one
+/// activation deep — recursion reuses the same static name, which is
+/// conservative but sound for the analysis because correlation facts never
+/// cross activations: BSV tables stack per call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemVar {
+    /// The owning function for locals/params; `None` for globals.
+    pub func: Option<FuncId>,
+    /// The variable id within its table.
+    pub var: VarId,
+}
+
+impl MemVar {
+    /// Names a global variable.
+    pub fn global(var: VarId) -> MemVar {
+        debug_assert!(var.is_global());
+        MemVar { func: None, var }
+    }
+
+    /// Names a local (or parameter) of `func`.
+    pub fn local(func: FuncId, var: VarId) -> MemVar {
+        debug_assert!(!var.is_global());
+        MemVar {
+            func: Some(func),
+            var,
+        }
+    }
+
+    /// Resolves a `VarId` appearing inside `func` to a program-wide name.
+    pub fn resolve(func: FuncId, var: VarId) -> MemVar {
+        if var.is_global() {
+            MemVar::global(var)
+        } else {
+            MemVar::local(func, var)
+        }
+    }
+
+    /// True if this names a global.
+    pub fn is_global(self) -> bool {
+        self.func.is_none()
+    }
+
+    /// Looks up the variable's declared size in cells.
+    pub fn size(self, program: &Program) -> u32 {
+        match self.func {
+            None => program.globals[self.var.index()].size,
+            Some(f) => program.function(f).vars[self.var.index()].size,
+        }
+    }
+
+    /// Looks up the variable's source name (for diagnostics).
+    pub fn name(self, program: &Program) -> &str {
+        match self.func {
+            None => &program.globals[self.var.index()].name,
+            Some(f) => &program.function(f).vars[self.var.index()].name,
+        }
+    }
+}
+
+impl fmt::Display for MemVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            None => write!(f, "{}", self.var),
+            Some(id) => write!(f, "{}::{}", id, self.var),
+        }
+    }
+}
+
+/// Enumerates every memory variable of the program: all globals plus all
+/// locals of all functions.
+pub fn all_memvars(program: &Program) -> Vec<MemVar> {
+    let mut out = Vec::new();
+    for i in 0..program.globals.len() {
+        out.push(MemVar::global(VarId::global(i as u32)));
+    }
+    for f in &program.functions {
+        for i in 0..f.vars.len() {
+            out.push(MemVar::local(f.id, VarId::local(i as u32)));
+        }
+    }
+    out
+}
+
+/// Enumerates the memory variables visible inside one function: all globals
+/// plus that function's locals.
+pub fn visible_memvars(program: &Program, func: &Function) -> Vec<MemVar> {
+    let mut out = Vec::new();
+    for i in 0..program.globals.len() {
+        out.push(MemVar::global(VarId::global(i as u32)));
+    }
+    for i in 0..func.vars.len() {
+        out.push(MemVar::local(func.id, VarId::local(i as u32)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolution_distinguishes_scopes() {
+        let a = MemVar::local(FuncId(0), VarId::local(1));
+        let b = MemVar::local(FuncId(1), VarId::local(1));
+        let g = MemVar::global(VarId::global(1));
+        assert_ne!(a, b);
+        assert_ne!(a, g);
+        assert!(g.is_global());
+        assert!(!a.is_global());
+        assert_eq!(MemVar::resolve(FuncId(0), VarId::local(1)), a);
+        assert_eq!(MemVar::resolve(FuncId(0), VarId::global(1)), g);
+    }
+
+    #[test]
+    fn enumeration_covers_everything() {
+        let p = ipds_ir::parse(
+            "int g; int h[4]; fn f(int a) -> int { int x; return a + x; } fn main() -> int { return f(1); }",
+        )
+        .unwrap();
+        let all = all_memvars(&p);
+        // 2 globals + (a, x) + main's locals (none declared).
+        assert_eq!(all.len(), 4);
+        let f = p.function_by_name("f").unwrap();
+        let vis = visible_memvars(&p, f);
+        assert_eq!(vis.len(), 2 + 2);
+    }
+}

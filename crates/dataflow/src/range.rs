@@ -1,0 +1,328 @@
+//! Value-range domain for branch correlation.
+//!
+//! A branch whose condition compares a value against a constant implies a
+//! *range* of that value in each direction. Scenario 3 of the paper
+//! ("subsume") reduces to set inclusion between such ranges; Fig. 3.c's
+//! arithmetic (`r1 = y - 1`) reduces to shifting a range by a constant.
+//!
+//! The domain is intervals over `i64` (with open ends) plus a disequality
+//! shape `Ne(c)` so that the not-taken direction of `x == c` (and the taken
+//! direction of `x != c`) stays representable.
+
+use std::fmt;
+
+use ipds_ir::Pred;
+
+/// A set of `i64` values representable by the correlation analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Range {
+    /// The empty set (an always-false constraint).
+    Empty,
+    /// A closed interval `[lo, hi]`; unbounded ends use `i64::MIN`/`MAX`.
+    /// Kept in `i128` so arithmetic on bounds cannot overflow.
+    Interval {
+        /// Lower bound (inclusive).
+        lo: i128,
+        /// Upper bound (inclusive).
+        hi: i128,
+    },
+    /// Every value except `c`.
+    Ne(i64),
+    /// All values.
+    Full,
+}
+
+const LO_INF: i128 = i64::MIN as i128;
+const HI_INF: i128 = i64::MAX as i128;
+
+impl Range {
+    /// The full range.
+    pub fn full() -> Range {
+        Range::Full
+    }
+
+    /// A single value.
+    pub fn exact(v: i64) -> Range {
+        Range::Interval {
+            lo: v as i128,
+            hi: v as i128,
+        }
+    }
+
+    /// `(-∞, hi]` clamped to `i64`.
+    pub fn at_most(hi: i64) -> Range {
+        Range::Interval {
+            lo: LO_INF,
+            hi: hi as i128,
+        }
+    }
+
+    /// `[lo, +∞)` clamped to `i64`.
+    pub fn at_least(lo: i64) -> Range {
+        Range::Interval {
+            lo: lo as i128,
+            hi: HI_INF,
+        }
+    }
+
+    /// Normalizes: empty intervals collapse to [`Range::Empty`], full
+    /// intervals to [`Range::Full`].
+    fn norm(self) -> Range {
+        match self {
+            Range::Interval { lo, hi } => {
+                if lo > hi {
+                    Range::Empty
+                } else if lo <= LO_INF && hi >= HI_INF {
+                    Range::Full
+                } else {
+                    Range::Interval {
+                        lo: lo.max(LO_INF),
+                        hi: hi.min(HI_INF),
+                    }
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// The set of values `v` for which `v pred c` evaluates to `dir`.
+    ///
+    /// This is the range a branch direction implies about the *compared*
+    /// value: e.g. the taken direction of `cmp.lt v, 5` implies
+    /// `v ∈ (-∞, 4]`.
+    pub fn from_pred(pred: Pred, c: i64, dir: bool) -> Range {
+        let p = if dir { pred } else { pred.negate() };
+        let c128 = c as i128;
+        match p {
+            Pred::Eq => Range::exact(c),
+            Pred::Ne => Range::Ne(c),
+            Pred::Lt => Range::Interval {
+                lo: LO_INF,
+                hi: c128 - 1,
+            }
+            .norm(),
+            Pred::Le => Range::Interval {
+                lo: LO_INF,
+                hi: c128,
+            }
+            .norm(),
+            Pred::Gt => Range::Interval {
+                lo: c128 + 1,
+                hi: HI_INF,
+            }
+            .norm(),
+            Pred::Ge => Range::Interval {
+                lo: c128,
+                hi: HI_INF,
+            }
+            .norm(),
+        }
+    }
+
+    /// True if every value of `self` lies in `other` (`self ⊆ other`).
+    ///
+    /// This is the paper's *subsumes* test, with the arguments in subset
+    /// order: `sub.subsumed_by(sup)` answers "does knowing `v ∈ sub` force
+    /// `v ∈ sup`?".
+    pub fn subsumed_by(self, other: Range) -> bool {
+        match (self.norm(), other.norm()) {
+            (Range::Empty, _) => true,
+            (_, Range::Full) => true,
+            (Range::Full, _) => false,
+            (_, Range::Empty) => false,
+            (Range::Interval { lo, hi }, Range::Interval { lo: lo2, hi: hi2 }) => {
+                lo >= lo2 && hi <= hi2
+            }
+            (Range::Interval { lo, hi }, Range::Ne(c)) => {
+                let c = c as i128;
+                c < lo || c > hi
+            }
+            (Range::Ne(_), Range::Interval { lo, hi }) => {
+                // Ne covers all but one value; an interval can only contain
+                // it if the interval is full, which norm() already rewrote.
+                let _ = (lo, hi);
+                false
+            }
+            (Range::Ne(a), Range::Ne(b)) => a == b,
+        }
+    }
+
+    /// Shifts the range by `k` (the set `{v + k : v ∈ self}`), saturating at
+    /// the representable ends.
+    pub fn shift(self, k: i64) -> Range {
+        let k = k as i128;
+        match self {
+            Range::Empty => Range::Empty,
+            Range::Full => Range::Full,
+            Range::Interval { lo, hi } => Range::Interval {
+                lo: if lo <= LO_INF { LO_INF } else { lo + k },
+                hi: if hi >= HI_INF { HI_INF } else { hi + k },
+            }
+            .norm(),
+            Range::Ne(c) => match (c as i128).checked_add(k) {
+                Some(v) if (LO_INF..=HI_INF).contains(&v) => Range::Ne(v as i64),
+                _ => Range::Full,
+            },
+        }
+    }
+
+    /// Negates the range (the set `{-v : v ∈ self}`).
+    pub fn negate(self) -> Range {
+        match self {
+            Range::Empty => Range::Empty,
+            Range::Full => Range::Full,
+            Range::Interval { lo, hi } => Range::Interval { lo: -hi, hi: -lo }.norm(),
+            Range::Ne(c) => match c.checked_neg() {
+                Some(v) => Range::Ne(v),
+                None => Range::Full,
+            },
+        }
+    }
+
+    /// Applies the affine map `v ↦ scale*v + offset` where `scale ∈ {1,-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not `1` or `-1`.
+    pub fn affine(self, scale: i64, offset: i64) -> Range {
+        match scale {
+            1 => self.shift(offset),
+            -1 => self.negate().shift(offset),
+            _ => panic!("affine scale must be ±1, got {scale}"),
+        }
+    }
+
+    /// True if the range contains `v`.
+    pub fn contains(self, v: i64) -> bool {
+        match self.norm() {
+            Range::Empty => false,
+            Range::Full => true,
+            Range::Interval { lo, hi } => (v as i128) >= lo && (v as i128) <= hi,
+            Range::Ne(c) => v != c,
+        }
+    }
+
+    /// Given that the compared value lies in `self`, decides the branch
+    /// direction of `value pred c` if it is forced: `Some(true)` (taken),
+    /// `Some(false)` (not taken) or `None` (either possible).
+    pub fn implies_direction(self, pred: Pred, c: i64) -> Option<bool> {
+        if self.subsumed_by(Range::from_pred(pred, c, true)) {
+            Some(true)
+        } else if self.subsumed_by(Range::from_pred(pred, c, false)) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.norm() {
+            Range::Empty => write!(f, "∅"),
+            Range::Full => write!(f, "⊤"),
+            Range::Ne(c) => write!(f, "≠{c}"),
+            Range::Interval { lo, hi } => {
+                if lo <= LO_INF {
+                    write!(f, "(-∞, {hi}]")
+                } else if hi >= HI_INF {
+                    write!(f, "[{lo}, +∞)")
+                } else {
+                    write!(f, "[{lo}, {hi}]")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pred_matches_eval() {
+        // Exhaustively check that from_pred agrees with concrete evaluation
+        // on a window of values.
+        for pred in [Pred::Eq, Pred::Ne, Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge] {
+            for c in [-2i64, 0, 3] {
+                for dir in [true, false] {
+                    let r = Range::from_pred(pred, c, dir);
+                    for v in -6..=6 {
+                        assert_eq!(
+                            r.contains(v),
+                            pred.eval(v, c) == dir,
+                            "{pred:?} c={c} dir={dir} v={v} r={r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_fig3a_subsumption() {
+        // y < 5 subsumes y < 10.
+        let y_lt_5 = Range::from_pred(Pred::Lt, 5, true);
+        let y_lt_10 = Range::from_pred(Pred::Lt, 10, true);
+        assert!(y_lt_5.subsumed_by(y_lt_10));
+        assert!(!y_lt_10.subsumed_by(y_lt_5));
+    }
+
+    #[test]
+    fn paper_fig3c_affine() {
+        // y < 5, r1 = y - 1 ⇒ r1 < 4 ⊆ r1 < 10, so the branch r1 < 10 is
+        // forced taken.
+        let y_range = Range::from_pred(Pred::Lt, 5, true);
+        let r1_range = y_range.affine(1, -1);
+        assert_eq!(r1_range.implies_direction(Pred::Lt, 10), Some(true));
+    }
+
+    #[test]
+    fn equality_ranges() {
+        let eq0_taken = Range::from_pred(Pred::Eq, 0, true);
+        assert_eq!(eq0_taken, Range::exact(0));
+        let eq0_not = Range::from_pred(Pred::Eq, 0, false);
+        assert_eq!(eq0_not, Range::Ne(0));
+        // [1,5] ⊆ ≠0.
+        assert!(Range::Interval { lo: 1, hi: 5 }.subsumed_by(Range::Ne(0)));
+        // [0,5] ⊄ ≠0.
+        assert!(!Range::Interval { lo: 0, hi: 5 }.subsumed_by(Range::Ne(0)));
+        // ≠0 forces x == 0 not-taken.
+        assert_eq!(Range::Ne(0).implies_direction(Pred::Eq, 0), Some(false));
+        // [0,0] forces x == 0 taken.
+        assert_eq!(Range::exact(0).implies_direction(Pred::Eq, 0), Some(true));
+    }
+
+    #[test]
+    fn shift_and_negate() {
+        let r = Range::Interval { lo: 1, hi: 3 };
+        assert_eq!(r.shift(2), Range::Interval { lo: 3, hi: 5 });
+        assert_eq!(r.negate(), Range::Interval { lo: -3, hi: -1 });
+        assert_eq!(Range::Ne(4).shift(-1), Range::Ne(3));
+        assert_eq!(Range::at_most(5).shift(1), Range::at_most(6));
+        assert_eq!(Range::full().shift(100), Range::full());
+    }
+
+    #[test]
+    fn norm_collapses() {
+        assert_eq!(
+            Range::Interval { lo: 5, hi: 4 }.implies_direction(Pred::Lt, 0),
+            Some(true),
+            "empty range forces everything"
+        );
+        assert!(Range::Empty.subsumed_by(Range::Empty));
+        assert!(Range::Ne(3).subsumed_by(Range::Full));
+    }
+
+    #[test]
+    fn self_subsumption_scenario2() {
+        // Scenario 2 of the paper: a branch's own implied range trivially
+        // forces the same direction when re-tested.
+        for pred in [Pred::Eq, Pred::Ne, Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge] {
+            for dir in [true, false] {
+                let r = Range::from_pred(pred, 7, dir);
+                assert_eq!(r.implies_direction(pred, 7), Some(dir), "{pred:?} {dir}");
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the value-range domain.
+//!
+//! The zero-false-positive argument leans on `Range` behaving like honest
+//! set arithmetic: `from_pred` must agree with concrete evaluation,
+//! `subsumed_by` must be subset inclusion, and the affine maps must commute
+//! with membership. Violations here would silently break soundness, so the
+//! laws get hammered with random values.
+
+use ipds_dataflow::Range;
+use ipds_ir::Pred;
+use proptest::prelude::*;
+
+fn any_pred() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        Just(Pred::Eq),
+        Just(Pred::Ne),
+        Just(Pred::Lt),
+        Just(Pred::Le),
+        Just(Pred::Gt),
+        Just(Pred::Ge),
+    ]
+}
+
+fn any_range() -> impl Strategy<Value = Range> {
+    prop_oneof![
+        Just(Range::Full),
+        Just(Range::Empty),
+        (-1000i64..1000).prop_map(Range::Ne),
+        (-1000i64..1000).prop_map(Range::exact),
+        (-1000i64..1000).prop_map(Range::at_most),
+        (-1000i64..1000).prop_map(Range::at_least),
+        (-1000i64..1000, 0i64..500).prop_map(|(lo, w)| Range::Interval {
+            lo: lo as i128,
+            hi: (lo + w) as i128
+        }),
+        (any_pred(), -1000i64..1000, proptest::bool::ANY)
+            .prop_map(|(p, c, d)| Range::from_pred(p, c, d)),
+    ]
+}
+
+proptest! {
+    /// Membership in `from_pred(pred, c, dir)` is exactly "pred evaluates
+    /// to dir".
+    #[test]
+    fn from_pred_agrees_with_eval(
+        pred in any_pred(),
+        c in -1000i64..1000,
+        dir in proptest::bool::ANY,
+        v in -2000i64..2000,
+    ) {
+        let r = Range::from_pred(pred, c, dir);
+        prop_assert_eq!(r.contains(v), pred.eval(v, c) == dir);
+    }
+
+    /// `subsumed_by` is sound subset inclusion: a ⊆ b means every member of
+    /// a is a member of b.
+    #[test]
+    fn subsumption_is_subset(
+        a in any_range(),
+        b in any_range(),
+        v in -3000i64..3000,
+    ) {
+        if a.subsumed_by(b) && a.contains(v) {
+            prop_assert!(b.contains(v), "{:?} ⊆ {:?} but {} escapes", a, b, v);
+        }
+    }
+
+    /// Reflexivity.
+    #[test]
+    fn subsumption_is_reflexive(a in any_range()) {
+        prop_assert!(a.subsumed_by(a));
+    }
+
+    /// Transitivity on sampled triples.
+    #[test]
+    fn subsumption_is_transitive(
+        a in any_range(),
+        b in any_range(),
+        c in any_range(),
+    ) {
+        if a.subsumed_by(b) && b.subsumed_by(c) {
+            prop_assert!(a.subsumed_by(c), "{:?} ⊆ {:?} ⊆ {:?}", a, b, c);
+        }
+    }
+
+    /// Shifting commutes with membership.
+    #[test]
+    fn shift_commutes_with_membership(
+        a in any_range(),
+        k in -1000i64..1000,
+        v in -2000i64..2000,
+    ) {
+        prop_assert_eq!(a.shift(k).contains(v + k), a.contains(v));
+    }
+
+    /// Negation commutes with membership and is involutive on members.
+    #[test]
+    fn negate_commutes_with_membership(a in any_range(), v in -2000i64..2000) {
+        prop_assert_eq!(a.negate().contains(-v), a.contains(v));
+        prop_assert_eq!(a.negate().negate().contains(v), a.contains(v));
+    }
+
+    /// The affine map used by anchors is membership-faithful for both
+    /// scales.
+    #[test]
+    fn affine_faithful(
+        a in any_range(),
+        scale in prop_oneof![Just(1i64), Just(-1i64)],
+        k in -1000i64..1000,
+        v in -2000i64..2000,
+    ) {
+        prop_assert_eq!(
+            a.affine(scale, k).contains(scale * v + k),
+            a.contains(v)
+        );
+    }
+
+    /// `implies_direction` never lies: when it forces a direction, every
+    /// member of the range evaluates that way.
+    #[test]
+    fn implied_directions_are_sound(
+        a in any_range(),
+        pred in any_pred(),
+        c in -1000i64..1000,
+        v in -2000i64..2000,
+    ) {
+        if let Some(dir) = a.implies_direction(pred, c) {
+            if a.contains(v) {
+                prop_assert_eq!(
+                    pred.eval(v, c), dir,
+                    "{:?} forces {:?}{}={} but member {} disagrees",
+                    a, pred, c, dir, v
+                );
+            }
+        }
+    }
+
+    /// The trigger/target composition at the heart of the BAT build: if a
+    /// branch direction implies range R on a variable, and R forces a
+    /// second branch's direction, then any concrete value consistent with
+    /// the first observation takes the forced direction at the second.
+    #[test]
+    fn end_to_end_correlation_soundness(
+        p1 in any_pred(), c1 in -500i64..500, d1 in proptest::bool::ANY,
+        p2 in any_pred(), c2 in -500i64..500,
+        v in -1500i64..1500,
+    ) {
+        let implied = Range::from_pred(p1, c1, d1);
+        if let Some(d2) = implied.implies_direction(p2, c2) {
+            if p1.eval(v, c1) == d1 {
+                prop_assert_eq!(p2.eval(v, c2), d2);
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Abstract syntax tree for MiniC.
+
+/// A top-level item: a global variable or a function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `int name;`, `int name = 3;`, `int name[8];`, `int name[] = "s";`
+    Global {
+        /// Variable name.
+        name: String,
+        /// Declared array size in cells; `None` for scalars (a string
+        /// initializer infers the size).
+        size: Option<u32>,
+        /// Initializer.
+        init: GlobalInit,
+    },
+    /// `fn name(params) -> int { … }` (the `-> int` is optional).
+    Function {
+        /// Function name.
+        name: String,
+        /// Parameters in order.
+        params: Vec<ParamDecl>,
+        /// Whether the function declares a return value.
+        returns: bool,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Initializer forms for globals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlobalInit {
+    /// Zero-initialized.
+    None,
+    /// A single scalar value.
+    Scalar(i64),
+    /// A string literal; lowered to NUL-terminated cells and marked
+    /// read-only (the machine model trusts read-only memory).
+    Str(String),
+}
+
+/// A function parameter declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// True for `int *name` (a pointer passed by cell address).
+    pub is_ptr: bool,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration: `int x;`, `int x = e;`, `int buf[8];`, `int *p;`
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Array size in cells; `None` for scalars and pointers.
+        size: Option<u32>,
+        /// True for pointer declarations.
+        is_ptr: bool,
+        /// Optional scalar initializer.
+        init: Option<Expr>,
+    },
+    /// Assignment through an lvalue.
+    Assign {
+        /// The assignment target.
+        target: LValue,
+        /// The value.
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch statements.
+        then_body: Vec<Stmt>,
+        /// Else-branch statements (empty when absent).
+        else_body: Vec<Stmt>,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { … }` — each clause optional.
+    For {
+        /// Initialization statement (an assignment).
+        init: Option<Box<Stmt>>,
+        /// Loop condition (`true` when absent).
+        cond: Option<Expr>,
+        /// Step statement (an assignment).
+        step: Option<Box<Stmt>>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `return;` or `return e;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// An expression evaluated for side effects (typically a call).
+    ExprStmt(Expr),
+    /// A nested `{ … }` scope.
+    Block(Vec<Stmt>),
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LValue {
+    /// A named scalar or pointer variable.
+    Var(String),
+    /// `name[index]`.
+    Index(String, Expr),
+    /// `*expr`.
+    Deref(Expr),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!e` is 1 when `e == 0`).
+    Not,
+}
+
+/// Binary operators (both arithmetic and comparison; `LAnd`/`LOr`
+/// short-circuit and lower to control flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal (lowered to a read-only global; evaluates to its
+    /// address).
+    Str(String),
+    /// Variable reference. Arrays decay to their base address.
+    Var(String),
+    /// `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Function or builtin call.
+    Call(String, Vec<Expr>),
+    /// `&name` or `&name[index]`.
+    AddrOf(String, Option<Box<Expr>>),
+    /// `*expr`.
+    Deref(Box<Expr>),
+}

@@ -1,0 +1,218 @@
+//! Control-flow-graph utilities: predecessors, reachability, reverse
+//! post-order and dominators.
+
+use crate::function::{BlockId, Function};
+
+/// Precomputed CFG facts for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG facts for `func`.
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (id, block) in func.iter_blocks() {
+            for s in block.term.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+        // Post-order DFS from the entry.
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        let mut stack: Vec<(BlockId, usize)> = vec![(func.entry, 0)];
+        visited[func.entry.index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *i < ss.len() {
+                let next = ss[*i];
+                *i += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockId> = post.into_iter().rev().collect();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo,
+            rpo_index,
+            reachable: visited,
+        }
+    }
+
+    /// Predecessor blocks of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successor blocks of `b` (taken first for branches).
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks reachable from the entry, in reverse post-order.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Position of `b` in the reverse post-order, or `usize::MAX` if
+    /// unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> usize {
+        self.rpo_index[b.index()]
+    }
+
+    /// Computes immediate dominators using the Cooper–Harvey–Kennedy
+    /// algorithm. Unreachable blocks get `None`; the entry dominates itself.
+    pub fn immediate_dominators(&self, func: &Function) -> Vec<Option<BlockId>> {
+        let n = func.blocks.len();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[func.entry.index()] = Some(func.entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &self.rpo {
+                if b == func.entry {
+                    continue;
+                }
+                let mut new_idom: Option<BlockId> = None;
+                for &p in self.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => self.intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom != idom[b.index()] && new_idom.is_some() {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        idom
+    }
+
+    fn intersect(&self, idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> BlockId {
+        let (mut x, mut y) = (a, b);
+        while x != y {
+            while self.rpo_index(x) > self.rpo_index(y) {
+                x = idom[x.index()].expect("processed block has idom");
+            }
+            while self.rpo_index(y) > self.rpo_index(x) {
+                y = idom[y.index()].expect("processed block has idom");
+            }
+        }
+        x
+    }
+
+    /// True if `a` dominates `b` (given precomputed immediate dominators).
+    pub fn dominates(&self, idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = match idom[cur.index()] {
+                Some(d) => d,
+                None => return false,
+            };
+            if next == cur {
+                return false;
+            }
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn diamond_dominators() {
+        let p = parse(
+            "fn main() -> int { int x; x = read_int(); if (x < 1) { x = 1; } else { x = 2; } return x; }",
+        )
+        .unwrap();
+        let f = p.main().unwrap();
+        let cfg = Cfg::new(f);
+        let idom = cfg.immediate_dominators(f);
+        // Entry dominates everything reachable.
+        for (b, _) in f.iter_blocks() {
+            if cfg.is_reachable(b) {
+                assert!(cfg.dominates(&idom, f.entry, b), "{b}");
+            }
+        }
+        // The branch block is the entry here; then/else do not dominate join.
+        let (branch_bb, _) = f.iter_blocks().find(|(_, b)| b.term.is_branch()).unwrap();
+        let succs = cfg.succs(branch_bb).to_vec();
+        let join = {
+            // The join block is the common successor of both branch arms.
+            let s0 = cfg.succs(succs[0])[0];
+            s0
+        };
+        assert!(!cfg.dominates(&idom, succs[0], join));
+        assert!(!cfg.dominates(&idom, succs[1], join));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let p = parse("fn main() -> int { int i; for (i = 0; i < 3; i = i + 1) { } return i; }")
+            .unwrap();
+        let f = p.main().unwrap();
+        let cfg = Cfg::new(f);
+        assert_eq!(cfg.rpo()[0], f.entry);
+        for &b in cfg.rpo() {
+            assert!(cfg.is_reachable(b));
+        }
+        // preds/succs agree.
+        for (b, _) in f.iter_blocks() {
+            for &s in cfg.succs(b) {
+                assert!(cfg.preds(s).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let p = parse(
+            "fn main() -> int { int i; i = 0; while (i < 5) { i = i + 1; } return i; }",
+        )
+        .unwrap();
+        let f = p.main().unwrap();
+        let cfg = Cfg::new(f);
+        let idom = cfg.immediate_dominators(f);
+        let (header, _) = f.iter_blocks().find(|(_, b)| b.term.is_branch()).unwrap();
+        let body = cfg.succs(header)[0];
+        assert!(cfg.dominates(&idom, header, body));
+        assert!(!cfg.dominates(&idom, body, header));
+    }
+}

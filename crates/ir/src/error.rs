@@ -1,0 +1,104 @@
+//! Error types for parsing, lowering and verification.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical or syntactic error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given position.
+    pub fn new(line: u32, col: u32, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// A structural IR invariant violation reported by the verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The function in which the violation was found.
+    pub function: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IR in `{}`: {}", self.function, self.message)
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Any failure while turning MiniC source into verified IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Lexing or parsing failed.
+    Parse(ParseError),
+    /// Lowering failed (semantic error such as an undefined variable).
+    Lower(ParseError),
+    /// The produced IR violated a structural invariant (an internal bug).
+    Verify(VerifyError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Lower(e) => write!(f, "lowering failed: {e}"),
+            CompileError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Parse(e) | CompileError::Lower(e) => Some(e),
+            CompileError::Verify(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_position() {
+        let e = ParseError::new(3, 7, "unexpected `}`");
+        assert_eq!(e.to_string(), "parse error at 3:7: unexpected `}`");
+    }
+
+    #[test]
+    fn compile_error_chains_source() {
+        let e = CompileError::Parse(ParseError::new(1, 1, "x"));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,374 @@
+//! Hand-written lexer for MiniC.
+
+use crate::error::ParseError;
+use crate::token::{Token, TokenKind};
+
+/// Lexes MiniC source into a token stream terminated by [`TokenKind::Eof`].
+///
+/// Supports `//` line comments and `/* … */` block comments, decimal and
+/// `0x` hexadecimal integer literals, character literals (`'a'`, `'\n'`,
+/// `'\0'`, `'\''`, `'\\'`) and string literals with the same escapes.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on an unrecognized character, unterminated
+/// comment/string, or a malformed literal.
+pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            _src: source,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.col, msg)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
+                return Ok(tokens);
+            };
+            let kind = self.next_kind(c)?;
+            tokens.push(Token { kind, line, col });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_kind(&mut self, c: char) -> Result<TokenKind, ParseError> {
+        if c.is_ascii_digit() {
+            return self.lex_number();
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            return Ok(self.lex_ident());
+        }
+        if c == '"' {
+            return self.lex_string();
+        }
+        if c == '\'' {
+            return self.lex_char();
+        }
+        let (start_line, start_col) = (self.line, self.col);
+        self.bump();
+        let two = |l: &mut Lexer<'_>, next: char, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ';' => TokenKind::Semi,
+            ',' => TokenKind::Comma,
+            '+' => TokenKind::Plus,
+            '-' => two(self, '>', TokenKind::Arrow, TokenKind::Minus),
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '^' => TokenKind::Caret,
+            '&' => two(self, '&', TokenKind::AndAnd, TokenKind::Amp),
+            '|' => two(self, '|', TokenKind::OrOr, TokenKind::Pipe),
+            '<' => {
+                if self.peek() == Some('<') {
+                    self.bump();
+                    TokenKind::Shl
+                } else {
+                    two(self, '=', TokenKind::Le, TokenKind::Lt)
+                }
+            }
+            '>' => {
+                if self.peek() == Some('>') {
+                    self.bump();
+                    TokenKind::Shr
+                } else {
+                    two(self, '=', TokenKind::Ge, TokenKind::Gt)
+                }
+            }
+            '=' => two(self, '=', TokenKind::EqEq, TokenKind::Assign),
+            '!' => two(self, '=', TokenKind::NotEq, TokenKind::Bang),
+            other => {
+                return Err(ParseError::new(
+                    start_line,
+                    start_col,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        })
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, ParseError> {
+        let mut text = String::new();
+        if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if text.is_empty() {
+                return Err(self.error("hex literal with no digits"));
+            }
+            let v = i64::from_str_radix(&text, 16)
+                .map_err(|_| self.error("hex literal out of range"))?;
+            return Ok(TokenKind::Int(v));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let v: i64 = text
+            .parse()
+            .map_err(|_| self.error("integer literal out of range"))?;
+        Ok(TokenKind::Int(v))
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match text.as_str() {
+            "fn" => TokenKind::KwFn,
+            "int" => TokenKind::KwInt,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            _ => TokenKind::Ident(text),
+        }
+    }
+
+    fn unescape(&mut self) -> Result<char, ParseError> {
+        match self.bump() {
+            Some('\\') => match self.bump() {
+                Some('n') => Ok('\n'),
+                Some('t') => Ok('\t'),
+                Some('0') => Ok('\0'),
+                Some('\\') => Ok('\\'),
+                Some('\'') => Ok('\''),
+                Some('"') => Ok('"'),
+                Some(c) => Err(self.error(format!("unknown escape `\\{c}`"))),
+                None => Err(self.error("unterminated escape")),
+            },
+            Some(c) => Ok(c),
+            None => Err(self.error("unterminated literal")),
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, ParseError> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some('"') => {
+                    self.bump();
+                    return Ok(TokenKind::Str(text));
+                }
+                Some(_) => text.push(self.unescape()?),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    fn lex_char(&mut self) -> Result<TokenKind, ParseError> {
+        self.bump(); // opening quote
+        let c = self.unescape()?;
+        if self.bump() != Some('\'') {
+            return Err(self.error("unterminated character literal"));
+        }
+        Ok(TokenKind::Int(c as i64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn main x1 _y"),
+            vec![
+                TokenKind::KwFn,
+                TokenKind::Ident("main".into()),
+                TokenKind::Ident("x1".into()),
+                TokenKind::Ident("_y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("0 42 0x1f 'a' '\\n'"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(31),
+                TokenKind::Int('a' as i64),
+                TokenKind::Int('\n' as i64),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_maximal_munch() {
+        assert_eq!(
+            kinds("<= < << == = && & -> -"),
+            vec![
+                TokenKind::Le,
+                TokenKind::Lt,
+                TokenKind::Shl,
+                TokenKind::EqEq,
+                TokenKind::Assign,
+                TokenKind::AndAnd,
+                TokenKind::Amp,
+                TokenKind::Arrow,
+                TokenKind::Minus,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // c\n b /* x\ny */ c"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""hi\n" "a\"b""#),
+            vec![
+                TokenKind::Str("hi\n".into()),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_positions() {
+        let err = lex("a\n  $").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment_and_string() {
+        assert!(lex("/* nope").is_err());
+        assert!(lex("\"nope").is_err());
+        assert!(lex("'a").is_err());
+    }
+}

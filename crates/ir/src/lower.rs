@@ -1,0 +1,927 @@
+//! Lowering from the MiniC AST to the CFG IR.
+//!
+//! The lowering deliberately produces the *pre-`mem2reg`* form the paper's
+//! machine model assumes: every source variable stays memory resident and is
+//! accessed through explicit loads and stores, while virtual registers are
+//! single-static-definition temporaries. Short-circuit `&&`/`||` in branch
+//! position lowers to chained conditional branches (no temporaries), which is
+//! exactly the shape that produces correlated branch pairs.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinaryOp, Expr, GlobalInit, Item, LValue, ParamDecl, Stmt, UnaryOp};
+use crate::error::{CompileError, ParseError};
+use crate::function::{
+    BasicBlock, BlockId, FuncId, Function, Terminator, VarId, VarKind, Variable,
+};
+use crate::inst::{Address, BinOp, Builtin, Callee, Inst, Operand, Pred, Reg};
+use crate::program::Program;
+
+/// Lowers parsed items into a verified-shape [`Program`].
+///
+/// # Errors
+///
+/// Returns [`CompileError::Lower`] on semantic errors: undefined or
+/// duplicate names, arity mismatches, assigning to arrays, calling unknown
+/// functions, `break`/`continue` outside loops, and similar.
+pub fn lower(items: &[Item]) -> Result<Program, CompileError> {
+    let mut ctx = LowerCtx::new(items)?;
+    for item in items {
+        if let Item::Function {
+            name,
+            params,
+            returns,
+            body,
+        } = item
+        {
+            ctx.lower_function(name, params, *returns, body)?;
+        }
+    }
+    Ok(ctx.finish())
+}
+
+fn err(msg: impl Into<String>) -> CompileError {
+    CompileError::Lower(ParseError::new(0, 0, msg))
+}
+
+/// Converts a string literal to NUL-terminated cell values.
+fn str_cells(s: &str) -> Vec<i64> {
+    let mut cells: Vec<i64> = s.chars().map(|c| c as i64).collect();
+    cells.push(0);
+    cells
+}
+
+struct LowerCtx {
+    globals: Vec<Variable>,
+    global_names: HashMap<String, VarId>,
+    str_pool: HashMap<String, VarId>,
+    func_sigs: HashMap<String, (FuncId, usize, bool)>,
+    functions: Vec<Function>,
+}
+
+impl LowerCtx {
+    fn new(items: &[Item]) -> Result<LowerCtx, CompileError> {
+        let mut ctx = LowerCtx {
+            globals: Vec::new(),
+            global_names: HashMap::new(),
+            str_pool: HashMap::new(),
+            func_sigs: HashMap::new(),
+            functions: Vec::new(),
+        };
+        // Pass 1: collect globals and function signatures.
+        let mut next_func = 0u32;
+        for item in items {
+            match item {
+                Item::Global { name, size, init } => {
+                    if ctx.global_names.contains_key(name) {
+                        return Err(err(format!("duplicate global `{name}`")));
+                    }
+                    let (kind, size, init_cells) = match init {
+                        GlobalInit::None => {
+                            (VarKind::Global, size.unwrap_or(1), Vec::new())
+                        }
+                        GlobalInit::Scalar(v) => {
+                            if size.is_some() {
+                                return Err(err(format!(
+                                    "array global `{name}` cannot take a scalar initializer"
+                                )));
+                            }
+                            (VarKind::Global, 1, vec![*v])
+                        }
+                        GlobalInit::Str(s) => {
+                            let cells = str_cells(s);
+                            let sz = size.unwrap_or(cells.len() as u32).max(cells.len() as u32);
+                            // Initialized string data is still writable
+                            // global state (only literals in expression
+                            // position become read-only).
+                            (VarKind::Global, sz, cells)
+                        }
+                    };
+                    let id = VarId::global(ctx.globals.len() as u32);
+                    ctx.globals.push(Variable {
+                        name: name.clone(),
+                        kind,
+                        size,
+                        init: init_cells,
+                    });
+                    ctx.global_names.insert(name.clone(), id);
+                }
+                Item::Function {
+                    name,
+                    params,
+                    returns,
+                    ..
+                } => {
+                    if ctx.func_sigs.contains_key(name) {
+                        return Err(err(format!("duplicate function `{name}`")));
+                    }
+                    if Builtin::from_name(name).is_some() {
+                        return Err(err(format!("`{name}` shadows a builtin")));
+                    }
+                    ctx.func_sigs
+                        .insert(name.clone(), (FuncId(next_func), params.len(), *returns));
+                    next_func += 1;
+                }
+            }
+        }
+        Ok(ctx)
+    }
+
+    fn intern_str(&mut self, s: &str) -> VarId {
+        if let Some(&id) = self.str_pool.get(s) {
+            return id;
+        }
+        let cells = str_cells(s);
+        let id = VarId::global(self.globals.len() as u32);
+        self.globals.push(Variable {
+            name: format!(".str{}", self.str_pool.len()),
+            kind: VarKind::ReadOnly,
+            size: cells.len() as u32,
+            init: cells,
+        });
+        self.str_pool.insert(s.to_string(), id);
+        id
+    }
+
+    fn lower_function(
+        &mut self,
+        name: &str,
+        params: &[ParamDecl],
+        returns: bool,
+        body: &[Stmt],
+    ) -> Result<(), CompileError> {
+        let id = self.func_sigs[name].0;
+        let mut fl = FuncLower {
+            ctx: self,
+            func: Function {
+                id,
+                name: name.to_string(),
+                vars: Vec::new(),
+                param_count: params.len() as u32,
+                blocks: vec![BasicBlock::new()],
+                entry: BlockId(0),
+                next_reg: 0,
+                pc_base: 0,
+                returns_value: returns,
+            },
+            scopes: vec![HashMap::new()],
+            current: BlockId(0),
+            terminated: false,
+            loops: Vec::new(),
+        };
+        for p in params {
+            let vid = VarId::local(fl.func.vars.len() as u32);
+            fl.func.vars.push(Variable::scalar(
+                p.name.clone(),
+                VarKind::Param,
+            ));
+            if fl
+                .scopes
+                .last_mut()
+                .expect("scope stack never empty")
+                .insert(p.name.clone(), vid)
+                .is_some()
+            {
+                return Err(err(format!("duplicate parameter `{}`", p.name)));
+            }
+        }
+        fl.lower_body(body)?;
+        if !fl.terminated {
+            fl.set_term(Terminator::Return(if returns {
+                Some(Operand::Imm(0))
+            } else {
+                None
+            }));
+        }
+        let func = fl.func;
+        self.functions.push(func);
+        Ok(())
+    }
+
+    fn finish(mut self) -> Program {
+        // Assign code addresses: functions laid out sequentially from
+        // 0x1000, 4 bytes per instruction, 16-byte aligned starts.
+        self.functions.sort_by_key(|f| f.id.0);
+        let mut pc = 0x1000u64;
+        for f in &mut self.functions {
+            f.pc_base = pc;
+            pc += 4 * f.inst_count() as u64;
+            pc = (pc + 15) & !15;
+        }
+        Program {
+            globals: self.globals,
+            functions: self.functions,
+        }
+    }
+}
+
+struct FuncLower<'a> {
+    ctx: &'a mut LowerCtx,
+    func: Function,
+    scopes: Vec<HashMap<String, VarId>>,
+    current: BlockId,
+    terminated: bool,
+    loops: Vec<(BlockId, BlockId)>, // (break target, continue target)
+}
+
+impl<'a> FuncLower<'a> {
+    // ---- CFG plumbing ------------------------------------------------------
+
+    fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.func.blocks.len() as u32);
+        self.func.blocks.push(BasicBlock::new());
+        id
+    }
+
+    fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+        self.terminated = false;
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        if !self.terminated {
+            self.func.block_mut(self.current).insts.push(inst);
+        }
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        if !self.terminated {
+            self.func.block_mut(self.current).term = term;
+            self.terminated = true;
+        }
+    }
+
+    fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.func.next_reg);
+        self.func.next_reg += 1;
+        r
+    }
+
+    fn as_reg(&mut self, op: Operand) -> Reg {
+        match op {
+            Operand::Reg(r) => r,
+            Operand::Imm(v) => {
+                let dst = self.fresh_reg();
+                self.emit(Inst::Const { dst, value: v });
+                dst
+            }
+        }
+    }
+
+    // ---- name resolution ---------------------------------------------------
+
+    fn lookup(&self, name: &str) -> Option<VarId> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&id) = scope.get(name) {
+                return Some(id);
+            }
+        }
+        self.ctx.global_names.get(name).copied()
+    }
+
+    fn var_size(&self, id: VarId) -> u32 {
+        if id.is_global() {
+            self.ctx.globals[id.index()].size
+        } else {
+            self.func.vars[id.index()].size
+        }
+    }
+
+    fn is_array(&self, id: VarId) -> bool {
+        self.var_size(id) > 1
+    }
+
+    // ---- statements ----------------------------------------------------------
+
+    fn lower_body(&mut self, body: &[Stmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for stmt in body {
+            self.lower_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Decl {
+                name,
+                size,
+                is_ptr: _,
+                init,
+            } => {
+                let vid = VarId::local(self.func.vars.len() as u32);
+                let var = match size {
+                    Some(n) => Variable::array(name.clone(), VarKind::Local, *n),
+                    None => Variable::scalar(name.clone(), VarKind::Local),
+                };
+                self.func.vars.push(var);
+                let scope = self.scopes.last_mut().expect("scope stack never empty");
+                if scope.insert(name.clone(), vid).is_some() {
+                    return Err(err(format!("duplicate local `{name}`")));
+                }
+                if let Some(e) = init {
+                    let v = self.lower_expr(e)?;
+                    self.emit(Inst::Store {
+                        addr: Address::Var(vid),
+                        src: v,
+                    });
+                }
+                Ok(())
+            }
+            Stmt::Assign { target, value } => {
+                let v = self.lower_expr(value)?;
+                match target {
+                    LValue::Var(name) => {
+                        let id = self
+                            .lookup(name)
+                            .ok_or_else(|| err(format!("undefined variable `{name}`")))?;
+                        if self.is_array(id) {
+                            return Err(err(format!("cannot assign to array `{name}`")));
+                        }
+                        self.emit(Inst::Store {
+                            addr: Address::Var(id),
+                            src: v,
+                        });
+                    }
+                    LValue::Index(name, index) => {
+                        let addr = self.element_addr(name, index)?;
+                        self.emit(Inst::Store { addr, src: v });
+                    }
+                    LValue::Deref(ptr) => {
+                        let p = self.lower_expr(ptr)?;
+                        let reg = self.as_reg(p);
+                        self.emit(Inst::Store {
+                            addr: Address::Ptr { reg, offset: 0 },
+                            src: v,
+                        });
+                    }
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let then_bb = self.new_block();
+                let else_bb = self.new_block();
+                let join_bb = self.new_block();
+                self.lower_cond(cond, then_bb, else_bb)?;
+                self.switch_to(then_bb);
+                self.lower_body(then_body)?;
+                self.set_term(Terminator::Jump(join_bb));
+                self.switch_to(else_bb);
+                self.lower_body(else_body)?;
+                self.set_term(Terminator::Jump(join_bb));
+                self.switch_to(join_bb);
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let exit = self.new_block();
+                self.set_term(Terminator::Jump(header));
+                self.switch_to(header);
+                self.lower_cond(cond, body_bb, exit)?;
+                self.switch_to(body_bb);
+                self.loops.push((exit, header));
+                self.lower_body(body)?;
+                self.loops.pop();
+                self.set_term(Terminator::Jump(header));
+                self.switch_to(exit);
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(s) = init {
+                    self.lower_stmt(s)?;
+                }
+                let header = self.new_block();
+                let body_bb = self.new_block();
+                let step_bb = self.new_block();
+                let exit = self.new_block();
+                self.set_term(Terminator::Jump(header));
+                self.switch_to(header);
+                match cond {
+                    Some(c) => self.lower_cond(c, body_bb, exit)?,
+                    None => self.set_term(Terminator::Jump(body_bb)),
+                }
+                self.switch_to(body_bb);
+                self.loops.push((exit, step_bb));
+                self.lower_body(body)?;
+                self.loops.pop();
+                self.set_term(Terminator::Jump(step_bb));
+                self.switch_to(step_bb);
+                if let Some(s) = step {
+                    self.lower_stmt(s)?;
+                }
+                self.set_term(Terminator::Jump(header));
+                self.switch_to(exit);
+                Ok(())
+            }
+            Stmt::Return(value) => {
+                let v = match value {
+                    Some(e) => Some(self.lower_expr(e)?),
+                    None => None,
+                };
+                if self.func.returns_value && v.is_none() {
+                    return Err(err(format!(
+                        "`{}` must return a value",
+                        self.func.name
+                    )));
+                }
+                self.set_term(Terminator::Return(v));
+                // Anything after a return in the same block is unreachable;
+                // park it in a fresh dead block.
+                let dead = self.new_block();
+                self.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Break => {
+                let (brk, _) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| err("`break` outside of a loop"))?;
+                self.set_term(Terminator::Jump(brk));
+                let dead = self.new_block();
+                self.switch_to(dead);
+                Ok(())
+            }
+            Stmt::Continue => {
+                let (_, cont) = *self
+                    .loops
+                    .last()
+                    .ok_or_else(|| err("`continue` outside of a loop"))?;
+                self.set_term(Terminator::Jump(cont));
+                let dead = self.new_block();
+                self.switch_to(dead);
+                Ok(())
+            }
+            Stmt::ExprStmt(e) => {
+                self.lower_expr(e)?;
+                Ok(())
+            }
+            Stmt::Block(stmts) => self.lower_body(stmts),
+        }
+    }
+
+    // ---- conditions ---------------------------------------------------------
+
+    /// Lowers `cond` in branch position, jumping to `t` when true and `f`
+    /// when false. `&&`, `||` and `!` lower structurally so each primitive
+    /// comparison gets its own conditional branch.
+    fn lower_cond(
+        &mut self,
+        cond: &Expr,
+        t: BlockId,
+        f: BlockId,
+    ) -> Result<(), CompileError> {
+        match cond {
+            Expr::Binary(BinaryOp::LAnd, a, b) => {
+                let mid = self.new_block();
+                self.lower_cond(a, mid, f)?;
+                self.switch_to(mid);
+                self.lower_cond(b, t, f)
+            }
+            Expr::Binary(BinaryOp::LOr, a, b) => {
+                let mid = self.new_block();
+                self.lower_cond(a, t, mid)?;
+                self.switch_to(mid);
+                self.lower_cond(b, t, f)
+            }
+            Expr::Unary(UnaryOp::Not, inner) => self.lower_cond(inner, f, t),
+            _ => {
+                let v = self.lower_expr(cond)?;
+                let cond_reg = self.as_reg(v);
+                self.set_term(Terminator::Branch {
+                    cond: cond_reg,
+                    taken: t,
+                    not_taken: f,
+                });
+                Ok(())
+            }
+        }
+    }
+
+    // ---- expressions ----------------------------------------------------------
+
+    fn element_addr(&mut self, name: &str, index: &Expr) -> Result<Address, CompileError> {
+        let id = self
+            .lookup(name)
+            .ok_or_else(|| err(format!("undefined variable `{name}`")))?;
+        let idx = self.lower_expr(index)?;
+        if self.is_array(id) {
+            Ok(Address::Element { base: id, index: idx })
+        } else {
+            // Indexing a scalar means it is a pointer: p[i] ≡ *(p + i).
+            let dst = self.fresh_reg();
+            self.emit(Inst::Load {
+                dst,
+                addr: Address::Var(id),
+            });
+            let sum = self.fresh_reg();
+            self.emit(Inst::BinOp {
+                dst: sum,
+                op: BinOp::Add,
+                lhs: Operand::Reg(dst),
+                rhs: idx,
+            });
+            Ok(Address::Ptr {
+                reg: sum,
+                offset: 0,
+            })
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr) -> Result<Operand, CompileError> {
+        match e {
+            Expr::Int(v) => Ok(Operand::Imm(*v)),
+            Expr::Str(s) => {
+                let id = self.ctx.intern_str(s);
+                let dst = self.fresh_reg();
+                self.emit(Inst::AddrOf {
+                    dst,
+                    base: id,
+                    offset: Operand::Imm(0),
+                });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::Var(name) => {
+                let id = self
+                    .lookup(name)
+                    .ok_or_else(|| err(format!("undefined variable `{name}`")))?;
+                if self.is_array(id) {
+                    // Array decays to its base address.
+                    let dst = self.fresh_reg();
+                    self.emit(Inst::AddrOf {
+                        dst,
+                        base: id,
+                        offset: Operand::Imm(0),
+                    });
+                    Ok(Operand::Reg(dst))
+                } else {
+                    let dst = self.fresh_reg();
+                    self.emit(Inst::Load {
+                        dst,
+                        addr: Address::Var(id),
+                    });
+                    Ok(Operand::Reg(dst))
+                }
+            }
+            Expr::Index(name, index) => {
+                let addr = self.element_addr(name, index)?;
+                let dst = self.fresh_reg();
+                self.emit(Inst::Load { dst, addr });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::AddrOf(name, index) => {
+                let id = self
+                    .lookup(name)
+                    .ok_or_else(|| err(format!("undefined variable `{name}`")))?;
+                let offset = match index {
+                    Some(i) => self.lower_expr(i)?,
+                    None => Operand::Imm(0),
+                };
+                let dst = self.fresh_reg();
+                self.emit(Inst::AddrOf {
+                    dst,
+                    base: id,
+                    offset,
+                });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::Deref(inner) => {
+                let p = self.lower_expr(inner)?;
+                let reg = self.as_reg(p);
+                let dst = self.fresh_reg();
+                self.emit(Inst::Load {
+                    dst,
+                    addr: Address::Ptr { reg, offset: 0 },
+                });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::Unary(UnaryOp::Neg, inner) => {
+                let v = self.lower_expr(inner)?;
+                if let Operand::Imm(c) = v {
+                    return Ok(Operand::Imm(c.wrapping_neg()));
+                }
+                let dst = self.fresh_reg();
+                self.emit(Inst::BinOp {
+                    dst,
+                    op: BinOp::Sub,
+                    lhs: Operand::Imm(0),
+                    rhs: v,
+                });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::Unary(UnaryOp::Not, inner) => {
+                let v = self.lower_expr(inner)?;
+                let dst = self.fresh_reg();
+                self.emit(Inst::Cmp {
+                    dst,
+                    pred: Pred::Eq,
+                    lhs: v,
+                    rhs: Operand::Imm(0),
+                });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::Binary(op, a, b) => self.lower_binary(*op, a, b),
+            Expr::Call(name, args) => self.lower_call(name, args),
+        }
+    }
+
+    fn lower_binary(
+        &mut self,
+        op: BinaryOp,
+        a: &Expr,
+        b: &Expr,
+    ) -> Result<Operand, CompileError> {
+        // Short-circuit operators in value position materialize through a
+        // synthetic memory temporary (the IR has no phis; every cross-block
+        // value lives in memory, like the rest of the model).
+        if matches!(op, BinaryOp::LAnd | BinaryOp::LOr) {
+            let tmp = VarId::local(self.func.vars.len() as u32);
+            self.func.vars.push(Variable::scalar(
+                format!(".sc{}", self.func.vars.len()),
+                VarKind::Local,
+            ));
+            let t_bb = self.new_block();
+            let f_bb = self.new_block();
+            let join = self.new_block();
+            let e = Expr::Binary(op, Box::new(a.clone()), Box::new(b.clone()));
+            self.lower_cond(&e, t_bb, f_bb)?;
+            self.switch_to(t_bb);
+            self.emit(Inst::Store {
+                addr: Address::Var(tmp),
+                src: Operand::Imm(1),
+            });
+            self.set_term(Terminator::Jump(join));
+            self.switch_to(f_bb);
+            self.emit(Inst::Store {
+                addr: Address::Var(tmp),
+                src: Operand::Imm(0),
+            });
+            self.set_term(Terminator::Jump(join));
+            self.switch_to(join);
+            let dst = self.fresh_reg();
+            self.emit(Inst::Load {
+                dst,
+                addr: Address::Var(tmp),
+            });
+            return Ok(Operand::Reg(dst));
+        }
+
+        let lhs = self.lower_expr(a)?;
+        let rhs = self.lower_expr(b)?;
+
+        // Constant folding keeps the IR (and attack-surface PCs) tidy.
+        if let (Operand::Imm(x), Operand::Imm(y)) = (lhs, rhs) {
+            if let Some(folded) = fold(op, x, y) {
+                return Ok(Operand::Imm(folded));
+            }
+        }
+
+        let dst = self.fresh_reg();
+        let inst = match op {
+            BinaryOp::Add => Inst::BinOp { dst, op: BinOp::Add, lhs, rhs },
+            BinaryOp::Sub => Inst::BinOp { dst, op: BinOp::Sub, lhs, rhs },
+            BinaryOp::Mul => Inst::BinOp { dst, op: BinOp::Mul, lhs, rhs },
+            BinaryOp::Div => Inst::BinOp { dst, op: BinOp::Div, lhs, rhs },
+            BinaryOp::Rem => Inst::BinOp { dst, op: BinOp::Rem, lhs, rhs },
+            BinaryOp::And => Inst::BinOp { dst, op: BinOp::And, lhs, rhs },
+            BinaryOp::Or => Inst::BinOp { dst, op: BinOp::Or, lhs, rhs },
+            BinaryOp::Xor => Inst::BinOp { dst, op: BinOp::Xor, lhs, rhs },
+            BinaryOp::Shl => Inst::BinOp { dst, op: BinOp::Shl, lhs, rhs },
+            BinaryOp::Shr => Inst::BinOp { dst, op: BinOp::Shr, lhs, rhs },
+            BinaryOp::Eq => Inst::Cmp { dst, pred: Pred::Eq, lhs, rhs },
+            BinaryOp::Ne => Inst::Cmp { dst, pred: Pred::Ne, lhs, rhs },
+            BinaryOp::Lt => Inst::Cmp { dst, pred: Pred::Lt, lhs, rhs },
+            BinaryOp::Le => Inst::Cmp { dst, pred: Pred::Le, lhs, rhs },
+            BinaryOp::Gt => Inst::Cmp { dst, pred: Pred::Gt, lhs, rhs },
+            BinaryOp::Ge => Inst::Cmp { dst, pred: Pred::Ge, lhs, rhs },
+            BinaryOp::LAnd | BinaryOp::LOr => unreachable!("handled above"),
+        };
+        self.emit(inst);
+        Ok(Operand::Reg(dst))
+    }
+
+    fn lower_call(&mut self, name: &str, args: &[Expr]) -> Result<Operand, CompileError> {
+        let mut arg_ops = Vec::with_capacity(args.len());
+        for a in args {
+            arg_ops.push(self.lower_expr(a)?);
+        }
+        if let Some(b) = Builtin::from_name(name) {
+            if args.len() != b.arity() {
+                return Err(err(format!(
+                    "`{name}` expects {} arguments, got {}",
+                    b.arity(),
+                    args.len()
+                )));
+            }
+            let dst = if b.has_result() {
+                Some(self.fresh_reg())
+            } else {
+                None
+            };
+            self.emit(Inst::Call {
+                dst,
+                callee: Callee::Builtin(b),
+                args: arg_ops,
+            });
+            return Ok(dst.map(Operand::Reg).unwrap_or(Operand::Imm(0)));
+        }
+        let &(fid, arity, returns) = self
+            .ctx
+            .func_sigs
+            .get(name)
+            .ok_or_else(|| err(format!("call to undefined function `{name}`")))?;
+        if args.len() != arity {
+            return Err(err(format!(
+                "`{name}` expects {arity} arguments, got {}",
+                args.len()
+            )));
+        }
+        let dst = if returns { Some(self.fresh_reg()) } else { None };
+        self.emit(Inst::Call {
+            dst,
+            callee: Callee::Direct(fid),
+            args: arg_ops,
+        });
+        Ok(dst.map(Operand::Reg).unwrap_or(Operand::Imm(0)))
+    }
+}
+
+fn fold(op: BinaryOp, x: i64, y: i64) -> Option<i64> {
+    Some(match op {
+        BinaryOp::Add => x.wrapping_add(y),
+        BinaryOp::Sub => x.wrapping_sub(y),
+        BinaryOp::Mul => x.wrapping_mul(y),
+        BinaryOp::Div => BinOp::Div.eval(x, y),
+        BinaryOp::Rem => BinOp::Rem.eval(x, y),
+        BinaryOp::And => x & y,
+        BinaryOp::Or => x | y,
+        BinaryOp::Xor => x ^ y,
+        BinaryOp::Shl => BinOp::Shl.eval(x, y),
+        BinaryOp::Shr => BinOp::Shr.eval(x, y),
+        BinaryOp::Eq => (x == y) as i64,
+        BinaryOp::Ne => (x != y) as i64,
+        BinaryOp::Lt => (x < y) as i64,
+        BinaryOp::Le => (x <= y) as i64,
+        BinaryOp::Gt => (x > y) as i64,
+        BinaryOp::Ge => (x >= y) as i64,
+        BinaryOp::LAnd | BinaryOp::LOr => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn lowers_scalar_loads_and_stores() {
+        let p = parse("fn main() -> int { int x; x = 3; return x; }").unwrap();
+        let f = p.main().unwrap();
+        let entry = f.block(f.entry);
+        assert!(entry
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Store { addr: Address::Var(_), .. })));
+        assert!(entry.insts.iter().any(|i| i.is_load()));
+    }
+
+    #[test]
+    fn if_produces_branch_on_cmp_of_load() {
+        let p = parse("fn main() -> int { int x; x = read_int(); if (x < 5) { return 1; } return 0; }")
+            .unwrap();
+        let f = p.main().unwrap();
+        assert_eq!(f.branch_count(), 1);
+        let (_, bb) = f
+            .iter_blocks()
+            .find(|(_, b)| b.term.is_branch())
+            .expect("a branch block");
+        // The branch condition should be a Cmp whose lhs is a Load of x.
+        let Terminator::Branch { cond, .. } = bb.term else {
+            unreachable!()
+        };
+        let cmp = bb
+            .insts
+            .iter()
+            .find(|i| i.def() == Some(cond))
+            .expect("cond def in same block");
+        assert!(matches!(cmp, Inst::Cmp { pred: Pred::Lt, .. }));
+    }
+
+    #[test]
+    fn short_circuit_in_branch_position_creates_two_branches() {
+        let p = parse(
+            "fn main() -> int { int a; int b; a = read_int(); b = read_int(); if (a < 1 && b < 2) { return 1; } return 0; }",
+        )
+        .unwrap();
+        assert_eq!(p.main().unwrap().branch_count(), 2);
+    }
+
+    #[test]
+    fn short_circuit_in_value_position_materializes() {
+        let p = parse(
+            "fn main() -> int { int a; int c; a = read_int(); c = (a < 1) || (a > 5); return c; }",
+        )
+        .unwrap();
+        // Two branches from the || plus none extra.
+        assert_eq!(p.main().unwrap().branch_count(), 2);
+    }
+
+    #[test]
+    fn arrays_decay_and_index() {
+        let p = parse(
+            "fn main() -> int { int buf[4]; buf[0] = 7; strcpy(buf, \"x\"); return buf[0]; }",
+        )
+        .unwrap();
+        let f = p.main().unwrap();
+        let entry = f.block(f.entry);
+        assert!(entry
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Store { addr: Address::Element { .. }, .. })));
+        assert!(entry
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::AddrOf { .. })));
+        // String literal interned as a read-only global.
+        assert!(p.globals.iter().any(|g| g.kind == VarKind::ReadOnly));
+    }
+
+    #[test]
+    fn pointer_param_deref() {
+        let p = parse(
+            "fn set(int *p) { *p = 9; } fn main() -> int { int x; set(&x); return x; }",
+        )
+        .unwrap();
+        let set = p.function_by_name("set").unwrap();
+        assert!(set
+            .block(set.entry)
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Store { addr: Address::Ptr { .. }, .. })));
+    }
+
+    #[test]
+    fn while_and_for_shape() {
+        let p = parse(
+            "fn main() -> int { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } while (s > 0) { s = s - 3; } return s; }",
+        )
+        .unwrap();
+        let f = p.main().unwrap();
+        assert_eq!(f.branch_count(), 2);
+        // Back edges exist: some block jumps to a lower-numbered block.
+        let has_back_edge = f.iter_blocks().any(|(id, b)| {
+            b.term
+                .successors()
+                .iter()
+                .any(|s| s.index() < id.index())
+        });
+        assert!(has_back_edge);
+    }
+
+    #[test]
+    fn semantic_errors_are_reported() {
+        assert!(parse("fn main() -> int { return y; }").is_err());
+        assert!(parse("fn main() -> int { break; }").is_err());
+        assert!(parse("fn main() -> int { int a[2]; a = 1; return 0; }").is_err());
+        assert!(parse("fn main() -> int { return f(); }").is_err());
+        assert!(parse("fn main() -> int { strcmp(1); return 0; }").is_err());
+        assert!(parse("fn f() {} fn f() {}").is_err());
+        assert!(parse("fn strcmp() {}").is_err());
+        assert!(parse("int g; int g;").is_err());
+    }
+
+    #[test]
+    fn returns_are_defaulted() {
+        let p = parse("fn main() -> int { int x; x = 1; }").unwrap();
+        let f = p.main().unwrap();
+        let has_ret_zero = f
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Return(Some(Operand::Imm(0)))));
+        assert!(has_ret_zero);
+    }
+
+    #[test]
+    fn pc_bases_do_not_overlap() {
+        let p = parse("fn a() { } fn b() { } fn main() -> int { a(); b(); return 0; }").unwrap();
+        let mut spans: Vec<(u64, u64)> = p
+            .functions
+            .iter()
+            .map(|f| (f.pc_base, f.pc_base + 4 * f.inst_count() as u64))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(w[0].1 <= w[1].0, "{spans:?}");
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Block-local load-forwarding optimization.
+//!
+//! A classic (and deliberately simple) scalar optimization: within a basic
+//! block, a load of a scalar variable whose current value is already in a
+//! register — because the same block stored or loaded it earlier with no
+//! intervening may-write — is removed and its uses rewritten to the
+//! existing register.
+//!
+//! This is the pass that makes IR look like MachSUIF's register-allocated
+//! output instead of MiniC's naive reload-everything form. The paper notes
+//! the security consequence: "compiler optimizations can remove some
+//! correlations, reducing the detection rate" — removed loads take load
+//! anchors with them. The ablation harness measures exactly that.
+//!
+//! Safety is syntactic and conservative:
+//!
+//! * only direct scalar accesses (`Address::Var`) forward;
+//! * variables whose address is taken anywhere in the program never
+//!   forward (a pointer store could change them);
+//! * globals never forward across calls, and any call that may write
+//!   memory (per the builtin models; every direct call, conservatively)
+//!   clears all forwarding state;
+//! * stores through pointers or array elements clear everything.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::function::{Function, Terminator, VarId};
+use crate::inst::{Address, Callee, Inst, Operand, Reg};
+use crate::program::Program;
+
+/// Statistics from one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Loads removed by forwarding.
+    pub loads_removed: usize,
+    /// Functions changed.
+    pub functions_changed: usize,
+}
+
+/// Runs block-local load forwarding over the whole program, in place.
+pub fn forward_loads(program: &mut Program) -> OptStats {
+    // Address-taken set across the whole program (globals and locals).
+    let mut taken: HashSet<(Option<u32>, VarId)> = HashSet::new();
+    for func in &program.functions {
+        for (_, block) in func.iter_blocks() {
+            for inst in &block.insts {
+                if let Inst::AddrOf { base, .. } = inst {
+                    let key = if base.is_global() {
+                        (None, *base)
+                    } else {
+                        (Some(func.id.0), *base)
+                    };
+                    taken.insert(key);
+                }
+            }
+        }
+    }
+
+    // Per-program global forwardability (scalar and never address-taken).
+    let globals_ok: Vec<bool> = program
+        .globals
+        .iter()
+        .enumerate()
+        .map(|(i, g)| g.size == 1 && !taken.contains(&(None, VarId::global(i as u32))))
+        .collect();
+
+    let mut stats = OptStats::default();
+    for func in &mut program.functions {
+        let fid = func.id.0;
+        let locals_ok: Vec<bool> = func
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v.size == 1 && !taken.contains(&(Some(fid), VarId::local(i as u32))))
+            .collect();
+        let removed = forward_in_function(func, &locals_ok, &globals_ok);
+        if removed > 0 {
+            stats.loads_removed += removed;
+            stats.functions_changed += 1;
+        }
+    }
+    stats
+}
+
+fn forward_in_function(func: &mut Function, locals_ok: &[bool], globals_ok: &[bool]) -> usize {
+    let mut removed = 0usize;
+    // Register substitution map (applies function-wide; a forwarded load's
+    // replacement register is defined earlier in the same block, so it
+    // dominates every use the load dominated).
+    let mut subst: HashMap<Reg, Reg> = HashMap::new();
+
+    let resolve = |subst: &HashMap<Reg, Reg>, mut r: Reg| -> Reg {
+        while let Some(&next) = subst.get(&r) {
+            r = next;
+        }
+        r
+    };
+
+    let var_ok = |v: VarId| -> bool {
+        if v.is_global() {
+            globals_ok.get(v.index()).copied().unwrap_or(false)
+        } else {
+            locals_ok.get(v.index()).copied().unwrap_or(false)
+        }
+    };
+
+    let n_blocks = func.blocks.len();
+    for b in 0..n_blocks {
+        // Known register holding each variable's current value.
+        let mut avail: HashMap<VarId, Reg> = HashMap::new();
+        let mut new_insts: Vec<Inst> = Vec::with_capacity(func.blocks[b].insts.len());
+        let insts = std::mem::take(&mut func.blocks[b].insts);
+        for mut inst in insts {
+            rewrite_uses(&mut inst, &subst, &resolve);
+            match &inst {
+                Inst::Load { dst, addr } => match addr {
+                    Address::Var(v) if var_ok(*v) => {
+                        if let Some(&r) = avail.get(v) {
+                            // Forward: drop the load, substitute its result.
+                            subst.insert(*dst, r);
+                            removed += 1;
+                            continue;
+                        }
+                        avail.insert(*v, *dst);
+                    }
+                    Address::Var(_) | Address::Element { .. } => {}
+                    Address::Ptr { .. } => {}
+                },
+                Inst::Store { addr, src } => match addr {
+                    Address::Var(v) => {
+                        if let (true, Operand::Reg(r)) = (var_ok(*v), src) {
+                            avail.insert(*v, *r);
+                        } else {
+                            avail.remove(v);
+                        }
+                    }
+                    // A write through a pointer or into an array may alias
+                    // anything whose address escaped; forwardable vars are
+                    // never address-taken, but stay paranoid about arrays
+                    // overlapping... they cannot (distinct variables), so
+                    // only the written object is invalidated.
+                    Address::Element { base, .. } => {
+                        avail.remove(base);
+                    }
+                    Address::Ptr { .. } => {
+                        avail.clear();
+                    }
+                },
+                Inst::Call { callee, .. } => {
+                    let clears = match callee {
+                        Callee::Direct(_) => true,
+                        Callee::Builtin(bi) => !bi.writes_through().is_empty(),
+                    };
+                    if clears {
+                        avail.clear();
+                    }
+                }
+                _ => {}
+            }
+            new_insts.push(inst);
+        }
+        func.blocks[b].insts = new_insts;
+        // Terminators use registers too.
+        if let Terminator::Branch { cond, .. } = &mut func.blocks[b].term {
+            *cond = resolve(&subst, *cond);
+        }
+        if let Terminator::Return(Some(Operand::Reg(r))) = &mut func.blocks[b].term {
+            *r = resolve(&subst, *r);
+        }
+    }
+    removed
+}
+
+fn rewrite_uses(
+    inst: &mut Inst,
+    subst: &HashMap<Reg, Reg>,
+    resolve: &dyn Fn(&HashMap<Reg, Reg>, Reg) -> Reg,
+) {
+    let fix_op = |op: &mut Operand| {
+        if let Operand::Reg(r) = op {
+            *r = resolve(subst, *r);
+        }
+    };
+    let fix_addr = |addr: &mut Address| match addr {
+        Address::Var(_) => {}
+        Address::Element { index, .. } => {
+            if let Operand::Reg(r) = index {
+                *r = resolve(subst, *r);
+            }
+        }
+        Address::Ptr { reg, .. } => *reg = resolve(subst, *reg),
+    };
+    match inst {
+        Inst::Const { .. } => {}
+        Inst::BinOp { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+            fix_op(lhs);
+            fix_op(rhs);
+        }
+        Inst::Load { addr, .. } => fix_addr(addr),
+        Inst::Store { addr, src } => {
+            fix_addr(addr);
+            fix_op(src);
+        }
+        Inst::AddrOf { offset, .. } => fix_op(offset),
+        Inst::Call { args, .. } => {
+            for a in args {
+                fix_op(a);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_program;
+
+    fn count_loads(p: &Program) -> usize {
+        p.functions
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| i.is_load())
+            .count()
+    }
+
+    #[test]
+    fn forwards_reload_after_store() {
+        // x = read_int(); if (x < 5): the reload of x disappears.
+        let mut p = crate::parse(
+            "fn main() -> int { int x; x = read_int(); if (x < 5) { return 1; } return 0; }",
+        )
+        .unwrap();
+        let before = count_loads(&p);
+        let stats = forward_loads(&mut p);
+        assert_eq!(stats.loads_removed, 1, "one reload forwarded");
+        assert_eq!(count_loads(&p), before - 1);
+        verify_program(&p).expect("still valid IR");
+    }
+
+    #[test]
+    fn forwards_repeated_loads_in_block() {
+        let mut p = crate::parse(
+            "fn main() -> int { int x; int a; int b; x = read_int(); \
+             a = x + 1; b = x + 2; return a + b; }",
+        )
+        .unwrap();
+        let stats = forward_loads(&mut p);
+        // x reloaded twice after its store; both forward. a and b also
+        // forward their reloads in the same block.
+        assert!(stats.loads_removed >= 2, "{stats:?}");
+        verify_program(&p).expect("still valid IR");
+    }
+
+    #[test]
+    fn calls_block_forwarding_of_globals_and_clobberable_vars() {
+        let mut p = crate::parse(
+            "int g; fn poke() { g = 1; } \
+             fn main() -> int { int t; g = read_int(); poke(); t = g; return t; }",
+        )
+        .unwrap();
+        forward_loads(&mut p);
+        // The reload of g after poke() must survive (the call writes it).
+        let main = p.main().unwrap();
+        let loads: usize = main
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| matches!(i, Inst::Load { addr: Address::Var(v), .. } if v.is_global()))
+            .count();
+        assert!(loads >= 1, "the post-call reload must remain");
+        verify_program(&p).expect("still valid IR");
+    }
+
+    #[test]
+    fn address_taken_variables_never_forward() {
+        let mut p = crate::parse(
+            "fn set(int *p) { *p = 7; } \
+             fn main() -> int { int x; x = 1; set(&x); return x; }",
+        )
+        .unwrap();
+        let before = count_loads(&p);
+        let stats = forward_loads(&mut p);
+        // x's address escapes: its loads must not forward; set's *p store
+        // isn't a Var access anyway.
+        assert_eq!(stats.loads_removed, 0, "{stats:?}");
+        assert_eq!(count_loads(&p), before);
+        verify_program(&p).expect("still valid IR");
+    }
+
+    #[test]
+    fn semantics_preserved_under_interpined_checks() {
+        // Structural check: optimized programs still verify and the branch
+        // conditions resolve to defined registers.
+        for src in [
+            "fn main() -> int { int x; int y; x = read_int(); y = x; if (y < 3 && x > 0) { return 1; } return 0; }",
+            "fn main() -> int { int i; int s; s = 0; for (i = 0; i < 5; i = i + 1) { s = s + i; } return s; }",
+            "fn f(int a) -> int { return a * 2; } fn main() -> int { int v; v = f(3); return v + f(v); }",
+        ] {
+            let mut p = crate::parse(src).unwrap();
+            forward_loads(&mut p);
+            verify_program(&p).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+}

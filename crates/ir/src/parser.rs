@@ -1,0 +1,714 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::{BinaryOp, Expr, GlobalInit, Item, LValue, ParamDecl, Stmt, UnaryOp};
+use crate::error::ParseError;
+use crate::token::{Token, TokenKind};
+
+/// Parses a token stream (as produced by [`crate::lexer::lex`]) into items.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] at the first syntax error.
+pub fn parse_items(tokens: &[Token]) -> Result<Vec<Item>, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.at(&TokenKind::Eof) {
+        items.push(p.item()?);
+    }
+    Ok(items)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {kind}, found {}", self.peek_kind())))
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(t.line, t.col, msg)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn int_lit(&mut self) -> Result<i64, ParseError> {
+        // Allow a leading minus in constant contexts.
+        let neg = self.eat(&TokenKind::Minus);
+        match *self.peek_kind() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(if neg { -v } else { v })
+            }
+            ref other => Err(self.error(format!("expected integer literal, found {other}"))),
+        }
+    }
+
+    // ---- items ------------------------------------------------------------
+
+    fn item(&mut self) -> Result<Item, ParseError> {
+        match self.peek_kind() {
+            TokenKind::KwFn => self.function(),
+            TokenKind::KwInt => self.global(),
+            other => Err(self.error(format!("expected `fn` or `int`, found {other}"))),
+        }
+    }
+
+    fn global(&mut self) -> Result<Item, ParseError> {
+        self.expect(&TokenKind::KwInt)?;
+        let name = self.ident()?;
+        let mut size = None;
+        if self.eat(&TokenKind::LBracket) {
+            if !self.at(&TokenKind::RBracket) {
+                let n = self.int_lit()?;
+                if n <= 0 {
+                    return Err(self.error("array size must be positive"));
+                }
+                size = Some(n as u32);
+            }
+            self.expect(&TokenKind::RBracket)?;
+            // size stays None for `int name[] = "…"` — inferred from init.
+            if size.is_none() && !self.at(&TokenKind::Assign) {
+                return Err(self.error("unsized array requires a string initializer"));
+            }
+            if size.is_none() {
+                self.expect(&TokenKind::Assign)?;
+                let s = match self.peek_kind().clone() {
+                    TokenKind::Str(s) => {
+                        self.bump();
+                        s
+                    }
+                    other => {
+                        return Err(self.error(format!(
+                            "unsized array initializer must be a string, found {other}"
+                        )))
+                    }
+                };
+                self.expect(&TokenKind::Semi)?;
+                return Ok(Item::Global {
+                    name,
+                    size: None,
+                    init: GlobalInit::Str(s),
+                });
+            }
+        }
+        let init = if self.eat(&TokenKind::Assign) {
+            match self.peek_kind().clone() {
+                TokenKind::Str(s) => {
+                    self.bump();
+                    GlobalInit::Str(s)
+                }
+                _ => GlobalInit::Scalar(self.int_lit()?),
+            }
+        } else {
+            GlobalInit::None
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(Item::Global { name, size, init })
+    }
+
+    fn function(&mut self) -> Result<Item, ParseError> {
+        self.expect(&TokenKind::KwFn)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokenKind::RParen) {
+            loop {
+                self.expect(&TokenKind::KwInt)?;
+                let is_ptr = self.eat(&TokenKind::Star);
+                let pname = self.ident()?;
+                params.push(ParamDecl {
+                    name: pname,
+                    is_ptr,
+                });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let returns = if self.eat(&TokenKind::Arrow) {
+            self.expect(&TokenKind::KwInt)?;
+            true
+        } else {
+            false
+        };
+        let body = self.block()?;
+        Ok(Item::Function {
+            name,
+            params,
+            returns,
+            body,
+        })
+    }
+
+    // ---- statements -------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&TokenKind::RBrace) {
+            if self.at(&TokenKind::Eof) {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek_kind() {
+            TokenKind::KwInt => self.decl(),
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwWhile => self.while_stmt(),
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if self.at(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Continue)
+            }
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn decl(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwInt)?;
+        let is_ptr = self.eat(&TokenKind::Star);
+        let name = self.ident()?;
+        let mut size = None;
+        if self.eat(&TokenKind::LBracket) {
+            let n = self.int_lit()?;
+            if n <= 0 {
+                return Err(self.error("array size must be positive"));
+            }
+            size = Some(n as u32);
+            self.expect(&TokenKind::RBracket)?;
+        }
+        if is_ptr && size.is_some() {
+            return Err(self.error("pointer arrays are not supported"));
+        }
+        let init = if self.eat(&TokenKind::Assign) {
+            if size.is_some() {
+                return Err(self.error("array initializers are not supported on locals"));
+            }
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::Decl {
+            name,
+            size,
+            is_ptr,
+            init,
+        })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwIf)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_body = self.block()?;
+        let else_body = if self.eat(&TokenKind::KwElse) {
+            if self.at(&TokenKind::KwIf) {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwWhile)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::While { cond, body })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwFor)?;
+        self.expect(&TokenKind::LParen)?;
+        let init = if self.at(&TokenKind::Semi) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(&TokenKind::Semi)?;
+        let cond = if self.at(&TokenKind::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(&TokenKind::Semi)?;
+        let step = if self.at(&TokenKind::RParen) {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
+    }
+
+    /// An assignment or expression statement, without the trailing `;`
+    /// (shared by statement position and `for` clauses).
+    fn simple_stmt(&mut self) -> Result<Stmt, ParseError> {
+        // `*lvalue = e`
+        if self.at(&TokenKind::Star) {
+            let save = self.pos;
+            self.bump();
+            let target = self.unary()?;
+            if self.eat(&TokenKind::Assign) {
+                let value = self.expr()?;
+                return Ok(Stmt::Assign {
+                    target: LValue::Deref(target),
+                    value,
+                });
+            }
+            self.pos = save;
+        }
+        // `name = e` or `name[i] = e`
+        if let TokenKind::Ident(name) = self.peek_kind().clone() {
+            match self.peek_ahead(1) {
+                TokenKind::Assign => {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign {
+                        target: LValue::Var(name),
+                        value,
+                    });
+                }
+                TokenKind::LBracket => {
+                    let save = self.pos;
+                    self.bump();
+                    self.bump();
+                    let index = self.expr()?;
+                    if self.eat(&TokenKind::RBracket) && self.eat(&TokenKind::Assign) {
+                        let value = self.expr()?;
+                        return Ok(Stmt::Assign {
+                            target: LValue::Index(name, index),
+                            value,
+                        });
+                    }
+                    self.pos = save;
+                }
+                _ => {}
+            }
+        }
+        let e = self.expr()?;
+        Ok(Stmt::ExprStmt(e))
+    }
+
+    // ---- expressions (precedence climbing) ---------------------------------
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.logic_or()
+    }
+
+    fn binary_level<F>(
+        &mut self,
+        ops: &[(TokenKind, BinaryOp)],
+        next: F,
+    ) -> Result<Expr, ParseError>
+    where
+        F: Fn(&mut Self) -> Result<Expr, ParseError>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.at(tok) {
+                    self.bump();
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn logic_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::OrOr, BinaryOp::LOr)], Self::logic_and)
+    }
+
+    fn logic_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::AndAnd, BinaryOp::LAnd)], Self::bit_or)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::Pipe, BinaryOp::Or)], Self::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::Caret, BinaryOp::Xor)], Self::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(&[(TokenKind::Amp, BinaryOp::And)], Self::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (TokenKind::EqEq, BinaryOp::Eq),
+                (TokenKind::NotEq, BinaryOp::Ne),
+            ],
+            Self::relational,
+        )
+    }
+
+    fn relational(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (TokenKind::Le, BinaryOp::Le),
+                (TokenKind::Lt, BinaryOp::Lt),
+                (TokenKind::Ge, BinaryOp::Ge),
+                (TokenKind::Gt, BinaryOp::Gt),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (TokenKind::Shl, BinaryOp::Shl),
+                (TokenKind::Shr, BinaryOp::Shr),
+            ],
+            Self::additive,
+        )
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (TokenKind::Plus, BinaryOp::Add),
+                (TokenKind::Minus, BinaryOp::Sub),
+            ],
+            Self::term,
+        )
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(
+            &[
+                (TokenKind::Star, BinaryOp::Mul),
+                (TokenKind::Slash, BinaryOp::Div),
+                (TokenKind::Percent, BinaryOp::Rem),
+            ],
+            Self::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.unary()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnaryOp::Not, Box::new(self.unary()?)))
+            }
+            TokenKind::Star => {
+                self.bump();
+                Ok(Expr::Deref(Box::new(self.unary()?)))
+            }
+            TokenKind::Amp => {
+                self.bump();
+                let name = self.ident()?;
+                let index = if self.eat(&TokenKind::LBracket) {
+                    let e = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Some(Box::new(e))
+                } else {
+                    None
+                };
+                Ok(Expr::AddrOf(name, index))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.at(&TokenKind::LBracket) {
+            let name = match &e {
+                Expr::Var(name) => name.clone(),
+                _ => return Err(self.error("indexing is only supported on named variables")),
+            };
+            self.bump();
+            let index = self.expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            e = Expr::Index(name, Box::new(index));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek_kind().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.at(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> Vec<Item> {
+        parse_items(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_globals() {
+        let items = parse("int a; int b = 5; int c[8]; int s[] = \"hi\";");
+        assert_eq!(items.len(), 4);
+        assert!(matches!(
+            &items[1],
+            Item::Global {
+                init: GlobalInit::Scalar(5),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &items[2],
+            Item::Global { size: Some(8), .. }
+        ));
+        assert!(matches!(
+            &items[3],
+            Item::Global {
+                init: GlobalInit::Str(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_function_with_params() {
+        let items = parse("fn f(int a, int *p) -> int { return a; }");
+        let Item::Function {
+            name,
+            params,
+            returns,
+            ..
+        } = &items[0]
+        else {
+            panic!("not a function");
+        };
+        assert_eq!(name, "f");
+        assert_eq!(params.len(), 2);
+        assert!(!params[0].is_ptr);
+        assert!(params[1].is_ptr);
+        assert!(*returns);
+    }
+
+    #[test]
+    fn precedence_binds_correctly() {
+        let items = parse("fn f() -> int { return 1 + 2 * 3 < 4 && 5 == 6; }");
+        let Item::Function { body, .. } = &items[0] else {
+            panic!();
+        };
+        let Stmt::Return(Some(e)) = &body[0] else {
+            panic!();
+        };
+        // (((1 + (2*3)) < 4) && (5 == 6))
+        let Expr::Binary(BinaryOp::LAnd, lhs, rhs) = e else {
+            panic!("top is {e:?}");
+        };
+        assert!(matches!(**lhs, Expr::Binary(BinaryOp::Lt, _, _)));
+        assert!(matches!(**rhs, Expr::Binary(BinaryOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn parses_assignments_and_lvalues() {
+        let items = parse(
+            "fn f() { int x; int a[4]; int *p; x = 1; a[x] = 2; p = &a[1]; *p = 3; *(p) = x + 1; }",
+        );
+        let Item::Function { body, .. } = &items[0] else {
+            panic!();
+        };
+        assert!(matches!(
+            &body[3],
+            Stmt::Assign {
+                target: LValue::Var(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[4],
+            Stmt::Assign {
+                target: LValue::Index(_, _),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &body[6],
+            Stmt::Assign {
+                target: LValue::Deref(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let items = parse(
+            "fn f() { int i; for (i = 0; i < 10; i = i + 1) { if (i == 5) { break; } else { continue; } } while (i > 0) { i = i - 1; } }",
+        );
+        let Item::Function { body, .. } = &items[0] else {
+            panic!();
+        };
+        assert!(matches!(&body[1], Stmt::For { .. }));
+        assert!(matches!(&body[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn parses_else_if_chains() {
+        let items = parse("fn f(int x) { if (x < 1) { } else if (x < 2) { } else { } }");
+        let Item::Function { body, .. } = &items[0] else {
+            panic!();
+        };
+        let Stmt::If { else_body, .. } = &body[0] else {
+            panic!();
+        };
+        assert!(matches!(&else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_syntax() {
+        let toks = lex("fn f( { }").unwrap();
+        assert!(parse_items(&toks).is_err());
+        let toks = lex("int x[0];").unwrap();
+        assert!(parse_items(&toks).is_err());
+        let toks = lex("fn f() { return 1 }").unwrap();
+        assert!(parse_items(&toks).is_err());
+    }
+
+    #[test]
+    fn call_statements_parse() {
+        let items = parse("fn f() { print_int(1 + 2); g(); } fn g() { }");
+        let Item::Function { body, .. } = &items[0] else {
+            panic!();
+        };
+        assert!(matches!(&body[0], Stmt::ExprStmt(Expr::Call(_, _))));
+    }
+}

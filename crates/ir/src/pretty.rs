@@ -1,0 +1,69 @@
+//! Human-readable printing of IR programs and functions.
+
+use std::fmt;
+
+use crate::function::Function;
+use crate::program::Program;
+
+/// Writes a whole program in textual IR form.
+///
+/// The output is intended for debugging and golden tests, not round-tripping.
+pub fn write_program(f: &mut fmt::Formatter<'_>, program: &Program) -> fmt::Result {
+    for (i, g) in program.globals.iter().enumerate() {
+        write!(f, "global g{i} \"{}\" size={}", g.name, g.size)?;
+        if !g.init.is_empty() {
+            write!(f, " init={:?}", g.init)?;
+        }
+        writeln!(f, " [{:?}]", g.kind)?;
+    }
+    for func in &program.functions {
+        write_function(f, func)?;
+    }
+    Ok(())
+}
+
+/// Writes one function in textual IR form.
+pub fn write_function(f: &mut fmt::Formatter<'_>, func: &Function) -> fmt::Result {
+    write!(f, "fn {} (#params={})", func.name, func.param_count)?;
+    writeln!(f, " @ {:#x}", func.pc_base)?;
+    for (i, v) in func.vars.iter().enumerate() {
+        writeln!(f, "  var v{i} \"{}\" size={} [{:?}]", v.name, v.size, v.kind)?;
+    }
+    for (id, block) in func.iter_blocks() {
+        writeln!(f, "{id}:")?;
+        for inst in &block.insts {
+            writeln!(f, "    {inst}")?;
+        }
+        writeln!(f, "    {}", block.term)?;
+    }
+    Ok(())
+}
+
+/// Returns the textual IR of a function as a `String`.
+pub fn function_to_string(func: &Function) -> String {
+    struct W<'a>(&'a Function);
+    impl fmt::Display for W<'_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write_function(f, self.0)
+        }
+    }
+    W(func).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_blocks_and_vars() {
+        let p = crate::parse("fn main() -> int { int x; x = 1; if (x < 2) { return 1; } return 0; }")
+            .unwrap();
+        let text = p.to_string();
+        assert!(text.contains("fn main"));
+        assert!(text.contains("bb0:"));
+        assert!(text.contains("store"));
+        assert!(text.contains("br "));
+        let ftext = function_to_string(p.main().unwrap());
+        assert!(ftext.contains("var v0 \"x\""));
+    }
+}

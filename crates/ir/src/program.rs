@@ -1,0 +1,102 @@
+//! Whole-program container.
+
+use std::fmt;
+
+use crate::function::{FuncId, Function, VarId, Variable};
+
+/// A complete IR program: global variables plus functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Global variable table; `VarId::global(i)` indexes `globals[i]`.
+    pub globals: Vec<Variable>,
+    /// Function table; `FuncId(i)` indexes `functions[i]`.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Program {
+        Program {
+            globals: Vec::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// The function with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Looks a function up by name.
+    pub fn function_by_name(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// The entry function (`main`), if present.
+    pub fn main(&self) -> Option<&Function> {
+        self.function_by_name("main")
+    }
+
+    /// Resolves a variable id against this program and the given function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for its table.
+    pub fn var<'a>(&'a self, func: &'a Function, id: VarId) -> &'a Variable {
+        if id.is_global() {
+            &self.globals[id.index()]
+        } else {
+            &func.vars[id.index()]
+        }
+    }
+
+    /// Total static instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(Function::inst_count).sum()
+    }
+
+    /// Total conditional branch count across all functions.
+    pub fn branch_count(&self) -> usize {
+        self.functions.iter().map(Function::branch_count).sum()
+    }
+}
+
+impl Default for Program {
+    fn default() -> Self {
+        Program::new()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::write_program(f, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn lookup_by_name() {
+        let p = crate::parse("fn helper() -> int { return 1; } fn main() -> int { return helper(); }")
+            .unwrap();
+        assert_eq!(p.functions.len(), 2);
+        assert!(p.main().is_some());
+        assert!(p.function_by_name("helper").is_some());
+        assert!(p.function_by_name("absent").is_none());
+    }
+
+    #[test]
+    fn counts_cover_all_functions() {
+        let p = crate::parse(
+            "fn a() -> int { int x; x = read_int(); if (x < 1) { return 0; } return 1; }\n\
+             fn main() -> int { return a(); }",
+        )
+        .unwrap();
+        assert!(p.inst_count() > 0);
+        assert_eq!(p.branch_count(), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Structural IR verifier.
+//!
+//! Downstream analyses lean on invariants that are easy to break when
+//! constructing IR by hand (through [`crate::builder::FunctionBuilder`]), so
+//! everything funnels through here: [`crate::parse`] verifies after lowering
+//! and the builder verifies on `finish`.
+
+use std::collections::HashSet;
+
+use crate::error::VerifyError;
+use crate::function::{Function, Terminator, VarId};
+use crate::inst::{Address, Callee, Inst, Operand, Reg};
+use crate::program::Program;
+
+/// Verifies every function of a program.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found. Checked invariants:
+///
+/// * block successor ids are in range;
+/// * every register has **exactly one** static definition;
+/// * every used register has a definition somewhere in the function;
+/// * branch conditions are defined registers;
+/// * variable ids referenced by loads/stores/addr-ofs are in range;
+/// * direct callees exist and argument counts match;
+/// * `Element` addresses index array variables.
+pub fn verify_program(program: &Program) -> Result<(), VerifyError> {
+    for func in &program.functions {
+        verify_function(program, func)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function against `program` context.
+///
+/// # Errors
+///
+/// See [`verify_program`].
+pub fn verify_function(program: &Program, func: &Function) -> Result<(), VerifyError> {
+    let fail = |message: String| -> Result<(), VerifyError> {
+        Err(VerifyError {
+            function: func.name.clone(),
+            message,
+        })
+    };
+
+    if func.entry.index() >= func.blocks.len() {
+        return fail("entry block out of range".into());
+    }
+
+    let mut defined: HashSet<Reg> = HashSet::new();
+    let mut uses: Vec<Reg> = Vec::new();
+
+    let check_var = |id: VarId| -> bool {
+        if id.is_global() {
+            id.index() < program.globals.len()
+        } else {
+            id.index() < func.vars.len()
+        }
+    };
+
+    for (bid, block) in func.iter_blocks() {
+        for inst in &block.insts {
+            if let Some(d) = inst.def() {
+                if d.0 >= func.next_reg {
+                    return fail(format!("{bid}: register {d} out of range"));
+                }
+                if !defined.insert(d) {
+                    return fail(format!("{bid}: register {d} defined more than once"));
+                }
+            }
+            inst.uses(&mut uses);
+            match inst {
+                Inst::Load { addr, .. } | Inst::Store { addr, .. } => {
+                    match addr {
+                        Address::Var(v) => {
+                            if !check_var(*v) {
+                                return fail(format!("{bid}: variable {v} out of range"));
+                            }
+                        }
+                        Address::Element { base, .. } => {
+                            if !check_var(*base) {
+                                return fail(format!("{bid}: variable {base} out of range"));
+                            }
+                            let var = program.var(func, *base);
+                            if var.size <= 1 {
+                                return fail(format!(
+                                    "{bid}: element access into scalar `{}`",
+                                    var.name
+                                ));
+                            }
+                        }
+                        Address::Ptr { .. } => {}
+                    }
+                }
+                Inst::AddrOf { base, .. } if !check_var(*base) => {
+                    return fail(format!("{bid}: variable {base} out of range"));
+                }
+                Inst::Call { callee, args, .. } => match callee {
+                    Callee::Direct(fid) => {
+                        let Some(target) = program.functions.get(fid.0 as usize) else {
+                            return fail(format!("{bid}: call to unknown {fid}"));
+                        };
+                        if args.len() != target.param_count as usize {
+                            return fail(format!(
+                                "{bid}: call to `{}` with {} args, expected {}",
+                                target.name,
+                                args.len(),
+                                target.param_count
+                            ));
+                        }
+                    }
+                    Callee::Builtin(b) => {
+                        if args.len() != b.arity() {
+                            return fail(format!(
+                                "{bid}: builtin `{b}` with {} args, expected {}",
+                                args.len(),
+                                b.arity()
+                            ));
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+        match &block.term {
+            Terminator::Jump(t) => {
+                if t.index() >= func.blocks.len() {
+                    return fail(format!("{bid}: jump target {t} out of range"));
+                }
+            }
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                uses.push(*cond);
+                for t in [taken, not_taken] {
+                    if t.index() >= func.blocks.len() {
+                        return fail(format!("{bid}: branch target {t} out of range"));
+                    }
+                }
+            }
+            Terminator::Return(v) => {
+                if let Some(Operand::Reg(r)) = v {
+                    uses.push(*r);
+                }
+            }
+        }
+    }
+
+    for u in &uses {
+        if !defined.contains(u) {
+            return fail(format!("register {u} used but never defined"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{BasicBlock, BlockId, FuncId, VarKind, Variable};
+
+    fn empty_program_with(func: Function) -> Program {
+        Program {
+            globals: Vec::new(),
+            functions: vec![func],
+        }
+    }
+
+    fn base_func() -> Function {
+        Function {
+            id: FuncId(0),
+            name: "f".into(),
+            vars: vec![Variable::scalar("x", VarKind::Local)],
+            param_count: 0,
+            blocks: vec![BasicBlock::new()],
+            entry: BlockId(0),
+            next_reg: 8,
+            pc_base: 0x1000,
+            returns_value: false,
+        }
+    }
+
+    #[test]
+    fn accepts_parsed_programs() {
+        let p = crate::parse(
+            "fn main() -> int { int i; int s; s = 0; for (i = 0; i < 4; i = i + 1) { s = s + i; } return s; }",
+        )
+        .unwrap();
+        assert!(verify_program(&p).is_ok());
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let mut f = base_func();
+        f.blocks[0].insts = vec![
+            Inst::Const { dst: Reg(0), value: 1 },
+            Inst::Const { dst: Reg(0), value: 2 },
+        ];
+        let p = empty_program_with(f);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.message.contains("more than once"), "{e}");
+    }
+
+    #[test]
+    fn rejects_undefined_use() {
+        let mut f = base_func();
+        f.blocks[0].term = Terminator::Return(Some(Operand::Reg(Reg(3))));
+        let p = empty_program_with(f);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.message.contains("never defined"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_targets_and_vars() {
+        let mut f = base_func();
+        f.blocks[0].term = Terminator::Jump(BlockId(9));
+        let p = empty_program_with(f);
+        assert!(verify_program(&p).is_err());
+
+        let mut f = base_func();
+        f.blocks[0].insts = vec![Inst::Load {
+            dst: Reg(0),
+            addr: Address::Var(VarId::local(5)),
+        }];
+        let p = empty_program_with(f);
+        assert!(verify_program(&p).is_err());
+    }
+
+    #[test]
+    fn rejects_element_access_to_scalar() {
+        let mut f = base_func();
+        f.blocks[0].insts = vec![Inst::Load {
+            dst: Reg(0),
+            addr: Address::Element {
+                base: VarId::local(0),
+                index: Operand::Imm(0),
+            },
+        }];
+        let p = empty_program_with(f);
+        let e = verify_program(&p).unwrap_err();
+        assert!(e.message.contains("scalar"), "{e}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the MiniC front end: total functions never panic,
+//! and accepted programs satisfy the IR invariants.
+
+use ipds_ir::{lexer, parser, verify};
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer is total: any string either lexes or errors, never panics.
+    #[test]
+    fn lexer_is_total(src in "\\PC*") {
+        let _ = lexer::lex(&src);
+    }
+
+    /// The parser is total over arbitrary token streams derived from
+    /// near-MiniC soup.
+    #[test]
+    fn parser_is_total(
+        src in proptest::collection::vec(
+            prop_oneof![
+                Just("fn"), Just("int"), Just("if"), Just("else"), Just("while"),
+                Just("return"), Just("("), Just(")"), Just("{"), Just("}"),
+                Just(";"), Just(","), Just("="), Just("=="), Just("<"), Just("+"),
+                Just("x"), Just("y"), Just("main"), Just("1"), Just("42"),
+                Just("["), Just("]"), Just("*"), Just("&"),
+            ],
+            0..64,
+        )
+    ) {
+        let text = src.join(" ");
+        if let Ok(tokens) = lexer::lex(&text) {
+            let _ = parser::parse_items(&tokens);
+        }
+    }
+
+    /// Anything `parse` accepts passes the verifier (parse runs it, so this
+    /// is really "parse doesn't bypass verification") and has stable
+    /// structural properties: branch PCs unique and 4-aligned.
+    #[test]
+    fn accepted_programs_are_wellformed(
+        n_vars in 1u32..4,
+        cond_const in -10i64..10,
+        use_else in proptest::bool::ANY,
+    ) {
+        let mut body = String::new();
+        for i in 0..n_vars {
+            body.push_str(&format!("int v{i}; v{i} = read_int();\n"));
+        }
+        body.push_str(&format!("if (v0 < {cond_const}) {{ print_int(1); }}"));
+        if use_else {
+            body.push_str(" else { print_int(2); }");
+        }
+        body.push_str("\nreturn v0;");
+        let src = format!("fn main() -> int {{ {body} }}");
+        let program = ipds_ir::parse(&src).expect("well-formed source parses");
+        verify::verify_program(&program).expect("verifier accepts");
+        let f = program.main().unwrap();
+        let pcs = f.branch_pcs();
+        let mut sorted = pcs.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), pcs.len(), "branch PCs unique");
+        for pc in pcs {
+            prop_assert_eq!(pc % 4, 0);
+            prop_assert!(pc >= f.pc_base);
+        }
+    }
+}

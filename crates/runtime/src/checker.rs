@@ -1,0 +1,393 @@
+//! The functional IPDS checker: verify-then-update per committed branch.
+
+use std::collections::HashMap;
+
+use ipds_analysis::{BranchStatus, FunctionAnalysis, ProgramAnalysis};
+use ipds_ir::FuncId;
+
+/// A detected infeasible path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alarm {
+    /// Function in which the mismatch occurred.
+    pub func: FuncId,
+    /// PC of the offending branch.
+    pub pc: u64,
+    /// Expected direction from the BSV.
+    pub expected: BranchStatus,
+    /// Actual committed direction (`true` = taken).
+    pub actual: bool,
+    /// The checker's branch sequence number at detection time.
+    pub branch_seq: u64,
+}
+
+/// Cost summary for one committed branch, consumed by the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BranchOutcome {
+    /// An alarm was raised.
+    pub alarm: bool,
+    /// The branch was marked in the BCV and verified.
+    pub verified: bool,
+    /// Number of IPDS table accesses this branch generated: the BCV probe,
+    /// the BSV read (if verified), and one access per BAT entry walked (the
+    /// BAT "implements a link list" — §6).
+    pub table_accesses: u32,
+}
+
+/// Running statistics of a checker instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IpdsStats {
+    /// Committed conditional branches observed.
+    pub branches: u64,
+    /// Branches verified against the BSV (BCV hits).
+    pub verified: u64,
+    /// BAT entries applied.
+    pub bat_entries_applied: u64,
+    /// Total IPDS table accesses.
+    pub table_accesses: u64,
+    /// Alarms raised.
+    pub alarms: u64,
+    /// Function frames pushed.
+    pub calls: u64,
+    /// Deepest stack observed.
+    pub max_depth: usize,
+}
+
+/// One stacked function activation's mutable checking state.
+#[derive(Debug, Clone)]
+struct Frame {
+    func: FuncId,
+    /// BSV: expected status per hash slot.
+    bsv: Vec<BranchStatus>,
+}
+
+/// Per-function immutable lookup state derived from the compiler tables.
+#[derive(Debug)]
+struct FuncTables {
+    /// PC → branch index.
+    by_pc: HashMap<u64, u32>,
+}
+
+/// The functional IPDS checker.
+///
+/// Drives the verify-then-update protocol of §5.1 against the per-function
+/// BSV stack. This is the *behavioural* model; queueing/latency effects are
+/// layered on by the pipeline model in `ipds-sim` using the returned
+/// [`BranchOutcome`] costs.
+///
+/// # Example
+///
+/// ```
+/// use ipds_analysis::{analyze_program, AnalysisConfig};
+/// use ipds_runtime::IpdsChecker;
+///
+/// let program = ipds_ir::parse(
+///     "fn main() -> int { int x; x = read_int();
+///      if (x < 5) { print_int(1); } if (x < 5) { print_int(2); } return 0; }",
+/// ).expect("valid MiniC");
+/// let analysis = analyze_program(&program, &AnalysisConfig::default());
+/// let mut ipds = IpdsChecker::new(&analysis);
+///
+/// let main = &analysis.functions[0];
+/// let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+/// ipds.on_call(main.func);
+/// // Feasible path: both branches taken — no alarm.
+/// assert!(!ipds.on_branch(pcs[0], true).alarm);
+/// assert!(!ipds.on_branch(pcs[1], true).alarm);
+/// // Infeasible: the second execution contradicting the first would alarm.
+/// assert!(ipds.on_branch(pcs[1], false).alarm);
+/// ```
+#[derive(Debug)]
+pub struct IpdsChecker<'a> {
+    analysis: &'a ProgramAnalysis,
+    tables: Vec<FuncTables>,
+    stack: Vec<Frame>,
+    alarms: Vec<Alarm>,
+    stats: IpdsStats,
+}
+
+impl<'a> IpdsChecker<'a> {
+    /// Creates a checker over a program's analysis results.
+    pub fn new(analysis: &'a ProgramAnalysis) -> IpdsChecker<'a> {
+        let tables = analysis
+            .functions
+            .iter()
+            .map(|f| FuncTables {
+                by_pc: f
+                    .branches
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| (b.pc, i as u32))
+                    .collect(),
+            })
+            .collect();
+        IpdsChecker {
+            analysis,
+            tables,
+            stack: Vec::new(),
+            alarms: Vec::new(),
+            stats: IpdsStats::default(),
+        }
+    }
+
+    fn func_analysis(&self, func: FuncId) -> &'a FunctionAnalysis {
+        self.analysis.of(func)
+    }
+
+    /// Pushes a fresh all-unknown BSV frame for `func` (function entry).
+    pub fn on_call(&mut self, func: FuncId) {
+        let fa = self.func_analysis(func);
+        self.stack.push(Frame {
+            func,
+            bsv: vec![BranchStatus::Unknown; fa.hash.space() as usize],
+        });
+        self.stats.calls += 1;
+        self.stats.max_depth = self.stats.max_depth.max(self.stack.len());
+    }
+
+    /// Pops the top frame (function return).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty (call/return events must balance).
+    pub fn on_return(&mut self) {
+        self.stack
+            .pop()
+            .expect("IPDS frame stack underflow: unbalanced call/return events");
+    }
+
+    /// Current stack depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Processes a committed conditional branch of the current (top) frame:
+    /// verify against the BSV if the BCV marks it, then apply the BAT
+    /// actions for the actual direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is active or the PC does not belong to the top
+    /// frame's function (the simulator guarantees both).
+    pub fn on_branch(&mut self, pc: u64, dir: bool) -> BranchOutcome {
+        self.stats.branches += 1;
+        let frame_idx = self.stack.len().checked_sub(1).expect("no active frame");
+        let func = self.stack[frame_idx].func;
+        let fa = self.func_analysis(func);
+        let idx = *self.tables[func.0 as usize]
+            .by_pc
+            .get(&pc)
+            .unwrap_or_else(|| panic!("pc {pc:#x} is not a branch of {}", fa.name));
+        let slot = fa.branches[idx as usize].slot as usize;
+
+        let mut outcome = BranchOutcome {
+            // The BCV probe.
+            table_accesses: 1,
+            ..BranchOutcome::default()
+        };
+
+        // 1. Verify.
+        if fa.checked[idx as usize] {
+            outcome.verified = true;
+            outcome.table_accesses += 1; // BSV read
+            self.stats.verified += 1;
+            let expected = self.stack[frame_idx].bsv[slot];
+            if !expected.matches(dir) {
+                outcome.alarm = true;
+                self.stats.alarms += 1;
+                self.alarms.push(Alarm {
+                    func,
+                    pc,
+                    expected,
+                    actual: dir,
+                    branch_seq: self.stats.branches,
+                });
+            }
+        }
+
+        // 2. Update: walk the BAT link list for (branch, direction).
+        for entry in fa.actions(idx, dir) {
+            let tslot = fa.branches[entry.target as usize].slot as usize;
+            let old = self.stack[frame_idx].bsv[tslot];
+            self.stack[frame_idx].bsv[tslot] = entry.action.applied(old);
+            outcome.table_accesses += 1;
+            self.stats.bat_entries_applied += 1;
+        }
+
+        self.stats.table_accesses += outcome.table_accesses as u64;
+        outcome
+    }
+
+    /// Reads the expected status currently recorded for a branch of the top
+    /// frame (test/diagnostic hook).
+    pub fn expected_status(&self, pc: u64) -> Option<BranchStatus> {
+        let frame = self.stack.last()?;
+        let fa = self.func_analysis(frame.func);
+        let idx = *self.tables[frame.func.0 as usize].by_pc.get(&pc)?;
+        Some(frame.bsv[fa.branches[idx as usize].slot as usize])
+    }
+
+    /// All alarms raised so far.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &IpdsStats {
+        &self.stats
+    }
+
+    /// True if at least one alarm fired.
+    pub fn detected(&self) -> bool {
+        !self.alarms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipds_analysis::{analyze_program, AnalysisConfig};
+
+    fn setup(src: &str) -> (ipds_ir::Program, ipds_analysis::ProgramAnalysis) {
+        let p = ipds_ir::parse(src).unwrap();
+        let a = analyze_program(&p, &AnalysisConfig::default());
+        (p, a)
+    }
+
+    #[test]
+    fn figure4_walkthrough() {
+        // Reproduces the paper's Fig. 4 narrative with our tables: a loop
+        // whose BR1 (y-test) repeats its direction while y is untouched, a
+        // BR2 (x-test) whose taken arm redefines x.
+        let (_, a) = setup(
+            "fn main() -> int { int x; int y; int i; \
+             x = read_int(); y = read_int(); \
+             for (i = 0; i < 2; i = i + 1) { \
+               if (y < 5) { print_int(1); } \
+               if (x > 10) { x = read_int(); } \
+             } return 0; }",
+        );
+        let main = &a.functions[0];
+        let mut ipds = IpdsChecker::new(&a);
+        ipds.on_call(main.func);
+        // Replay a feasible trace: i<2 taken, y<5 taken, x>10 not-taken,
+        // i<2 taken, y<5 taken (same), x>10 not-taken (same), i<2 not-taken.
+        // Identify branches by anchor order: find their pcs via blocks.
+        let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+        // Branch order by block id follows source order: for-header, y-test,
+        // x-test.
+        let (for_pc, y_pc, x_pc) = (pcs[0], pcs[1], pcs[2]);
+        for _ in 0..2 {
+            assert!(!ipds.on_branch(for_pc, true).alarm);
+            assert!(!ipds.on_branch(y_pc, true).alarm);
+            assert!(!ipds.on_branch(x_pc, false).alarm);
+        }
+        assert!(!ipds.on_branch(for_pc, false).alarm);
+        assert!(!ipds.detected());
+    }
+
+    #[test]
+    fn tampered_repeat_is_detected() {
+        // Two consecutive `user == 1` tests taking different directions is
+        // infeasible without tampering.
+        let (_, a) = setup(
+            "fn main() -> int { int user; user = read_int(); \
+             if (user == 1) { print_int(1); } \
+             if (user == 1) { print_int(2); } return 0; }",
+        );
+        let main = &a.functions[0];
+        let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+        let mut ipds = IpdsChecker::new(&a);
+        ipds.on_call(main.func);
+        assert!(!ipds.on_branch(pcs[0], true).alarm);
+        let out = ipds.on_branch(pcs[1], false);
+        assert!(out.alarm, "divergent repeat must alarm");
+        assert_eq!(ipds.alarms().len(), 1);
+        assert_eq!(ipds.alarms()[0].expected, BranchStatus::Taken);
+    }
+
+    #[test]
+    fn redefinition_resets_to_unknown() {
+        // If the path goes through the arm that redefines x, the x-test may
+        // legally flip.
+        let (_, a) = setup(
+            "fn main() -> int { int x; int y; x = read_int(); y = read_int(); \
+             if (x < 10) { print_int(1); } \
+             if (y < 0) { x = read_int(); } \
+             if (x < 10) { print_int(2); } return 0; }",
+        );
+        let main = &a.functions[0];
+        let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+        let mut ipds = IpdsChecker::new(&a);
+        ipds.on_call(main.func);
+        assert!(!ipds.on_branch(pcs[0], true).alarm); // x < 10 taken
+        assert!(!ipds.on_branch(pcs[1], true).alarm); // y < 0 taken → redefines x
+        // The third branch may go either way now.
+        assert!(!ipds.on_branch(pcs[2], false).alarm);
+        assert!(!ipds.detected());
+    }
+
+    #[test]
+    fn fresh_frame_per_activation() {
+        let (_, a) = setup(
+            "fn check(int v) -> int { if (v == 1) { return 1; } return 0; } \
+             fn main() -> int { return check(read_int()); }",
+        );
+        let check = a
+            .functions
+            .iter()
+            .find(|f| f.name == "check")
+            .unwrap();
+        let pc = check.branches[0].pc;
+        let mut ipds = IpdsChecker::new(&a);
+        // Two activations with opposite directions are fine: the BSV stacks.
+        ipds.on_call(check.func);
+        assert!(!ipds.on_branch(pc, true).alarm);
+        ipds.on_return();
+        ipds.on_call(check.func);
+        assert!(!ipds.on_branch(pc, false).alarm);
+        ipds.on_return();
+        assert!(!ipds.detected());
+        assert_eq!(ipds.stats().calls, 2);
+    }
+
+    #[test]
+    fn nested_frames_do_not_interfere() {
+        let (_, a) = setup(
+            "fn inner(int v) -> int { if (v == 1) { return 1; } return 0; } \
+             fn main() -> int { int x; x = read_int(); \
+             if (x == 1) { print_int(1); } \
+             inner(0); \
+             if (x == 1) { print_int(2); } return 0; }",
+        );
+        let main = a.functions.iter().find(|f| f.name == "main").unwrap();
+        let inner = a.functions.iter().find(|f| f.name == "inner").unwrap();
+        let mpcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+        let ipc = inner.branches[0].pc;
+        let mut ipds = IpdsChecker::new(&a);
+        ipds.on_call(main.func);
+        assert!(!ipds.on_branch(mpcs[0], true).alarm);
+        ipds.on_call(inner.func);
+        assert!(!ipds.on_branch(ipc, false).alarm);
+        ipds.on_return();
+        // Back in main: x == 1 must still be expected taken.
+        let out = ipds.on_branch(mpcs[1], false);
+        assert!(out.alarm, "stacked BSV must survive the call");
+    }
+
+    #[test]
+    fn outcome_costs_reflect_bat_walks() {
+        let (_, a) = setup(
+            "fn main() -> int { int x; x = read_int(); \
+             if (x < 5) { print_int(1); } if (x < 5) { print_int(2); } return 0; }",
+        );
+        let main = &a.functions[0];
+        let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+        let mut ipds = IpdsChecker::new(&a);
+        ipds.on_call(main.func);
+        let out = ipds.on_branch(pcs[0], true);
+        // BCV probe + BSV read + ≥1 BAT entry.
+        assert!(out.verified);
+        assert!(out.table_accesses >= 3, "{out:?}");
+        assert!(ipds.stats().table_accesses >= out.table_accesses as u64);
+    }
+}

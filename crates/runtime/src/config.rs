@@ -1,0 +1,137 @@
+//! Hardware configuration (Table 1 of the paper).
+
+/// Parameters of the simulated processor and the IPDS unit.
+///
+/// [`HwConfig::table1_default`] reproduces Table 1 exactly; the struct is
+/// plain data so sweeps can vary any field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwConfig {
+    /// Core clock in Hz (Table 1: 1 GHz).
+    pub clock_hz: u64,
+    /// Fetch queue entries (32).
+    pub fetch_queue: u32,
+    /// Decode width (8).
+    pub decode_width: u32,
+    /// Issue width (8).
+    pub issue_width: u32,
+    /// Commit width (8).
+    pub commit_width: u32,
+    /// Register update unit (ROB) entries (128).
+    pub ruu_size: u32,
+    /// Load/store queue entries (64).
+    pub lsq_size: u32,
+    /// L1 I/D cache size in bytes (64 KiB each).
+    pub l1_size: u32,
+    /// L1 associativity (2-way).
+    pub l1_ways: u32,
+    /// L1 hit latency in cycles (2).
+    pub l1_latency: u32,
+    /// Cache block size in bytes (32).
+    pub block_size: u32,
+    /// Unified L2 size in bytes (512 KiB).
+    pub l2_size: u32,
+    /// L2 associativity (4-way).
+    pub l2_ways: u32,
+    /// L2 hit latency in cycles (10).
+    pub l2_latency: u32,
+    /// Memory latency for the first chunk in cycles (80).
+    pub mem_first_chunk: u32,
+    /// Memory latency between chunks in cycles (5).
+    pub mem_inter_chunk: u32,
+    /// Memory bus width in bytes (8).
+    pub mem_bus_bytes: u32,
+    /// TLB miss penalty in cycles (30).
+    pub tlb_miss: u32,
+    /// Branch misprediction penalty in cycles (front-end refill; derived
+    /// from the pipeline depth, not in Table 1 — SimpleScalar's default
+    /// out-of-order core refills in ~3 cycles plus fetch).
+    pub mispredict_penalty: u32,
+    /// On-chip BSV stack buffer in bits (2 K).
+    pub bsv_stack_bits: usize,
+    /// On-chip BCV stack buffer in bits (1 K).
+    pub bcv_stack_bits: usize,
+    /// On-chip BAT stack buffer in bits (32 K).
+    pub bat_stack_bits: usize,
+    /// IPDS table access latency in cycles (1).
+    pub table_access_latency: u32,
+    /// IPDS requests processed per cycle (the checking engine's throughput).
+    pub ipds_ops_per_cycle: u32,
+    /// IPDS request queue capacity; when full, commit stalls.
+    pub ipds_queue_entries: u32,
+}
+
+impl HwConfig {
+    /// The exact configuration of Table 1.
+    pub fn table1_default() -> HwConfig {
+        HwConfig {
+            clock_hz: 1_000_000_000,
+            fetch_queue: 32,
+            decode_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            ruu_size: 128,
+            lsq_size: 64,
+            l1_size: 64 * 1024,
+            l1_ways: 2,
+            l1_latency: 2,
+            block_size: 32,
+            l2_size: 512 * 1024,
+            l2_ways: 4,
+            l2_latency: 10,
+            mem_first_chunk: 80,
+            mem_inter_chunk: 5,
+            mem_bus_bytes: 8,
+            tlb_miss: 30,
+            mispredict_penalty: 8,
+            bsv_stack_bits: 2 * 1024,
+            bcv_stack_bits: 1024,
+            bat_stack_bits: 32 * 1024,
+            table_access_latency: 1,
+            ipds_ops_per_cycle: 2,
+            ipds_queue_entries: 24,
+        }
+    }
+
+    /// Total on-chip IPDS buffer bits (the paper reports 35 Kbit).
+    pub fn total_onchip_bits(&self) -> usize {
+        self.bsv_stack_bits + self.bcv_stack_bits + self.bat_stack_bits
+    }
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        HwConfig::table1_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let c = HwConfig::table1_default();
+        assert_eq!(c.clock_hz, 1_000_000_000);
+        assert_eq!(c.fetch_queue, 32);
+        assert_eq!(c.decode_width, 8);
+        assert_eq!(c.issue_width, 8);
+        assert_eq!(c.commit_width, 8);
+        assert_eq!(c.ruu_size, 128);
+        assert_eq!(c.lsq_size, 64);
+        assert_eq!(c.l1_size, 65536);
+        assert_eq!(c.l1_ways, 2);
+        assert_eq!(c.l1_latency, 2);
+        assert_eq!(c.block_size, 32);
+        assert_eq!(c.l2_size, 524_288);
+        assert_eq!(c.l2_ways, 4);
+        assert_eq!(c.l2_latency, 10);
+        assert_eq!(c.mem_first_chunk, 80);
+        assert_eq!(c.mem_inter_chunk, 5);
+        assert_eq!(c.tlb_miss, 30);
+        assert_eq!(c.bsv_stack_bits, 2048);
+        assert_eq!(c.bcv_stack_bits, 1024);
+        assert_eq!(c.bat_stack_bits, 32768);
+        // "The total on-chip buffer space is only 35K bits."
+        assert_eq!(c.total_onchip_bits(), 35 * 1024);
+    }
+}

@@ -1,0 +1,136 @@
+//! Context-switch cost model (§5.4, last paragraph).
+//!
+//! On a context switch the IPDS state must be saved and restored. The paper
+//! notes the cheap strategy: swap only the tops of the BSV and BAT stacks
+//! (~1 Kbit) synchronously so the new process can start, and move the lower
+//! stack layers in parallel with execution. This module quantifies both the
+//! synchronous (blocking) and deferred (overlapped) costs.
+
+use crate::config::HwConfig;
+
+/// Cost of one context switch between two protected processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextSwitchCost {
+    /// Cycles the new process is blocked: swapping the top-of-stack state.
+    pub blocking_cycles: u64,
+    /// Cycles of background traffic overlapped with execution: lower stack
+    /// layers.
+    pub deferred_cycles: u64,
+    /// Total bits moved out (old process) and in (new process).
+    pub bits_moved: u64,
+}
+
+/// Computes the switch cost given the resident table bits of the outgoing
+/// and incoming processes and how many of those bits belong to the top
+/// frames (swapped synchronously).
+pub fn context_switch_cost(
+    outgoing_resident_bits: usize,
+    incoming_resident_bits: usize,
+    top_frame_bits: usize,
+    config: &HwConfig,
+) -> ContextSwitchCost {
+    let sync_bits = top_frame_bits.min(outgoing_resident_bits) as u64
+        + top_frame_bits.min(incoming_resident_bits) as u64;
+    let total_bits = outgoing_resident_bits as u64 + incoming_resident_bits as u64;
+    let deferred_bits = total_bits.saturating_sub(sync_bits);
+    ContextSwitchCost {
+        blocking_cycles: transfer_cycles(sync_bits, config),
+        deferred_cycles: transfer_cycles(deferred_bits, config),
+        bits_moved: total_bits,
+    }
+}
+
+/// A switch to an unprotected process needs no IPDS state movement (§5.4:
+/// "When context switching to a process that does not require checking, no
+/// save/restore is needed").
+pub fn switch_to_unprotected() -> ContextSwitchCost {
+    ContextSwitchCost {
+        blocking_cycles: 0,
+        deferred_cycles: 0,
+        bits_moved: 0,
+    }
+}
+
+/// The §5.4 refinement: "we can split the BAT into several regions and load
+/// the region that is actively used by the other process" — only
+/// `1/regions` of the top frame swaps synchronously; the rest joins the
+/// deferred traffic. Hashing is region-local so a region is self-contained.
+///
+/// # Panics
+///
+/// Panics if `regions == 0`.
+pub fn context_switch_cost_split(
+    outgoing_resident_bits: usize,
+    incoming_resident_bits: usize,
+    top_frame_bits: usize,
+    regions: u32,
+    config: &HwConfig,
+) -> ContextSwitchCost {
+    assert!(regions > 0, "at least one region required");
+    let active_region_bits = top_frame_bits.div_ceil(regions as usize);
+    context_switch_cost(
+        outgoing_resident_bits,
+        incoming_resident_bits,
+        active_region_bits,
+        config,
+    )
+}
+
+fn transfer_cycles(bits: u64, config: &HwConfig) -> u64 {
+    if bits == 0 {
+        return 0;
+    }
+    let bytes = bits.div_ceil(8);
+    let beats = bytes.div_ceil(config.mem_bus_bytes as u64);
+    config.mem_first_chunk as u64 + beats.saturating_sub(1) * config.mem_inter_chunk as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprotected_switch_is_free() {
+        let c = switch_to_unprotected();
+        assert_eq!(c.blocking_cycles, 0);
+        assert_eq!(c.deferred_cycles, 0);
+    }
+
+    #[test]
+    fn blocking_cost_covers_only_tops() {
+        let cfg = HwConfig::table1_default();
+        // ~1 Kbit tops as the paper suggests; 30 Kbit of lower layers.
+        let c = context_switch_cost(30 * 1024, 30 * 1024, 1024, &cfg);
+        assert!(c.blocking_cycles > 0);
+        assert!(
+            c.deferred_cycles > c.blocking_cycles,
+            "most traffic overlaps with execution: {c:?}"
+        );
+        assert_eq!(c.bits_moved, 2 * 30 * 1024);
+    }
+
+    #[test]
+    fn empty_states_cost_nothing() {
+        let cfg = HwConfig::table1_default();
+        let c = context_switch_cost(0, 0, 1024, &cfg);
+        assert_eq!(c.blocking_cycles, 0);
+        assert_eq!(c.deferred_cycles, 0);
+    }
+
+    #[test]
+    fn region_splitting_cuts_blocking_cost() {
+        let cfg = HwConfig::table1_default();
+        let full = context_switch_cost(30 * 1024, 30 * 1024, 4096, &cfg);
+        let split = context_switch_cost_split(30 * 1024, 30 * 1024, 4096, 4, &cfg);
+        assert!(split.blocking_cycles < full.blocking_cycles, "{split:?} vs {full:?}");
+        assert_eq!(split.bits_moved, full.bits_moved, "total traffic unchanged");
+        assert!(split.deferred_cycles >= full.deferred_cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region")]
+    fn zero_regions_rejected() {
+        let cfg = HwConfig::table1_default();
+        let _ = context_switch_cost_split(1, 1, 1, 0, &cfg);
+    }
+}

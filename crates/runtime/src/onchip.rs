@@ -1,0 +1,197 @@
+//! On-chip table-stack buffer model with spill/fill accounting.
+//!
+//! Only the top of the BSV/BCV/BAT stacks needs to be on chip; when the
+//! active call chain's tables exceed the buffers (Table 1: 2 K / 1 K / 32 K
+//! bits), the oldest frames spill to their protected home location, "similar
+//! to Itanium's register stack engine" (§5.4). Returning into a spilled
+//! frame fills it back. The paper reports the resulting performance cost as
+//! minor; this model produces the actual spill/fill traffic so the timing
+//! model can charge for it.
+
+use ipds_analysis::ProgramAnalysis;
+use ipds_ir::FuncId;
+
+use crate::config::HwConfig;
+
+/// Spill/fill statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Frames spilled to memory.
+    pub spills: u64,
+    /// Frames filled back on chip.
+    pub fills: u64,
+    /// Total bits moved (both directions).
+    pub bits_moved: u64,
+    /// Peak resident bits across the three buffers.
+    pub peak_bits: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FrameFootprint {
+    bits: usize,
+    resident: bool,
+}
+
+/// Tracks which stack frames are resident on chip and the traffic caused by
+/// keeping the top resident.
+#[derive(Debug)]
+pub struct OnChipModel<'a> {
+    analysis: &'a ProgramAnalysis,
+    budget_bits: usize,
+    frames: Vec<FrameFootprint>,
+    resident_bits: usize,
+    stats: SpillStats,
+}
+
+impl<'a> OnChipModel<'a> {
+    /// Creates a model with the combined budget from `config` (the three
+    /// buffers are managed as one pool here; per-table splits only change
+    /// constants, not behaviour shape).
+    pub fn new(analysis: &'a ProgramAnalysis, config: &HwConfig) -> OnChipModel<'a> {
+        OnChipModel {
+            analysis,
+            budget_bits: config.total_onchip_bits(),
+            frames: Vec::new(),
+            resident_bits: 0,
+            stats: SpillStats::default(),
+        }
+    }
+
+    fn footprint(&self, func: FuncId) -> usize {
+        self.analysis.of(func).sizes.total()
+    }
+
+    /// Pushes a frame on call. Returns the cycles spent spilling older
+    /// frames to make room (0 in the common case).
+    pub fn on_call(&mut self, func: FuncId, config: &HwConfig) -> u64 {
+        let bits = self.footprint(func);
+        self.frames.push(FrameFootprint {
+            bits,
+            resident: true,
+        });
+        self.resident_bits += bits;
+        let mut cycles = 0;
+        // Spill oldest resident frames until within budget (the new top must
+        // stay resident even if it alone exceeds the budget — hardware would
+        // stream it, which the cost below reflects).
+        let mut i = 0;
+        while self.resident_bits > self.budget_bits && i + 1 < self.frames.len() {
+            if self.frames[i].resident {
+                self.frames[i].resident = false;
+                self.resident_bits -= self.frames[i].bits;
+                self.stats.spills += 1;
+                self.stats.bits_moved += self.frames[i].bits as u64;
+                cycles += Self::transfer_cycles(self.frames[i].bits, config);
+            }
+            i += 1;
+        }
+        self.stats.peak_bits = self.stats.peak_bits.max(self.resident_bits);
+        cycles
+    }
+
+    /// Pops a frame on return. Returns the cycles spent filling the newly
+    /// exposed top frame if it had been spilled.
+    pub fn on_return(&mut self, config: &HwConfig) -> u64 {
+        let top = self
+            .frames
+            .pop()
+            .expect("on-chip frame stack underflow: unbalanced call/return");
+        if top.resident {
+            self.resident_bits -= top.bits;
+        }
+        if let Some(new_top) = self.frames.last_mut() {
+            if !new_top.resident {
+                new_top.resident = true;
+                self.resident_bits += new_top.bits;
+                self.stats.fills += 1;
+                self.stats.bits_moved += new_top.bits as u64;
+                return Self::transfer_cycles(new_top.bits, config);
+            }
+        }
+        0
+    }
+
+    /// Cycles to move `bits` between the buffer and memory: one first-chunk
+    /// latency plus pipelined bus beats.
+    fn transfer_cycles(bits: usize, config: &HwConfig) -> u64 {
+        let bytes = bits.div_ceil(8);
+        let beats = bytes.div_ceil(config.mem_bus_bytes as usize) as u64;
+        config.mem_first_chunk as u64 + beats.saturating_sub(1) * config.mem_inter_chunk as u64
+    }
+
+    /// Bits currently resident.
+    pub fn resident_bits(&self) -> usize {
+        self.resident_bits
+    }
+
+    /// Spill/fill statistics so far.
+    pub fn stats(&self) -> &SpillStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipds_analysis::{analyze_program, AnalysisConfig};
+
+    fn small_analysis() -> ipds_analysis::ProgramAnalysis {
+        let p = ipds_ir::parse(
+            "fn leaf() -> int { int x; x = read_int(); if (x < 3) { return 1; } return 0; } \
+             fn main() -> int { return leaf(); }",
+        )
+        .unwrap();
+        analyze_program(&p, &AnalysisConfig::default())
+    }
+
+    #[test]
+    fn shallow_stacks_never_spill() {
+        let a = small_analysis();
+        let cfg = HwConfig::table1_default();
+        let mut m = OnChipModel::new(&a, &cfg);
+        assert_eq!(m.on_call(ipds_ir::FuncId(1), &cfg), 0);
+        assert_eq!(m.on_call(ipds_ir::FuncId(0), &cfg), 0);
+        assert_eq!(m.on_return(&cfg), 0);
+        assert_eq!(m.on_return(&cfg), 0);
+        assert_eq!(m.stats().spills, 0);
+        assert_eq!(m.stats().fills, 0);
+    }
+
+    #[test]
+    fn tiny_budget_forces_spill_and_fill() {
+        let a = small_analysis();
+        let mut cfg = HwConfig::table1_default();
+        // Shrink the pool so two frames cannot coexist.
+        let one = a.of(ipds_ir::FuncId(0)).sizes.total();
+        cfg.bsv_stack_bits = one + 8;
+        cfg.bcv_stack_bits = 0;
+        cfg.bat_stack_bits = 0;
+        let mut m = OnChipModel::new(&a, &cfg);
+        assert_eq!(m.on_call(ipds_ir::FuncId(1), &cfg), 0);
+        let spill_cycles = m.on_call(ipds_ir::FuncId(0), &cfg);
+        assert!(spill_cycles > 0, "second frame must evict the first");
+        assert_eq!(m.stats().spills, 1);
+        let fill_cycles = m.on_return(&cfg);
+        assert!(fill_cycles > 0, "returning must fill the spilled frame");
+        assert_eq!(m.stats().fills, 1);
+        assert!(m.stats().bits_moved > 0);
+        m.on_return(&cfg);
+        assert_eq!(m.resident_bits(), 0);
+    }
+
+    #[test]
+    fn deep_recursion_is_bounded() {
+        let a = small_analysis();
+        let cfg = HwConfig::table1_default();
+        let mut m = OnChipModel::new(&a, &cfg);
+        for _ in 0..1000 {
+            m.on_call(ipds_ir::FuncId(0), &cfg);
+        }
+        assert!(m.resident_bits() <= cfg.total_onchip_bits() + a.of(ipds_ir::FuncId(0)).sizes.total());
+        for _ in 0..1000 {
+            m.on_return(&cfg);
+        }
+        assert_eq!(m.resident_bits(), 0);
+        assert!(m.stats().spills > 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Checker edge cases: multiple alarms, status introspection, deep stacks,
+//! misuse panics.
+
+use ipds_analysis::{analyze_program, AnalysisConfig, BranchStatus};
+use ipds_runtime::IpdsChecker;
+
+fn analysis(src: &str) -> ipds_analysis::ProgramAnalysis {
+    analyze_program(&ipds_ir::parse(src).unwrap(), &AnalysisConfig::default())
+}
+
+#[test]
+fn checking_continues_after_an_alarm() {
+    let a = analysis(
+        "fn main() -> int { int x; x = read_int(); \
+         if (x < 5) { print_int(1); } \
+         if (x < 5) { print_int(2); } \
+         if (x < 5) { print_int(3); } \
+         return 0; }",
+    );
+    let main = &a.functions[0];
+    let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+    let mut ipds = IpdsChecker::new(&a);
+    ipds.on_call(main.func);
+    assert!(!ipds.on_branch(pcs[0], true).alarm);
+    // Two contradictions in a row: both alarm, both are recorded, and the
+    // BAT keeps updating (the second contradiction is measured against the
+    // refreshed status).
+    assert!(ipds.on_branch(pcs[1], false).alarm);
+    assert!(ipds.on_branch(pcs[2], true).alarm, "status became NotTaken");
+    assert_eq!(ipds.alarms().len(), 2);
+    assert_eq!(ipds.stats().alarms, 2);
+    // Alarm records carry ordered sequence numbers.
+    assert!(ipds.alarms()[0].branch_seq < ipds.alarms()[1].branch_seq);
+}
+
+#[test]
+fn expected_status_reflects_frame_stack() {
+    let a = analysis(
+        "fn leaf(int v) -> int { if (v == 1) { return 1; } return 0; } \
+         fn main() -> int { int x; x = read_int(); \
+         if (x == 1) { print_int(1); } return leaf(x); }",
+    );
+    let main = a.functions.iter().find(|f| f.name == "main").unwrap();
+    let leaf = a.functions.iter().find(|f| f.name == "leaf").unwrap();
+    let mpc = main.branches[0].pc;
+    let lpc = leaf.branches[0].pc;
+
+    let mut ipds = IpdsChecker::new(&a);
+    assert_eq!(ipds.expected_status(mpc), None, "no frame yet");
+    ipds.on_call(main.func);
+    ipds.on_branch(mpc, true);
+    assert_eq!(ipds.expected_status(mpc), Some(BranchStatus::Taken));
+    // Entering the leaf exposes the leaf's fresh frame.
+    ipds.on_call(leaf.func);
+    assert_eq!(ipds.expected_status(lpc), Some(BranchStatus::Unknown));
+    assert_eq!(ipds.depth(), 2);
+    ipds.on_return();
+    // The caller's status survived underneath.
+    assert_eq!(ipds.expected_status(mpc), Some(BranchStatus::Taken));
+}
+
+#[test]
+fn deep_stacks_track_max_depth() {
+    let a = analysis("fn f() { } fn main() -> int { f(); return 0; }");
+    let f = a.functions.iter().find(|x| x.name == "f").unwrap();
+    let mut ipds = IpdsChecker::new(&a);
+    for _ in 0..50 {
+        ipds.on_call(f.func);
+    }
+    assert_eq!(ipds.depth(), 50);
+    assert_eq!(ipds.stats().max_depth, 50);
+    for _ in 0..50 {
+        ipds.on_return();
+    }
+    assert_eq!(ipds.depth(), 0);
+    assert_eq!(ipds.stats().max_depth, 50, "high-water mark persists");
+}
+
+#[test]
+#[should_panic(expected = "underflow")]
+fn unbalanced_return_panics() {
+    let a = analysis("fn main() -> int { return 0; }");
+    let mut ipds = IpdsChecker::new(&a);
+    ipds.on_return();
+}
+
+#[test]
+#[should_panic(expected = "not a branch")]
+fn unknown_pc_panics() {
+    let a = analysis(
+        "fn main() -> int { int x; x = read_int(); if (x < 1) { return 1; } return 0; }",
+    );
+    let main = &a.functions[0];
+    let mut ipds = IpdsChecker::new(&a);
+    ipds.on_call(main.func);
+    ipds.on_branch(0xDEAD_BEEC, true);
+}
+
+#[test]
+fn unchecked_branches_still_fire_their_bat_rows() {
+    // A branch outside the BCV (no anchors) can still carry kill actions
+    // for others; verify its row applies even though it is never verified.
+    let a = analysis(
+        "fn main() -> int { int x; int y; x = read_int(); y = read_int(); \
+         if (x < 5) { print_int(1); } \
+         if (y < 0) { x = read_int(); } \
+         if (x < 5) { print_int(2); } \
+         return 0; }",
+    );
+    let main = &a.functions[0];
+    let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+    let mut ipds = IpdsChecker::new(&a);
+    ipds.on_call(main.func);
+    let o1 = ipds.on_branch(pcs[0], true); // x < 5 taken
+    assert!(o1.verified);
+    assert_eq!(ipds.expected_status(pcs[2]), Some(BranchStatus::Taken));
+    // The y-branch redefining x resets the third branch to unknown even
+    // though the y-branch itself is checked-or-not irrelevant here.
+    ipds.on_branch(pcs[1], true);
+    assert_eq!(ipds.expected_status(pcs[2]), Some(BranchStatus::Unknown));
+    assert!(!ipds.on_branch(pcs[2], false).alarm);
+}

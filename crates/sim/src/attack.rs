@@ -1,0 +1,418 @@
+//! Simulated memory-tampering attacks and detection campaigns (§6).
+//!
+//! The paper's protocol: attack each server program 100 times
+//! *independently*, each attack tampering one (randomly selected) memory
+//! location at one instant — format-string bugs give an arbitrary-location
+//! write, buffer overflows are restricted to stack data. For each attack it
+//! is recorded whether the tampering changed the program's control flow at
+//! all, and whether the IPDS detected it. IPDS is not designed to catch
+//! tamperings that leave control flow unchanged.
+//!
+//! [`run_attack`] reproduces one such experiment: a golden (clean) run
+//! records the branch trace; the attack run replays the same inputs, tampers
+//! at the trigger step, feeds every committed branch through the
+//! [`IpdsChecker`], and diffs traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ipds_analysis::ProgramAnalysis;
+use ipds_ir::Program;
+use ipds_runtime::IpdsChecker;
+
+use crate::interp::{ExecLimits, ExecStatus, Input, Interp};
+use crate::observer::{BranchTrace, IpdsObserver, Tee};
+
+/// Which vulnerability class the attack models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackModel {
+    /// Format-string: the attacker can write an arbitrary live memory cell
+    /// (globals or any active stack frame).
+    FormatString,
+    /// Buffer overflow: the attacker can write stack cells only (the
+    /// paper's refined single-location variant).
+    BufferOverflow,
+    /// Contiguous buffer overflow: the attacker smashes a run of adjacent
+    /// stack cells, the shape §6 mentions real overflows take before the
+    /// paper refines to single locations ("buffer overflow attacks normally
+    /// tamper a continuous block of memory"). The payload is ASCII-like
+    /// filler, as an overlong string would plant.
+    ContiguousOverflow,
+}
+
+/// Outcome of one attack experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// The tampering happened (a live cell existed at the trigger point).
+    pub tampered: bool,
+    /// The branch trace diverged from the golden run.
+    pub control_flow_changed: bool,
+    /// The IPDS raised at least one alarm.
+    pub detected: bool,
+    /// Committed branches between the first trace divergence and the first
+    /// alarm (a semantic detection latency), when both happened.
+    pub detection_lag_branches: Option<u64>,
+    /// How the attacked run terminated.
+    pub status: ExecStatus,
+}
+
+/// Aggregate results of a campaign (one bar pair of Fig. 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// Attacks executed.
+    pub attacks: u32,
+    /// Attacks whose tampering changed control flow.
+    pub cf_changed: u32,
+    /// Attacks detected by the IPDS.
+    pub detected: u32,
+    /// Mean semantic detection lag in branches (over detected attacks).
+    pub mean_lag_branches: f64,
+}
+
+impl CampaignResult {
+    /// Fraction of attacks that changed control flow (Fig. 7's first bar).
+    pub fn cf_changed_rate(&self) -> f64 {
+        self.cf_changed as f64 / self.attacks.max(1) as f64
+    }
+
+    /// Fraction of attacks detected (Fig. 7's second bar).
+    pub fn detected_rate(&self) -> f64 {
+        self.detected as f64 / self.attacks.max(1) as f64
+    }
+
+    /// Detection rate among control-flow-changing attacks (the paper's
+    /// 59.3% headline).
+    pub fn detected_given_cf(&self) -> f64 {
+        self.detected as f64 / self.cf_changed.max(1) as f64
+    }
+}
+
+/// A campaign specification.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Number of independent attacks (the paper uses 100).
+    pub attacks: u32,
+    /// RNG seed (attacks are derived deterministically from it).
+    pub seed: u64,
+    /// Vulnerability model.
+    pub model: AttackModel,
+    /// Execution limits per run.
+    pub limits: ExecLimits,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign {
+            attacks: 100,
+            seed: 0x1bd5,
+            model: AttackModel::FormatString,
+            limits: ExecLimits::default(),
+        }
+    }
+}
+
+/// Runs the golden (clean) execution and returns its branch trace and step
+/// count.
+pub fn golden_run(
+    program: &Program,
+    inputs: &[Input],
+    limits: ExecLimits,
+) -> (Vec<(u64, bool)>, u64, ExecStatus) {
+    let mut interp = Interp::new(program, inputs.to_vec(), limits);
+    let mut trace = BranchTrace::with_cap(0);
+    let status = interp.run(&mut trace);
+    (trace.trace, interp.steps(), status)
+}
+
+/// Runs one attack: execute to `trigger_step`, tamper one cell chosen by
+/// `rng` under `model`, continue with IPDS checking, and compare against the
+/// golden trace.
+#[allow(clippy::too_many_arguments)] // one experiment = one parameterized protocol step
+pub fn run_attack(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    golden: &[(u64, bool)],
+    trigger_step: u64,
+    model: AttackModel,
+    rng: &mut StdRng,
+    limits: ExecLimits,
+) -> AttackOutcome {
+    let mut interp = Interp::new(program, inputs.to_vec(), limits);
+    let mut ipds = IpdsObserver::new(IpdsChecker::new(analysis));
+    // Mirror the interpreter's startup convention: main's frame is active.
+    ipds.checker.on_call(program.main().expect("main").id);
+    let mut trace = BranchTrace::with_cap(0);
+
+    // Phase 1: run cleanly to the trigger point.
+    {
+        let mut tee = Tee::new(&mut trace, &mut ipds);
+        interp.run_steps(trigger_step, &mut tee);
+    }
+
+    // Phase 2: tamper.
+    let candidates = match model {
+        AttackModel::FormatString => interp.mem.live_mutable_cells(),
+        AttackModel::BufferOverflow | AttackModel::ContiguousOverflow => {
+            interp.mem.live_stack_cells()
+        }
+    };
+    let tampered = if interp.status() == &ExecStatus::Running && !candidates.is_empty() {
+        if model == AttackModel::ContiguousOverflow {
+            // Smash a run of 2–8 adjacent cells with string-like bytes.
+            let start = rng.gen_range(0..candidates.len());
+            let len = rng.gen_range(2..=8usize);
+            let mut any = false;
+            for i in 0..len.min(candidates.len() - start) {
+                let cell = candidates[start + i];
+                any |= interp.mem.tamper(cell, rng.gen_range(0x20..0x7f));
+            }
+            any
+        } else {
+            let cell = candidates[rng.gen_range(0..candidates.len())];
+            let old = interp.mem.load(cell);
+            // Values drawn from a small, plausible-data distribution:
+            // flipping flags and IDs is the non-control-data attack of
+            // interest. A wild 64-bit value would be caught by trivial
+            // means. Tampering always *changes* the cell (writing back the
+            // same value is not an attack).
+            let mut value = old;
+            while value == old {
+                value = match rng.gen_range(0..4) {
+                    0 => rng.gen_range(-2..=2),
+                    1 => rng.gen_range(0..=1),
+                    2 => old ^ (1 << rng.gen_range(0..8)),
+                    _ => rng.gen_range(-1000..=1000),
+                };
+            }
+            interp.mem.tamper(cell, value)
+        }
+    } else {
+        false
+    };
+
+    // Phase 3: run to completion under checking.
+    let status = {
+        let mut tee = Tee::new(&mut trace, &mut ipds);
+        interp.run(&mut tee)
+    };
+
+    // Diff against the golden trace.
+    let divergence = first_divergence(golden, &trace.trace);
+    let control_flow_changed = divergence.is_some();
+    let detected = ipds.checker.detected();
+    let detection_lag_branches = match (divergence, ipds.checker.alarms().first()) {
+        (Some(div), Some(alarm)) => Some(alarm.branch_seq.saturating_sub(div as u64 + 1)),
+        _ => None,
+    };
+
+    // Zero-false-positive sanity: an alarm without control-flow change is
+    // impossible (identical traces drive identical checker state).
+    debug_assert!(
+        !detected || control_flow_changed,
+        "alarm fired on an unchanged trace"
+    );
+
+    AttackOutcome {
+        tampered,
+        control_flow_changed,
+        detected,
+        detection_lag_branches,
+        status,
+    }
+}
+
+fn first_divergence(golden: &[(u64, bool)], attacked: &[(u64, bool)]) -> Option<usize> {
+    let n = golden.len().min(attacked.len());
+    for i in 0..n {
+        if golden[i] != attacked[i] {
+            return Some(i);
+        }
+    }
+    if golden.len() != attacked.len() {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+/// Runs a full campaign against one program with the given input script.
+pub fn run_campaign(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    campaign: &Campaign,
+) -> CampaignResult {
+    let (golden, steps, golden_status) = golden_run(program, inputs, campaign.limits);
+    assert!(
+        !matches!(golden_status, ExecStatus::Fault(_)),
+        "golden run must not fault: {golden_status:?}"
+    );
+    let mut result = CampaignResult {
+        attacks: campaign.attacks,
+        cf_changed: 0,
+        detected: 0,
+        mean_lag_branches: 0.0,
+    };
+    let mut lags = Vec::new();
+    for i in 0..campaign.attacks {
+        let mut rng = StdRng::seed_from_u64(campaign.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)));
+        // Trigger anywhere in the first 95% of the run so the attack has
+        // room to manifest.
+        let hi = (steps.saturating_mul(95) / 100).max(2);
+        let trigger = rng.gen_range(1..hi);
+        let outcome = run_attack(
+            program,
+            analysis,
+            inputs,
+            &golden,
+            trigger,
+            campaign.model,
+            &mut rng,
+            campaign.limits,
+        );
+        if outcome.control_flow_changed {
+            result.cf_changed += 1;
+        }
+        if outcome.detected {
+            result.detected += 1;
+        }
+        if let Some(lag) = outcome.detection_lag_branches {
+            lags.push(lag as f64);
+        }
+    }
+    if !lags.is_empty() {
+        result.mean_lag_branches = lags.iter().sum::<f64>() / lags.len() as f64;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipds_analysis::{analyze_program, AnalysisConfig};
+
+    /// The Figure-1 privilege-escalation victim: correlated `user` checks
+    /// with input in between.
+    const VICTIM: &str = "fn main() -> int { int user; int req; \
+        user = read_int(); \
+        if (user == 1) { print_int(100); } \
+        req = read_int(); \
+        print_int(req); \
+        if (user == 1) { print_int(200); } else { print_int(300); } \
+        return 0; }";
+
+    fn setup(src: &str) -> (Program, ProgramAnalysis) {
+        let p = ipds_ir::parse(src).unwrap();
+        let a = analyze_program(&p, &AnalysisConfig::default());
+        (p, a)
+    }
+
+    #[test]
+    fn golden_run_never_alarms() {
+        let (p, a) = setup(VICTIM);
+        let inputs = vec![Input::Int(0), Input::Int(7)];
+        let (golden, _, status) = golden_run(&p, &inputs, ExecLimits::default());
+        assert!(matches!(status, ExecStatus::Exited(_)));
+        assert_eq!(golden.len(), 2);
+        // Replay through the checker manually: no alarms.
+        let mut interp = Interp::new(&p, inputs, ExecLimits::default());
+        let mut obs = IpdsObserver::new(IpdsChecker::new(&a));
+        obs.checker.on_call(p.main().unwrap().id);
+        interp.run(&mut obs);
+        assert!(!obs.checker.detected());
+    }
+
+    #[test]
+    fn targeted_tamper_is_detected() {
+        // Deterministically tamper `user` between the two checks: the
+        // second check flips direction ⇒ alarm.
+        let (p, a) = setup(VICTIM);
+        let inputs = vec![Input::Int(0), Input::Int(7)];
+        let (golden, _, _) = golden_run(&p, &inputs, ExecLimits::default());
+
+        let mut interp = Interp::new(&p, inputs, ExecLimits::default());
+        let mut ipds = IpdsObserver::new(IpdsChecker::new(&a));
+        ipds.checker.on_call(p.main().unwrap().id);
+        let mut trace = BranchTrace::with_cap(0);
+
+        // Run until the first branch committed (user == 1, not taken).
+        loop {
+            let done = {
+                let mut tee = Tee::new(&mut trace, &mut ipds);
+                interp.step(&mut tee);
+                !trace.trace.is_empty() || interp.status() != &ExecStatus::Running
+            };
+            if done {
+                break;
+            }
+        }
+        // Tamper user (frame 0, local 0) to 1 — privilege escalation.
+        let addr = interp.mem.addr_of(0, ipds_ir::VarId::local(0));
+        assert!(interp.mem.tamper(addr, 1));
+        {
+            let mut tee = Tee::new(&mut trace, &mut ipds);
+            interp.run(&mut tee);
+        }
+        assert!(ipds.checker.detected(), "the flipped check must alarm");
+        assert_ne!(trace.trace, golden);
+    }
+
+    #[test]
+    fn campaign_statistics_are_consistent() {
+        let (p, a) = setup(VICTIM);
+        let inputs = vec![Input::Int(0), Input::Int(7)];
+        let c = Campaign {
+            attacks: 50,
+            seed: 42,
+            model: AttackModel::FormatString,
+            limits: ExecLimits::default(),
+        };
+        let r = run_campaign(&p, &a, &inputs, &c);
+        assert_eq!(r.attacks, 50);
+        assert!(r.detected <= r.cf_changed, "detected ⊆ cf-changed: {r:?}");
+        assert!(r.cf_changed <= r.attacks);
+        // This victim's control flow is entirely user-driven: some attacks
+        // must both land and be detected.
+        assert!(r.detected > 0, "{r:?}");
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let (p, a) = setup(VICTIM);
+        let inputs = vec![Input::Int(1), Input::Int(7)];
+        let c = Campaign {
+            attacks: 25,
+            seed: 7,
+            model: AttackModel::BufferOverflow,
+            limits: ExecLimits::default(),
+        };
+        let r1 = run_campaign(&p, &a, &inputs, &c);
+        let r2 = run_campaign(&p, &a, &inputs, &c);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn stack_model_restricts_targets() {
+        // A program whose decisions live in a global: stack-only tampering
+        // must detect strictly less than arbitrary tampering.
+        let src = "int mode; fn main() -> int { int i; mode = read_int(); \
+            for (i = 0; i < 8; i = i + 1) { \
+              if (mode == 1) { print_int(1); } else { print_int(2); } \
+            } return 0; }";
+        let (p, a) = setup(src);
+        let inputs = vec![Input::Int(0)];
+        let mk = |model| Campaign {
+            attacks: 60,
+            seed: 11,
+            model,
+            limits: ExecLimits::default(),
+        };
+        let fs = run_campaign(&p, &a, &inputs, &mk(AttackModel::FormatString));
+        let bo = run_campaign(&p, &a, &inputs, &mk(AttackModel::BufferOverflow));
+        assert!(
+            fs.detected >= bo.detected,
+            "format-string reaches the global, overflow does not: {fs:?} vs {bo:?}"
+        );
+    }
+}

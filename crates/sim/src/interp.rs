@@ -1,0 +1,687 @@
+//! The IR interpreter.
+//!
+//! Executes a [`Program`] one instruction at a time against the flat
+//! [`Memory`], emitting events to an [`ExecObserver`]. Step-level control is
+//! what the attack injector needs: it runs to a chosen instant, tampers a
+//! cell, and resumes.
+
+use std::collections::VecDeque;
+
+use ipds_ir::{
+    Address, Builtin, Callee, FuncId, Function, Inst, Operand, Program, Reg, Terminator, VarId,
+};
+
+use crate::memory::Memory;
+use crate::observer::ExecObserver;
+
+/// One element of the program's input stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Input {
+    /// Consumed by `read_int()`.
+    Int(i64),
+    /// Consumed by `read_str(dst, max)`.
+    Str(String),
+}
+
+impl From<i64> for Input {
+    fn from(v: i64) -> Self {
+        Input::Int(v)
+    }
+}
+
+impl From<&str> for Input {
+    fn from(s: &str) -> Self {
+        Input::Str(s.to_string())
+    }
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// Still runnable.
+    Running,
+    /// `main` returned or `exit(code)` was called.
+    Exited(i64),
+    /// A memory fault (wild or read-only write) terminated the program.
+    Fault(String),
+    /// The step budget ran out (treated as a hang).
+    OutOfBudget,
+}
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecLimits {
+    /// Maximum interpreted steps (instructions + terminators).
+    pub max_steps: u64,
+    /// Maximum call depth.
+    pub max_depth: usize,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits {
+            max_steps: 10_000_000,
+            max_depth: 256,
+        }
+    }
+}
+
+/// Per-function PC layout: cumulative instruction offsets per block.
+#[derive(Debug, Clone)]
+struct PcMap {
+    block_start: Vec<u64>,
+}
+
+impl PcMap {
+    fn new(func: &Function) -> PcMap {
+        let mut block_start = Vec::with_capacity(func.blocks.len());
+        let mut off = 0u64;
+        for b in &func.blocks {
+            block_start.push(off);
+            off += b.insts.len() as u64 + 1;
+        }
+        PcMap { block_start }
+    }
+
+    fn pc(&self, func: &Function, block: usize, idx: usize) -> u64 {
+        func.pc_base + 4 * (self.block_start[block] + idx as u64)
+    }
+}
+
+#[derive(Debug)]
+struct Activation {
+    func: u32,
+    block: usize,
+    idx: usize,
+    regs: Vec<i64>,
+    frame: usize,
+    ret_dst: Option<Reg>,
+}
+
+/// The interpreter.
+#[derive(Debug)]
+pub struct Interp<'a> {
+    program: &'a Program,
+    /// The simulated memory (public so the attack injector can tamper).
+    pub mem: Memory,
+    pcs: Vec<PcMap>,
+    inputs: VecDeque<Input>,
+    output: Vec<i64>,
+    stack: Vec<Activation>,
+    status: ExecStatus,
+    steps: u64,
+    limits: ExecLimits,
+}
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter poised at the entry of `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no `main`.
+    pub fn new(
+        program: &'a Program,
+        inputs: impl IntoIterator<Item = Input>,
+        limits: ExecLimits,
+    ) -> Interp<'a> {
+        let pcs = program.functions.iter().map(PcMap::new).collect();
+        let mut interp = Interp {
+            program,
+            mem: Memory::new(program),
+            pcs,
+            inputs: inputs.into_iter().collect(),
+            output: Vec::new(),
+            stack: Vec::new(),
+            status: ExecStatus::Running,
+            steps: 0,
+            limits,
+        };
+        let main = program.main().expect("program must define `main`");
+        interp.enter(main.id, &[], None);
+        interp
+    }
+
+    fn func(&self, id: u32) -> &'a Function {
+        &self.program.functions[id as usize]
+    }
+
+    fn enter(&mut self, func: FuncId, args: &[i64], ret_dst: Option<Reg>) {
+        let f = self.func(func.0);
+        let frame = self.mem.push_frame(f);
+        for (i, &a) in args.iter().enumerate() {
+            let addr = self.mem.addr_of(frame, VarId::local(i as u32));
+            // Frame cells were just allocated; this store cannot fault.
+            let ok = self.mem.store(addr, a);
+            debug_assert!(ok);
+        }
+        self.stack.push(Activation {
+            func: func.0,
+            block: f.entry.index(),
+            idx: 0,
+            regs: vec![0; f.next_reg as usize],
+            frame,
+            ret_dst,
+        });
+    }
+
+    /// The current status.
+    pub fn status(&self) -> &ExecStatus {
+        &self.status
+    }
+
+    /// Steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Values printed so far (`print_int`; `print_str` pushes each cell).
+    pub fn output(&self) -> &[i64] {
+        &self.output
+    }
+
+    /// Current call depth.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Runs until exit/fault/budget, notifying `obs`.
+    pub fn run(&mut self, obs: &mut impl ExecObserver) -> ExecStatus {
+        while self.status == ExecStatus::Running {
+            self.step(obs);
+        }
+        self.status.clone()
+    }
+
+    /// Runs at most `n` further steps.
+    pub fn run_steps(&mut self, n: u64, obs: &mut impl ExecObserver) -> ExecStatus {
+        let target = self.steps.saturating_add(n);
+        while self.status == ExecStatus::Running && self.steps < target {
+            self.step(obs);
+        }
+        self.status.clone()
+    }
+
+    fn operand(&self, act: &Activation, op: Operand) -> i64 {
+        match op {
+            Operand::Reg(r) => act.regs[r.0 as usize],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn fault(&mut self, msg: impl Into<String>) {
+        self.status = ExecStatus::Fault(msg.into());
+    }
+
+    /// Resolves an address expression to an absolute cell address.
+    fn resolve(&self, act: &Activation, addr: &Address) -> usize {
+        match addr {
+            Address::Var(v) => self.mem.addr_of(act.frame, *v),
+            Address::Element { base, index } => {
+                let b = self.mem.addr_of(act.frame, *base);
+                let i = self.operand(act, *index);
+                // Deliberately unchecked against the array bound: this is
+                // the buffer-overflow surface. Negative indices wrap to a
+                // wild address and fault on store.
+                (b as i64).wrapping_add(i).max(0) as usize
+            }
+            Address::Ptr { reg, offset } => {
+                let p = act.regs[reg.0 as usize];
+                p.wrapping_add(*offset).max(0) as usize
+            }
+        }
+    }
+
+    /// Executes one instruction or terminator.
+    pub fn step(&mut self, obs: &mut impl ExecObserver) {
+        if self.status != ExecStatus::Running {
+            return;
+        }
+        self.steps += 1;
+        if self.steps > self.limits.max_steps {
+            self.status = ExecStatus::OutOfBudget;
+            return;
+        }
+        let Some(act_idx) = self.stack.len().checked_sub(1) else {
+            self.status = ExecStatus::Exited(0);
+            return;
+        };
+        let (func_id, block, idx) = {
+            let a = &self.stack[act_idx];
+            (a.func, a.block, a.idx)
+        };
+        let func = self.func(func_id);
+        let pc = self.pcs[func_id as usize].pc(func, block, idx);
+        obs.on_inst(pc);
+
+        let bb = &func.blocks[block];
+        if idx < bb.insts.len() {
+            self.exec_inst(act_idx, &bb.insts[idx], pc, obs);
+            if self.status == ExecStatus::Running {
+                // exec_inst may have pushed a new activation (call); only
+                // advance the original one.
+                self.stack[act_idx].idx = idx + 1;
+            }
+        } else {
+            self.exec_terminator(act_idx, &bb.term, pc, obs);
+        }
+    }
+
+    fn exec_inst(
+        &mut self,
+        act_idx: usize,
+        inst: &Inst,
+        pc: u64,
+        obs: &mut impl ExecObserver,
+    ) {
+        match inst {
+            Inst::Const { dst, value } => {
+                self.stack[act_idx].regs[dst.0 as usize] = *value;
+            }
+            Inst::BinOp { dst, op, lhs, rhs } => {
+                let a = self.operand(&self.stack[act_idx], *lhs);
+                let b = self.operand(&self.stack[act_idx], *rhs);
+                self.stack[act_idx].regs[dst.0 as usize] = op.eval(a, b);
+            }
+            Inst::Cmp {
+                dst,
+                pred,
+                lhs,
+                rhs,
+            } => {
+                let a = self.operand(&self.stack[act_idx], *lhs);
+                let b = self.operand(&self.stack[act_idx], *rhs);
+                self.stack[act_idx].regs[dst.0 as usize] = pred.eval(a, b) as i64;
+            }
+            Inst::Load { dst, addr } => {
+                let a = self.resolve(&self.stack[act_idx], addr);
+                obs.on_mem(pc, a, false);
+                self.stack[act_idx].regs[dst.0 as usize] = self.mem.load(a);
+            }
+            Inst::Store { addr, src } => {
+                let a = self.resolve(&self.stack[act_idx], addr);
+                let v = self.operand(&self.stack[act_idx], *src);
+                obs.on_mem(pc, a, true);
+                if !self.mem.store(a, v) {
+                    self.fault(format!("store fault at cell {a}"));
+                }
+            }
+            Inst::AddrOf { dst, base, offset } => {
+                let b = self.mem.addr_of(self.stack[act_idx].frame, *base);
+                let o = self.operand(&self.stack[act_idx], *offset);
+                self.stack[act_idx].regs[dst.0 as usize] = (b as i64).wrapping_add(o);
+            }
+            Inst::Call { dst, callee, args } => {
+                let argv: Vec<i64> = args
+                    .iter()
+                    .map(|a| self.operand(&self.stack[act_idx], *a))
+                    .collect();
+                match callee {
+                    Callee::Direct(fid) => {
+                        if self.stack.len() >= self.limits.max_depth {
+                            self.fault("call stack overflow");
+                            return;
+                        }
+                        // step() advances the caller's idx past the call
+                        // after we return; the new activation starts at its
+                        // entry block independently.
+                        self.enter(*fid, &argv, *dst);
+                        obs.on_call(*fid);
+                    }
+                    Callee::Builtin(b) => {
+                        let result = self.exec_builtin(*b, &argv, pc, obs);
+                        if self.status != ExecStatus::Running {
+                            return;
+                        }
+                        if let (Some(d), Some(v)) = (dst, result) {
+                            self.stack[act_idx].regs[d.0 as usize] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_terminator(
+        &mut self,
+        act_idx: usize,
+        term: &Terminator,
+        pc: u64,
+        obs: &mut impl ExecObserver,
+    ) {
+        match term {
+            Terminator::Jump(t) => {
+                self.stack[act_idx].block = t.index();
+                self.stack[act_idx].idx = 0;
+            }
+            Terminator::Branch {
+                cond,
+                taken,
+                not_taken,
+            } => {
+                let c = self.stack[act_idx].regs[cond.0 as usize];
+                let dir = c != 0;
+                obs.on_branch(pc, dir);
+                let target = if dir { taken } else { not_taken };
+                self.stack[act_idx].block = target.index();
+                self.stack[act_idx].idx = 0;
+            }
+            Terminator::Return(v) => {
+                let value = v.map(|op| self.operand(&self.stack[act_idx], op));
+                let act = self.stack.pop().expect("active frame");
+                self.mem.pop_frame();
+                if self.stack.is_empty() {
+                    self.status = ExecStatus::Exited(value.unwrap_or(0));
+                    return;
+                }
+                obs.on_return();
+                if let Some(dst) = act.ret_dst {
+                    let caller = self.stack.len() - 1;
+                    self.stack[caller].regs[dst.0 as usize] = value.unwrap_or(0);
+                }
+                // The caller's idx was already advanced past the call when
+                // the call instruction executed.
+            }
+        }
+    }
+
+    fn read_cstr(&self, addr: usize, max: usize) -> Vec<i64> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let c = self.mem.load(addr + i);
+            if c == 0 {
+                break;
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    fn exec_builtin(
+        &mut self,
+        b: Builtin,
+        args: &[i64],
+        pc: u64,
+        obs: &mut impl ExecObserver,
+    ) -> Option<i64> {
+        match b {
+            Builtin::ReadInt => loop {
+                match self.inputs.pop_front() {
+                    Some(Input::Int(v)) => return Some(v),
+                    Some(Input::Str(_)) => continue, // skip mismatched input
+                    None => return Some(0),
+                }
+            },
+            Builtin::ReadStr => {
+                let dst = args[0].max(0) as usize;
+                let max = args[1].max(0) as usize;
+                let s = loop {
+                    match self.inputs.pop_front() {
+                        Some(Input::Str(s)) => break s,
+                        Some(Input::Int(_)) => continue,
+                        None => break String::new(),
+                    }
+                };
+                // Unbounded against the real buffer: copies up to `max`
+                // cells plus NUL. The caller passing a `max` larger than the
+                // buffer is the classic overflow bug.
+                let mut wrote = 0usize;
+                for (i, c) in s.chars().take(max).enumerate() {
+                    obs.on_mem(pc, dst + i, true);
+                    if !self.mem.store(dst + i, c as i64) {
+                        self.fault(format!("read_str overflow fault at cell {}", dst + i));
+                        return None;
+                    }
+                    wrote = i + 1;
+                }
+                obs.on_mem(pc, dst + wrote, true);
+                if !self.mem.store(dst + wrote, 0) {
+                    self.fault("read_str NUL fault");
+                    return None;
+                }
+                Some(wrote as i64)
+            }
+            Builtin::PrintInt => {
+                self.output.push(args[0]);
+                None
+            }
+            Builtin::PrintStr => {
+                let s = self.read_cstr(args[0].max(0) as usize, 4096);
+                self.output.extend(s);
+                None
+            }
+            Builtin::StrCmp | Builtin::StrNCmp => {
+                let limit = if b == Builtin::StrNCmp {
+                    args[2].max(0) as usize
+                } else {
+                    4096
+                };
+                let a = self.read_cstr(args[0].max(0) as usize, limit);
+                let c = self.read_cstr(args[1].max(0) as usize, limit);
+                for i in 0..limit {
+                    let x = a.get(i).copied().unwrap_or(0);
+                    let y = c.get(i).copied().unwrap_or(0);
+                    if x != y {
+                        return Some(if x < y { -1 } else { 1 });
+                    }
+                    if x == 0 {
+                        break;
+                    }
+                }
+                Some(0)
+            }
+            Builtin::StrCpy => {
+                let dst = args[0].max(0) as usize;
+                let src = self.read_cstr(args[1].max(0) as usize, 4096);
+                for (i, &c) in src.iter().enumerate() {
+                    obs.on_mem(pc, dst + i, true);
+                    if !self.mem.store(dst + i, c) {
+                        self.fault(format!("strcpy fault at cell {}", dst + i));
+                        return None;
+                    }
+                }
+                obs.on_mem(pc, dst + src.len(), true);
+                if !self.mem.store(dst + src.len(), 0) {
+                    self.fault("strcpy NUL fault");
+                }
+                None
+            }
+            Builtin::StrLen => Some(self.read_cstr(args[0].max(0) as usize, 4096).len() as i64),
+            Builtin::Atoi => {
+                let s = self.read_cstr(args[0].max(0) as usize, 64);
+                let text: String = s
+                    .iter()
+                    .map(|&c| char::from_u32(c as u32).unwrap_or('\0'))
+                    .collect();
+                Some(text.trim().parse::<i64>().unwrap_or(0))
+            }
+            Builtin::MemSet => {
+                let dst = args[0].max(0) as usize;
+                let v = args[1];
+                let n = args[2].max(0) as usize;
+                for i in 0..n {
+                    obs.on_mem(pc, dst + i, true);
+                    if !self.mem.store(dst + i, v) {
+                        self.fault(format!("memset fault at cell {}", dst + i));
+                        return None;
+                    }
+                }
+                None
+            }
+            Builtin::MemCpy => {
+                let dst = args[0].max(0) as usize;
+                let src = args[1].max(0) as usize;
+                let n = args[2].max(0) as usize;
+                for i in 0..n {
+                    let v = self.mem.load(src + i);
+                    obs.on_mem(pc, dst + i, true);
+                    if !self.mem.store(dst + i, v) {
+                        self.fault(format!("memcpy fault at cell {}", dst + i));
+                        return None;
+                    }
+                }
+                None
+            }
+            Builtin::Abs => Some(args[0].wrapping_abs()),
+            Builtin::Exit => {
+                self.status = ExecStatus::Exited(args[0]);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+
+    fn run(src: &str, inputs: Vec<Input>) -> (ExecStatus, Vec<i64>) {
+        let p = ipds_ir::parse(src).unwrap();
+        let mut i = Interp::new(&p, inputs, ExecLimits::default());
+        let s = i.run(&mut NullObserver);
+        (s, i.output().to_vec())
+    }
+
+    #[test]
+    fn arithmetic_and_control_flow() {
+        let (s, out) = run(
+            "fn main() -> int { int i; int acc; acc = 0; \
+             for (i = 1; i <= 5; i = i + 1) { acc = acc + i; } \
+             print_int(acc); return acc; }",
+            vec![],
+        );
+        assert_eq!(s, ExecStatus::Exited(15));
+        assert_eq!(out, vec![15]);
+    }
+
+    #[test]
+    fn inputs_and_branching() {
+        let src = "fn main() -> int { int x; x = read_int(); \
+                   if (x < 10) { print_int(1); } else { print_int(2); } return x; }";
+        let (s, out) = run(src, vec![Input::Int(3)]);
+        assert_eq!(s, ExecStatus::Exited(3));
+        assert_eq!(out, vec![1]);
+        let (_, out) = run(src, vec![Input::Int(30)]);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn function_calls_and_returns() {
+        let (s, out) = run(
+            "fn sq(int v) -> int { return v * v; } \
+             fn main() -> int { int r; r = sq(read_int()); print_int(r); return r; }",
+            vec![Input::Int(7)],
+        );
+        assert_eq!(s, ExecStatus::Exited(49));
+        assert_eq!(out, vec![49]);
+    }
+
+    #[test]
+    fn recursion() {
+        let (s, _) = run(
+            "fn fib(int n) -> int { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } \
+             fn main() -> int { return fib(10); }",
+            vec![],
+        );
+        assert_eq!(s, ExecStatus::Exited(55));
+    }
+
+    #[test]
+    fn pointers_and_arrays() {
+        let (s, _) = run(
+            "fn bump(int *p) { *p = *p + 1; } \
+             fn main() -> int { int a[3]; int i; \
+             for (i = 0; i < 3; i = i + 1) { a[i] = i * 10; } \
+             bump(&a[1]); return a[0] + a[1] + a[2]; }",
+            vec![],
+        );
+        assert_eq!(s, ExecStatus::Exited(31)); // 0 + 11 + 20
+    }
+
+    #[test]
+    fn string_builtins() {
+        let (s, out) = run(
+            "fn main() -> int { int buf[16]; int r; \
+             strcpy(buf, \"admin\"); \
+             r = strcmp(buf, \"admin\"); print_int(r); \
+             r = strncmp(buf, \"adxxx\", 2); print_int(r); \
+             r = strlen(buf); print_int(r); \
+             return 0; }",
+            vec![],
+        );
+        assert_eq!(s, ExecStatus::Exited(0));
+        assert_eq!(out, vec![0, 0, 5]);
+    }
+
+    #[test]
+    fn read_str_overflow_clobbers_neighbor() {
+        // buf has 4 cells but read_str is allowed 8: the 5th char lands in
+        // `flag` (and the NUL in `pad`).
+        let (s, out) = run(
+            "fn main() -> int { int buf[4]; int flag; int pad; flag = 0; pad = 1; \
+             read_str(buf, 8); \
+             if (flag == 0) { print_int(0); } else { print_int(1); } return flag; }",
+            vec![Input::Str("AAAAZ".into())],
+        );
+        // 'Z' = 90 lands in flag.
+        assert_eq!(s, ExecStatus::Exited('Z' as i64));
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn atoi_and_exit() {
+        let (s, _) = run(
+            "fn main() -> int { int buf[8]; read_str(buf, 7); exit(atoi(buf)); return 9; }",
+            vec![Input::Str("42".into())],
+        );
+        assert_eq!(s, ExecStatus::Exited(42));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let p = ipds_ir::parse("fn main() -> int { while (1 == 1) { } return 0; }").unwrap();
+        let mut i = Interp::new(
+            &p,
+            vec![],
+            ExecLimits {
+                max_steps: 1000,
+                max_depth: 64,
+            },
+        );
+        assert_eq!(i.run(&mut NullObserver), ExecStatus::OutOfBudget);
+    }
+
+    #[test]
+    fn stack_overflow_faults() {
+        let p = ipds_ir::parse(
+            "fn rec(int n) -> int { return rec(n + 1); } fn main() -> int { return rec(0); }",
+        )
+        .unwrap();
+        let mut i = Interp::new(&p, vec![], ExecLimits::default());
+        assert!(matches!(i.run(&mut NullObserver), ExecStatus::Fault(_)));
+    }
+
+    #[test]
+    fn wild_store_faults() {
+        let (s, _) = run(
+            "fn main() -> int { int *p; p = 99999999; *p = 1; return 0; }",
+            vec![],
+        );
+        assert!(matches!(s, ExecStatus::Fault(_)), "{s:?}");
+    }
+
+    #[test]
+    fn observer_sees_branches_and_calls() {
+        use crate::observer::BranchTrace;
+        let p = ipds_ir::parse(
+            "fn f() -> int { return 1; } \
+             fn main() -> int { int x; x = read_int(); if (x < 5) { f(); } return 0; }",
+        )
+        .unwrap();
+        let mut tr = BranchTrace::with_cap(0);
+        let mut i = Interp::new(&p, vec![Input::Int(1)], ExecLimits::default());
+        i.run(&mut tr);
+        assert_eq!(tr.trace.len(), 1);
+        assert!(tr.trace[0].1, "x < 5 taken");
+    }
+}

@@ -1,0 +1,32 @@
+//! # ipds-sim — execution substrate: interpreter, attacks, timing
+//!
+//! The paper evaluated IPDS in two simulators: Bochs (whole-system, for the
+//! attack/detection experiments) and SimpleScalar (cycle-level, for the
+//! performance experiments). This crate plays both roles for our IR:
+//!
+//! * [`memory`] — a flat cell memory with stack frames laid out
+//!   contiguously, so out-of-bounds writes clobber neighbouring variables
+//!   exactly like a real stack smash;
+//! * [`interp`] — a step-able interpreter emitting execution events
+//!   (instructions, memory accesses, branches, calls) to pluggable
+//!   [`observer`]s;
+//! * [`attack`] — the §6 experiment protocol: golden run, single-location
+//!   memory tampering at a chosen instant (format-string = any live cell,
+//!   buffer-overflow = stack cells), control-flow diffing and detection
+//!   measurement over seeded campaigns;
+//! * [`pipeline`] — a simplified superscalar timing model with the Table 1
+//!   caches, 2-level branch predictor and the IPDS request queue /
+//!   spill-fill costs, producing the Fig. 9 normalized-performance numbers
+//!   and the mean detection latency.
+
+pub mod attack;
+pub mod interp;
+pub mod memory;
+pub mod observer;
+pub mod pipeline;
+
+pub use attack::{AttackModel, AttackOutcome, Campaign, CampaignResult};
+pub use interp::{ExecLimits, ExecStatus, Input, Interp};
+pub use memory::Memory;
+pub use observer::{ExecObserver, IpdsObserver, NullObserver};
+pub use pipeline::{PerfReport, TimingModel};

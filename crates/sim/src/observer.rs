@@ -1,0 +1,134 @@
+//! Execution observers: how the interpreter feeds the IPDS and the timing
+//! model.
+
+use ipds_ir::FuncId;
+use ipds_runtime::IpdsChecker;
+
+/// Events a consumer of the execution stream can react to.
+///
+/// Default implementations ignore everything, so observers implement only
+/// what they need. The interpreter calls these in commit order.
+pub trait ExecObserver {
+    /// An instruction (of any kind) committed at `pc`.
+    fn on_inst(&mut self, pc: u64) {
+        let _ = pc;
+    }
+    /// A data memory access committed (`store == true` for writes).
+    fn on_mem(&mut self, pc: u64, addr: usize, store: bool) {
+        let _ = (pc, addr, store);
+    }
+    /// A conditional branch committed with direction `dir`.
+    fn on_branch(&mut self, pc: u64, dir: bool) {
+        let _ = (pc, dir);
+    }
+    /// Control entered `func`.
+    fn on_call(&mut self, func: FuncId) {
+        let _ = func;
+    }
+    /// Control returned from the current function.
+    fn on_return(&mut self) {}
+}
+
+/// An observer that ignores everything (baseline runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl ExecObserver for NullObserver {}
+
+/// Adapts the functional [`IpdsChecker`] to the observer interface.
+///
+/// This is the wiring of Fig. 6: every committed branch is sent to the IPDS;
+/// calls and returns push/pop table frames.
+#[derive(Debug)]
+pub struct IpdsObserver<'a> {
+    /// The wrapped checker (exposed for result inspection).
+    pub checker: IpdsChecker<'a>,
+}
+
+impl<'a> IpdsObserver<'a> {
+    /// Wraps a checker.
+    pub fn new(checker: IpdsChecker<'a>) -> IpdsObserver<'a> {
+        IpdsObserver { checker }
+    }
+}
+
+impl ExecObserver for IpdsObserver<'_> {
+    fn on_branch(&mut self, pc: u64, dir: bool) {
+        self.checker.on_branch(pc, dir);
+    }
+
+    fn on_call(&mut self, func: FuncId) {
+        self.checker.on_call(func);
+    }
+
+    fn on_return(&mut self) {
+        self.checker.on_return();
+    }
+}
+
+/// Fans one event stream out to two observers.
+#[derive(Debug)]
+pub struct Tee<'a, A, B> {
+    /// First receiver.
+    pub a: &'a mut A,
+    /// Second receiver.
+    pub b: &'a mut B,
+}
+
+impl<'a, A: ExecObserver, B: ExecObserver> Tee<'a, A, B> {
+    /// Creates a tee over two observers.
+    pub fn new(a: &'a mut A, b: &'a mut B) -> Tee<'a, A, B> {
+        Tee { a, b }
+    }
+}
+
+impl<A: ExecObserver, B: ExecObserver> ExecObserver for Tee<'_, A, B> {
+    fn on_inst(&mut self, pc: u64) {
+        self.a.on_inst(pc);
+        self.b.on_inst(pc);
+    }
+    fn on_mem(&mut self, pc: u64, addr: usize, store: bool) {
+        self.a.on_mem(pc, addr, store);
+        self.b.on_mem(pc, addr, store);
+    }
+    fn on_branch(&mut self, pc: u64, dir: bool) {
+        self.a.on_branch(pc, dir);
+        self.b.on_branch(pc, dir);
+    }
+    fn on_call(&mut self, func: FuncId) {
+        self.a.on_call(func);
+        self.b.on_call(func);
+    }
+    fn on_return(&mut self) {
+        self.a.on_return();
+        self.b.on_return();
+    }
+}
+
+/// Records the committed branch trace (for control-flow diffing).
+#[derive(Debug, Default, Clone)]
+pub struct BranchTrace {
+    /// `(pc, direction)` pairs in commit order, capped at `cap`.
+    pub trace: Vec<(u64, bool)>,
+    /// Maximum entries kept (0 = unlimited).
+    pub cap: usize,
+}
+
+impl BranchTrace {
+    /// Creates a trace recorder keeping at most `cap` entries (0 =
+    /// unlimited).
+    pub fn with_cap(cap: usize) -> BranchTrace {
+        BranchTrace {
+            trace: Vec::new(),
+            cap,
+        }
+    }
+}
+
+impl ExecObserver for BranchTrace {
+    fn on_branch(&mut self, pc: u64, dir: bool) {
+        if self.cap == 0 || self.trace.len() < self.cap {
+            self.trace.push((pc, dir));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Set-associative cache models with LRU replacement.
+
+use ipds_runtime::HwConfig;
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    block_shift: u32,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps parallel to `tags`.
+    stamps: Vec<u64>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates a cache of `size` bytes, `ways`-associative, `block` bytes
+    /// per line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets).
+    pub fn new(size: u32, ways: u32, block: u32) -> Cache {
+        let sets = (size / (ways * block)) as usize;
+        assert!(sets > 0, "cache too small for its geometry");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets,
+            ways: ways as usize,
+            block_shift: block.trailing_zeros(),
+            tags: vec![u64::MAX; sets * ways as usize],
+            stamps: vec![0; sets * ways as usize],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accesses `addr` (a byte address); returns `true` on hit and fills the
+    /// line on miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = addr >> self.block_shift;
+        let set = (line as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        for w in 0..self.ways {
+            if self.tags[base + w] == line {
+                self.stamps[base + w] = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        // Replace LRU.
+        let mut victim = 0;
+        for w in 1..self.ways {
+            if self.stamps[base + w] < self.stamps[base + victim] {
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.tick;
+        false
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+/// A small fully-associative TLB over 4 KiB pages (Table 1 charges a
+/// 30-cycle miss).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<u64>,
+    stamps: Vec<u64>,
+    tick: u64,
+    /// Misses observed.
+    pub misses: u64,
+    /// Hits observed.
+    pub hits: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `entries` slots.
+    pub fn new(entries: usize) -> Tlb {
+        Tlb {
+            entries: vec![u64::MAX; entries.max(1)],
+            stamps: vec![0; entries.max(1)],
+            tick: 0,
+            misses: 0,
+            hits: 0,
+        }
+    }
+
+    /// Touches the page of `addr`; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let page = addr >> 12;
+        for (i, e) in self.entries.iter().enumerate() {
+            if *e == page {
+                self.stamps[i] = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        let mut victim = 0;
+        for i in 1..self.entries.len() {
+            if self.stamps[i] < self.stamps[victim] {
+                victim = i;
+            }
+        }
+        self.entries[victim] = page;
+        self.stamps[victim] = self.tick;
+        false
+    }
+}
+
+/// L1-I / L1-D / unified-L2 hierarchy (plus a data TLB) returning access
+/// latencies per Table 1.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Instruction L1.
+    pub l1i: Cache,
+    /// Data L1.
+    pub l1d: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    /// Data TLB (64 entries, 4 KiB pages).
+    pub dtlb: Tlb,
+    l1_latency: u32,
+    l2_latency: u32,
+    mem_latency: u32,
+    tlb_miss: u32,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy from the hardware config.
+    pub fn new(config: &HwConfig) -> Hierarchy {
+        Hierarchy {
+            l1i: Cache::new(config.l1_size, config.l1_ways, config.block_size),
+            l1d: Cache::new(config.l1_size, config.l1_ways, config.block_size),
+            l2: Cache::new(config.l2_size, config.l2_ways, config.block_size),
+            dtlb: Tlb::new(64),
+            l1_latency: config.l1_latency,
+            l2_latency: config.l2_latency,
+            mem_latency: config.mem_first_chunk
+                + (config.block_size / config.mem_bus_bytes).saturating_sub(1)
+                    * config.mem_inter_chunk,
+            tlb_miss: config.tlb_miss,
+        }
+    }
+
+    /// Latency of an instruction fetch at `pc`.
+    pub fn fetch(&mut self, pc: u64) -> u32 {
+        if self.l1i.access(pc) {
+            self.l1_latency
+        } else if self.l2.access(pc) {
+            self.l2_latency
+        } else {
+            self.mem_latency
+        }
+    }
+
+    /// Latency of a data access at byte address `addr`, including any TLB
+    /// refill.
+    pub fn data(&mut self, addr: u64) -> u32 {
+        let tlb_penalty = if self.dtlb.access(addr) {
+            0
+        } else {
+            self.tlb_miss
+        };
+        let cache = if self.l1d.access(addr) {
+            self.l1_latency
+        } else if self.l2.access(addr) {
+            self.l2_latency
+        } else {
+            self.mem_latency
+        };
+        cache + tlb_penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(1024, 2, 32);
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x104), "same line");
+        assert!(!c.access(0x100 + 32), "next line misses");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-way, 32B lines, 2 sets → set stride 64.
+        let mut c = Cache::new(128, 2, 32);
+        assert!(!c.access(0));
+        assert!(!c.access(64)); // same set, second way
+        assert!(c.access(0)); // refresh way 0
+        assert!(!c.access(128)); // evicts line 64 (LRU)
+        assert!(c.access(0), "line 0 must survive");
+        assert!(!c.access(64), "line 64 was evicted");
+    }
+
+    #[test]
+    fn hierarchy_latencies_are_ordered() {
+        let cfg = HwConfig::table1_default();
+        let mut h = Hierarchy::new(&cfg);
+        let miss = h.data(0x8000);
+        let l1_hit = h.data(0x8000);
+        assert!(miss > l1_hit);
+        assert_eq!(l1_hit, cfg.l1_latency);
+        // A different address that misses L1 but hits L2 after a first
+        // touch through both levels.
+        let _ = h.data(0x20000);
+        // Evict nothing relevant; re-touch keeps hitting.
+        assert_eq!(h.data(0x20000), cfg.l1_latency);
+    }
+
+    #[test]
+    fn tlb_hits_within_page_and_misses_across() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1FF8), "same 4K page");
+        assert!(!t.access(0x2000), "next page");
+        // Fill beyond capacity: LRU evicts page 0x1.
+        assert!(!t.access(0x3000));
+        assert!(!t.access(0x4000));
+        assert!(!t.access(0x5000));
+        assert!(!t.access(0x6000));
+        assert!(!t.access(0x1000), "page 1 was evicted");
+        assert!(t.hits >= 1 && t.misses >= 6);
+    }
+
+    #[test]
+    fn data_latency_includes_tlb_penalty() {
+        let cfg = HwConfig::table1_default();
+        let mut h = Hierarchy::new(&cfg);
+        // First touch: cache miss + TLB miss.
+        let first = h.data(0x40_0000);
+        // Second touch: everything warm.
+        let warm = h.data(0x40_0000);
+        assert!(first >= warm + cfg.tlb_miss, "first {first} warm {warm}");
+    }
+
+    #[test]
+    fn miss_rate_reporting() {
+        let mut c = Cache::new(1024, 2, 32);
+        for i in 0..100u64 {
+            c.access(i * 4096);
+        }
+        assert!(c.stats().miss_rate() > 0.9);
+    }
+}

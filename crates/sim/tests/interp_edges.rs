@@ -1,0 +1,164 @@
+//! Interpreter and attack-machinery edge cases beyond the unit tests.
+
+use ipds_sim::{ExecLimits, ExecStatus, Input, Interp, NullObserver};
+
+fn run(src: &str, inputs: Vec<Input>) -> (ExecStatus, Vec<i64>) {
+    let p = ipds_ir::parse(src).unwrap();
+    let mut i = Interp::new(&p, inputs, ExecLimits::default());
+    let s = i.run(&mut NullObserver);
+    (s, i.output().to_vec())
+}
+
+#[test]
+fn eof_inputs_default_to_zero_and_empty() {
+    let (s, out) = run(
+        "fn main() -> int { int x; int b[4]; x = read_int(); read_str(b, 3); \
+         print_int(x); print_int(strlen(b)); return 0; }",
+        vec![],
+    );
+    assert_eq!(s, ExecStatus::Exited(0));
+    assert_eq!(out, vec![0, 0]);
+}
+
+#[test]
+fn mismatched_input_kinds_are_skipped() {
+    // read_int skips a queued string; read_str skips a queued int.
+    let (s, out) = run(
+        "fn main() -> int { int x; int b[8]; x = read_int(); read_str(b, 6); \
+         print_int(x); print_str(b); return 0; }",
+        vec![
+            Input::Str("skipme".into()),
+            Input::Int(5),
+            Input::Int(9),
+            Input::Str("ok".into()),
+        ],
+    );
+    assert_eq!(s, ExecStatus::Exited(0));
+    assert_eq!(out, vec![5, 'o' as i64, 'k' as i64]);
+}
+
+#[test]
+fn negative_array_index_faults() {
+    let (s, _) = run(
+        "fn main() -> int { int a[4]; int i; i = read_int(); a[i] = 1; return 0; }",
+        vec![Input::Int(-100_000)],
+    );
+    assert!(matches!(s, ExecStatus::Fault(_)), "{s:?}");
+}
+
+#[test]
+fn division_and_shift_semantics_are_total() {
+    let (s, out) = run(
+        "fn main() -> int { int a; a = read_int(); \
+         print_int(a / 0); print_int(a % 0); \
+         print_int(1 << 70); print_int(a >> 65); \
+         return 0; }",
+        vec![Input::Int(12)],
+    );
+    assert_eq!(s, ExecStatus::Exited(0));
+    // div/rem by zero -> 0; shifts mask the amount (70 & 63 = 6, 65 & 63 = 1).
+    assert_eq!(out, vec![0, 0, 64, 6]);
+}
+
+#[test]
+fn atoi_parses_and_rejects() {
+    let (s, out) = run(
+        "fn main() -> int { int b[8]; \
+         read_str(b, 7); print_int(atoi(b)); \
+         read_str(b, 7); print_int(atoi(b)); \
+         read_str(b, 7); print_int(atoi(b)); \
+         return 0; }",
+        vec![
+            Input::Str("42".into()),
+            Input::Str("-7".into()),
+            Input::Str("junk".into()),
+        ],
+    );
+    assert_eq!(s, ExecStatus::Exited(0));
+    assert_eq!(out, vec![42, -7, 0]);
+}
+
+#[test]
+fn strncmp_respects_bound() {
+    let (s, out) = run(
+        "fn main() -> int { int a[8]; int b[8]; \
+         strcpy(a, \"abcXYZ\"); strcpy(b, \"abcDEF\"); \
+         print_int(strncmp(a, b, 3)); \
+         print_int(strncmp(a, b, 4)); \
+         return 0; }",
+        vec![],
+    );
+    assert_eq!(s, ExecStatus::Exited(0));
+    assert_eq!(out[0], 0, "equal in the first 3");
+    assert_ne!(out[1], 0, "differ at position 3");
+}
+
+#[test]
+fn memset_memcpy_roundtrip() {
+    let (s, out) = run(
+        "fn main() -> int { int a[4]; int b[4]; int i; int acc; \
+         memset(a, 7, 4); memcpy(b, a, 4); \
+         acc = 0; for (i = 0; i < 4; i = i + 1) { acc = acc + b[i]; } \
+         print_int(acc); return 0; }",
+        vec![],
+    );
+    assert_eq!(s, ExecStatus::Exited(0));
+    assert_eq!(out, vec![28]);
+}
+
+#[test]
+fn global_state_persists_across_calls() {
+    let (s, out) = run(
+        "int counter; \
+         fn bump() -> int { counter = counter + 1; return counter; } \
+         fn main() -> int { print_int(bump()); print_int(bump()); print_int(bump()); return counter; }",
+        vec![],
+    );
+    assert_eq!(s, ExecStatus::Exited(3));
+    assert_eq!(out, vec![1, 2, 3]);
+}
+
+#[test]
+fn locals_are_fresh_per_activation() {
+    // A local must not leak values between activations (frames are zeroed).
+    let (s, out) = run(
+        "fn probe() -> int { int x; int r; r = x; x = 99; return r; } \
+         fn main() -> int { print_int(probe()); print_int(probe()); return 0; }",
+        vec![],
+    );
+    assert_eq!(s, ExecStatus::Exited(0));
+    assert_eq!(out, vec![0, 0], "stale frame data leaked");
+}
+
+#[test]
+fn exit_unwinds_from_deep_in_the_stack() {
+    let (s, out) = run(
+        "fn deep(int n) -> int { if (n == 0) { exit(42); } return deep(n - 1); } \
+         fn main() -> int { print_int(1); deep(10); print_int(2); return 0; }",
+        vec![],
+    );
+    assert_eq!(s, ExecStatus::Exited(42));
+    assert_eq!(out, vec![1], "nothing after exit runs");
+}
+
+#[test]
+fn steps_accounting_is_monotonic_and_resumable() {
+    let p = ipds_ir::parse(
+        "fn main() -> int { int i; int s; s = 0; \
+         for (i = 0; i < 100; i = i + 1) { s = s + i; } return s; }",
+    )
+    .unwrap();
+    let mut i = Interp::new(&p, vec![], ExecLimits::default());
+    let mut last = 0;
+    while i.status() == &ExecStatus::Running {
+        i.run_steps(17, &mut NullObserver);
+        assert!(i.steps() >= last);
+        last = i.steps();
+    }
+    assert_eq!(*i.status(), ExecStatus::Exited(4950));
+
+    // A fresh interpreter run in one shot lands on the same step count.
+    let mut j = Interp::new(&p, vec![], ExecLimits::default());
+    j.run(&mut NullObserver);
+    assert_eq!(i.steps(), j.steps(), "chunked and whole runs agree");
+}

@@ -1,0 +1,227 @@
+//! Benign ("normal traffic") input scripts for the workloads.
+//!
+//! Each generator speaks its server's protocol and keeps every string short
+//! enough that no overflow surface triggers — benign runs must be
+//! fault-free and alarm-free; only the attack injector perturbs state.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ipds_sim::Input;
+
+fn short_str(rng: &mut StdRng, max_len: usize) -> Input {
+    let len = rng.gen_range(1..=max_len.max(1));
+    let s: String = (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect();
+    Input::Str(s)
+}
+
+/// Generates `requests` worth of benign traffic for the named workload.
+///
+/// # Panics
+///
+/// Panics on an unknown workload name.
+pub fn normal_inputs(name: &str, seed: u64, requests: u32) -> Vec<Input> {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut v: Vec<Input> = Vec::new();
+    match name {
+        "telnetd" => {
+            // Valid or invalid login, then a command mix.
+            if rng.gen_bool(0.7) {
+                v.push(Input::Int(1));
+                v.push(Input::Int(1234));
+            } else {
+                v.push(Input::Int(rng.gen_range(1..4)));
+                v.push(Input::Int(rng.gen_range(0..100)));
+            }
+            for _ in 0..requests {
+                let cmd = rng.gen_range(1..=4);
+                v.push(Input::Int(cmd));
+                match cmd {
+                    1 => v.push(short_str(&mut rng, 4)),
+                    2 => {
+                        v.push(Input::Int(rng.gen_range(1..4)));
+                        v.push(Input::Int(rng.gen_range(0..120)));
+                    }
+                    _ => {}
+                }
+            }
+            v.push(Input::Int(0));
+        }
+        "wuftpd" => {
+            let who = rng.gen_range(0..3);
+            v.push(Input::Int(who));
+            v.push(Input::Int(match who {
+                1 => 5150,
+                2 => 2001,
+                _ => 0,
+            }));
+            for _ in 0..requests {
+                let cmd = rng.gen_range(1..=4);
+                v.push(Input::Int(cmd));
+                match cmd {
+                    1 => v.push(Input::Int(rng.gen_range(0..8))),
+                    2 | 3 => v.push(short_str(&mut rng, 5)),
+                    _ => {}
+                }
+            }
+            v.push(Input::Int(0));
+        }
+        "xinetd" => {
+            for _ in 0..requests {
+                v.push(Input::Int(rng.gen_range(0..8)));
+                v.push(short_str(&mut rng, 4));
+                v.push(Input::Int(rng.gen_range(0..50)));
+            }
+            v.push(Input::Int(-1));
+        }
+        "crond" => {
+            let n = rng.gen_range(1..=4);
+            v.push(Input::Int(n));
+            for _ in 0..n {
+                v.push(Input::Int(rng.gen_range(0..30)));
+                v.push(Input::Int(rng.gen_range(0..2)));
+                v.push(short_str(&mut rng, 5));
+            }
+            v.push(Input::Int(requests.min(30) as i64));
+        }
+        "sysklogd" => {
+            v.push(Input::Int(if rng.gen_bool(0.5) { 1 } else { 0 })); // console
+            for _ in 0..requests {
+                v.push(Input::Int(rng.gen_range(0..5)));
+                v.push(Input::Int(rng.gen_range(0..9)));
+                v.push(short_str(&mut rng, 5));
+            }
+            v.push(Input::Int(-1));
+        }
+        "atftpd" => {
+            for _ in 0..requests {
+                let op = rng.gen_range(1..=2);
+                v.push(Input::Int(op));
+                v.push(short_str(&mut rng, 5));
+                if op == 1 {
+                    v.push(Input::Int(rng.gen_range(1..=2))); // mode
+                    v.push(Input::Int(rng.gen_range(1..12))); // blocks
+                }
+                // op 2 is refused while write-protected: no more inputs.
+            }
+            v.push(Input::Int(0));
+        }
+        "httpd" => {
+            v.push(Input::Int(if rng.gen_bool(0.5) { 4242 } else { 1 }));
+            for _ in 0..requests.min(23) {
+                v.push(Input::Int(rng.gen_range(1..=2)));
+                let class = [b's', b'c', b'a', b'x'][rng.gen_range(0..4)];
+                let tail: String = (0..rng.gen_range(0..4))
+                    .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                    .collect();
+                v.push(Input::Str(format!("{}{}", class as char, tail)));
+            }
+            v.push(Input::Int(0));
+        }
+        "sendmail" => {
+            v.push(Input::Int(1)); // HELO
+            v.push(Input::Int(if rng.gen_bool(0.4) { 10 } else { 20 }));
+            let msgs = (requests / 5).max(1);
+            for _ in 0..msgs {
+                v.push(Input::Int(2)); // MAIL
+                v.push(short_str(&mut rng, 5));
+                let rcpts = rng.gen_range(1..=3);
+                for _ in 0..rcpts {
+                    v.push(Input::Int(3)); // RCPT
+                    v.push(Input::Int(rng.gen_range(9..13)));
+                    v.push(short_str(&mut rng, 5));
+                }
+                v.push(Input::Int(4)); // DATA
+            }
+            v.push(Input::Int(0));
+        }
+        "sshd" => {
+            v.push(short_str(&mut rng, 5)); // banner
+            if rng.gen_bool(0.7) {
+                // Successful auth on the first try.
+                if rng.gen_bool(0.5) {
+                    v.push(Input::Int(7));
+                    v.push(Input::Int(1));
+                    v.push(Input::Int(2468));
+                } else {
+                    v.push(Input::Int(9));
+                    v.push(Input::Int(2));
+                    v.push(Input::Int(8642));
+                }
+                for _ in 0..requests {
+                    v.push(Input::Int(rng.gen_range(1..=2)));
+                }
+                v.push(Input::Int(0));
+            } else {
+                // Three failed attempts; the server hangs up.
+                for _ in 0..3 {
+                    v.push(Input::Int(rng.gen_range(1..5)));
+                    v.push(Input::Int(rng.gen_range(1..3)));
+                    v.push(Input::Int(rng.gen_range(0..100)));
+                }
+            }
+        }
+        "portmap" => {
+            v.push(Input::Int(if rng.gen_bool(0.5) { 1 } else { 0 }));
+            for _ in 0..requests {
+                let cmd = rng.gen_range(1..=4);
+                v.push(Input::Int(cmd));
+                match cmd {
+                    1 => {
+                        v.push(Input::Int(rng.gen_range(100..120)));
+                        v.push(Input::Int(rng.gen_range(1000..9999)));
+                        v.push(short_str(&mut rng, 4));
+                    }
+                    2 | 3 => v.push(Input::Int(rng.gen_range(100..120))),
+                    _ => {}
+                }
+            }
+            v.push(Input::Int(0));
+        }
+        other => panic!("unknown workload `{other}`"),
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        for name in [
+            "telnetd", "wuftpd", "xinetd", "crond", "sysklogd", "atftpd", "httpd", "sendmail",
+            "sshd", "portmap",
+        ] {
+            let a = normal_inputs(name, 5, 10);
+            let b = normal_inputs(name, 5, 10);
+            assert_eq!(a, b, "{name}");
+            let c = normal_inputs(name, 6, 10);
+            assert_ne!(a, c, "{name} should vary with seed");
+        }
+    }
+
+    #[test]
+    fn strings_stay_short() {
+        for name in [
+            "telnetd", "wuftpd", "xinetd", "crond", "sysklogd", "atftpd", "httpd", "sendmail",
+            "sshd", "portmap",
+        ] {
+            for seed in 0..5 {
+                for i in normal_inputs(name, seed, 16) {
+                    if let Input::Str(s) = i {
+                        assert!(s.chars().count() <= 6, "{name}: {s:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_name_panics() {
+        normal_inputs("nope", 0, 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! # ipds-workloads — the benchmark suite for the IPDS experiments
+//!
+//! The paper evaluates on ten real server programs with known
+//! vulnerabilities (telnetd, wu-ftpd, xinetd, crond, sysklogd, atftpd,
+//! httpd, sendmail, sshd, portmap). We cannot ship those C code bases, so
+//! this crate provides ten **synthetic MiniC servers** that mirror each
+//! program's control structure and, crucially, the idioms the detection
+//! mechanism keys on:
+//!
+//! * authentication/privilege flags tested repeatedly (the Fig. 1 pattern),
+//! * mode/configuration variables driving dispatch loops,
+//! * loop conditions over memory-resident counters,
+//! * helper functions with pointer parameters, and
+//! * genuine buffer-overflow surfaces (`read_str`/`strcpy` into fixed
+//!   buffers) that normal traffic never triggers.
+//!
+//! Each [`Workload`] bundles the MiniC source, the vulnerability class the
+//! original server had (which selects the attack model in Fig. 7), and a
+//! deterministic normal-traffic input generator.
+//!
+//! [`generator`] additionally produces *random* terminating MiniC programs
+//! used by the zero-false-positive property tests.
+
+pub mod generator;
+pub mod micro;
+pub mod inputs;
+pub mod programs;
+
+use ipds_sim::{AttackModel, Input};
+
+/// One benchmark program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name matching the paper's benchmark list.
+    pub name: &'static str,
+    /// MiniC source text.
+    pub source: &'static str,
+    /// The vulnerability class of the original server (selects the Fig. 7
+    /// attack model).
+    pub vuln: AttackModel,
+    /// Number of requests/sessions a default input script drives.
+    pub default_requests: u32,
+}
+
+impl Workload {
+    /// Parses the workload's source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source fails to compile (a bug in this
+    /// crate, covered by tests).
+    pub fn program(&self) -> ipds_ir::Program {
+        ipds_ir::parse(self.source)
+            .unwrap_or_else(|e| panic!("workload `{}` failed to parse: {e}", self.name))
+    }
+
+    /// Deterministic benign input script.
+    pub fn inputs(&self, seed: u64) -> Vec<Input> {
+        inputs::normal_inputs(self.name, seed, self.default_requests)
+    }
+}
+
+/// All ten workloads, in the paper's order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "telnetd",
+            source: programs::TELNETD,
+            vuln: AttackModel::BufferOverflow,
+            default_requests: 48,
+        },
+        Workload {
+            name: "wuftpd",
+            source: programs::WUFTPD,
+            vuln: AttackModel::FormatString,
+            default_requests: 48,
+        },
+        Workload {
+            name: "xinetd",
+            source: programs::XINETD,
+            vuln: AttackModel::BufferOverflow,
+            default_requests: 48,
+        },
+        Workload {
+            name: "crond",
+            source: programs::CROND,
+            vuln: AttackModel::BufferOverflow,
+            default_requests: 20,
+        },
+        Workload {
+            name: "sysklogd",
+            source: programs::SYSKLOGD,
+            vuln: AttackModel::FormatString,
+            default_requests: 80,
+        },
+        Workload {
+            name: "atftpd",
+            source: programs::ATFTPD,
+            vuln: AttackModel::BufferOverflow,
+            default_requests: 40,
+        },
+        Workload {
+            name: "httpd",
+            source: programs::HTTPD,
+            vuln: AttackModel::BufferOverflow,
+            default_requests: 20,
+        },
+        Workload {
+            name: "sendmail",
+            source: programs::SENDMAIL,
+            vuln: AttackModel::BufferOverflow,
+            default_requests: 40,
+        },
+        Workload {
+            name: "sshd",
+            source: programs::SSHD,
+            vuln: AttackModel::BufferOverflow,
+            default_requests: 40,
+        },
+        Workload {
+            name: "portmap",
+            source: programs::PORTMAP,
+            vuln: AttackModel::BufferOverflow,
+            default_requests: 48,
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipds_sim::{ExecLimits, ExecStatus, Interp, NullObserver};
+
+    #[test]
+    fn all_workloads_compile() {
+        for w in all() {
+            let p = w.program();
+            assert!(p.main().is_some(), "{} needs main", w.name);
+            assert!(
+                p.branch_count() >= 8,
+                "{} too branch-poor: {}",
+                w.name,
+                p.branch_count()
+            );
+        }
+    }
+
+    #[test]
+    fn all_workloads_run_cleanly_on_normal_traffic() {
+        for w in all() {
+            let p = w.program();
+            for seed in 0..3 {
+                let mut interp = Interp::new(&p, w.inputs(seed), ExecLimits::default());
+                let status = interp.run(&mut NullObserver);
+                assert!(
+                    matches!(status, ExecStatus::Exited(_)),
+                    "{} seed {seed} ended with {status:?}",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("httpd").is_some());
+        assert!(by_name("nonesuch").is_none());
+        assert_eq!(all().len(), 10);
+    }
+}

@@ -1,0 +1,183 @@
+//! Microbenchmark kernels for characterizing the timing model and the IPDS
+//! engine independent of the server workloads.
+//!
+//! Each kernel stresses one axis: branch density (checker pressure),
+//! call depth (table-stack spills), memory footprint (cache behaviour),
+//! and correlation density (BAT walk length). They are used by the ablation
+//! benches and the timing-model tests.
+
+use ipds_sim::Input;
+
+/// A named microbenchmark.
+#[derive(Debug, Clone)]
+pub struct Micro {
+    /// Kernel name.
+    pub name: &'static str,
+    /// MiniC source.
+    pub source: &'static str,
+    /// What it stresses (for reports).
+    pub stresses: &'static str,
+}
+
+/// Branch-dense kernel: almost every instruction is a correlated test.
+pub const BRANCH_STORM: &str = r#"
+fn main() -> int {
+    int a; int b; int c; int i; int acc;
+    a = read_int(); b = read_int(); c = read_int();
+    acc = 0;
+    for (i = 0; i < 200; i = i + 1) {
+        if (a < 10) { acc = acc + 1; }
+        if (a < 20) { acc = acc + 1; }
+        if (b == 0) { acc = acc + 1; }
+        if (b == 0) { acc = acc - 1; }
+        if (c > 5) { acc = acc + 2; }
+        if (c > 0) { acc = acc + 1; }
+    }
+    return acc;
+}
+"#;
+
+/// Deep call chains: pushes/pops table frames constantly.
+pub const CALL_LADDER: &str = r#"
+fn l5(int n) -> int { if (n <= 0) { return 0; } return n; }
+fn l4(int n) -> int { if (n <= 0) { return 0; } return l5(n - 1) + 1; }
+fn l3(int n) -> int { if (n <= 0) { return 0; } return l4(n - 1) + 1; }
+fn l2(int n) -> int { if (n <= 0) { return 0; } return l3(n - 1) + 1; }
+fn l1(int n) -> int { if (n <= 0) { return 0; } return l2(n - 1) + 1; }
+fn main() -> int {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < 100; i = i + 1) {
+        acc = acc + l1(5);
+    }
+    return acc;
+}
+"#;
+
+/// Deep recursion: maximizes stacked frames (spill pressure).
+pub const RECURSION: &str = r#"
+fn down(int n) -> int {
+    if (n <= 0) { return 0; }
+    return down(n - 1) + 1;
+}
+fn main() -> int {
+    int i; int acc;
+    acc = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        acc = acc + down(120);
+    }
+    return acc;
+}
+"#;
+
+/// Streaming memory: large array walks (cache behaviour dominates).
+pub const MEM_STREAM: &str = r#"
+int data[512];
+fn main() -> int {
+    int i; int pass; int acc;
+    acc = 0;
+    for (pass = 0; pass < 8; pass = pass + 1) {
+        for (i = 0; i < 512; i = i + 1) {
+            data[i] = data[i] + i;
+        }
+        for (i = 0; i < 512; i = i + 1) {
+            acc = acc + data[i];
+        }
+    }
+    return acc;
+}
+"#;
+
+/// Straight-line arithmetic: almost no branches (checker mostly idle).
+pub const ALU_BOUND: &str = r#"
+fn main() -> int {
+    int a; int b; int c; int d; int i;
+    a = read_int(); b = a + 1; c = b * 3; d = c - a;
+    for (i = 0; i < 300; i = i + 1) {
+        a = a + b;
+        b = b ^ c;
+        c = c + d;
+        d = d * 2;
+        a = a - d;
+        b = b + 7;
+        c = c % 1000000;
+        d = d % 1000000;
+    }
+    return a + b + c + d;
+}
+"#;
+
+/// All kernels.
+pub fn all_micros() -> Vec<Micro> {
+    vec![
+        Micro {
+            name: "branch_storm",
+            source: BRANCH_STORM,
+            stresses: "checker throughput / queue pressure",
+        },
+        Micro {
+            name: "call_ladder",
+            source: CALL_LADDER,
+            stresses: "table-stack push/pop",
+        },
+        Micro {
+            name: "recursion",
+            source: RECURSION,
+            stresses: "stack depth / spills",
+        },
+        Micro {
+            name: "mem_stream",
+            source: MEM_STREAM,
+            stresses: "cache hierarchy",
+        },
+        Micro {
+            name: "alu_bound",
+            source: ALU_BOUND,
+            stresses: "baseline IPC",
+        },
+    ]
+}
+
+/// Default inputs for a kernel (they read at most 3 integers).
+pub fn micro_inputs() -> Vec<Input> {
+    vec![Input::Int(3), Input::Int(0), Input::Int(9)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipds_sim::{ExecLimits, ExecStatus, Interp, NullObserver};
+
+    #[test]
+    fn all_micros_compile_and_terminate() {
+        for m in all_micros() {
+            let p = ipds_ir::parse(m.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let mut i = Interp::new(&p, micro_inputs(), ExecLimits::default());
+            let status = i.run(&mut NullObserver);
+            assert!(
+                matches!(status, ExecStatus::Exited(_)),
+                "{}: {status:?}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn kernels_have_their_advertised_shapes() {
+        let stats = |src: &str| {
+            let p = ipds_ir::parse(src).unwrap();
+            let branches = p.branch_count() as f64;
+            let insts = p.inst_count() as f64;
+            (branches / insts, p.functions.len())
+        };
+        let (storm_density, _) = stats(BRANCH_STORM);
+        let (alu_density, _) = stats(ALU_BOUND);
+        assert!(
+            storm_density > 2.0 * alu_density,
+            "branch_storm {storm_density:.3} vs alu {alu_density:.3}"
+        );
+        let (_, ladder_fns) = stats(CALL_LADDER);
+        assert_eq!(ladder_fns, 6);
+    }
+}

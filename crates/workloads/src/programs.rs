@@ -1,0 +1,944 @@
+//! The ten synthetic server programs (MiniC sources).
+//!
+//! Each mirrors the control structure of the corresponding real server from
+//! the paper's benchmark list and deliberately contains the idioms IPDS
+//! protects: repeatedly-tested auth/privilege/config variables, dispatch
+//! loops over memory-resident state, and an authentic overflow surface
+//! (`read_str`/`strcpy` with a limit larger than the buffer) that benign
+//! traffic never triggers.
+
+/// telnetd — login + option negotiation + echo loop (buffer overflow in the
+/// line buffer).
+pub const TELNETD: &str = r#"
+// telnetd: authentication state machine with option negotiation.
+int failures;
+
+fn check_pass(int user, int pass) -> int {
+    if (user == 1 && pass == 1234) { return 1; }
+    if (user == 2 && pass == 77) { return 1; }
+    return 0;
+}
+
+fn sanitize(int *buf, int n) -> int {
+    // Reject telnet IAC bytes and anything outside printable ASCII over
+    // the whole buffer window (stale bytes included, like a real daemon
+    // scanning its fixed-size line buffer).
+    int k;
+    for (k = 0; k < n; k = k + 1) {
+        if (buf[k] < 0 || buf[k] > 127) { return 0; }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int user; int pass; int cmd; int running; int priv;
+    int logged_in; int reqs; int ok; int opt; int val;
+    int echo_mode; int term_w; int term_h;
+    int line[6];
+    logged_in = 0; priv = 0; failures = 0; running = 1; reqs = 0;
+    echo_mode = 1; term_w = 80; term_h = 24;
+    user = read_int();
+    pass = read_int();
+    if (check_pass(user, pass) == 1) {
+        logged_in = 1;
+        if (user == 1) { priv = 1; }
+    } else {
+        failures = failures + 1;
+    }
+    while (running == 1 && reqs < 64) {
+        reqs = reqs + 1;
+        cmd = read_int();
+        if (cmd == 0) {
+            running = 0;
+        } else if (cmd == 1) {
+            // Echo a line. VULN: line has 8 cells, the copy allows 16.
+            read_str(line, 12);
+            ok = sanitize(line, 6);
+            // Lines are parsed: 'q' hangs up, '!' is a shell escape for
+            // privileged users, anything else echoes.
+            if (ok == 0) {
+                failures = failures + 1;
+            } else if (line[0] == 'q') {
+                running = 0;
+            } else if (line[0] == '!') {
+                if (priv == 1) { print_int(777); } else { failures = failures + 1; }
+            } else {
+                if (logged_in == 1) { print_str(line); } else { print_int(-1); }
+            }
+        } else if (cmd == 2) {
+            opt = read_int();
+            val = read_int();
+            if (opt == 1) {
+                if (val == 0 || val == 1) { echo_mode = val; }
+            } else if (opt == 2) {
+                if (val > 10 && val < 300) { term_w = val; }
+            } else if (opt == 3) {
+                if (val > 5 && val < 200) { term_h = val; }
+            }
+            if (echo_mode == 1) { print_int(1); }
+        } else if (cmd == 3) {
+            // Privileged operation: must agree with the login outcome.
+            if (priv == 1) { print_int(999); } else { print_int(-2); }
+        } else if (cmd == 4) {
+            if (logged_in == 1) {
+                print_int(term_w);
+                print_int(term_h);
+            } else { print_int(-1); }
+        } else {
+            failures = failures + 1;
+        }
+        if (failures > 5) { running = 0; }
+    }
+    return failures;
+}
+"#;
+
+/// wu-ftpd — FTP session with anonymous/real users (format-string class in
+/// the logging path).
+pub const WUFTPD: &str = r#"
+// wuftpd: USER/PASS then file commands; uid drives permissions.
+int uid;
+int anon_ok = 1;
+int xfers;
+int log_level = 1;
+
+fn log_event(int code, int detail) {
+    // The original bug class: logging attacker-controlled data. Our model
+    // attack writes an arbitrary cell; here logging just counts.
+    if (log_level > 0) { print_int(code); }
+    if (log_level > 1) { print_int(detail); }
+}
+
+fn authorize(int user, int pass) -> int {
+    if (user == 0 && anon_ok == 1) { return 100; }
+    if (user == 1 && pass == 5150) { return 1; }
+    if (user == 2 && pass == 2001) { return 2; }
+    return -1;
+}
+
+fn path_legal(int *p, int n) -> int {
+    // Whole-window scan: no control bytes, no '/' escapes anywhere in the
+    // fixed-size filename buffer.
+    int k;
+    for (k = 0; k < n; k = k + 1) {
+        if (p[k] < 0 || p[k] > 126) { return 0; }
+        if (p[k] == '/') { return 0; }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int user; int pass; int cmd; int running; int reqs; int anon_reqs;
+    int fname[6]; int cwd; int rc; int legal; int violations;
+    anon_reqs = 0; violations = 0;
+    user = read_int();
+    pass = read_int();
+    uid = authorize(user, pass);
+    if (uid < 0) {
+        log_event(530, user);
+        return 1;
+    }
+    log_event(230, uid);
+    running = 1; reqs = 0; cwd = 0; xfers = 0;
+    while (running == 1 && reqs < 64) {
+        reqs = reqs + 1;
+        // Per-request accounting: anonymous sessions are metered. This
+        // uid test repeats every iteration and must agree with the login.
+        if (uid == 100) { anon_reqs = anon_reqs + 1; }
+        // The quota counter is rarely written for real users but checked
+        // on every request.
+        if (anon_reqs > 60) { running = 0; }
+        // Protocol violations are sticky: benign sessions never trip them.
+        if (violations > 2) { running = 0; }
+        cmd = read_int();
+        if (cmd == 0) {
+            running = 0;
+        } else if (cmd == 1) {
+            // CWD: anonymous users stay in the pub tree.
+            rc = read_int();
+            if (uid == 100) {
+                if (rc >= 0 && rc < 4) { cwd = rc; }
+            } else {
+                if (rc >= 0 && rc < 16) { cwd = rc; }
+            }
+            log_event(250, cwd);
+        } else if (cmd == 2) {
+            // RETR: needs any login; VULN: filename buffer. Dotfiles and
+            // the password database are off limits.
+            read_str(fname, 12);
+            legal = path_legal(fname, 6);
+            if (legal == 0) {
+                violations = violations + 1;
+                log_event(553, 0);
+            } else if (fname[0] == '.') {
+                log_event(550, 2);
+            } else if (strcmp(fname, "passwd") == 0) {
+                log_event(550, 3);
+            } else {
+                xfers = xfers + 1;
+                log_event(226, xfers);
+            }
+        } else if (cmd == 3) {
+            // STOR: anonymous may not write, and dotfiles are refused.
+            read_str(fname, 12);
+            legal = path_legal(fname, 6);
+            if (uid == 100) {
+                log_event(550, 0);
+            } else if (legal == 0) {
+                violations = violations + 1;
+                log_event(553, 1);
+            } else if (fname[0] == '.') {
+                log_event(550, 4);
+            } else {
+                xfers = xfers + 1;
+                log_event(226, xfers);
+            }
+        } else if (cmd == 4) {
+            // SITE CHMOD: real users only, same check as STOR must agree.
+            if (uid == 100) { log_event(550, 1); } else { log_event(200, 0); }
+        } else {
+            log_event(500, cmd);
+        }
+    }
+    log_event(221, reqs);
+    print_int(anon_reqs);
+    return 0;
+}
+"#;
+
+/// xinetd — super-server dispatching to service handlers guarded by a
+/// per-service access table (buffer overflow in the service-name buffer).
+pub const XINETD: &str = r#"
+// xinetd: service dispatch with per-service enable flags and rate limits.
+int enabled[8];
+int hits[8];
+int rate_cap = 6;
+
+fn init_services() {
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+        hits[i] = 0;
+        if (i % 2 == 0) { enabled[i] = 1; } else { enabled[i] = 0; }
+    }
+}
+
+fn allow(int svc) -> int {
+    if (svc < 0 || svc >= 8) { return 0; }
+    if (enabled[svc] == 0) { return 0; }
+    if (hits[svc] >= rate_cap) { return 0; }
+    return 1;
+}
+
+fn serve(int svc, int arg) -> int {
+    hits[svc] = hits[svc] + 1;
+    if (svc == 0) { return arg + 1; }
+    if (svc == 2) { return arg * 2; }
+    if (svc == 4) { return arg - 1; }
+    return arg;
+}
+
+fn name_ok(int *p) -> int {
+    // Service names must be lowercase ASCII over the whole buffer window.
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+        if (p[k] != 0) {
+            if (p[k] < 'a' || p[k] > 'z') { return 0; }
+        }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int svc; int arg; int reqs; int running; int res; int ok; int strict;
+    int violations;
+    int name[6];
+    init_services();
+    running = 1; reqs = 0; strict = 1; violations = 0;
+    while (running == 1 && reqs < 64) {
+        reqs = reqs + 1;
+        // Malformed requests are counted; three strikes ends the session.
+        if (violations > 2) { running = 0; }
+        svc = read_int();
+        if (svc < 0) {
+            running = 0;
+        } else {
+            // VULN: service name logging buffer (6 cells, 12 allowed).
+            read_str(name, 12);
+            arg = read_int();
+            ok = name_ok(name);
+            if (ok == 0) { svc = -2; violations = violations + 1; }
+            // Internal services (names starting 'x') bypass rate limiting.
+            if (ok == 1 && name[0] == 'x' && svc >= 0 && svc < 8) {
+                if (enabled[svc] == 1) { hits[svc] = 0; }
+            }
+            if (allow(svc) == 1) {
+                res = serve(svc, arg);
+                print_int(res);
+            } else {
+                if (strict == 1) { print_int(-1); } else { print_int(0); }
+            }
+            // The strict flag is re-tested: must agree with the branch above.
+            if (strict == 1) {
+                if (svc >= 8) { running = 0; }
+            }
+        }
+    }
+    return reqs;
+}
+"#;
+
+/// crond — job table with range-validated specs and a tick loop (buffer
+/// overflow in the job command buffer).
+pub const CROND: &str = r#"
+// crond: load job specs, then simulate time ticks firing matching jobs.
+int job_min[4];
+int job_owner[4];
+int job_live[4];
+int fired;
+
+fn valid_minute(int m) -> int {
+    if (m >= 0 && m < 60) { return 1; }
+    return 0;
+}
+
+fn cmd_safe(int *c) -> int {
+    // Crontab command sanitizer: the full fixed-size buffer must be free
+    // of shell metacharacters and control bytes.
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+        if (c[k] < 0 || c[k] > 126) { return 0; }
+        if (c[k] == ';' || c[k] == '|' || c[k] == '`') { return 0; }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int n; int i; int m; int owner; int tick; int limit; int safe;
+    int allow_user; int verbose;
+    int cmdbuf[6];
+    fired = 0;
+    allow_user = 1;
+    verbose = 1;
+    n = read_int();
+    if (n < 0) { n = 0; }
+    if (n > 4) { n = 4; }
+    for (i = 0; i < n; i = i + 1) {
+        m = read_int();
+        owner = read_int();
+        // VULN: job command text (8 cells, 16 allowed). Commands starting
+        // with 'r' (reboot/rm) are root-only regardless of owner.
+        read_str(cmdbuf, 12);
+        safe = cmd_safe(cmdbuf);
+        if (safe == 0) {
+            job_live[i] = 0;
+        } else if (cmdbuf[0] == 'r' && owner != 0) {
+            job_live[i] = 0;
+        } else if (valid_minute(m) == 1) {
+            if (owner == 0 || allow_user == 1) {
+                job_min[i] = m;
+                job_owner[i] = owner;
+                job_live[i] = 1;
+            } else {
+                job_live[i] = 0;
+            }
+        } else {
+            job_live[i] = 0;
+        }
+    }
+    limit = read_int();
+    if (limit < 0) { limit = 0; }
+    if (limit > 30) { limit = 30; }
+    for (tick = 0; tick < limit; tick = tick + 1) {
+        for (i = 0; i < 4; i = i + 1) {
+            if (job_live[i] == 1) {
+                if (job_min[i] == tick % 60) {
+                    // The user-job policy is re-checked at fire time and
+                    // must agree with load-time validation.
+                    if (job_owner[i] != 0 && allow_user == 0) {
+                        fired = fired + 0;
+                    } else {
+                        // Root jobs print their owner.
+                        if (job_owner[i] == 0) { print_int(1000 + i); }
+                        else { print_int(i); }
+                        fired = fired + 1;
+                        if (verbose == 1) { print_int(tick); }
+                    }
+                }
+            }
+        }
+        if (verbose == 1) {
+            if (tick % 10 == 9) { print_int(-1 - tick); }
+        }
+        if (fired > 50) { return fired; }
+    }
+    return fired;
+}
+"#;
+
+/// sysklogd — facility/severity filtering with per-facility thresholds and
+/// rotation (format-string class).
+pub const SYSKLOGD: &str = r#"
+// sysklogd: severity filtering, per-facility output counters, rotation.
+int threshold[4];
+int written[4];
+int rotate_at = 10;
+int rotations;
+int drop_count;
+
+fn init_conf() {
+    threshold[0] = 3;
+    threshold[1] = 5;
+    threshold[2] = 1;
+    threshold[3] = 7;
+    rotations = 0;
+    drop_count = 0;
+}
+
+fn rotate(int fac) {
+    written[fac] = 0;
+    rotations = rotations + 1;
+}
+
+fn printable(int *m) -> int {
+    // The whole message buffer is scanned before it is written out; a
+    // single control byte anywhere poisons the line.
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+        if (m[k] < 0 || m[k] > 126) { return 0; }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int fac; int sev; int reqs; int running; int console; int marks; int clean;
+    int violations;
+    int msg[6];
+    init_conf();
+    console = read_int();
+    if (console != 1) { console = 0; }
+    running = 1; reqs = 0; marks = 0; violations = 0;
+    while (running == 1 && reqs < 96) {
+        reqs = reqs + 1;
+        fac = read_int();
+        if (fac < 0) {
+            running = 0;
+        } else {
+            // Too many rotations means a runaway logger: bail out. The
+            // counter rarely moves but is tested on every message.
+            if (rotations > 50) { running = 0; }
+            if (violations > 3) { running = 0; }
+            sev = read_int();
+            // VULN (format-string class): message text into a fixed buffer.
+            read_str(msg, 12);
+            clean = printable(msg);
+            // kern-style '!' prefix forces emergency severity.
+            if (msg[0] == '!') { sev = 0; }
+            if (clean == 0) {
+                violations = violations + 1;
+                drop_count = drop_count + 1;
+            } else if (fac >= 4) {
+                drop_count = drop_count + 1;
+            } else {
+                if (sev <= threshold[fac]) {
+                    written[fac] = written[fac] + 1;
+                    print_int(fac * 10 + sev);
+                    // Emergencies also hit the console when configured; this
+                    // console test repeats below and must agree.
+                    if (sev == 0) {
+                        if (console == 1) { print_int(-100); }
+                    }
+                    if (written[fac] >= rotate_at) {
+                        rotate(fac);
+                    }
+                } else {
+                    drop_count = drop_count + 1;
+                }
+            }
+            // Periodic MARK lines go to the console too; the console
+            // flag is consulted on every message.
+            if (console == 1) {
+                if (reqs % 10 == 0) {
+                    marks = marks + 1;
+                    print_int(-200);
+                }
+            } else {
+                if (reqs % 10 == 0) { marks = marks + 1; }
+            }
+        }
+    }
+    print_int(rotations);
+    print_int(drop_count);
+    print_int(marks);
+    return drop_count;
+}
+"#;
+
+/// atftpd — TFTP with read/write requests, a block-transfer loop and a
+/// write-protection flag (buffer overflow in the filename buffer).
+pub const ATFTPD: &str = r#"
+// atftpd: RRQ/WRQ handling with retries and write protection.
+int total_blocks;
+int timeouts;
+
+fn transfer(int blocks) -> int {
+    int b; int acked;
+    acked = 0;
+    if (blocks > 16) { blocks = 16; }
+    for (b = 0; b < blocks; b = b + 1) {
+        // Every eighth block needs a retry.
+        if (b % 8 == 7) { timeouts = timeouts + 1; }
+        acked = acked + 1;
+    }
+    total_blocks = total_blocks + acked;
+    return acked;
+}
+
+fn fname_ok(int *p) -> int {
+    // TFTP filenames: netascii only, across the whole buffer window.
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+        if (p[k] < 0 || p[k] > 126) { return 0; }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int op; int reqs; int running; int blocks; int mode; int ok;
+    int write_protect; int violations;
+    int fname[6];
+    total_blocks = 0; timeouts = 0;
+    running = 1; reqs = 0; write_protect = 1; violations = 0;
+    while (running == 1 && reqs < 48) {
+        reqs = reqs + 1;
+        // Give up when the retry budget is gone; checked per request but
+        // only bumped inside long transfers.
+        if (timeouts > 30) { running = 0; }
+        if (violations > 2) { running = 0; }
+        op = read_int();
+        if (op == 0) {
+            running = 0;
+        } else if (op == 1) {
+            // RRQ. VULN: filename (8 cells, 16 allowed). Dotfiles are
+            // refused before the mode is even parsed.
+            read_str(fname, 12);
+            mode = read_int();
+            ok = fname_ok(fname);
+            if (ok == 0) {
+                violations = violations + 1;
+                print_int(-7);
+            } else if (fname[0] == '.') {
+                print_int(-6);
+            } else if (mode == 1 || mode == 2) {
+                blocks = read_int();
+                print_int(transfer(blocks));
+            } else {
+                print_int(-3);
+            }
+        } else if (op == 2) {
+            // WRQ: refused while write-protected; tested twice, must agree.
+            read_str(fname, 12);
+            ok = fname_ok(fname);
+            if (ok == 0) {
+                violations = violations + 1;
+                print_int(-7);
+            } else if (write_protect == 1) {
+                print_int(-4);
+            } else {
+                blocks = read_int();
+                print_int(transfer(blocks));
+            }
+            if (write_protect == 1) { timeouts = timeouts + 0; }
+            else { print_int(1); }
+        } else {
+            print_int(-5);
+        }
+    }
+    print_int(total_blocks);
+    return timeouts;
+}
+"#;
+
+/// httpd — request routing with method checks, an auth realm and keep-alive
+/// accounting (buffer overflow in the path buffer).
+pub const HTTPD: &str = r#"
+// httpd: method/path routing, basic auth, keep-alive.
+int keepalive_max = 24;
+int served;
+int auth_realm = 1;
+
+fn route(int first) -> int {
+    // Path classes: 0 static, 1 cgi, 2 admin, 3 not found.
+    if (first == 's') { return 0; }
+    if (first == 'c') { return 1; }
+    if (first == 'a') { return 2; }
+    return 3;
+}
+
+fn traversal_free(int *p) -> int {
+    // Directory-traversal check over the whole path buffer: no '.', no
+    // backslashes, no control bytes anywhere.
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+        if (p[k] == '.' || p[k] == 92) { return 0; }
+        if (p[k] < 0 || p[k] > 126) { return 0; }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int method; int token; int reqs; int alive; int cls; int authed; int safe;
+    int cgi_on; int auth_reqs; int violations;
+    int path[6];
+    served = 0; reqs = 0; alive = 1; cgi_on = 1; auth_reqs = 0; violations = 0;
+    token = read_int();
+    if (token == 4242) { authed = 1; } else { authed = 0; }
+    while (alive == 1 && reqs < keepalive_max) {
+        reqs = reqs + 1;
+        // Authenticated sessions are counted per request; authed never
+        // changes after the header was parsed.
+        if (authed == 1) { auth_reqs = auth_reqs + 1; }
+        if (auth_reqs > 90) { alive = 0; }
+        if (violations > 2) { alive = 0; }
+        method = read_int();
+        if (method == 0) {
+            alive = 0;
+        } else {
+            // VULN: request path (8 cells, 16 allowed).
+            read_str(path, 12);
+            safe = traversal_free(path);
+            cls = route(path[0]);
+            if (safe == 0) {
+                violations = violations + 1;
+                print_int(400);
+            } else if (method == 1) {
+                // GET
+                if (cls == 0) { print_int(200); served = served + 1; }
+                else if (cls == 1) {
+                    if (cgi_on == 1) { print_int(201); served = served + 1; }
+                    else { print_int(503); }
+                }
+                else if (cls == 2) {
+                    // Admin requires auth — tested here...
+                    if (authed == 1) { print_int(202); }
+                    else { print_int(401); }
+                }
+                else { print_int(404); }
+            } else if (method == 2) {
+                // POST: only CGI and admin accept bodies.
+                if (cls == 1) {
+                    if (cgi_on == 1) { print_int(203); served = served + 1; }
+                    else { print_int(503); }
+                }
+                else if (cls == 2) {
+                    // ...and the same auth state is tested again here.
+                    if (authed == 1) { print_int(204); }
+                    else { print_int(401); }
+                }
+                else { print_int(405); }
+            } else {
+                print_int(501);
+            }
+        }
+    }
+    print_int(served);
+    return served;
+}
+"#;
+
+/// sendmail — SMTP state machine with relay checks and recipient limits
+/// (buffer overflow in the address buffer).
+pub const SENDMAIL: &str = r#"
+// sendmail: HELO/MAIL/RCPT/DATA/QUIT with state tracking and relay policy.
+int max_rcpt = 5;
+int delivered;
+
+fn local_domain(int d) -> int {
+    if (d == 10 || d == 11) { return 1; }
+    return 0;
+}
+
+fn addr_ok(int *a) -> int {
+    // RFC-ish address check over the whole buffer: printable, no spaces,
+    // no angle brackets left behind.
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+        if (a[k] < 0 || a[k] > 126) { return 0; }
+        if (a[k] == ' ' || a[k] == '<' || a[k] == '>') { return 0; }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int state; int cmd; int reqs; int rcpts; int dom; int running; int good;
+    int relay_ok; int violations;
+    int addr[6];
+    relay_ok = 0; delivered = 0; violations = 0;
+    state = 0; rcpts = 0; running = 1; reqs = 0;
+    while (running == 1 && reqs < 64) {
+        reqs = reqs + 1;
+        // Delivery quota: rarely advanced, tested on every command.
+        if (delivered > 90) { running = 0; }
+        if (violations > 3) { running = 0; }
+        // Relay decisions are logged per command for trusted peers.
+        if (relay_ok == 1) { print_int(1); }
+        cmd = read_int();
+        if (cmd == 0) {
+            running = 0;
+        } else if (cmd == 1) {
+            // HELO: trusted peers may relay.
+            dom = read_int();
+            if (dom == 10) { relay_ok = 1; }
+            if (state == 0) { state = 1; print_int(250); }
+            else { print_int(503); }
+        } else if (cmd == 2) {
+            // MAIL FROM: the null sender "<>" (here: '-') only for bounces.
+            read_str(addr, 12);
+            good = addr_ok(addr);
+            if (good == 0) {
+                violations = violations + 1;
+                print_int(501);
+            } else if (state == 1) {
+                state = 2; rcpts = 0;
+                if (addr[0] == '-') { print_int(251); } else { print_int(250); }
+            }
+            else { print_int(503); }
+        } else if (cmd == 3) {
+            // RCPT TO: relay policy re-tested per recipient.
+            dom = read_int();
+            read_str(addr, 12);
+            good = addr_ok(addr);
+            if (good == 0) {
+                violations = violations + 1;
+                print_int(501);
+            } else if (state == 2) {
+                if (addr[0] == 'p' && strcmp(addr, "postmaster") == 0) {
+                    // postmaster is always deliverable.
+                    rcpts = rcpts + 1; print_int(250);
+                } else if (local_domain(dom) == 1 || relay_ok == 1) {
+                    if (rcpts < max_rcpt) { rcpts = rcpts + 1; print_int(250); }
+                    else { print_int(452); }
+                } else {
+                    print_int(554);
+                }
+            } else { print_int(503); }
+        } else if (cmd == 4) {
+            // DATA
+            if (state == 2 && rcpts > 0) {
+                delivered = delivered + rcpts;
+                state = 1;
+                print_int(354);
+            } else { print_int(503); }
+        } else {
+            print_int(500);
+        }
+    }
+    print_int(delivered);
+    return delivered;
+}
+"#;
+
+/// sshd — bounded auth attempts, method negotiation, privilege separation
+/// and a channel loop (buffer overflow in the banner buffer).
+pub const SSHD: &str = r#"
+// sshd: auth attempt loop, privilege separation, channel requests.
+int max_attempts = 3;
+int sessions;
+
+fn try_password(int user, int pass) -> int {
+    if (user == 7 && pass == 2468) { return 1; }
+    return 0;
+}
+
+fn try_pubkey(int user, int key) -> int {
+    if (user == 7 && key == 1357) { return 1; }
+    if (user == 9 && key == 8642) { return 1; }
+    return 0;
+}
+
+fn banner_ok(int *b) -> int {
+    // Protocol banner must be clean ASCII over the whole window.
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+        if (b[k] < 0 || b[k] > 126) { return 0; }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int attempts; int authed; int user; int method; int cred;
+    int cmd; int reqs; int running; int is_root; int priv_sep;
+    int root_ops;
+    int banner[6];
+    sessions = 0;
+    attempts = 0; authed = 0; is_root = 0; priv_sep = 1;
+    // VULN: client banner (8 cells, 16 allowed). Ancient clients are
+    // refused outright.
+    read_str(banner, 12);
+    if (banner_ok(banner) == 0) {
+        print_int(253);
+        return 253;
+    }
+    if (banner[0] == '1') {
+        print_int(254);
+        return 254;
+    }
+    while (attempts < max_attempts && authed == 0) {
+        attempts = attempts + 1;
+        user = read_int();
+        method = read_int();
+        cred = read_int();
+        if (method == 1) {
+            if (try_password(user, cred) == 1) { authed = 1; }
+        } else if (method == 2) {
+            if (try_pubkey(user, cred) == 1) { authed = 1; }
+        }
+        if (authed == 1 && user == 0) { is_root = 1; }
+    }
+    if (authed == 0) {
+        print_int(255);
+        return 255;
+    }
+    print_int(0);
+    running = 1; reqs = 0; root_ops = 0;
+    while (running == 1 && reqs < 48) {
+        reqs = reqs + 1;
+        // Root activity is audited on every channel request; is_root is
+        // fixed at auth time, so these tests must all agree.
+        if (is_root == 1) { root_ops = root_ops + 1; }
+        if (root_ops > 40) { running = 0; }
+        cmd = read_int();
+        if (cmd == 0) {
+            running = 0;
+        } else if (cmd == 1) {
+            // Shell channel: root shells bypass priv-sep sandboxing. Both
+            // tests of is_root must agree.
+            if (is_root == 1) { print_int(100); }
+            else {
+                if (priv_sep == 1) { print_int(101); } else { print_int(102); }
+            }
+            sessions = sessions + 1;
+        } else if (cmd == 2) {
+            // Port forward: root only.
+            if (is_root == 1) { print_int(110); sessions = sessions + 1; }
+            else { print_int(-1); }
+        } else {
+            print_int(-2);
+        }
+    }
+    print_int(sessions);
+    return sessions;
+}
+"#;
+
+/// portmap — RPC program→port registry with superuser-only mutation
+/// (buffer overflow in the owner-name buffer).
+pub const PORTMAP: &str = r#"
+// portmap: SET/UNSET/GETPORT/DUMP over a fixed registry.
+int prog[8];
+int port[8];
+int in_use[8];
+int su;
+
+fn find_slot(int p) -> int {
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+        if (in_use[i] == 1 && prog[i] == p) { return i; }
+    }
+    return -1;
+}
+
+fn free_slot() -> int {
+    int i;
+    for (i = 0; i < 8; i = i + 1) {
+        if (in_use[i] == 0) { return i; }
+    }
+    return -1;
+}
+
+fn owner_ok(int *o) -> int {
+    // Owner names: lowercase ASCII across the whole window.
+    int k;
+    for (k = 0; k < 6; k = k + 1) {
+        if (o[k] != 0) {
+            if (o[k] < 'a' || o[k] > 'z') {
+                if (o[k] != '_') { return 0; }
+            }
+        }
+    }
+    return 1;
+}
+
+fn main() -> int {
+    int cmd; int p; int pt; int reqs; int running; int slot; int okname;
+    int audits; int violations;
+    int owner[6];
+    audits = 0; violations = 0;
+    su = read_int();
+    if (su != 1) { su = 0; }
+    running = 1; reqs = 0;
+    while (running == 1 && reqs < 64) {
+        reqs = reqs + 1;
+        // Privileged sessions are audited on every request; this su test
+        // must agree with the per-command checks below.
+        if (su == 1) { audits = audits + 1; }
+        if (audits > 70) { running = 0; }
+        if (violations > 2) { running = 0; }
+        cmd = read_int();
+        if (cmd == 0) {
+            running = 0;
+        } else if (cmd == 1) {
+            // SET: superuser only. VULN: owner name (6 cells, 12 allowed).
+            p = read_int();
+            pt = read_int();
+            read_str(owner, 12);
+            okname = owner_ok(owner);
+            // Reserved owner names (leading '_') and malformed names are
+            // rejected even for the superuser.
+            if (okname == 0) {
+                violations = violations + 1;
+                print_int(-4);
+            } else if (owner[0] == '_') {
+                print_int(-3);
+            } else if (su == 1) {
+                slot = find_slot(p);
+                if (slot < 0) { slot = free_slot(); }
+                if (slot >= 0) {
+                    prog[slot] = p;
+                    port[slot] = pt;
+                    in_use[slot] = 1;
+                    print_int(1);
+                } else { print_int(0); }
+            } else {
+                print_int(-1);
+            }
+        } else if (cmd == 2) {
+            // UNSET: the same su test must agree with SET's.
+            p = read_int();
+            if (su == 1) {
+                slot = find_slot(p);
+                if (slot >= 0) { in_use[slot] = 0; print_int(1); }
+                else { print_int(0); }
+            } else {
+                print_int(-1);
+            }
+        } else if (cmd == 3) {
+            // GETPORT: open to everyone.
+            p = read_int();
+            slot = find_slot(p);
+            if (slot >= 0) { print_int(port[slot]); }
+            else { print_int(0); }
+        } else if (cmd == 4) {
+            // DUMP
+            slot = 0;
+            while (slot < 8) {
+                if (in_use[slot] == 1) { print_int(prog[slot]); }
+                slot = slot + 1;
+            }
+        } else {
+            print_int(-2);
+        }
+    }
+    print_int(audits);
+    return reqs;
+}
+"#;

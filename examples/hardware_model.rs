@@ -1,0 +1,63 @@
+//! The hardware side: run a workload through the cycle-level model with and
+//! without the IPDS unit, then shrink the on-chip table buffers until the
+//! register-stack-engine-style spills start to hurt (§5.4 / Fig. 9).
+//!
+//! ```sh
+//! cargo run --release --example hardware_model
+//! ```
+
+use ipds::{Config, Protected};
+use ipds_runtime::HwConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = ipds_workloads::by_name("sysklogd").expect("sysklogd exists");
+    let protected = Protected::from_program(workload.program(), &Config::default());
+    let inputs = workload.inputs(7);
+
+    let hw = HwConfig::table1_default();
+    println!(
+        "Table 1 machine: {}-wide, L1 {}K/{} cyc, L2 {}K/{} cyc, IPDS buffers {}K bits",
+        hw.commit_width,
+        hw.l1_size / 1024,
+        hw.l1_latency,
+        hw.l2_size / 1024,
+        hw.l2_latency,
+        hw.total_onchip_bits() / 1024
+    );
+
+    let base = protected.timed_baseline(&inputs, &hw);
+    let with = protected.timed(&inputs, &hw);
+    println!("\nsysklogd under the timing model:");
+    println!(
+        "  baseline : {:>8} cycles  (IPC {:.2}, branch miss {:.1}%)",
+        base.cycles,
+        base.ipc(),
+        100.0 * base.branch_miss_rate
+    );
+    println!(
+        "  with IPDS: {:>8} cycles  (+{:.2}%, {} queue-stall cycles, mean check latency {:.1} cyc)",
+        with.cycles,
+        100.0 * (with.cycles as f64 / base.cycles as f64 - 1.0),
+        with.ipds_stall_cycles,
+        with.mean_detection_latency
+    );
+
+    println!("\nshrinking the on-chip table buffers (spill pressure):");
+    println!("{:>14} {:>12} {:>10} {:>8}", "on-chip bits", "cycles", "overhead", "spills");
+    for shift in [0u32, 3, 5, 7, 9] {
+        let mut small = hw.clone();
+        small.bsv_stack_bits >>= shift;
+        small.bcv_stack_bits >>= shift;
+        small.bat_stack_bits >>= shift;
+        let r = protected.timed(&inputs, &small);
+        println!(
+            "{:>14} {:>12} {:>9.2}% {:>8}",
+            small.total_onchip_bits(),
+            r.cycles,
+            100.0 * (r.cycles as f64 / base.cycles as f64 - 1.0),
+            r.spills
+        );
+    }
+    println!("\n(the paper: 35 Kbit of buffers suffice; average slowdown 0.79%)");
+    Ok(())
+}

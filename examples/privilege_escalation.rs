@@ -1,0 +1,92 @@
+//! The paper's Figure 1 end-to-end: a non-control-data attack on a server
+//! with a buffer overflow between two `user == admin` checks.
+//!
+//! No code is injected and no code pointer is touched — the attacker only
+//! corrupts a data value — yet the program takes a path the compiler can
+//! prove infeasible, and the IPDS flags it.
+//!
+//! ```sh
+//! cargo run --example privilege_escalation
+//! ```
+
+use ipds::{Input, Protected};
+
+const SERVER: &str = r#"
+// A miniature authentication server in the shape of the paper's Figure 1:
+//   verify_user(user);
+//   if (strncmp(user, "admin", 5)) { ... } else { ... }
+//   strcpy(str, someinput);            <-- overflow window
+//   if (strncmp(user, "admin", 5)) { superuser privilege }
+fn verify(int token) -> int {
+    if (token == 4242) { return 1; }   // admin credential
+    return 0;
+}
+
+fn main() -> int {
+    int user; int i;
+    int str[8];
+    user = verify(read_int());
+    if (user == 1) {
+        print_int(100);                 // greet the administrator
+    } else {
+        print_int(101);                 // greet the guest
+    }
+    // The overflow window: str has 8 cells but the copy allows 16 — the
+    // attacker can reach neighbouring stack data from here (the harness
+    // models the resulting single-cell tamper of `user` directly).
+    read_str(str, 16);
+    for (i = 0; i < 3; i = i + 1) {
+        if (user == 1) {
+            print_int(999);             // superuser operation
+        } else {
+            print_int(0);               // harmless operation
+        }
+    }
+    return user;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let protected = Protected::compile(SERVER)?;
+
+    println!("== benign guest session ==");
+    let clean = protected.run(&[Input::Int(1), Input::Str("hello".into())]);
+    println!("output: {:?} (101 = guest, 0 = harmless ops)", clean.output);
+    assert!(!clean.detected());
+
+    println!("\n== benign admin session ==");
+    let admin = protected.run(&[Input::Int(4242), Input::Str("hi".into())]);
+    println!("output: {:?} (100 = admin, 999 = privileged ops)", admin.output);
+    assert!(!admin.detected());
+
+    println!("\n== the attack ==");
+    // The attacker cannot guess the credential; instead they corrupt the
+    // in-memory `user` flag through the overflow while the guest session
+    // is between its two checks.
+    let mut detected_at = None;
+    for step in 1..60 {
+        let r = protected.run_with_tamper(
+            &[Input::Int(1), Input::Str("hello".into())],
+            step,
+            "user",
+            1,
+        );
+        if r.output.contains(&999) {
+            // Privilege escalation happened...
+            if r.detected() {
+                detected_at = Some((step, r.alarms[0].clone()));
+                break;
+            }
+        }
+    }
+    let (step, alarm) = detected_at.expect("escalation must be caught in some window");
+    println!(
+        "tampering `user` at step {step} escalated privilege — and IPDS raised an\n\
+         alarm at pc {:#x} (expected {}, saw {}): the two admin checks disagreed,\n\
+         which is impossible unless memory was corrupted.",
+        alarm.pc,
+        alarm.expected,
+        if alarm.actual { "taken" } else { "not-taken" }
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Root package holding workspace-level examples and integration tests.

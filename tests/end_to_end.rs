@@ -1,0 +1,155 @@
+//! Cross-crate integration: compile → analyze → run → attack → time, over
+//! the full workload suite.
+
+use ipds::{Config, Protected};
+use ipds_runtime::HwConfig;
+use ipds_sim::AttackModel;
+
+#[test]
+fn campaigns_detect_something_on_every_correlated_workload() {
+    // Every workload has correlated scalar state; a big enough seeded
+    // campaign must land at least one detected attack.
+    for w in ipds_workloads::all() {
+        let protected = Protected::from_program(w.program(), &Config::default());
+        let inputs = w.inputs(1);
+        let r = protected.campaign(&inputs, 60, 99, w.vuln);
+        assert!(r.cf_changed > 0, "{}: no attack changed control flow", w.name);
+        assert!(
+            r.detected > 0,
+            "{}: nothing detected out of {} cf-changing attacks",
+            w.name,
+            r.cf_changed
+        );
+        assert!(r.detected <= r.cf_changed, "{}: {r:?}", w.name);
+    }
+}
+
+#[test]
+fn campaigns_are_reproducible() {
+    let w = ipds_workloads::by_name("httpd").unwrap();
+    let protected = Protected::from_program(w.program(), &Config::default());
+    let inputs = w.inputs(3);
+    let a = protected.campaign(&inputs, 30, 5, AttackModel::BufferOverflow);
+    let b = protected.campaign(&inputs, 30, 5, AttackModel::BufferOverflow);
+    assert_eq!(a, b, "same seed must reproduce exactly");
+}
+
+#[test]
+fn timing_runs_preserve_function_and_bound_overhead() {
+    let hw = HwConfig::table1_default();
+    for w in ipds_workloads::all() {
+        let protected = Protected::from_program(w.program(), &Config::default());
+        let inputs = w.inputs(2);
+        let base = protected.timed_baseline(&inputs, &hw);
+        let with = protected.timed(&inputs, &hw);
+        assert_eq!(base.instructions, with.instructions, "{}", w.name);
+        assert_eq!(base.branches, with.branches, "{}", w.name);
+        assert_eq!(with.alarms, 0, "{}: clean timed run alarmed", w.name);
+        let norm = with.cycles as f64 / base.cycles.max(1) as f64;
+        assert!(norm >= 1.0 - 1e-9, "{}: {norm}", w.name);
+        assert!(norm < 1.25, "{}: overhead {norm} out of band", w.name);
+    }
+}
+
+#[test]
+fn perfect_hash_is_collision_free_for_every_function() {
+    for w in ipds_workloads::all() {
+        let protected = Protected::from_program(w.program(), &Config::default());
+        for f in &protected.analysis.functions {
+            let mut seen = std::collections::HashSet::new();
+            for b in &f.branches {
+                assert_eq!(b.slot, f.hash.slot(b.pc), "{}::{}", w.name, f.name);
+                assert!(
+                    seen.insert(b.slot),
+                    "{}::{} has a hash collision",
+                    w.name,
+                    f.name
+                );
+                assert!(b.slot < f.hash.space());
+            }
+        }
+    }
+}
+
+#[test]
+fn bat_encoding_roundtrips_for_every_function() {
+    for w in ipds_workloads::all() {
+        let protected = Protected::from_program(w.program(), &Config::default());
+        for f in &protected.analysis.functions {
+            let bytes = ipds_analysis::encode::encode_bat(&f.bat, &f.branches, &f.hash);
+            let back = ipds_analysis::encode::decode_bat(&bytes, &f.branches, &f.hash)
+                .unwrap_or_else(|| panic!("{}::{} failed to decode", w.name, f.name));
+            assert_eq!(back, f.bat, "{}::{}", w.name, f.name);
+            assert!(
+                f.sizes.bat_bits <= bytes.len() * 8,
+                "{}::{} size accounting exceeds the encoding",
+                w.name,
+                f.name
+            );
+        }
+    }
+}
+
+#[test]
+fn ablation_variants_analyze_every_workload() {
+    for variant in [
+        Config::default(),
+        Config {
+            store_anchors: false,
+            ..Config::default()
+        },
+        Config {
+            load_anchors: false,
+            ..Config::default()
+        },
+        Config {
+            const_store: true,
+            ..Config::default()
+        },
+    ] {
+        for w in ipds_workloads::all() {
+            let protected = Protected::from_program(w.program(), &variant);
+            // Clean runs stay clean under every variant.
+            let r = protected.run(&w.inputs(0));
+            assert!(r.alarms.is_empty(), "{} under {variant:?}", w.name);
+        }
+    }
+}
+
+#[test]
+fn detection_lag_is_reported_in_branches() {
+    let w = ipds_workloads::by_name("telnetd").unwrap();
+    let protected = Protected::from_program(w.program(), &Config::default());
+    let inputs = w.inputs(0);
+    let r = protected.campaign(&inputs, 80, 17, AttackModel::BufferOverflow);
+    if r.detected > 0 {
+        assert!(r.mean_lag_branches >= 0.0);
+        // A detection within the same session should happen within the
+        // session's branch budget.
+        assert!(r.mean_lag_branches < 10_000.0, "{r:?}");
+    }
+}
+
+#[test]
+fn contiguous_overflows_hit_harder_than_single_cells() {
+    // The block-smash model perturbs 2-8 cells per attack: across the
+    // suite it must change control flow at least as often as single-cell
+    // tampering (per-workload noise aside, the aggregate ordering is
+    // robust).
+    let mut single_cf = 0u32;
+    let mut block_cf = 0u32;
+    for w in ipds_workloads::all() {
+        let protected = Protected::from_program(w.program(), &Config::default());
+        let inputs = w.inputs(9);
+        single_cf += protected
+            .campaign(&inputs, 40, 13, AttackModel::BufferOverflow)
+            .cf_changed;
+        block_cf += protected
+            .campaign(&inputs, 40, 13, AttackModel::ContiguousOverflow)
+            .cf_changed;
+    }
+    assert!(
+        block_cf > single_cf,
+        "block {block_cf} should exceed single {single_cf}"
+    );
+}

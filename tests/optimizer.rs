@@ -1,0 +1,89 @@
+//! The load-forwarding optimizer: semantics preserved, correlations lost.
+
+use ipds::{Config, Input, Protected};
+use ipds_ir::opt::forward_loads;
+use ipds_sim::{ExecLimits, ExecStatus, Interp, NullObserver};
+use ipds_workloads::generator::{generate_program, GenConfig};
+
+fn outputs(program: &ipds_ir::Program, inputs: &[Input]) -> (ExecStatus, Vec<i64>) {
+    let mut i = Interp::new(program, inputs.to_vec(), ExecLimits::default());
+    let s = i.run(&mut NullObserver);
+    (s, i.output().to_vec())
+}
+
+#[test]
+fn optimizer_preserves_workload_semantics() {
+    for w in ipds_workloads::all() {
+        let plain = w.program();
+        let mut optimized = w.program();
+        let stats = forward_loads(&mut optimized);
+        ipds_ir::verify::verify_program(&optimized)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(stats.loads_removed > 0, "{}: nothing forwarded?", w.name);
+        for seed in 0..5 {
+            let inputs = w.inputs(seed);
+            let a = outputs(&plain, &inputs);
+            let b = outputs(&optimized, &inputs);
+            assert_eq!(a, b, "{} diverged at seed {seed}", w.name);
+        }
+    }
+}
+
+#[test]
+fn optimizer_preserves_random_program_semantics() {
+    for seed in 0..30 {
+        let src = generate_program(seed, GenConfig::default());
+        let plain = ipds_ir::parse(&src).unwrap();
+        let mut optimized = plain.clone();
+        forward_loads(&mut optimized);
+        ipds_ir::verify::verify_program(&optimized)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        let inputs: Vec<Input> = (0..48).map(|i| Input::Int((seed as i64 + i) % 17 - 8)).collect();
+        let a = outputs(&plain, &inputs);
+        let b = outputs(&optimized, &inputs);
+        assert_eq!(a, b, "seed {seed} diverged\n{src}");
+    }
+}
+
+#[test]
+fn optimized_programs_stay_false_positive_free() {
+    for w in ipds_workloads::all() {
+        let mut program = w.program();
+        forward_loads(&mut program);
+        let protected = Protected::from_program(program, &Config::default());
+        for seed in 0..5 {
+            let r = protected.run(&w.inputs(seed));
+            assert!(
+                r.alarms.is_empty(),
+                "{} optimized raised {:?}",
+                w.name,
+                r.alarms
+            );
+        }
+    }
+}
+
+#[test]
+fn optimization_reduces_correlation_surface() {
+    // The paper: "compiler optimizations can remove some correlations,
+    // reducing the detection rate." Forwarding removes reloads, and with
+    // them load anchors: the checked-branch count must not grow, and across
+    // the whole suite it must strictly shrink.
+    let mut total_plain = 0usize;
+    let mut total_opt = 0usize;
+    for w in ipds_workloads::all() {
+        let plain = Protected::from_program(w.program(), &Config::default());
+        let mut op = w.program();
+        forward_loads(&mut op);
+        let optimized = Protected::from_program(op, &Config::default());
+        let p = plain.analysis.checked_count();
+        let o = optimized.analysis.checked_count();
+        assert!(o <= p, "{}: optimization grew the checked set {p} -> {o}", w.name);
+        total_plain += p;
+        total_opt += o;
+    }
+    assert!(
+        total_opt < total_plain,
+        "forwarding should remove some correlations: {total_plain} -> {total_opt}"
+    );
+}

@@ -1,0 +1,204 @@
+//! The paper's worked examples (Figures 1–4) as executable tests.
+
+use ipds::{BranchStatus, Config, Input, Protected};
+
+/// Figure 1: the privilege-escalation attack without code injection. Two
+/// `strncmp(user, "admin")`-style checks must agree; tampering `user`
+/// between them escalates privilege and is caught.
+#[test]
+fn figure1_attack_without_code_injection() {
+    let protected = Protected::compile(
+        r#"
+        fn main() -> int {
+            int user; int req;
+            user = read_int();            // verify_user(user)
+            if (user == 1) {
+                print_int(100);           // limited admin prologue
+            }
+            req = read_int();             // strcpy(str, someinput) — the
+            print_int(req);               // attacker's window
+            if (user == 1) {
+                print_int(999);           // superuser privilege
+            } else {
+                print_int(0);
+            }
+            return 0;
+        }
+        "#,
+    )
+    .expect("figure 1 program compiles");
+
+    // Normal user, no tampering: both checks agree, no alarm.
+    let clean = protected.run(&[Input::Int(0), Input::Int(7)]);
+    assert!(!clean.detected());
+    assert_eq!(clean.output, vec![7, 0]);
+
+    // The attacker flips `user` to admin between the checks.
+    let mut caught = false;
+    for step in 1..40 {
+        let r = protected.run_with_tamper(&[Input::Int(0), Input::Int(7)], step, "user", 1);
+        if r.detected() {
+            caught = true;
+            // Privilege escalation manifested (999 printed) — and the IPDS
+            // flagged the infeasible path.
+            assert!(r.output.contains(&999), "escalation visible: {:?}", r.output);
+        }
+    }
+    assert!(caught, "the privilege escalation must be detectable at some window");
+}
+
+/// Figure 2: an infeasible path caused by memory tampering. If the path
+/// goes BB1→BB2→BB4 (x < 0 observed), the backward branch must be taken
+/// (x < 10 as well) — x cannot have grown.
+#[test]
+fn figure2_loop_backward_branch_is_forced() {
+    let protected = Protected::compile(
+        r#"
+        fn main() -> int {
+            int x; int guard;
+            x = read_int();
+            guard = 0;
+            while (x < 10 && guard < 20) {
+                guard = guard + 1;
+                if (x < 0) {
+                    print_int(1);       // BB2
+                } else {
+                    print_int(2);       // BB3
+                }
+                print_int(3);           // BB4
+            }
+            return guard;
+        }
+        "#,
+    )
+    .expect("figure 2 program compiles");
+
+    let clean = protected.run(&[Input::Int(-5)]);
+    assert!(!clean.detected());
+
+    // Tamper x to 50 mid-loop: the loop branch (x < 10) flips while the
+    // compiler knows x was < 0 — an infeasible path.
+    let mut caught = false;
+    for step in 5..120 {
+        let r = protected.run_with_tamper(&[Input::Int(-5)], step, "x", 50);
+        if r.detected() {
+            caught = true;
+            break;
+        }
+    }
+    assert!(caught, "figure 2's infeasible path must be detected");
+}
+
+/// Figure 3.a: y < 5 subsumes y < 10 along the path that leaves y alone,
+/// and a redefinition of y makes the second branch unknown.
+#[test]
+fn figure3a_subsume_and_redefine() {
+    let protected = Protected::compile(
+        r#"
+        fn main() -> int {
+            int x; int y;
+            x = read_int();
+            y = read_int();
+            if (y < 5) {
+                print_int(1);
+            } else {
+                y = read_int();        // BB4: y = new value
+            }
+            if (y < 10) { print_int(2); } else { print_int(3); }
+            return y;
+        }
+        "#,
+    )
+    .expect("figure 3a program compiles");
+
+    // Path through BB3 (y < 5 taken): second branch forced taken.
+    let clean = protected.run(&[Input::Int(0), Input::Int(2)]);
+    assert!(!clean.detected());
+    // Path through BB4 (y redefined): second branch free — y = 50 is fine.
+    let clean2 = protected.run(&[Input::Int(0), Input::Int(7), Input::Int(50)]);
+    assert!(!clean2.detected());
+
+    // Tampering y upward after a y<5-taken observation is infeasible.
+    let mut caught = false;
+    for step in 4..30 {
+        let r = protected.run_with_tamper(&[Input::Int(0), Input::Int(2)], step, "y", 42);
+        caught |= r.detected();
+    }
+    assert!(caught);
+}
+
+/// Figure 3.c: the correlation survives simple arithmetic — y < 5 implies
+/// y - 1 < 10.
+#[test]
+fn figure3c_arithmetic_chain() {
+    let protected = Protected::compile(
+        r#"
+        fn main() -> int {
+            int y;
+            y = read_int();
+            if (y < 5) {
+                print_int(1);
+                if (y - 1 < 10) { print_int(2); } else { print_int(3); }
+            }
+            return y;
+        }
+        "#,
+    )
+    .expect("figure 3c program compiles");
+
+    let clean = protected.run(&[Input::Int(3)]);
+    assert!(!clean.detected());
+    assert_eq!(clean.output, vec![1, 2]);
+
+    // Tamper y between the two branches: y - 1 < 10 flips — infeasible.
+    let mut caught = false;
+    for step in 4..20 {
+        let r = protected.run_with_tamper(&[Input::Int(3)], step, "y", 100);
+        caught |= r.detected();
+    }
+    assert!(caught, "the affine correlation must catch the flip");
+}
+
+/// Figure 4's walkthrough at the BSV level: statuses evolve exactly as the
+/// paper narrates (unknown → taken → unknown on redefinition).
+#[test]
+fn figure4_bsv_evolution() {
+    let program = ipds_ir::parse(
+        r#"
+        fn main() -> int {
+            int x; int y; int i;
+            x = read_int(); y = read_int();
+            for (i = 0; i < 2; i = i + 1) {
+                if (y < 5) { print_int(1); }        // BR1
+                if (x > 10) { x = read_int(); }     // BR2 (taken redefines x)
+            }
+            return 0;
+        }
+        "#,
+    )
+    .expect("figure 4 program compiles");
+    let analysis = ipds_analysis::analyze_program(&program, &Config::default());
+    let main = &analysis.functions[0];
+    let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+    let (for_pc, y_pc, x_pc) = (pcs[0], pcs[1], pcs[2]);
+
+    let mut ipds = ipds_runtime::IpdsChecker::new(&analysis);
+    ipds.on_call(main.func);
+
+    // Initially everything is unknown.
+    assert_eq!(ipds.expected_status(y_pc), Some(BranchStatus::Unknown));
+
+    // First iteration: BR1 taken sets its own expectation to taken.
+    assert!(!ipds.on_branch(for_pc, true).alarm);
+    assert!(!ipds.on_branch(y_pc, true).alarm);
+    assert_eq!(ipds.expected_status(y_pc), Some(BranchStatus::Taken));
+
+    // BR2 taken: entering the arm redefines x, so BR2 goes unknown.
+    assert!(!ipds.on_branch(x_pc, true).alarm);
+    assert_eq!(ipds.expected_status(x_pc), Some(BranchStatus::Unknown));
+
+    // Second iteration: BR1 must repeat; a flip would alarm.
+    assert!(!ipds.on_branch(for_pc, true).alarm);
+    let out = ipds.on_branch(y_pc, false);
+    assert!(out.alarm, "BR1 contradicting its status must alarm");
+}

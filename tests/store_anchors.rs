@@ -1,0 +1,135 @@
+//! Store-anchored correlations on register-allocated-style IR.
+//!
+//! MiniC reloads every variable before testing it, so load anchors shadow
+//! store anchors. The paper's compiler (MachSUIF with a graph-coloring
+//! register allocator) frequently branches on the *register that was just
+//! stored* — Fig. 3.b — which only store anchors can correlate. This test
+//! builds that shape directly in IR and shows detection exists exactly when
+//! store anchors are enabled.
+
+use ipds_analysis::{analyze_program, AnalysisConfig, BranchStatus};
+use ipds_ir::builder::{assemble, FunctionBuilder};
+use ipds_ir::{Builtin, Operand, Pred};
+use ipds_runtime::IpdsChecker;
+
+/// Builds:
+///
+/// ```text
+/// entry: r0 = call read_int()
+///        store x, r0
+///        r1 = cmp.eq r0, 1          // branches on the REGISTER, not a reload
+///        br r1 ? b_t : b_f
+/// b_t:   jump join
+/// b_f:   jump join
+/// join:  r2 = load x
+///        r3 = cmp.eq r2, 1          // load-anchored target
+///        br r3 ? e1 : e2
+/// e1:    ret 1
+/// e2:    ret 0
+/// ```
+fn register_allocated_program() -> ipds_ir::Program {
+    let mut b = FunctionBuilder::new("main", 0, true);
+    let x = b.add_scalar("x");
+    let b_t = b.add_block();
+    let b_f = b.add_block();
+    let join = b.add_block();
+    let e1 = b.add_block();
+    let e2 = b.add_block();
+
+    let r0 = b.call_builtin(Builtin::ReadInt, vec![]).expect("result");
+    b.store_var(x, r0.into());
+    let r1 = b.cmp(Pred::Eq, r0.into(), Operand::Imm(1));
+    b.branch(r1, b_t, b_f);
+
+    b.switch_to(b_t);
+    b.jump(join);
+    b.switch_to(b_f);
+    b.jump(join);
+
+    b.switch_to(join);
+    let r2 = b.load_var(x);
+    let r3 = b.cmp(Pred::Eq, r2.into(), Operand::Imm(1));
+    b.branch(r3, e1, e2);
+
+    b.switch_to(e1);
+    b.ret(Some(Operand::Imm(1)));
+    b.switch_to(e2);
+    b.ret(Some(Operand::Imm(0)));
+
+    assemble(vec![], vec![b.finish()]).expect("valid IR")
+}
+
+fn replay(analysis: &ipds_analysis::ProgramAnalysis, dirs: &[bool]) -> bool {
+    let main = &analysis.functions[0];
+    let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+    let mut ipds = IpdsChecker::new(analysis);
+    ipds.on_call(main.func);
+    let mut alarmed = false;
+    for (i, &d) in dirs.iter().enumerate() {
+        alarmed |= ipds.on_branch(pcs[i % pcs.len()], d).alarm;
+    }
+    alarmed
+}
+
+#[test]
+fn store_anchor_correlates_register_branch_with_reload() {
+    let program = register_allocated_program();
+    let full = analyze_program(&program, &AnalysisConfig::default());
+    let main = &full.functions[0];
+    assert_eq!(main.branches.len(), 2);
+
+    // With store anchors: the register branch (index 0) carries directional
+    // actions for the reload branch (index 1).
+    let row = full
+        .of(ipds_ir::FuncId(0))
+        .actions(0, false);
+    assert!(
+        row.iter()
+            .any(|e| e.target == 1 && e.action == ipds_analysis::BrAction::SetNotTaken),
+        "store anchor must force the reload branch: {row:?}"
+    );
+
+    // Dynamic check: x != 1 observed at the register branch, then the
+    // reload branch claims x == 1 — infeasible (the tampered path).
+    assert!(
+        replay(&full, &[false, true]),
+        "tampered path must alarm with store anchors"
+    );
+    // The honest path is fine.
+    assert!(!replay(&full, &[false, false]));
+    assert!(!replay(&full, &[true, true]));
+}
+
+#[test]
+fn without_store_anchors_the_same_attack_is_missed() {
+    let program = register_allocated_program();
+    let cfg = AnalysisConfig {
+        store_anchors: false,
+        ..AnalysisConfig::default()
+    };
+    let reduced = analyze_program(&program, &cfg);
+    // The register branch has no load anchor, so nothing triggers on it.
+    assert!(
+        reduced.of(ipds_ir::FuncId(0)).actions(0, false).is_empty(),
+        "no store anchors ⇒ no trigger on the register branch"
+    );
+    // The infeasible path slides through unverified.
+    assert!(!replay(&reduced, &[false, true]));
+}
+
+#[test]
+fn store_anchor_status_evolution() {
+    // BSV-level view: after the register branch commits not-taken, the
+    // reload branch's expected status must be NotTaken.
+    let program = register_allocated_program();
+    let analysis = analyze_program(&program, &AnalysisConfig::default());
+    let main = &analysis.functions[0];
+    let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+    let mut ipds = IpdsChecker::new(&analysis);
+    ipds.on_call(main.func);
+    assert_eq!(ipds.expected_status(pcs[1]), Some(BranchStatus::Unknown));
+    ipds.on_branch(pcs[0], false);
+    assert_eq!(ipds.expected_status(pcs[1]), Some(BranchStatus::NotTaken));
+    ipds.on_branch(pcs[0], true);
+    assert_eq!(ipds.expected_status(pcs[1]), Some(BranchStatus::Taken));
+}
