@@ -119,12 +119,22 @@ pub fn build_tables(
                         }
                         match b.direction_for(implied) {
                             Some(d) => {
-                                merge_into(&mut merged, (trigger_idx, dir), target_idx, BrAction::set_dir(d));
+                                merge_into(
+                                    &mut merged,
+                                    (trigger_idx, dir),
+                                    target_idx,
+                                    BrAction::set_dir(d),
+                                );
                             }
                             None if a.kind == AnchorKind::Store => {
                                 // The trigger redefines the variable to a
                                 // value that does not determine the target.
-                                merge_into(&mut merged, (trigger_idx, dir), target_idx, BrAction::SetUnknown);
+                                merge_into(
+                                    &mut merged,
+                                    (trigger_idx, dir),
+                                    target_idx,
+                                    BrAction::SetUnknown,
+                                );
                             }
                             None => {}
                         }
@@ -160,8 +170,7 @@ pub fn build_tables(
                 else {
                     continue;
                 };
-                let ipds_dataflow::AccessClass::Unique(v) =
-                    alias.classify(program, func.id, addr)
+                let ipds_dataflow::AccessClass::Unique(v) = alias.classify(program, func.id, addr)
                 else {
                     continue;
                 };
@@ -177,8 +186,18 @@ pub fn build_tables(
                             continue;
                         }
                         if let Some(d) = b.direction_for(Range::exact(*c)) {
-                            merge_into(&mut merged, (trigger_idx, true), target_idx, BrAction::set_dir(d));
-                            merge_into(&mut merged, (trigger_idx, false), target_idx, BrAction::set_dir(d));
+                            merge_into(
+                                &mut merged,
+                                (trigger_idx, true),
+                                target_idx,
+                                BrAction::set_dir(d),
+                            );
+                            merge_into(
+                                &mut merged,
+                                (trigger_idx, false),
+                                target_idx,
+                                BrAction::set_dir(d),
+                            );
                         }
                     }
                 }
@@ -233,7 +252,12 @@ pub fn build_tables(
                             .is_some_and(|vars| vars.contains(&v))
                         && index_of.get(&b) != Some(&target_idx);
                     if !masked {
-                        merge_into(&mut merged, (trigger_idx, *dir), target_idx, BrAction::SetUnknown);
+                        merge_into(
+                            &mut merged,
+                            (trigger_idx, *dir),
+                            target_idx,
+                            BrAction::SetUnknown,
+                        );
                     }
                 }
             }
@@ -283,11 +307,11 @@ fn store_free_after(
     idx: usize,
     v: MemVar,
 ) -> bool {
-    func.block(block)
-        .insts
-        .iter()
-        .skip(idx + 1)
-        .all(|inst| !summaries.may_write(program, alias, func.id, inst).may_write(v))
+    func.block(block).insts.iter().skip(idx + 1).all(|inst| {
+        !summaries
+            .may_write(program, alias, func.id, inst)
+            .may_write(v)
+    })
 }
 
 #[cfg(test)]
@@ -357,8 +381,9 @@ mod tests {
         // B taken (x ≤ 9) does not determine A; B not-taken (x ≥ 10) forces
         // A not-taken.
         if let Some(rbt) = t.bat.get(&(b, true)) {
-            assert!(rbt.iter().all(|e| e.target != a
-                || e.action == BrAction::SetUnknown));
+            assert!(rbt
+                .iter()
+                .all(|e| e.target != a || e.action == BrAction::SetUnknown));
         }
         let rbn = &t.bat[&(b, false)];
         assert!(rbn
@@ -457,15 +482,20 @@ mod tests {
         );
         // Taken edge of branch 0 calls clobber(&x) ⇒ SET_UN on branch 1.
         let row = t.bat.get(&(0, true)).expect("row");
-        assert!(row
-            .iter()
-            .any(|e| e.target == 1 && e.action == BrAction::SetUnknown), "{row:?}");
+        assert!(
+            row.iter()
+                .any(|e| e.target == 1 && e.action == BrAction::SetUnknown),
+            "{row:?}"
+        );
         // Not-taken edge leaves x alone ⇒ branch 1 forced not-taken there
         // (x ≥ 5 ⇒ second x < 5 not taken).
         let row_nt = t.bat.get(&(0, false)).expect("row");
-        assert!(row_nt
-            .iter()
-            .any(|e| e.target == 1 && e.action == BrAction::SetNotTaken), "{row_nt:?}");
+        assert!(
+            row_nt
+                .iter()
+                .any(|e| e.target == 1 && e.action == BrAction::SetNotTaken),
+            "{row_nt:?}"
+        );
     }
 
     #[test]
@@ -501,8 +531,17 @@ mod tests {
         // The extension must add SET_T entries (f = 1 forces the second
         // test taken) beyond the baseline.
         let count = |t: &RawTables| -> usize {
-            t.bat.values().flatten().filter(|e| e.action == BrAction::SetTaken).count()
+            t.bat
+                .values()
+                .flatten()
+                .filter(|e| e.action == BrAction::SetTaken)
+                .count()
         };
-        assert!(count(&ext) > count(&base), "ext {:?} base {:?}", ext.bat, base.bat);
+        assert!(
+            count(&ext) > count(&base),
+            "ext {:?} base {:?}",
+            ext.bat,
+            base.bat
+        );
     }
 }

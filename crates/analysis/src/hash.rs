@@ -146,7 +146,11 @@ mod tests {
         let pcs: Vec<u64> = (0..8).map(|i| base + 8 * i).collect();
         let p = find_perfect_hash(&pcs, base, 20).unwrap();
         assert_perfect(&p, &pcs);
-        assert!(p.log2_size <= 6, "space 2^{} unexpectedly large", p.log2_size);
+        assert!(
+            p.log2_size <= 6,
+            "space 2^{} unexpectedly large",
+            p.log2_size
+        );
     }
 
     #[test]

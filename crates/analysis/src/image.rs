@@ -222,8 +222,8 @@ impl TableImage {
             let bat_slice = pool
                 .get(info.bat_off..info.bat_off + info.bat_len)
                 .ok_or_else(|| err("BAT out of range"))?;
-            let bat = decode_bat(bat_slice, &branches, &info.hash)
-                .ok_or_else(|| err("malformed BAT"))?;
+            let bat =
+                decode_bat(bat_slice, &branches, &info.hash).ok_or_else(|| err("malformed BAT"))?;
             let sizes = table_sizes(&bat, &branches, &info.hash);
             functions.push(FunctionAnalysis {
                 func: FuncId(i as u32),

@@ -27,9 +27,7 @@ pub type InstLoc = (BlockId, usize);
 /// the instructions of every block visited, including the block terminated
 /// by the *next* branch (its instructions run before that branch commits),
 /// but never crosses a conditional-branch terminator.
-pub fn branch_edge_regions(
-    func: &Function,
-) -> Vec<((BlockId, bool), Vec<InstLoc>)> {
+pub fn branch_edge_regions(func: &Function) -> Vec<((BlockId, bool), Vec<InstLoc>)> {
     let mut out = Vec::new();
     for (bid, block) in func.iter_blocks() {
         if let Terminator::Branch {
@@ -92,11 +90,7 @@ mod tests {
         let f = p.main().unwrap();
         // First branch has two edges; each region must contain one store to
         // x and stop before the second branch's own region.
-        let first_branch = f
-            .iter_blocks()
-            .find(|(_, b)| b.term.is_branch())
-            .unwrap()
-            .0;
+        let first_branch = f.iter_blocks().find(|(_, b)| b.term.is_branch()).unwrap().0;
         let taken: Vec<_> = regions
             .iter()
             .filter(|((b, d), _)| *b == first_branch && *d)
@@ -118,9 +112,8 @@ mod tests {
     #[test]
     fn loop_region_terminates() {
         // A while loop: back edge region must not loop forever.
-        let (_, regions) = regions_of(
-            "fn main() -> int { int i; i = 0; while (i < 5) { i = i + 1; } return i; }",
-        );
+        let (_, regions) =
+            regions_of("fn main() -> int { int i; i = 0; while (i < 5) { i = i + 1; } return i; }");
         assert!(!regions.is_empty());
         for ((_, _), locs) in &regions {
             // Sanity: bounded and sorted.
@@ -138,11 +131,7 @@ mod tests {
         );
         let f = p.main().unwrap();
         // Count stores to x reachable from the first branch taken edge.
-        let first_branch = f
-            .iter_blocks()
-            .find(|(_, b)| b.term.is_branch())
-            .unwrap()
-            .0;
+        let first_branch = f.iter_blocks().find(|(_, b)| b.term.is_branch()).unwrap().0;
         let region = regions
             .iter()
             .find(|((b, d), _)| *b == first_branch && *d)

@@ -60,15 +60,15 @@ impl FunctionAnalysis {
 
     /// Index of the branch with the given PC, if any.
     pub fn branch_index_by_pc(&self, pc: u64) -> Option<u32> {
-        self.branches.iter().position(|b| b.pc == pc).map(|i| i as u32)
+        self.branches
+            .iter()
+            .position(|b| b.pc == pc)
+            .map(|i| i as u32)
     }
 
     /// The BAT entries fired when branch `idx` commits with direction `dir`.
     pub fn actions(&self, idx: u32, dir: bool) -> &[BatEntry] {
-        self.bat
-            .get(&(idx, dir))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.bat.get(&(idx, dir)).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of branches whose BCV bit is set.

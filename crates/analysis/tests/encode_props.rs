@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use ipds_analysis::encode::{decode_bat, encode_bat, table_sizes};
 use ipds_analysis::hash::find_perfect_hash;
-use ipds_analysis::{BitReader, BitWriter, BrAction, BatEntry, BranchInfo};
+use ipds_analysis::{BatEntry, BitReader, BitWriter, BrAction, BranchInfo};
 use ipds_ir::BlockId;
 use proptest::prelude::*;
 

@@ -5,7 +5,7 @@
 //! implicitly: store→load vs load→load correlation (Fig. 5's two loops),
 //! and the hardware budget of §5.4.
 
-use ipds::{Config, Protected, SizeStats};
+use ipds::{Config, SizeStats};
 use ipds_runtime::HwConfig;
 use ipds_workloads::all;
 
@@ -90,20 +90,27 @@ fn measure(
     seed: u64,
     input_seed: u64,
 ) -> AblationRow {
+    let threads = ipds_sim::default_threads();
     let mut det = 0.0;
     let mut cf = 0.0;
     let mut stats = Vec::new();
     for w in all() {
-        let mut program = w.program();
-        if optimize {
-            ipds_ir::opt::forward_loads(&mut program);
-        }
-        let protected = Protected::from_program(program, config);
-        let inputs = w.inputs(input_seed);
-        let r = protected.campaign(&inputs, attacks, seed ^ w.name.len() as u64, w.vuln);
+        // The artifact cache recompiles per variant but shares the golden
+        // run across variants: the analysis config cannot change the clean
+        // execution, only what the checker watches.
+        let art = crate::artifacts::campaign_artifacts(&w, config, optimize, input_seed);
+        let r = art.protected.campaign_with_golden(
+            &art.inputs,
+            &art.golden,
+            art.limits,
+            attacks,
+            seed ^ w.name.len() as u64,
+            w.vuln,
+            threads,
+        );
         det += r.detected_rate();
         cf += r.cf_changed_rate();
-        stats.push(protected.size_stats());
+        stats.push(art.protected.size_stats());
     }
     let n = all().len() as f64;
     AblationRow {
@@ -164,7 +171,10 @@ pub fn print(rows: &[AblationRow], buffers: &[BufferRow]) {
     println!();
     println!("Ablation B. On-chip buffer sizing vs slowdown");
     println!("{:-<46}", "");
-    println!("{:<14} {:>14} {:>12}", "on-chip bits", "normalized", "spills");
+    println!(
+        "{:<14} {:>14} {:>12}",
+        "on-chip bits", "normalized", "spills"
+    );
     for b in buffers {
         println!(
             "{:<14} {:>14.4} {:>12}",
@@ -191,7 +201,10 @@ mod tests {
         }
         // The optimizer strictly shrinks the correlation surface.
         let optimized = rows.iter().find(|r| r.name == "optimized").unwrap();
-        assert!(optimized.sizes.avg_checked < full.sizes.avg_checked, "{rows:?}");
+        assert!(
+            optimized.sizes.avg_checked < full.sizes.avg_checked,
+            "{rows:?}"
+        );
     }
 
     #[test]

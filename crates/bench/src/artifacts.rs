@@ -1,0 +1,175 @@
+//! Process-wide cache of expensive campaign artifacts.
+//!
+//! The experiment drivers (`exp_fig7`, `exp_ablation`, `exp_all`) repeat
+//! the same two costly steps across figures: compiling a workload's
+//! analysis ([`ipds::Protected`]) and capturing its golden run for a given
+//! benign input script. Neither depends on the campaign parameters, so this
+//! module memoizes both behind a process-global two-level cache:
+//!
+//! 1. **Protected programs**, keyed by `(workload, analysis fingerprint,
+//!    optimized)`. The fingerprint is the `Debug` rendering of the
+//!    [`ipds::Config`], so every ablation variant gets its own slot while
+//!    figures sharing the default config share one compile.
+//! 2. **Golden runs**, keyed by `(workload, optimized, input_seed)`. A
+//!    golden run depends only on the *program* and its inputs — not on the
+//!    analysis switches — so all ablation variants of a workload reuse a
+//!    single clean execution.
+//!
+//! Everything handed out is behind an [`Arc`]; entries live for the process
+//! lifetime (the driver binaries are short-lived, and the whole suite's
+//! worth of artifacts is a few megabytes).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use ipds::{Config, GoldenRun, Protected};
+use ipds_sim::{ExecLimits, Input};
+use ipds_workloads::Workload;
+
+/// Everything needed to launch campaigns against one workload variant.
+#[derive(Clone)]
+pub struct CampaignArtifacts {
+    /// The compiled program plus its IPDS tables.
+    pub protected: Arc<Protected>,
+    /// The benign input script the golden run consumed.
+    pub inputs: Arc<Vec<Input>>,
+    /// The clean reference execution.
+    pub golden: Arc<GoldenRun>,
+    /// Campaign limits derived from the golden run.
+    pub limits: ExecLimits,
+}
+
+/// Level-1 key: workload name, analysis fingerprint, optimizer on/off.
+type ProtectedKey = (&'static str, String, bool);
+/// Level-2 key: workload name, optimizer on/off, input seed.
+type GoldenKey = (&'static str, bool, u64);
+type GoldenEntry = (Arc<Vec<Input>>, Arc<GoldenRun>, ExecLimits);
+
+#[derive(Default)]
+struct Inner {
+    protected: HashMap<ProtectedKey, Arc<Protected>>,
+    golden: HashMap<GoldenKey, GoldenEntry>,
+}
+
+fn cache() -> &'static Mutex<Inner> {
+    static CACHE: OnceLock<Mutex<Inner>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Inner::default()))
+}
+
+/// Compiles (or fetches) the workload under `config`, optionally running
+/// the block-local load-forwarding pass first.
+pub fn protected(w: &Workload, config: &Config, optimize: bool) -> Arc<Protected> {
+    let key = (w.name, format!("{config:?}"), optimize);
+    let mut inner = cache().lock().unwrap();
+    if let Some(p) = inner.protected.get(&key) {
+        return Arc::clone(p);
+    }
+    let mut program = w.program();
+    if optimize {
+        ipds_ir::opt::forward_loads(&mut program);
+    }
+    let p = Arc::new(Protected::from_program(program, config));
+    inner.protected.insert(key, Arc::clone(&p));
+    p
+}
+
+/// Fetches the full artifact bundle for a workload variant and input seed,
+/// capturing the golden run on first use and reusing it afterwards — also
+/// across analysis configs, which cannot change the clean execution.
+pub fn campaign_artifacts(
+    w: &Workload,
+    config: &Config,
+    optimize: bool,
+    input_seed: u64,
+) -> CampaignArtifacts {
+    let protected = self::protected(w, config, optimize);
+    let key = (w.name, optimize, input_seed);
+    let mut inner = cache().lock().unwrap();
+    if let Some((inputs, golden, limits)) = inner.golden.get(&key) {
+        return CampaignArtifacts {
+            protected,
+            inputs: Arc::clone(inputs),
+            golden: Arc::clone(golden),
+            limits: *limits,
+        };
+    }
+    let inputs = Arc::new(w.inputs(input_seed));
+    let (golden, limits) = protected.campaign_artifacts(&inputs);
+    let golden = Arc::new(golden);
+    inner
+        .golden
+        .insert(key, (Arc::clone(&inputs), Arc::clone(&golden), limits));
+    CampaignArtifacts {
+        protected,
+        inputs,
+        golden,
+        limits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipds_sim::AttackModel;
+
+    fn telnetd() -> Workload {
+        ipds_workloads::all()
+            .into_iter()
+            .find(|w| w.name == "telnetd")
+            .unwrap()
+    }
+
+    #[test]
+    fn protected_is_shared_per_config() {
+        let w = telnetd();
+        let a = protected(&w, &Config::default(), false);
+        let b = protected(&w, &Config::default(), false);
+        assert!(Arc::ptr_eq(&a, &b), "same key must hit the cache");
+        let c = protected(
+            &w,
+            &Config {
+                store_anchors: false,
+                ..Config::default()
+            },
+            false,
+        );
+        assert!(!Arc::ptr_eq(&a, &c), "different config must not collide");
+    }
+
+    #[test]
+    fn golden_is_shared_across_configs() {
+        let w = telnetd();
+        let full = campaign_artifacts(&w, &Config::default(), false, 11);
+        let no_store = campaign_artifacts(
+            &w,
+            &Config {
+                store_anchors: false,
+                ..Config::default()
+            },
+            false,
+            11,
+        );
+        assert!(
+            Arc::ptr_eq(&full.golden, &no_store.golden),
+            "golden run must be reused across analysis variants"
+        );
+        assert!(!Arc::ptr_eq(&full.protected, &no_store.protected));
+    }
+
+    #[test]
+    fn cached_artifacts_reproduce_direct_campaigns() {
+        let w = telnetd();
+        let art = campaign_artifacts(&w, &Config::default(), false, 3);
+        let via_cache = art.protected.campaign_with_golden(
+            &art.inputs,
+            &art.golden,
+            art.limits,
+            25,
+            9,
+            AttackModel::FormatString,
+            1,
+        );
+        let direct = crate::protect(&w).campaign(&w.inputs(3), 25, 9, AttackModel::FormatString);
+        assert_eq!(via_cache, direct);
+    }
+}

@@ -1,34 +1,165 @@
-//! Runs every experiment in sequence (the full paper reproduction).
+//! Runs every experiment in sequence (the full paper reproduction) and
+//! emits campaign-engine throughput numbers to `results/bench_campaign.json`.
+//!
+//! Usage: `cargo run --release -p ipds-bench --bin exp_all -- [attacks]`
+
+use std::time::Instant;
 
 use ipds_runtime::HwConfig;
+
+/// Wall-clock for one experiment phase.
+struct Phase {
+    name: &'static str,
+    seconds: f64,
+}
+
+fn timed<T>(phases: &mut Vec<Phase>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    phases.push(Phase {
+        name,
+        seconds: start.elapsed().as_secs_f64(),
+    });
+    out
+}
 
 fn main() {
     let attacks: u32 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(100);
+    let threads = ipds_sim::default_threads();
     let hw = HwConfig::table1_default();
+    let mut phases: Vec<Phase> = Vec::new();
+
     ipds_bench::table1::print(&hw);
     println!();
-    let f7 = ipds_bench::fig7::run(attacks, 2006, 2006);
+    let f7 = timed(&mut phases, "fig7", || {
+        ipds_bench::fig7::run_threaded(attacks, 2006, 2006, None, threads)
+    });
     ipds_bench::fig7::print(&f7);
     println!();
-    let f8 = ipds_bench::fig8::run();
+    let f8 = timed(&mut phases, "fig8", ipds_bench::fig8::run);
     ipds_bench::fig8::print(&f8);
     println!();
-    let f9 = ipds_bench::fig9::run(&hw, 2006);
+    let f9 = timed(&mut phases, "fig9", || ipds_bench::fig9::run(&hw, 2006));
     ipds_bench::fig9::print(&f9);
     println!();
-    let lat = ipds_bench::latency::run(&hw, 2006);
+    let lat = timed(&mut phases, "latency", || {
+        ipds_bench::latency::run(&hw, 2006)
+    });
     ipds_bench::latency::print(&lat);
     println!();
-    let ab = ipds_bench::ablation::run(attacks.min(50), 2006, 2006);
-    let buf = ipds_bench::ablation::buffer_sweep(2006);
+    let ab = timed(&mut phases, "ablation", || {
+        ipds_bench::ablation::run(attacks.min(50), 2006, 2006)
+    });
+    let buf = timed(&mut phases, "buffer_sweep", || {
+        ipds_bench::ablation::buffer_sweep(2006)
+    });
     ipds_bench::ablation::print(&ab, &buf);
     println!();
-    let ctx = ipds_bench::context::run(&hw);
+    let ctx = timed(&mut phases, "context", || ipds_bench::context::run(&hw));
     ipds_bench::context::print(&ctx);
     println!();
-    let micro = ipds_bench::micro::run(&hw);
+    let micro = timed(&mut phases, "micro", || ipds_bench::micro::run(&hw));
     ipds_bench::micro::print(&micro);
+
+    let scaling = scaling_sweep(attacks, threads);
+    match write_bench_json(attacks, threads, &phases, &scaling) {
+        Ok(path) => println!("\ncampaign throughput written to {path}"),
+        Err(e) => eprintln!("\nwarning: could not write bench_campaign.json: {e}"),
+    }
+}
+
+/// One row of the thread-scaling sweep.
+struct Scaling {
+    threads: usize,
+    seconds: f64,
+    attacks_per_sec: f64,
+}
+
+/// Re-runs the Fig. 7 campaign at fixed thread counts. All compiles and
+/// golden runs are already cached by the earlier phases, so this times the
+/// campaign engine alone; on an N-core machine the sweep shows the
+/// near-linear speedup (bit-identical results at every point).
+fn scaling_sweep(attacks: u32, default_threads: usize) -> Vec<Scaling> {
+    let total_attacks = (u64::from(attacks) * ipds_workloads::all().len() as u64) as f64;
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&default_threads) {
+        counts.push(default_threads);
+    }
+    counts
+        .into_iter()
+        .map(|t| {
+            let start = Instant::now();
+            ipds_bench::fig7::run_threaded(attacks, 2006, 2006, None, t);
+            let seconds = start.elapsed().as_secs_f64();
+            Scaling {
+                threads: t,
+                seconds,
+                attacks_per_sec: if seconds > 0.0 {
+                    total_attacks / seconds
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Emits `results/bench_campaign.json`: thread count, per-phase wall-clock,
+/// and the headline attacks/sec of the Fig. 7 campaign (the phase dominated
+/// by the parallel engine).
+fn write_bench_json(
+    attacks: u32,
+    threads: usize,
+    phases: &[Phase],
+    scaling: &[Scaling],
+) -> std::io::Result<String> {
+    let workloads = ipds_workloads::all().len() as u32;
+    let fig7_seconds = phases
+        .iter()
+        .find(|p| p.name == "fig7")
+        .map(|p| p.seconds)
+        .unwrap_or(0.0);
+    let total_attacks = u64::from(attacks) * u64::from(workloads);
+    let attacks_per_sec = if fig7_seconds > 0.0 {
+        total_attacks as f64 / fig7_seconds
+    } else {
+        0.0
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"attacks_per_workload\": {attacks},\n"));
+    json.push_str("  \"fig7\": {\n");
+    json.push_str(&format!("    \"total_attacks\": {total_attacks},\n"));
+    json.push_str(&format!("    \"seconds\": {fig7_seconds:.6},\n"));
+    json.push_str(&format!("    \"attacks_per_sec\": {attacks_per_sec:.1}\n"));
+    json.push_str("  },\n");
+    json.push_str("  \"scaling\": [\n");
+    for (i, s) in scaling.iter().enumerate() {
+        let comma = if i + 1 < scaling.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"threads\": {}, \"seconds\": {:.6}, \"attacks_per_sec\": {:.1} }}{comma}\n",
+            s.threads, s.seconds, s.attacks_per_sec
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"seconds\": {:.6} }}{comma}\n",
+            p.name, p.seconds
+        ));
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::create_dir_all("results")?;
+    let path = "results/bench_campaign.json";
+    std::fs::write(path, json)?;
+    Ok(path.to_string())
 }

@@ -1,22 +1,62 @@
 //! Regenerates Figure 7 (detection rates for simulated attacks).
 //!
-//! Usage: `cargo run --release -p ipds-bench --bin exp_fig7 [attacks] [seed]`
+//! Usage:
+//! `cargo run --release -p ipds-bench --bin exp_fig7 -- [--attacks N] [--seed N] [--threads N]`
+//!
+//! Bare positional `[attacks] [seed]` are still accepted for
+//! compatibility with earlier revisions of this driver.
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let attacks: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100);
-    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2006);
-    let rows = ipds_bench::fig7::run(attacks, seed, seed);
+    let mut attacks: u32 = 100;
+    let mut seed: u64 = 2006;
+    let mut threads: usize = ipds_sim::default_threads();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> &str {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("missing value after {}", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--attacks" => {
+                attacks = flag_value(&mut i)
+                    .parse()
+                    .expect("--attacks takes a number")
+            }
+            "--seed" => seed = flag_value(&mut i).parse().expect("--seed takes a number"),
+            "--threads" => {
+                threads = flag_value(&mut i)
+                    .parse()
+                    .expect("--threads takes a number")
+            }
+            other if !other.starts_with("--") => {
+                match positional {
+                    0 => attacks = other.parse().expect("attacks must be a number"),
+                    1 => seed = other.parse().expect("seed must be a number"),
+                    _ => panic!("unexpected positional argument `{other}`"),
+                }
+                positional += 1;
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+        i += 1;
+    }
+
+    let rows = ipds_bench::fig7::run_threaded(attacks, seed, seed, None, threads);
     ipds_bench::fig7::print(&rows);
 
     // Extra (ours): the unrefined contiguous-block overflow for comparison —
     // smashing a run of cells hits correlated state more often.
     println!();
-    let contiguous = ipds_bench::fig7::run_with_model(
+    let contiguous = ipds_bench::fig7::run_threaded(
         attacks,
         seed,
         seed,
         Some(ipds_sim::AttackModel::ContiguousOverflow),
+        threads,
     );
     println!("(extra) same protocol with contiguous 2-8 cell overflows:");
     let (cf, det, given) = ipds_bench::fig7::averages(&contiguous);

@@ -6,7 +6,9 @@
 //! into regions and load only the active one. This experiment prices all
 //! three with the real per-workload table footprints.
 
-use ipds_runtime::context::{context_switch_cost, context_switch_cost_split, switch_to_unprotected};
+use ipds_runtime::context::{
+    context_switch_cost, context_switch_cost_split, switch_to_unprotected,
+};
 use ipds_runtime::HwConfig;
 use ipds_workloads::all;
 

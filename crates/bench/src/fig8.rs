@@ -38,7 +38,12 @@ pub fn print(result: &Fig8Result) {
     for (name, s) in &result.rows {
         println!(
             "{:<10} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-            name, s.functions, s.avg_bsv_bits, s.avg_bcv_bits, s.avg_bat_bits, s.avg_branches,
+            name,
+            s.functions,
+            s.avg_bsv_bits,
+            s.avg_bcv_bits,
+            s.avg_bat_bits,
+            s.avg_branches,
             s.avg_checked
         );
     }
@@ -46,7 +51,12 @@ pub fn print(result: &Fig8Result) {
     let m = &result.merged;
     println!(
         "{:<10} {:>6} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-        "average", m.functions, m.avg_bsv_bits, m.avg_bcv_bits, m.avg_bat_bits, m.avg_branches,
+        "average",
+        m.functions,
+        m.avg_bsv_bits,
+        m.avg_bcv_bits,
+        m.avg_bat_bits,
+        m.avg_branches,
         m.avg_checked
     );
     println!("(paper: BSV 34, BCV 17, BAT 393 bits per function)");

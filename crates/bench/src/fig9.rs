@@ -69,7 +69,12 @@ pub fn print(rows: &[Fig9Row]) {
     for r in rows {
         println!(
             "{:<10} {:>12} {:>12} {:>12} {:>10.4} {:>8} {:>8}",
-            r.name, r.instructions, r.base_cycles, r.ipds_cycles, r.normalized, r.stall_cycles,
+            r.name,
+            r.instructions,
+            r.base_cycles,
+            r.ipds_cycles,
+            r.normalized,
+            r.stall_cycles,
             r.spills
         );
     }

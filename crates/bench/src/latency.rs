@@ -77,6 +77,9 @@ mod tests {
         let rows = run(&HwConfig::table1_default(), 3);
         let m = mean(&rows);
         assert!(m > 0.0);
-        assert!(m < 25.0, "mean latency {m} should sit within a pipeline depth");
+        assert!(
+            m < 25.0,
+            "mean latency {m} should sit within a pipeline depth"
+        );
     }
 }

@@ -17,6 +17,7 @@
 //! | §5.4 context-switch costs | [`context`] | `exp_context` |
 
 pub mod ablation;
+pub mod artifacts;
 pub mod context;
 pub mod fig7;
 pub mod fig8;
@@ -25,12 +26,17 @@ pub mod latency;
 pub mod micro;
 pub mod table1;
 
+use std::sync::Arc;
+
 use ipds::Protected;
 use ipds_workloads::Workload;
 
 /// Compiles a workload into a [`Protected`] program with default analysis.
-pub fn protect(w: &Workload) -> Protected {
-    Protected::from_program(w.program(), &ipds::Config::default())
+///
+/// Served from the process-wide [`artifacts`] cache, so every figure that
+/// protects the same workload under the default config shares one compile.
+pub fn protect(w: &Workload) -> Arc<Protected> {
+    artifacts::protected(w, &ipds::Config::default(), false)
 }
 
 /// Renders a percentage for table output.

@@ -124,6 +124,9 @@ mod tests {
         hw.bat_stack_bits = 1024;
         let rows = run(&hw);
         let rec = rows.iter().find(|r| r.name == "recursion").unwrap();
-        assert!(rec.spills > 0, "deep recursion must spill tiny buffers: {rec:?}");
+        assert!(
+            rec.spills > 0,
+            "deep recursion must spill tiny buffers: {rec:?}"
+        );
     }
 }

@@ -8,7 +8,10 @@ pub fn print(c: &HwConfig) {
     println!("Table 1. Default parameters of the processor simulated");
     println!("{:-<58}", "");
     let rows: Vec<(String, String)> = vec![
-        ("Clock frequency".into(), format!("{} GHz", c.clock_hz as f64 / 1e9)),
+        (
+            "Clock frequency".into(),
+            format!("{} GHz", c.clock_hz as f64 / 1e9),
+        ),
         ("Fetch queue".into(), format!("{} entries", c.fetch_queue)),
         ("Decode width".into(), c.decode_width.to_string()),
         ("Issue width".into(), c.issue_width.to_string()),
@@ -48,9 +51,18 @@ pub fn print(c: &HwConfig) {
             ),
         ),
         ("TLB miss".into(), format!("{} cycles", c.tlb_miss)),
-        ("BSV stack".into(), format!("{}K bits", c.bsv_stack_bits / 1024)),
-        ("BCV stack".into(), format!("{}K bits", c.bcv_stack_bits / 1024)),
-        ("BAT stack".into(), format!("{}K bits", c.bat_stack_bits / 1024)),
+        (
+            "BSV stack".into(),
+            format!("{}K bits", c.bsv_stack_bits / 1024),
+        ),
+        (
+            "BCV stack".into(),
+            format!("{}K bits", c.bcv_stack_bits / 1024),
+        ),
+        (
+            "BAT stack".into(),
+            format!("{}K bits", c.bat_stack_bits / 1024),
+        ),
     ];
     for (k, v) in rows {
         println!("{k:<18} {v}");

@@ -180,13 +180,7 @@ fn run_program(source: &str, inputs: &[Input]) -> Result<(), String> {
     Ok(())
 }
 
-fn attack(
-    source: &str,
-    inputs: &[Input],
-    var: &str,
-    value: i64,
-    step: u64,
-) -> Result<(), String> {
+fn attack(source: &str, inputs: &[Input], var: &str, value: i64, step: u64) -> Result<(), String> {
     let p = protect(source)?;
     let r = p.run_with_tamper(inputs, step, var, value);
     println!("tampered `{var}` = {value} after {step} steps");
@@ -259,7 +253,11 @@ fn trace(source: &str, inputs: &[Input], limit: usize) -> Result<(), String> {
                     pc,
                     if dir { "T " } else { "NT" },
                     expected,
-                    if out.verified { "verified" } else { "unchecked" },
+                    if out.verified {
+                        "verified"
+                    } else {
+                        "unchecked"
+                    },
                     if out.alarm { "  <-- ALARM" } else { "" },
                 );
             }

@@ -38,10 +38,7 @@ use ipds_analysis::{analyze_program, AnalysisConfig, ProgramAnalysis};
 use ipds_ir::{CompileError, Program, VarId};
 use ipds_runtime::{Alarm, HwConfig, IpdsChecker, IpdsStats};
 use ipds_sim::pipeline::core::timed_run;
-use ipds_sim::{
-    AttackModel, Campaign, CampaignResult, ExecLimits, ExecStatus, Interp, IpdsObserver,
-    PerfReport,
-};
+use ipds_sim::{AttackModel, Campaign, ExecLimits, ExecStatus, Interp, IpdsObserver, PerfReport};
 
 pub use ipds_analysis::{self as analysis, BrAction, BranchStatus, SizeStats};
 pub use ipds_dataflow as dataflow;
@@ -53,7 +50,7 @@ pub use ipds_workloads as workloads;
 // Re-export the most used leaf types at the top level.
 pub use ipds_analysis::AnalysisConfig as Config;
 pub use ipds_runtime::HwConfig as Hardware;
-pub use ipds_sim::Input;
+pub use ipds_sim::{CampaignResult, GoldenRun, Input};
 
 /// Result of one protected execution.
 #[derive(Debug, Clone)]
@@ -101,10 +98,7 @@ impl Protected {
     /// # Errors
     ///
     /// Returns the underlying [`CompileError`].
-    pub fn compile_with(
-        source: &str,
-        config: &AnalysisConfig,
-    ) -> Result<Protected, CompileError> {
+    pub fn compile_with(source: &str, config: &AnalysisConfig) -> Result<Protected, CompileError> {
         let program = ipds_ir::parse(source)?;
         let analysis = analyze_program(&program, config);
         Ok(Protected { program, analysis })
@@ -182,7 +176,7 @@ impl Protected {
         panic!("no variable named `{name}` in main or globals");
     }
 
-    /// Runs a seeded attack campaign (the Fig. 7 protocol).
+    /// Runs a seeded attack campaign (the Fig. 7 protocol), serially.
     pub fn campaign(
         &self,
         inputs: &[Input],
@@ -190,25 +184,70 @@ impl Protected {
         seed: u64,
         model: AttackModel,
     ) -> CampaignResult {
-        let limits = self.campaign_limits(inputs);
+        self.campaign_threaded(inputs, attacks, seed, model, 1)
+    }
+
+    /// Runs a seeded attack campaign across `threads` worker threads.
+    ///
+    /// The result is bit-identical to [`Protected::campaign`] for every
+    /// thread count (attacks are independently seeded and merged in seed
+    /// order); `threads <= 1` runs in-place without spawning. Use
+    /// [`ipds_sim::parallel::default_threads`] for a sensible machine-wide
+    /// default.
+    pub fn campaign_threaded(
+        &self,
+        inputs: &[Input],
+        attacks: u32,
+        seed: u64,
+        model: AttackModel,
+        threads: usize,
+    ) -> CampaignResult {
+        let (golden, limits) = self.campaign_artifacts(inputs);
+        self.campaign_with_golden(inputs, &golden, limits, attacks, seed, model, threads)
+    }
+
+    /// Runs a campaign against a precomputed golden run (see
+    /// [`Protected::campaign_artifacts`]): the path the benchmark layer
+    /// uses to amortize the golden execution across campaigns.
+    #[allow(clippy::too_many_arguments)] // one campaign = one parameterized protocol
+    pub fn campaign_with_golden(
+        &self,
+        inputs: &[Input],
+        golden: &GoldenRun,
+        limits: ExecLimits,
+        attacks: u32,
+        seed: u64,
+        model: AttackModel,
+        threads: usize,
+    ) -> CampaignResult {
         let campaign = Campaign {
             attacks,
             seed,
             model,
             limits,
         };
-        ipds_sim::attack::run_campaign(&self.program, &self.analysis, inputs, &campaign)
+        ipds_sim::parallel::run_campaign_threaded_with_golden(
+            &self.program,
+            &self.analysis,
+            inputs,
+            golden,
+            &campaign,
+            threads,
+        )
     }
 
-    /// Limits derived from the golden run so a tampered run that loops
-    /// cannot drag a campaign out indefinitely.
-    fn campaign_limits(&self, inputs: &[Input]) -> ExecLimits {
-        let (_, steps, _) =
-            ipds_sim::attack::golden_run(&self.program, inputs, ExecLimits::default());
-        ExecLimits {
-            max_steps: steps.saturating_mul(4).max(100_000),
+    /// Captures the golden (clean) run once and derives the campaign
+    /// execution limits from it — a tampered run that loops cannot drag a
+    /// campaign out indefinitely. The golden run is valid under the derived
+    /// limits (they only ever extend the budget it completed within), so
+    /// callers can cache and reuse both across campaigns.
+    pub fn campaign_artifacts(&self, inputs: &[Input]) -> (GoldenRun, ExecLimits) {
+        let golden = GoldenRun::capture(&self.program, inputs, ExecLimits::default());
+        let limits = ExecLimits {
+            max_steps: golden.steps.saturating_mul(4).max(100_000),
             max_depth: 256,
-        }
+        };
+        (golden, limits)
     }
 
     /// Cycle-level run **with** the IPDS attached.
@@ -267,9 +306,43 @@ mod tests {
     #[test]
     fn campaign_smoke() {
         let p = Protected::compile(SRC).unwrap();
-        let r = p.campaign(&[Input::Int(0), Input::Int(9)], 40, 3, AttackModel::FormatString);
+        let r = p.campaign(
+            &[Input::Int(0), Input::Int(9)],
+            40,
+            3,
+            AttackModel::FormatString,
+        );
         assert!(r.detected <= r.cf_changed);
         assert!(r.detected > 0);
+    }
+
+    #[test]
+    fn campaign_threads_knob_is_bit_identical() {
+        let p = Protected::compile(SRC).unwrap();
+        let inputs = [Input::Int(0), Input::Int(9)];
+        let serial = p.campaign(&inputs, 30, 3, AttackModel::FormatString);
+        for threads in [2, 4] {
+            let par = p.campaign_threaded(&inputs, 30, 3, AttackModel::FormatString, threads);
+            assert_eq!(serial, par, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn campaign_artifacts_are_reusable() {
+        let p = Protected::compile(SRC).unwrap();
+        let inputs = [Input::Int(0), Input::Int(9)];
+        let (golden, limits) = p.campaign_artifacts(&inputs);
+        let direct = p.campaign(&inputs, 20, 3, AttackModel::FormatString);
+        let cached = p.campaign_with_golden(
+            &inputs,
+            &golden,
+            limits,
+            20,
+            3,
+            AttackModel::FormatString,
+            2,
+        );
+        assert_eq!(direct, cached);
     }
 
     #[test]

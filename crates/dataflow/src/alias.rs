@@ -373,9 +373,7 @@ mod tests {
 
     #[test]
     fn pointer_to_local_resolves() {
-        let (p, a) = analyze(
-            "fn main() -> int { int x; int *q; q = &x; *q = 3; return x; }",
-        );
+        let (p, a) = analyze("fn main() -> int { int x; int *q; q = &x; *q = 3; return x; }");
         let f = p.main().unwrap();
         let x = local(&p, "main", "x");
         assert!(a.is_address_taken(x));
@@ -399,9 +397,8 @@ mod tests {
 
     #[test]
     fn pointer_across_call_binds_param() {
-        let (p, a) = analyze(
-            "fn set(int *p) { *p = 9; } fn main() -> int { int x; set(&x); return x; }",
-        );
+        let (p, a) =
+            analyze("fn set(int *p) { *p = 9; } fn main() -> int { int x; set(&x); return x; }");
         let set = p.function_by_name("set").unwrap();
         let x = local(&p, "main", "x");
         for (_, b) in set.iter_blocks() {

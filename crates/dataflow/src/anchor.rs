@@ -20,9 +20,7 @@
 
 use std::collections::BTreeMap;
 
-use ipds_ir::{
-    Address, BlockId, Function, Inst, Operand, Pred, Program, Reg, Terminator,
-};
+use ipds_ir::{Address, BlockId, Function, Inst, Operand, Pred, Program, Reg, Terminator};
 
 use crate::alias::{AccessClass, AliasAnalysis};
 use crate::memvar::MemVar;
@@ -248,9 +246,7 @@ impl<'a> AnchorFinder<'a> {
             }
             // After stepping to a new root, also consider store anchors of
             // the current register before the next iteration resolves it.
-            if let Some(anchor) =
-                self.store_anchor(branch_block, cur, scale, offset, pred, konst)
-            {
+            if let Some(anchor) = self.store_anchor(branch_block, cur, scale, offset, pred, konst) {
                 anchors.push(anchor);
             }
         }
@@ -317,8 +313,7 @@ impl<'a> AnchorFinder<'a> {
         if loc.0 != branch_block {
             return None;
         }
-        let AccessClass::Unique(v) = self.alias.classify(self.program, self.func.id, addr)
-        else {
+        let AccessClass::Unique(v) = self.alias.classify(self.program, self.func.id, addr) else {
             return None;
         };
         let insts = &self.func.block(loc.0).insts;
@@ -447,11 +442,18 @@ mod tests {
         let (p, a, s) = setup(src);
         let f = p.main().unwrap();
         let user = local(&p, "main", "user");
-        let anchors: Vec<BranchAnchor> = find_anchors(&p, f, &a, &s).into_values().flatten().collect();
+        let anchors: Vec<BranchAnchor> = find_anchors(&p, f, &a, &s)
+            .into_values()
+            .flatten()
+            .collect();
         // Two anchors on the same var: the Load anchor (of the reload) and
         // the forwarded Store anchor.
-        assert!(anchors.iter().any(|x| x.kind == AnchorKind::Load && x.var == user));
-        assert!(anchors.iter().any(|x| x.kind == AnchorKind::Store && x.var == user));
+        assert!(anchors
+            .iter()
+            .any(|x| x.kind == AnchorKind::Load && x.var == user));
+        assert!(anchors
+            .iter()
+            .any(|x| x.kind == AnchorKind::Store && x.var == user));
         for x in &anchors {
             assert_eq!(x.implied_range(true), Range::exact(1));
             assert_eq!(x.implied_range(false), Range::Ne(1));
@@ -467,7 +469,10 @@ mod tests {
         let f = p.main().unwrap();
         let x = local(&p, "main", "x");
         let y = local(&p, "main", "y");
-        let anchors: Vec<BranchAnchor> = find_anchors(&p, f, &a, &s).into_values().flatten().collect();
+        let anchors: Vec<BranchAnchor> = find_anchors(&p, f, &a, &s)
+            .into_values()
+            .flatten()
+            .collect();
         let vars: Vec<MemVar> = anchors.iter().map(|a| a.var).collect();
         assert!(vars.contains(&x), "{anchors:?}");
         assert!(vars.contains(&y), "{anchors:?}");
@@ -481,7 +486,10 @@ mod tests {
         let (p, a, s) = setup(src);
         let f = p.main().unwrap();
         let x = local(&p, "main", "x");
-        let anchors: Vec<BranchAnchor> = find_anchors(&p, f, &a, &s).into_values().flatten().collect();
+        let anchors: Vec<BranchAnchor> = find_anchors(&p, f, &a, &s)
+            .into_values()
+            .flatten()
+            .collect();
         // t anchors fine; x must not (the clobber call separates the copy
         // from the branch).
         assert!(anchors.iter().all(|an| an.var != x), "{anchors:?}");

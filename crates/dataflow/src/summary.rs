@@ -144,18 +144,14 @@ impl Summaries {
         inst: &Inst,
     ) -> CallEffect {
         match inst {
-            Inst::Store { addr, .. } => {
-                CallEffect::from_class(alias.classify(program, func, addr))
-            }
+            Inst::Store { addr, .. } => CallEffect::from_class(alias.classify(program, func, addr)),
             Inst::Call { callee, args, .. } => match callee {
                 Callee::Direct(fid) => self.of(*fid).clone(),
                 Callee::Builtin(b) => {
                     let mut eff = CallEffect::Nothing;
                     for &i in b.writes_through() {
                         if let Some(arg) = args.get(i) {
-                            eff.absorb(CallEffect::from_class(
-                                alias.classify_operand(func, *arg),
-                            ));
+                            eff.absorb(CallEffect::from_class(alias.classify_operand(func, *arg)));
                         }
                     }
                     eff
@@ -195,9 +191,8 @@ mod tests {
 
     #[test]
     fn pointer_param_writer_is_scoped() {
-        let (p, _, s) = setup(
-            "fn set(int *q) { *q = 1; } fn main() -> int { int x; set(&x); return x; }",
-        );
+        let (p, _, s) =
+            setup("fn set(int *q) { *q = 1; } fn main() -> int { int x; set(&x); return x; }");
         let set = p.function_by_name("set").unwrap();
         let x = local(&p, "main", "x");
         assert!(s.of(set.id).may_write(x));
@@ -206,7 +201,8 @@ mod tests {
 
     #[test]
     fn global_writer_reported() {
-        let (p, _, s) = setup("int g; fn bump() { g = g + 1; } fn main() -> int { bump(); return g; }");
+        let (p, _, s) =
+            setup("int g; fn bump() { g = g + 1; } fn main() -> int { bump(); return g; }");
         let bump = p.function_by_name("bump").unwrap();
         let g = MemVar::global(VarId::global(0));
         assert!(s.of(bump.id).may_write(g));

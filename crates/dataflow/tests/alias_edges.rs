@@ -105,7 +105,10 @@ fn two_pointer_param_callers_merge_contexts() {
     let vb = local(&p, "main", "b");
     let classes = ptr_store_classes(&p, &a, "set");
     assert_eq!(classes.len(), 1);
-    assert!(classes[0].may_touch(va) && classes[0].may_touch(vb), "{classes:?}");
+    assert!(
+        classes[0].may_touch(va) && classes[0].may_touch(vb),
+        "{classes:?}"
+    );
 }
 
 #[test]
@@ -125,18 +128,18 @@ fn arithmetic_on_pointers_keeps_targets() {
 #[test]
 fn integer_laundered_pointer_is_any() {
     // A pointer forged from arithmetic on an input is unresolvable.
-    let (p, a, _) = setup(
-        "fn main() -> int { int *q; q = read_int() * 8; *q = 1; return 0; }",
-    );
+    let (p, a, _) = setup("fn main() -> int { int *q; q = read_int() * 8; *q = 1; return 0; }");
     let classes = ptr_store_classes(&p, &a, "main");
-    assert!(classes.iter().all(|c| matches!(c, AccessClass::Any)), "{classes:?}");
+    assert!(
+        classes.iter().all(|c| matches!(c, AccessClass::Any)),
+        "{classes:?}"
+    );
 }
 
 #[test]
 fn effects_of_exit_and_prints_are_empty() {
-    let (p, a, s) = setup(
-        "fn main() -> int { print_int(1); print_str(\"x\"); exit(0); return 0; }",
-    );
+    let (p, a, s) =
+        setup("fn main() -> int { print_int(1); print_str(\"x\"); exit(0); return 0; }");
     let main = p.main().unwrap();
     for (_, b) in main.iter_blocks() {
         for inst in &b.insts {

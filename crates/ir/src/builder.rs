@@ -189,12 +189,22 @@ impl FunctionBuilder {
     /// Emits a comparison producing 0/1.
     pub fn cmp(&mut self, pred: Pred, lhs: Operand, rhs: Operand) -> Reg {
         let dst = self.fresh();
-        self.push(Inst::Cmp { dst, pred, lhs, rhs });
+        self.push(Inst::Cmp {
+            dst,
+            pred,
+            lhs,
+            rhs,
+        });
         dst
     }
 
     /// Emits a call to a user function.
-    pub fn call_direct(&mut self, callee: FuncId, args: Vec<Operand>, want_result: bool) -> Option<Reg> {
+    pub fn call_direct(
+        &mut self,
+        callee: FuncId,
+        args: Vec<Operand>,
+        want_result: bool,
+    ) -> Option<Reg> {
         let dst = want_result.then(|| self.fresh());
         self.push(Inst::Call {
             dst,
@@ -257,10 +267,7 @@ pub fn assemble(
     globals: Vec<Variable>,
     functions: Vec<Function>,
 ) -> Result<crate::Program, crate::error::VerifyError> {
-    let mut program = crate::Program {
-        globals,
-        functions,
-    };
+    let mut program = crate::Program { globals, functions };
     let mut pc = 0x1000u64;
     for (i, f) in program.functions.iter_mut().enumerate() {
         f.id = FuncId(i as u32);

@@ -203,10 +203,8 @@ mod tests {
 
     #[test]
     fn loop_header_dominates_body() {
-        let p = parse(
-            "fn main() -> int { int i; i = 0; while (i < 5) { i = i + 1; } return i; }",
-        )
-        .unwrap();
+        let p = parse("fn main() -> int { int i; i = 0; while (i < 5) { i = i + 1; } return i; }")
+            .unwrap();
         let f = p.main().unwrap();
         let cfg = Cfg::new(f);
         let idom = cfg.immediate_dominators(f);

@@ -77,9 +77,7 @@ impl LowerCtx {
                         return Err(err(format!("duplicate global `{name}`")));
                     }
                     let (kind, size, init_cells) = match init {
-                        GlobalInit::None => {
-                            (VarKind::Global, size.unwrap_or(1), Vec::new())
-                        }
+                        GlobalInit::None => (VarKind::Global, size.unwrap_or(1), Vec::new()),
                         GlobalInit::Scalar(v) => {
                             if size.is_some() {
                                 return Err(err(format!(
@@ -171,10 +169,9 @@ impl LowerCtx {
         };
         for p in params {
             let vid = VarId::local(fl.func.vars.len() as u32);
-            fl.func.vars.push(Variable::scalar(
-                p.name.clone(),
-                VarKind::Param,
-            ));
+            fl.func
+                .vars
+                .push(Variable::scalar(p.name.clone(), VarKind::Param));
             if fl
                 .scopes
                 .last_mut()
@@ -430,10 +427,7 @@ impl<'a> FuncLower<'a> {
                     None => None,
                 };
                 if self.func.returns_value && v.is_none() {
-                    return Err(err(format!(
-                        "`{}` must return a value",
-                        self.func.name
-                    )));
+                    return Err(err(format!("`{}` must return a value", self.func.name)));
                 }
                 self.set_term(Terminator::Return(v));
                 // Anything after a return in the same block is unreachable;
@@ -475,12 +469,7 @@ impl<'a> FuncLower<'a> {
     /// Lowers `cond` in branch position, jumping to `t` when true and `f`
     /// when false. `&&`, `||` and `!` lower structurally so each primitive
     /// comparison gets its own conditional branch.
-    fn lower_cond(
-        &mut self,
-        cond: &Expr,
-        t: BlockId,
-        f: BlockId,
-    ) -> Result<(), CompileError> {
+    fn lower_cond(&mut self, cond: &Expr, t: BlockId, f: BlockId) -> Result<(), CompileError> {
         match cond {
             Expr::Binary(BinaryOp::LAnd, a, b) => {
                 let mid = self.new_block();
@@ -516,7 +505,10 @@ impl<'a> FuncLower<'a> {
             .ok_or_else(|| err(format!("undefined variable `{name}`")))?;
         let idx = self.lower_expr(index)?;
         if self.is_array(id) {
-            Ok(Address::Element { base: id, index: idx })
+            Ok(Address::Element {
+                base: id,
+                index: idx,
+            })
         } else {
             // Indexing a scalar means it is a pointer: p[i] ≡ *(p + i).
             let dst = self.fresh_reg();
@@ -635,12 +627,7 @@ impl<'a> FuncLower<'a> {
         }
     }
 
-    fn lower_binary(
-        &mut self,
-        op: BinaryOp,
-        a: &Expr,
-        b: &Expr,
-    ) -> Result<Operand, CompileError> {
+    fn lower_binary(&mut self, op: BinaryOp, a: &Expr, b: &Expr) -> Result<Operand, CompileError> {
         // Short-circuit operators in value position materialize through a
         // synthetic memory temporary (the IR has no phis; every cross-block
         // value lives in memory, like the rest of the model).
@@ -688,22 +675,102 @@ impl<'a> FuncLower<'a> {
 
         let dst = self.fresh_reg();
         let inst = match op {
-            BinaryOp::Add => Inst::BinOp { dst, op: BinOp::Add, lhs, rhs },
-            BinaryOp::Sub => Inst::BinOp { dst, op: BinOp::Sub, lhs, rhs },
-            BinaryOp::Mul => Inst::BinOp { dst, op: BinOp::Mul, lhs, rhs },
-            BinaryOp::Div => Inst::BinOp { dst, op: BinOp::Div, lhs, rhs },
-            BinaryOp::Rem => Inst::BinOp { dst, op: BinOp::Rem, lhs, rhs },
-            BinaryOp::And => Inst::BinOp { dst, op: BinOp::And, lhs, rhs },
-            BinaryOp::Or => Inst::BinOp { dst, op: BinOp::Or, lhs, rhs },
-            BinaryOp::Xor => Inst::BinOp { dst, op: BinOp::Xor, lhs, rhs },
-            BinaryOp::Shl => Inst::BinOp { dst, op: BinOp::Shl, lhs, rhs },
-            BinaryOp::Shr => Inst::BinOp { dst, op: BinOp::Shr, lhs, rhs },
-            BinaryOp::Eq => Inst::Cmp { dst, pred: Pred::Eq, lhs, rhs },
-            BinaryOp::Ne => Inst::Cmp { dst, pred: Pred::Ne, lhs, rhs },
-            BinaryOp::Lt => Inst::Cmp { dst, pred: Pred::Lt, lhs, rhs },
-            BinaryOp::Le => Inst::Cmp { dst, pred: Pred::Le, lhs, rhs },
-            BinaryOp::Gt => Inst::Cmp { dst, pred: Pred::Gt, lhs, rhs },
-            BinaryOp::Ge => Inst::Cmp { dst, pred: Pred::Ge, lhs, rhs },
+            BinaryOp::Add => Inst::BinOp {
+                dst,
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Sub => Inst::BinOp {
+                dst,
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Mul => Inst::BinOp {
+                dst,
+                op: BinOp::Mul,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Div => Inst::BinOp {
+                dst,
+                op: BinOp::Div,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Rem => Inst::BinOp {
+                dst,
+                op: BinOp::Rem,
+                lhs,
+                rhs,
+            },
+            BinaryOp::And => Inst::BinOp {
+                dst,
+                op: BinOp::And,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Or => Inst::BinOp {
+                dst,
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Xor => Inst::BinOp {
+                dst,
+                op: BinOp::Xor,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Shl => Inst::BinOp {
+                dst,
+                op: BinOp::Shl,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Shr => Inst::BinOp {
+                dst,
+                op: BinOp::Shr,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Eq => Inst::Cmp {
+                dst,
+                pred: Pred::Eq,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Ne => Inst::Cmp {
+                dst,
+                pred: Pred::Ne,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Lt => Inst::Cmp {
+                dst,
+                pred: Pred::Lt,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Le => Inst::Cmp {
+                dst,
+                pred: Pred::Le,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Gt => Inst::Cmp {
+                dst,
+                pred: Pred::Gt,
+                lhs,
+                rhs,
+            },
+            BinaryOp::Ge => Inst::Cmp {
+                dst,
+                pred: Pred::Ge,
+                lhs,
+                rhs,
+            },
             BinaryOp::LAnd | BinaryOp::LOr => unreachable!("handled above"),
         };
         self.emit(inst);
@@ -746,7 +813,11 @@ impl<'a> FuncLower<'a> {
                 args.len()
             )));
         }
-        let dst = if returns { Some(self.fresh_reg()) } else { None };
+        let dst = if returns {
+            Some(self.fresh_reg())
+        } else {
+            None
+        };
         self.emit(Inst::Call {
             dst,
             callee: Callee::Direct(fid),
@@ -788,17 +859,21 @@ mod tests {
         let p = parse("fn main() -> int { int x; x = 3; return x; }").unwrap();
         let f = p.main().unwrap();
         let entry = f.block(f.entry);
-        assert!(entry
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Store { addr: Address::Var(_), .. })));
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::Store {
+                addr: Address::Var(_),
+                ..
+            }
+        )));
         assert!(entry.insts.iter().any(|i| i.is_load()));
     }
 
     #[test]
     fn if_produces_branch_on_cmp_of_load() {
-        let p = parse("fn main() -> int { int x; x = read_int(); if (x < 5) { return 1; } return 0; }")
-            .unwrap();
+        let p =
+            parse("fn main() -> int { int x; x = read_int(); if (x < 5) { return 1; } return 0; }")
+                .unwrap();
         let f = p.main().unwrap();
         assert_eq!(f.branch_count(), 1);
         let (_, bb) = f
@@ -844,30 +919,30 @@ mod tests {
         .unwrap();
         let f = p.main().unwrap();
         let entry = f.block(f.entry);
-        assert!(entry
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Store { addr: Address::Element { .. }, .. })));
-        assert!(entry
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::AddrOf { .. })));
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::Store {
+                addr: Address::Element { .. },
+                ..
+            }
+        )));
+        assert!(entry.insts.iter().any(|i| matches!(i, Inst::AddrOf { .. })));
         // String literal interned as a read-only global.
         assert!(p.globals.iter().any(|g| g.kind == VarKind::ReadOnly));
     }
 
     #[test]
     fn pointer_param_deref() {
-        let p = parse(
-            "fn set(int *p) { *p = 9; } fn main() -> int { int x; set(&x); return x; }",
-        )
-        .unwrap();
+        let p = parse("fn set(int *p) { *p = 9; } fn main() -> int { int x; set(&x); return x; }")
+            .unwrap();
         let set = p.function_by_name("set").unwrap();
-        assert!(set
-            .block(set.entry)
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Store { addr: Address::Ptr { .. }, .. })));
+        assert!(set.block(set.entry).insts.iter().any(|i| matches!(
+            i,
+            Inst::Store {
+                addr: Address::Ptr { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -879,12 +954,9 @@ mod tests {
         let f = p.main().unwrap();
         assert_eq!(f.branch_count(), 2);
         // Back edges exist: some block jumps to a lower-numbered block.
-        let has_back_edge = f.iter_blocks().any(|(id, b)| {
-            b.term
-                .successors()
-                .iter()
-                .any(|s| s.index() < id.index())
-        });
+        let has_back_edge = f
+            .iter_blocks()
+            .any(|(id, b)| b.term.successors().iter().any(|s| s.index() < id.index()));
         assert!(has_back_edge);
     }
 

@@ -589,10 +589,7 @@ mod tests {
                 ..
             }
         ));
-        assert!(matches!(
-            &items[2],
-            Item::Global { size: Some(8), .. }
-        ));
+        assert!(matches!(&items[2], Item::Global { size: Some(8), .. }));
         assert!(matches!(
             &items[3],
             Item::Global {

@@ -27,7 +27,11 @@ pub fn write_function(f: &mut fmt::Formatter<'_>, func: &Function) -> fmt::Resul
     write!(f, "fn {} (#params={})", func.name, func.param_count)?;
     writeln!(f, " @ {:#x}", func.pc_base)?;
     for (i, v) in func.vars.iter().enumerate() {
-        writeln!(f, "  var v{i} \"{}\" size={} [{:?}]", v.name, v.size, v.kind)?;
+        writeln!(
+            f,
+            "  var v{i} \"{}\" size={} [{:?}]",
+            v.name, v.size, v.kind
+        )?;
     }
     for (id, block) in func.iter_blocks() {
         writeln!(f, "{id}:")?;
@@ -56,8 +60,9 @@ mod tests {
 
     #[test]
     fn prints_blocks_and_vars() {
-        let p = crate::parse("fn main() -> int { int x; x = 1; if (x < 2) { return 1; } return 0; }")
-            .unwrap();
+        let p =
+            crate::parse("fn main() -> int { int x; x = 1; if (x < 2) { return 1; } return 0; }")
+                .unwrap();
         let text = p.to_string();
         assert!(text.contains("fn main"));
         assert!(text.contains("bb0:"));

@@ -81,8 +81,9 @@ impl fmt::Display for Program {
 mod tests {
     #[test]
     fn lookup_by_name() {
-        let p = crate::parse("fn helper() -> int { return 1; } fn main() -> int { return helper(); }")
-            .unwrap();
+        let p =
+            crate::parse("fn helper() -> int { return 1; } fn main() -> int { return helper(); }")
+                .unwrap();
         assert_eq!(p.functions.len(), 2);
         assert!(p.main().is_some());
         assert!(p.function_by_name("helper").is_some());

@@ -72,28 +72,26 @@ pub fn verify_function(program: &Program, func: &Function) -> Result<(), VerifyE
             }
             inst.uses(&mut uses);
             match inst {
-                Inst::Load { addr, .. } | Inst::Store { addr, .. } => {
-                    match addr {
-                        Address::Var(v) => {
-                            if !check_var(*v) {
-                                return fail(format!("{bid}: variable {v} out of range"));
-                            }
+                Inst::Load { addr, .. } | Inst::Store { addr, .. } => match addr {
+                    Address::Var(v) => {
+                        if !check_var(*v) {
+                            return fail(format!("{bid}: variable {v} out of range"));
                         }
-                        Address::Element { base, .. } => {
-                            if !check_var(*base) {
-                                return fail(format!("{bid}: variable {base} out of range"));
-                            }
-                            let var = program.var(func, *base);
-                            if var.size <= 1 {
-                                return fail(format!(
-                                    "{bid}: element access into scalar `{}`",
-                                    var.name
-                                ));
-                            }
-                        }
-                        Address::Ptr { .. } => {}
                     }
-                }
+                    Address::Element { base, .. } => {
+                        if !check_var(*base) {
+                            return fail(format!("{bid}: variable {base} out of range"));
+                        }
+                        let var = program.var(func, *base);
+                        if var.size <= 1 {
+                            return fail(format!(
+                                "{bid}: element access into scalar `{}`",
+                                var.name
+                            ));
+                        }
+                    }
+                    Address::Ptr { .. } => {}
+                },
                 Inst::AddrOf { base, .. } if !check_var(*base) => {
                     return fail(format!("{bid}: variable {base} out of range"));
                 }
@@ -197,8 +195,14 @@ mod tests {
     fn rejects_double_definition() {
         let mut f = base_func();
         f.blocks[0].insts = vec![
-            Inst::Const { dst: Reg(0), value: 1 },
-            Inst::Const { dst: Reg(0), value: 2 },
+            Inst::Const {
+                dst: Reg(0),
+                value: 1,
+            },
+            Inst::Const {
+                dst: Reg(0),
+                value: 2,
+            },
         ];
         let p = empty_program_with(f);
         let e = verify_program(&p).unwrap_err();

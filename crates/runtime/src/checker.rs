@@ -103,6 +103,10 @@ pub struct IpdsChecker<'a> {
     stack: Vec<Frame>,
     alarms: Vec<Alarm>,
     stats: IpdsStats,
+    /// Retired BSV vectors, recycled by `on_call` so steady-state checking
+    /// (and campaign reuse via [`IpdsChecker::reset`]) allocates no
+    /// per-activation table storage.
+    bsv_pool: Vec<Vec<BranchStatus>>,
 }
 
 impl<'a> IpdsChecker<'a> {
@@ -126,7 +130,20 @@ impl<'a> IpdsChecker<'a> {
             stack: Vec::new(),
             alarms: Vec::new(),
             stats: IpdsStats::default(),
+            bsv_pool: Vec::new(),
         }
+    }
+
+    /// Clears all per-run state (frames, alarms, statistics) while keeping
+    /// the derived lookup tables and pooled BSV storage. After `reset` the
+    /// checker is indistinguishable from a freshly constructed one, minus
+    /// the allocations.
+    pub fn reset(&mut self) {
+        for frame in self.stack.drain(..) {
+            self.bsv_pool.push(frame.bsv);
+        }
+        self.alarms.clear();
+        self.stats = IpdsStats::default();
     }
 
     fn func_analysis(&self, func: FuncId) -> &'a FunctionAnalysis {
@@ -136,10 +153,10 @@ impl<'a> IpdsChecker<'a> {
     /// Pushes a fresh all-unknown BSV frame for `func` (function entry).
     pub fn on_call(&mut self, func: FuncId) {
         let fa = self.func_analysis(func);
-        self.stack.push(Frame {
-            func,
-            bsv: vec![BranchStatus::Unknown; fa.hash.space() as usize],
-        });
+        let mut bsv = self.bsv_pool.pop().unwrap_or_default();
+        bsv.clear();
+        bsv.resize(fa.hash.space() as usize, BranchStatus::Unknown);
+        self.stack.push(Frame { func, bsv });
         self.stats.calls += 1;
         self.stats.max_depth = self.stats.max_depth.max(self.stack.len());
     }
@@ -150,9 +167,11 @@ impl<'a> IpdsChecker<'a> {
     ///
     /// Panics if the stack is empty (call/return events must balance).
     pub fn on_return(&mut self) {
-        self.stack
+        let frame = self
+            .stack
             .pop()
             .expect("IPDS frame stack underflow: unbalanced call/return events");
+        self.bsv_pool.push(frame.bsv);
     }
 
     /// Current stack depth.
@@ -321,7 +340,7 @@ mod tests {
         ipds.on_call(main.func);
         assert!(!ipds.on_branch(pcs[0], true).alarm); // x < 10 taken
         assert!(!ipds.on_branch(pcs[1], true).alarm); // y < 0 taken → redefines x
-        // The third branch may go either way now.
+                                                      // The third branch may go either way now.
         assert!(!ipds.on_branch(pcs[2], false).alarm);
         assert!(!ipds.detected());
     }
@@ -332,11 +351,7 @@ mod tests {
             "fn check(int v) -> int { if (v == 1) { return 1; } return 0; } \
              fn main() -> int { return check(read_int()); }",
         );
-        let check = a
-            .functions
-            .iter()
-            .find(|f| f.name == "check")
-            .unwrap();
+        let check = a.functions.iter().find(|f| f.name == "check").unwrap();
         let pc = check.branches[0].pc;
         let mut ipds = IpdsChecker::new(&a);
         // Two activations with opposite directions are fine: the BSV stacks.
@@ -372,6 +387,32 @@ mod tests {
         // Back in main: x == 1 must still be expected taken.
         let out = ipds.on_branch(mpcs[1], false);
         assert!(out.alarm, "stacked BSV must survive the call");
+    }
+
+    #[test]
+    fn reset_behaves_like_fresh_checker() {
+        let (_, a) = setup(
+            "fn main() -> int { int user; user = read_int(); \
+             if (user == 1) { print_int(1); } \
+             if (user == 1) { print_int(2); } return 0; }",
+        );
+        let main = &a.functions[0];
+        let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+        let mut ipds = IpdsChecker::new(&a);
+        ipds.on_call(main.func);
+        assert!(!ipds.on_branch(pcs[0], true).alarm);
+        assert!(ipds.on_branch(pcs[1], false).alarm);
+        assert!(ipds.detected());
+
+        ipds.reset();
+        assert!(!ipds.detected());
+        assert_eq!(ipds.stats(), &IpdsStats::default());
+        assert_eq!(ipds.depth(), 0);
+        // The same infeasible replay behaves exactly as on a new checker.
+        ipds.on_call(main.func);
+        assert!(!ipds.on_branch(pcs[0], false).alarm);
+        assert!(ipds.on_branch(pcs[1], true).alarm);
+        assert_eq!(ipds.alarms().len(), 1);
     }
 
     #[test]

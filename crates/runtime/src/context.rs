@@ -122,7 +122,10 @@ mod tests {
         let cfg = HwConfig::table1_default();
         let full = context_switch_cost(30 * 1024, 30 * 1024, 4096, &cfg);
         let split = context_switch_cost_split(30 * 1024, 30 * 1024, 4096, 4, &cfg);
-        assert!(split.blocking_cycles < full.blocking_cycles, "{split:?} vs {full:?}");
+        assert!(
+            split.blocking_cycles < full.blocking_cycles,
+            "{split:?} vs {full:?}"
+        );
         assert_eq!(split.bits_moved, full.bits_moved, "total traffic unchanged");
         assert!(split.deferred_cycles >= full.deferred_cycles);
     }

@@ -187,7 +187,9 @@ mod tests {
         for _ in 0..1000 {
             m.on_call(ipds_ir::FuncId(0), &cfg);
         }
-        assert!(m.resident_bits() <= cfg.total_onchip_bits() + a.of(ipds_ir::FuncId(0)).sizes.total());
+        assert!(
+            m.resident_bits() <= cfg.total_onchip_bits() + a.of(ipds_ir::FuncId(0)).sizes.total()
+        );
         for _ in 0..1000 {
             m.on_return(&cfg);
         }

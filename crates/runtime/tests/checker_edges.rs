@@ -87,9 +87,8 @@ fn unbalanced_return_panics() {
 #[test]
 #[should_panic(expected = "not a branch")]
 fn unknown_pc_panics() {
-    let a = analysis(
-        "fn main() -> int { int x; x = read_int(); if (x < 1) { return 1; } return 0; }",
-    );
+    let a =
+        analysis("fn main() -> int { int x; x = read_int(); if (x < 1) { return 1; } return 0; }");
     let main = &a.functions[0];
     let mut ipds = IpdsChecker::new(&a);
     ipds.on_call(main.func);

@@ -13,15 +13,13 @@
 //! at the trigger step, feeds every committed branch through the
 //! [`IpdsChecker`], and diffs traces.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use ipds_analysis::ProgramAnalysis;
 use ipds_ir::Program;
 use ipds_runtime::IpdsChecker;
 
 use crate::interp::{ExecLimits, ExecStatus, Input, Interp};
 use crate::observer::{BranchTrace, IpdsObserver, Tee};
+use crate::rng::StdRng;
 
 /// Which vulnerability class the attack models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,22 +109,179 @@ impl Default for Campaign {
     }
 }
 
+/// Artifacts of the clean reference execution: the golden branch trace plus
+/// run metadata. Captured once per (program, input script) and shared —
+/// immutably — by every attack and every worker thread of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenRun {
+    /// `(pc, direction)` pairs in commit order.
+    pub trace: Vec<(u64, bool)>,
+    /// Interpreter steps the clean run took.
+    pub steps: u64,
+    /// How the clean run terminated.
+    pub status: ExecStatus,
+}
+
+impl GoldenRun {
+    /// Runs the golden (clean) execution and records its branch trace.
+    pub fn capture(program: &Program, inputs: &[Input], limits: ExecLimits) -> GoldenRun {
+        let mut interp = Interp::new(program, inputs.to_vec(), limits);
+        let mut trace = BranchTrace::with_cap(0);
+        let status = interp.run(&mut trace);
+        GoldenRun {
+            trace: trace.trace,
+            steps: interp.steps(),
+            status,
+        }
+    }
+}
+
 /// Runs the golden (clean) execution and returns its branch trace and step
-/// count.
+/// count. Tuple-flavored convenience over [`GoldenRun::capture`].
 pub fn golden_run(
     program: &Program,
     inputs: &[Input],
     limits: ExecLimits,
 ) -> (Vec<(u64, bool)>, u64, ExecStatus) {
-    let mut interp = Interp::new(program, inputs.to_vec(), limits);
-    let mut trace = BranchTrace::with_cap(0);
-    let status = interp.run(&mut trace);
-    (trace.trace, interp.steps(), status)
+    let g = GoldenRun::capture(program, inputs, limits);
+    (g.trace, g.steps, g.status)
 }
 
-/// Runs one attack: execute to `trigger_step`, tamper one cell chosen by
-/// `rng` under `model`, continue with IPDS checking, and compare against the
-/// golden trace.
+/// Reusable attack executor: one interpreter arena, one checker, one trace
+/// buffer, recycled across every attack it runs (§6's 100-attack protocol
+/// allocates its scratch once instead of per attack). Each worker thread of
+/// the parallel engine owns one `AttackRunner`; the borrowed program,
+/// analysis and golden trace are shared by all of them.
+#[derive(Debug)]
+pub struct AttackRunner<'a> {
+    inputs: &'a [Input],
+    golden: &'a [(u64, bool)],
+    main: ipds_ir::FuncId,
+    interp: Interp<'a>,
+    ipds: IpdsObserver<'a>,
+    trace: BranchTrace,
+}
+
+impl<'a> AttackRunner<'a> {
+    /// Builds a runner over shared campaign artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no `main`.
+    pub fn new(
+        program: &'a Program,
+        analysis: &'a ProgramAnalysis,
+        inputs: &'a [Input],
+        golden: &'a [(u64, bool)],
+        limits: ExecLimits,
+    ) -> AttackRunner<'a> {
+        AttackRunner {
+            inputs,
+            golden,
+            main: program.main().expect("program must define `main`").id,
+            interp: Interp::new(program, inputs.to_vec(), limits),
+            ipds: IpdsObserver::new(IpdsChecker::new(analysis)),
+            trace: BranchTrace::with_cap(0),
+        }
+    }
+
+    /// Runs one attack: execute to `trigger_step`, tamper cell(s) chosen by
+    /// `rng` under `model`, continue with IPDS checking, and compare against
+    /// the golden trace. All scratch state is reset (not reallocated) first.
+    pub fn run(
+        &mut self,
+        trigger_step: u64,
+        model: AttackModel,
+        rng: &mut StdRng,
+    ) -> AttackOutcome {
+        self.interp.reset(self.inputs.iter().cloned());
+        self.ipds.checker.reset();
+        // Mirror the interpreter's startup convention: main's frame is
+        // active.
+        self.ipds.checker.on_call(self.main);
+        self.trace.clear();
+
+        // Phase 1: run cleanly to the trigger point.
+        {
+            let mut tee = Tee::new(&mut self.trace, &mut self.ipds);
+            self.interp.run_steps(trigger_step, &mut tee);
+        }
+
+        // Phase 2: tamper.
+        let candidates = match model {
+            AttackModel::FormatString => self.interp.mem.live_mutable_cells(),
+            AttackModel::BufferOverflow | AttackModel::ContiguousOverflow => {
+                self.interp.mem.live_stack_cells()
+            }
+        };
+        let tampered = if self.interp.status() == &ExecStatus::Running && !candidates.is_empty() {
+            if model == AttackModel::ContiguousOverflow {
+                // Smash a run of 2–8 adjacent cells with string-like bytes.
+                let start = rng.gen_range(0..candidates.len());
+                let len = rng.gen_range(2..=8usize);
+                let mut any = false;
+                for i in 0..len.min(candidates.len() - start) {
+                    let cell = candidates[start + i];
+                    any |= self.interp.mem.tamper(cell, rng.gen_range(0x20..0x7f));
+                }
+                any
+            } else {
+                let cell = candidates[rng.gen_range(0..candidates.len())];
+                let old = self.interp.mem.load(cell);
+                // Values drawn from a small, plausible-data distribution:
+                // flipping flags and IDs is the non-control-data attack of
+                // interest. A wild 64-bit value would be caught by trivial
+                // means. Tampering always *changes* the cell (writing back
+                // the same value is not an attack).
+                let mut value = old;
+                while value == old {
+                    value = match rng.gen_range(0..4) {
+                        0 => rng.gen_range(-2..=2),
+                        1 => rng.gen_range(0..=1),
+                        2 => old ^ (1i64 << rng.gen_range(0..8)),
+                        _ => rng.gen_range(-1000..=1000),
+                    };
+                }
+                self.interp.mem.tamper(cell, value)
+            }
+        } else {
+            false
+        };
+
+        // Phase 3: run to completion under checking.
+        let status = {
+            let mut tee = Tee::new(&mut self.trace, &mut self.ipds);
+            self.interp.run(&mut tee)
+        };
+
+        // Diff against the golden trace.
+        let divergence = first_divergence(self.golden, &self.trace.trace);
+        let control_flow_changed = divergence.is_some();
+        let detected = self.ipds.checker.detected();
+        let detection_lag_branches = match (divergence, self.ipds.checker.alarms().first()) {
+            (Some(div), Some(alarm)) => Some(alarm.branch_seq.saturating_sub(div as u64 + 1)),
+            _ => None,
+        };
+
+        // Zero-false-positive sanity: an alarm without control-flow change
+        // is impossible (identical traces drive identical checker state).
+        debug_assert!(
+            !detected || control_flow_changed,
+            "alarm fired on an unchanged trace"
+        );
+
+        AttackOutcome {
+            tampered,
+            control_flow_changed,
+            detected,
+            detection_lag_branches,
+            status,
+        }
+    }
+}
+
+/// Runs one attack with freshly allocated scratch. Convenience over
+/// [`AttackRunner`] for one-off experiments; campaigns reuse a runner.
 #[allow(clippy::too_many_arguments)] // one experiment = one parameterized protocol step
 pub fn run_attack(
     program: &Program,
@@ -138,88 +293,7 @@ pub fn run_attack(
     rng: &mut StdRng,
     limits: ExecLimits,
 ) -> AttackOutcome {
-    let mut interp = Interp::new(program, inputs.to_vec(), limits);
-    let mut ipds = IpdsObserver::new(IpdsChecker::new(analysis));
-    // Mirror the interpreter's startup convention: main's frame is active.
-    ipds.checker.on_call(program.main().expect("main").id);
-    let mut trace = BranchTrace::with_cap(0);
-
-    // Phase 1: run cleanly to the trigger point.
-    {
-        let mut tee = Tee::new(&mut trace, &mut ipds);
-        interp.run_steps(trigger_step, &mut tee);
-    }
-
-    // Phase 2: tamper.
-    let candidates = match model {
-        AttackModel::FormatString => interp.mem.live_mutable_cells(),
-        AttackModel::BufferOverflow | AttackModel::ContiguousOverflow => {
-            interp.mem.live_stack_cells()
-        }
-    };
-    let tampered = if interp.status() == &ExecStatus::Running && !candidates.is_empty() {
-        if model == AttackModel::ContiguousOverflow {
-            // Smash a run of 2–8 adjacent cells with string-like bytes.
-            let start = rng.gen_range(0..candidates.len());
-            let len = rng.gen_range(2..=8usize);
-            let mut any = false;
-            for i in 0..len.min(candidates.len() - start) {
-                let cell = candidates[start + i];
-                any |= interp.mem.tamper(cell, rng.gen_range(0x20..0x7f));
-            }
-            any
-        } else {
-            let cell = candidates[rng.gen_range(0..candidates.len())];
-            let old = interp.mem.load(cell);
-            // Values drawn from a small, plausible-data distribution:
-            // flipping flags and IDs is the non-control-data attack of
-            // interest. A wild 64-bit value would be caught by trivial
-            // means. Tampering always *changes* the cell (writing back the
-            // same value is not an attack).
-            let mut value = old;
-            while value == old {
-                value = match rng.gen_range(0..4) {
-                    0 => rng.gen_range(-2..=2),
-                    1 => rng.gen_range(0..=1),
-                    2 => old ^ (1 << rng.gen_range(0..8)),
-                    _ => rng.gen_range(-1000..=1000),
-                };
-            }
-            interp.mem.tamper(cell, value)
-        }
-    } else {
-        false
-    };
-
-    // Phase 3: run to completion under checking.
-    let status = {
-        let mut tee = Tee::new(&mut trace, &mut ipds);
-        interp.run(&mut tee)
-    };
-
-    // Diff against the golden trace.
-    let divergence = first_divergence(golden, &trace.trace);
-    let control_flow_changed = divergence.is_some();
-    let detected = ipds.checker.detected();
-    let detection_lag_branches = match (divergence, ipds.checker.alarms().first()) {
-        (Some(div), Some(alarm)) => Some(alarm.branch_seq.saturating_sub(div as u64 + 1)),
-        _ => None,
-    };
-
-    // Zero-false-positive sanity: an alarm without control-flow change is
-    // impossible (identical traces drive identical checker state).
-    debug_assert!(
-        !detected || control_flow_changed,
-        "alarm fired on an unchanged trace"
-    );
-
-    AttackOutcome {
-        tampered,
-        control_flow_changed,
-        detected,
-        detection_lag_branches,
-        status,
-    }
+    AttackRunner::new(program, analysis, inputs, golden, limits).run(trigger_step, model, rng)
 }
 
 fn first_divergence(golden: &[(u64, bool)], attacked: &[(u64, bool)]) -> Option<usize> {
@@ -236,41 +310,32 @@ fn first_divergence(golden: &[(u64, bool)], attacked: &[(u64, bool)]) -> Option<
     }
 }
 
-/// Runs a full campaign against one program with the given input script.
-pub fn run_campaign(
-    program: &Program,
-    analysis: &ProgramAnalysis,
-    inputs: &[Input],
-    campaign: &Campaign,
-) -> CampaignResult {
-    let (golden, steps, golden_status) = golden_run(program, inputs, campaign.limits);
-    assert!(
-        !matches!(golden_status, ExecStatus::Fault(_)),
-        "golden run must not fault: {golden_status:?}"
+/// Derives attack `i`'s RNG stream and trigger step: the per-attack seeding
+/// protocol, shared verbatim by the serial and parallel engines so their
+/// results are bit-identical.
+pub fn attack_rng(campaign: &Campaign, golden_steps: u64, i: u32) -> (StdRng, u64) {
+    let mut rng = StdRng::seed_from_u64(
+        campaign.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
     );
+    // Trigger anywhere in the first 95% of the run so the attack has room
+    // to manifest.
+    let hi = (golden_steps.saturating_mul(95) / 100).max(2);
+    let trigger = rng.gen_range(1..hi);
+    (rng, trigger)
+}
+
+/// Folds per-attack outcomes (in seed order) into a [`CampaignResult`].
+/// Both engines aggregate through this one function — same fold, same
+/// floating-point association order, bit-identical means.
+pub fn aggregate(attacks: u32, outcomes: &[AttackOutcome]) -> CampaignResult {
     let mut result = CampaignResult {
-        attacks: campaign.attacks,
+        attacks,
         cf_changed: 0,
         detected: 0,
         mean_lag_branches: 0.0,
     };
     let mut lags = Vec::new();
-    for i in 0..campaign.attacks {
-        let mut rng = StdRng::seed_from_u64(campaign.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)));
-        // Trigger anywhere in the first 95% of the run so the attack has
-        // room to manifest.
-        let hi = (steps.saturating_mul(95) / 100).max(2);
-        let trigger = rng.gen_range(1..hi);
-        let outcome = run_attack(
-            program,
-            analysis,
-            inputs,
-            &golden,
-            trigger,
-            campaign.model,
-            &mut rng,
-            campaign.limits,
-        );
+    for outcome in outcomes {
         if outcome.control_flow_changed {
             result.cf_changed += 1;
         }
@@ -285,6 +350,44 @@ pub fn run_campaign(
         result.mean_lag_branches = lags.iter().sum::<f64>() / lags.len() as f64;
     }
     result
+}
+
+/// Runs a full campaign against one program with the given input script.
+pub fn run_campaign(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    campaign: &Campaign,
+) -> CampaignResult {
+    let golden = GoldenRun::capture(program, inputs, campaign.limits);
+    run_campaign_with_golden(program, analysis, inputs, &golden, campaign)
+}
+
+/// Runs a full campaign against a precomputed golden run (the artifact the
+/// benchmark layer caches per (program, input script)).
+///
+/// # Panics
+///
+/// Panics if the golden run faulted — benign traffic must be fault-free.
+pub fn run_campaign_with_golden(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    golden: &GoldenRun,
+    campaign: &Campaign,
+) -> CampaignResult {
+    assert!(
+        !matches!(golden.status, ExecStatus::Fault(_)),
+        "golden run must not fault: {:?}",
+        golden.status
+    );
+    let mut runner = AttackRunner::new(program, analysis, inputs, &golden.trace, campaign.limits);
+    let mut outcomes = Vec::with_capacity(campaign.attacks as usize);
+    for i in 0..campaign.attacks {
+        let (mut rng, trigger) = attack_rng(campaign, golden.steps, i);
+        outcomes.push(runner.run(trigger, campaign.model, &mut rng));
+    }
+    aggregate(campaign.attacks, &outcomes)
 }
 
 #[cfg(test)]

@@ -111,6 +111,10 @@ pub struct Interp<'a> {
     status: ExecStatus,
     steps: u64,
     limits: ExecLimits,
+    /// Retired register vectors, recycled by `enter` so steady-state
+    /// execution (and campaign reuse via [`Interp::reset`]) allocates no
+    /// per-call register storage.
+    reg_pool: Vec<Vec<i64>>,
 }
 
 impl<'a> Interp<'a> {
@@ -135,10 +139,29 @@ impl<'a> Interp<'a> {
             status: ExecStatus::Running,
             steps: 0,
             limits,
+            reg_pool: Vec::new(),
         };
         let main = program.main().expect("program must define `main`");
         interp.enter(main.id, &[], None);
         interp
+    }
+
+    /// Rewinds the interpreter to the entry of `main` with a fresh input
+    /// stream, reusing every allocation already made (memory image, register
+    /// vectors, output buffer). Equivalent to — but much cheaper than —
+    /// constructing a new `Interp`.
+    pub fn reset(&mut self, inputs: impl IntoIterator<Item = Input>) {
+        self.mem.reset();
+        self.inputs.clear();
+        self.inputs.extend(inputs);
+        self.output.clear();
+        for act in self.stack.drain(..) {
+            self.reg_pool.push(act.regs);
+        }
+        self.status = ExecStatus::Running;
+        self.steps = 0;
+        let main = self.program.main().expect("program must define `main`");
+        self.enter(main.id, &[], None);
     }
 
     fn func(&self, id: u32) -> &'a Function {
@@ -154,11 +177,14 @@ impl<'a> Interp<'a> {
             let ok = self.mem.store(addr, a);
             debug_assert!(ok);
         }
+        let mut regs = self.reg_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(f.next_reg as usize, 0);
         self.stack.push(Activation {
             func: func.0,
             block: f.entry.index(),
             idx: 0,
-            regs: vec![0; f.next_reg as usize],
+            regs,
             frame,
             ret_dst,
         });
@@ -266,13 +292,7 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn exec_inst(
-        &mut self,
-        act_idx: usize,
-        inst: &Inst,
-        pc: u64,
-        obs: &mut impl ExecObserver,
-    ) {
+    fn exec_inst(&mut self, act_idx: usize, inst: &Inst, pc: u64, obs: &mut impl ExecObserver) {
         match inst {
             Inst::Const { dst, value } => {
                 self.stack[act_idx].regs[dst.0 as usize] = *value;
@@ -371,6 +391,7 @@ impl<'a> Interp<'a> {
                 self.mem.pop_frame();
                 if self.stack.is_empty() {
                     self.status = ExecStatus::Exited(value.unwrap_or(0));
+                    self.reg_pool.push(act.regs);
                     return;
                 }
                 obs.on_return();
@@ -378,6 +399,7 @@ impl<'a> Interp<'a> {
                     let caller = self.stack.len() - 1;
                     self.stack[caller].regs[dst.0 as usize] = value.unwrap_or(0);
                 }
+                self.reg_pool.push(act.regs);
                 // The caller's idx was already advanced past the call when
                 // the call instruction executed.
             }

@@ -14,6 +14,11 @@
 //!   memory tampering at a chosen instant (format-string = any live cell,
 //!   buffer-overflow = stack cells), control-flow diffing and detection
 //!   measurement over seeded campaigns;
+//! * [`parallel`] — a scoped-thread worker pool running campaign attacks
+//!   concurrently with results bit-identical to the serial path (attacks
+//!   are independently seeded; outcomes merge in seed order);
+//! * [`rng`] — the in-repo splitmix64/xoshiro256** generator behind every
+//!   seeded protocol (no external `rand` dependency);
 //! * [`pipeline`] — a simplified superscalar timing model with the Table 1
 //!   caches, 2-level branch predictor and the IPDS request queue /
 //!   spill-fill costs, producing the Fig. 9 normalized-performance numbers
@@ -23,10 +28,14 @@ pub mod attack;
 pub mod interp;
 pub mod memory;
 pub mod observer;
+pub mod parallel;
 pub mod pipeline;
+pub mod rng;
 
-pub use attack::{AttackModel, AttackOutcome, Campaign, CampaignResult};
+pub use attack::{AttackModel, AttackOutcome, AttackRunner, Campaign, CampaignResult, GoldenRun};
 pub use interp::{ExecLimits, ExecStatus, Input, Interp};
 pub use memory::Memory;
 pub use observer::{ExecObserver, IpdsObserver, NullObserver};
+pub use parallel::{default_threads, run_campaign_threaded};
 pub use pipeline::{PerfReport, TimingModel};
+pub use rng::{SplitMix64, StdRng};

@@ -34,6 +34,10 @@ pub struct Memory {
     /// Cells that are read-only (string literals etc.); enforced against
     /// program stores, exempt from tampering per the machine model.
     readonly_from_to: Vec<(usize, usize)>,
+    /// Snapshot of the global segment (`cells[..stack_base]`) as laid out at
+    /// startup, so [`Memory::reset`] can restore pristine state without
+    /// re-running layout.
+    pristine: Vec<i64>,
 }
 
 impl Memory {
@@ -54,12 +58,22 @@ impl Memory {
         }
         let stack_base = cells.len();
         Memory {
+            pristine: cells.clone(),
             cells,
             global_offsets,
             stack_base,
             frames: Vec::new(),
             readonly_from_to: readonly,
         }
+    }
+
+    /// Restores the memory to its just-constructed state — globals back to
+    /// their initializers, stack empty — without reallocating. This is what
+    /// lets one interpreter arena serve a whole attack campaign.
+    pub fn reset(&mut self) {
+        self.cells.truncate(self.stack_base);
+        self.cells.copy_from_slice(&self.pristine);
+        self.frames.clear();
     }
 
     /// Pushes a frame for `func`, zero-initializing its cells. Returns the
@@ -268,15 +282,31 @@ mod tests {
 
     #[test]
     fn readonly_strings_resist_stores_but_not_policy() {
-        let p = ipds_ir::parse(
-            "fn main() -> int { int x; x = strlen(\"abc\"); return x; }",
-        )
-        .unwrap();
+        let p =
+            ipds_ir::parse("fn main() -> int { int x; x = strlen(\"abc\"); return x; }").unwrap();
         let m = Memory::new(&p);
         // Find the read-only segment.
         let ro = (0..m.len()).find(|&a| m.is_readonly(a)).expect("ro cells");
         let mut m2 = m.clone();
         assert!(!m2.store(ro, 1), "program store to read-only faults");
+    }
+
+    #[test]
+    fn reset_restores_pristine_state() {
+        let p = program();
+        let f = p.function_by_name("f").unwrap();
+        let mut m = Memory::new(&p);
+        let baseline = m.clone();
+        let fi = m.push_frame(f);
+        assert!(m.store(m.addr_of(fi, VarId::local(0)), 5));
+        assert!(m.tamper(m.addr_of(0, VarId::global(0)), 999));
+        m.reset();
+        assert_eq!(m.len(), baseline.len());
+        assert_eq!(m.frames().len(), 0);
+        assert_eq!(m.load(m.addr_of(0, VarId::global(0))), 7, "global restored");
+        for a in 0..m.len() {
+            assert_eq!(m.load(a), baseline.load(a), "cell {a}");
+        }
     }
 
     #[test]

@@ -123,6 +123,11 @@ impl BranchTrace {
             cap,
         }
     }
+
+    /// Empties the recorded trace, keeping its allocation for reuse.
+    pub fn clear(&mut self) {
+        self.trace.clear();
+    }
 }
 
 impl ExecObserver for BranchTrace {

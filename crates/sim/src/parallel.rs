@@ -1,0 +1,206 @@
+//! Deterministic parallel campaign engine.
+//!
+//! A campaign is embarrassingly parallel: every attack is seeded
+//! independently (`campaign.seed ^ splitmix_constant * (i + 1)`), runs
+//! against the same immutable artifacts (program, analysis, inputs, golden
+//! trace), and contributes one [`AttackOutcome`]. The engine shards the
+//! attack indices over a scoped worker pool — `std::thread::scope`, no
+//! external dependencies — where each worker owns one reusable
+//! [`AttackRunner`] arena. Outcomes are tagged with their attack index,
+//! merged back into seed order, and folded through the same
+//! [`aggregate`](crate::attack::aggregate) function the serial engine uses,
+//! so the [`CampaignResult`] is **bit-identical** (including the `f64` lag
+//! mean, which is sensitive to summation order) to
+//! [`run_campaign`](crate::attack::run_campaign) for any thread count.
+//!
+//! Work distribution is dynamic (an atomic cursor over the index space)
+//! because attack durations vary wildly — a tamper that sends the victim
+//! into a budget-exhausting loop costs orders of magnitude more than one
+//! that crashes it immediately. Static sharding would leave workers idle
+//! behind a straggler; the cursor keeps them all busy and costs one relaxed
+//! `fetch_add` per attack.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread;
+
+use ipds_analysis::ProgramAnalysis;
+use ipds_ir::Program;
+
+use crate::attack::{
+    aggregate, attack_rng, AttackOutcome, AttackRunner, Campaign, CampaignResult, GoldenRun,
+};
+use crate::interp::{ExecStatus, Input};
+
+/// Picks a worker count for campaign engines: the machine's available
+/// parallelism, capped at 8 (campaigns are short; more threads just pay
+/// startup cost).
+pub fn default_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs a campaign across `threads` workers. `threads == 0` or `1` selects
+/// the serial engine (zero spawned threads, identical results either way).
+pub fn run_campaign_threaded(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    campaign: &Campaign,
+    threads: usize,
+) -> CampaignResult {
+    let golden = GoldenRun::capture(program, inputs, campaign.limits);
+    run_campaign_threaded_with_golden(program, analysis, inputs, &golden, campaign, threads)
+}
+
+/// Threaded campaign over a precomputed golden run (shared immutably by all
+/// workers; the benchmark layer caches it per (program, input script)).
+///
+/// # Panics
+///
+/// Panics if the golden run faulted, or if a worker thread panics.
+pub fn run_campaign_threaded_with_golden(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    golden: &GoldenRun,
+    campaign: &Campaign,
+    threads: usize,
+) -> CampaignResult {
+    assert!(
+        !matches!(golden.status, ExecStatus::Fault(_)),
+        "golden run must not fault: {:?}",
+        golden.status
+    );
+    let workers = threads.max(1).min(campaign.attacks.max(1) as usize);
+    if workers <= 1 {
+        return crate::attack::run_campaign_with_golden(
+            program, analysis, inputs, golden, campaign,
+        );
+    }
+
+    // Dynamic sharding: workers pull the next attack index from a shared
+    // cursor and tag each outcome with it, so merge order is independent of
+    // scheduling.
+    let cursor = AtomicU32::new(0);
+    let mut tagged: Vec<(u32, AttackOutcome)> = Vec::with_capacity(campaign.attacks as usize);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut runner = AttackRunner::new(
+                        program,
+                        analysis,
+                        inputs,
+                        &golden.trace,
+                        campaign.limits,
+                    );
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= campaign.attacks {
+                            break;
+                        }
+                        let (mut rng, trigger) = attack_rng(campaign, golden.steps, i);
+                        local.push((i, runner.run(trigger, campaign.model, &mut rng)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            tagged.extend(handle.join().expect("attack worker panicked"));
+        }
+    });
+
+    // Merge into seed order and fold exactly like the serial engine.
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k as u32 == i));
+    let outcomes: Vec<AttackOutcome> = tagged.into_iter().map(|(_, o)| o).collect();
+    aggregate(campaign.attacks, &outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::{run_campaign, AttackModel};
+    use crate::interp::ExecLimits;
+    use ipds_analysis::{analyze_program, AnalysisConfig};
+
+    const VICTIM: &str = "fn main() -> int { int user; int req; int i; \
+        user = read_int(); \
+        for (i = 0; i < 6; i = i + 1) { \
+          if (user == 1) { print_int(100); } \
+          req = read_int(); \
+          print_int(req); \
+          if (user == 1) { print_int(200); } else { print_int(300); } \
+        } return 0; }";
+
+    fn setup() -> (Program, ProgramAnalysis, Vec<Input>) {
+        let p = ipds_ir::parse(VICTIM).unwrap();
+        let a = analyze_program(&p, &AnalysisConfig::default());
+        let inputs: Vec<Input> = (0..7).map(|i| Input::Int(i % 3)).collect();
+        (p, a, inputs)
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let (p, a, inputs) = setup();
+        for model in [AttackModel::FormatString, AttackModel::ContiguousOverflow] {
+            let c = Campaign {
+                attacks: 40,
+                seed: 99,
+                model,
+                limits: ExecLimits::default(),
+            };
+            let serial = run_campaign(&p, &a, &inputs, &c);
+            for threads in [2, 3, 4, 7] {
+                let par = run_campaign_threaded(&p, &a, &inputs, &c, threads);
+                assert_eq!(serial, par, "{model:?} with {threads} threads");
+                assert_eq!(
+                    serial.mean_lag_branches.to_bits(),
+                    par.mean_lag_branches.to_bits(),
+                    "{model:?} lag mean must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_attacks_is_fine() {
+        let (p, a, inputs) = setup();
+        let c = Campaign {
+            attacks: 3,
+            seed: 5,
+            model: AttackModel::BufferOverflow,
+            limits: ExecLimits::default(),
+        };
+        let serial = run_campaign(&p, &a, &inputs, &c);
+        let par = run_campaign_threaded(&p, &a, &inputs, &c, 16);
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn zero_and_one_thread_take_the_serial_path() {
+        let (p, a, inputs) = setup();
+        let c = Campaign {
+            attacks: 10,
+            seed: 1,
+            model: AttackModel::FormatString,
+            limits: ExecLimits::default(),
+        };
+        assert_eq!(
+            run_campaign_threaded(&p, &a, &inputs, &c, 0),
+            run_campaign_threaded(&p, &a, &inputs, &c, 1),
+        );
+    }
+
+    #[test]
+    fn default_threads_is_sane() {
+        let t = default_threads();
+        assert!((1..=8).contains(&t));
+    }
+}

@@ -10,8 +10,7 @@
 //!   array indices, or `&var` pointers), and
 //! * are branch-rich with shared variables so correlations actually form.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ipds_sim::rng::StdRng;
 
 /// Tuning for the program generator.
 #[derive(Debug, Clone, Copy)]
@@ -75,7 +74,7 @@ impl Gen {
 
     fn cond(&mut self) -> String {
         let v = self.var();
-        let op = ["<", "<=", ">", ">=", "==", "!="][self.rng.gen_range(0..6)];
+        let op = ["<", "<=", ">", ">=", "==", "!="][self.rng.gen_range(0..6usize)];
         let c = self.rng.gen_range(-10..10);
         match self.rng.gen_range(0..4) {
             // Fig. 3.c-style arithmetic in the condition.
@@ -218,8 +217,7 @@ mod tests {
     fn generated_programs_parse() {
         for seed in 0..40 {
             let src = generate_program(seed, GenConfig::default());
-            let p = ipds_ir::parse(&src)
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            let p = ipds_ir::parse(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
             assert!(p.branch_count() >= 2, "seed {seed} too simple");
         }
     }
@@ -229,7 +227,9 @@ mod tests {
         for seed in 0..40 {
             let src = generate_program(seed, GenConfig::default());
             let p = ipds_ir::parse(&src).unwrap();
-            let inputs: Vec<Input> = (0..64).map(|i| Input::Int((seed as i64 * 7 + i) % 23 - 11)).collect();
+            let inputs: Vec<Input> = (0..64)
+                .map(|i| Input::Int((seed as i64 * 7 + i) % 23 - 11))
+                .collect();
             let mut interp = Interp::new(
                 &p,
                 inputs,

@@ -4,9 +4,7 @@
 //! enough that no overflow surface triggers — benign runs must be
 //! fault-free and alarm-free; only the attack injector perturbs state.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use ipds_sim::rng::StdRng;
 use ipds_sim::Input;
 
 fn short_str(rng: &mut StdRng, max_len: usize) -> Input {
@@ -112,7 +110,7 @@ pub fn normal_inputs(name: &str, seed: u64, requests: u32) -> Vec<Input> {
             v.push(Input::Int(if rng.gen_bool(0.5) { 4242 } else { 1 }));
             for _ in 0..requests.min(23) {
                 v.push(Input::Int(rng.gen_range(1..=2)));
-                let class = [b's', b'c', b'a', b'x'][rng.gen_range(0..4)];
+                let class = [b's', b'c', b'a', b'x'][rng.gen_range(0..4usize)];
                 let tail: String = (0..rng.gen_range(0..4))
                     .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
                     .collect();

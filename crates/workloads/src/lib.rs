@@ -22,8 +22,8 @@
 //! used by the zero-false-positive property tests.
 
 pub mod generator;
-pub mod micro;
 pub mod inputs;
+pub mod micro;
 pub mod programs;
 
 use ipds_sim::{AttackModel, Input};

@@ -151,8 +151,7 @@ mod tests {
     #[test]
     fn all_micros_compile_and_terminate() {
         for m in all_micros() {
-            let p = ipds_ir::parse(m.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let p = ipds_ir::parse(m.source).unwrap_or_else(|e| panic!("{}: {e}", m.name));
             let mut i = Interp::new(&p, micro_inputs(), ExecLimits::default());
             let status = i.run(&mut NullObserver);
             assert!(

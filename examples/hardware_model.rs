@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\nshrinking the on-chip table buffers (spill pressure):");
-    println!("{:>14} {:>12} {:>10} {:>8}", "on-chip bits", "cycles", "overhead", "spills");
+    println!(
+        "{:>14} {:>12} {:>10} {:>8}",
+        "on-chip bits", "cycles", "overhead", "spills"
+    );
     for shift in [0u32, 3, 5, 7, 9] {
         let mut small = hw.clone();
         small.bsv_stack_bits >>= shift;

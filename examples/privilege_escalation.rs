@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== benign admin session ==");
     let admin = protected.run(&[Input::Int(4242), Input::Str("hi".into())]);
-    println!("output: {:?} (100 = admin, 999 = privileged ops)", admin.output);
+    println!(
+        "output: {:?} (100 = admin, 999 = privileged ops)",
+        admin.output
+    );
     assert!(!admin.detected());
 
     println!("\n== the attack ==");

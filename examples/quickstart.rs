@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Clean run as a regular user: no alarm, no privilege.
     let clean = protected.run(&[Input::Int(0), Input::Int(7)]);
-    println!("clean run: output={:?} alarms={}", clean.output, clean.alarms.len());
+    println!(
+        "clean run: output={:?} alarms={}",
+        clean.output,
+        clean.alarms.len()
+    );
     assert!(!clean.detected());
 
     // Attack: flip `role` to admin after the first check committed.

@@ -13,9 +13,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = args.get(1).map(String::as_str).unwrap_or("httpd");
     let attacks: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
 
-    let workload = ipds_workloads::by_name(name)
-        .ok_or_else(|| format!("unknown workload `{name}`; try one of: {}",
-            ipds_workloads::all().iter().map(|w| w.name).collect::<Vec<_>>().join(", ")))?;
+    let workload = ipds_workloads::by_name(name).ok_or_else(|| {
+        format!(
+            "unknown workload `{name}`; try one of: {}",
+            ipds_workloads::all()
+                .iter()
+                .map(|w| w.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    })?;
 
     let protected = Protected::from_program(workload.program(), &Config::default());
     let inputs = workload.inputs(2006);

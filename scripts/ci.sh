@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Offline CI for the IPDS reproduction: everything here runs with no
+# network access (external dev-harnesses are vendored in `vendor/`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> rustfmt"
+cargo fmt --all -- --check
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 build + tests"
+cargo build --release --workspace
+cargo test -q --release --workspace
+
+echo "==> property suites (vendored mini-proptest)"
+export PROPTEST_CASES="${PROPTEST_CASES:-64}"
+cargo test -q --release --features props
+for crate in ipds-ir ipds-dataflow ipds-analysis; do
+    cargo test -q --release -p "$crate" --features props
+done
+
+echo "==> bench harness compiles (vendored mini-criterion)"
+cargo build --release -p ipds-bench --benches --features bench-harness
+
+echo "==> campaign smoke (parallel engine, 10 attacks/workload)"
+cargo run -q --release -p ipds-bench --bin exp_fig7 -- --attacks 10
+
+echo "CI OK"

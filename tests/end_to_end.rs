@@ -13,7 +13,11 @@ fn campaigns_detect_something_on_every_correlated_workload() {
         let protected = Protected::from_program(w.program(), &Config::default());
         let inputs = w.inputs(1);
         let r = protected.campaign(&inputs, 60, 99, w.vuln);
-        assert!(r.cf_changed > 0, "{}: no attack changed control flow", w.name);
+        assert!(
+            r.cf_changed > 0,
+            "{}: no attack changed control flow",
+            w.name
+        );
         assert!(
             r.detected > 0,
             "{}: nothing detected out of {} cf-changing attacks",

@@ -17,8 +17,7 @@ fn optimizer_preserves_workload_semantics() {
         let plain = w.program();
         let mut optimized = w.program();
         let stats = forward_loads(&mut optimized);
-        ipds_ir::verify::verify_program(&optimized)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        ipds_ir::verify::verify_program(&optimized).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         assert!(stats.loads_removed > 0, "{}: nothing forwarded?", w.name);
         for seed in 0..5 {
             let inputs = w.inputs(seed);
@@ -38,7 +37,9 @@ fn optimizer_preserves_random_program_semantics() {
         forward_loads(&mut optimized);
         ipds_ir::verify::verify_program(&optimized)
             .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
-        let inputs: Vec<Input> = (0..48).map(|i| Input::Int((seed as i64 + i) % 17 - 8)).collect();
+        let inputs: Vec<Input> = (0..48)
+            .map(|i| Input::Int((seed as i64 + i) % 17 - 8))
+            .collect();
         let a = outputs(&plain, &inputs);
         let b = outputs(&optimized, &inputs);
         assert_eq!(a, b, "seed {seed} diverged\n{src}");
@@ -78,7 +79,11 @@ fn optimization_reduces_correlation_surface() {
         let optimized = Protected::from_program(op, &Config::default());
         let p = plain.analysis.checked_count();
         let o = optimized.analysis.checked_count();
-        assert!(o <= p, "{}: optimization grew the checked set {p} -> {o}", w.name);
+        assert!(
+            o <= p,
+            "{}: optimization grew the checked set {p} -> {o}",
+            w.name
+        );
         total_plain += p;
         total_opt += o;
     }

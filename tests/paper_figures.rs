@@ -41,10 +41,17 @@ fn figure1_attack_without_code_injection() {
             caught = true;
             // Privilege escalation manifested (999 printed) — and the IPDS
             // flagged the infeasible path.
-            assert!(r.output.contains(&999), "escalation visible: {:?}", r.output);
+            assert!(
+                r.output.contains(&999),
+                "escalation visible: {:?}",
+                r.output
+            );
         }
     }
-    assert!(caught, "the privilege escalation must be detectable at some window");
+    assert!(
+        caught,
+        "the privilege escalation must be detectable at some window"
+    );
 }
 
 /// Figure 2: an infeasible path caused by memory tampering. If the path

@@ -80,9 +80,7 @@ fn store_anchor_correlates_register_branch_with_reload() {
 
     // With store anchors: the register branch (index 0) carries directional
     // actions for the reload branch (index 1).
-    let row = full
-        .of(ipds_ir::FuncId(0))
-        .actions(0, false);
+    let row = full.of(ipds_ir::FuncId(0)).actions(0, false);
     assert!(
         row.iter()
             .any(|e| e.target == 1 && e.action == ipds_analysis::BrAction::SetNotTaken),

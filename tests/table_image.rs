@@ -17,13 +17,9 @@ fn loaded_image_checks_identically_on_every_workload() {
         let run = |analysis: &ipds_analysis::ProgramAnalysis| {
             let mut obs = IpdsObserver::new(IpdsChecker::new(analysis));
             obs.checker.on_call(protected.program.main().unwrap().id);
-            let mut interp =
-                Interp::new(&protected.program, inputs.clone(), ExecLimits::default());
+            let mut interp = Interp::new(&protected.program, inputs.clone(), ExecLimits::default());
             interp.run(&mut obs);
-            (
-                obs.checker.alarms().to_vec(),
-                *obs.checker.stats(),
-            )
+            (obs.checker.alarms().to_vec(), *obs.checker.stats())
         };
 
         let (alarms_a, stats_a) = run(&protected.analysis);
