@@ -25,15 +25,15 @@ fn bench_campaign_engine(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    protected.campaign_with_golden(
-                        &inputs,
-                        &golden,
-                        limits,
-                        ATTACKS,
-                        7,
-                        AttackModel::FormatString,
-                        threads,
-                    )
+                    protected
+                        .campaign_spec()
+                        .inputs(&inputs)
+                        .golden(&golden, limits)
+                        .attacks(ATTACKS)
+                        .seed(7)
+                        .model(AttackModel::FormatString)
+                        .threads(threads)
+                        .run()
                 });
             },
         );

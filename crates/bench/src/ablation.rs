@@ -99,15 +99,16 @@ fn measure(
         // run across variants: the analysis config cannot change the clean
         // execution, only what the checker watches.
         let art = crate::artifacts::campaign_artifacts(&w, config, optimize, input_seed);
-        let r = art.protected.campaign_with_golden(
-            &art.inputs,
-            &art.golden,
-            art.limits,
-            attacks,
-            seed ^ w.name.len() as u64,
-            w.vuln,
-            threads,
-        );
+        let r = art
+            .protected
+            .campaign_spec()
+            .inputs(&art.inputs)
+            .golden(&art.golden, art.limits)
+            .attacks(attacks)
+            .seed(seed ^ w.name.len() as u64)
+            .model(w.vuln)
+            .threads(threads)
+            .run();
         det += r.detected_rate();
         cf += r.cf_changed_rate();
         stats.push(art.protected.size_stats());

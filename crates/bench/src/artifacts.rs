@@ -24,6 +24,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use ipds::{Config, GoldenRun, Protected};
 use ipds_sim::{ExecLimits, Input};
+use ipds_telemetry::phases;
 use ipds_workloads::Workload;
 
 /// Everything needed to launch campaigns against one workload variant.
@@ -64,11 +65,13 @@ pub fn protected(w: &Workload, config: &Config, optimize: bool) -> Arc<Protected
     if let Some(p) = inner.protected.get(&key) {
         return Arc::clone(p);
     }
-    let mut program = w.program();
+    let mut program = phases().time("compile", || w.program());
     if optimize {
         ipds_ir::opt::forward_loads(&mut program);
     }
-    let p = Arc::new(Protected::from_program(program, config));
+    let p = phases().time("analyze", || {
+        Arc::new(Protected::from_program(program, config))
+    });
     inner.protected.insert(key, Arc::clone(&p));
     p
 }
@@ -94,7 +97,7 @@ pub fn campaign_artifacts(
         };
     }
     let inputs = Arc::new(w.inputs(input_seed));
-    let (golden, limits) = protected.campaign_artifacts(&inputs);
+    let (golden, limits) = phases().time("golden", || protected.campaign_artifacts(&inputs));
     let golden = Arc::new(golden);
     inner
         .golden
@@ -160,15 +163,15 @@ mod tests {
     fn cached_artifacts_reproduce_direct_campaigns() {
         let w = telnetd();
         let art = campaign_artifacts(&w, &Config::default(), false, 3);
-        let via_cache = art.protected.campaign_with_golden(
-            &art.inputs,
-            &art.golden,
-            art.limits,
-            25,
-            9,
-            AttackModel::FormatString,
-            1,
-        );
+        let via_cache = art
+            .protected
+            .campaign_spec()
+            .inputs(&art.inputs)
+            .golden(&art.golden, art.limits)
+            .attacks(25)
+            .seed(9)
+            .model(AttackModel::FormatString)
+            .run();
         let direct = crate::protect(&w).campaign(&w.inputs(3), 25, 9, AttackModel::FormatString);
         assert_eq!(via_cache, direct);
     }

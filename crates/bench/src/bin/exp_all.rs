@@ -1,11 +1,18 @@
 //! Runs every experiment in sequence (the full paper reproduction) and
-//! emits campaign-engine throughput numbers to `results/bench_campaign.json`.
+//! emits campaign-engine throughput plus telemetry numbers to
+//! `results/bench_campaign.json`.
 //!
-//! Usage: `cargo run --release -p ipds-bench --bin exp_all -- [attacks]`
+//! Usage: `cargo run --release -p ipds-bench --bin exp_all -- [attacks] [--quick]`
+//!
+//! `--quick` shrinks the campaigns and sweeps to CI-smoke size (seconds,
+//! not minutes) while still exercising every phase and emitting the full
+//! JSON schema.
 
 use std::time::Instant;
 
 use ipds_runtime::HwConfig;
+use ipds_sim::attack::{aggregate, attack_rng, AttackRunner, Campaign};
+use ipds_telemetry::{phases, CounterSnapshot, CountingSink, NULL_SINK};
 
 /// Wall-clock for one experiment phase.
 struct Phase {
@@ -24,50 +31,62 @@ fn timed<T>(phases: &mut Vec<Phase>, name: &'static str, f: impl FnOnce() -> T) 
 }
 
 fn main() {
-    let attacks: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let attacks: u32 = args
+        .iter()
+        .find_map(|s| s.parse().ok())
+        .unwrap_or(if quick { 10 } else { 100 });
     let threads = ipds_sim::default_threads();
     let hw = HwConfig::table1_default();
-    let mut phases: Vec<Phase> = Vec::new();
+    let mut wall: Vec<Phase> = Vec::new();
+    // Pipeline spans (compile/analyze/golden/campaign) accumulate in the
+    // process-global recorder as the artifact cache and the campaign
+    // drivers do their work; start from a clean slate.
+    phases().reset();
 
     ipds_bench::table1::print(&hw);
     println!();
-    let f7 = timed(&mut phases, "fig7", || {
+    let f7 = timed(&mut wall, "fig7", || {
         ipds_bench::fig7::run_threaded(attacks, 2006, 2006, None, threads)
     });
     ipds_bench::fig7::print(&f7);
     println!();
-    let f8 = timed(&mut phases, "fig8", ipds_bench::fig8::run);
+    let f8 = timed(&mut wall, "fig8", ipds_bench::fig8::run);
     ipds_bench::fig8::print(&f8);
     println!();
-    let f9 = timed(&mut phases, "fig9", || ipds_bench::fig9::run(&hw, 2006));
+    let f9 = timed(&mut wall, "fig9", || ipds_bench::fig9::run(&hw, 2006));
     ipds_bench::fig9::print(&f9);
     println!();
-    let lat = timed(&mut phases, "latency", || {
-        ipds_bench::latency::run(&hw, 2006)
-    });
+    let lat = timed(&mut wall, "latency", || ipds_bench::latency::run(&hw, 2006));
     ipds_bench::latency::print(&lat);
     println!();
-    let ab = timed(&mut phases, "ablation", || {
+    let ab = timed(&mut wall, "ablation", || {
         ipds_bench::ablation::run(attacks.min(50), 2006, 2006)
     });
-    let buf = timed(&mut phases, "buffer_sweep", || {
+    let buf = timed(&mut wall, "buffer_sweep", || {
         ipds_bench::ablation::buffer_sweep(2006)
     });
     ipds_bench::ablation::print(&ab, &buf);
     println!();
-    let ctx = timed(&mut phases, "context", || ipds_bench::context::run(&hw));
+    let ctx = timed(&mut wall, "context", || ipds_bench::context::run(&hw));
     ipds_bench::context::print(&ctx);
     println!();
-    let micro = timed(&mut phases, "micro", || ipds_bench::micro::run(&hw));
+    let micro = timed(&mut wall, "micro", || ipds_bench::micro::run(&hw));
     ipds_bench::micro::print(&micro);
 
-    let scaling = scaling_sweep(attacks, threads);
-    match write_bench_json(attacks, threads, &phases, &scaling) {
-        Ok(path) => println!("\ncampaign throughput written to {path}"),
-        Err(e) => eprintln!("\nwarning: could not write bench_campaign.json: {e}"),
+    let scaling = scaling_sweep(attacks, threads, quick);
+    let overhead = null_sink_overhead(if quick { 60 } else { 300 }, if quick { 3 } else { 5 });
+    // Wall-clock-dependent, so stderr: stdout stays byte-identical run-to-run.
+    eprintln!(
+        "NullSink telemetry overhead: {:+.2}% \
+         (bare engine {:.0} attacks/s, instrumented {:.0} attacks/s)",
+        overhead.percent, overhead.bare_aps, overhead.instrumented_aps
+    );
+    let counters = campaign_counters(attacks.min(50));
+    match write_bench_json(attacks, threads, &wall, &scaling, &overhead, &counters) {
+        Ok(path) => println!("campaign throughput written to {path}"),
+        Err(e) => eprintln!("warning: could not write bench_campaign.json: {e}"),
     }
 }
 
@@ -82,10 +101,14 @@ struct Scaling {
 /// golden runs are already cached by the earlier phases, so this times the
 /// campaign engine alone; on an N-core machine the sweep shows the
 /// near-linear speedup (bit-identical results at every point).
-fn scaling_sweep(attacks: u32, default_threads: usize) -> Vec<Scaling> {
+fn scaling_sweep(attacks: u32, default_threads: usize, quick: bool) -> Vec<Scaling> {
     let total_attacks = (u64::from(attacks) * ipds_workloads::all().len() as u64) as f64;
-    let mut counts = vec![1usize, 2, 4];
-    if !counts.contains(&default_threads) {
+    let mut counts = if quick {
+        vec![1usize, 2]
+    } else {
+        vec![1usize, 2, 4]
+    };
+    if !quick && !counts.contains(&default_threads) {
         counts.push(default_threads);
     }
     counts
@@ -107,17 +130,111 @@ fn scaling_sweep(attacks: u32, default_threads: usize) -> Vec<Scaling> {
         .collect()
 }
 
+/// The telemetry zero-cost claim, measured: attacks/sec of the serial
+/// engine as a bare loop (the pre-telemetry shape: runner + RNG + fold,
+/// no sink anywhere in sight) vs the instrumented engine carrying a
+/// [`NULL_SINK`]. Best-of-`reps` to shed scheduler noise.
+struct Overhead {
+    bare_aps: f64,
+    instrumented_aps: f64,
+    /// Instrumented slowdown in percent (negative = faster).
+    percent: f64,
+}
+
+fn null_sink_overhead(attacks: u32, reps: u32) -> Overhead {
+    let w = ipds_workloads::all()
+        .into_iter()
+        .find(|w| w.name == "telnetd")
+        .expect("telnetd workload");
+    let art = ipds_bench::artifacts::campaign_artifacts(&w, &ipds::Config::default(), false, 2006);
+    let campaign = Campaign {
+        attacks,
+        seed: 0x0bed,
+        model: w.vuln,
+        limits: art.limits,
+    };
+
+    let mut bare_best = f64::INFINITY;
+    let mut instr_best = f64::INFINITY;
+    for _ in 0..reps {
+        // Bare loop: exactly what the serial engine did before telemetry.
+        let start = Instant::now();
+        let mut runner = AttackRunner::new(
+            &art.protected.program,
+            &art.protected.analysis,
+            &art.inputs,
+            &art.golden.trace,
+            campaign.limits,
+        );
+        let outcomes: Vec<_> = (0..attacks)
+            .map(|i| {
+                let (mut rng, trigger) = attack_rng(&campaign, art.golden.steps, i);
+                runner.run(trigger, campaign.model, &mut rng)
+            })
+            .collect();
+        let bare_result = aggregate(attacks, &outcomes);
+        bare_best = bare_best.min(start.elapsed().as_secs_f64());
+
+        // Instrumented engine, NullSink: must compile down to the same.
+        let start = Instant::now();
+        let (instr_result, _) = ipds_sim::attack::run_campaign_instrumented(
+            &art.protected.program,
+            &art.protected.analysis,
+            &art.inputs,
+            &art.golden,
+            &campaign,
+            &NULL_SINK,
+        );
+        instr_best = instr_best.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            bare_result, instr_result,
+            "NullSink engine must be byte-identical to the bare loop"
+        );
+    }
+    Overhead {
+        bare_aps: f64::from(attacks) / bare_best,
+        instrumented_aps: f64::from(attacks) / instr_best,
+        percent: 100.0 * (instr_best / bare_best - 1.0),
+    }
+}
+
+/// One instrumented campaign with a [`CountingSink`], for the event-count
+/// section of the JSON (what the checker actually did, not how long it
+/// took).
+fn campaign_counters(attacks: u32) -> CounterSnapshot {
+    let w = ipds_workloads::all()
+        .into_iter()
+        .find(|w| w.name == "telnetd")
+        .expect("telnetd workload");
+    let art = ipds_bench::artifacts::campaign_artifacts(&w, &ipds::Config::default(), false, 2006);
+    let sink = CountingSink::new();
+    art.protected
+        .campaign_spec()
+        .inputs(&art.inputs)
+        .golden(&art.golden, art.limits)
+        .attacks(attacks)
+        .seed(0x0bed)
+        .model(w.vuln)
+        .threads(ipds_sim::default_threads())
+        .sink(&sink)
+        .run();
+    sink.snapshot()
+}
+
 /// Emits `results/bench_campaign.json`: thread count, per-phase wall-clock,
-/// and the headline attacks/sec of the Fig. 7 campaign (the phase dominated
-/// by the parallel engine).
+/// the headline attacks/sec of the Fig. 7 campaign, the pipeline spans the
+/// telemetry layer recorded (compile → analyze → golden → campaign), the
+/// NullSink overhead measurement and one campaign's event counters.
 fn write_bench_json(
     attacks: u32,
     threads: usize,
-    phases: &[Phase],
+    wall: &[Phase],
     scaling: &[Scaling],
+    overhead: &Overhead,
+    counters: &CounterSnapshot,
 ) -> std::io::Result<String> {
     let workloads = ipds_workloads::all().len() as u32;
-    let fig7_seconds = phases
+    let fig7_seconds = wall
         .iter()
         .find(|p| p.name == "fig7")
         .map(|p| p.seconds)
@@ -148,14 +265,55 @@ fn write_bench_json(
     }
     json.push_str("  ],\n");
     json.push_str("  \"phases\": [\n");
-    for (i, p) in phases.iter().enumerate() {
-        let comma = if i + 1 < phases.len() { "," } else { "" };
+    for (i, p) in wall.iter().enumerate() {
+        let comma = if i + 1 < wall.len() { "," } else { "" };
         json.push_str(&format!(
             "    {{ \"name\": \"{}\", \"seconds\": {:.6} }}{comma}\n",
             p.name, p.seconds
         ));
     }
-    json.push_str("  ]\n");
+    json.push_str("  ],\n");
+    json.push_str("  \"telemetry\": {\n");
+    json.push_str("    \"spans\": [\n");
+    let spans = phases().snapshot();
+    for (i, (name, seconds)) in spans.iter().enumerate() {
+        let comma = if i + 1 < spans.len() { "," } else { "" };
+        json.push_str(&format!(
+            "      {{ \"name\": \"{name}\", \"seconds\": {seconds:.6} }}{comma}\n"
+        ));
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"null_sink\": {\n");
+    json.push_str(&format!(
+        "      \"bare_attacks_per_sec\": {:.1},\n",
+        overhead.bare_aps
+    ));
+    json.push_str(&format!(
+        "      \"instrumented_attacks_per_sec\": {:.1},\n",
+        overhead.instrumented_aps
+    ));
+    json.push_str(&format!(
+        "      \"overhead_percent\": {:.3}\n",
+        overhead.percent
+    ));
+    json.push_str("    },\n");
+    json.push_str("    \"campaign_counters\": {\n");
+    let fields: [(&str, u64); 8] = [
+        ("attacks", counters.attacks),
+        ("tampers", counters.tampers),
+        ("cf_changes", counters.cf_changes),
+        ("detections", counters.detections),
+        ("branches", counters.branches),
+        ("checked", counters.checked),
+        ("bsv_transitions", counters.bsv_transitions),
+        ("bat_actions", counters.bat_actions),
+    ];
+    for (i, (name, value)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        json.push_str(&format!("      \"{name}\": {value}{comma}\n"));
+    }
+    json.push_str("    }\n");
+    json.push_str("  }\n");
     json.push_str("}\n");
 
     std::fs::create_dir_all("results")?;

@@ -66,15 +66,17 @@ pub fn run_threaded(
     for w in all() {
         let art =
             crate::artifacts::campaign_artifacts(&w, &ipds::Config::default(), false, input_seed);
-        let r = art.protected.campaign_with_golden(
-            &art.inputs,
-            &art.golden,
-            art.limits,
-            attacks,
-            seed ^ w.name.len() as u64,
-            model.unwrap_or(w.vuln),
-            threads,
-        );
+        let r = ipds_telemetry::phases().time("campaign", || {
+            art.protected
+                .campaign_spec()
+                .inputs(&art.inputs)
+                .golden(&art.golden, art.limits)
+                .attacks(attacks)
+                .seed(seed ^ w.name.len() as u64)
+                .model(model.unwrap_or(w.vuln))
+                .threads(threads)
+                .run()
+        });
         rows.push(Fig7Row {
             name: w.name,
             attacks,

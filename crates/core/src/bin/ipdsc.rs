@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! ipdsc compile FILE [--dump]           parse + analyze, print table summary
-//! ipdsc run FILE [--input LIST]         run under IPDS checking
-//! ipdsc attack FILE --var NAME --value V --step N [--input LIST]
+//! ipdsc run FILE [--input LIST] [--events FILE]   run under IPDS checking
+//! ipdsc attack FILE --var NAME --value V --step N [--input LIST] [--events FILE]
 //! ipdsc campaign FILE [--attacks N] [--seed S] [--model fs|boa|block] [--input LIST]
 //! ipdsc time FILE [--input LIST]        cycle model, baseline vs IPDS
 //! ipdsc trace FILE [--input LIST] [--limit N]   per-branch check trace
@@ -11,11 +11,14 @@
 //!
 //! `--input` is a comma-separated list; bare integers become `read_int`
 //! items, `s:text` becomes a `read_str` item. Example:
-//! `--input 1,42,s:hello,0`.
+//! `--input 1,42,s:hello,0`. `--events FILE` streams one JSON object per
+//! checked branch (see `docs/OBSERVABILITY.md` for the schema).
 
+use std::io::BufWriter;
 use std::process::ExitCode;
 
-use ipds::{Config, Input, Protected};
+use ipds::telemetry::JsonlSink;
+use ipds::{Config, Input, Protected, RunReport};
 use ipds_runtime::HwConfig;
 use ipds_sim::AttackModel;
 
@@ -41,13 +44,14 @@ fn run(args: &[String]) -> Result<(), String> {
     let rest = &args[2..];
     match cmd.as_str() {
         "compile" => compile(&source, has_flag(rest, "--dump")),
-        "run" => run_program(&source, &inputs_of(rest)?),
+        "run" => run_program(&source, &inputs_of(rest)?, flag_value(rest, "--events")),
         "attack" => attack(
             &source,
             &inputs_of(rest)?,
             &flag_value(rest, "--var").ok_or("attack requires --var NAME")?,
             parse_num(rest, "--value").ok_or("attack requires --value V")?,
             parse_num(rest, "--step").unwrap_or(10) as u64,
+            flag_value(rest, "--events"),
         ),
         "campaign" => campaign(
             &source,
@@ -156,9 +160,35 @@ fn compile(source: &str, dump: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn run_program(source: &str, inputs: &[Input]) -> Result<(), String> {
+/// Runs a configured session, streaming branch events to `events` (a JSONL
+/// path) when requested.
+fn run_session(
+    p: &Protected,
+    inputs: &[Input],
+    tamper: Option<(u64, &str, i64)>,
+    events: Option<&str>,
+) -> Result<RunReport, String> {
+    let session = p.session().inputs(inputs);
+    let session = match tamper {
+        Some((step, var, value)) => session.tamper(step, var, value),
+        None => session,
+    };
+    match events {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+            let sink = JsonlSink::new(BufWriter::new(file), 0);
+            let report = session.sink(&sink).run().map_err(|e| e.to_string())?;
+            sink.finish().map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("events : {path}");
+            Ok(report)
+        }
+        None => session.run().map_err(|e| e.to_string()),
+    }
+}
+
+fn run_program(source: &str, inputs: &[Input], events: Option<String>) -> Result<(), String> {
     let p = protect(source)?;
-    let r = p.run(inputs);
+    let r = run_session(&p, inputs, None, events.as_deref())?;
     println!("status : {:?}", r.status);
     println!("output : {:?}", r.output);
     println!(
@@ -180,9 +210,16 @@ fn run_program(source: &str, inputs: &[Input]) -> Result<(), String> {
     Ok(())
 }
 
-fn attack(source: &str, inputs: &[Input], var: &str, value: i64, step: u64) -> Result<(), String> {
+fn attack(
+    source: &str,
+    inputs: &[Input],
+    var: &str,
+    value: i64,
+    step: u64,
+    events: Option<String>,
+) -> Result<(), String> {
     let p = protect(source)?;
-    let r = p.run_with_tamper(inputs, step, var, value);
+    let r = run_session(&p, inputs, Some((step, var, value)), events.as_deref())?;
     println!("tampered `{var}` = {value} after {step} steps");
     println!("status : {:?}", r.status);
     println!("output : {:?}", r.output);

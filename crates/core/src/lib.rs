@@ -10,12 +10,17 @@
 //!
 //! This crate is the facade: compile MiniC source, get a [`Protected`]
 //! program, run it cleanly, under attack, or under the cycle-level timing
-//! model.
+//! model. Runs and campaigns are configured through builders
+//! ([`Protected::session`], [`Protected::campaign_spec`]); fallible
+//! operations return [`Error`] instead of panicking, so applications can
+//! use `?` end to end.
 //!
 //! ```
-//! use ipds::{Protected, Input};
+//! use ipds::{Input, Protected};
 //!
-//! let protected = Protected::compile(r#"
+//! fn main() -> Result<(), ipds::Error> {
+//!     let protected = Protected::compile(
+//!         r#"
 //!     fn main() -> int {
 //!         int user;
 //!         user = read_int();
@@ -23,34 +28,137 @@
 //!         if (user == 1) { print_int(200); } else { print_int(300); }
 //!         return 0;
 //!     }
-//! "#).expect("valid MiniC");
+//! "#,
+//!     )?;
 //!
-//! // A clean run never alarms.
-//! let clean = protected.run(&[Input::Int(0)]);
-//! assert!(clean.alarms.is_empty());
+//!     // A clean run never alarms.
+//!     let clean = protected.run(&[Input::Int(0)]);
+//!     assert!(clean.alarms.is_empty());
 //!
-//! // Tampering `user` between the two checks is detected.
-//! let report = protected.run_with_tamper(&[Input::Int(0)], 6, "user", 1);
-//! assert!(report.detected());
+//!     // Tampering `user` between the two checks is detected.
+//!     let report = protected
+//!         .session()
+//!         .inputs(&[Input::Int(0)])
+//!         .tamper(6, "user", 1)
+//!         .run()?;
+//!     assert!(report.detected());
+//!     Ok(())
+//! }
 //! ```
+//!
+//! To observe what the checker does, attach an
+//! [`EventSink`](telemetry::EventSink) — see `docs/OBSERVABILITY.md`:
+//!
+//! ```
+//! use ipds::telemetry::CountingSink;
+//! use ipds::{Input, Protected};
+//!
+//! let protected = Protected::compile(
+//!     "fn main() -> int { int x; x = read_int(); \
+//!      if (x == 1) { print_int(1); } return 0; }",
+//! )
+//! .unwrap();
+//! let sink = CountingSink::new();
+//! protected
+//!     .session()
+//!     .inputs(&[Input::Int(1)])
+//!     .sink(&sink)
+//!     .run()
+//!     .unwrap();
+//! assert!(sink.snapshot().branches > 0);
+//! ```
+
+use std::fmt;
 
 use ipds_analysis::{analyze_program, AnalysisConfig, ProgramAnalysis};
 use ipds_ir::{CompileError, Program, VarId};
 use ipds_runtime::{Alarm, HwConfig, IpdsChecker, IpdsStats};
-use ipds_sim::pipeline::core::timed_run;
+use ipds_sim::pipeline::core::{timed_run, timed_run_metered};
 use ipds_sim::{AttackModel, Campaign, ExecLimits, ExecStatus, Interp, IpdsObserver, PerfReport};
+use ipds_telemetry::{EventSink, MetricsRegistry, NullSink, NULL_SINK};
 
 pub use ipds_analysis::{self as analysis, BrAction, BranchStatus, SizeStats};
 pub use ipds_dataflow as dataflow;
 pub use ipds_ir::{self as ir};
 pub use ipds_runtime::{self as runtime};
 pub use ipds_sim::{self as sim, Input as SimInput};
+pub use ipds_telemetry as telemetry;
 pub use ipds_workloads as workloads;
 
 // Re-export the most used leaf types at the top level.
 pub use ipds_analysis::AnalysisConfig as Config;
 pub use ipds_runtime::HwConfig as Hardware;
 pub use ipds_sim::{CampaignResult, GoldenRun, Input};
+
+/// Everything that can fail in the facade API.
+///
+/// Both variants convert via `From`, so `?` works across compile and run
+/// steps (see the crate-level example).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// MiniC compilation failed (lexical, syntactic or semantic).
+    Compile(CompileError),
+    /// A tamper specification was invalid.
+    Tamper(TamperError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Compile(e) => write!(f, "compile error: {e}"),
+            Error::Tamper(e) => write!(f, "tamper error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Compile(e) => Some(e),
+            Error::Tamper(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for Error {
+    fn from(e: CompileError) -> Error {
+        Error::Compile(e)
+    }
+}
+
+impl From<TamperError> for Error {
+    fn from(e: TamperError) -> Error {
+        Error::Tamper(e)
+    }
+}
+
+/// An invalid tamper specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TamperError {
+    /// The named variable exists neither in `main`'s frame nor globally.
+    UnknownVar {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every name that *would* resolve (main locals, then globals).
+        candidates: Vec<String>,
+    },
+}
+
+impl fmt::Display for TamperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TamperError::UnknownVar { name, candidates } => {
+                write!(
+                    f,
+                    "no variable named `{name}` in main or globals (candidates: {})",
+                    candidates.join(", ")
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TamperError {}
 
 /// Result of one protected execution.
 #[derive(Debug, Clone)]
@@ -110,6 +218,35 @@ impl Protected {
         Protected { program, analysis }
     }
 
+    /// Starts configuring a single protected execution. Defaults: no
+    /// inputs, default limits, no tamper, telemetry disabled.
+    pub fn session(&self) -> RunSession<'_, NullSink> {
+        RunSession {
+            protected: self,
+            inputs: &[],
+            limits: ExecLimits::default(),
+            tamper: None,
+            sink: &NULL_SINK,
+        }
+    }
+
+    /// Starts configuring an attack campaign (the Fig. 7 protocol).
+    /// Defaults: no inputs, 100 attacks, seed `0x1bd5`, format-string
+    /// model, serial execution, golden run captured on demand, telemetry
+    /// disabled.
+    pub fn campaign_spec(&self) -> CampaignSpec<'_, NullSink> {
+        CampaignSpec {
+            protected: self,
+            inputs: &[],
+            attacks: 100,
+            seed: 0x1bd5,
+            model: AttackModel::FormatString,
+            threads: 1,
+            golden: None,
+            sink: &NULL_SINK,
+        }
+    }
+
     /// Executes cleanly under IPDS checking.
     pub fn run(&self, inputs: &[Input]) -> RunReport {
         self.run_limited(inputs, ExecLimits::default())
@@ -117,44 +254,82 @@ impl Protected {
 
     /// Executes cleanly under IPDS checking with explicit limits.
     pub fn run_limited(&self, inputs: &[Input], limits: ExecLimits) -> RunReport {
-        let mut interp = Interp::new(&self.program, inputs.to_vec(), limits);
-        let mut obs = IpdsObserver::new(IpdsChecker::new(&self.analysis));
-        obs.checker
-            .on_call(self.program.main().expect("main required").id);
-        let status = interp.run(&mut obs);
-        RunReport {
-            status,
-            output: interp.output().to_vec(),
-            alarms: obs.checker.alarms().to_vec(),
-            stats: *obs.checker.stats(),
-        }
+        self.run_impl(inputs, limits, None, &NULL_SINK)
     }
 
     /// Executes with a single targeted tamper: after `trigger_step`
     /// interpreter steps, the named scalar variable of `main`'s frame (or a
     /// global) is overwritten with `value`.
     ///
-    /// # Panics
+    /// Equivalent to `self.session().inputs(..).tamper(..).run()`.
     ///
-    /// Panics if `var_name` names no variable of `main` or global scope.
+    /// # Errors
+    ///
+    /// [`TamperError::UnknownVar`] if `var_name` names no variable of
+    /// `main` or global scope — reported before anything executes, whether
+    /// or not the trigger would ever fire.
     pub fn run_with_tamper(
         &self,
         inputs: &[Input],
         trigger_step: u64,
         var_name: &str,
         value: i64,
-    ) -> RunReport {
-        let mut interp = Interp::new(&self.program, inputs.to_vec(), ExecLimits::default());
-        let mut obs = IpdsObserver::new(IpdsChecker::new(&self.analysis));
+    ) -> Result<RunReport, TamperError> {
+        let var = self.resolve_var(var_name)?;
+        Ok(self.run_impl(
+            inputs,
+            ExecLimits::default(),
+            Some((trigger_step, var, value)),
+            &NULL_SINK,
+        ))
+    }
+
+    /// Resolves a variable name against `main`'s frame, then the globals.
+    ///
+    /// # Errors
+    ///
+    /// [`TamperError::UnknownVar`] carrying every name that would have
+    /// resolved.
+    pub fn resolve_var(&self, name: &str) -> Result<VarId, TamperError> {
         let main = self.program.main().expect("main required");
-        obs.checker.on_call(main.id);
-        interp.run_steps(trigger_step, &mut obs);
-        // Tampering is a no-op when the program already finished (the
-        // trigger landed past the end) or main's frame is gone.
-        if interp.status() == &ipds_sim::ExecStatus::Running && !interp.mem.frames().is_empty() {
-            let var = self.resolve_var(var_name);
-            let addr = interp.mem.addr_of(0, var);
-            interp.mem.tamper(addr, value);
+        if let Some(i) = main.vars.iter().position(|v| v.name == name) {
+            return Ok(VarId::local(i as u32));
+        }
+        if let Some(i) = self.program.globals.iter().position(|v| v.name == name) {
+            return Ok(VarId::global(i as u32));
+        }
+        Err(TamperError::UnknownVar {
+            name: name.to_string(),
+            candidates: main
+                .vars
+                .iter()
+                .chain(self.program.globals.iter())
+                .map(|v| v.name.clone())
+                .collect(),
+        })
+    }
+
+    /// The one execution engine behind [`RunSession`], `run*` and the CLI:
+    /// optional single tamper, any sink.
+    fn run_impl<S: EventSink>(
+        &self,
+        inputs: &[Input],
+        limits: ExecLimits,
+        tamper: Option<(u64, VarId, i64)>,
+        sink: &S,
+    ) -> RunReport {
+        let mut interp = Interp::new(&self.program, inputs.to_vec(), limits);
+        let mut obs = IpdsObserver::with_sink(IpdsChecker::new(&self.analysis), sink);
+        obs.checker
+            .on_call(self.program.main().expect("main required").id);
+        if let Some((trigger_step, var, value)) = tamper {
+            interp.run_steps(trigger_step, &mut obs);
+            // Tampering is a no-op when the program already finished (the
+            // trigger landed past the end) or main's frame is gone.
+            if interp.status() == &ExecStatus::Running && !interp.mem.frames().is_empty() {
+                let addr = interp.mem.addr_of(0, var);
+                interp.mem.tamper(addr, value);
+            }
         }
         let status = interp.run(&mut obs);
         RunReport {
@@ -165,18 +340,10 @@ impl Protected {
         }
     }
 
-    fn resolve_var(&self, name: &str) -> VarId {
-        let main = self.program.main().expect("main required");
-        if let Some(i) = main.vars.iter().position(|v| v.name == name) {
-            return VarId::local(i as u32);
-        }
-        if let Some(i) = self.program.globals.iter().position(|v| v.name == name) {
-            return VarId::global(i as u32);
-        }
-        panic!("no variable named `{name}` in main or globals");
-    }
-
     /// Runs a seeded attack campaign (the Fig. 7 protocol), serially.
+    ///
+    /// Shorthand for
+    /// `self.campaign_spec().inputs(..).attacks(..).seed(..).model(..).run()`.
     pub fn campaign(
         &self,
         inputs: &[Input],
@@ -184,16 +351,19 @@ impl Protected {
         seed: u64,
         model: AttackModel,
     ) -> CampaignResult {
-        self.campaign_threaded(inputs, attacks, seed, model, 1)
+        self.campaign_spec()
+            .inputs(inputs)
+            .attacks(attacks)
+            .seed(seed)
+            .model(model)
+            .run()
     }
 
     /// Runs a seeded attack campaign across `threads` worker threads.
-    ///
-    /// The result is bit-identical to [`Protected::campaign`] for every
-    /// thread count (attacks are independently seeded and merged in seed
-    /// order); `threads <= 1` runs in-place without spawning. Use
-    /// [`ipds_sim::parallel::default_threads`] for a sensible machine-wide
-    /// default.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `campaign_spec().inputs(..).attacks(..).seed(..).model(..).threads(..).run()`"
+    )]
     pub fn campaign_threaded(
         &self,
         inputs: &[Input],
@@ -202,14 +372,21 @@ impl Protected {
         model: AttackModel,
         threads: usize,
     ) -> CampaignResult {
-        let (golden, limits) = self.campaign_artifacts(inputs);
-        self.campaign_with_golden(inputs, &golden, limits, attacks, seed, model, threads)
+        self.campaign_spec()
+            .inputs(inputs)
+            .attacks(attacks)
+            .seed(seed)
+            .model(model)
+            .threads(threads)
+            .run()
     }
 
-    /// Runs a campaign against a precomputed golden run (see
-    /// [`Protected::campaign_artifacts`]): the path the benchmark layer
-    /// uses to amortize the golden execution across campaigns.
-    #[allow(clippy::too_many_arguments)] // one campaign = one parameterized protocol
+    /// Runs a campaign against a precomputed golden run.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `campaign_spec().golden(golden, limits)` with the other knobs as builder calls"
+    )]
+    #[allow(clippy::too_many_arguments)] // the shim mirrors the old signature
     pub fn campaign_with_golden(
         &self,
         inputs: &[Input],
@@ -220,27 +397,22 @@ impl Protected {
         model: AttackModel,
         threads: usize,
     ) -> CampaignResult {
-        let campaign = Campaign {
-            attacks,
-            seed,
-            model,
-            limits,
-        };
-        ipds_sim::parallel::run_campaign_threaded_with_golden(
-            &self.program,
-            &self.analysis,
-            inputs,
-            golden,
-            &campaign,
-            threads,
-        )
+        self.campaign_spec()
+            .inputs(inputs)
+            .golden(golden, limits)
+            .attacks(attacks)
+            .seed(seed)
+            .model(model)
+            .threads(threads)
+            .run()
     }
 
     /// Captures the golden (clean) run once and derives the campaign
     /// execution limits from it — a tampered run that loops cannot drag a
     /// campaign out indefinitely. The golden run is valid under the derived
     /// limits (they only ever extend the budget it completed within), so
-    /// callers can cache and reuse both across campaigns.
+    /// callers can cache and reuse both across campaigns (pass them to
+    /// [`CampaignSpec::golden`]).
     pub fn campaign_artifacts(&self, inputs: &[Input]) -> (GoldenRun, ExecLimits) {
         let golden = GoldenRun::capture(&self.program, inputs, ExecLimits::default());
         let limits = ExecLimits {
@@ -261,6 +433,24 @@ impl Protected {
         )
     }
 
+    /// Like [`Protected::timed`], additionally folding work counters and
+    /// the per-branch `check_latency_cycles` histogram into `metrics`.
+    pub fn timed_metered(
+        &self,
+        inputs: &[Input],
+        hw: &HwConfig,
+        metrics: &mut MetricsRegistry,
+    ) -> PerfReport {
+        timed_run_metered(
+            &self.program,
+            inputs,
+            Some(&self.analysis),
+            hw,
+            ExecLimits::default(),
+            metrics,
+        )
+    }
+
     /// Cycle-level run **without** the IPDS (the Fig. 9 baseline).
     pub fn timed_baseline(&self, inputs: &[Input], hw: &HwConfig) -> PerfReport {
         timed_run(&self.program, inputs, None, hw, ExecLimits::default())
@@ -272,9 +462,196 @@ impl Protected {
     }
 }
 
+/// Builder for one protected execution (see [`Protected::session`]).
+///
+/// The sink type parameter defaults to [`NullSink`], so uninstrumented
+/// sessions monomorphize to exactly the code the plain `run*` methods
+/// produce.
+#[derive(Debug)]
+pub struct RunSession<'a, S: EventSink = NullSink> {
+    protected: &'a Protected,
+    inputs: &'a [Input],
+    limits: ExecLimits,
+    tamper: Option<(u64, &'a str, i64)>,
+    sink: &'a S,
+}
+
+impl<'a, S: EventSink> RunSession<'a, S> {
+    /// The program's input script (each `read_int()` consumes one entry).
+    pub fn inputs(mut self, inputs: &'a [Input]) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Execution budget (steps, call depth).
+    pub fn limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Schedules a single tamper: after `trigger_step` interpreter steps,
+    /// overwrite `var` (a `main` local or a global) with `value`.
+    pub fn tamper(mut self, trigger_step: u64, var: &'a str, value: i64) -> Self {
+        self.tamper = Some((trigger_step, var, value));
+        self
+    }
+
+    /// Attaches an event sink; every committed branch is reported to it.
+    pub fn sink<T: EventSink>(self, sink: &'a T) -> RunSession<'a, T> {
+        RunSession {
+            protected: self.protected,
+            inputs: self.inputs,
+            limits: self.limits,
+            tamper: self.tamper,
+            sink,
+        }
+    }
+
+    /// Executes the configured session.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Tamper`] if a scheduled tamper names an unknown variable —
+    /// validated before anything executes.
+    pub fn run(self) -> Result<RunReport, Error> {
+        let tamper = match self.tamper {
+            Some((step, name, value)) => Some((step, self.protected.resolve_var(name)?, value)),
+            None => None,
+        };
+        Ok(self
+            .protected
+            .run_impl(self.inputs, self.limits, tamper, self.sink))
+    }
+}
+
+/// Builder for an attack campaign (see [`Protected::campaign_spec`]).
+///
+/// Every knob is defaultable; the sink type parameter defaults to
+/// [`NullSink`], which keeps the campaign hot path identical to the
+/// uninstrumented engine.
+#[derive(Debug)]
+pub struct CampaignSpec<'a, S: EventSink = NullSink> {
+    protected: &'a Protected,
+    inputs: &'a [Input],
+    attacks: u32,
+    seed: u64,
+    model: AttackModel,
+    threads: usize,
+    golden: Option<(&'a GoldenRun, ExecLimits)>,
+    sink: &'a S,
+}
+
+impl<'a, S: EventSink> CampaignSpec<'a, S> {
+    /// The victim's input script (shared by the golden run and every
+    /// attack).
+    pub fn inputs(mut self, inputs: &'a [Input]) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Number of independently seeded attacks (default 100).
+    pub fn attacks(mut self, attacks: u32) -> Self {
+        self.attacks = attacks;
+        self
+    }
+
+    /// Campaign master seed (default `0x1bd5`); attack `i` derives its own
+    /// stream via [`ipds_sim::attack_seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attack model (default [`AttackModel::FormatString`]).
+    pub fn model(mut self, model: AttackModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Worker threads (default 1 = serial). Results are bit-identical for
+    /// every thread count; use [`ipds_sim::default_threads`] for a
+    /// machine-wide default.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Reuses a precomputed golden run and its derived limits (from
+    /// [`Protected::campaign_artifacts`]) instead of capturing one per
+    /// campaign.
+    pub fn golden(mut self, golden: &'a GoldenRun, limits: ExecLimits) -> Self {
+        self.golden = Some((golden, limits));
+        self
+    }
+
+    /// Attaches an event sink shared by every worker.
+    pub fn sink<T: EventSink>(self, sink: &'a T) -> CampaignSpec<'a, T> {
+        CampaignSpec {
+            protected: self.protected,
+            inputs: self.inputs,
+            attacks: self.attacks,
+            seed: self.seed,
+            model: self.model,
+            threads: self.threads,
+            golden: self.golden,
+            sink,
+        }
+    }
+
+    /// Runs the campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run faults (a campaign over a crashing victim
+    /// is meaningless) or a worker thread panics.
+    pub fn run(&self) -> CampaignResult {
+        self.run_metered().0
+    }
+
+    /// Runs the campaign and returns the merged per-worker metrics
+    /// (attack counters, step and detection-lag histograms) alongside the
+    /// result. Both are bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run faults or a worker thread panics.
+    pub fn run_metered(&self) -> (CampaignResult, MetricsRegistry) {
+        match self.golden {
+            Some((golden, limits)) => self.run_against(golden, limits),
+            None => {
+                let (golden, limits) = self.protected.campaign_artifacts(self.inputs);
+                self.run_against(&golden, limits)
+            }
+        }
+    }
+
+    fn run_against(
+        &self,
+        golden: &GoldenRun,
+        limits: ExecLimits,
+    ) -> (CampaignResult, MetricsRegistry) {
+        let campaign = Campaign {
+            attacks: self.attacks,
+            seed: self.seed,
+            model: self.model,
+            limits,
+        };
+        ipds_sim::run_campaign_threaded_instrumented(
+            &self.protected.program,
+            &self.protected.analysis,
+            self.inputs,
+            golden,
+            &campaign,
+            self.threads,
+            self.sink,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ipds_telemetry::CountingSink;
 
     const SRC: &str = "fn main() -> int { int user; user = read_int(); \
         if (user == 1) { print_int(1); } \
@@ -296,11 +673,44 @@ mod tests {
     fn tamper_between_checks_detected() {
         let p = Protected::compile(SRC).unwrap();
         // Flip user from 0 to 1 after the first check has committed.
-        let r = p.run_with_tamper(&[Input::Int(0), Input::Int(9)], 8, "user", 1);
+        let r = p
+            .run_with_tamper(&[Input::Int(0), Input::Int(9)], 8, "user", 1)
+            .unwrap();
         assert!(r.detected());
         let a = &r.alarms[0];
         assert_eq!(a.expected, BranchStatus::NotTaken);
         assert!(a.actual);
+    }
+
+    #[test]
+    fn session_builder_matches_plain_methods() {
+        let p = Protected::compile(SRC).unwrap();
+        let inputs = [Input::Int(0), Input::Int(9)];
+        let plain = p.run(&inputs);
+        let built = p.session().inputs(&inputs).run().unwrap();
+        assert_eq!(plain.output, built.output);
+        assert_eq!(plain.status, built.status);
+        let tampered = p.run_with_tamper(&inputs, 8, "user", 1).unwrap();
+        let built = p
+            .session()
+            .inputs(&inputs)
+            .tamper(8, "user", 1)
+            .run()
+            .unwrap();
+        assert_eq!(tampered.output, built.output);
+        assert_eq!(tampered.alarms, built.alarms);
+    }
+
+    #[test]
+    fn session_counting_sink_sees_every_branch() {
+        let p = Protected::compile(SRC).unwrap();
+        let inputs = [Input::Int(0), Input::Int(9)];
+        let sink = CountingSink::new();
+        let r = p.session().inputs(&inputs).sink(&sink).run().unwrap();
+        let snap = sink.snapshot();
+        assert_eq!(snap.branches, r.stats.branches);
+        assert_eq!(snap.checked, r.stats.verified);
+        assert_eq!(snap.alarms(), 0);
     }
 
     #[test]
@@ -322,7 +732,14 @@ mod tests {
         let inputs = [Input::Int(0), Input::Int(9)];
         let serial = p.campaign(&inputs, 30, 3, AttackModel::FormatString);
         for threads in [2, 4] {
-            let par = p.campaign_threaded(&inputs, 30, 3, AttackModel::FormatString, threads);
+            let par = p
+                .campaign_spec()
+                .inputs(&inputs)
+                .attacks(30)
+                .seed(3)
+                .model(AttackModel::FormatString)
+                .threads(threads)
+                .run();
             assert_eq!(serial, par, "{threads} threads");
         }
     }
@@ -333,16 +750,43 @@ mod tests {
         let inputs = [Input::Int(0), Input::Int(9)];
         let (golden, limits) = p.campaign_artifacts(&inputs);
         let direct = p.campaign(&inputs, 20, 3, AttackModel::FormatString);
-        let cached = p.campaign_with_golden(
+        let cached = p
+            .campaign_spec()
+            .inputs(&inputs)
+            .golden(&golden, limits)
+            .attacks(20)
+            .seed(3)
+            .model(AttackModel::FormatString)
+            .threads(2)
+            .run();
+        assert_eq!(direct, cached);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_agree_with_builder() {
+        let p = Protected::compile(SRC).unwrap();
+        let inputs = [Input::Int(0), Input::Int(9)];
+        let via_builder = p
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(15)
+            .seed(7)
+            .threads(2)
+            .run();
+        let via_shim = p.campaign_threaded(&inputs, 15, 7, AttackModel::FormatString, 2);
+        assert_eq!(via_builder, via_shim);
+        let (golden, limits) = p.campaign_artifacts(&inputs);
+        let via_golden_shim = p.campaign_with_golden(
             &inputs,
             &golden,
             limits,
-            20,
-            3,
+            15,
+            7,
             AttackModel::FormatString,
             2,
         );
-        assert_eq!(direct, cached);
+        assert_eq!(via_builder, via_golden_shim);
     }
 
     #[test]
@@ -361,6 +805,18 @@ mod tests {
     }
 
     #[test]
+    fn timed_metered_exports_latency_histogram() {
+        let p = Protected::compile(SRC).unwrap();
+        let hw = HwConfig::table1_default();
+        let mut metrics = MetricsRegistry::new();
+        let r = p.timed_metered(&[Input::Int(0), Input::Int(9)], &hw, &mut metrics);
+        assert_eq!(metrics.counter("timed_instructions"), r.instructions);
+        let hist = metrics.histogram("check_latency_cycles").unwrap();
+        assert!(hist.count > 0);
+        assert!(hist.mean() > 0.0);
+    }
+
+    #[test]
     fn size_stats_exposed() {
         let p = Protected::compile(SRC).unwrap();
         let s = p.size_stats();
@@ -369,9 +825,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no variable named")]
-    fn tamper_unknown_var_panics() {
+    fn tamper_unknown_var_is_reported() {
         let p = Protected::compile(SRC).unwrap();
-        p.run_with_tamper(&[], 1, "ghost", 1);
+        let err = p.run_with_tamper(&[], 1, "ghost", 1).unwrap_err();
+        let TamperError::UnknownVar { name, candidates } = err;
+        assert_eq!(name, "ghost");
+        assert!(candidates.contains(&"user".to_string()), "{candidates:?}");
+        // The builder surfaces the same error wrapped in `Error`, with a
+        // readable message.
+        let err = p.session().tamper(1, "ghost", 1).run().unwrap_err();
+        assert!(matches!(err, Error::Tamper(TamperError::UnknownVar { .. })));
+        assert!(err.to_string().contains("ghost"));
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

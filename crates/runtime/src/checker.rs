@@ -31,6 +31,11 @@ pub struct BranchOutcome {
     /// the BSV read (if verified), and one access per BAT entry walked (the
     /// BAT "implements a link list" — §6).
     pub table_accesses: u32,
+    /// BAT entries walked for this (branch, direction).
+    pub bat_entries: u32,
+    /// BAT actions that actually changed a BSV slot's value (a status
+    /// transition, as opposed to a rewrite of the same expectation).
+    pub bsv_transitions: u32,
 }
 
 /// Running statistics of a checker instance.
@@ -42,6 +47,8 @@ pub struct IpdsStats {
     pub verified: u64,
     /// BAT entries applied.
     pub bat_entries_applied: u64,
+    /// BAT actions that changed a BSV slot's value.
+    pub bsv_transitions: u64,
     /// Total IPDS table accesses.
     pub table_accesses: u64,
     /// Alarms raised.
@@ -227,8 +234,14 @@ impl<'a> IpdsChecker<'a> {
         for entry in fa.actions(idx, dir) {
             let tslot = fa.branches[entry.target as usize].slot as usize;
             let old = self.stack[frame_idx].bsv[tslot];
-            self.stack[frame_idx].bsv[tslot] = entry.action.applied(old);
+            let new = entry.action.applied(old);
+            self.stack[frame_idx].bsv[tslot] = new;
             outcome.table_accesses += 1;
+            outcome.bat_entries += 1;
+            if new != old {
+                outcome.bsv_transitions += 1;
+                self.stats.bsv_transitions += 1;
+            }
             self.stats.bat_entries_applied += 1;
         }
 

@@ -16,6 +16,7 @@
 use ipds_analysis::ProgramAnalysis;
 use ipds_ir::Program;
 use ipds_runtime::IpdsChecker;
+use ipds_telemetry::{AttackRecord, EventSink, MetricsRegistry, NullSink, NULL_SINK};
 
 use crate::interp::{ExecLimits, ExecStatus, Input, Interp};
 use crate::observer::{BranchTrace, IpdsObserver, Tee};
@@ -52,6 +53,8 @@ pub struct AttackOutcome {
     pub detection_lag_branches: Option<u64>,
     /// How the attacked run terminated.
     pub status: ExecStatus,
+    /// Interpreter steps the attacked run took.
+    pub steps: u64,
 }
 
 /// Aggregate results of a campaign (one bar pair of Fig. 7).
@@ -153,17 +156,18 @@ pub fn golden_run(
 /// the parallel engine owns one `AttackRunner`; the borrowed program,
 /// analysis and golden trace are shared by all of them.
 #[derive(Debug)]
-pub struct AttackRunner<'a> {
+pub struct AttackRunner<'a, S: EventSink = NullSink> {
     inputs: &'a [Input],
     golden: &'a [(u64, bool)],
     main: ipds_ir::FuncId,
     interp: Interp<'a>,
-    ipds: IpdsObserver<'a>,
+    ipds: IpdsObserver<'a, S>,
     trace: BranchTrace,
 }
 
-impl<'a> AttackRunner<'a> {
-    /// Builds a runner over shared campaign artifacts.
+impl<'a> AttackRunner<'a, NullSink> {
+    /// Builds a runner over shared campaign artifacts, with telemetry
+    /// disabled.
     ///
     /// # Panics
     ///
@@ -174,13 +178,31 @@ impl<'a> AttackRunner<'a> {
         inputs: &'a [Input],
         golden: &'a [(u64, bool)],
         limits: ExecLimits,
-    ) -> AttackRunner<'a> {
+    ) -> AttackRunner<'a, NullSink> {
+        AttackRunner::with_sink(program, analysis, inputs, golden, limits, &NULL_SINK)
+    }
+}
+
+impl<'a, S: EventSink> AttackRunner<'a, S> {
+    /// Builds a runner that reports every checked branch to `sink`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no `main`.
+    pub fn with_sink(
+        program: &'a Program,
+        analysis: &'a ProgramAnalysis,
+        inputs: &'a [Input],
+        golden: &'a [(u64, bool)],
+        limits: ExecLimits,
+        sink: &'a S,
+    ) -> AttackRunner<'a, S> {
         AttackRunner {
             inputs,
             golden,
             main: program.main().expect("program must define `main`").id,
             interp: Interp::new(program, inputs.to_vec(), limits),
-            ipds: IpdsObserver::new(IpdsChecker::new(analysis)),
+            ipds: IpdsObserver::with_sink(IpdsChecker::new(analysis), sink),
             trace: BranchTrace::with_cap(0),
         }
     }
@@ -276,6 +298,7 @@ impl<'a> AttackRunner<'a> {
             detected,
             detection_lag_branches,
             status,
+            steps: self.interp.steps(),
         }
     }
 }
@@ -310,18 +333,58 @@ fn first_divergence(golden: &[(u64, bool)], attacked: &[(u64, bool)]) -> Option<
     }
 }
 
+/// The derived RNG seed of attack `i` (the campaign seed split by a
+/// splitmix-style multiplicative stream).
+pub fn attack_seed(campaign: &Campaign, i: u32) -> u64 {
+    campaign.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1))
+}
+
 /// Derives attack `i`'s RNG stream and trigger step: the per-attack seeding
 /// protocol, shared verbatim by the serial and parallel engines so their
 /// results are bit-identical.
 pub fn attack_rng(campaign: &Campaign, golden_steps: u64, i: u32) -> (StdRng, u64) {
-    let mut rng = StdRng::seed_from_u64(
-        campaign.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
-    );
+    let mut rng = StdRng::seed_from_u64(attack_seed(campaign, i));
     // Trigger anywhere in the first 95% of the run so the attack has room
     // to manifest.
     let hi = (golden_steps.saturating_mul(95) / 100).max(2);
     let trigger = rng.gen_range(1..hi);
     (rng, trigger)
+}
+
+/// Reports one completed attack to the sink and the worker-local metrics
+/// registry. Both engines call this per attack, so the folded telemetry is
+/// identical whichever engine ran.
+pub(crate) fn record_attack<S: EventSink>(
+    sink: &S,
+    metrics: &mut MetricsRegistry,
+    campaign: &Campaign,
+    index: u32,
+    trigger_step: u64,
+    outcome: &AttackOutcome,
+) {
+    metrics.add("attacks", 1);
+    metrics.observe("attack_steps", outcome.steps);
+    if outcome.tampered {
+        metrics.add("attacks_tampered", 1);
+    }
+    if outcome.control_flow_changed {
+        metrics.add("attacks_cf_changed", 1);
+    }
+    if outcome.detected {
+        metrics.add("attacks_detected", 1);
+    }
+    if let Some(lag) = outcome.detection_lag_branches {
+        metrics.observe("detection_lag_branches", lag);
+    }
+    sink.on_attack(&AttackRecord {
+        index,
+        seed: attack_seed(campaign, index),
+        trigger_step,
+        steps: outcome.steps,
+        tampered: outcome.tampered,
+        control_flow_changed: outcome.control_flow_changed,
+        detected: outcome.detected,
+    });
 }
 
 /// Folds per-attack outcomes (in seed order) into a [`CampaignResult`].
@@ -376,18 +439,48 @@ pub fn run_campaign_with_golden(
     golden: &GoldenRun,
     campaign: &Campaign,
 ) -> CampaignResult {
+    run_campaign_instrumented(program, analysis, inputs, golden, campaign, &NULL_SINK).0
+}
+
+/// The serial campaign engine with telemetry attached: every checked branch
+/// goes to `sink` and the per-attack metrics (counters plus the step-count
+/// histogram) come back in a [`MetricsRegistry`]. With [`NullSink`] the
+/// event path compiles away and the result is identical to
+/// [`run_campaign_with_golden`].
+///
+/// # Panics
+///
+/// Panics if the golden run faulted — benign traffic must be fault-free.
+pub fn run_campaign_instrumented<S: EventSink>(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    golden: &GoldenRun,
+    campaign: &Campaign,
+    sink: &S,
+) -> (CampaignResult, MetricsRegistry) {
     assert!(
         !matches!(golden.status, ExecStatus::Fault(_)),
         "golden run must not fault: {:?}",
         golden.status
     );
-    let mut runner = AttackRunner::new(program, analysis, inputs, &golden.trace, campaign.limits);
+    let mut runner = AttackRunner::with_sink(
+        program,
+        analysis,
+        inputs,
+        &golden.trace,
+        campaign.limits,
+        sink,
+    );
+    let mut metrics = MetricsRegistry::new();
     let mut outcomes = Vec::with_capacity(campaign.attacks as usize);
     for i in 0..campaign.attacks {
         let (mut rng, trigger) = attack_rng(campaign, golden.steps, i);
-        outcomes.push(runner.run(trigger, campaign.model, &mut rng));
+        let outcome = runner.run(trigger, campaign.model, &mut rng);
+        record_attack(sink, &mut metrics, campaign, i, trigger, &outcome);
+        outcomes.push(outcome);
     }
-    aggregate(campaign.attacks, &outcomes)
+    (aggregate(campaign.attacks, &outcomes), metrics)
 }
 
 #[cfg(test)]

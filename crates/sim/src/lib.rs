@@ -23,6 +23,12 @@
 //!   caches, 2-level branch predictor and the IPDS request queue /
 //!   spill-fill costs, producing the Fig. 9 normalized-performance numbers
 //!   and the mean detection latency.
+//!
+//! Every engine also comes in an `*_instrumented` flavour threading an
+//! [`EventSink`] (re-exported from [`ipds-telemetry`](ipds_telemetry))
+//! through the hot path; with the default [`NullSink`] the hooks
+//! monomorphize away and the uninstrumented behaviour — and performance —
+//! is preserved bit-for-bit.
 
 pub mod attack;
 pub mod interp;
@@ -32,10 +38,18 @@ pub mod parallel;
 pub mod pipeline;
 pub mod rng;
 
-pub use attack::{AttackModel, AttackOutcome, AttackRunner, Campaign, CampaignResult, GoldenRun};
+pub use ipds_telemetry as telemetry;
+
+pub use attack::{
+    attack_seed, run_campaign_instrumented, AttackModel, AttackOutcome, AttackRunner, Campaign,
+    CampaignResult, GoldenRun,
+};
 pub use interp::{ExecLimits, ExecStatus, Input, Interp};
 pub use memory::Memory;
-pub use observer::{ExecObserver, IpdsObserver, NullObserver};
-pub use parallel::{default_threads, run_campaign_threaded};
+pub use observer::{expectation_of, ExecObserver, IpdsObserver, NullObserver};
+pub use parallel::{default_threads, run_campaign_threaded, run_campaign_threaded_instrumented};
 pub use pipeline::{PerfReport, TimingModel};
 pub use rng::{SplitMix64, StdRng};
+pub use telemetry::{
+    CounterSnapshot, CountingSink, EventSink, JsonlSink, MetricsRegistry, NullSink,
+};

@@ -1,8 +1,19 @@
 //! Execution observers: how the interpreter feeds the IPDS and the timing
 //! model.
 
+use ipds_analysis::BranchStatus;
 use ipds_ir::FuncId;
 use ipds_runtime::IpdsChecker;
+use ipds_telemetry::{BranchRecord, EventSink, Expectation, NullSink, NULL_SINK};
+
+/// Maps the analysis-side expected status onto the telemetry mirror type.
+pub fn expectation_of(status: BranchStatus) -> Expectation {
+    match status {
+        BranchStatus::Taken => Expectation::Taken,
+        BranchStatus::NotTaken => Expectation::NotTaken,
+        BranchStatus::Unknown => Expectation::Unknown,
+    }
+}
 
 /// Events a consumer of the execution stream can react to.
 ///
@@ -38,23 +49,64 @@ impl ExecObserver for NullObserver {}
 /// Adapts the functional [`IpdsChecker`] to the observer interface.
 ///
 /// This is the wiring of Fig. 6: every committed branch is sent to the IPDS;
-/// calls and returns push/pop table frames.
+/// calls and returns push/pop table frames. The observer additionally
+/// forwards one [`BranchRecord`] per committed branch to an
+/// [`EventSink`] — with the default [`NullSink`] every hook monomorphizes
+/// to an empty inlined body, so the uninstrumented path costs nothing.
 #[derive(Debug)]
-pub struct IpdsObserver<'a> {
+pub struct IpdsObserver<'a, S: EventSink = NullSink> {
     /// The wrapped checker (exposed for result inspection).
     pub checker: IpdsChecker<'a>,
+    sink: &'a S,
 }
 
-impl<'a> IpdsObserver<'a> {
-    /// Wraps a checker.
-    pub fn new(checker: IpdsChecker<'a>) -> IpdsObserver<'a> {
-        IpdsObserver { checker }
+impl<'a> IpdsObserver<'a, NullSink> {
+    /// Wraps a checker with telemetry disabled.
+    pub fn new(checker: IpdsChecker<'a>) -> IpdsObserver<'a, NullSink> {
+        IpdsObserver {
+            checker,
+            sink: &NULL_SINK,
+        }
     }
 }
 
-impl ExecObserver for IpdsObserver<'_> {
+impl<'a, S: EventSink> IpdsObserver<'a, S> {
+    /// Wraps a checker, reporting every checked branch to `sink`.
+    pub fn with_sink(checker: IpdsChecker<'a>, sink: &'a S) -> IpdsObserver<'a, S> {
+        IpdsObserver { checker, sink }
+    }
+}
+
+impl<S: EventSink> ExecObserver for IpdsObserver<'_, S> {
     fn on_branch(&mut self, pc: u64, dir: bool) {
-        self.checker.on_branch(pc, dir);
+        // The pre-verify BSV probe is only paid for detail sinks (JSONL);
+        // counting sinks get everything else from the outcome.
+        let expected = if self.sink.wants_branch_details() {
+            self.checker.expected_status(pc).map(expectation_of)
+        } else {
+            None
+        };
+        let out = self.checker.on_branch(pc, dir);
+        let alarm_cause = if out.alarm {
+            self.checker
+                .alarms()
+                .last()
+                .map(|a| expectation_of(a.expected))
+        } else {
+            None
+        };
+        self.sink.on_branch(&BranchRecord {
+            seq: self.checker.stats().branches,
+            pc,
+            taken: dir,
+            expected,
+            verified: out.verified,
+            alarm: out.alarm,
+            alarm_cause,
+            bat_actions: out.bat_entries,
+            bsv_transitions: out.bsv_transitions,
+            table_accesses: out.table_accesses,
+        });
     }
 
     fn on_call(&mut self, func: FuncId) {

@@ -26,9 +26,11 @@ use std::thread;
 
 use ipds_analysis::ProgramAnalysis;
 use ipds_ir::Program;
+use ipds_telemetry::{EventSink, MetricsRegistry, NULL_SINK};
 
 use crate::attack::{
-    aggregate, attack_rng, AttackOutcome, AttackRunner, Campaign, CampaignResult, GoldenRun,
+    aggregate, attack_rng, record_attack, AttackOutcome, AttackRunner, Campaign, CampaignResult,
+    GoldenRun,
 };
 use crate::interp::{ExecStatus, Input};
 
@@ -69,6 +71,33 @@ pub fn run_campaign_threaded_with_golden(
     campaign: &Campaign,
     threads: usize,
 ) -> CampaignResult {
+    run_campaign_threaded_instrumented(
+        program, analysis, inputs, golden, campaign, threads, &NULL_SINK,
+    )
+    .0
+}
+
+/// The threaded campaign engine with telemetry attached.
+///
+/// `sink` is shared by every worker (hence [`EventSink`]'s `Sync` bound and
+/// `&self` hooks); each worker additionally owns a private
+/// [`MetricsRegistry`] folded into the returned one after the join. All
+/// telemetry aggregation commutes, so both the [`CampaignResult`] *and* the
+/// merged registry (and any [`CountingSink`](ipds_telemetry::CountingSink)
+/// snapshot) are bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if the golden run faulted, or if a worker thread panics.
+pub fn run_campaign_threaded_instrumented<S: EventSink>(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    golden: &GoldenRun,
+    campaign: &Campaign,
+    threads: usize,
+    sink: &S,
+) -> (CampaignResult, MetricsRegistry) {
     assert!(
         !matches!(golden.status, ExecStatus::Fault(_)),
         "golden run must not fault: {:?}",
@@ -76,8 +105,8 @@ pub fn run_campaign_threaded_with_golden(
     );
     let workers = threads.max(1).min(campaign.attacks.max(1) as usize);
     if workers <= 1 {
-        return crate::attack::run_campaign_with_golden(
-            program, analysis, inputs, golden, campaign,
+        return crate::attack::run_campaign_instrumented(
+            program, analysis, inputs, golden, campaign, sink,
         );
     }
 
@@ -86,33 +115,40 @@ pub fn run_campaign_threaded_with_golden(
     // scheduling.
     let cursor = AtomicU32::new(0);
     let mut tagged: Vec<(u32, AttackOutcome)> = Vec::with_capacity(campaign.attacks as usize);
+    let mut metrics = MetricsRegistry::new();
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
                 scope.spawn(move || {
-                    let mut runner = AttackRunner::new(
+                    let mut runner = AttackRunner::with_sink(
                         program,
                         analysis,
                         inputs,
                         &golden.trace,
                         campaign.limits,
+                        sink,
                     );
                     let mut local = Vec::new();
+                    let mut local_metrics = MetricsRegistry::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= campaign.attacks {
                             break;
                         }
                         let (mut rng, trigger) = attack_rng(campaign, golden.steps, i);
-                        local.push((i, runner.run(trigger, campaign.model, &mut rng)));
+                        let outcome = runner.run(trigger, campaign.model, &mut rng);
+                        record_attack(sink, &mut local_metrics, campaign, i, trigger, &outcome);
+                        local.push((i, outcome));
                     }
-                    local
+                    (local, local_metrics)
                 })
             })
             .collect();
         for handle in handles {
-            tagged.extend(handle.join().expect("attack worker panicked"));
+            let (local, local_metrics) = handle.join().expect("attack worker panicked");
+            tagged.extend(local);
+            metrics.merge(&local_metrics);
         }
     });
 
@@ -120,7 +156,7 @@ pub fn run_campaign_threaded_with_golden(
     tagged.sort_unstable_by_key(|&(i, _)| i);
     debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k as u32 == i));
     let outcomes: Vec<AttackOutcome> = tagged.into_iter().map(|(_, o)| o).collect();
-    aggregate(campaign.attacks, &outcomes)
+    (aggregate(campaign.attacks, &outcomes), metrics)
 }
 
 #[cfg(test)]

@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             step,
             "user",
             1,
-        );
+        )?;
         if r.output.contains(&999) {
             // Privilege escalation happened...
             if r.detected() {

@@ -5,6 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
+use ipds::telemetry::CountingSink;
 use ipds::{Input, Protected};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,12 +48,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     assert!(!clean.detected());
 
-    // Attack: flip `role` to admin after the first check committed.
-    let attacked = protected.run_with_tamper(&[Input::Int(0), Input::Int(7)], 8, "role", 1);
+    // Attack: flip `role` to admin after the first check committed. The
+    // session builder validates the variable name up front (a typo is an
+    // `ipds::Error`, not a panic) and can attach telemetry.
+    let sink = CountingSink::new();
+    let attacked = protected
+        .session()
+        .inputs(&[Input::Int(0), Input::Int(7)])
+        .tamper(8, "role", 1)
+        .sink(&sink)
+        .run()?;
+    let counts = sink.snapshot();
     println!(
-        "attacked run: output={:?} alarms={}",
+        "attacked run: output={:?} alarms={} ({} branches seen, {} checked)",
         attacked.output,
-        attacked.alarms.len()
+        attacked.alarms.len(),
+        counts.branches,
+        counts.checked,
     );
     for a in &attacked.alarms {
         println!(

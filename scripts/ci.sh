@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> deprecation gate (in-tree code must use the builder APIs)"
+cargo clippy --workspace --all-targets -- -D deprecated
+
 echo "==> tier-1 build + tests"
 cargo build --release --workspace
 cargo test -q --release --workspace
@@ -26,5 +29,13 @@ cargo build --release -p ipds-bench --benches --features bench-harness
 
 echo "==> campaign smoke (parallel engine, 10 attacks/workload)"
 cargo run -q --release -p ipds-bench --bin exp_fig7 -- --attacks 10
+
+echo "==> telemetry smoke (exp_all --quick must emit phase spans)"
+cargo run -q --release -p ipds-bench --bin exp_all -- --quick
+for key in '"telemetry"' '"spans"' '"compile"' '"analyze"' '"golden"' \
+           '"campaign"' '"null_sink"' '"campaign_counters"'; do
+    grep -q "$key" results/bench_campaign.json \
+        || { echo "missing $key in results/bench_campaign.json"; exit 1; }
+done
 
 echo "CI OK"

@@ -36,7 +36,9 @@ fn figure1_attack_without_code_injection() {
     // The attacker flips `user` to admin between the checks.
     let mut caught = false;
     for step in 1..40 {
-        let r = protected.run_with_tamper(&[Input::Int(0), Input::Int(7)], step, "user", 1);
+        let r = protected
+            .run_with_tamper(&[Input::Int(0), Input::Int(7)], step, "user", 1)
+            .unwrap();
         if r.detected() {
             caught = true;
             // Privilege escalation manifested (999 printed) — and the IPDS
@@ -87,7 +89,9 @@ fn figure2_loop_backward_branch_is_forced() {
     // compiler knows x was < 0 — an infeasible path.
     let mut caught = false;
     for step in 5..120 {
-        let r = protected.run_with_tamper(&[Input::Int(-5)], step, "x", 50);
+        let r = protected
+            .run_with_tamper(&[Input::Int(-5)], step, "x", 50)
+            .unwrap();
         if r.detected() {
             caught = true;
             break;
@@ -128,7 +132,9 @@ fn figure3a_subsume_and_redefine() {
     // Tampering y upward after a y<5-taken observation is infeasible.
     let mut caught = false;
     for step in 4..30 {
-        let r = protected.run_with_tamper(&[Input::Int(0), Input::Int(2)], step, "y", 42);
+        let r = protected
+            .run_with_tamper(&[Input::Int(0), Input::Int(2)], step, "y", 42)
+            .unwrap();
         caught |= r.detected();
     }
     assert!(caught);
@@ -160,7 +166,9 @@ fn figure3c_arithmetic_chain() {
     // Tamper y between the two branches: y - 1 < 10 flips — infeasible.
     let mut caught = false;
     for step in 4..20 {
-        let r = protected.run_with_tamper(&[Input::Int(3)], step, "y", 100);
+        let r = protected
+            .run_with_tamper(&[Input::Int(3)], step, "y", 100)
+            .unwrap();
         caught |= r.detected();
     }
     assert!(caught, "the affine correlation must catch the flip");

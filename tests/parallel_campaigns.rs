@@ -2,24 +2,59 @@
 //! workload and every attack model, the scoped-thread pool produces results
 //! bit-identical to the serial path, and the whole protocol is
 //! deterministic under the in-repo RNG (same seed ⇒ same figures, on any
-//! machine, at any thread count).
+//! machine, at any thread count). Telemetry rides the same guarantee: all
+//! sink and metric aggregation commutes, so counter snapshots and merged
+//! registries are bit-identical too.
 
+use ipds::telemetry::{CounterSnapshot, CountingSink, MetricsRegistry};
 use ipds_sim::AttackModel;
 
 const ATTACKS: u32 = 24;
 const SEED: u64 = 2006;
 const INPUT_SEED: u64 = 2006;
 
+fn protect(w: &ipds_workloads::Workload) -> ipds::Protected {
+    ipds::Protected::from_program(w.program(), &ipds::Config::default())
+}
+
 fn campaign_pair(
     w: &ipds_workloads::Workload,
     model: AttackModel,
     threads: usize,
 ) -> (ipds::CampaignResult, ipds::CampaignResult) {
-    let protected = ipds::Protected::from_program(w.program(), &ipds::Config::default());
+    let protected = protect(w);
     let inputs = w.inputs(INPUT_SEED);
     let serial = protected.campaign(&inputs, ATTACKS, SEED, model);
-    let parallel = protected.campaign_threaded(&inputs, ATTACKS, SEED, model, threads);
+    let parallel = protected
+        .campaign_spec()
+        .inputs(&inputs)
+        .attacks(ATTACKS)
+        .seed(SEED)
+        .model(model)
+        .threads(threads)
+        .run();
     (serial, parallel)
+}
+
+/// Runs one instrumented campaign and returns everything telemetry
+/// produces alongside the result.
+fn instrumented(
+    w: &ipds_workloads::Workload,
+    threads: usize,
+) -> (ipds::CampaignResult, CounterSnapshot, MetricsRegistry) {
+    let protected = protect(w);
+    let inputs = w.inputs(INPUT_SEED);
+    let sink = CountingSink::new();
+    let (result, metrics) = protected
+        .campaign_spec()
+        .inputs(&inputs)
+        .attacks(ATTACKS)
+        .seed(SEED)
+        .model(w.vuln)
+        .threads(threads)
+        .sink(&sink)
+        .run_metered();
+    (result, sink.snapshot(), metrics)
 }
 
 #[test]
@@ -51,5 +86,77 @@ fn campaigns_are_deterministic_under_the_in_repo_rng() {
         assert_eq!(a_serial, b_serial, "{} serial reruns must agree", w.name);
         assert_eq!(a_par, b_par, "{} parallel reruns must agree", w.name);
         assert_eq!(a_serial, b_par, "{} thread count must not matter", w.name);
+    }
+}
+
+#[test]
+fn counting_sink_is_bit_identical_across_thread_counts() {
+    for w in ipds_workloads::all() {
+        let (base_result, base_counts, base_metrics) = instrumented(&w, 1);
+        assert_eq!(base_counts.attacks, u64::from(ATTACKS), "{}", w.name);
+        assert_eq!(
+            base_counts.detections,
+            u64::from(base_result.detected),
+            "{}",
+            w.name
+        );
+        assert_eq!(
+            base_metrics.counter("attacks_detected"),
+            u64::from(base_result.detected),
+            "{}",
+            w.name
+        );
+        for threads in [2, 4] {
+            let (result, counts, metrics) = instrumented(&w, threads);
+            assert_eq!(base_result, result, "{} @ {threads} threads", w.name);
+            assert_eq!(base_counts, counts, "{} @ {threads} threads", w.name);
+            assert_eq!(base_metrics, metrics, "{} @ {threads} threads", w.name);
+        }
+    }
+}
+
+#[test]
+fn null_sink_campaign_matches_uninstrumented_engine() {
+    // Attaching the default NullSink must not perturb the protocol: the
+    // result has to be byte-identical to the plain engine's.
+    for w in ipds_workloads::all() {
+        let protected = protect(&w);
+        let inputs = w.inputs(INPUT_SEED);
+        let plain = protected.campaign(&inputs, ATTACKS, SEED, w.vuln);
+        for threads in [1, 4] {
+            let with_null = protected
+                .campaign_spec()
+                .inputs(&inputs)
+                .attacks(ATTACKS)
+                .seed(SEED)
+                .model(w.vuln)
+                .threads(threads)
+                .run();
+            assert_eq!(plain, with_null, "{} @ {threads} threads", w.name);
+            assert_eq!(
+                plain.mean_lag_branches.to_bits(),
+                with_null.mean_lag_branches.to_bits(),
+                "{} @ {threads} threads",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn attack_step_histogram_accounts_for_every_attack() {
+    let w = ipds_workloads::all()
+        .into_iter()
+        .find(|w| w.name == "telnetd")
+        .unwrap();
+    let (_, counts, metrics) = instrumented(&w, 4);
+    let steps = metrics.histogram("attack_steps").expect("attack_steps");
+    assert_eq!(steps.count, u64::from(ATTACKS));
+    assert_eq!(counts.tampers, metrics.counter("attacks_tampered"));
+    // Detection lag is only recorded for detected attacks.
+    if let Some(lag) = metrics.histogram("detection_lag_branches") {
+        assert_eq!(lag.count, counts.detections);
+    } else {
+        assert_eq!(counts.detections, 0);
     }
 }

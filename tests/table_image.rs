@@ -44,8 +44,8 @@ fn loaded_image_detects_the_same_attack() {
         analysis: loaded,
     };
     let inputs = [ipds::Input::Int(0), ipds::Input::Int(9)];
-    let a = protected.run_with_tamper(&inputs, 8, "user", 1);
-    let b = reloaded.run_with_tamper(&inputs, 8, "user", 1);
+    let a = protected.run_with_tamper(&inputs, 8, "user", 1).unwrap();
+    let b = reloaded.run_with_tamper(&inputs, 8, "user", 1).unwrap();
     assert!(a.detected() && b.detected());
     assert_eq!(a.alarms, b.alarms);
 }
