@@ -1,11 +1,21 @@
 //! The whole-program analysis driver.
+//!
+//! The plain entry points ([`analyze_program`], [`analyze_function`]) keep
+//! the original serial, panicking contract; the `try_*`/`*_threaded`
+//! variants underneath are what the [`crate::pipeline`] pass manager runs —
+//! fallible, counted, and sharded per function over the shared
+//! [`ipds_parallel`] pool with results merged in function-id order (so the
+//! [`ProgramAnalysis`] is bit-identical at any thread count).
 
-use ipds_dataflow::{AliasAnalysis, Summaries};
+use std::error::Error;
+use std::fmt;
+
+use ipds_dataflow::{AliasAnalysis, Facts, Summaries};
 use ipds_ir::{FuncId, Function, Program};
 
 use crate::correlate::build_tables;
 use crate::encode::table_sizes;
-use crate::hash::find_perfect_hash;
+use crate::hash::{find_perfect_hash_counted, PerfectHashError};
 use crate::tables::{BranchInfo, FunctionAnalysis};
 
 /// Tuning knobs for the analysis (ablation switches and limits).
@@ -63,6 +73,52 @@ impl ProgramAnalysis {
     }
 }
 
+/// The perfect-hash search failed for one function — the only way
+/// per-function analysis can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionHashError {
+    /// The function whose branch PCs defeated the search.
+    pub function: String,
+    /// The underlying search failure.
+    pub error: PerfectHashError,
+}
+
+impl fmt::Display for FunctionHashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "function `{}`: {}", self.function, self.error)
+    }
+}
+
+impl Error for FunctionHashError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Work counters from analyzing one function (or, summed, a program) —
+/// the pipeline surfaces these as pass-scoped metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnalysisCounters {
+    /// Conditional branches seen.
+    pub branches: u64,
+    /// Branches whose BCV bit is set (correlations found a direction).
+    pub checked: u64,
+    /// BAT entries emitted across all rows.
+    pub bat_entries: u64,
+    /// Hash parameter sets rejected before each function's search succeeded.
+    pub hash_retries: u64,
+}
+
+impl AnalysisCounters {
+    /// Element-wise sum (commutative — safe to fold in any order).
+    pub fn merge(&mut self, other: &AnalysisCounters) {
+        self.branches += other.branches;
+        self.checked += other.checked;
+        self.bat_entries += other.bat_entries;
+        self.hash_retries += other.hash_retries;
+    }
+}
+
 /// Analyzes one function given shared whole-program facts.
 ///
 /// # Panics
@@ -77,14 +133,37 @@ pub fn analyze_function(
     summaries: &Summaries,
     config: &AnalysisConfig,
 ) -> FunctionAnalysis {
+    try_analyze_function(program, func, alias, summaries, config)
+        .map(|(analysis, _)| analysis)
+        .expect("perfect hash search must succeed within the identity fallback")
+}
+
+/// Fallible, counted per-function analysis: correlate → hash → encode for
+/// one function.
+///
+/// # Errors
+///
+/// [`FunctionHashError`] when no collision-free hash exists within
+/// `config.max_hash_log2` (only possible when the cap is below the identity
+/// fallback for this function's instruction count).
+pub fn try_analyze_function(
+    program: &Program,
+    func: &Function,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+) -> Result<(FunctionAnalysis, AnalysisCounters), FunctionHashError> {
     let raw = build_tables(program, func, alias, summaries, config);
     let pcs: Vec<u64> = raw
         .branch_blocks
         .iter()
         .map(|&b| func.terminator_pc(b))
         .collect();
-    let hash = find_perfect_hash(&pcs, func.pc_base, config.max_hash_log2)
-        .expect("perfect hash search must succeed within the identity fallback");
+    let (hash, hash_retries) = find_perfect_hash_counted(&pcs, func.pc_base, config.max_hash_log2)
+        .map_err(|error| FunctionHashError {
+            function: func.name.clone(),
+            error,
+        })?;
     let branches: Vec<BranchInfo> = raw
         .branch_blocks
         .iter()
@@ -96,7 +175,13 @@ pub fn analyze_function(
         })
         .collect();
     let sizes = table_sizes(&raw.bat, &branches, &hash);
-    FunctionAnalysis {
+    let counters = AnalysisCounters {
+        branches: branches.len() as u64,
+        checked: raw.checked.iter().filter(|&&c| c).count() as u64,
+        bat_entries: raw.bat.values().map(|v| v.len() as u64).sum(),
+        hash_retries,
+    };
+    let analysis = FunctionAnalysis {
         func: func.id,
         name: func.name.clone(),
         branches,
@@ -104,20 +189,52 @@ pub fn analyze_function(
         bat: raw.bat,
         hash,
         sizes,
-    }
+    };
+    Ok((analysis, counters))
 }
 
 /// Runs alias analysis, summaries and per-function correlation over the
 /// whole program.
 pub fn analyze_program(program: &Program, config: &AnalysisConfig) -> ProgramAnalysis {
-    let alias = AliasAnalysis::analyze(program);
-    let summaries = Summaries::compute(program, &alias);
-    let functions = program
-        .functions
-        .iter()
-        .map(|f| analyze_function(program, f, &alias, &summaries, config))
-        .collect();
-    ProgramAnalysis { functions }
+    let facts = Facts::compute(program);
+    analyze_program_threaded(program, &facts.alias, &facts.summaries, config, 1)
+        .map(|(analysis, _)| analysis)
+        .expect("perfect hash search must succeed within the identity fallback")
+}
+
+/// Per-function correlation/hash/encode over precomputed whole-program
+/// facts, sharded by [`FuncId`] across `threads` workers and merged in id
+/// order — the result (and the summed counters) are **bit-identical** to
+/// the serial path for any thread count.
+///
+/// # Errors
+///
+/// The first (in function-id order) [`FunctionHashError`], if any function's
+/// hash search fails.
+pub fn analyze_program_threaded(
+    program: &Program,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+    threads: usize,
+) -> Result<(ProgramAnalysis, AnalysisCounters), FunctionHashError> {
+    let (per_func, _) = ipds_parallel::map_indexed(
+        program.functions.len() as u32,
+        threads,
+        |_| (),
+        |(), i| {
+            let func = &program.functions[i as usize];
+            try_analyze_function(program, func, alias, summaries, config)
+        },
+    );
+    let mut functions = Vec::with_capacity(per_func.len());
+    let mut counters = AnalysisCounters::default();
+    for result in per_func {
+        let (analysis, func_counters) = result?;
+        counters.merge(&func_counters);
+        functions.push(analysis);
+    }
+    Ok((ProgramAnalysis { functions }, counters))
 }
 
 #[cfg(test)]

@@ -84,17 +84,36 @@ pub fn find_perfect_hash(
     pc_base: u64,
     max_log2: u32,
 ) -> Result<HashParams, PerfectHashError> {
+    find_perfect_hash_counted(pcs, pc_base, max_log2).map(|(params, _)| params)
+}
+
+/// [`find_perfect_hash`] plus the number of candidate parameter sets the
+/// search *rejected* before succeeding (0 when the very first candidate is
+/// collision-free). The pipeline's per-pass counters surface this as
+/// `hash_retries` — the compile-time cost knob the paper's §5.2 trades
+/// against table size.
+///
+/// # Errors
+///
+/// See [`find_perfect_hash`].
+pub fn find_perfect_hash_counted(
+    pcs: &[u64],
+    pc_base: u64,
+    max_log2: u32,
+) -> Result<(HashParams, u64), PerfectHashError> {
     if pcs.is_empty() {
-        return Ok(HashParams {
+        let params = HashParams {
             shift1: 0,
             shift2: 0,
             log2_size: 0,
             pc_base,
-        });
+        };
+        return Ok((params, 0));
     }
     let min_log2 = usize::BITS - (pcs.len() - 1).leading_zeros();
     let min_log2 = min_log2.max(1);
     let mut seen = HashSet::with_capacity(pcs.len());
+    let mut retries = 0u64;
     for log2_size in min_log2..=max_log2 {
         // Try shift pairs in a fixed order; small shifts mix low bits which
         // is what densely indexed branch PCs need.
@@ -108,8 +127,9 @@ pub fn find_perfect_hash(
                 };
                 seen.clear();
                 if pcs.iter().all(|&pc| seen.insert(params.slot(pc))) {
-                    return Ok(params);
+                    return Ok((params, retries));
                 }
+                retries += 1;
             }
         }
     }

@@ -15,10 +15,10 @@
 //! compiler→binary→runtime hand-off the paper describes actually carries
 //! all the information it needs.
 //!
-//! ## Layout
+//! ## Layout (version 2)
 //!
 //! ```text
-//! [magic "IPDS" u32] [version u16] [function count u16]
+//! [magic "IPDS" u32] [version u16] [function count u16] [fnv1a-32 checksum u32]
 //! per function (the function information table):
 //!   [entry pc u64] [hash: shift1 u8, shift2 u8, log2_size u8, pad u8]
 //!   [branch count u16] [bcv offset u32] [bat offset u32] [bat len u32]
@@ -26,6 +26,11 @@
 //!   per function: packed branch PCs (delta-coded u16 ×4 from entry),
 //!                 packed BCV bits, packed BAT (the encode.rs format)
 //! ```
+//!
+//! The checksum covers everything after itself (info table + pool), so a
+//! corrupted image — *any* single bit flip, including in fields like
+//! `entry pc` whose every value is structurally plausible — is rejected
+//! with a typed [`ImageError`] instead of silently loading wrong tables.
 
 use std::error::Error;
 use std::fmt;
@@ -38,7 +43,11 @@ use crate::hash::HashParams;
 use crate::tables::{BranchInfo, FunctionAnalysis};
 
 const MAGIC: u32 = 0x4950_4453; // "IPDS"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
+/// Bytes before the info table: magic + version + count + checksum.
+const HEADER_BYTES: usize = 12;
+/// Info-table bytes per function: 64+8+8+8+8+16+32+32+32 bits.
+const INFO_BYTES: usize = 26;
 
 /// A serialized whole-program table image.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,25 +55,91 @@ pub struct TableImage {
     bytes: Vec<u8>,
 }
 
-/// Image parsing failed.
+/// Image parsing failed — each variant names the specific field or section
+/// that was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ImageError {
-    /// What went wrong.
-    pub message: String,
+pub enum ImageError {
+    /// The leading magic was not `"IPDS"`.
+    BadMagic {
+        /// The 32-bit value found instead.
+        found: u32,
+    },
+    /// The version field names a format this loader does not speak.
+    UnsupportedVersion {
+        /// The version found.
+        found: u16,
+        /// The version this loader writes and reads.
+        expected: u16,
+    },
+    /// The image ended before the named section was complete.
+    Truncated {
+        /// Which section could not be fully read.
+        section: &'static str,
+    },
+    /// The stored checksum does not match the payload — the image was
+    /// corrupted in transport or tampered with.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u32,
+        /// Checksum recomputed over the payload.
+        computed: u32,
+    },
+    /// An info-table offset or length points outside the payload pool.
+    OutOfRange {
+        /// Which table the bad reference belongs to.
+        section: &'static str,
+        /// Index of the offending function entry.
+        function: usize,
+    },
+    /// A BAT section failed to decode (truncated rows or unknown slots).
+    MalformedBat {
+        /// Index of the offending function entry.
+        function: usize,
+    },
 }
 
 impl fmt::Display for ImageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid IPDS table image: {}", self.message)
+        write!(f, "invalid IPDS table image: ")?;
+        match self {
+            ImageError::BadMagic { found } => write!(f, "bad magic {found:#010x}"),
+            ImageError::UnsupportedVersion { found, expected } => {
+                write!(f, "unsupported version {found} (expected {expected})")
+            }
+            ImageError::Truncated { section } => write!(f, "truncated {section}"),
+            ImageError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            ImageError::OutOfRange { section, function } => {
+                write!(f, "function {function}: {section} out of range")
+            }
+            ImageError::MalformedBat { function } => {
+                write!(f, "function {function}: malformed BAT")
+            }
+        }
     }
 }
 
 impl Error for ImageError {}
 
-fn err(message: impl Into<String>) -> ImageError {
-    ImageError {
-        message: message.into(),
-    }
+/// FNV-1a (32-bit) over every image byte except the checksum field itself —
+/// the leading magic/version/count AND the info table + pool, so a bit flip
+/// anywhere (including the `function count`, which the payload hash alone
+/// would miss) is caught. An in-repo integrity check, not a cryptographic
+/// MAC: it guards against corruption, not adversaries who can rewrite the
+/// image *and* its checksum.
+fn image_checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    let mut update = |chunk: &[u8]| {
+        for &b in chunk {
+            h ^= u32::from(b);
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    };
+    update(&bytes[..8]);
+    update(&bytes[HEADER_BYTES..]);
+    h
 }
 
 impl TableImage {
@@ -74,6 +149,7 @@ impl TableImage {
         w.push(MAGIC as u64, 32);
         w.push(VERSION as u64, 16);
         w.push(analysis.functions.len() as u64, 16);
+        w.push(0, 32); // checksum placeholder, patched below
 
         // Payload pool assembled first so the info table can carry offsets.
         let mut pool: Vec<u8> = Vec::new();
@@ -112,6 +188,10 @@ impl TableImage {
         }
         let mut bytes = w.into_bytes();
         bytes.extend_from_slice(&pool);
+        // All header fields are byte-aligned (32+16+16+32 bits), so the
+        // checksum lives at bytes 8..12, MSB first like every other field.
+        let checksum = image_checksum(&bytes);
+        bytes[8..HEADER_BYTES].copy_from_slice(&checksum.to_be_bytes());
         TableImage { bytes }
     }
 
@@ -143,17 +223,38 @@ impl TableImage {
     ///
     /// # Errors
     ///
-    /// Returns [`ImageError`] on a bad magic/version, truncated header, or
-    /// malformed payload.
+    /// Returns [`ImageError`] on a bad magic/version, truncation anywhere, a
+    /// checksum mismatch (any bit flip in the info table or pool), an
+    /// out-of-range table reference, or a malformed BAT section.
     pub fn load(&self) -> Result<ProgramAnalysis, ImageError> {
         let mut r = BitReader::new(&self.bytes);
-        if r.read(32) != Some(MAGIC as u64) {
-            return Err(err("bad magic"));
+        let magic = r
+            .read(32)
+            .ok_or(ImageError::Truncated { section: "header" })?;
+        if magic != MAGIC as u64 {
+            return Err(ImageError::BadMagic {
+                found: magic as u32,
+            });
         }
-        if r.read(16) != Some(VERSION as u64) {
-            return Err(err("unsupported version"));
+        let version = r
+            .read(16)
+            .ok_or(ImageError::Truncated { section: "header" })?;
+        if version != VERSION as u64 {
+            return Err(ImageError::UnsupportedVersion {
+                found: version as u16,
+                expected: VERSION,
+            });
         }
-        let count = r.read(16).ok_or_else(|| err("truncated header"))? as usize;
+        let count = r
+            .read(16)
+            .ok_or(ImageError::Truncated { section: "header" })? as usize;
+        let stored = r
+            .read(32)
+            .ok_or(ImageError::Truncated { section: "header" })? as u32;
+        let computed = image_checksum(&self.bytes);
+        if stored != computed {
+            return Err(ImageError::ChecksumMismatch { stored, computed });
+        }
 
         struct Info {
             pc_base: u64,
@@ -163,17 +264,20 @@ impl TableImage {
             bat_off: usize,
             bat_len: usize,
         }
+        let truncated_info = ImageError::Truncated {
+            section: "function information table",
+        };
         let mut infos = Vec::with_capacity(count);
         for _ in 0..count {
-            let pc_base = r.read(64).ok_or_else(|| err("truncated info table"))?;
-            let shift1 = r.read(8).ok_or_else(|| err("truncated info table"))? as u32;
-            let shift2 = r.read(8).ok_or_else(|| err("truncated info table"))? as u32;
-            let log2_size = r.read(8).ok_or_else(|| err("truncated info table"))? as u32;
-            let _pad = r.read(8).ok_or_else(|| err("truncated info table"))?;
-            let branch_count = r.read(16).ok_or_else(|| err("truncated info table"))? as usize;
-            let bcv_off = r.read(32).ok_or_else(|| err("truncated info table"))? as usize;
-            let bat_off = r.read(32).ok_or_else(|| err("truncated info table"))? as usize;
-            let bat_len = r.read(32).ok_or_else(|| err("truncated info table"))? as usize;
+            let pc_base = r.read(64).ok_or(truncated_info.clone())?;
+            let shift1 = r.read(8).ok_or(truncated_info.clone())? as u32;
+            let shift2 = r.read(8).ok_or(truncated_info.clone())? as u32;
+            let log2_size = r.read(8).ok_or(truncated_info.clone())? as u32;
+            let _pad = r.read(8).ok_or(truncated_info.clone())?;
+            let branch_count = r.read(16).ok_or(truncated_info.clone())? as usize;
+            let bcv_off = r.read(32).ok_or(truncated_info.clone())? as usize;
+            let bat_off = r.read(32).ok_or(truncated_info.clone())? as usize;
+            let bat_len = r.read(32).ok_or(truncated_info.clone())? as usize;
             infos.push(Info {
                 pc_base,
                 hash: HashParams {
@@ -189,25 +293,29 @@ impl TableImage {
             });
         }
 
-        // Header length in bytes: 8 (magic+version+count) plus 26 per
-        // function entry (64+8+8+8+8+16+32+32+32 bits).
-        let header_len = 8 + count * 26;
-        let pool = self
-            .bytes
-            .get(header_len..)
-            .ok_or_else(|| err("missing payload pool"))?;
+        let header_len = HEADER_BYTES + count * INFO_BYTES;
+        let pool = self.bytes.get(header_len..).ok_or(ImageError::Truncated {
+            section: "payload pool",
+        })?;
 
         let mut functions = Vec::with_capacity(count);
         for (i, info) in infos.iter().enumerate() {
             let branch_bits = info.branch_count * 16 + info.branch_count;
             let branch_bytes = branch_bits.div_ceil(8);
-            let slice = pool
-                .get(info.bcv_off..info.bcv_off + branch_bytes)
-                .ok_or_else(|| err("branch table out of range"))?;
+            let slice = info
+                .bcv_off
+                .checked_add(branch_bytes)
+                .and_then(|end| pool.get(info.bcv_off..end))
+                .ok_or(ImageError::OutOfRange {
+                    section: "branch/BCV table",
+                    function: i,
+                })?;
             let mut fr = BitReader::new(slice);
             let mut branches = Vec::with_capacity(info.branch_count);
             for b in 0..info.branch_count {
-                let delta = fr.read(16).ok_or_else(|| err("truncated branch pcs"))?;
+                let delta = fr.read(16).ok_or(ImageError::Truncated {
+                    section: "branch pcs",
+                })?;
                 let pc = info.pc_base + (delta << 2);
                 branches.push(BranchInfo {
                     block: BlockId(b as u32),
@@ -217,13 +325,18 @@ impl TableImage {
             }
             let mut checked = Vec::with_capacity(info.branch_count);
             for _ in 0..info.branch_count {
-                checked.push(fr.read(1).ok_or_else(|| err("truncated BCV"))? != 0);
+                checked.push(fr.read(1).ok_or(ImageError::Truncated { section: "BCV" })? != 0);
             }
-            let bat_slice = pool
-                .get(info.bat_off..info.bat_off + info.bat_len)
-                .ok_or_else(|| err("BAT out of range"))?;
-            let bat =
-                decode_bat(bat_slice, &branches, &info.hash).ok_or_else(|| err("malformed BAT"))?;
+            let bat_slice = info
+                .bat_off
+                .checked_add(info.bat_len)
+                .and_then(|end| pool.get(info.bat_off..end))
+                .ok_or(ImageError::OutOfRange {
+                    section: "BAT",
+                    function: i,
+                })?;
+            let bat = decode_bat(bat_slice, &branches, &info.hash)
+                .ok_or(ImageError::MalformedBat { function: i })?;
             let sizes = table_sizes(&bat, &branches, &info.hash);
             functions.push(FunctionAnalysis {
                 func: FuncId(i as u32),
@@ -291,12 +404,75 @@ mod tests {
         // Bad magic.
         let mut bad = image.as_bytes().to_vec();
         bad[0] ^= 0xFF;
-        assert!(TableImage::from_bytes(bad).load().is_err());
+        assert!(matches!(
+            TableImage::from_bytes(bad).load(),
+            Err(ImageError::BadMagic { .. })
+        ));
+        // Wrong version.
+        let mut old = image.as_bytes().to_vec();
+        old[5] ^= 0x01;
+        assert!(matches!(
+            TableImage::from_bytes(old).load(),
+            Err(ImageError::UnsupportedVersion { .. })
+        ));
         // Truncation.
         let mut short = image.as_bytes().to_vec();
         short.truncate(short.len() / 2);
         assert!(TableImage::from_bytes(short).load().is_err());
         // Empty.
-        assert!(TableImage::from_bytes(Vec::new()).load().is_err());
+        assert!(matches!(
+            TableImage::from_bytes(Vec::new()).load(),
+            Err(ImageError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        // The full corruption matrix: flipping ANY bit of the image — every
+        // header field, every info-table entry, every pool byte — must yield
+        // a typed error, never a panic and never a silently-different load.
+        let a = analysis();
+        let image = TableImage::build(&a);
+        let bytes = image.as_bytes();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.to_vec();
+                flipped[byte] ^= 1 << bit;
+                let result = TableImage::from_bytes(flipped).load();
+                assert!(
+                    result.is_err(),
+                    "bit {bit} of byte {byte} flipped but load() still succeeded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected() {
+        let a = analysis();
+        let image = TableImage::build(&a);
+        for len in 0..image.len() {
+            let mut short = image.as_bytes().to_vec();
+            short.truncate(len);
+            assert!(
+                TableImage::from_bytes(short).load().is_err(),
+                "truncation to {len} bytes was not rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_field() {
+        let e = ImageError::ChecksumMismatch {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("checksum mismatch"));
+        let e = ImageError::OutOfRange {
+            section: "BAT",
+            function: 3,
+        };
+        assert!(e.to_string().contains("function 3"));
+        assert!(e.to_string().contains("BAT"));
     }
 }

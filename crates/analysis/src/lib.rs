@@ -45,14 +45,24 @@ pub mod correlate;
 pub mod encode;
 pub mod hash;
 pub mod image;
+pub mod pipeline;
 pub mod region;
 pub mod stats;
 pub mod tables;
+pub mod verify_tables;
 
 pub use action::{BrAction, BranchStatus};
-pub use compile::{analyze_function, analyze_program, AnalysisConfig, ProgramAnalysis};
+pub use compile::{
+    analyze_function, analyze_program, analyze_program_threaded, try_analyze_function,
+    AnalysisConfig, AnalysisCounters, FunctionHashError, ProgramAnalysis,
+};
 pub use encode::{BitReader, BitWriter, TableSizes};
-pub use hash::{HashParams, PerfectHashError};
+pub use hash::{find_perfect_hash, find_perfect_hash_counted, HashParams, PerfectHashError};
 pub use image::{ImageError, TableImage};
+pub use pipeline::{
+    build_program, build_source, BuildOptions, BuildOutput, CompilationSession, Pass, PassManager,
+    PassSpan, PipelineError,
+};
 pub use stats::SizeStats;
 pub use tables::{BatEntry, BranchInfo, FunctionAnalysis};
+pub use verify_tables::{verify_tables, TableVerifyError};

@@ -1,0 +1,702 @@
+//! The compiler pass pipeline.
+//!
+//! Compilation is an ordered sequence of named [`Pass`]es over a
+//! [`CompilationSession`]: **parse → lower → verify-ir → opt → alias →
+//! summaries → analyze-functions → image → verify-tables**. Each pass reads
+//! the session products earlier passes deposited and adds its own; the
+//! [`PassManager`] runs them in order, records a wall-clock [`PassSpan`] per
+//! pass, and stops at the first typed [`PipelineError`].
+//!
+//! The `analyze-functions` pass is where the paper's per-function work
+//! (correlate → perfect hash → encode) lives; it shards functions over the
+//! shared [`ipds_parallel`] pool and merges in id order, so its output is
+//! **bit-identical to the serial path at any thread count** — a property
+//! `ipdsc build --determinism` and the pipeline tests assert by comparing
+//! image bytes.
+//!
+//! Each pass also feeds the session's [`MetricsRegistry`] (branches seen,
+//! correlations emitted, hash retries, image bytes, loads forwarded), which
+//! the bench layer surfaces per workload.
+//!
+//! The plain one-call drivers remain ([`crate::analyze_program`],
+//! `ipds_ir::parse`); this layer is for callers that want staged products,
+//! timings, table verification, or threaded analysis: [`build_source`] and
+//! [`build_program`] are the two entry points, and [`PassManager::standard`]
+//! is the canonical pass order they run.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Instant;
+
+use ipds_dataflow::{AliasAnalysis, Summaries};
+use ipds_ir::ast::Item;
+use ipds_ir::opt::OptStats;
+use ipds_ir::{CompileError, Program};
+use ipds_telemetry::MetricsRegistry;
+
+use crate::compile::{
+    analyze_program_threaded, AnalysisConfig, AnalysisCounters, FunctionHashError, ProgramAnalysis,
+};
+use crate::image::TableImage;
+use crate::verify_tables::{verify_tables, TableVerifyError};
+
+/// What to build and how: the knobs `ipdsc build` exposes.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Analysis tuning (ablation switches, hash-space cap).
+    pub config: AnalysisConfig,
+    /// Run the load-forwarding optimizer between verify-ir and alias.
+    pub optimize: bool,
+    /// Worker threads for per-function analysis (`0`/`1` = serial; results
+    /// are identical either way).
+    pub threads: usize,
+    /// Append the `verify-tables` pass after image emission.
+    pub verify: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            config: AnalysisConfig::default(),
+            optimize: false,
+            threads: 1,
+            verify: false,
+        }
+    }
+}
+
+/// Wall-clock record of one executed pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassSpan {
+    /// The pass's name (as shown by `--timings` and the bench JSON).
+    pub name: &'static str,
+    /// Elapsed seconds.
+    pub seconds: f64,
+}
+
+/// Mutable state threaded through the passes: the source and every staged
+/// product, plus metrics and per-pass timings.
+///
+/// Products are `Option`s deposited in pipeline order; a pass that finds its
+/// input missing fails with [`PipelineError::MissingStage`] instead of
+/// panicking, so custom pass orders are diagnosable.
+#[derive(Debug, Default)]
+pub struct CompilationSession {
+    /// MiniC source text (input to `parse`).
+    pub source: Option<String>,
+    /// Parsed AST items (`parse` output, `lower` input).
+    pub items: Option<Vec<Item>>,
+    /// The IR program (`lower` output; every later pass reads it).
+    pub program: Option<Program>,
+    /// Optimizer statistics (`opt` output, when the pass runs).
+    pub opt_stats: Option<OptStats>,
+    /// Whole-program points-to facts (`alias` output).
+    pub alias: Option<AliasAnalysis>,
+    /// Callee side-effect summaries (`summaries` output).
+    pub summaries: Option<Summaries>,
+    /// Per-function tables (`analyze-functions` output).
+    pub analysis: Option<ProgramAnalysis>,
+    /// Work counters summed over all functions.
+    pub counters: AnalysisCounters,
+    /// The serialized table image (`image` output).
+    pub image: Option<TableImage>,
+    /// Build knobs the passes consult.
+    pub options: BuildOptions,
+    /// Pass-scoped counters (pipeline.* keys).
+    pub metrics: MetricsRegistry,
+    /// Wall-clock span per executed pass, in execution order.
+    pub timings: Vec<PassSpan>,
+}
+
+impl CompilationSession {
+    /// A session starting from source text.
+    pub fn from_source(source: impl Into<String>, options: BuildOptions) -> CompilationSession {
+        CompilationSession {
+            source: Some(source.into()),
+            options,
+            ..CompilationSession::default()
+        }
+    }
+
+    /// A session starting from an already-built IR program (workloads build
+    /// their programs programmatically; the front-end passes are skipped).
+    pub fn from_program(program: Program, options: BuildOptions) -> CompilationSession {
+        CompilationSession {
+            program: Some(program),
+            options,
+            ..CompilationSession::default()
+        }
+    }
+
+    fn need_program(&self, pass: &'static str) -> Result<&Program, PipelineError> {
+        self.program.as_ref().ok_or(PipelineError::MissingStage {
+            pass,
+            needs: "program",
+        })
+    }
+}
+
+/// A typed pipeline failure: which stage broke and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The front end rejected the source (parse/lower/verify-ir).
+    Compile(CompileError),
+    /// A function's perfect-hash search failed (analyze-functions).
+    Hash(FunctionHashError),
+    /// The emitted tables failed cross-checking (verify-tables).
+    Verify(TableVerifyError),
+    /// A pass ran before the pass that produces its input — a pipeline
+    /// ordering bug, reported instead of panicking.
+    MissingStage {
+        /// The pass that could not run.
+        pass: &'static str,
+        /// The session product it needed.
+        needs: &'static str,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Compile(e) => write!(f, "{e}"),
+            PipelineError::Hash(e) => write!(f, "{e}"),
+            PipelineError::Verify(e) => write!(f, "{e}"),
+            PipelineError::MissingStage { pass, needs } => {
+                write!(
+                    f,
+                    "pass `{pass}` ran without `{needs}` (pipeline ordering bug)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Compile(e) => Some(e),
+            PipelineError::Hash(e) => Some(e),
+            PipelineError::Verify(e) => Some(e),
+            PipelineError::MissingStage { .. } => None,
+        }
+    }
+}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        PipelineError::Compile(e)
+    }
+}
+
+impl From<FunctionHashError> for PipelineError {
+    fn from(e: FunctionHashError) -> Self {
+        PipelineError::Hash(e)
+    }
+}
+
+impl From<TableVerifyError> for PipelineError {
+    fn from(e: TableVerifyError) -> Self {
+        PipelineError::Verify(e)
+    }
+}
+
+/// One named compilation stage.
+pub trait Pass {
+    /// The pass's stable name (timings, `--timings` output, bench JSON).
+    fn name(&self) -> &'static str;
+    /// Runs the pass over the session.
+    ///
+    /// # Errors
+    ///
+    /// A [`PipelineError`] if the stage's input is missing or its work fails.
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError>;
+}
+
+/// An ordered list of passes plus the machinery to run them.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// An empty manager (compose with [`with_pass`](PassManager::with_pass)).
+    pub fn new() -> PassManager {
+        PassManager::default()
+    }
+
+    /// Appends a pass.
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> PassManager {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The canonical pipeline for `options`: parse → lower → verify-ir →
+    /// \[opt\] → alias → summaries → analyze-functions → image →
+    /// \[verify-tables\], with the bracketed passes present when the
+    /// corresponding option is set. When `from_source` is false the
+    /// front-end passes (parse/lower) are omitted — the session must start
+    /// with a program.
+    pub fn standard(options: &BuildOptions, from_source: bool) -> PassManager {
+        let mut pm = PassManager::new();
+        if from_source {
+            pm = pm.with_pass(ParsePass).with_pass(LowerPass);
+        }
+        pm = pm.with_pass(VerifyIrPass);
+        if options.optimize {
+            pm = pm.with_pass(OptPass);
+        }
+        pm = pm
+            .with_pass(AliasPass)
+            .with_pass(SummariesPass)
+            .with_pass(AnalyzeFunctionsPass)
+            .with_pass(ImagePass);
+        if options.verify {
+            pm = pm.with_pass(VerifyTablesPass);
+        }
+        pm
+    }
+
+    /// The pass names, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs every pass in order, timing each into `session.timings`. Stops
+    /// at (and returns) the first failure.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PipelineError`] any pass reports.
+    pub fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        for pass in &self.passes {
+            let start = Instant::now();
+            let result = pass.run(session);
+            session.timings.push(PassSpan {
+                name: pass.name(),
+                seconds: start.elapsed().as_secs_f64(),
+            });
+            result?;
+        }
+        Ok(())
+    }
+}
+
+/// Lex + parse the source into AST items.
+pub struct ParsePass;
+
+impl Pass for ParsePass {
+    fn name(&self) -> &'static str {
+        "parse"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let source = session.source.as_ref().ok_or(PipelineError::MissingStage {
+            pass: "parse",
+            needs: "source",
+        })?;
+        let tokens = ipds_ir::lexer::lex(source).map_err(CompileError::Parse)?;
+        let items = ipds_ir::parser::parse_items(&tokens).map_err(CompileError::Parse)?;
+        session.metrics.add("pipeline.tokens", tokens.len() as u64);
+        session.items = Some(items);
+        Ok(())
+    }
+}
+
+/// Lower AST items to the CFG IR.
+pub struct LowerPass;
+
+impl Pass for LowerPass {
+    fn name(&self) -> &'static str {
+        "lower"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let items = session.items.as_ref().ok_or(PipelineError::MissingStage {
+            pass: "lower",
+            needs: "items",
+        })?;
+        let program = ipds_ir::lower::lower(items)?;
+        session
+            .metrics
+            .add("pipeline.functions", program.functions.len() as u64);
+        session.program = Some(program);
+        Ok(())
+    }
+}
+
+/// Check the IR's structural invariants (single static definitions,
+/// in-range successors, callee arities).
+pub struct VerifyIrPass;
+
+impl Pass for VerifyIrPass {
+    fn name(&self) -> &'static str {
+        "verify-ir"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let program = session.need_program("verify-ir")?;
+        ipds_ir::verify::verify_program(program)
+            .map_err(|e| PipelineError::Compile(CompileError::Verify(e)))?;
+        Ok(())
+    }
+}
+
+/// Block-local load forwarding (the `optimize` knob).
+pub struct OptPass;
+
+impl Pass for OptPass {
+    fn name(&self) -> &'static str {
+        "opt"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let program = session
+            .program
+            .as_mut()
+            .ok_or(PipelineError::MissingStage {
+                pass: "opt",
+                needs: "program",
+            })?;
+        let stats = ipds_ir::opt::forward_loads(program);
+        session
+            .metrics
+            .add("pipeline.loads_forwarded", stats.loads_removed as u64);
+        session.opt_stats = Some(stats);
+        Ok(())
+    }
+}
+
+/// Whole-program Andersen-style points-to analysis.
+pub struct AliasPass;
+
+impl Pass for AliasPass {
+    fn name(&self) -> &'static str {
+        "alias"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let program = session.need_program("alias")?;
+        session.alias = Some(AliasAnalysis::analyze(program));
+        Ok(())
+    }
+}
+
+/// Callee side-effect summaries over the alias facts.
+pub struct SummariesPass;
+
+impl Pass for SummariesPass {
+    fn name(&self) -> &'static str {
+        "summaries"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let program = session.need_program("summaries")?;
+        let alias = session.alias.as_ref().ok_or(PipelineError::MissingStage {
+            pass: "summaries",
+            needs: "alias",
+        })?;
+        session.summaries = Some(Summaries::compute(program, alias));
+        Ok(())
+    }
+}
+
+/// Per-function correlate → perfect-hash → encode, sharded by function id
+/// over the shared worker pool and merged in id order (bit-identical to
+/// serial at any thread count).
+pub struct AnalyzeFunctionsPass;
+
+impl Pass for AnalyzeFunctionsPass {
+    fn name(&self) -> &'static str {
+        "analyze-functions"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let program = session
+            .program
+            .as_ref()
+            .ok_or(PipelineError::MissingStage {
+                pass: "analyze-functions",
+                needs: "program",
+            })?;
+        let (alias, summaries) = match (&session.alias, &session.summaries) {
+            (Some(a), Some(s)) => (a, s),
+            (None, _) => {
+                return Err(PipelineError::MissingStage {
+                    pass: "analyze-functions",
+                    needs: "alias",
+                })
+            }
+            (_, None) => {
+                return Err(PipelineError::MissingStage {
+                    pass: "analyze-functions",
+                    needs: "summaries",
+                })
+            }
+        };
+        let (analysis, counters) = analyze_program_threaded(
+            program,
+            alias,
+            summaries,
+            &session.options.config,
+            session.options.threads,
+        )?;
+        session.metrics.add("pipeline.branches", counters.branches);
+        session
+            .metrics
+            .add("pipeline.checked_branches", counters.checked);
+        session
+            .metrics
+            .add("pipeline.bat_entries", counters.bat_entries);
+        session
+            .metrics
+            .add("pipeline.hash_retries", counters.hash_retries);
+        session.counters = counters;
+        session.analysis = Some(analysis);
+        Ok(())
+    }
+}
+
+/// Serialize the analysis into the attachable table image.
+pub struct ImagePass;
+
+impl Pass for ImagePass {
+    fn name(&self) -> &'static str {
+        "image"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let analysis = session
+            .analysis
+            .as_ref()
+            .ok_or(PipelineError::MissingStage {
+                pass: "image",
+                needs: "analysis",
+            })?;
+        let image = TableImage::build(analysis);
+        session
+            .metrics
+            .add("pipeline.image_bytes", image.len() as u64);
+        session.image = Some(image);
+        Ok(())
+    }
+}
+
+/// Cross-check the emitted tables and image against the IR (see
+/// [`crate::verify_tables`]).
+pub struct VerifyTablesPass;
+
+impl Pass for VerifyTablesPass {
+    fn name(&self) -> &'static str {
+        "verify-tables"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let program = session.need_program("verify-tables")?;
+        let analysis = session
+            .analysis
+            .as_ref()
+            .ok_or(PipelineError::MissingStage {
+                pass: "verify-tables",
+                needs: "analysis",
+            })?;
+        verify_tables(program, analysis)?;
+        Ok(())
+    }
+}
+
+/// Everything a finished build produces.
+#[derive(Debug)]
+pub struct BuildOutput {
+    /// The (possibly optimized) IR program.
+    pub program: Program,
+    /// Per-function tables.
+    pub analysis: ProgramAnalysis,
+    /// The serialized table image.
+    pub image: TableImage,
+    /// Work counters summed over all functions.
+    pub counters: AnalysisCounters,
+    /// Per-pass wall-clock spans, in execution order.
+    pub timings: Vec<PassSpan>,
+    /// Pass-scoped counters (pipeline.* keys).
+    pub metrics: MetricsRegistry,
+}
+
+/// Compiles MiniC source through the standard pipeline.
+///
+/// # Errors
+///
+/// The first [`PipelineError`] any pass reports.
+pub fn build_source(source: &str, options: BuildOptions) -> Result<BuildOutput, PipelineError> {
+    let manager = PassManager::standard(&options, true);
+    let mut session = CompilationSession::from_source(source, options);
+    manager.run(&mut session)?;
+    finish(session)
+}
+
+/// Runs the standard pipeline (minus the front end) over an existing IR
+/// program — the entry the workload generators use.
+///
+/// # Errors
+///
+/// The first [`PipelineError`] any pass reports.
+pub fn build_program(
+    program: Program,
+    options: BuildOptions,
+) -> Result<BuildOutput, PipelineError> {
+    let manager = PassManager::standard(&options, false);
+    let mut session = CompilationSession::from_program(program, options);
+    manager.run(&mut session)?;
+    finish(session)
+}
+
+fn finish(session: CompilationSession) -> Result<BuildOutput, PipelineError> {
+    let CompilationSession {
+        program,
+        analysis,
+        counters,
+        image,
+        metrics,
+        timings,
+        ..
+    } = session;
+    let missing = |needs| PipelineError::MissingStage {
+        pass: "finish",
+        needs,
+    };
+    Ok(BuildOutput {
+        program: program.ok_or(missing("program"))?,
+        analysis: analysis.ok_or(missing("analysis"))?,
+        image: image.ok_or(missing("image"))?,
+        counters,
+        timings,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int mode; \
+        fn helper(int v) -> int { if (v < 3) { return 1; } return 0; } \
+        fn main() -> int { int x; x = read_int(); mode = x; \
+        if (mode < 5) { print_int(1); } \
+        if (mode < 5) { print_int(2); } \
+        return helper(x); }";
+
+    #[test]
+    fn standard_pipeline_builds_and_verifies() {
+        let out = build_source(
+            SRC,
+            BuildOptions {
+                verify: true,
+                ..BuildOptions::default()
+            },
+        )
+        .expect("pipeline must succeed");
+        assert_eq!(out.analysis.functions.len(), 2);
+        assert!(out.counters.branches >= 3);
+        assert!(out.image.len() > 12);
+        let names: Vec<_> = out.timings.iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            [
+                "parse",
+                "lower",
+                "verify-ir",
+                "alias",
+                "summaries",
+                "analyze-functions",
+                "image",
+                "verify-tables"
+            ]
+        );
+    }
+
+    #[test]
+    fn opt_pass_is_gated_and_named() {
+        let opts = BuildOptions {
+            optimize: true,
+            ..BuildOptions::default()
+        };
+        assert!(PassManager::standard(&opts, true)
+            .pass_names()
+            .contains(&"opt"));
+        let out = build_source(SRC, opts).unwrap();
+        assert!(out.timings.iter().any(|t| t.name == "opt"));
+        assert!(out.metrics.counter("pipeline.loads_forwarded") > 0);
+    }
+
+    #[test]
+    fn threaded_build_is_bit_identical() {
+        let serial = build_source(SRC, BuildOptions::default()).unwrap();
+        for threads in [2, 4, 8] {
+            let par = build_source(
+                SRC,
+                BuildOptions {
+                    threads,
+                    ..BuildOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                serial.image.as_bytes(),
+                par.image.as_bytes(),
+                "{threads} threads"
+            );
+            assert_eq!(serial.counters, par.counters);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        let err = build_source("fn main( {", BuildOptions::default()).unwrap_err();
+        assert!(matches!(err, PipelineError::Compile(_)));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn missing_stage_is_reported_not_panicked() {
+        // An image pass with no analysis behind it: ordering bug, typed error.
+        let manager = PassManager::new().with_pass(ImagePass);
+        let mut session = CompilationSession::from_source(
+            "fn main() -> int { return 0; }",
+            BuildOptions::default(),
+        );
+        let err = manager.run(&mut session).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::MissingStage {
+                pass: "image",
+                needs: "analysis"
+            }
+        ));
+    }
+
+    #[test]
+    fn build_program_skips_front_end() {
+        let program = ipds_ir::parse(SRC).unwrap();
+        let out = build_program(
+            program,
+            BuildOptions {
+                verify: true,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(out.timings.iter().all(|t| t.name != "parse"));
+        assert_eq!(out.analysis.functions.len(), 2);
+    }
+
+    #[test]
+    fn metrics_cover_the_acceptance_counters() {
+        let out = build_source(SRC, BuildOptions::default()).unwrap();
+        // branches seen, correlations found, hash retries, BAT bytes: all
+        // present as pipeline.* keys (retries may legitimately be zero).
+        assert!(out.metrics.counter("pipeline.branches") >= 3);
+        assert!(out.metrics.counter("pipeline.bat_entries") > 0);
+        assert!(out.metrics.counter("pipeline.image_bytes") > 0);
+        let keys: Vec<_> = out.metrics.counters().map(|(k, _)| k).collect();
+        assert!(keys.contains(&"pipeline.hash_retries") || out.counters.hash_retries == 0);
+    }
+}

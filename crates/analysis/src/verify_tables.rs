@@ -1,0 +1,652 @@
+//! Table verification — a static cross-checking pass over the compiler's
+//! emitted artifacts.
+//!
+//! The IPDS hand-off is unforgiving: the hardware trusts the attached tables
+//! completely, so a compiler bug that emits a BAT entry pointing at a
+//! non-existent branch, a hash that collides, or a BCV bit with no action
+//! feeding it silently degrades (or breaks) detection at runtime. This pass
+//! re-derives every invariant the runtime relies on directly from the IR and
+//! the [`ProgramAnalysis`], and proves the serialized [`TableImage`] carries
+//! the same information:
+//!
+//! * every function in the program has exactly one analysis entry, in id
+//!   order, whose branch inventory matches the IR's conditional branches
+//!   (same blocks, same terminator PCs, same order);
+//! * the per-function perfect hash is re-proven: correct base address,
+//!   stored slots match a recomputation, all slots in range and
+//!   **collision-free**;
+//! * every BAT row references live branches (trigger and targets in range),
+//!   is non-empty, and stores no `NoChange` actions (absence encodes `NC`);
+//! * BCV consistency both ways: a directional action may only target a
+//!   checked branch, and every checked branch is fed by at least one BAT
+//!   entry;
+//! * the recorded table sizes match a recomputation from the tables;
+//! * [`TableImage::build`] → [`load`](TableImage::load) round-trips to an
+//!   equal analysis (PCs, slots, BCV, BAT, hash, sizes).
+//!
+//! Violations are reported as typed [`TableVerifyError`]s — never panics —
+//! so `ipdsc build --verify-tables` and the CI gate can name exactly what
+//! was wrong.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use ipds_ir::Program;
+
+use crate::action::BrAction;
+use crate::compile::ProgramAnalysis;
+use crate::encode::table_sizes;
+use crate::image::TableImage;
+
+/// A verification failure: which invariant broke, where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableVerifyError {
+    /// The analysis has a different number of functions than the program.
+    FunctionCount {
+        /// Functions in the IR program.
+        expected: usize,
+        /// Function analyses present.
+        found: usize,
+    },
+    /// An analysis entry is out of id order or labeled with the wrong id.
+    FunctionId {
+        /// Position in the analysis vector.
+        index: usize,
+        /// The `FuncId` stored there.
+        found: u32,
+    },
+    /// A function's branch list disagrees with the IR's conditional
+    /// branches (wrong blocks, wrong order, or wrong count).
+    BranchInventory {
+        /// The offending function.
+        function: String,
+        /// Conditional branches in the IR.
+        expected: usize,
+        /// Branches in the analysis.
+        found: usize,
+    },
+    /// A branch's recorded PC is not its block terminator's PC.
+    BranchPc {
+        /// The offending function.
+        function: String,
+        /// Branch index within the function.
+        branch: u32,
+        /// PC recorded in the tables.
+        stored: u64,
+        /// PC recomputed from the IR.
+        computed: u64,
+    },
+    /// The BCV length differs from the branch count.
+    BcvLength {
+        /// The offending function.
+        function: String,
+        /// Branch count.
+        expected: usize,
+        /// BCV bits present.
+        found: usize,
+    },
+    /// The hash's base address is not the function's code base.
+    HashBase {
+        /// The offending function.
+        function: String,
+        /// Base stored in the hash parameters.
+        stored: u64,
+        /// The function's actual `pc_base`.
+        expected: u64,
+    },
+    /// A branch's stored slot disagrees with the hash recomputation — the
+    /// hash parameters and the slot assignments were not produced together.
+    HashSlot {
+        /// The offending function.
+        function: String,
+        /// Branch index within the function.
+        branch: u32,
+        /// Slot recorded in the tables.
+        stored: u32,
+        /// Slot recomputed from the hash parameters.
+        computed: u32,
+    },
+    /// A stored slot is outside the hash space.
+    HashSlotRange {
+        /// The offending function.
+        function: String,
+        /// Branch index within the function.
+        branch: u32,
+        /// The out-of-range slot.
+        slot: u32,
+    },
+    /// Two branches hash to the same slot — the "perfect" hash is not.
+    HashCollision {
+        /// The offending function.
+        function: String,
+        /// The shared slot.
+        slot: u32,
+        /// PC of the first colliding branch.
+        pc_a: u64,
+        /// PC of the second colliding branch.
+        pc_b: u64,
+    },
+    /// A BAT row's trigger index names no branch.
+    BatTrigger {
+        /// The offending function.
+        function: String,
+        /// The out-of-range trigger index.
+        trigger: u32,
+    },
+    /// A BAT entry's target index names no branch.
+    BatTarget {
+        /// The offending function.
+        function: String,
+        /// The out-of-range target index.
+        target: u32,
+    },
+    /// A BAT row exists but is empty (rows with no entries must be absent).
+    BatEmptyRow {
+        /// The offending function.
+        function: String,
+        /// The row's trigger index.
+        trigger: u32,
+        /// The row's direction.
+        dir: bool,
+    },
+    /// A BAT entry stores `NoChange` (absence encodes `NC`; storing it
+    /// wastes space and signals a broken emitter).
+    BatNoChange {
+        /// The offending function.
+        function: String,
+        /// The row's trigger index.
+        trigger: u32,
+    },
+    /// A directional action targets a branch whose BCV bit is clear — the
+    /// runtime would update a status it never checks, hiding a compiler bug.
+    UncheckedTarget {
+        /// The offending function.
+        function: String,
+        /// The unchecked target's branch index.
+        target: u32,
+    },
+    /// A branch is marked checked but no BAT entry ever feeds its status —
+    /// the runtime would verify against a status nothing maintains.
+    CheckedWithoutAction {
+        /// The offending function.
+        function: String,
+        /// The starved branch's index.
+        target: u32,
+    },
+    /// The recorded table sizes differ from a recomputation.
+    SizeMismatch {
+        /// The offending function.
+        function: String,
+    },
+    /// The serialized image does not round-trip to an equal analysis.
+    ImageRoundTrip {
+        /// What differed (or the load error).
+        detail: String,
+    },
+}
+
+impl fmt::Display for TableVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use TableVerifyError::*;
+        write!(f, "table verification failed: ")?;
+        match self {
+            FunctionCount { expected, found } => {
+                write!(f, "program has {expected} functions, analysis has {found}")
+            }
+            FunctionId { index, found } => {
+                write!(f, "analysis entry {index} carries FuncId {found}")
+            }
+            BranchInventory {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "`{function}`: IR has {expected} conditional branches, tables have {found}"
+            ),
+            BranchPc {
+                function,
+                branch,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "`{function}` branch {branch}: stored pc {stored:#x}, IR terminator at {computed:#x}"
+            ),
+            BcvLength {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "`{function}`: BCV has {found} bits for {expected} branches"
+            ),
+            HashBase {
+                function,
+                stored,
+                expected,
+            } => write!(
+                f,
+                "`{function}`: hash base {stored:#x} but function base {expected:#x}"
+            ),
+            HashSlot {
+                function,
+                branch,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "`{function}` branch {branch}: stored slot {stored}, hash computes {computed}"
+            ),
+            HashSlotRange {
+                function,
+                branch,
+                slot,
+            } => write!(
+                f,
+                "`{function}` branch {branch}: slot {slot} outside the hash space"
+            ),
+            HashCollision {
+                function,
+                slot,
+                pc_a,
+                pc_b,
+            } => write!(
+                f,
+                "`{function}`: branches at {pc_a:#x} and {pc_b:#x} collide in slot {slot}"
+            ),
+            BatTrigger { function, trigger } => {
+                write!(f, "`{function}`: BAT trigger {trigger} names no branch")
+            }
+            BatTarget { function, target } => {
+                write!(f, "`{function}`: BAT target {target} names no branch")
+            }
+            BatEmptyRow {
+                function,
+                trigger,
+                dir,
+            } => write!(
+                f,
+                "`{function}`: BAT row ({trigger}, {dir}) present but empty"
+            ),
+            BatNoChange { function, trigger } => write!(
+                f,
+                "`{function}`: BAT row {trigger} stores a NoChange action"
+            ),
+            UncheckedTarget { function, target } => write!(
+                f,
+                "`{function}`: directional action targets unchecked branch {target}"
+            ),
+            CheckedWithoutAction { function, target } => write!(
+                f,
+                "`{function}`: branch {target} is checked but no BAT entry feeds it"
+            ),
+            SizeMismatch { function } => {
+                write!(f, "`{function}`: recorded table sizes do not recompute")
+            }
+            ImageRoundTrip { detail } => write!(f, "image round-trip: {detail}"),
+        }
+    }
+}
+
+impl Error for TableVerifyError {}
+
+/// Cross-checks an analysis (and its serialized image) against the IR it
+/// claims to describe. Returns the first violation found, scanning functions
+/// in id order.
+///
+/// # Errors
+///
+/// A [`TableVerifyError`] naming the first broken invariant.
+pub fn verify_tables(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+) -> Result<(), TableVerifyError> {
+    if analysis.functions.len() != program.functions.len() {
+        return Err(TableVerifyError::FunctionCount {
+            expected: program.functions.len(),
+            found: analysis.functions.len(),
+        });
+    }
+    for (i, (func, tables)) in program
+        .functions
+        .iter()
+        .zip(&analysis.functions)
+        .enumerate()
+    {
+        if tables.func.0 as usize != i {
+            return Err(TableVerifyError::FunctionId {
+                index: i,
+                found: tables.func.0,
+            });
+        }
+        let function = || tables.name.clone();
+
+        // Branch inventory: the IR's conditional branches, in block order.
+        let expected_blocks: Vec<_> = func
+            .iter_blocks()
+            .filter(|(_, b)| b.term.is_branch())
+            .map(|(id, _)| id)
+            .collect();
+        if expected_blocks.len() != tables.branches.len()
+            || expected_blocks
+                .iter()
+                .zip(&tables.branches)
+                .any(|(id, b)| b.block != *id)
+        {
+            return Err(TableVerifyError::BranchInventory {
+                function: function(),
+                expected: expected_blocks.len(),
+                found: tables.branches.len(),
+            });
+        }
+        for (idx, b) in tables.branches.iter().enumerate() {
+            let computed = func.terminator_pc(b.block);
+            if b.pc != computed {
+                return Err(TableVerifyError::BranchPc {
+                    function: function(),
+                    branch: idx as u32,
+                    stored: b.pc,
+                    computed,
+                });
+            }
+        }
+        if tables.checked.len() != tables.branches.len() {
+            return Err(TableVerifyError::BcvLength {
+                function: function(),
+                expected: tables.branches.len(),
+                found: tables.checked.len(),
+            });
+        }
+
+        // Re-prove the perfect hash instead of trusting it.
+        if tables.hash.pc_base != func.pc_base {
+            return Err(TableVerifyError::HashBase {
+                function: function(),
+                stored: tables.hash.pc_base,
+                expected: func.pc_base,
+            });
+        }
+        let mut slots = HashSet::with_capacity(tables.branches.len());
+        for (idx, b) in tables.branches.iter().enumerate() {
+            let computed = tables.hash.slot(b.pc);
+            if b.slot != computed {
+                return Err(TableVerifyError::HashSlot {
+                    function: function(),
+                    branch: idx as u32,
+                    stored: b.slot,
+                    computed,
+                });
+            }
+            if b.slot >= tables.hash.space() {
+                return Err(TableVerifyError::HashSlotRange {
+                    function: function(),
+                    branch: idx as u32,
+                    slot: b.slot,
+                });
+            }
+            if !slots.insert(b.slot) {
+                let first = tables
+                    .branches
+                    .iter()
+                    .find(|o| o.slot == b.slot)
+                    .expect("colliding slot was inserted");
+                return Err(TableVerifyError::HashCollision {
+                    function: function(),
+                    slot: b.slot,
+                    pc_a: first.pc,
+                    pc_b: b.pc,
+                });
+            }
+        }
+
+        // BAT referential integrity and BCV consistency. Note the BCV checks
+        // are deliberately one-directional set relations, not equality: the
+        // correlate pass computes `checked` from first-pass directional
+        // actions, and region kills may later merge a direction down to
+        // SetUnknown — so a checked branch is guaranteed *some* feeding
+        // entry, but not necessarily a still-directional one.
+        let n = tables.branches.len() as u32;
+        let mut fed = vec![false; tables.branches.len()];
+        for ((trigger, dir), entries) in &tables.bat {
+            if *trigger >= n {
+                return Err(TableVerifyError::BatTrigger {
+                    function: function(),
+                    trigger: *trigger,
+                });
+            }
+            if entries.is_empty() {
+                return Err(TableVerifyError::BatEmptyRow {
+                    function: function(),
+                    trigger: *trigger,
+                    dir: *dir,
+                });
+            }
+            for e in entries {
+                if e.target >= n {
+                    return Err(TableVerifyError::BatTarget {
+                        function: function(),
+                        target: e.target,
+                    });
+                }
+                match e.action {
+                    BrAction::NoChange => {
+                        return Err(TableVerifyError::BatNoChange {
+                            function: function(),
+                            trigger: *trigger,
+                        })
+                    }
+                    BrAction::SetTaken | BrAction::SetNotTaken => {
+                        if !tables.checked[e.target as usize] {
+                            return Err(TableVerifyError::UncheckedTarget {
+                                function: function(),
+                                target: e.target,
+                            });
+                        }
+                    }
+                    BrAction::SetUnknown => {}
+                }
+                fed[e.target as usize] = true;
+            }
+        }
+        for (idx, (&checked, &fed)) in tables.checked.iter().zip(&fed).enumerate() {
+            if checked && !fed {
+                return Err(TableVerifyError::CheckedWithoutAction {
+                    function: function(),
+                    target: idx as u32,
+                });
+            }
+        }
+
+        let recomputed = table_sizes(&tables.bat, &tables.branches, &tables.hash);
+        if recomputed != tables.sizes {
+            return Err(TableVerifyError::SizeMismatch {
+                function: function(),
+            });
+        }
+    }
+
+    verify_image_roundtrip(analysis)
+}
+
+/// Proves the serialized image carries the whole analysis: build → load →
+/// compare every field the runtime consumes.
+fn verify_image_roundtrip(analysis: &ProgramAnalysis) -> Result<(), TableVerifyError> {
+    let image = TableImage::build(analysis);
+    let loaded = image.load().map_err(|e| TableVerifyError::ImageRoundTrip {
+        detail: e.to_string(),
+    })?;
+    let mismatch = |detail: String| TableVerifyError::ImageRoundTrip { detail };
+    if loaded.functions.len() != analysis.functions.len() {
+        return Err(mismatch(format!(
+            "loaded {} functions, built from {}",
+            loaded.functions.len(),
+            analysis.functions.len()
+        )));
+    }
+    for (orig, back) in analysis.functions.iter().zip(&loaded.functions) {
+        // Names and block ids are deliberately not stored in the image; the
+        // runtime-relevant fields must survive exactly.
+        let pcs_match = orig.branches.len() == back.branches.len()
+            && orig
+                .branches
+                .iter()
+                .zip(&back.branches)
+                .all(|(a, b)| a.pc == b.pc && a.slot == b.slot);
+        if !pcs_match {
+            return Err(mismatch(format!(
+                "`{}`: branch PCs/slots differ",
+                orig.name
+            )));
+        }
+        if orig.checked != back.checked {
+            return Err(mismatch(format!("`{}`: BCV differs", orig.name)));
+        }
+        if orig.bat != back.bat {
+            return Err(mismatch(format!("`{}`: BAT differs", orig.name)));
+        }
+        if orig.hash != back.hash {
+            return Err(mismatch(format!("`{}`: hash params differ", orig.name)));
+        }
+        if orig.sizes != back.sizes {
+            return Err(mismatch(format!("`{}`: sizes differ", orig.name)));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{analyze_program, AnalysisConfig};
+    use crate::tables::BatEntry;
+
+    fn setup() -> (Program, ProgramAnalysis) {
+        let p = ipds_ir::parse(
+            "int mode; \
+             fn helper(int v) -> int { if (v < 3) { return 1; } return 0; } \
+             fn main() -> int { int x; x = read_int(); mode = x; \
+             if (mode < 5) { print_int(1); } \
+             if (mode < 5) { print_int(2); } \
+             return helper(x); }",
+        )
+        .unwrap();
+        let a = analyze_program(&p, &AnalysisConfig::default());
+        (p, a)
+    }
+
+    #[test]
+    fn clean_analysis_verifies() {
+        let (p, a) = setup();
+        verify_tables(&p, &a).expect("compiler output must verify");
+    }
+
+    #[test]
+    fn corrupted_bat_target_is_caught() {
+        let (p, mut a) = setup();
+        let f = a
+            .functions
+            .iter_mut()
+            .find(|f| !f.bat.is_empty())
+            .expect("some function has correlations");
+        let row = f.bat.values_mut().next().unwrap();
+        row[0] = BatEntry {
+            target: 1000,
+            action: row[0].action,
+        };
+        assert!(matches!(
+            verify_tables(&p, &a),
+            Err(TableVerifyError::BatTarget { target: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn forged_hash_is_caught() {
+        let (p, mut a) = setup();
+        let f = a
+            .functions
+            .iter_mut()
+            .find(|f| f.branches.len() > 1)
+            .expect("some function has branches");
+        // Forge the hash space down to one slot: every branch now recomputes
+        // to slot 0, but the stored (distinct) slots include a nonzero one.
+        f.hash.log2_size = 0;
+        let err = verify_tables(&p, &a).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TableVerifyError::HashSlot { .. } | TableVerifyError::HashCollision { .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn dropped_branch_is_caught() {
+        let (p, mut a) = setup();
+        let f = a
+            .functions
+            .iter_mut()
+            .find(|f| !f.branches.is_empty())
+            .unwrap();
+        f.branches.pop();
+        f.checked.pop();
+        assert!(matches!(
+            verify_tables(&p, &a),
+            Err(TableVerifyError::BranchInventory { .. })
+        ));
+    }
+
+    #[test]
+    fn starved_checked_bit_is_caught() {
+        let (p, mut a) = setup();
+        let f = a.functions.iter_mut().find(|f| !f.bat.is_empty()).unwrap();
+        // Mark every branch checked but clear the BAT: checked bits now have
+        // nothing feeding them.
+        f.bat.clear();
+        for c in f.checked.iter_mut() {
+            *c = true;
+        }
+        let sizes = table_sizes(&f.bat, &f.branches, &f.hash);
+        f.sizes = sizes;
+        assert!(matches!(
+            verify_tables(&p, &a),
+            Err(TableVerifyError::CheckedWithoutAction { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_sizes_are_caught() {
+        let (p, mut a) = setup();
+        let f = a.functions.iter_mut().find(|f| !f.bat.is_empty()).unwrap();
+        f.sizes.bat_bits += 8;
+        assert!(matches!(
+            verify_tables(&p, &a),
+            Err(TableVerifyError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_function_count_is_caught() {
+        let (p, mut a) = setup();
+        a.functions.pop();
+        assert!(matches!(
+            verify_tables(&p, &a),
+            Err(TableVerifyError::FunctionCount { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_never_panic_on_garbage() {
+        // Feed in an analysis whose every field is wrong for the program;
+        // the verifier must return errors, not panic, whatever the state.
+        let (p, a) = setup();
+        let other = ipds_ir::parse("fn main() -> int { return 0; }").unwrap();
+        assert!(verify_tables(&other, &a).is_err());
+        let empty = ProgramAnalysis {
+            functions: Vec::new(),
+        };
+        assert!(verify_tables(&p, &empty).is_err());
+    }
+}

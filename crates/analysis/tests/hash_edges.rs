@@ -1,0 +1,84 @@
+//! Edge-case coverage for the perfect-hash search (§5.2).
+
+use ipds_analysis::{find_perfect_hash, find_perfect_hash_counted, HashParams, PerfectHashError};
+
+#[test]
+fn zero_branches_gets_the_unit_space() {
+    let (p, retries) = find_perfect_hash_counted(&[], 0x4000, 24).unwrap();
+    assert_eq!(retries, 0, "nothing to reject");
+    assert_eq!(p.space(), 1);
+    assert_eq!(p.slot_bits(), 1, "a slot name still needs one bit");
+    assert_eq!(p.pc_base, 0x4000);
+}
+
+#[test]
+fn one_branch_hashes_first_try_anywhere() {
+    // A single key can never collide: the very first candidate must win,
+    // whatever the PC and base.
+    for (base, pc) in [(0u64, 0u64), (0x1000, 0x1000), (0x1000, 0x1ffc), (8, 4096)] {
+        let (p, retries) = find_perfect_hash_counted(&[pc], base, 24).unwrap();
+        assert_eq!(retries, 0, "pc {pc:#x} base {base:#x}");
+        assert!(p.slot(pc) < p.space());
+        assert_eq!(p.log2_size, 1, "minimum space is 2 slots");
+    }
+}
+
+#[test]
+fn identity_degeneration_always_terminates() {
+    // The guarantee the search leans on: once 2^log2_size exceeds the
+    // largest instruction index, shifts (0, 0) degenerate to the identity
+    // (x ^ x ^ x = x), which cannot collide on distinct keys. Adversarial
+    // key sets must therefore always resolve within that bound.
+    let base = 0u64;
+    for stride in [16u64, 64, 256, 1024] {
+        let pcs: Vec<u64> = (0..32).map(|i| base + 4 * i * stride).collect();
+        let max_index = (pcs[pcs.len() - 1] - base) >> 2;
+        let identity_log2 = 64 - max_index.leading_zeros();
+        let p = find_perfect_hash(&pcs, base, identity_log2).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for &pc in &pcs {
+            assert!(seen.insert(p.slot(pc)), "collision at stride {stride}");
+        }
+        assert!(p.log2_size <= identity_log2);
+    }
+}
+
+#[test]
+fn tiny_cap_yields_typed_error_with_the_facts() {
+    // 32 distinct keys cannot fit in 2^4 = 16 slots: pigeonhole, not a
+    // search shortfall. The error must carry both numbers.
+    let pcs: Vec<u64> = (0..32).map(|i| 4 * i * 37).collect();
+    let e = find_perfect_hash(&pcs, 0, 4).unwrap_err();
+    assert_eq!(
+        e,
+        PerfectHashError {
+            keys: 32,
+            max_log2: 4
+        }
+    );
+    assert!(e.to_string().contains("32 branches"));
+    assert!(e.to_string().contains("2^4"));
+}
+
+#[test]
+fn counted_and_plain_searches_agree() {
+    let pcs: Vec<u64> = [3u64, 9, 11, 40, 77, 200].iter().map(|i| 4 * i).collect();
+    let plain = find_perfect_hash(&pcs, 0, 20).unwrap();
+    let (counted, _) = find_perfect_hash_counted(&pcs, 0, 20).unwrap();
+    assert_eq!(plain, counted);
+}
+
+#[test]
+fn slot_is_masked_into_space_even_for_foreign_pcs() {
+    // The runtime hashes whatever PC traps; slots must stay in range even
+    // for PCs the compiler never saw (they just won't be checked).
+    let p = HashParams {
+        shift1: 3,
+        shift2: 7,
+        log2_size: 5,
+        pc_base: 0x1000,
+    };
+    for pc in [0u64, 0x0fff, 0x1000, 0xffff_ffff_ffff_fffc] {
+        assert!(p.slot(pc) < p.space());
+    }
+}

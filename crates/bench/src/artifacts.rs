@@ -21,7 +21,9 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
+use ipds::analysis::AnalysisCounters;
 use ipds::{Config, GoldenRun, Protected};
 use ipds_sim::{ExecLimits, Input};
 use ipds_telemetry::phases;
@@ -40,6 +42,34 @@ pub struct CampaignArtifacts {
     pub limits: ExecLimits,
 }
 
+/// Per-pass compile record for one workload variant, kept alongside the
+/// cached [`Protected`] so `exp_all` can report how compile time splits
+/// across the pass pipeline (and how hard the perfect-hash search worked).
+#[derive(Clone)]
+pub struct CompileReport {
+    /// Workload name.
+    pub workload: &'static str,
+    /// `Debug` fingerprint of the analysis config this variant used.
+    pub config: String,
+    /// Whether the load-forwarding optimizer ran.
+    pub optimized: bool,
+    /// Wall-clock seconds per pipeline pass, in execution order.
+    pub passes: Vec<(&'static str, f64)>,
+    /// Analysis counters (branches, checked, BAT entries, hash retries).
+    pub counters: AnalysisCounters,
+    /// Serialized table-image size in bytes.
+    pub image_bytes: usize,
+    /// Encoded BAT size across all functions, in bytes (rounded up).
+    pub bat_bytes: usize,
+}
+
+/// Pass names that belong to the front half of the pipeline; everything
+/// else is analysis. Keeps the long-standing aggregate `compile` /
+/// `analyze` phase keys stable while the per-pass children are new.
+fn is_front_end_pass(name: &str) -> bool {
+    matches!(name, "parse" | "lower" | "verify-ir" | "opt")
+}
+
 /// Level-1 key: workload name, analysis fingerprint, optimizer on/off.
 type ProtectedKey = (&'static str, String, bool);
 /// Level-2 key: workload name, optimizer on/off, input seed.
@@ -48,7 +78,7 @@ type GoldenEntry = (Arc<Vec<Input>>, Arc<GoldenRun>, ExecLimits);
 
 #[derive(Default)]
 struct Inner {
-    protected: HashMap<ProtectedKey, Arc<Protected>>,
+    protected: HashMap<ProtectedKey, (Arc<Protected>, Arc<CompileReport>)>,
     golden: HashMap<GoldenKey, GoldenEntry>,
 }
 
@@ -58,22 +88,70 @@ fn cache() -> &'static Mutex<Inner> {
 }
 
 /// Compiles (or fetches) the workload under `config`, optionally running
-/// the block-local load-forwarding pass first.
+/// the block-local load-forwarding pass first. Compilation goes through
+/// the full pass pipeline so every bench compile is timed per pass and
+/// verified (`verify-tables`) before any campaign consumes its tables.
 pub fn protected(w: &Workload, config: &Config, optimize: bool) -> Arc<Protected> {
+    compile(w, config, optimize).0
+}
+
+/// Fetches the per-pass compile report for a workload variant, compiling
+/// it first if no campaign has touched it yet.
+pub fn compile_report(w: &Workload, config: &Config, optimize: bool) -> Arc<CompileReport> {
+    compile(w, config, optimize).1
+}
+
+fn compile(w: &Workload, config: &Config, optimize: bool) -> (Arc<Protected>, Arc<CompileReport>) {
     let key = (w.name, format!("{config:?}"), optimize);
     let mut inner = cache().lock().unwrap();
-    if let Some(p) = inner.protected.get(&key) {
-        return Arc::clone(p);
+    if let Some((p, r)) = inner.protected.get(&key) {
+        return (Arc::clone(p), Arc::clone(r));
     }
-    let mut program = phases().time("compile", || w.program());
-    if optimize {
-        ipds_ir::opt::forward_loads(&mut program);
+    let gen_start = Instant::now();
+    let program = w.program();
+    let gen_secs = gen_start.elapsed().as_secs_f64();
+    let build = Protected::build()
+        .config(config.clone())
+        .optimize(optimize)
+        .threads(ipds_sim::default_threads())
+        .verify_tables(true)
+        .from_program(program)
+        .unwrap_or_else(|e| panic!("{} failed to build: {e}", w.name));
+    // Fold the pass timings into the process-wide phase recorder: the
+    // aggregate `compile` / `analyze` keys keep their historical meaning,
+    // and each pass additionally appears as a `compile.<pass>` child.
+    phases().add("compile", gen_secs);
+    phases().add("compile.workload-gen", gen_secs);
+    for span in &build.timings {
+        let aggregate = if is_front_end_pass(span.name) {
+            "compile"
+        } else {
+            "analyze"
+        };
+        phases().add(aggregate, span.seconds);
+        phases().add(&format!("compile.{}", span.name), span.seconds);
     }
-    let p = phases().time("analyze", || {
-        Arc::new(Protected::from_program(program, config))
+    let bat_bits: usize = build
+        .protected
+        .analysis
+        .functions
+        .iter()
+        .map(|f| f.sizes.bat_bits)
+        .sum();
+    let report = Arc::new(CompileReport {
+        workload: w.name,
+        config: key.1.clone(),
+        optimized: optimize,
+        passes: build.timings.iter().map(|s| (s.name, s.seconds)).collect(),
+        counters: build.counters,
+        image_bytes: build.image.len(),
+        bat_bytes: bat_bits.div_ceil(8),
     });
-    inner.protected.insert(key, Arc::clone(&p));
-    p
+    let p = Arc::new(build.protected);
+    inner
+        .protected
+        .insert(key, (Arc::clone(&p), Arc::clone(&report)));
+    (p, report)
 }
 
 /// Fetches the full artifact bundle for a workload variant and input seed,
@@ -157,6 +235,33 @@ mod tests {
             "golden run must be reused across analysis variants"
         );
         assert!(!Arc::ptr_eq(&full.protected, &no_store.protected));
+    }
+
+    #[test]
+    fn compile_reports_expose_per_pass_timings() {
+        let w = telnetd();
+        let r = compile_report(&w, &Config::default(), false);
+        let names: Vec<_> = r.passes.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "verify-ir",
+                "alias",
+                "summaries",
+                "analyze-functions",
+                "image",
+                "verify-tables"
+            ]
+        );
+        assert!(r.counters.branches > 0, "telnetd has branches");
+        assert!(r.image_bytes > 0, "image must be serialized");
+        let again = compile_report(&w, &Config::default(), false);
+        assert!(Arc::ptr_eq(&r, &again), "report must be cached");
+        let optimized = compile_report(&w, &Config::default(), true);
+        assert!(
+            optimized.passes.iter().any(|(n, _)| *n == "opt"),
+            "optimized variant must run the opt pass"
+        );
     }
 
     #[test]

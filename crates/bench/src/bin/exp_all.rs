@@ -84,7 +84,10 @@ fn main() {
         overhead.percent, overhead.bare_aps, overhead.instrumented_aps
     );
     let counters = campaign_counters(attacks.min(50));
-    match write_bench_json(attacks, threads, &wall, &scaling, &overhead, &counters) {
+    let compiles = compile_reports();
+    match write_bench_json(
+        attacks, threads, &wall, &scaling, &overhead, &counters, &compiles,
+    ) {
         Ok(path) => println!("campaign throughput written to {path}"),
         Err(e) => eprintln!("warning: could not write bench_campaign.json: {e}"),
     }
@@ -221,10 +224,28 @@ fn campaign_counters(attacks: u32) -> CounterSnapshot {
     sink.snapshot()
 }
 
+/// Per-pass compile breakdown for every workload under the default config,
+/// both optimizer settings. The earlier figures already compiled all of
+/// these through the pass pipeline, so this only reads the artifact cache.
+fn compile_reports() -> Vec<std::sync::Arc<ipds_bench::artifacts::CompileReport>> {
+    let config = ipds::Config::default();
+    let mut reports = Vec::new();
+    for w in ipds_workloads::all() {
+        for optimized in [false, true] {
+            reports.push(ipds_bench::artifacts::compile_report(
+                &w, &config, optimized,
+            ));
+        }
+    }
+    reports
+}
+
 /// Emits `results/bench_campaign.json`: thread count, per-phase wall-clock,
-/// the headline attacks/sec of the Fig. 7 campaign, the pipeline spans the
-/// telemetry layer recorded (compile → analyze → golden → campaign), the
-/// NullSink overhead measurement and one campaign's event counters.
+/// the headline attacks/sec of the Fig. 7 campaign, the per-workload
+/// compile breakdown (per-pass seconds, hash retries, BAT entries, image
+/// bytes), the pipeline spans the telemetry layer recorded
+/// (compile → analyze → golden → campaign, with `compile.<pass>` children),
+/// the NullSink overhead measurement and one campaign's event counters.
 fn write_bench_json(
     attacks: u32,
     threads: usize,
@@ -232,6 +253,7 @@ fn write_bench_json(
     scaling: &[Scaling],
     overhead: &Overhead,
     counters: &CounterSnapshot,
+    compiles: &[std::sync::Arc<ipds_bench::artifacts::CompileReport>],
 ) -> std::io::Result<String> {
     let workloads = ipds_workloads::all().len() as u32;
     let fig7_seconds = wall
@@ -271,6 +293,32 @@ fn write_bench_json(
             "    {{ \"name\": \"{}\", \"seconds\": {:.6} }}{comma}\n",
             p.name, p.seconds
         ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"compile\": [\n");
+    for (i, r) in compiles.iter().enumerate() {
+        let comma = if i + 1 < compiles.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"optimized\": {}, \"image_bytes\": {}, \
+             \"bat_bytes\": {}, \"branches\": {}, \"checked\": {}, \"bat_entries\": {}, \
+             \"hash_retries\": {},\n",
+            r.workload,
+            r.optimized,
+            r.image_bytes,
+            r.bat_bytes,
+            r.counters.branches,
+            r.counters.checked,
+            r.counters.bat_entries,
+            r.counters.hash_retries
+        ));
+        json.push_str("      \"passes\": [\n");
+        for (j, (name, seconds)) in r.passes.iter().enumerate() {
+            let pcomma = if j + 1 < r.passes.len() { "," } else { "" };
+            json.push_str(&format!(
+                "        {{ \"name\": \"{name}\", \"seconds\": {seconds:.6} }}{pcomma}\n"
+            ));
+        }
+        json.push_str(&format!("      ] }}{comma}\n"));
     }
     json.push_str("  ],\n");
     json.push_str("  \"telemetry\": {\n");

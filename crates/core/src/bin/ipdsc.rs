@@ -2,12 +2,22 @@
 //!
 //! ```text
 //! ipdsc compile FILE [--dump]           parse + analyze, print table summary
+//! ipdsc build (FILE | --workloads) [--threads N] [--optimize] [--timings]
+//!             [--verify-tables] [--determinism]   explicit pass pipeline
 //! ipdsc run FILE [--input LIST] [--events FILE]   run under IPDS checking
 //! ipdsc attack FILE --var NAME --value V --step N [--input LIST] [--events FILE]
 //! ipdsc campaign FILE [--attacks N] [--seed S] [--model fs|boa|block] [--input LIST]
 //! ipdsc time FILE [--input LIST]        cycle model, baseline vs IPDS
 //! ipdsc trace FILE [--input LIST] [--limit N]   per-branch check trace
 //! ```
+//!
+//! `build` drives the explicit pass pipeline: `--threads N` shards the
+//! per-function analysis (output is bit-identical to serial), `--timings`
+//! prints per-pass wall-clock spans, `--verify-tables` appends the
+//! table-verification pass, and `--determinism` proves serial and threaded
+//! builds emit byte-identical images. `--workloads` builds every bundled
+//! workload under **both** optimizer settings instead of reading a file —
+//! the CI gate.
 //!
 //! `--input` is a comma-separated list; bare integers become `read_int`
 //! items, `s:text` becomes a `read_str` item. Example:
@@ -37,6 +47,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
+    if cmd == "build" {
+        return build_cmd(&args[1..]);
+    }
     let Some(file) = args.get(1) else {
         return Err(usage());
     };
@@ -75,9 +88,120 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: ipdsc <compile|run|attack|campaign|time|trace> FILE [options]\n\
+    "usage: ipdsc <compile|build|run|attack|campaign|time|trace> FILE [options]\n\
+     (build also accepts --workloads instead of FILE)\n\
      see `ipdsc` module docs for options"
         .to_string()
+}
+
+/// `ipdsc build`: the explicit pass pipeline over a file or every bundled
+/// workload.
+fn build_cmd(args: &[String]) -> Result<(), String> {
+    let threads = parse_num(args, "--threads").unwrap_or(1).max(1) as usize;
+    let timings = has_flag(args, "--timings");
+    let verify = has_flag(args, "--verify-tables");
+    let determinism = has_flag(args, "--determinism");
+
+    if has_flag(args, "--workloads") {
+        let mut total_image_bytes = 0usize;
+        for w in ipds::workloads::all() {
+            for optimized in [false, true] {
+                let build = build_one(
+                    |spec| spec.from_program(w.program()),
+                    optimized,
+                    threads,
+                    verify,
+                    determinism,
+                    &format!("{} (opt={optimized})", w.name),
+                    timings,
+                )?;
+                total_image_bytes += build.image.len();
+            }
+        }
+        println!(
+            "built {} workloads x 2 optimizer settings, {total_image_bytes} image bytes total{}{}",
+            ipds::workloads::all().len(),
+            if verify { ", tables verified" } else { "" },
+            if determinism {
+                ", serial/threaded byte-identical"
+            } else {
+                ""
+            },
+        );
+        return Ok(());
+    }
+
+    let file = args
+        .iter()
+        .find(|&a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or_else(usage)?;
+    let source = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let optimized = has_flag(args, "--optimize");
+    build_one(
+        |spec| spec.compile(&source),
+        optimized,
+        threads,
+        verify,
+        determinism,
+        file,
+        timings,
+    )?;
+    Ok(())
+}
+
+/// True if `arg` is the value slot of a value-taking flag (e.g. the `4` of
+/// `--threads 4`), so the positional-FILE scan skips it.
+fn is_flag_value(args: &[String], arg: &String) -> bool {
+    args.iter()
+        .position(|a| std::ptr::eq(a, arg))
+        .and_then(|i| i.checked_sub(1))
+        .and_then(|i| args.get(i))
+        .is_some_and(|prev| prev == "--threads")
+}
+
+/// Builds one program through the pipeline, printing a summary (and
+/// per-pass timings / determinism proof when asked). `run` finishes a
+/// configured spec from whatever front end the caller has (source text or a
+/// prebuilt program), so the determinism check can rebuild at other thread
+/// counts.
+fn build_one(
+    run: impl Fn(ipds::BuildSpec) -> Result<ipds::Build, ipds::Error>,
+    optimized: bool,
+    threads: usize,
+    verify: bool,
+    determinism: bool,
+    label: &str,
+    timings: bool,
+) -> Result<ipds::Build, String> {
+    let spec = || Protected::build().optimize(optimized).verify_tables(verify);
+    let build = run(spec().threads(threads)).map_err(|e| format!("{label}: {e}"))?;
+    println!(
+        "{label}: {} functions, {} branches ({} checked), {} BAT entries, {} hash retries, image {} bytes",
+        build.protected.analysis.functions.len(),
+        build.counters.branches,
+        build.counters.checked,
+        build.counters.bat_entries,
+        build.counters.hash_retries,
+        build.image.len(),
+    );
+    if timings {
+        for span in &build.timings {
+            println!("  {:<18} {:>9.3} ms", span.name, span.seconds * 1e3);
+        }
+    }
+    if determinism {
+        // Prove the parallel analysis is bit-identical: serial vs a
+        // deliberately oversubscribed thread count.
+        let serial = run(spec().threads(1)).map_err(|e| format!("{label}: {e}"))?;
+        let wide = run(spec().threads(threads.max(4))).map_err(|e| format!("{label}: {e}"))?;
+        if serial.image.as_bytes() != wide.image.as_bytes() {
+            return Err(format!(
+                "{label}: DETERMINISM VIOLATION — serial and {}-thread images differ",
+                threads.max(4)
+            ));
+        }
+    }
+    Ok(build)
 }
 
 fn has_flag(args: &[String], name: &str) -> bool {

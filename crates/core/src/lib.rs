@@ -70,14 +70,19 @@
 
 use std::fmt;
 
-use ipds_analysis::{analyze_program, AnalysisConfig, ProgramAnalysis};
+use ipds_analysis::pipeline::{build_program, build_source, BuildOptions, BuildOutput};
+use ipds_analysis::{
+    analyze_program, AnalysisConfig, AnalysisCounters, ProgramAnalysis, TableImage,
+};
 use ipds_ir::{CompileError, Program, VarId};
 use ipds_runtime::{Alarm, HwConfig, IpdsChecker, IpdsStats};
 use ipds_sim::pipeline::core::{timed_run, timed_run_metered};
 use ipds_sim::{AttackModel, Campaign, ExecLimits, ExecStatus, Interp, IpdsObserver, PerfReport};
 use ipds_telemetry::{EventSink, MetricsRegistry, NullSink, NULL_SINK};
 
-pub use ipds_analysis::{self as analysis, BrAction, BranchStatus, SizeStats};
+pub use ipds_analysis::{
+    self as analysis, BrAction, BranchStatus, PassSpan, PipelineError, SizeStats, TableVerifyError,
+};
 pub use ipds_dataflow as dataflow;
 pub use ipds_ir::{self as ir};
 pub use ipds_runtime::{self as runtime};
@@ -100,6 +105,8 @@ pub enum Error {
     Compile(CompileError),
     /// A tamper specification was invalid.
     Tamper(TamperError),
+    /// The pass pipeline failed (hash search, table verification, ordering).
+    Pipeline(PipelineError),
 }
 
 impl fmt::Display for Error {
@@ -107,6 +114,7 @@ impl fmt::Display for Error {
         match self {
             Error::Compile(e) => write!(f, "compile error: {e}"),
             Error::Tamper(e) => write!(f, "tamper error: {e}"),
+            Error::Pipeline(e) => write!(f, "pipeline error: {e}"),
         }
     }
 }
@@ -116,6 +124,7 @@ impl std::error::Error for Error {
         match self {
             Error::Compile(e) => Some(e),
             Error::Tamper(e) => Some(e),
+            Error::Pipeline(e) => Some(e),
         }
     }
 }
@@ -129,6 +138,17 @@ impl From<CompileError> for Error {
 impl From<TamperError> for Error {
     fn from(e: TamperError) -> Error {
         Error::Tamper(e)
+    }
+}
+
+impl From<PipelineError> for Error {
+    fn from(e: PipelineError) -> Error {
+        // Front-end failures keep their original facade variant so existing
+        // `Error::Compile` matches continue to work.
+        match e {
+            PipelineError::Compile(c) => Error::Compile(c),
+            other => Error::Pipeline(other),
+        }
     }
 }
 
@@ -216,6 +236,27 @@ impl Protected {
     pub fn from_program(program: Program, config: &AnalysisConfig) -> Protected {
         let analysis = analyze_program(&program, config);
         Protected { program, analysis }
+    }
+
+    /// Starts configuring a build through the explicit pass pipeline —
+    /// per-pass timings, threaded per-function analysis, optional
+    /// table verification. Defaults: default analysis config, optimizer
+    /// off, serial, no verification.
+    ///
+    /// ```
+    /// # fn main() -> Result<(), ipds::Error> {
+    /// let build = ipds::Protected::build()
+    ///     .threads(4)
+    ///     .verify_tables(true)
+    ///     .compile("fn main() -> int { return 0; }")?;
+    /// assert!(!build.timings.is_empty());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn build() -> BuildSpec {
+        BuildSpec {
+            options: BuildOptions::default(),
+        }
     }
 
     /// Starts configuring a single protected execution. Defaults: no
@@ -359,54 +400,6 @@ impl Protected {
             .run()
     }
 
-    /// Runs a seeded attack campaign across `threads` worker threads.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `campaign_spec().inputs(..).attacks(..).seed(..).model(..).threads(..).run()`"
-    )]
-    pub fn campaign_threaded(
-        &self,
-        inputs: &[Input],
-        attacks: u32,
-        seed: u64,
-        model: AttackModel,
-        threads: usize,
-    ) -> CampaignResult {
-        self.campaign_spec()
-            .inputs(inputs)
-            .attacks(attacks)
-            .seed(seed)
-            .model(model)
-            .threads(threads)
-            .run()
-    }
-
-    /// Runs a campaign against a precomputed golden run.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `campaign_spec().golden(golden, limits)` with the other knobs as builder calls"
-    )]
-    #[allow(clippy::too_many_arguments)] // the shim mirrors the old signature
-    pub fn campaign_with_golden(
-        &self,
-        inputs: &[Input],
-        golden: &GoldenRun,
-        limits: ExecLimits,
-        attacks: u32,
-        seed: u64,
-        model: AttackModel,
-        threads: usize,
-    ) -> CampaignResult {
-        self.campaign_spec()
-            .inputs(inputs)
-            .golden(golden, limits)
-            .attacks(attacks)
-            .seed(seed)
-            .model(model)
-            .threads(threads)
-            .run()
-    }
-
     /// Captures the golden (clean) run once and derives the campaign
     /// execution limits from it — a tampered run that loops cannot drag a
     /// campaign out indefinitely. The golden run is valid under the derived
@@ -459,6 +452,91 @@ impl Protected {
     /// Table-size statistics over this program (the Fig. 8 quantities).
     pub fn size_stats(&self) -> SizeStats {
         SizeStats::collect(&self.analysis)
+    }
+}
+
+/// Builder for a pipeline build (see [`Protected::build`]).
+#[derive(Debug, Clone, Default)]
+pub struct BuildSpec {
+    options: BuildOptions,
+}
+
+impl BuildSpec {
+    /// Analysis tuning (ablation switches, hash-space cap).
+    pub fn config(mut self, config: AnalysisConfig) -> Self {
+        self.options.config = config;
+        self
+    }
+
+    /// Run the load-forwarding optimizer before analysis (default off).
+    pub fn optimize(mut self, on: bool) -> Self {
+        self.options.optimize = on;
+        self
+    }
+
+    /// Worker threads for per-function analysis (default 1 = serial; the
+    /// output is bit-identical for every thread count).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Append the `verify-tables` pass: cross-check the emitted tables and
+    /// image against the IR (default off).
+    pub fn verify_tables(mut self, on: bool) -> Self {
+        self.options.verify = on;
+        self
+    }
+
+    /// Compiles MiniC source through the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Compile`] for front-end failures, [`Error::Pipeline`] for
+    /// hash-search or table-verification failures.
+    pub fn compile(self, source: &str) -> Result<Build, Error> {
+        Ok(Build::from_output(build_source(source, self.options)?))
+    }
+
+    /// Runs the pipeline (minus the front end) over an existing IR program.
+    ///
+    /// # Errors
+    ///
+    /// See [`BuildSpec::compile`].
+    pub fn from_program(self, program: Program) -> Result<Build, Error> {
+        Ok(Build::from_output(build_program(program, self.options)?))
+    }
+}
+
+/// A finished pipeline build: the [`Protected`] program plus the artifacts
+/// and diagnostics the plain constructors discard.
+#[derive(Debug)]
+pub struct Build {
+    /// The compiled-and-analyzed program, ready to run.
+    pub protected: Protected,
+    /// The serialized table image (what would be attached to the binary).
+    pub image: TableImage,
+    /// Work counters summed over all functions (branches, checked,
+    /// BAT entries, hash retries).
+    pub counters: AnalysisCounters,
+    /// Per-pass wall-clock spans, in execution order.
+    pub timings: Vec<PassSpan>,
+    /// Pass-scoped counters (`pipeline.*` keys).
+    pub metrics: MetricsRegistry,
+}
+
+impl Build {
+    fn from_output(out: BuildOutput) -> Build {
+        Build {
+            protected: Protected {
+                program: out.program,
+                analysis: out.analysis,
+            },
+            image: out.image,
+            counters: out.counters,
+            timings: out.timings,
+            metrics: out.metrics,
+        }
     }
 }
 
@@ -763,30 +841,37 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_agree_with_builder() {
-        let p = Protected::compile(SRC).unwrap();
-        let inputs = [Input::Int(0), Input::Int(9)];
-        let via_builder = p
-            .campaign_spec()
-            .inputs(&inputs)
-            .attacks(15)
-            .seed(7)
-            .threads(2)
-            .run();
-        let via_shim = p.campaign_threaded(&inputs, 15, 7, AttackModel::FormatString, 2);
-        assert_eq!(via_builder, via_shim);
-        let (golden, limits) = p.campaign_artifacts(&inputs);
-        let via_golden_shim = p.campaign_with_golden(
-            &inputs,
-            &golden,
-            limits,
-            15,
-            7,
-            AttackModel::FormatString,
-            2,
+    fn pipeline_build_matches_plain_compile() {
+        let plain = Protected::compile(SRC).unwrap();
+        let build = Protected::build().verify_tables(true).compile(SRC).unwrap();
+        assert_eq!(
+            TableImage::build(&plain.analysis).as_bytes(),
+            build.image.as_bytes(),
+            "pipeline and plain compile must emit identical tables"
         );
-        assert_eq!(via_builder, via_golden_shim);
+        assert!(build.counters.branches > 0);
+        assert!(build.timings.iter().any(|t| t.name == "verify-tables"));
+        // Same behavior end to end.
+        let inputs = [Input::Int(0), Input::Int(9)];
+        assert_eq!(
+            plain.run(&inputs).output,
+            build.protected.run(&inputs).output
+        );
+    }
+
+    #[test]
+    fn pipeline_build_threads_are_bit_identical() {
+        let serial = Protected::build().compile(SRC).unwrap();
+        for threads in [2, 8] {
+            let par = Protected::build().threads(threads).compile(SRC).unwrap();
+            assert_eq!(serial.image.as_bytes(), par.image.as_bytes());
+        }
+    }
+
+    #[test]
+    fn pipeline_front_end_errors_stay_compile_errors() {
+        let err = Protected::build().compile("fn main( {").unwrap_err();
+        assert!(matches!(err, Error::Compile(_)));
     }
 
     #[test]

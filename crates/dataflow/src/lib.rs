@@ -32,3 +32,29 @@ pub use anchor::{find_anchors, AnchorKind, BranchAnchor};
 pub use memvar::MemVar;
 pub use range::Range;
 pub use summary::{CallEffect, Summaries};
+
+use ipds_ir::Program;
+
+/// The whole-program facts the correlation pass consumes, bundled so the
+/// compiler pipeline can treat "alias" and "summaries" as staged passes with
+/// one typed hand-off.
+///
+/// Order matters: summaries are computed *over* the alias results. The
+/// pipeline runs them as separate named passes; [`Facts::compute`] is the
+/// one-shot form the plain drivers use.
+#[derive(Debug)]
+pub struct Facts {
+    /// Flow-insensitive points-to results and per-access classification.
+    pub alias: AliasAnalysis,
+    /// Callee side-effect summaries (pseudo-store expansion for calls).
+    pub summaries: Summaries,
+}
+
+impl Facts {
+    /// Runs both analyses in their required order.
+    pub fn compute(program: &Program) -> Facts {
+        let alias = AliasAnalysis::analyze(program);
+        let summaries = Summaries::compute(program, &alias);
+        Facts { alias, summaries }
+    }
+}

@@ -1,0 +1,154 @@
+//! # ipds-parallel — the deterministic scoped worker pool
+//!
+//! Both halves of the system fan embarrassingly parallel work over threads:
+//! the sim side runs independently seeded attacks, the compiler side
+//! analyzes independent functions. Both need the *same* contract, so the
+//! pool lives here, below either of them:
+//!
+//! * **Dynamic sharding.** Workers pull the next task index from a shared
+//!   atomic cursor. Task durations vary wildly (a looping attacked run, a
+//!   function with 10× the branches of its neighbours); static sharding
+//!   would idle workers behind a straggler, the cursor costs one relaxed
+//!   `fetch_add` per task.
+//! * **Deterministic merge.** Every result is tagged with its task index
+//!   and merged back into index order, so the output of
+//!   [`map_indexed`] is **bit-identical** to the serial loop for any thread
+//!   count and any scheduling.
+//! * **Per-worker state.** Each worker owns one `W` built by the `init`
+//!   closure (an arena, a scratch metrics registry); the states come back
+//!   to the caller after the join so commutative aggregates can be folded
+//!   deterministically.
+//!
+//! `std::thread::scope` only — no external dependencies, and borrowed
+//! inputs (programs, analyses, traces) flow into workers without `Arc`.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread;
+
+/// Picks a worker count: the machine's available parallelism capped at 8
+/// (both campaign and analysis shards are short; more threads just pay
+/// startup cost).
+pub fn default_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Runs `run(worker_state, index)` for every index in `0..tasks` across
+/// `threads` workers and returns the results **in index order**, plus every
+/// worker's final state (in worker order).
+///
+/// `threads <= 1` (or `tasks <= 1`) degenerates to a plain serial loop over
+/// one worker state — zero threads spawned, identical results either way.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn map_indexed<W, R, I, F>(tasks: u32, threads: usize, init: I, run: F) -> (Vec<R>, Vec<W>)
+where
+    W: Send,
+    R: Send,
+    I: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, u32) -> R + Sync,
+{
+    let workers = threads.max(1).min(tasks.max(1) as usize);
+    if workers <= 1 {
+        let mut state = init(0);
+        let results = (0..tasks).map(|i| run(&mut state, i)).collect();
+        return (results, vec![state]);
+    }
+
+    let cursor = AtomicU32::new(0);
+    let mut tagged: Vec<(u32, R)> = Vec::with_capacity(tasks as usize);
+    let mut states: Vec<W> = Vec::with_capacity(workers);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let cursor = &cursor;
+                let init = &init;
+                let run = &run;
+                scope.spawn(move || {
+                    let mut state = init(w);
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        local.push((i, run(&mut state, i)));
+                    }
+                    (local, state)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, state) = handle.join().expect("pool worker panicked");
+            tagged.extend(local);
+            states.push(state);
+        }
+    });
+
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k as u32 == i));
+    (tagged.into_iter().map(|(_, r)| r).collect(), states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order_for_any_thread_count() {
+        let serial: Vec<u64> = (0..100).map(|i| (i as u64) * 3 + 1).collect();
+        for threads in [0, 1, 2, 3, 7, 16] {
+            let (got, _) = map_indexed(100, threads, |_| (), |(), i| (i as u64) * 3 + 1);
+            assert_eq!(got, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn worker_state_is_reused_and_returned() {
+        // Each worker counts the tasks it ran; the counts must sum to the
+        // task count regardless of scheduling.
+        let (results, states) = map_indexed(
+            50,
+            4,
+            |_| 0u32,
+            |count, i| {
+                *count += 1;
+                i
+            },
+        );
+        assert_eq!(results.len(), 50);
+        assert_eq!(states.iter().sum::<u32>(), 50);
+        assert!(states.len() <= 4);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let (results, states) = map_indexed(0, 8, |_| (), |(), i| i);
+        assert!(results.is_empty());
+        assert_eq!(states.len(), 1, "serial degenerate path");
+    }
+
+    #[test]
+    fn more_threads_than_tasks_caps_workers() {
+        let (results, states) = map_indexed(3, 16, |w| w, |_, i| i);
+        assert_eq!(results, vec![0, 1, 2]);
+        assert!(states.len() <= 3);
+    }
+
+    #[test]
+    fn borrowed_inputs_flow_into_workers() {
+        let data: Vec<u64> = (0..40).collect();
+        let (got, _) = map_indexed(40, 4, |_| (), |(), i| data[i as usize] * 2);
+        assert_eq!(got, data.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_threads_is_sane() {
+        assert!((1..=8).contains(&default_threads()));
+    }
+}

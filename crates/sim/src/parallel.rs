@@ -16,33 +16,21 @@
 //! Work distribution is dynamic (an atomic cursor over the index space)
 //! because attack durations vary wildly — a tamper that sends the victim
 //! into a budget-exhausting loop costs orders of magnitude more than one
-//! that crashes it immediately. Static sharding would leave workers idle
-//! behind a straggler; the cursor keeps them all busy and costs one relaxed
-//! `fetch_add` per attack.
-
-use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::thread;
+//! that crashes it immediately. The sharding itself lives in the shared
+//! [`ipds_parallel`] pool (the compiler side fans per-function analysis
+//! over the same engine); this module supplies the per-worker
+//! [`AttackRunner`] arenas and the seed-order fold.
 
 use ipds_analysis::ProgramAnalysis;
 use ipds_ir::Program;
 use ipds_telemetry::{EventSink, MetricsRegistry, NULL_SINK};
 
+pub use ipds_parallel::default_threads;
+
 use crate::attack::{
-    aggregate, attack_rng, record_attack, AttackOutcome, AttackRunner, Campaign, CampaignResult,
-    GoldenRun,
+    aggregate, attack_rng, record_attack, AttackRunner, Campaign, CampaignResult, GoldenRun,
 };
 use crate::interp::{ExecStatus, Input};
-
-/// Picks a worker count for campaign engines: the machine's available
-/// parallelism, capped at 8 (campaigns are short; more threads just pay
-/// startup cost).
-pub fn default_threads() -> usize {
-    thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(8)
-}
 
 /// Runs a campaign across `threads` workers. `threads == 0` or `1` selects
 /// the serial engine (zero spawned threads, identical results either way).
@@ -110,52 +98,35 @@ pub fn run_campaign_threaded_instrumented<S: EventSink>(
         );
     }
 
-    // Dynamic sharding: workers pull the next attack index from a shared
-    // cursor and tag each outcome with it, so merge order is independent of
-    // scheduling.
-    let cursor = AtomicU32::new(0);
-    let mut tagged: Vec<(u32, AttackOutcome)> = Vec::with_capacity(campaign.attacks as usize);
+    // Shard attack indices over the shared pool; each worker owns one
+    // reusable runner arena plus a private metrics registry. The pool merges
+    // outcomes back into seed order, so the fold below is exactly the serial
+    // engine's.
+    let (outcomes, states) = ipds_parallel::map_indexed(
+        campaign.attacks,
+        workers,
+        |_| {
+            let runner = AttackRunner::with_sink(
+                program,
+                analysis,
+                inputs,
+                &golden.trace,
+                campaign.limits,
+                sink,
+            );
+            (runner, MetricsRegistry::new())
+        },
+        |(runner, local_metrics), i| {
+            let (mut rng, trigger) = attack_rng(campaign, golden.steps, i);
+            let outcome = runner.run(trigger, campaign.model, &mut rng);
+            record_attack(sink, local_metrics, campaign, i, trigger, &outcome);
+            outcome
+        },
+    );
     let mut metrics = MetricsRegistry::new();
-    thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let cursor = &cursor;
-                scope.spawn(move || {
-                    let mut runner = AttackRunner::with_sink(
-                        program,
-                        analysis,
-                        inputs,
-                        &golden.trace,
-                        campaign.limits,
-                        sink,
-                    );
-                    let mut local = Vec::new();
-                    let mut local_metrics = MetricsRegistry::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= campaign.attacks {
-                            break;
-                        }
-                        let (mut rng, trigger) = attack_rng(campaign, golden.steps, i);
-                        let outcome = runner.run(trigger, campaign.model, &mut rng);
-                        record_attack(sink, &mut local_metrics, campaign, i, trigger, &outcome);
-                        local.push((i, outcome));
-                    }
-                    (local, local_metrics)
-                })
-            })
-            .collect();
-        for handle in handles {
-            let (local, local_metrics) = handle.join().expect("attack worker panicked");
-            tagged.extend(local);
-            metrics.merge(&local_metrics);
-        }
-    });
-
-    // Merge into seed order and fold exactly like the serial engine.
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k as u32 == i));
-    let outcomes: Vec<AttackOutcome> = tagged.into_iter().map(|(_, o)| o).collect();
+    for (_, local_metrics) in &states {
+        metrics.merge(local_metrics);
+    }
     (aggregate(campaign.attacks, &outcomes), metrics)
 }
 

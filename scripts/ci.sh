@@ -17,6 +17,10 @@ echo "==> tier-1 build + tests"
 cargo build --release --workspace
 cargo test -q --release --workspace
 
+echo "==> pipeline gate (verify tables + serial/threaded determinism, all workloads)"
+cargo run -q --release -p ipds --bin ipdsc -- \
+    build --workloads --verify-tables --determinism --threads 4
+
 echo "==> property suites (vendored mini-proptest)"
 export PROPTEST_CASES="${PROPTEST_CASES:-64}"
 cargo test -q --release --features props
@@ -33,7 +37,9 @@ cargo run -q --release -p ipds-bench --bin exp_fig7 -- --attacks 10
 echo "==> telemetry smoke (exp_all --quick must emit phase spans)"
 cargo run -q --release -p ipds-bench --bin exp_all -- --quick
 for key in '"telemetry"' '"spans"' '"compile"' '"analyze"' '"golden"' \
-           '"campaign"' '"null_sink"' '"campaign_counters"'; do
+           '"campaign"' '"null_sink"' '"campaign_counters"' \
+           '"compile.analyze-functions"' '"hash_retries"' '"bat_bytes"' \
+           '"passes"'; do
     grep -q "$key" results/bench_campaign.json \
         || { echo "missing $key in results/bench_campaign.json"; exit 1; }
 done

@@ -1,0 +1,127 @@
+//! Acceptance tests for the compiler pass pipeline: the threaded
+//! per-function analysis must be **bit-identical** to serial on every
+//! workload under every optimizer setting, and the `verify-tables` pass must
+//! hold on all of them — and catch corruption with typed errors.
+
+use ipds::analysis::pipeline::{build_program, BuildOptions};
+use ipds::analysis::{verify_tables, AnalysisConfig, TableVerifyError};
+use ipds::workloads;
+
+fn options(optimized: bool, threads: usize, verify: bool) -> BuildOptions {
+    BuildOptions {
+        config: AnalysisConfig::default(),
+        optimize: optimized,
+        threads,
+        verify,
+    }
+}
+
+#[test]
+fn images_are_bit_identical_across_thread_counts() {
+    for w in workloads::all() {
+        for optimized in [false, true] {
+            let serial = build_program(w.program(), options(optimized, 1, false))
+                .unwrap_or_else(|e| panic!("{} serial: {e}", w.name));
+            for threads in [2usize, 4, 8] {
+                let par = build_program(w.program(), options(optimized, threads, false))
+                    .unwrap_or_else(|e| panic!("{} x{threads}: {e}", w.name));
+                assert_eq!(
+                    serial.image.as_bytes(),
+                    par.image.as_bytes(),
+                    "{} (opt={optimized}) differs at {threads} threads",
+                    w.name
+                );
+                assert_eq!(
+                    serial.counters, par.counters,
+                    "{} (opt={optimized}) counters differ at {threads} threads",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn verify_tables_passes_on_every_workload() {
+    for w in workloads::all() {
+        for optimized in [false, true] {
+            build_program(w.program(), options(optimized, 4, true)).unwrap_or_else(|e| {
+                panic!("{} (opt={optimized}) failed verification: {e}", w.name)
+            });
+        }
+    }
+}
+
+#[test]
+fn verify_tables_catches_corrupted_bat_entry() {
+    let w = &workloads::all()[0];
+    let build = build_program(w.program(), options(false, 1, false)).unwrap();
+    let program = build.program;
+    let mut analysis = build.analysis;
+    let f = analysis
+        .functions
+        .iter_mut()
+        .find(|f| !f.bat.is_empty())
+        .expect("workload has correlations");
+    let row = f.bat.values_mut().next().unwrap();
+    row[0].target = 9999;
+    let err = verify_tables(&program, &analysis).unwrap_err();
+    assert!(
+        matches!(err, TableVerifyError::BatTarget { target: 9999, .. }),
+        "got {err:?}"
+    );
+    // Typed, displayable — and definitely not a panic.
+    assert!(err.to_string().contains("9999"));
+}
+
+#[test]
+fn verify_tables_catches_forged_hash() {
+    let w = &workloads::all()[0];
+    let build = build_program(w.program(), options(false, 1, false)).unwrap();
+    let program = build.program;
+    let mut analysis = build.analysis;
+    let f = analysis
+        .functions
+        .iter_mut()
+        .find(|f| f.branches.len() > 1)
+        .expect("workload has branching functions");
+    f.hash.log2_size = 0; // every PC now recomputes to slot 0
+    let err = verify_tables(&program, &analysis).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            TableVerifyError::HashSlot { .. } | TableVerifyError::HashCollision { .. }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn pipeline_metrics_expose_compile_counters() {
+    let w = &workloads::all()[0];
+    let build = build_program(w.program(), options(false, 2, true)).unwrap();
+    assert_eq!(
+        build.metrics.counter("pipeline.branches"),
+        build.counters.branches
+    );
+    assert_eq!(
+        build.metrics.counter("pipeline.bat_entries"),
+        build.counters.bat_entries
+    );
+    assert_eq!(
+        build.metrics.counter("pipeline.image_bytes"),
+        build.image.len() as u64
+    );
+    let pass_names: Vec<_> = build.timings.iter().map(|t| t.name).collect();
+    assert_eq!(
+        pass_names,
+        [
+            "verify-ir",
+            "alias",
+            "summaries",
+            "analyze-functions",
+            "image",
+            "verify-tables"
+        ]
+    );
+}
