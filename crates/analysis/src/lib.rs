@@ -45,7 +45,9 @@ pub mod correlate;
 pub mod encode;
 pub mod hash;
 pub mod image;
+pub mod lint;
 pub mod pipeline;
+pub mod refine;
 pub mod region;
 pub mod stats;
 pub mod tables;
@@ -59,10 +61,12 @@ pub use compile::{
 pub use encode::{BitReader, BitWriter, TableSizes};
 pub use hash::{find_perfect_hash, find_perfect_hash_counted, HashParams, PerfectHashError};
 pub use image::{ImageError, TableImage};
+pub use lint::{lint_function, lint_program, LintDiagnostic, LintReport, LintRule, LintSeverity};
 pub use pipeline::{
     build_program, build_source, BuildOptions, BuildOutput, CompilationSession, Pass, PassManager,
-    PassSpan, PipelineError,
+    PassSpan, PipelineError, PIPELINE_COUNTERS,
 };
+pub use refine::{refine_function, RefineStats};
 pub use stats::SizeStats;
 pub use tables::{BatEntry, BranchInfo, FunctionAnalysis};
 pub use verify_tables::{verify_tables, TableVerifyError};

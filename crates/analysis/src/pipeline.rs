@@ -2,10 +2,12 @@
 //!
 //! Compilation is an ordered sequence of named [`Pass`]es over a
 //! [`CompilationSession`]: **parse → lower → verify-ir → opt → alias →
-//! summaries → analyze-functions → image → verify-tables**. Each pass reads
-//! the session products earlier passes deposited and adds its own; the
-//! [`PassManager`] runs them in order, records a wall-clock [`PassSpan`] per
-//! pass, and stops at the first typed [`PipelineError`].
+//! summaries → intervals → analyze-functions → refine-correlations → image
+//! → verify-tables → lint-tables** (the interval, refine and lint passes
+//! are opt-in; see [`BuildOptions`]). Each pass reads the session products
+//! earlier passes deposited and adds its own; the [`PassManager`] runs them
+//! in order, records a wall-clock [`PassSpan`] per pass, and stops at the
+//! first typed [`PipelineError`].
 //!
 //! The `analyze-functions` pass is where the paper's per-function work
 //! (correlate → perfect hash → encode) lives; it shards functions over the
@@ -28,6 +30,7 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
+use ipds_absint::IntervalAnalysis;
 use ipds_dataflow::{AliasAnalysis, Summaries};
 use ipds_ir::ast::Item;
 use ipds_ir::opt::OptStats;
@@ -38,7 +41,27 @@ use crate::compile::{
     analyze_program_threaded, AnalysisConfig, AnalysisCounters, FunctionHashError, ProgramAnalysis,
 };
 use crate::image::TableImage;
+use crate::lint::{lint_program, LintReport};
+use crate::refine::{refine_function, RefineStats};
 use crate::verify_tables::{verify_tables, TableVerifyError};
+
+/// Every `pipeline.*` counter the passes can emit, in pipeline order. This
+/// is the canonical list the observability docs mirror and the docs smoke
+/// test asserts against; add new counters here and in both docs together.
+pub const PIPELINE_COUNTERS: &[&str] = &[
+    "pipeline.tokens",
+    "pipeline.functions",
+    "pipeline.loads_forwarded",
+    "pipeline.branches",
+    "pipeline.checked_branches",
+    "pipeline.bat_entries",
+    "pipeline.hash_retries",
+    "pipeline.refine_proved",
+    "pipeline.refine_demoted",
+    "pipeline.image_bytes",
+    "pipeline.lint_errors",
+    "pipeline.lint_warnings",
+];
 
 /// What to build and how: the knobs `ipdsc build` exposes.
 #[derive(Debug, Clone)]
@@ -52,6 +75,13 @@ pub struct BuildOptions {
     pub threads: usize,
     /// Append the `verify-tables` pass after image emission.
     pub verify: bool,
+    /// Run the interval analyzer and the `refine-correlations` pass before
+    /// image emission (see [`crate::refine`]).
+    pub refine: bool,
+    /// Append the `lint-tables` auditor after everything else (see
+    /// [`crate::lint`]). Findings land in [`BuildOutput::lint`]; the build
+    /// itself still succeeds — callers decide what a `LintError` costs.
+    pub lint: bool,
 }
 
 impl Default for BuildOptions {
@@ -61,6 +91,8 @@ impl Default for BuildOptions {
             optimize: false,
             threads: 1,
             verify: false,
+            refine: false,
+            lint: false,
         }
     }
 }
@@ -94,10 +126,18 @@ pub struct CompilationSession {
     pub alias: Option<AliasAnalysis>,
     /// Callee side-effect summaries (`summaries` output).
     pub summaries: Option<Summaries>,
+    /// Per-function interval analyses in `FuncId` order (`intervals`
+    /// output, present when refine or lint runs).
+    pub intervals: Option<Vec<IntervalAnalysis>>,
     /// Per-function tables (`analyze-functions` output).
     pub analysis: Option<ProgramAnalysis>,
     /// Work counters summed over all functions.
     pub counters: AnalysisCounters,
+    /// What the `refine-correlations` pass changed (zero when it did not
+    /// run).
+    pub refine_stats: RefineStats,
+    /// The table audit (`lint-tables` output, when the pass runs).
+    pub lint: Option<LintReport>,
     /// The serialized table image (`image` output).
     pub image: Option<TableImage>,
     /// Build knobs the passes consult.
@@ -231,11 +271,12 @@ impl PassManager {
     }
 
     /// The canonical pipeline for `options`: parse → lower → verify-ir →
-    /// \[opt\] → alias → summaries → analyze-functions → image →
-    /// \[verify-tables\], with the bracketed passes present when the
-    /// corresponding option is set. When `from_source` is false the
-    /// front-end passes (parse/lower) are omitted — the session must start
-    /// with a program.
+    /// \[opt\] → alias → summaries → \[intervals\] → analyze-functions →
+    /// \[refine-correlations\] → image → \[verify-tables\] →
+    /// \[lint-tables\], with the bracketed passes present when the
+    /// corresponding option is set (`intervals` runs whenever refine or
+    /// lint needs it). When `from_source` is false the front-end passes
+    /// (parse/lower) are omitted — the session must start with a program.
     pub fn standard(options: &BuildOptions, from_source: bool) -> PassManager {
         let mut pm = PassManager::new();
         if from_source {
@@ -245,13 +286,20 @@ impl PassManager {
         if options.optimize {
             pm = pm.with_pass(OptPass);
         }
-        pm = pm
-            .with_pass(AliasPass)
-            .with_pass(SummariesPass)
-            .with_pass(AnalyzeFunctionsPass)
-            .with_pass(ImagePass);
+        pm = pm.with_pass(AliasPass).with_pass(SummariesPass);
+        if options.refine || options.lint {
+            pm = pm.with_pass(IntervalsPass);
+        }
+        pm = pm.with_pass(AnalyzeFunctionsPass);
+        if options.refine {
+            pm = pm.with_pass(RefineCorrelationsPass);
+        }
+        pm = pm.with_pass(ImagePass);
         if options.verify {
             pm = pm.with_pass(VerifyTablesPass);
+        }
+        if options.lint {
+            pm = pm.with_pass(LintTablesPass);
         }
         pm
     }
@@ -400,6 +448,159 @@ impl Pass for SummariesPass {
     }
 }
 
+/// Per-function interval abstract interpretation (the feasibility oracle
+/// the refine and lint passes consume), sharded by function id and merged
+/// in id order.
+pub struct IntervalsPass;
+
+impl Pass for IntervalsPass {
+    fn name(&self) -> &'static str {
+        "intervals"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let program = session.need_program("intervals")?;
+        let (alias, summaries) = need_facts(session, "intervals")?;
+        let (intervals, _) = ipds_parallel::map_indexed(
+            program.functions.len() as u32,
+            session.options.threads,
+            |_| (),
+            |(), i| {
+                let func = &program.functions[i as usize];
+                IntervalAnalysis::analyze(program, func, alias, summaries)
+            },
+        );
+        session.intervals = Some(intervals);
+        Ok(())
+    }
+}
+
+/// Folds interval facts back into the tables: promotes interval-proved
+/// directions, demotes directional actions no oracle re-proves (see
+/// [`crate::refine`]). Sharded by function id, merged in id order.
+pub struct RefineCorrelationsPass;
+
+impl Pass for RefineCorrelationsPass {
+    fn name(&self) -> &'static str {
+        "refine-correlations"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let mut analysis = session.analysis.take().ok_or(PipelineError::MissingStage {
+            pass: "refine-correlations",
+            needs: "analysis",
+        })?;
+        let program = session.need_program("refine-correlations")?;
+        let (alias, summaries) = need_facts(session, "refine-correlations")?;
+        let intervals = session
+            .intervals
+            .as_ref()
+            .ok_or(PipelineError::MissingStage {
+                pass: "refine-correlations",
+                needs: "intervals",
+            })?;
+        let functions = std::mem::take(&mut analysis.functions);
+        let (refined, _) = ipds_parallel::map_indexed(
+            functions.len() as u32,
+            session.options.threads,
+            |_| (),
+            |(), i| {
+                let mut tables = functions[i as usize].clone();
+                let func = &program.functions[tables.func.0 as usize];
+                let stats = refine_function(
+                    program,
+                    func,
+                    alias,
+                    summaries,
+                    &intervals[i as usize],
+                    &mut tables,
+                );
+                (tables, stats)
+            },
+        );
+        let mut stats = RefineStats::default();
+        analysis.functions = refined
+            .into_iter()
+            .map(|(tables, func_stats)| {
+                stats.merge(func_stats);
+                tables
+            })
+            .collect();
+        session.metrics.add("pipeline.refine_proved", stats.proved);
+        session
+            .metrics
+            .add("pipeline.refine_demoted", stats.demoted);
+        session.refine_stats = stats;
+        session.analysis = Some(analysis);
+        Ok(())
+    }
+}
+
+/// Audits every emitted BAT action against the interval oracle and the
+/// anchor pairs (see [`crate::lint`]). Read-only: findings go to
+/// [`CompilationSession::lint`]; deciding what an error costs is the
+/// caller's job.
+pub struct LintTablesPass;
+
+impl Pass for LintTablesPass {
+    fn name(&self) -> &'static str {
+        "lint-tables"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let program = session.need_program("lint-tables")?;
+        let (alias, summaries) = need_facts(session, "lint-tables")?;
+        let intervals = session
+            .intervals
+            .as_ref()
+            .ok_or(PipelineError::MissingStage {
+                pass: "lint-tables",
+                needs: "intervals",
+            })?;
+        let analysis = session
+            .analysis
+            .as_ref()
+            .ok_or(PipelineError::MissingStage {
+                pass: "lint-tables",
+                needs: "analysis",
+            })?;
+        let report = lint_program(
+            program,
+            alias,
+            summaries,
+            intervals,
+            analysis,
+            session.options.threads,
+        );
+        session
+            .metrics
+            .add("pipeline.lint_errors", report.error_count() as u64);
+        session
+            .metrics
+            .add("pipeline.lint_warnings", report.warning_count() as u64);
+        session.lint = Some(report);
+        Ok(())
+    }
+}
+
+/// Both whole-program fact products, or the pass's `MissingStage` error.
+fn need_facts<'a>(
+    session: &'a CompilationSession,
+    pass: &'static str,
+) -> Result<(&'a AliasAnalysis, &'a Summaries), PipelineError> {
+    match (&session.alias, &session.summaries) {
+        (Some(a), Some(s)) => Ok((a, s)),
+        (None, _) => Err(PipelineError::MissingStage {
+            pass,
+            needs: "alias",
+        }),
+        (_, None) => Err(PipelineError::MissingStage {
+            pass,
+            needs: "summaries",
+        }),
+    }
+}
+
 /// Per-function correlate → perfect-hash → encode, sharded by function id
 /// over the shared worker pool and merged in id order (bit-identical to
 /// serial at any thread count).
@@ -515,6 +716,10 @@ pub struct BuildOutput {
     pub image: TableImage,
     /// Work counters summed over all functions.
     pub counters: AnalysisCounters,
+    /// What the `refine-correlations` pass changed (zero when disabled).
+    pub refine: RefineStats,
+    /// The table audit, when `lint` was requested.
+    pub lint: Option<LintReport>,
     /// Per-pass wall-clock spans, in execution order.
     pub timings: Vec<PassSpan>,
     /// Pass-scoped counters (pipeline.* keys).
@@ -554,6 +759,8 @@ fn finish(session: CompilationSession) -> Result<BuildOutput, PipelineError> {
         program,
         analysis,
         counters,
+        refine_stats,
+        lint,
         image,
         metrics,
         timings,
@@ -568,6 +775,8 @@ fn finish(session: CompilationSession) -> Result<BuildOutput, PipelineError> {
         analysis: analysis.ok_or(missing("analysis"))?,
         image: image.ok_or(missing("image"))?,
         counters,
+        refine: refine_stats,
+        lint,
         timings,
         metrics,
     })
@@ -686,6 +895,67 @@ mod tests {
         .unwrap();
         assert!(out.timings.iter().all(|t| t.name != "parse"));
         assert_eq!(out.analysis.functions.len(), 2);
+    }
+
+    #[test]
+    fn refine_and_lint_passes_are_gated_and_deterministic() {
+        let opts = |threads| BuildOptions {
+            refine: true,
+            lint: true,
+            verify: true,
+            threads,
+            ..BuildOptions::default()
+        };
+        let serial = build_source(SRC, opts(1)).expect("refined pipeline must succeed");
+        let names: Vec<_> = serial.timings.iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            [
+                "parse",
+                "lower",
+                "verify-ir",
+                "alias",
+                "summaries",
+                "intervals",
+                "analyze-functions",
+                "refine-correlations",
+                "image",
+                "verify-tables",
+                "lint-tables"
+            ]
+        );
+        let report = serial.lint.as_ref().expect("lint report present");
+        assert_eq!(report.error_count(), 0, "{report}");
+        for threads in [2, 4, 8] {
+            let par = build_source(SRC, opts(threads)).unwrap();
+            assert_eq!(
+                serial.image.as_bytes(),
+                par.image.as_bytes(),
+                "{threads} threads"
+            );
+            assert_eq!(serial.refine, par.refine, "{threads} threads");
+            assert_eq!(serial.lint, par.lint, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn counter_list_matches_a_full_featured_build() {
+        let out = build_source(
+            SRC,
+            BuildOptions {
+                optimize: true,
+                verify: true,
+                refine: true,
+                lint: true,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let emitted: std::collections::BTreeSet<&str> =
+            out.metrics.counters().map(|(k, _)| k).collect();
+        let canonical: std::collections::BTreeSet<&str> =
+            PIPELINE_COUNTERS.iter().copied().collect();
+        assert_eq!(emitted, canonical);
     }
 
     #[test]

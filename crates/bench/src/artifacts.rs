@@ -61,6 +61,17 @@ pub struct CompileReport {
     pub image_bytes: usize,
     /// Encoded BAT size across all functions, in bytes (rounded up).
     pub bat_bytes: usize,
+    /// `lint-tables` errors for this variant (always 0 for stock workloads;
+    /// the build would be rejected otherwise).
+    pub lint_errors: u64,
+    /// `lint-tables` warnings (dead-trigger diagnostics and the like).
+    pub lint_warnings: u64,
+    /// Directional BAT actions the interval refiner re-proved, measured on a
+    /// separate refine-enabled build whose tables are discarded.
+    pub refine_proved: u64,
+    /// Directional BAT actions the interval refiner demoted to `SET_UN` on
+    /// that same discarded build.
+    pub refine_demoted: u64,
 }
 
 /// Pass names that belong to the front half of the pipeline; everything
@@ -115,8 +126,21 @@ fn compile(w: &Workload, config: &Config, optimize: bool) -> (Arc<Protected>, Ar
         .optimize(optimize)
         .threads(ipds_sim::default_threads())
         .verify_tables(true)
+        .lint_tables(true)
         .from_program(program)
         .unwrap_or_else(|e| panic!("{} failed to build: {e}", w.name));
+    let lint = build.lint.as_ref().expect("lint was requested");
+    // Campaigns must consume tables identical to a plain compile, so the
+    // refiner runs on a throwaway build: only its counters are kept.
+    let refine = Protected::build()
+        .config(config.clone())
+        .optimize(optimize)
+        .threads(ipds_sim::default_threads())
+        .verify_tables(true)
+        .refine_correlations(true)
+        .from_program(w.program())
+        .unwrap_or_else(|e| panic!("{} failed to build refined: {e}", w.name))
+        .refine;
     // Fold the pass timings into the process-wide phase recorder: the
     // aggregate `compile` / `analyze` keys keep their historical meaning,
     // and each pass additionally appears as a `compile.<pass>` child.
@@ -146,6 +170,10 @@ fn compile(w: &Workload, config: &Config, optimize: bool) -> (Arc<Protected>, Ar
         counters: build.counters,
         image_bytes: build.image.len(),
         bat_bytes: bat_bits.div_ceil(8),
+        lint_errors: lint.error_count() as u64,
+        lint_warnings: lint.warning_count() as u64,
+        refine_proved: refine.proved,
+        refine_demoted: refine.demoted,
     });
     let p = Arc::new(build.protected);
     inner
@@ -248,13 +276,20 @@ mod tests {
                 "verify-ir",
                 "alias",
                 "summaries",
+                "intervals",
                 "analyze-functions",
                 "image",
-                "verify-tables"
+                "verify-tables",
+                "lint-tables"
             ]
         );
         assert!(r.counters.branches > 0, "telnetd has branches");
         assert!(r.image_bytes > 0, "image must be serialized");
+        assert_eq!(r.lint_errors, 0, "stock workloads must lint clean");
+        assert_eq!(
+            r.refine_demoted, 0,
+            "stock directional actions are all interval-provable"
+        );
         let again = compile_report(&w, &Config::default(), false);
         assert!(Arc::ptr_eq(&r, &again), "report must be cached");
         let optimized = compile_report(&w, &Config::default(), true);

@@ -301,7 +301,8 @@ fn write_bench_json(
         json.push_str(&format!(
             "    {{ \"workload\": \"{}\", \"optimized\": {}, \"image_bytes\": {}, \
              \"bat_bytes\": {}, \"branches\": {}, \"checked\": {}, \"bat_entries\": {}, \
-             \"hash_retries\": {},\n",
+             \"hash_retries\": {}, \"lint_errors\": {}, \"lint_warnings\": {}, \
+             \"refine_proved\": {}, \"refine_demoted\": {},\n",
             r.workload,
             r.optimized,
             r.image_bytes,
@@ -309,7 +310,11 @@ fn write_bench_json(
             r.counters.branches,
             r.counters.checked,
             r.counters.bat_entries,
-            r.counters.hash_retries
+            r.counters.hash_retries,
+            r.lint_errors,
+            r.lint_warnings,
+            r.refine_proved,
+            r.refine_demoted
         ));
         json.push_str("      \"passes\": [\n");
         for (j, (name, seconds)) in r.passes.iter().enumerate() {

@@ -4,6 +4,8 @@
 //! ipdsc compile FILE [--dump]           parse + analyze, print table summary
 //! ipdsc build (FILE | --workloads) [--threads N] [--optimize] [--timings]
 //!             [--verify-tables] [--determinism]   explicit pass pipeline
+//! ipdsc lint (FILE | --workloads) [--threads N] [--optimize] [--refine]
+//!             audit emitted tables; exit nonzero on any lint error
 //! ipdsc run FILE [--input LIST] [--events FILE]   run under IPDS checking
 //! ipdsc attack FILE --var NAME --value V --step N [--input LIST] [--events FILE]
 //! ipdsc campaign FILE [--attacks N] [--seed S] [--model fs|boa|block] [--input LIST]
@@ -18,6 +20,12 @@
 //! builds emit byte-identical images. `--workloads` builds every bundled
 //! workload under **both** optimizer settings instead of reading a file —
 //! the CI gate.
+//!
+//! `lint` replays every emitted BAT action against the interval-analysis
+//! and anchor-pair oracles (see `docs/ABSINT.md`) and prints one ranked
+//! diagnostic per finding, each with a concrete witness path. Exit status
+//! is nonzero iff any `error`-severity finding exists, so it works as a CI
+//! gate; `--refine` audits the refined tables instead of the stock ones.
 //!
 //! `--input` is a comma-separated list; bare integers become `read_int`
 //! items, `s:text` becomes a `read_str` item. Example:
@@ -49,6 +57,9 @@ fn run(args: &[String]) -> Result<(), String> {
     };
     if cmd == "build" {
         return build_cmd(&args[1..]);
+    }
+    if cmd == "lint" {
+        return lint_cmd(&args[1..]);
     }
     let Some(file) = args.get(1) else {
         return Err(usage());
@@ -88,10 +99,64 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: ipdsc <compile|build|run|attack|campaign|time|trace> FILE [options]\n\
-     (build also accepts --workloads instead of FILE)\n\
+    "usage: ipdsc <compile|build|lint|run|attack|campaign|time|trace> FILE [options]\n\
+     (build and lint also accept --workloads instead of FILE)\n\
      see `ipdsc` module docs for options"
         .to_string()
+}
+
+/// `ipdsc lint`: audit the emitted tables of a file or every bundled
+/// workload. Exit status reflects error-severity findings only.
+fn lint_cmd(args: &[String]) -> Result<(), String> {
+    let threads = parse_num(args, "--threads").unwrap_or(1).max(1) as usize;
+    let optimized = has_flag(args, "--optimize");
+    let refine = has_flag(args, "--refine");
+    let spec = || {
+        Protected::build()
+            .optimize(optimized)
+            .threads(threads)
+            .refine_correlations(refine)
+            .lint_tables(true)
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut audit = |label: &str, build: ipds::Build| {
+        let report = build.lint.expect("lint pass was requested");
+        for d in &report.diagnostics {
+            println!("{label}: {d}");
+        }
+        errors += report.error_count();
+        warnings += report.warning_count();
+    };
+
+    if has_flag(args, "--workloads") {
+        for w in ipds::workloads::all() {
+            let build = spec()
+                .from_program(w.program())
+                .map_err(|e| format!("{}: {e}", w.name))?;
+            audit(w.name, build);
+        }
+        println!(
+            "linted {} workloads: {errors} error(s), {warnings} warning(s)",
+            ipds::workloads::all().len()
+        );
+    } else {
+        let file = args
+            .iter()
+            .find(|&a| !a.starts_with("--") && !is_flag_value(args, a))
+            .ok_or_else(usage)?;
+        let source = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+        let build = spec()
+            .compile(&source)
+            .map_err(|e| format!("{file}: {e}"))?;
+        audit(file, build);
+        println!("lint: {errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 {
+        return Err(format!("lint found {errors} error(s)"));
+    }
+    Ok(())
 }
 
 /// `ipdsc build`: the explicit pass pipeline over a file or every bundled

@@ -81,7 +81,8 @@ use ipds_sim::{AttackModel, Campaign, ExecLimits, ExecStatus, Interp, IpdsObserv
 use ipds_telemetry::{EventSink, MetricsRegistry, NullSink, NULL_SINK};
 
 pub use ipds_analysis::{
-    self as analysis, BrAction, BranchStatus, PassSpan, PipelineError, SizeStats, TableVerifyError,
+    self as analysis, BrAction, BranchStatus, LintDiagnostic, LintReport, LintRule, LintSeverity,
+    PassSpan, PipelineError, RefineStats, SizeStats, TableVerifyError,
 };
 pub use ipds_dataflow as dataflow;
 pub use ipds_ir::{self as ir};
@@ -488,6 +489,23 @@ impl BuildSpec {
         self
     }
 
+    /// Run the interval analyzer and fold its facts back into the tables
+    /// before image emission: prove additional subsumptions, demote
+    /// directional actions no oracle re-proves (default off).
+    pub fn refine_correlations(mut self, on: bool) -> Self {
+        self.options.refine = on;
+        self
+    }
+
+    /// Append the `lint-tables` auditor: replay every BAT action against
+    /// the interval and anchor oracles and collect ranked diagnostics into
+    /// [`Build::lint`] (default off). The build succeeds regardless of
+    /// findings — callers decide what a [`LintSeverity::Error`] costs.
+    pub fn lint_tables(mut self, on: bool) -> Self {
+        self.options.lint = on;
+        self
+    }
+
     /// Compiles MiniC source through the pipeline.
     ///
     /// # Errors
@@ -519,6 +537,10 @@ pub struct Build {
     /// Work counters summed over all functions (branches, checked,
     /// BAT entries, hash retries).
     pub counters: AnalysisCounters,
+    /// What the `refine-correlations` pass changed (zero when disabled).
+    pub refine: RefineStats,
+    /// The table audit, when [`BuildSpec::lint_tables`] was requested.
+    pub lint: Option<LintReport>,
     /// Per-pass wall-clock spans, in execution order.
     pub timings: Vec<PassSpan>,
     /// Pass-scoped counters (`pipeline.*` keys).
@@ -534,6 +556,8 @@ impl Build {
             },
             image: out.image,
             counters: out.counters,
+            refine: out.refine,
+            lint: out.lint,
             timings: out.timings,
             metrics: out.metrics,
         }
@@ -866,6 +890,30 @@ mod tests {
             let par = Protected::build().threads(threads).compile(SRC).unwrap();
             assert_eq!(serial.image.as_bytes(), par.image.as_bytes());
         }
+    }
+
+    #[test]
+    fn refined_and_linted_build_stays_sound() {
+        let build = Protected::build()
+            .refine_correlations(true)
+            .lint_tables(true)
+            .verify_tables(true)
+            .compile(SRC)
+            .unwrap();
+        let report = build.lint.as_ref().expect("lint report present");
+        assert_eq!(report.error_count(), 0, "{report}");
+        assert_eq!(build.refine.demoted, 0, "stock tables must re-prove");
+        // Refined tables keep the zero-false-positive property.
+        for user in [-1, 0, 1, 2] {
+            let r = build.protected.run(&[Input::Int(user), Input::Int(9)]);
+            assert!(!r.detected(), "user={user}: {:?}", r.alarms);
+        }
+        // And still catch the tamper the plain tables catch.
+        let r = build
+            .protected
+            .run_with_tamper(&[Input::Int(0), Input::Int(9)], 8, "user", 1)
+            .unwrap();
+        assert!(r.detected());
     }
 
     #[test]

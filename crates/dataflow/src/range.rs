@@ -214,6 +214,110 @@ impl Range {
             None
         }
     }
+
+    /// Least upper bound: the smallest representable range containing both
+    /// `self` and `other` (exact for interval/interval — the convex hull —
+    /// and for every case involving `Ne`).
+    pub fn join(self, other: Range) -> Range {
+        match (self.norm(), other.norm()) {
+            (Range::Empty, r) | (r, Range::Empty) => r,
+            (Range::Full, _) | (_, Range::Full) => Range::Full,
+            (Range::Interval { lo, hi }, Range::Interval { lo: lo2, hi: hi2 }) => Range::Interval {
+                lo: lo.min(lo2),
+                hi: hi.max(hi2),
+            }
+            .norm(),
+            (Range::Ne(c), Range::Interval { lo, hi })
+            | (Range::Interval { lo, hi }, Range::Ne(c)) => {
+                // Ne(c) already covers the interval unless c lies inside it.
+                let c128 = c as i128;
+                if c128 < lo || c128 > hi {
+                    Range::Ne(c)
+                } else {
+                    Range::Full
+                }
+            }
+            (Range::Ne(a), Range::Ne(b)) => {
+                if a == b {
+                    Range::Ne(a)
+                } else {
+                    Range::Full
+                }
+            }
+        }
+    }
+
+    /// Greatest lower bound (over-approximate): a representable range
+    /// containing the intersection of `self` and `other`. Exact except for
+    /// `Interval ∩ Ne(c)` with `c` strictly inside the interval (the hole is
+    /// not representable, so the interval is kept) and `Ne(a) ∩ Ne(b)` with
+    /// `a ≠ b` (kept as `Ne(a)`). Both keeps are supersets of the true
+    /// intersection, so refinement with `meet` stays sound.
+    pub fn meet(self, other: Range) -> Range {
+        match (self.norm(), other.norm()) {
+            (Range::Empty, _) | (_, Range::Empty) => Range::Empty,
+            (Range::Full, r) | (r, Range::Full) => r,
+            (Range::Interval { lo, hi }, Range::Interval { lo: lo2, hi: hi2 }) => Range::Interval {
+                lo: lo.max(lo2),
+                hi: hi.min(hi2),
+            }
+            .norm(),
+            (Range::Ne(c), Range::Interval { lo, hi })
+            | (Range::Interval { lo, hi }, Range::Ne(c)) => {
+                let c128 = c as i128;
+                if c128 < lo || c128 > hi {
+                    Range::Interval { lo, hi }.norm()
+                } else if c128 == lo {
+                    Range::Interval { lo: lo + 1, hi }.norm()
+                } else if c128 == hi {
+                    Range::Interval { lo, hi: hi - 1 }.norm()
+                } else {
+                    // The hole sits strictly inside: not representable,
+                    // keep the interval (a sound over-approximation).
+                    Range::Interval { lo, hi }.norm()
+                }
+            }
+            (Range::Ne(a), Range::Ne(b)) => {
+                // a == b is exact; otherwise Ne(a) ⊇ (Ne(a) ∩ Ne(b)).
+                let _ = b;
+                Range::Ne(a)
+            }
+        }
+    }
+
+    /// Classic interval widening with `self` as the previous iterate and
+    /// `next` as the new one: any bound that moved outward jumps straight
+    /// to its representable infinity. Each variable can therefore change at
+    /// most three times under repeated widening (finite ascending chains),
+    /// which is what guarantees loop fixpoints terminate.
+    pub fn widen(self, next: Range) -> Range {
+        match (self.norm(), next.norm()) {
+            (Range::Empty, r) | (r, Range::Empty) => r,
+            (Range::Full, _) | (_, Range::Full) => Range::Full,
+            (Range::Interval { lo, hi }, Range::Interval { lo: lo2, hi: hi2 }) => Range::Interval {
+                lo: if lo2 < lo { LO_INF } else { lo },
+                hi: if hi2 > hi { HI_INF } else { hi },
+            }
+            .norm(),
+            (Range::Ne(a), Range::Ne(b)) if a == b => Range::Ne(a),
+            // Mixed shapes have no useful widening structure: give up to
+            // Full immediately rather than oscillate.
+            _ => Range::Full,
+        }
+    }
+
+    /// True if the range denotes the empty set.
+    pub fn is_empty(self) -> bool {
+        matches!(self.norm(), Range::Empty)
+    }
+
+    /// The single value of the range, if it is a singleton.
+    pub fn as_exact(self) -> Option<i64> {
+        match self.norm() {
+            Range::Interval { lo, hi } if lo == hi => Some(lo as i64),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Range {
@@ -312,6 +416,106 @@ mod tests {
         );
         assert!(Range::Empty.subsumed_by(Range::Empty));
         assert!(Range::Ne(3).subsumed_by(Range::Full));
+    }
+
+    #[test]
+    fn join_is_upper_bound() {
+        let cases = [
+            Range::Empty,
+            Range::Full,
+            Range::Ne(0),
+            Range::Ne(7),
+            Range::exact(3),
+            Range::at_most(5),
+            Range::at_least(-2),
+            Range::Interval { lo: 1, hi: 9 },
+        ];
+        for a in cases {
+            for b in cases {
+                let j = a.join(b);
+                assert!(a.subsumed_by(j), "{a} ⊄ {a} ⊔ {b} = {j}");
+                assert!(b.subsumed_by(j), "{b} ⊄ {a} ⊔ {b} = {j}");
+                assert_eq!(j, b.join(a), "join must commute");
+            }
+        }
+        assert_eq!(
+            Range::exact(1).join(Range::exact(5)),
+            Range::Interval { lo: 1, hi: 5 }
+        );
+        assert_eq!(Range::Ne(3).join(Range::exact(4)), Range::Ne(3));
+        assert_eq!(Range::Ne(3).join(Range::exact(3)), Range::Full);
+    }
+
+    #[test]
+    fn meet_over_approximates_intersection() {
+        let cases = [
+            Range::Empty,
+            Range::Full,
+            Range::Ne(0),
+            Range::Ne(7),
+            Range::exact(3),
+            Range::at_most(5),
+            Range::at_least(-2),
+            Range::Interval { lo: 1, hi: 9 },
+        ];
+        for a in cases {
+            for b in cases {
+                let m = a.meet(b);
+                for v in -12..=12 {
+                    if a.contains(v) && b.contains(v) {
+                        assert!(m.contains(v), "{v} ∈ {a} ∩ {b} but not in meet {m}");
+                    }
+                }
+            }
+        }
+        // Exact cases: boundary holes shave an endpoint.
+        assert_eq!(
+            Range::Interval { lo: 0, hi: 5 }.meet(Range::Ne(0)),
+            Range::Interval { lo: 1, hi: 5 }
+        );
+        assert_eq!(
+            Range::Interval { lo: 0, hi: 5 }.meet(Range::Ne(5)),
+            Range::Interval { lo: 0, hi: 4 }
+        );
+        assert_eq!(Range::exact(4).meet(Range::at_least(5)), Range::Empty);
+    }
+
+    #[test]
+    fn widen_covers_and_terminates() {
+        let cases = [
+            Range::Empty,
+            Range::Full,
+            Range::Ne(0),
+            Range::exact(3),
+            Range::at_most(5),
+            Range::Interval { lo: 1, hi: 9 },
+        ];
+        for old in cases {
+            for next in cases {
+                let w = old.widen(next);
+                assert!(old.subsumed_by(w), "{old} ∇ {next} = {w} lost old");
+                assert!(next.subsumed_by(w), "{old} ∇ {next} = {w} lost next");
+                // Idempotent once stable: widening with a subset of the
+                // result must not change it.
+                assert_eq!(w.widen(w), w);
+            }
+        }
+        // Growing upper bound jumps straight to +∞; stable bound is kept.
+        assert_eq!(
+            Range::Interval { lo: 0, hi: 3 }.widen(Range::Interval { lo: 0, hi: 4 }),
+            Range::at_least(0)
+        );
+        // Any chain r0 ∇ r1 ∇ ... stabilizes in a bounded number of steps.
+        let mut r = Range::exact(0);
+        let mut changes = 0;
+        for i in 1..100 {
+            let next = r.widen(Range::exact(i));
+            if next != r {
+                changes += 1;
+            }
+            r = next;
+        }
+        assert!(changes <= 3, "widening chain changed {changes} times");
     }
 
     #[test]

@@ -10,6 +10,11 @@ cargo fmt --all -- --check
 echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> clippy (analysis-side crates, explicit)"
+for crate in ipds-analysis ipds-dataflow ipds-absint; do
+    cargo clippy -p "$crate" --all-targets -- -D warnings
+done
+
 echo "==> deprecation gate (in-tree code must use the builder APIs)"
 cargo clippy --workspace --all-targets -- -D deprecated
 
@@ -21,10 +26,14 @@ echo "==> pipeline gate (verify tables + serial/threaded determinism, all worklo
 cargo run -q --release -p ipds --bin ipdsc -- \
     build --workloads --verify-tables --determinism --threads 4
 
+echo "==> lint gate (table soundness audit, all workloads; fails on any LintError)"
+cargo run -q --release -p ipds --bin ipdsc -- \
+    lint --workloads --threads 4
+
 echo "==> property suites (vendored mini-proptest)"
 export PROPTEST_CASES="${PROPTEST_CASES:-64}"
 cargo test -q --release --features props
-for crate in ipds-ir ipds-dataflow ipds-analysis; do
+for crate in ipds-ir ipds-dataflow ipds-analysis ipds-absint; do
     cargo test -q --release -p "$crate" --features props
 done
 
@@ -39,7 +48,8 @@ cargo run -q --release -p ipds-bench --bin exp_all -- --quick
 for key in '"telemetry"' '"spans"' '"compile"' '"analyze"' '"golden"' \
            '"campaign"' '"null_sink"' '"campaign_counters"' \
            '"compile.analyze-functions"' '"hash_retries"' '"bat_bytes"' \
-           '"passes"'; do
+           '"passes"' '"lint_errors"' '"lint_warnings"' '"refine_proved"' \
+           '"refine_demoted"'; do
     grep -q "$key" results/bench_campaign.json \
         || { echo "missing $key in results/bench_campaign.json"; exit 1; }
 done

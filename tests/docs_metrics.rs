@@ -1,0 +1,73 @@
+//! Keeps the `pipeline.*` metric documentation honest.
+//!
+//! docs/PIPELINE.md and docs/OBSERVABILITY.md each carry a counter table;
+//! both must name **exactly** the keys in
+//! `ipds_analysis::PIPELINE_COUNTERS`, and a full-featured build
+//! (optimizer + verifier + refiner + linter) must emit exactly that key
+//! set — no documented-but-dead counters, no shipped-but-undocumented
+//! ones.
+
+use std::collections::BTreeSet;
+
+use ipds::analysis::pipeline::{build_source, BuildOptions};
+use ipds::analysis::PIPELINE_COUNTERS;
+use ipds::workloads;
+
+/// Extracts every `pipeline.<snake_case>` token from a documentation file.
+fn doc_counters(path: &str) -> BTreeSet<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("{path} must be readable from the workspace root: {e}"));
+    let mut found = BTreeSet::new();
+    for (i, _) in text.match_indices("pipeline.") {
+        let rest = &text[i + "pipeline.".len()..];
+        let key: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_lowercase() || *c == '_')
+            .collect();
+        if !key.is_empty() {
+            found.insert(format!("pipeline.{key}"));
+        }
+    }
+    found
+}
+
+#[test]
+fn docs_agree_with_the_canonical_counter_list() {
+    let canonical: BTreeSet<String> = PIPELINE_COUNTERS.iter().map(|s| s.to_string()).collect();
+    for path in ["docs/PIPELINE.md", "docs/OBSERVABILITY.md"] {
+        let documented = doc_counters(path);
+        assert_eq!(
+            documented, canonical,
+            "{path} must document exactly the PIPELINE_COUNTERS keys"
+        );
+    }
+}
+
+#[test]
+fn full_featured_build_emits_exactly_the_documented_keys() {
+    // Compile from source so the front-end passes (and their `tokens` /
+    // `functions` counters) run too.
+    let w = &workloads::all()[0];
+    let build = build_source(
+        w.source,
+        BuildOptions {
+            optimize: true,
+            threads: 2,
+            verify: true,
+            refine: true,
+            lint: true,
+            ..BuildOptions::default()
+        },
+    )
+    .expect("full-featured build must succeed");
+    let emitted: BTreeSet<String> = build
+        .metrics
+        .counters()
+        .map(|(name, _)| name.to_string())
+        .collect();
+    let canonical: BTreeSet<String> = PIPELINE_COUNTERS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        emitted, canonical,
+        "a full-featured build must emit exactly the documented counters"
+    );
+}

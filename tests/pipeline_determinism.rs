@@ -13,6 +13,7 @@ fn options(optimized: bool, threads: usize, verify: bool) -> BuildOptions {
         optimize: optimized,
         threads,
         verify,
+        ..BuildOptions::default()
     }
 }
 
