@@ -215,6 +215,31 @@ impl TableImage {
         TableImage { bytes }
     }
 
+    /// Byte offset where the payload pool starts (after the header and the
+    /// function information table), parsed from the header's function count.
+    /// `None` if the image is shorter than a header.
+    pub fn payload_offset(&self) -> Option<usize> {
+        if self.bytes.len() < HEADER_BYTES {
+            return None;
+        }
+        let count = u16::from_be_bytes([self.bytes[6], self.bytes[7]]) as usize;
+        Some(HEADER_BYTES + count * INFO_BYTES)
+    }
+
+    /// Recomputes and rewrites the header checksum over the current bytes.
+    ///
+    /// The fault-injection engine uses this to model a loader with its
+    /// integrity check *disabled*: corrupting the payload and restamping
+    /// the checksum lets the image load, so the campaign can measure
+    /// whether the runtime catches the corruption instead. No-op on images
+    /// too short to carry a header.
+    pub fn restamp_checksum(&mut self) {
+        if self.bytes.len() >= HEADER_BYTES {
+            let checksum = image_checksum(&self.bytes);
+            self.bytes[8..HEADER_BYTES].copy_from_slice(&checksum.to_be_bytes());
+        }
+    }
+
     /// Reconstructs the analysis tables from the image.
     ///
     /// Function names and branch block-ids are not stored in the image (the

@@ -75,6 +75,21 @@ fn main() {
     let micro = timed(&mut wall, "micro", || ipds_bench::micro::run(&hw));
     ipds_bench::micro::print(&micro);
 
+    let faults = timed(&mut wall, "faults", || {
+        fault_campaigns(if quick { 6 } else { 24 }, threads)
+    });
+    println!(
+        "fault injection: {} faults, {} detected, {} masked, {} crashed, \
+         {} image flips undetected, p50 latency {} branches",
+        faults.injected,
+        faults.detected,
+        faults.masked,
+        faults.crashed,
+        faults.image_undetected,
+        faults.p50
+    );
+    println!();
+
     let scaling = scaling_sweep(attacks, threads, quick);
     let overhead = null_sink_overhead(if quick { 60 } else { 300 }, if quick { 3 } else { 5 });
     // Wall-clock-dependent, so stderr: stdout stays byte-identical run-to-run.
@@ -86,7 +101,7 @@ fn main() {
     let counters = campaign_counters(attacks.min(50));
     let compiles = compile_reports();
     match write_bench_json(
-        attacks, threads, &wall, &scaling, &overhead, &counters, &compiles,
+        attacks, threads, &wall, &scaling, &overhead, &counters, &compiles, &faults,
     ) {
         Ok(path) => println!("campaign throughput written to {path}"),
         Err(e) => eprintln!("warning: could not write bench_campaign.json: {e}"),
@@ -201,6 +216,61 @@ fn null_sink_overhead(attacks: u32, reps: u32) -> Overhead {
     }
 }
 
+/// Aggregated fault-injection results across every workload (see
+/// `docs/FAULTS.md`): outcome totals, the exact-median detection latency
+/// over every detection, and the merged latency histogram.
+struct FaultsSummary {
+    flips_per_site: u32,
+    injected: u64,
+    detected: u64,
+    masked: u64,
+    crashed: u64,
+    image_undetected: u64,
+    p50: u64,
+    latency: ipds_telemetry::Histogram,
+}
+
+/// Runs one seeded fault campaign per workload (deterministic for any
+/// `threads`) and folds the results. Compiles and golden runs come from the
+/// shared artifact cache the earlier figures already populated.
+fn fault_campaigns(flips: u32, threads: usize) -> FaultsSummary {
+    let mut summary = FaultsSummary {
+        flips_per_site: flips,
+        injected: 0,
+        detected: 0,
+        masked: 0,
+        crashed: 0,
+        image_undetected: 0,
+        p50: 0,
+        latency: ipds_telemetry::Histogram::default(),
+    };
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in ipds_workloads::all() {
+        let art =
+            ipds_bench::artifacts::campaign_artifacts(&w, &ipds::Config::default(), false, 2006);
+        let (r, metrics) = art
+            .protected
+            .fault_spec()
+            .inputs(&art.inputs)
+            .flips(flips)
+            .seed(2006)
+            .threads(threads)
+            .run_metered();
+        summary.injected += u64::from(r.injected);
+        summary.detected += u64::from(r.detected);
+        summary.masked += u64::from(r.masked);
+        summary.crashed += u64::from(r.crashed);
+        summary.image_undetected += u64::from(r.image_undetected);
+        latencies.extend_from_slice(&r.latencies);
+        if let Some(h) = metrics.histogram("faults.detect_latency_branches") {
+            summary.latency.merge(h);
+        }
+    }
+    latencies.sort_unstable();
+    summary.p50 = latencies.get(latencies.len() / 2).copied().unwrap_or(0);
+    summary
+}
+
 /// One instrumented campaign with a [`CountingSink`], for the event-count
 /// section of the JSON (what the checker actually did, not how long it
 /// took).
@@ -246,6 +316,7 @@ fn compile_reports() -> Vec<std::sync::Arc<ipds_bench::artifacts::CompileReport>
 /// bytes), the pipeline spans the telemetry layer recorded
 /// (compile → analyze → golden → campaign, with `compile.<pass>` children),
 /// the NullSink overhead measurement and one campaign's event counters.
+#[allow(clippy::too_many_arguments)]
 fn write_bench_json(
     attacks: u32,
     threads: usize,
@@ -254,6 +325,7 @@ fn write_bench_json(
     overhead: &Overhead,
     counters: &CounterSnapshot,
     compiles: &[std::sync::Arc<ipds_bench::artifacts::CompileReport>],
+    faults: &FaultsSummary,
 ) -> std::io::Result<String> {
     let workloads = ipds_workloads::all().len() as u32;
     let fig7_seconds = wall
@@ -326,6 +398,36 @@ fn write_bench_json(
         json.push_str(&format!("      ] }}{comma}\n"));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"faults\": {\n");
+    json.push_str(&format!(
+        "    \"flips_per_site\": {},\n",
+        faults.flips_per_site
+    ));
+    json.push_str(&format!("    \"faults_injected\": {},\n", faults.injected));
+    json.push_str(&format!("    \"faults_detected\": {},\n", faults.detected));
+    json.push_str(&format!("    \"faults_masked\": {},\n", faults.masked));
+    json.push_str(&format!("    \"faults_crashed\": {},\n", faults.crashed));
+    json.push_str(&format!(
+        "    \"faults_image_undetected\": {},\n",
+        faults.image_undetected
+    ));
+    json.push_str(&format!("    \"detect_latency_p50\": {},\n", faults.p50));
+    json.push_str("    \"detect_latency_histogram\": {\n");
+    json.push_str(&format!("      \"count\": {},\n", faults.latency.count));
+    json.push_str(&format!("      \"mean\": {:.3},\n", faults.latency.mean()));
+    json.push_str(&format!(
+        "      \"max\": {},\n      \"buckets\": [{}]\n",
+        faults.latency.max,
+        faults
+            .latency
+            .buckets
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    json.push_str("    }\n");
+    json.push_str("  },\n");
     json.push_str("  \"telemetry\": {\n");
     json.push_str("    \"spans\": [\n");
     let spans = phases().snapshot();

@@ -61,6 +61,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "lint" {
         return lint_cmd(&args[1..]);
     }
+    if cmd == "faults" {
+        return faults_cmd(&args[1..]);
+    }
     let Some(file) = args.get(1) else {
         return Err(usage());
     };
@@ -99,8 +102,9 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: ipdsc <compile|build|lint|run|attack|campaign|time|trace> FILE [options]\n\
-     (build and lint also accept --workloads instead of FILE)\n\
+    "usage: ipdsc <compile|build|lint|faults|run|attack|campaign|time|trace> FILE [options]\n\
+     (build, lint and faults also accept --workloads instead of FILE)\n\
+     faults options: --flips N --seed S --threads T --no-checksum --input LIST\n\
      see `ipdsc` module docs for options"
         .to_string()
 }
@@ -155,6 +159,79 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
     }
     if errors > 0 {
         return Err(format!("lint found {errors} error(s)"));
+    }
+    Ok(())
+}
+
+/// `ipdsc faults`: a seeded fault-injection campaign over a file or every
+/// bundled workload (see `docs/FAULTS.md`). Exit status is nonzero when
+/// any table-image flip survives the loader with the checksum on.
+fn faults_cmd(args: &[String]) -> Result<(), String> {
+    let flips = parse_num(args, "--flips").unwrap_or(32).max(1) as u32;
+    let seed = parse_num(args, "--seed").unwrap_or(2006) as u64;
+    let threads = parse_num(args, "--threads").unwrap_or(1).max(1) as usize;
+    let checksum = !has_flag(args, "--no-checksum");
+
+    let mut undetected = 0u32;
+    let mut report = |label: &str, r: ipds::FaultCampaignResult| {
+        println!(
+            "{label}: {} faults (image {}, checker {}, memory {}): \
+             {} detected ({:.1}%), {} masked, {} crashed, p50 latency {} branches",
+            r.injected,
+            r.image,
+            r.checker,
+            r.memory,
+            r.detected,
+            100.0 * r.detected_rate(),
+            r.masked,
+            r.crashed,
+            r.detect_latency_p50(),
+        );
+        if r.image_undetected > 0 {
+            println!(
+                "{label}: {} image flip(s) LOADED despite the checksum",
+                r.image_undetected
+            );
+        }
+        undetected += r.image_undetected;
+    };
+
+    if has_flag(args, "--workloads") {
+        for w in ipds::workloads::all() {
+            let p = Protected::from_program(w.program(), &Config::default());
+            let inputs = w.inputs(seed);
+            let r = p
+                .fault_spec()
+                .inputs(&inputs)
+                .flips(flips)
+                .seed(seed)
+                .checksum(checksum)
+                .threads(threads)
+                .run();
+            report(w.name, r);
+        }
+    } else {
+        let file = args
+            .iter()
+            .find(|&a| !a.starts_with("--") && !is_flag_value(args, a))
+            .ok_or_else(usage)?;
+        let source = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+        let p = protect(&source)?;
+        let inputs = inputs_of(args)?;
+        let r = p
+            .fault_spec()
+            .inputs(&inputs)
+            .flips(flips)
+            .seed(seed)
+            .checksum(checksum)
+            .threads(threads)
+            .run();
+        report(file, r);
+    }
+    if undetected > 0 {
+        return Err(format!(
+            "{undetected} corrupted table image(s) loaded undetected"
+        ));
     }
     Ok(())
 }
@@ -217,11 +294,12 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
 /// True if `arg` is the value slot of a value-taking flag (e.g. the `4` of
 /// `--threads 4`), so the positional-FILE scan skips it.
 fn is_flag_value(args: &[String], arg: &String) -> bool {
+    const VALUE_FLAGS: &[&str] = &["--threads", "--flips", "--seed", "--input"];
     args.iter()
         .position(|a| std::ptr::eq(a, arg))
         .and_then(|i| i.checked_sub(1))
         .and_then(|i| args.get(i))
-        .is_some_and(|prev| prev == "--threads")
+        .is_some_and(|prev| VALUE_FLAGS.contains(&prev.as_str()))
 }
 
 /// Builds one program through the pipeline, printing a summary (and
@@ -492,7 +570,7 @@ fn trace(source: &str, inputs: &[Input], limit: usize) -> Result<(), String> {
             self.checker.on_call(func);
         }
         fn on_return(&mut self) {
-            self.checker.on_return();
+            let _ = self.checker.on_return();
         }
     }
 

@@ -94,7 +94,10 @@ pub use ipds_workloads as workloads;
 // Re-export the most used leaf types at the top level.
 pub use ipds_analysis::AnalysisConfig as Config;
 pub use ipds_runtime::HwConfig as Hardware;
-pub use ipds_sim::{CampaignResult, GoldenRun, Input};
+pub use ipds_sim::{
+    AnomalyReport, CampaignResult, FaultCampaign, FaultCampaignResult, FaultOutcome, FaultSite,
+    GoldenRun, Input,
+};
 
 /// Everything that can fail in the facade API.
 ///
@@ -287,6 +290,32 @@ impl Protected {
             golden: None,
             sink: &NULL_SINK,
         }
+    }
+
+    /// Starts configuring a fault-injection campaign (see
+    /// `docs/FAULTS.md`). Defaults: no inputs, 32 flips per site, seed
+    /// `0x1bd5`, loader checksum on, serial execution.
+    pub fn fault_spec(&self) -> FaultSpec<'_> {
+        FaultSpec {
+            protected: self,
+            inputs: &[],
+            flips: 32,
+            seed: 0x1bd5,
+            checksum: true,
+            threads: 1,
+        }
+    }
+
+    /// Runs a seeded fault-injection campaign, serially.
+    ///
+    /// Shorthand for
+    /// `self.fault_spec().inputs(..).flips(..).seed(..).run()`.
+    pub fn faults(&self, inputs: &[Input], flips: u32, seed: u64) -> FaultCampaignResult {
+        self.fault_spec()
+            .inputs(inputs)
+            .flips(flips)
+            .seed(seed)
+            .run()
     }
 
     /// Executes cleanly under IPDS checking.
@@ -746,6 +775,96 @@ impl<'a, S: EventSink> CampaignSpec<'a, S> {
             &campaign,
             self.threads,
             self.sink,
+        )
+    }
+}
+
+/// Builder for a fault-injection campaign (see [`Protected::fault_spec`]
+/// and `docs/FAULTS.md`).
+///
+/// The campaign serializes the program's tables to a [`TableImage`] and
+/// injects `flips` faults into each of the three sites (image bytes,
+/// live checker state, guest memory); results are bit-identical for every
+/// thread count.
+#[derive(Debug)]
+pub struct FaultSpec<'a> {
+    protected: &'a Protected,
+    inputs: &'a [Input],
+    flips: u32,
+    seed: u64,
+    checksum: bool,
+    threads: usize,
+}
+
+impl<'a> FaultSpec<'a> {
+    /// The victim's input script (shared by the golden run and every
+    /// faulted run).
+    pub fn inputs(mut self, inputs: &'a [Input]) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Faults per site (default 32); the campaign injects `3 * flips`
+    /// faults in total.
+    pub fn flips(mut self, flips: u32) -> Self {
+        self.flips = flips;
+        self
+    }
+
+    /// Campaign master seed (default `0x1bd5`); fault `i` derives its own
+    /// stream via [`ipds_sim::fault_seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether the loader verifies the image checksum (default `true`).
+    /// Off, corrupted images are restamped and detection falls to the
+    /// runtime.
+    pub fn checksum(mut self, on: bool) -> Self {
+        self.checksum = on;
+        self
+    }
+
+    /// Worker threads (default 1 = serial). Results are bit-identical for
+    /// every thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run faults or a worker thread panics.
+    pub fn run(&self) -> FaultCampaignResult {
+        self.run_metered().0
+    }
+
+    /// Runs the campaign and returns the merged per-worker `faults.*`
+    /// metrics (counters plus the detection-latency histogram) alongside
+    /// the result. Both are bit-identical for every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the golden run faults or a worker thread panics.
+    pub fn run_metered(&self) -> (FaultCampaignResult, MetricsRegistry) {
+        let image = TableImage::build(&self.protected.analysis);
+        let (_, limits) = self.protected.campaign_artifacts(self.inputs);
+        let campaign = FaultCampaign {
+            flips: self.flips,
+            seed: self.seed,
+            checksum: self.checksum,
+            limits,
+        };
+        ipds_sim::run_fault_campaign_threaded(
+            &self.protected.program,
+            &self.protected.analysis,
+            &image,
+            self.inputs,
+            &campaign,
+            self.threads,
         )
     }
 }

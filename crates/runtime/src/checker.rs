@@ -5,6 +5,8 @@ use std::collections::HashMap;
 use ipds_analysis::{BranchStatus, FunctionAnalysis, ProgramAnalysis};
 use ipds_ir::FuncId;
 
+use crate::error::RuntimeError;
+
 /// A detected infeasible path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alarm {
@@ -57,6 +59,8 @@ pub struct IpdsStats {
     pub calls: u64,
     /// Deepest stack observed.
     pub max_depth: usize,
+    /// Return events that arrived with no frame on the stack.
+    pub underflows: u64,
 }
 
 /// One stacked function activation's mutable checking state.
@@ -170,15 +174,35 @@ impl<'a> IpdsChecker<'a> {
 
     /// Pops the top frame (function return).
     ///
-    /// # Panics
-    ///
-    /// Panics if the stack is empty (call/return events must balance).
-    pub fn on_return(&mut self) {
-        let frame = self
-            .stack
-            .pop()
-            .expect("IPDS frame stack underflow: unbalanced call/return events");
+    /// A return with no active frame means the call/return event stream is
+    /// unbalanced — e.g. a corrupted return address under fault injection.
+    /// The checker counts it and degrades gracefully instead of aborting.
+    pub fn on_return(&mut self) -> Result<(), RuntimeError> {
+        let Some(frame) = self.stack.pop() else {
+            self.stats.underflows += 1;
+            return Err(RuntimeError::FrameStackUnderflow {
+                component: "checker",
+            });
+        };
         self.bsv_pool.push(frame.bsv);
+        Ok(())
+    }
+
+    /// Fault-injection hook: overwrites one BSV slot of the top frame,
+    /// returning the previous status. `None` if there is no active frame or
+    /// the slot is out of range — the fault engine treats that as a miss.
+    pub fn inject_bsv(&mut self, slot: usize, status: BranchStatus) -> Option<BranchStatus> {
+        let frame = self.stack.last_mut()?;
+        let s = frame.bsv.get_mut(slot)?;
+        let old = *s;
+        *s = status;
+        Some(old)
+    }
+
+    /// Number of BSV slots in the top frame (the fault engine uses this to
+    /// pick an in-range injection slot). Zero when no frame is active.
+    pub fn top_bsv_len(&self) -> usize {
+        self.stack.last().map_or(0, |f| f.bsv.len())
     }
 
     /// Current stack depth.
@@ -247,6 +271,25 @@ impl<'a> IpdsChecker<'a> {
 
         self.stats.table_accesses += outcome.table_accesses as u64;
         outcome
+    }
+
+    /// Non-panicking variant of [`IpdsChecker::on_branch`] for fault
+    /// campaigns driving the checker from *corrupted* tables: a PC the top
+    /// frame's function does not know (e.g. a bit-flipped branch address) is
+    /// an unverifiable probe miss — the branch is still counted, but no
+    /// verify/update runs and `None` is returned. `None` is also returned
+    /// when no frame is active.
+    pub fn on_branch_lenient(&mut self, pc: u64, dir: bool) -> Option<BranchOutcome> {
+        let frame = self.stack.last()?;
+        let known = self
+            .tables
+            .get(frame.func.0 as usize)
+            .is_some_and(|t| t.by_pc.contains_key(&pc));
+        if !known {
+            self.stats.branches += 1;
+            return None;
+        }
+        Some(self.on_branch(pc, dir))
     }
 
     /// Reads the expected status currently recorded for a branch of the top
@@ -370,10 +413,10 @@ mod tests {
         // Two activations with opposite directions are fine: the BSV stacks.
         ipds.on_call(check.func);
         assert!(!ipds.on_branch(pc, true).alarm);
-        ipds.on_return();
+        ipds.on_return().unwrap();
         ipds.on_call(check.func);
         assert!(!ipds.on_branch(pc, false).alarm);
-        ipds.on_return();
+        ipds.on_return().unwrap();
         assert!(!ipds.detected());
         assert_eq!(ipds.stats().calls, 2);
     }
@@ -396,7 +439,7 @@ mod tests {
         assert!(!ipds.on_branch(mpcs[0], true).alarm);
         ipds.on_call(inner.func);
         assert!(!ipds.on_branch(ipc, false).alarm);
-        ipds.on_return();
+        ipds.on_return().unwrap();
         // Back in main: x == 1 must still be expected taken.
         let out = ipds.on_branch(mpcs[1], false);
         assert!(out.alarm, "stacked BSV must survive the call");
@@ -426,6 +469,56 @@ mod tests {
         assert!(!ipds.on_branch(pcs[0], false).alarm);
         assert!(ipds.on_branch(pcs[1], true).alarm);
         assert_eq!(ipds.alarms().len(), 1);
+    }
+
+    #[test]
+    fn unbalanced_return_is_a_typed_error() {
+        let (_, a) = setup("fn main() -> int { return 0; }");
+        let mut ipds = IpdsChecker::new(&a);
+        let err = ipds.on_return().unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::RuntimeError::FrameStackUnderflow {
+                component: "checker"
+            }
+        );
+        assert_eq!(ipds.stats().underflows, 1);
+        // The checker keeps working after the violation.
+        ipds.on_call(a.functions[0].func);
+        ipds.on_return().unwrap();
+        assert_eq!(ipds.stats().underflows, 1);
+    }
+
+    #[test]
+    fn injected_bsv_corruption_raises_an_alarm() {
+        // Flip the recorded expectation for a checked repeat: the very next
+        // (feasible!) execution of the correlated branch now mismatches, so
+        // the corruption itself is what gets detected.
+        let (_, a) = setup(
+            "fn main() -> int { int user; user = read_int(); \
+             if (user == 1) { print_int(1); } \
+             if (user == 1) { print_int(2); } return 0; }",
+        );
+        let main = &a.functions[0];
+        let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+        let slot = main.branches[1].slot as usize;
+        let mut ipds = IpdsChecker::new(&a);
+        ipds.on_call(main.func);
+        assert!(!ipds.on_branch(pcs[0], true).alarm);
+        let old = ipds.inject_bsv(slot, BranchStatus::NotTaken).unwrap();
+        assert_eq!(old, BranchStatus::Taken);
+        assert!(ipds.on_branch(pcs[1], true).alarm, "tampered BSV must trip");
+    }
+
+    #[test]
+    fn inject_bsv_misses_without_a_frame_or_slot() {
+        let (_, a) = setup("fn main() -> int { return 0; }");
+        let mut ipds = IpdsChecker::new(&a);
+        assert_eq!(ipds.top_bsv_len(), 0);
+        assert!(ipds.inject_bsv(0, BranchStatus::Taken).is_none());
+        ipds.on_call(a.functions[0].func);
+        let len = ipds.top_bsv_len();
+        assert!(ipds.inject_bsv(len, BranchStatus::Taken).is_none());
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! Typed protocol errors for the runtime models.
+//!
+//! A tampered guest (or an injected fault) can desynchronize the
+//! call/return event stream the simulator feeds the IPDS — e.g. a corrupted
+//! return address that pops a frame the hardware never pushed. The models
+//! surface that as a [`RuntimeError`] instead of panicking, so a fault
+//! campaign records the event as an anomaly and keeps running.
+
+use std::error::Error;
+use std::fmt;
+
+/// A call/return protocol violation one of the runtime models caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A return event arrived with no active frame — the call/return
+    /// stream is unbalanced (e.g. a corrupted return address).
+    FrameStackUnderflow {
+        /// Which model caught it (`"checker"` or `"onchip"`).
+        component: &'static str,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::FrameStackUnderflow { component } => write!(
+                f,
+                "{component} frame stack underflow: unbalanced call/return events"
+            ),
+        }
+    }
+}
+
+impl Error for RuntimeError {}

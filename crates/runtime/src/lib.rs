@@ -23,8 +23,10 @@
 pub mod checker;
 pub mod config;
 pub mod context;
+pub mod error;
 pub mod onchip;
 
 pub use checker::{Alarm, BranchOutcome, IpdsChecker, IpdsStats};
 pub use config::HwConfig;
+pub use error::RuntimeError;
 pub use onchip::{OnChipModel, SpillStats};

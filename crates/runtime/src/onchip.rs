@@ -12,6 +12,7 @@ use ipds_analysis::ProgramAnalysis;
 use ipds_ir::FuncId;
 
 use crate::config::HwConfig;
+use crate::error::RuntimeError;
 
 /// Spill/fill statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,6 +25,8 @@ pub struct SpillStats {
     pub bits_moved: u64,
     /// Peak resident bits across the three buffers.
     pub peak_bits: usize,
+    /// Return events that arrived with no frame on the stack.
+    pub underflows: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +44,11 @@ pub struct OnChipModel<'a> {
     frames: Vec<FrameFootprint>,
     resident_bits: usize,
     stats: SpillStats,
+    /// First frame index that may still be resident. Frames below it have
+    /// all been spilled, so the eviction scan in [`OnChipModel::on_call`]
+    /// resumes here instead of rescanning the (spilled) prefix — O(1)
+    /// amortized per call even for deep recursion.
+    oldest_resident: usize,
 }
 
 impl<'a> OnChipModel<'a> {
@@ -54,6 +62,7 @@ impl<'a> OnChipModel<'a> {
             frames: Vec::new(),
             resident_bits: 0,
             stats: SpillStats::default(),
+            oldest_resident: 0,
         }
     }
 
@@ -73,9 +82,12 @@ impl<'a> OnChipModel<'a> {
         let mut cycles = 0;
         // Spill oldest resident frames until within budget (the new top must
         // stay resident even if it alone exceeds the budget — hardware would
-        // stream it, which the cost below reflects).
-        let mut i = 0;
-        while self.resident_bits > self.budget_bits && i + 1 < self.frames.len() {
+        // stream it, which the cost below reflects). Everything below the
+        // persistent cursor is already spilled, so the scan never revisits
+        // it.
+        while self.resident_bits > self.budget_bits && self.oldest_resident + 1 < self.frames.len()
+        {
+            let i = self.oldest_resident;
             if self.frames[i].resident {
                 self.frames[i].resident = false;
                 self.resident_bits -= self.frames[i].bits;
@@ -83,7 +95,7 @@ impl<'a> OnChipModel<'a> {
                 self.stats.bits_moved += self.frames[i].bits as u64;
                 cycles += Self::transfer_cycles(self.frames[i].bits, config);
             }
-            i += 1;
+            self.oldest_resident += 1;
         }
         self.stats.peak_bits = self.stats.peak_bits.max(self.resident_bits);
         cycles
@@ -91,24 +103,44 @@ impl<'a> OnChipModel<'a> {
 
     /// Pops a frame on return. Returns the cycles spent filling the newly
     /// exposed top frame if it had been spilled.
-    pub fn on_return(&mut self, config: &HwConfig) -> u64 {
-        let top = self
-            .frames
-            .pop()
-            .expect("on-chip frame stack underflow: unbalanced call/return");
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::FrameStackUnderflow`] when no frame is active — an
+    /// unbalanced call/return stream (e.g. a corrupted return address). The
+    /// event is also counted in [`SpillStats::underflows`]; the model stays
+    /// usable afterwards.
+    pub fn on_return(&mut self, config: &HwConfig) -> Result<u64, RuntimeError> {
+        let Some(top) = self.frames.pop() else {
+            self.stats.underflows += 1;
+            return Err(RuntimeError::FrameStackUnderflow {
+                component: "onchip",
+            });
+        };
         if top.resident {
             self.resident_bits -= top.bits;
         }
+        self.oldest_resident = self
+            .oldest_resident
+            .min(self.frames.len().saturating_sub(1));
+        let len = self.frames.len();
         if let Some(new_top) = self.frames.last_mut() {
             if !new_top.resident {
                 new_top.resident = true;
                 self.resident_bits += new_top.bits;
                 self.stats.fills += 1;
                 self.stats.bits_moved += new_top.bits as u64;
-                return Self::transfer_cycles(new_top.bits, config);
+                // A filled frame can be larger than the one just popped, so
+                // residency can peak on returns too.
+                self.stats.peak_bits = self.stats.peak_bits.max(self.resident_bits);
+                // The filled top is the oldest resident frame again: every
+                // frame below it was spilled before it ever was.
+                self.oldest_resident = len - 1;
+                return Ok(Self::transfer_cycles(new_top.bits, config));
             }
         }
-        0
+        self.stats.peak_bits = self.stats.peak_bits.max(self.resident_bits);
+        Ok(0)
     }
 
     /// Cycles to move `bits` between the buffer and memory: one first-chunk
@@ -144,6 +176,66 @@ mod tests {
         analyze_program(&p, &AnalysisConfig::default())
     }
 
+    /// The pre-cursor spill model: scans from index 0 on every call. Kept
+    /// as the reference the persistent-cursor model must match stat-for-stat
+    /// (minus `peak_bits`, whose on-return update is a deliberate fix, and
+    /// `underflows`, which it never counts).
+    struct NaiveModel {
+        budget_bits: usize,
+        frames: Vec<FrameFootprint>,
+        resident_bits: usize,
+        stats: SpillStats,
+    }
+
+    impl NaiveModel {
+        fn new(config: &HwConfig) -> NaiveModel {
+            NaiveModel {
+                budget_bits: config.total_onchip_bits(),
+                frames: Vec::new(),
+                resident_bits: 0,
+                stats: SpillStats::default(),
+            }
+        }
+
+        fn on_call(&mut self, bits: usize, config: &HwConfig) -> u64 {
+            self.frames.push(FrameFootprint {
+                bits,
+                resident: true,
+            });
+            self.resident_bits += bits;
+            let mut cycles = 0;
+            let mut i = 0;
+            while self.resident_bits > self.budget_bits && i + 1 < self.frames.len() {
+                if self.frames[i].resident {
+                    self.frames[i].resident = false;
+                    self.resident_bits -= self.frames[i].bits;
+                    self.stats.spills += 1;
+                    self.stats.bits_moved += self.frames[i].bits as u64;
+                    cycles += OnChipModel::transfer_cycles(self.frames[i].bits, config);
+                }
+                i += 1;
+            }
+            cycles
+        }
+
+        fn on_return(&mut self, config: &HwConfig) -> u64 {
+            let top = self.frames.pop().expect("naive model underflow");
+            if top.resident {
+                self.resident_bits -= top.bits;
+            }
+            if let Some(new_top) = self.frames.last_mut() {
+                if !new_top.resident {
+                    new_top.resident = true;
+                    self.resident_bits += new_top.bits;
+                    self.stats.fills += 1;
+                    self.stats.bits_moved += new_top.bits as u64;
+                    return OnChipModel::transfer_cycles(new_top.bits, config);
+                }
+            }
+            0
+        }
+    }
+
     #[test]
     fn shallow_stacks_never_spill() {
         let a = small_analysis();
@@ -151,8 +243,8 @@ mod tests {
         let mut m = OnChipModel::new(&a, &cfg);
         assert_eq!(m.on_call(ipds_ir::FuncId(1), &cfg), 0);
         assert_eq!(m.on_call(ipds_ir::FuncId(0), &cfg), 0);
-        assert_eq!(m.on_return(&cfg), 0);
-        assert_eq!(m.on_return(&cfg), 0);
+        assert_eq!(m.on_return(&cfg).unwrap(), 0);
+        assert_eq!(m.on_return(&cfg).unwrap(), 0);
         assert_eq!(m.stats().spills, 0);
         assert_eq!(m.stats().fills, 0);
     }
@@ -171,11 +263,11 @@ mod tests {
         let spill_cycles = m.on_call(ipds_ir::FuncId(0), &cfg);
         assert!(spill_cycles > 0, "second frame must evict the first");
         assert_eq!(m.stats().spills, 1);
-        let fill_cycles = m.on_return(&cfg);
+        let fill_cycles = m.on_return(&cfg).unwrap();
         assert!(fill_cycles > 0, "returning must fill the spilled frame");
         assert_eq!(m.stats().fills, 1);
         assert!(m.stats().bits_moved > 0);
-        m.on_return(&cfg);
+        m.on_return(&cfg).unwrap();
         assert_eq!(m.resident_bits(), 0);
     }
 
@@ -191,9 +283,127 @@ mod tests {
             m.resident_bits() <= cfg.total_onchip_bits() + a.of(ipds_ir::FuncId(0)).sizes.total()
         );
         for _ in 0..1000 {
-            m.on_return(&cfg);
+            m.on_return(&cfg).unwrap();
         }
         assert_eq!(m.resident_bits(), 0);
         assert!(m.stats().spills > 0);
+    }
+
+    #[test]
+    fn unbalanced_return_is_a_typed_error() {
+        let a = small_analysis();
+        let cfg = HwConfig::table1_default();
+        let mut m = OnChipModel::new(&a, &cfg);
+        let err = m.on_return(&cfg).unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::FrameStackUnderflow {
+                component: "onchip"
+            }
+        );
+        assert_eq!(m.stats().underflows, 1);
+        // The model degrades instead of aborting: a later balanced
+        // call/return pair still works.
+        m.on_call(ipds_ir::FuncId(0), &cfg);
+        assert_eq!(m.on_return(&cfg).unwrap(), 0);
+        assert_eq!(m.stats().underflows, 1);
+    }
+
+    #[test]
+    fn cursor_model_matches_naive_scan_stats() {
+        // Drive both models through an irregular deep call/return pattern
+        // under a budget that forces constant spill/fill traffic; spills,
+        // fills, bits moved and per-event cycles must agree exactly.
+        let a = small_analysis();
+        let mut cfg = HwConfig::table1_default();
+        let one = a.of(ipds_ir::FuncId(0)).sizes.total();
+        cfg.bsv_stack_bits = 3 * one + 8;
+        cfg.bcv_stack_bits = 0;
+        cfg.bat_stack_bits = 0;
+        let mut m = OnChipModel::new(&a, &cfg);
+        let mut naive = NaiveModel::new(&cfg);
+        let mut depth = 0usize;
+        // Deterministic zig-zag: bursts of calls interleaved with partial
+        // unwinds, alternating both footprints.
+        for round in 0..200usize {
+            let calls = 1 + round % 5;
+            for c in 0..calls {
+                let func = ipds_ir::FuncId(((round + c) % 2) as u32);
+                let bits = a.of(func).sizes.total();
+                assert_eq!(m.on_call(func, &cfg), naive.on_call(bits, &cfg));
+                depth += 1;
+            }
+            let returns = round % 3;
+            for _ in 0..returns.min(depth.saturating_sub(1)) {
+                assert_eq!(m.on_return(&cfg).unwrap(), naive.on_return(&cfg));
+                depth -= 1;
+            }
+        }
+        while depth > 0 {
+            assert_eq!(m.on_return(&cfg).unwrap(), naive.on_return(&cfg));
+            depth -= 1;
+        }
+        assert_eq!(m.stats().spills, naive.stats.spills);
+        assert_eq!(m.stats().fills, naive.stats.fills);
+        assert_eq!(m.stats().bits_moved, naive.stats.bits_moved);
+        assert!(m.stats().spills > 0, "the pattern must actually spill");
+        assert_eq!(m.resident_bits(), 0);
+    }
+
+    #[test]
+    fn ten_k_deep_recursion_is_linear_and_consistent() {
+        // 10 000 nested calls under a tiny budget: with the old
+        // scan-from-zero eviction this was O(n²); the persistent cursor
+        // makes it O(n). The test pins the bookkeeping (every frame but the
+        // resident top set spilled exactly once, everything filled back).
+        let a = small_analysis();
+        let mut cfg = HwConfig::table1_default();
+        let one = a.of(ipds_ir::FuncId(0)).sizes.total();
+        cfg.bsv_stack_bits = 2 * one + 8;
+        cfg.bcv_stack_bits = 0;
+        cfg.bat_stack_bits = 0;
+        let mut m = OnChipModel::new(&a, &cfg);
+        const DEPTH: u64 = 10_000;
+        for _ in 0..DEPTH {
+            m.on_call(ipds_ir::FuncId(0), &cfg);
+        }
+        for _ in 0..DEPTH {
+            m.on_return(&cfg).unwrap();
+        }
+        assert_eq!(m.resident_bits(), 0);
+        assert_eq!(m.stats().spills, DEPTH - 2, "all but the top set spill");
+        assert_eq!(m.stats().fills, m.stats().spills, "unwinding fills all");
+        assert_eq!(m.stats().underflows, 0);
+    }
+
+    #[test]
+    fn fill_induced_peaks_are_recorded() {
+        // leaf (FuncId 1) is smaller than main (FuncId 0). Stack
+        // main/main/leaf under a budget that holds only the leaf: popping
+        // the leaf fills the larger main frame, so residency peaks on the
+        // *return* — which `peak_bits` must see.
+        let a = small_analysis();
+        let big = a.of(ipds_ir::FuncId(0)).sizes.total();
+        let small = a.of(ipds_ir::FuncId(1)).sizes.total();
+        assert!(small < big, "fixture needs distinct footprints");
+        let mut cfg = HwConfig::table1_default();
+        cfg.bsv_stack_bits = small + 1;
+        cfg.bcv_stack_bits = 0;
+        cfg.bat_stack_bits = 0;
+        let mut m = OnChipModel::new(&a, &cfg);
+        m.on_call(ipds_ir::FuncId(0), &cfg);
+        m.on_call(ipds_ir::FuncId(1), &cfg);
+        // Both spills leave only the small leaf resident at call time.
+        assert_eq!(m.resident_bits(), small);
+        let peak_at_calls = m.stats().peak_bits;
+        let fill = m.on_return(&cfg).unwrap();
+        assert!(fill > 0, "return must fill the spilled main frame");
+        assert_eq!(m.resident_bits(), big);
+        assert!(
+            m.stats().peak_bits >= big && m.stats().peak_bits > peak_at_calls.min(big - 1),
+            "fill-induced peak must be recorded: {:?}",
+            m.stats()
+        );
+        m.on_return(&cfg).unwrap();
     }
 }

@@ -54,7 +54,7 @@ fn expected_status_reflects_frame_stack() {
     ipds.on_call(leaf.func);
     assert_eq!(ipds.expected_status(lpc), Some(BranchStatus::Unknown));
     assert_eq!(ipds.depth(), 2);
-    ipds.on_return();
+    ipds.on_return().unwrap();
     // The caller's status survived underneath.
     assert_eq!(ipds.expected_status(mpc), Some(BranchStatus::Taken));
 }
@@ -70,18 +70,18 @@ fn deep_stacks_track_max_depth() {
     assert_eq!(ipds.depth(), 50);
     assert_eq!(ipds.stats().max_depth, 50);
     for _ in 0..50 {
-        ipds.on_return();
+        ipds.on_return().unwrap();
     }
     assert_eq!(ipds.depth(), 0);
     assert_eq!(ipds.stats().max_depth, 50, "high-water mark persists");
 }
 
 #[test]
-#[should_panic(expected = "underflow")]
-fn unbalanced_return_panics() {
+fn unbalanced_return_is_reported_not_fatal() {
     let a = analysis("fn main() -> int { return 0; }");
     let mut ipds = IpdsChecker::new(&a);
-    ipds.on_return();
+    assert!(ipds.on_return().is_err());
+    assert_eq!(ipds.stats().underflows, 1);
 }
 
 #[test]

@@ -239,20 +239,37 @@ impl<'a> Interp<'a> {
     }
 
     /// Resolves an address expression to an absolute cell address.
-    fn resolve(&self, act: &Activation, addr: &Address) -> usize {
-        match addr {
-            Address::Var(v) => self.mem.addr_of(act.frame, *v),
+    ///
+    /// `Err(raw)` carries the computed address when it is negative — a
+    /// tampered or underflowed pointer. Callers turn that into a memory
+    /// fault: clamping it (the old behavior) silently aliased tampered
+    /// pointers onto cell 0, masking exactly the corruption the IPDS
+    /// exists to surface.
+    fn resolve(&self, act: &Activation, addr: &Address) -> Result<usize, i64> {
+        let raw = match addr {
+            Address::Var(v) => return Ok(self.mem.addr_of(act.frame, *v)),
             Address::Element { base, index } => {
                 let b = self.mem.addr_of(act.frame, *base);
                 let i = self.operand(act, *index);
                 // Deliberately unchecked against the array bound: this is
-                // the buffer-overflow surface. Negative indices wrap to a
-                // wild address and fault on store.
-                (b as i64).wrapping_add(i).max(0) as usize
+                // the buffer-overflow surface. Positive overruns walk into
+                // neighboring cells; negative ones are reported via `Err`.
+                (b as i64).wrapping_add(i)
             }
-            Address::Ptr { reg, offset } => {
-                let p = act.regs[reg.0 as usize];
-                p.wrapping_add(*offset).max(0) as usize
+            Address::Ptr { reg, offset } => act.regs[reg.0 as usize].wrapping_add(*offset),
+        };
+        usize::try_from(raw).map_err(|_| raw)
+    }
+
+    /// Converts a builtin's pointer argument into a cell address, faulting
+    /// on negative (tampered) values. `None` means the fault was recorded
+    /// and the builtin must bail out.
+    fn addr_arg(&mut self, what: &str, v: i64) -> Option<usize> {
+        match usize::try_from(v) {
+            Ok(a) => Some(a),
+            Err(_) => {
+                self.fault(format!("{what}: out-of-bounds address {v}"));
+                None
             }
         }
     }
@@ -312,19 +329,23 @@ impl<'a> Interp<'a> {
                 let b = self.operand(&self.stack[act_idx], *rhs);
                 self.stack[act_idx].regs[dst.0 as usize] = pred.eval(a, b) as i64;
             }
-            Inst::Load { dst, addr } => {
-                let a = self.resolve(&self.stack[act_idx], addr);
-                obs.on_mem(pc, a, false);
-                self.stack[act_idx].regs[dst.0 as usize] = self.mem.load(a);
-            }
-            Inst::Store { addr, src } => {
-                let a = self.resolve(&self.stack[act_idx], addr);
-                let v = self.operand(&self.stack[act_idx], *src);
-                obs.on_mem(pc, a, true);
-                if !self.mem.store(a, v) {
-                    self.fault(format!("store fault at cell {a}"));
+            Inst::Load { dst, addr } => match self.resolve(&self.stack[act_idx], addr) {
+                Ok(a) => {
+                    obs.on_mem(pc, a, false);
+                    self.stack[act_idx].regs[dst.0 as usize] = self.mem.load(a);
                 }
-            }
+                Err(raw) => self.fault(format!("load from out-of-bounds address {raw}")),
+            },
+            Inst::Store { addr, src } => match self.resolve(&self.stack[act_idx], addr) {
+                Ok(a) => {
+                    let v = self.operand(&self.stack[act_idx], *src);
+                    obs.on_mem(pc, a, true);
+                    if !self.mem.store(a, v) {
+                        self.fault(format!("store fault at cell {a}"));
+                    }
+                }
+                Err(raw) => self.fault(format!("store to out-of-bounds address {raw}")),
+            },
             Inst::AddrOf { dst, base, offset } => {
                 let b = self.mem.addr_of(self.stack[act_idx].frame, *base);
                 let o = self.operand(&self.stack[act_idx], *offset);
@@ -434,8 +455,9 @@ impl<'a> Interp<'a> {
                 }
             },
             Builtin::ReadStr => {
-                let dst = args[0].max(0) as usize;
-                let max = args[1].max(0) as usize;
+                let dst = self.addr_arg("read_str", args[0])?;
+                // A negative length reads nothing (only the NUL is written).
+                let max = usize::try_from(args[1]).unwrap_or(0);
                 let s = loop {
                     match self.inputs.pop_front() {
                         Some(Input::Str(s)) => break s,
@@ -467,18 +489,21 @@ impl<'a> Interp<'a> {
                 None
             }
             Builtin::PrintStr => {
-                let s = self.read_cstr(args[0].max(0) as usize, 4096);
+                let a = self.addr_arg("print_str", args[0])?;
+                let s = self.read_cstr(a, 4096);
                 self.output.extend(s);
                 None
             }
             Builtin::StrCmp | Builtin::StrNCmp => {
                 let limit = if b == Builtin::StrNCmp {
-                    args[2].max(0) as usize
+                    usize::try_from(args[2]).unwrap_or(0)
                 } else {
                     4096
                 };
-                let a = self.read_cstr(args[0].max(0) as usize, limit);
-                let c = self.read_cstr(args[1].max(0) as usize, limit);
+                let lhs = self.addr_arg("strcmp", args[0])?;
+                let rhs = self.addr_arg("strcmp", args[1])?;
+                let a = self.read_cstr(lhs, limit);
+                let c = self.read_cstr(rhs, limit);
                 for i in 0..limit {
                     let x = a.get(i).copied().unwrap_or(0);
                     let y = c.get(i).copied().unwrap_or(0);
@@ -492,8 +517,9 @@ impl<'a> Interp<'a> {
                 Some(0)
             }
             Builtin::StrCpy => {
-                let dst = args[0].max(0) as usize;
-                let src = self.read_cstr(args[1].max(0) as usize, 4096);
+                let dst = self.addr_arg("strcpy", args[0])?;
+                let from = self.addr_arg("strcpy", args[1])?;
+                let src = self.read_cstr(from, 4096);
                 for (i, &c) in src.iter().enumerate() {
                     obs.on_mem(pc, dst + i, true);
                     if !self.mem.store(dst + i, c) {
@@ -507,9 +533,13 @@ impl<'a> Interp<'a> {
                 }
                 None
             }
-            Builtin::StrLen => Some(self.read_cstr(args[0].max(0) as usize, 4096).len() as i64),
+            Builtin::StrLen => {
+                let a = self.addr_arg("strlen", args[0])?;
+                Some(self.read_cstr(a, 4096).len() as i64)
+            }
             Builtin::Atoi => {
-                let s = self.read_cstr(args[0].max(0) as usize, 64);
+                let a = self.addr_arg("atoi", args[0])?;
+                let s = self.read_cstr(a, 64);
                 let text: String = s
                     .iter()
                     .map(|&c| char::from_u32(c as u32).unwrap_or('\0'))
@@ -517,9 +547,10 @@ impl<'a> Interp<'a> {
                 Some(text.trim().parse::<i64>().unwrap_or(0))
             }
             Builtin::MemSet => {
-                let dst = args[0].max(0) as usize;
+                let dst = self.addr_arg("memset", args[0])?;
                 let v = args[1];
-                let n = args[2].max(0) as usize;
+                // A negative count writes nothing.
+                let n = usize::try_from(args[2]).unwrap_or(0);
                 for i in 0..n {
                     obs.on_mem(pc, dst + i, true);
                     if !self.mem.store(dst + i, v) {
@@ -530,9 +561,9 @@ impl<'a> Interp<'a> {
                 None
             }
             Builtin::MemCpy => {
-                let dst = args[0].max(0) as usize;
-                let src = args[1].max(0) as usize;
-                let n = args[2].max(0) as usize;
+                let dst = self.addr_arg("memcpy", args[0])?;
+                let src = self.addr_arg("memcpy", args[1])?;
+                let n = usize::try_from(args[2]).unwrap_or(0);
                 for i in 0..n {
                     let v = self.mem.load(src + i);
                     obs.on_mem(pc, dst + i, true);
@@ -690,6 +721,79 @@ mod tests {
             vec![],
         );
         assert!(matches!(s, ExecStatus::Fault(_)), "{s:?}");
+    }
+
+    #[test]
+    fn negative_pointer_store_faults_instead_of_aliasing_cell_zero() {
+        // Regression: `.max(0)` used to clamp this to address 0 and the
+        // write landed on a live cell, silently masking the tampering.
+        let (s, _) = run(
+            "fn main() -> int { int *p; p = 0 - 5; *p = 1; return 0; }",
+            vec![],
+        );
+        assert_eq!(
+            s,
+            ExecStatus::Fault("store to out-of-bounds address -5".into())
+        );
+    }
+
+    #[test]
+    fn negative_pointer_load_faults_instead_of_reading_zero() {
+        // Regression: a clamped load used to quietly return cell 0.
+        let (s, out) = run(
+            "fn main() -> int { int *p; int v; p = 0 - 1; v = *p; print_int(v); return v; }",
+            vec![],
+        );
+        assert_eq!(
+            s,
+            ExecStatus::Fault("load from out-of-bounds address -1".into())
+        );
+        assert!(out.is_empty(), "the faulting load must not produce output");
+    }
+
+    #[test]
+    fn negative_array_index_faults() {
+        let (s, _) = run(
+            "fn main() -> int { int a[4]; int i; i = 0 - 100000; a[i] = 7; return 0; }",
+            vec![],
+        );
+        assert!(
+            matches!(&s, ExecStatus::Fault(m) if m.contains("out-of-bounds address")),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn negative_builtin_pointer_faults() {
+        let (s, _) = run(
+            "fn main() -> int { int *p; p = 0 - 8; strcpy(p, \"x\"); return 0; }",
+            vec![],
+        );
+        assert!(
+            matches!(&s, ExecStatus::Fault(m) if m.contains("out-of-bounds address")),
+            "{s:?}"
+        );
+        let (s, _) = run(
+            "fn main() -> int { int *p; int n; p = 0 - 8; n = strlen(p); return n; }",
+            vec![],
+        );
+        assert!(
+            matches!(&s, ExecStatus::Fault(m) if m.contains("out-of-bounds address")),
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn negative_lengths_are_empty_not_wild() {
+        // A negative count is a degenerate request, not a tampered address:
+        // it copies/sets nothing and execution continues.
+        let (s, out) = run(
+            "fn main() -> int { int a[4]; int n; n = 0 - 3; \
+             a[0] = 5; memset(a, 9, n); print_int(a[0]); return 0; }",
+            vec![],
+        );
+        assert_eq!(s, ExecStatus::Exited(0));
+        assert_eq!(out, vec![5], "memset with negative n must be a no-op");
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`parallel`] — a scoped-thread worker pool running campaign attacks
 //!   concurrently with results bit-identical to the serial path (attacks
 //!   are independently seeded; outcomes merge in seed order);
+//! * [`faults`] — a deterministic seeded fault-injection engine striking
+//!   the table image, live checker state and guest memory, grading each
+//!   fault detected/masked/crashed and measuring detection latency in
+//!   committed branches;
 //! * [`rng`] — the in-repo splitmix64/xoshiro256** generator behind every
 //!   seeded protocol (no external `rand` dependency);
 //! * [`pipeline`] — a simplified superscalar timing model with the Table 1
@@ -31,6 +35,7 @@
 //! is preserved bit-for-bit.
 
 pub mod attack;
+pub mod faults;
 pub mod interp;
 pub mod memory;
 pub mod observer;
@@ -43,6 +48,11 @@ pub use ipds_telemetry as telemetry;
 pub use attack::{
     attack_seed, run_campaign_instrumented, AttackModel, AttackOutcome, AttackRunner, Campaign,
     CampaignResult, GoldenRun,
+};
+pub use faults::{
+    fault_plan, fault_seed, fault_site, run_fault_campaign, run_fault_campaign_threaded,
+    AnomalyReport, FaultCampaign, FaultCampaignResult, FaultMutation, FaultOutcome, FaultPlan,
+    FaultRunner, FaultSite, FAULT_COUNTERS, FAULT_HISTOGRAMS,
 };
 pub use interp::{ExecLimits, ExecStatus, Input, Interp};
 pub use memory::Memory;

@@ -267,8 +267,10 @@ impl ExecObserver for TimingModel<'_> {
         self.now_mc += MC;
         let config = &self.config;
         if let Some(ipds) = &mut self.ipds {
-            ipds.checker.on_return();
-            let fill_cycles = ipds.onchip.on_return(config);
+            // Underflows are counted inside the models; the timing model
+            // just skips the fill cost for a return that had no frame.
+            let _ = ipds.checker.on_return();
+            let fill_cycles = ipds.onchip.on_return(config).unwrap_or(0);
             ipds.engine_free_mc = ipds.engine_free_mc.max(self.now_mc) + fill_cycles * MC;
         }
     }

@@ -43,13 +43,18 @@ cargo build --release -p ipds-bench --benches --features bench-harness
 echo "==> campaign smoke (parallel engine, 10 attacks/workload)"
 cargo run -q --release -p ipds-bench --bin exp_fig7 -- --attacks 10
 
+echo "==> fault-injection gate (every checksummed image flip must be rejected)"
+cargo run -q --release -p ipds --bin ipdsc -- \
+    faults --workloads --flips 24 --seed 2006 --threads 4
+
 echo "==> telemetry smoke (exp_all --quick must emit phase spans)"
 cargo run -q --release -p ipds-bench --bin exp_all -- --quick
 for key in '"telemetry"' '"spans"' '"compile"' '"analyze"' '"golden"' \
            '"campaign"' '"null_sink"' '"campaign_counters"' \
            '"compile.analyze-functions"' '"hash_retries"' '"bat_bytes"' \
            '"passes"' '"lint_errors"' '"lint_warnings"' '"refine_proved"' \
-           '"refine_demoted"'; do
+           '"refine_demoted"' '"faults_detected"' '"faults_masked"' \
+           '"detect_latency_p50"' '"detect_latency_histogram"'; do
     grep -q "$key" results/bench_campaign.json \
         || { echo "missing $key in results/bench_campaign.json"; exit 1; }
 done

@@ -1,34 +1,42 @@
-//! Keeps the `pipeline.*` metric documentation honest.
+//! Keeps the `pipeline.*` and `faults.*` metric documentation honest.
 //!
 //! docs/PIPELINE.md and docs/OBSERVABILITY.md each carry a counter table;
 //! both must name **exactly** the keys in
 //! `ipds_analysis::PIPELINE_COUNTERS`, and a full-featured build
 //! (optimizer + verifier + refiner + linter) must emit exactly that key
 //! set — no documented-but-dead counters, no shipped-but-undocumented
-//! ones.
+//! ones. docs/FAULTS.md gets the same treatment against
+//! `ipds_sim::faults::{FAULT_COUNTERS, FAULT_HISTOGRAMS}` and a live
+//! fault campaign.
 
 use std::collections::BTreeSet;
 
 use ipds::analysis::pipeline::{build_source, BuildOptions};
 use ipds::analysis::PIPELINE_COUNTERS;
+use ipds::sim::{FAULT_COUNTERS, FAULT_HISTOGRAMS};
 use ipds::workloads;
 
-/// Extracts every `pipeline.<snake_case>` token from a documentation file.
-fn doc_counters(path: &str) -> BTreeSet<String> {
+/// Extracts every `<prefix><snake_case>` token from a documentation file.
+fn doc_keys(path: &str, prefix: &str) -> BTreeSet<String> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("{path} must be readable from the workspace root: {e}"));
     let mut found = BTreeSet::new();
-    for (i, _) in text.match_indices("pipeline.") {
-        let rest = &text[i + "pipeline.".len()..];
+    for (i, _) in text.match_indices(prefix) {
+        let rest = &text[i + prefix.len()..];
         let key: String = rest
             .chars()
             .take_while(|c| c.is_ascii_lowercase() || *c == '_')
             .collect();
         if !key.is_empty() {
-            found.insert(format!("pipeline.{key}"));
+            found.insert(format!("{prefix}{key}"));
         }
     }
     found
+}
+
+/// Extracts every `pipeline.<snake_case>` token from a documentation file.
+fn doc_counters(path: &str) -> BTreeSet<String> {
+    doc_keys(path, "pipeline.")
 }
 
 #[test]
@@ -70,4 +78,43 @@ fn full_featured_build_emits_exactly_the_documented_keys() {
         emitted, canonical,
         "a full-featured build must emit exactly the documented counters"
     );
+}
+
+#[test]
+fn faults_doc_agrees_with_the_canonical_key_list() {
+    let canonical: BTreeSet<String> = FAULT_COUNTERS
+        .iter()
+        .chain(FAULT_HISTOGRAMS)
+        .map(|s| s.to_string())
+        .collect();
+    let documented = doc_keys("docs/FAULTS.md", "faults.");
+    assert_eq!(
+        documented, canonical,
+        "docs/FAULTS.md must document exactly FAULT_COUNTERS and FAULT_HISTOGRAMS"
+    );
+}
+
+#[test]
+fn fault_campaigns_emit_exactly_the_documented_keys() {
+    let w = &workloads::all()[0];
+    let p = ipds::Protected::from_program(w.program(), &ipds::Config::default());
+    let inputs = w.inputs(7);
+    let (_, metrics) = p
+        .fault_spec()
+        .inputs(&inputs)
+        .flips(4)
+        .seed(7)
+        .run_metered();
+    let counters: BTreeSet<String> = metrics.counters().map(|(k, _)| k.to_string()).collect();
+    let canonical: BTreeSet<String> = FAULT_COUNTERS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        counters, canonical,
+        "a fault campaign must emit exactly FAULT_COUNTERS"
+    );
+    for key in FAULT_HISTOGRAMS {
+        assert!(
+            metrics.histogram(key).is_some(),
+            "a fault campaign must emit the `{key}` histogram"
+        );
+    }
 }
