@@ -1,30 +1,58 @@
-//! # ipds-parallel — the deterministic scoped worker pool
+//! # ipds-parallel — the deterministic chunked work-stealing pool
 //!
 //! Both halves of the system fan embarrassingly parallel work over threads:
 //! the sim side runs independently seeded attacks, the compiler side
 //! analyzes independent functions. Both need the *same* contract, so the
 //! pool lives here, below either of them:
 //!
-//! * **Dynamic sharding.** Workers pull the next task index from a shared
-//!   atomic cursor. Task durations vary wildly (a looping attacked run, a
-//!   function with 10× the branches of its neighbours); static sharding
-//!   would idle workers behind a straggler, the cursor costs one relaxed
-//!   `fetch_add` per task.
-//! * **Deterministic merge.** Every result is tagged with its task index
-//!   and merged back into index order, so the output of
-//!   [`map_indexed`] is **bit-identical** to the serial loop for any thread
-//!   count and any scheduling.
+//! * **Chunked self-scheduling with range stealing.** The index space is
+//!   pre-split into one contiguous range per worker. A worker claims the
+//!   next *chunk* of its own range with one CAS (chunk size adapts to the
+//!   task/worker ratio, so claim traffic is a small constant per range,
+//!   not one atomic RMW per task as the old shared-cursor design paid).
+//!   A worker that drains its range *steals the back half* of a victim's
+//!   remaining range, so a straggler chunk cannot idle the rest of the
+//!   pool behind it.
+//! * **Deterministic merge.** Every result is written into a preallocated
+//!   slot at its task index — the ranges partition the index space, so each
+//!   slot is written exactly once and the output of [`map_indexed`] is
+//!   **bit-identical** to the serial loop for any thread count and any
+//!   scheduling, with no tag-and-sort pass.
 //! * **Per-worker state.** Each worker owns one `W` built by the `init`
 //!   closure (an arena, a scratch metrics registry); the states come back
 //!   to the caller after the join so commutative aggregates can be folded
-//!   deterministically.
+//!   deterministically. Arenas live for the whole call — they are *never*
+//!   rebuilt per task or per chunk.
+//!
+//! Scheduling observability: [`map_indexed_stats`] additionally returns a
+//! [`PoolStats`] (claimed/stolen chunk counts, executed tasks). The task
+//! count is deterministic; the *steal* count is inherently
+//! scheduling-dependent and is surfaced for observability only — see the
+//! [`POOL_COUNTERS`] contract.
 //!
 //! `std::thread::scope` only — no external dependencies, and borrowed
 //! inputs (programs, analyses, traces) flow into workers without `Arc`.
 
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
+
+/// The canonical `pool.*` metric keys the campaign and fault engines emit
+/// (documented in `docs/PERF.md`, enforced by `tests/docs_metrics.rs`).
+///
+/// `pool.tasks_executed` is deterministic — it always equals the task
+/// count. The chunk-accounting pair (`pool.chunks_claimed`,
+/// `pool.chunks_stolen`) depends on OS scheduling — a steal removes a
+/// range the owner would otherwise have claimed — and is the documented
+/// exemption from the bit-identity contract (it observes the scheduler,
+/// not the computation).
+pub const POOL_COUNTERS: &[&str] = &[
+    "pool.tasks_executed",
+    "pool.chunks_claimed",
+    "pool.chunks_stolen",
+];
 
 /// Picks a worker count: the machine's available parallelism capped at 8
 /// (both campaign and analysis shards are short; more threads just pay
@@ -36,6 +64,145 @@ pub fn default_threads() -> usize {
         .min(8)
 }
 
+/// Scheduling statistics of one [`map_indexed_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Workers that actually ran (≤ requested threads, ≥ 1).
+    pub workers: u32,
+    /// Tasks executed (= the task count; every index runs exactly once).
+    pub tasks_executed: u64,
+    /// Chunks claimed by workers from their own range.
+    pub chunks_claimed: u64,
+    /// Back-half range steals performed by idle workers.
+    ///
+    /// Scheduling-dependent: two runs of the same campaign may steal a
+    /// different number of chunks. The *results* are bit-identical anyway —
+    /// only this observability counter varies.
+    pub chunks_stolen: u64,
+}
+
+/// One worker's contiguous index range `[next, end)`, packed into a single
+/// atomic word so both the owner's chunk claim and a thief's back-half
+/// steal are one CAS each.
+struct Range {
+    next_end: AtomicU64,
+}
+
+const fn pack(next: u32, end: u32) -> u64 {
+    ((next as u64) << 32) | end as u64
+}
+
+const fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+impl Range {
+    fn new(next: u32, end: u32) -> Range {
+        Range {
+            next_end: AtomicU64::new(pack(next, end)),
+        }
+    }
+
+    /// Owner side: claim up to `chunk` tasks from the front of the range.
+    fn claim_front(&self, chunk: u32) -> Option<(u32, u32)> {
+        let mut cur = self.next_end.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            let take = chunk.min(end - next);
+            match self.next_end.compare_exchange_weak(
+                cur,
+                pack(next + take, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((next, next + take)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Thief side: detach the back half of the remaining range (at least
+    /// one task). Leaves the front half with the owner so its next claim
+    /// still succeeds without contention in the common case.
+    fn steal_back(&self) -> Option<(u32, u32)> {
+        let mut cur = self.next_end.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            let keep = (end - next) / 2;
+            let split = next + keep;
+            match self.next_end.compare_exchange_weak(
+                cur,
+                pack(next, split),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((split, end)),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Write-once result slots shared by all workers. The ranges partition the
+/// index space, so no two workers ever touch the same slot; the join at the
+/// end of `thread::scope` provides the happens-before edge that makes every
+/// write visible before the slots are read back.
+struct Slots<R> {
+    cells: UnsafeCell<Vec<MaybeUninit<R>>>,
+}
+
+// SAFETY: workers write disjoint indices (the ranges partition `0..tasks`)
+// and the caller only reads after joining every worker.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(tasks: usize) -> Slots<R> {
+        let mut cells = Vec::with_capacity(tasks);
+        cells.resize_with(tasks, MaybeUninit::uninit);
+        Slots {
+            cells: UnsafeCell::new(cells),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// `i` must be claimed by exactly one worker (disjoint ranges).
+    unsafe fn write(&self, i: u32, value: R) {
+        let cells = &mut *self.cells.get();
+        cells[i as usize].write(value);
+    }
+
+    /// # Safety
+    ///
+    /// Every slot must have been written (all ranges drained) and all
+    /// workers joined.
+    unsafe fn into_results(self) -> Vec<R> {
+        let cells = self.cells.into_inner();
+        // MaybeUninit<R> and R have identical layout; every slot is
+        // initialized, so transmuting the collection is sound.
+        let mut cells = std::mem::ManuallyDrop::new(cells);
+        Vec::from_raw_parts(
+            cells.as_mut_ptr().cast::<R>(),
+            cells.len(),
+            cells.capacity(),
+        )
+    }
+}
+
+/// The chunk size for a given task/worker ratio: big enough to amortize
+/// claim CASes, small enough that a steal can still rebalance the tail.
+/// Heavyweight shards (few tasks) degrade to chunk 1 — maximum balance;
+/// huge index spaces claim in blocks.
+fn chunk_size(tasks: u32, workers: usize) -> u32 {
+    (tasks / (workers as u32 * 8)).clamp(1, 256)
+}
+
 /// Runs `run(worker_state, index)` for every index in `0..tasks` across
 /// `threads` workers and returns the results **in index order**, plus every
 /// worker's final state (in worker order).
@@ -45,8 +212,31 @@ pub fn default_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker thread.
+/// Propagates a panic from any worker thread (results produced by other
+/// workers are leaked, never observed).
 pub fn map_indexed<W, R, I, F>(tasks: u32, threads: usize, init: I, run: F) -> (Vec<R>, Vec<W>)
+where
+    W: Send,
+    R: Send,
+    I: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, u32) -> R + Sync,
+{
+    let (results, states, _) = map_indexed_stats(tasks, threads, init, run);
+    (results, states)
+}
+
+/// [`map_indexed`] plus the scheduling statistics of the call (chunks
+/// claimed/stolen, tasks executed) for the `pool.*` telemetry keys.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn map_indexed_stats<W, R, I, F>(
+    tasks: u32,
+    threads: usize,
+    init: I,
+    run: F,
+) -> (Vec<R>, Vec<W>, PoolStats)
 where
     W: Send,
     R: Send,
@@ -57,42 +247,94 @@ where
     if workers <= 1 {
         let mut state = init(0);
         let results = (0..tasks).map(|i| run(&mut state, i)).collect();
-        return (results, vec![state]);
+        let stats = PoolStats {
+            workers: 1,
+            tasks_executed: u64::from(tasks),
+            chunks_claimed: u64::from(tasks > 0),
+            chunks_stolen: 0,
+        };
+        return (results, vec![state], stats);
     }
 
-    let cursor = AtomicU32::new(0);
-    let mut tagged: Vec<(u32, R)> = Vec::with_capacity(tasks as usize);
+    // Pre-split the index space into one contiguous range per worker; the
+    // split is as even as possible (first `rem` ranges get one extra task).
+    let per = tasks / workers as u32;
+    let rem = (tasks % workers as u32) as usize;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut next = 0u32;
+    for w in 0..workers {
+        let len = per + u32::from(w < rem);
+        ranges.push(Range::new(next, next + len));
+        next += len;
+    }
+    debug_assert_eq!(next, tasks);
+
+    let chunk = chunk_size(tasks, workers);
+    let slots = Slots::new(tasks as usize);
     let mut states: Vec<W> = Vec::with_capacity(workers);
+    let mut stats = PoolStats {
+        workers: workers as u32,
+        ..PoolStats::default()
+    };
     thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let cursor = &cursor;
+                let ranges = &ranges;
+                let slots = &slots;
                 let init = &init;
                 let run = &run;
                 scope.spawn(move || {
                     let mut state = init(w);
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= tasks {
-                            break;
+                    let mut executed = 0u64;
+                    let mut claimed = 0u64;
+                    let mut stolen = 0u64;
+                    // Drain the own range, then scan the others for work to
+                    // steal; stop only when a full scan finds every range
+                    // empty.
+                    'work: loop {
+                        while let Some((lo, hi)) = ranges[w].claim_front(chunk) {
+                            claimed += 1;
+                            for i in lo..hi {
+                                // SAFETY: each index is claimed exactly once
+                                // (ranges partition the space, claims and
+                                // steals detach disjoint subranges).
+                                unsafe { slots.write(i, run(&mut state, i)) };
+                                executed += 1;
+                            }
                         }
-                        local.push((i, run(&mut state, i)));
+                        for off in 1..workers {
+                            let victim = (w + off) % workers;
+                            if let Some((lo, hi)) = ranges[victim].steal_back() {
+                                stolen += 1;
+                                for i in lo..hi {
+                                    // SAFETY: as above — the stolen back
+                                    // half is detached atomically.
+                                    unsafe { slots.write(i, run(&mut state, i)) };
+                                    executed += 1;
+                                }
+                                continue 'work;
+                            }
+                        }
+                        break;
                     }
-                    (local, state)
+                    (state, executed, claimed, stolen)
                 })
             })
             .collect();
         for handle in handles {
-            let (local, state) = handle.join().expect("pool worker panicked");
-            tagged.extend(local);
+            let (state, executed, claimed, stolen) = handle.join().expect("pool worker panicked");
             states.push(state);
+            stats.tasks_executed += executed;
+            stats.chunks_claimed += claimed;
+            stats.chunks_stolen += stolen;
         }
     });
+    debug_assert_eq!(stats.tasks_executed, u64::from(tasks));
 
-    tagged.sort_unstable_by_key(|&(i, _)| i);
-    debug_assert!(tagged.iter().enumerate().all(|(k, &(i, _))| k as u32 == i));
-    (tagged.into_iter().map(|(_, r)| r).collect(), states)
+    // SAFETY: every range was drained (workers only exit after a full empty
+    // scan) and every worker was joined above.
+    let results = unsafe { slots.into_results() };
+    (results, states, stats)
 }
 
 #[cfg(test)]
@@ -145,6 +387,54 @@ mod tests {
         let data: Vec<u64> = (0..40).collect();
         let (got, _) = map_indexed(40, 4, |_| (), |(), i| data[i as usize] * 2);
         assert_eq!(got, data.iter().map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_account_for_every_task() {
+        for (tasks, threads) in [(0u32, 4), (1, 4), (7, 3), (100, 4), (1000, 8)] {
+            let (results, _, stats) = map_indexed_stats(tasks, threads, |_| (), |(), i| i);
+            assert_eq!(results.len(), tasks as usize);
+            assert_eq!(stats.tasks_executed, u64::from(tasks), "{tasks}/{threads}");
+            assert!(stats.workers >= 1);
+            if tasks > 1 && threads > 1 {
+                assert!(stats.chunks_claimed + stats.chunks_stolen > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn heap_results_survive_the_slot_path() {
+        // Non-Copy results exercise the MaybeUninit slot write/read.
+        let (got, _) = map_indexed(64, 4, |_| (), |(), i| vec![i; (i % 5) as usize]);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(v.len(), i % 5);
+            assert!(v.iter().all(|&x| x == i as u32));
+        }
+    }
+
+    #[test]
+    fn a_straggler_chunk_is_rebalanced_by_stealing() {
+        // Task 0 spins for a long time; the remaining tasks must still all
+        // run (on other workers via steals when cores allow). Correctness —
+        // not wall-clock — is asserted, so the test is sound on any core
+        // count.
+        let (got, _, stats) = map_indexed_stats(
+            64,
+            4,
+            |_| (),
+            |(), i| {
+                if i == 0 {
+                    let mut acc = 0u64;
+                    for k in 0..2_000_000u64 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                }
+                u64::from(i) * 7
+            },
+        );
+        assert_eq!(got, (0..64u64).map(|i| i * 7).collect::<Vec<_>>());
+        assert_eq!(stats.tasks_executed, 64);
     }
 
     #[test]

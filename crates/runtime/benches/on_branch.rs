@@ -1,0 +1,134 @@
+//! Per-call cost of [`IpdsChecker::on_branch`], the checker's hot path —
+//! the single function every committed branch of every campaign attack
+//! funnels through (see docs/PERF.md for how this bounds campaign
+//! throughput).
+//!
+//! Three mixes cover the three paths through verify-then-update:
+//!
+//! * **hit/steady** — checked branches whose direction keeps agreeing with
+//!   the BSV: perfect-hash probe, verify, no status change. The common
+//!   case on benign traces.
+//! * **miss/unchecked** — branches the BCV does not mark for checking
+//!   (here: a variable-vs-variable compare, which anchoring cannot
+//!   handle): table probe, no verify, no update. The cheapest path.
+//! * **transition** — directions flip every round. A branch status only
+//!   legitimately changes after its anchor variable is rewritten, so the
+//!   mix runs over a program with a *killer* branch whose taken edge
+//!   stores the anchor: each round commits the correlated pair with the
+//!   round's direction, then the killer, whose `SET_UN` actions return the
+//!   pair to unknown. Maximal BAT/BSV traffic, zero alarms (an alarm
+//!   would change what is being measured).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use ipds_analysis::{analyze_program, AnalysisConfig, ProgramAnalysis};
+use ipds_runtime::IpdsChecker;
+
+/// Branches per benchmark iteration.
+const N: u64 = 10_000;
+
+fn setup() -> ProgramAnalysis {
+    let program = ipds_ir::parse(
+        "fn main() -> int { int x; int y; int i; x = read_int(); \
+         for (i = 0; i < 10; i = i + 1) { \
+           y = read_int(); \
+           if (y < x) { print_int(0); } \
+           if (x < 5) { print_int(1); } \
+           if (x < 10) { print_int(2); } \
+         } return 0; }",
+    )
+    .expect("valid program");
+    analyze_program(&program, &AnalysisConfig::default())
+}
+
+fn bench_on_branch(c: &mut Criterion) {
+    let analysis = setup();
+    let main = &analysis.functions[0];
+    let checked: Vec<u64> = main
+        .branches
+        .iter()
+        .zip(&main.checked)
+        .filter(|(_, c)| **c)
+        .map(|(b, _)| b.pc)
+        .collect();
+    let unchecked: Vec<u64> = main
+        .branches
+        .iter()
+        .zip(&main.checked)
+        .filter(|(_, c)| !**c)
+        .map(|(b, _)| b.pc)
+        .collect();
+    assert!(
+        checked.len() >= 2,
+        "benchmark program must have a checked pair"
+    );
+    assert!(
+        !unchecked.is_empty(),
+        "benchmark program must have an unchecked branch"
+    );
+
+    let mut group = c.benchmark_group("on_branch");
+    group.throughput(Throughput::Elements(N));
+
+    // Steady agreement: after the first round sets the BSV, every probe
+    // verifies without a status change.
+    group.bench_function("hit_steady", |b| {
+        b.iter(|| {
+            let mut ipds = IpdsChecker::new(&analysis);
+            ipds.on_call(main.func);
+            for i in 0..N {
+                let pc = checked[(i % checked.len() as u64) as usize];
+                ipds.on_branch(black_box(pc), true);
+            }
+            ipds.stats().branches
+        });
+    });
+
+    // Unchecked branches: the BCV probe misses, nothing is verified or
+    // updated.
+    group.bench_function("miss_unchecked", |b| {
+        b.iter(|| {
+            let mut ipds = IpdsChecker::new(&analysis);
+            ipds.on_call(main.func);
+            for i in 0..N {
+                let pc = unchecked[(i % unchecked.len() as u64) as usize];
+                ipds.on_branch(black_box(pc), i % 2 == 0);
+            }
+            ipds.stats().branches
+        });
+    });
+
+    // Direction flips every round, legalized by a killer branch: commit
+    // the correlated pair with the round's direction, then the killer
+    // (always taken), whose store-to-`x` edge region re-unknowns the pair.
+    let kill_program = ipds_ir::parse(
+        "fn main() -> int { int x; int k; x = read_int(); k = read_int(); \
+         if (x < 5) { print_int(1); } \
+         if (x < 10) { print_int(2); } \
+         if (k < 0) { x = read_int(); } \
+         return 0; }",
+    )
+    .expect("valid program");
+    let kill_analysis = analyze_program(&kill_program, &AnalysisConfig::default());
+    let kmain = &kill_analysis.functions[0];
+    let kpcs: Vec<u64> = kmain.branches.iter().map(|b| b.pc).collect();
+    assert_eq!(kpcs.len(), 3, "pair + killer");
+    group.bench_function("transition_toggle", |b| {
+        b.iter(|| {
+            let mut ipds = IpdsChecker::new(&kill_analysis);
+            ipds.on_call(kmain.func);
+            for round in 0..N / 3 {
+                let dir = round % 2 == 0;
+                ipds.on_branch(black_box(kpcs[0]), dir);
+                ipds.on_branch(black_box(kpcs[1]), dir);
+                ipds.on_branch(black_box(kpcs[2]), true);
+            }
+            assert!(!ipds.detected(), "transition mix must stay alarm-free");
+            ipds.stats().bsv_transitions
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_on_branch);
+criterion_main!(benches);

@@ -1,11 +1,45 @@
 //! The functional IPDS checker: verify-then-update per committed branch.
-
-use std::collections::HashMap;
+//!
+//! # Hot-path layout
+//!
+//! A campaign commits hundreds of thousands of branches per second, so the
+//! per-branch work is laid out the way the paper's hardware would see it,
+//! not the way the compiler emitted it:
+//!
+//! * **PC lookup is the perfect hash, not a `HashMap`.** The compiler
+//!   already searched a collision-free shift/XOR hash per function (§5.2);
+//!   the checker reuses it: `hash.slot(pc)` indexes a flat dense
+//!   `slot → branch index` array. One multiply-free hash plus one load —
+//!   no SipHash, no probing.
+//! * **The BSV is 2-bit packed.** A frame's status vector is a word array
+//!   with 32 statuses per `u64` (the same `BranchStatus::to_bits`
+//!   encoding as the table image), so an activation's whole BSV is a few
+//!   words — push/pop/copy are memcpys and the snapshot support below is
+//!   cheap.
+//! * **The BAT is flattened SoA.** Per function, all BAT rows live in two
+//!   parallel flat arrays (target slot, action bits) addressed by a
+//!   `(branch, direction) → start` offset table, replacing the per-branch
+//!   `BTreeMap` walk with a prefix-sum slice.
+//!
+//! [`IpdsChecker::on_branch_run`] additionally processes a whole *run* of
+//! committed branches against one frame-stack resolution — callers that
+//! replay recorded traces (warm-start restore, microbenchmarks) pay the
+//! stack touch once per run instead of once per event.
 
 use ipds_analysis::{BranchStatus, FunctionAnalysis, ProgramAnalysis};
 use ipds_ir::FuncId;
 
 use crate::error::RuntimeError;
+
+/// The canonical `checker.*` metric keys the campaign engines emit
+/// (documented in `docs/PERF.md`, enforced by `tests/docs_metrics.rs`).
+pub const CHECKER_COUNTERS: &[&str] = &["checker.bsv_pool_high_water"];
+
+/// Retired-BSV pool cap: deep-recursion workloads retire one buffer per
+/// live activation at [`IpdsChecker::reset`]; buffers beyond this many are
+/// dropped instead of pooled so a single pathological run cannot pin
+/// memory for the rest of the campaign.
+pub const BSV_POOL_CAP: usize = 64;
 
 /// A detected infeasible path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,19 +97,124 @@ pub struct IpdsStats {
     pub underflows: u64,
 }
 
-/// One stacked function activation's mutable checking state.
+/// One stacked function activation's mutable checking state. The BSV is
+/// 2-bit packed, 32 statuses per word ([`BranchStatus::to_bits`]).
 #[derive(Debug, Clone)]
 struct Frame {
     func: FuncId,
-    /// BSV: expected status per hash slot.
-    bsv: Vec<BranchStatus>,
+    bsv: Vec<u64>,
 }
 
-/// Per-function immutable lookup state derived from the compiler tables.
+/// Sentinel for an empty perfect-hash slot.
+const NO_BRANCH: u32 = u32::MAX;
+
+/// Per-function immutable lookup state derived from the compiler tables,
+/// flattened for the per-branch fast path (see module docs).
 #[derive(Debug)]
 struct FuncTables {
-    /// PC → branch index.
-    by_pc: HashMap<u64, u32>,
+    hash: ipds_analysis::HashParams,
+    /// Hash slot → branch index ([`NO_BRANCH`] = empty slot). Length is
+    /// exactly `hash.space()`, so a masked slot indexes without a bounds
+    /// branch.
+    slot_of_hash: Box<[u32]>,
+    /// Branch index → PC (validates the hash hit: a foreign PC can alias an
+    /// occupied slot).
+    pc_of: Box<[u64]>,
+    /// Branch index → BSV slot.
+    slot_of: Box<[u32]>,
+    /// BCV bitset by branch index.
+    checked: Box<[u64]>,
+    /// `(branch index, direction)` → offset of its BAT row in the flat
+    /// entry arrays; row `k = idx * 2 + dir` spans
+    /// `bat_start[k]..bat_start[k + 1]`.
+    bat_start: Box<[u32]>,
+    /// Flat BAT entries: the target branch's BSV slot…
+    bat_target_slot: Box<[u32]>,
+    /// …and the action's 2-bit encoding ([`ipds_analysis::BrAction::to_bits`]).
+    bat_action: Box<[u8]>,
+    /// Packed words per BSV frame.
+    bsv_words: usize,
+    /// BSV slots per frame (= `hash.space()`).
+    bsv_slots: usize,
+}
+
+#[inline]
+fn bsv_get(words: &[u64], slot: usize) -> u8 {
+    ((words[slot >> 5] >> ((slot & 31) * 2)) & 0b11) as u8
+}
+
+#[inline]
+fn bsv_set(words: &mut [u64], slot: usize, bits: u8) {
+    let shift = (slot & 31) * 2;
+    let word = &mut words[slot >> 5];
+    *word = (*word & !(0b11u64 << shift)) | (u64::from(bits) << shift);
+}
+
+impl FuncTables {
+    fn build(fa: &FunctionAnalysis) -> FuncTables {
+        let space = fa.hash.space() as usize;
+        let mut slot_of_hash = vec![NO_BRANCH; space];
+        for (i, b) in fa.branches.iter().enumerate() {
+            let h = fa.hash.slot(b.pc) as usize;
+            debug_assert_eq!(slot_of_hash[h], NO_BRANCH, "perfect hash collision");
+            slot_of_hash[h] = i as u32;
+        }
+        let n = fa.branches.len();
+        let mut checked = vec![0u64; n.div_ceil(64).max(1)];
+        for (i, &c) in fa.checked.iter().enumerate() {
+            if c {
+                checked[i >> 6] |= 1u64 << (i & 63);
+            }
+        }
+        let mut bat_start = Vec::with_capacity(2 * n + 1);
+        let mut bat_target_slot = Vec::new();
+        let mut bat_action = Vec::new();
+        bat_start.push(0u32);
+        for idx in 0..n as u32 {
+            for dir in [false, true] {
+                for entry in fa.actions(idx, dir) {
+                    bat_target_slot.push(fa.branches[entry.target as usize].slot);
+                    bat_action.push(entry.action.to_bits());
+                }
+                bat_start.push(bat_target_slot.len() as u32);
+            }
+        }
+        FuncTables {
+            hash: fa.hash,
+            slot_of_hash: slot_of_hash.into_boxed_slice(),
+            pc_of: fa.branches.iter().map(|b| b.pc).collect(),
+            slot_of: fa.branches.iter().map(|b| b.slot).collect(),
+            checked: checked.into_boxed_slice(),
+            bat_start: bat_start.into_boxed_slice(),
+            bat_target_slot: bat_target_slot.into_boxed_slice(),
+            bat_action: bat_action.into_boxed_slice(),
+            bsv_words: space.div_ceil(32).max(1),
+            bsv_slots: space,
+        }
+    }
+
+    /// Resolves a PC to its branch index, `None` for foreign PCs.
+    #[inline]
+    fn branch_of_pc(&self, pc: u64) -> Option<u32> {
+        let idx = self.slot_of_hash[self.hash.slot(pc) as usize];
+        (idx != NO_BRANCH && self.pc_of[idx as usize] == pc).then_some(idx)
+    }
+
+    #[inline]
+    fn is_checked(&self, idx: u32) -> bool {
+        self.checked[(idx >> 6) as usize] >> (idx & 63) & 1 != 0
+    }
+}
+
+/// A point-in-time copy of a checker's mutable state (frame stack,
+/// statistics, alarms), cheap to take thanks to the packed BSV frames.
+/// Restoring one rewinds the checker to exactly that point — the warm-start
+/// engine uses this to resume campaigns from mid-run golden checkpoints.
+#[derive(Debug, Clone, Default)]
+pub struct CheckerSnapshot {
+    frames: Vec<(FuncId, Vec<u64>)>,
+    stats: IpdsStats,
+    alarms: Vec<Alarm>,
 }
 
 /// The functional IPDS checker.
@@ -114,34 +253,26 @@ pub struct IpdsChecker<'a> {
     stack: Vec<Frame>,
     alarms: Vec<Alarm>,
     stats: IpdsStats,
-    /// Retired BSV vectors, recycled by `on_call` so steady-state checking
-    /// (and campaign reuse via [`IpdsChecker::reset`]) allocates no
-    /// per-activation table storage.
-    bsv_pool: Vec<Vec<BranchStatus>>,
+    /// Retired BSV word buffers, recycled by `on_call` so steady-state
+    /// checking (and campaign reuse via [`IpdsChecker::reset`]) allocates no
+    /// per-activation table storage. Capped at [`BSV_POOL_CAP`].
+    bsv_pool: Vec<Vec<u64>>,
+    /// Largest pool population ever reached (saturates at the cap); the
+    /// campaign engines surface it as `checker.bsv_pool_high_water`.
+    bsv_pool_high_water: usize,
 }
 
 impl<'a> IpdsChecker<'a> {
     /// Creates a checker over a program's analysis results.
     pub fn new(analysis: &'a ProgramAnalysis) -> IpdsChecker<'a> {
-        let tables = analysis
-            .functions
-            .iter()
-            .map(|f| FuncTables {
-                by_pc: f
-                    .branches
-                    .iter()
-                    .enumerate()
-                    .map(|(i, b)| (b.pc, i as u32))
-                    .collect(),
-            })
-            .collect();
         IpdsChecker {
             analysis,
-            tables,
+            tables: analysis.functions.iter().map(FuncTables::build).collect(),
             stack: Vec::new(),
             alarms: Vec::new(),
             stats: IpdsStats::default(),
             bsv_pool: Vec::new(),
+            bsv_pool_high_water: 0,
         }
     }
 
@@ -151,22 +282,21 @@ impl<'a> IpdsChecker<'a> {
     /// the allocations.
     pub fn reset(&mut self) {
         for frame in self.stack.drain(..) {
-            self.bsv_pool.push(frame.bsv);
+            if self.bsv_pool.len() < BSV_POOL_CAP {
+                self.bsv_pool.push(frame.bsv);
+            }
         }
+        self.bsv_pool_high_water = self.bsv_pool_high_water.max(self.bsv_pool.len());
         self.alarms.clear();
         self.stats = IpdsStats::default();
     }
 
-    fn func_analysis(&self, func: FuncId) -> &'a FunctionAnalysis {
-        self.analysis.of(func)
-    }
-
     /// Pushes a fresh all-unknown BSV frame for `func` (function entry).
     pub fn on_call(&mut self, func: FuncId) {
-        let fa = self.func_analysis(func);
+        let words = self.tables[func.0 as usize].bsv_words;
         let mut bsv = self.bsv_pool.pop().unwrap_or_default();
         bsv.clear();
-        bsv.resize(fa.hash.space() as usize, BranchStatus::Unknown);
+        bsv.resize(words, 0);
         self.stack.push(Frame { func, bsv });
         self.stats.calls += 1;
         self.stats.max_depth = self.stats.max_depth.max(self.stack.len());
@@ -184,7 +314,10 @@ impl<'a> IpdsChecker<'a> {
                 component: "checker",
             });
         };
-        self.bsv_pool.push(frame.bsv);
+        if self.bsv_pool.len() < BSV_POOL_CAP {
+            self.bsv_pool.push(frame.bsv);
+            self.bsv_pool_high_water = self.bsv_pool_high_water.max(self.bsv_pool.len());
+        }
         Ok(())
     }
 
@@ -193,21 +326,32 @@ impl<'a> IpdsChecker<'a> {
     /// the slot is out of range — the fault engine treats that as a miss.
     pub fn inject_bsv(&mut self, slot: usize, status: BranchStatus) -> Option<BranchStatus> {
         let frame = self.stack.last_mut()?;
-        let s = frame.bsv.get_mut(slot)?;
-        let old = *s;
-        *s = status;
+        if slot >= self.tables[frame.func.0 as usize].bsv_slots {
+            return None;
+        }
+        let old = BranchStatus::from_bits(bsv_get(&frame.bsv, slot));
+        bsv_set(&mut frame.bsv, slot, status.to_bits());
         Some(old)
     }
 
     /// Number of BSV slots in the top frame (the fault engine uses this to
     /// pick an in-range injection slot). Zero when no frame is active.
     pub fn top_bsv_len(&self) -> usize {
-        self.stack.last().map_or(0, |f| f.bsv.len())
+        self.stack
+            .last()
+            .map_or(0, |f| self.tables[f.func.0 as usize].bsv_slots)
     }
 
     /// Current stack depth.
     pub fn depth(&self) -> usize {
         self.stack.len()
+    }
+
+    /// Largest retired-BSV pool population ever observed (saturates at
+    /// [`BSV_POOL_CAP`]); survives [`IpdsChecker::reset`] like the pool
+    /// itself.
+    pub fn bsv_pool_high_water(&self) -> usize {
+        self.bsv_pool_high_water
     }
 
     /// Processes a committed conditional branch of the current (top) frame:
@@ -220,14 +364,12 @@ impl<'a> IpdsChecker<'a> {
     /// frame's function (the simulator guarantees both).
     pub fn on_branch(&mut self, pc: u64, dir: bool) -> BranchOutcome {
         self.stats.branches += 1;
-        let frame_idx = self.stack.len().checked_sub(1).expect("no active frame");
-        let func = self.stack[frame_idx].func;
-        let fa = self.func_analysis(func);
-        let idx = *self.tables[func.0 as usize]
-            .by_pc
-            .get(&pc)
-            .unwrap_or_else(|| panic!("pc {pc:#x} is not a branch of {}", fa.name));
-        let slot = fa.branches[idx as usize].slot as usize;
+        let frame = self.stack.last_mut().expect("no active frame");
+        let tables = &self.tables[frame.func.0 as usize];
+        let Some(idx) = tables.branch_of_pc(pc) else {
+            let name = &self.analysis.of(frame.func).name;
+            panic!("pc {pc:#x} is not a branch of {name}");
+        };
 
         let mut outcome = BranchOutcome {
             // The BCV probe.
@@ -236,16 +378,17 @@ impl<'a> IpdsChecker<'a> {
         };
 
         // 1. Verify.
-        if fa.checked[idx as usize] {
+        if tables.is_checked(idx) {
             outcome.verified = true;
             outcome.table_accesses += 1; // BSV read
             self.stats.verified += 1;
-            let expected = self.stack[frame_idx].bsv[slot];
+            let slot = tables.slot_of[idx as usize] as usize;
+            let expected = BranchStatus::from_bits(bsv_get(&frame.bsv, slot));
             if !expected.matches(dir) {
                 outcome.alarm = true;
                 self.stats.alarms += 1;
                 self.alarms.push(Alarm {
-                    func,
+                    func: frame.func,
                     pc,
                     expected,
                     actual: dir,
@@ -254,12 +397,24 @@ impl<'a> IpdsChecker<'a> {
             }
         }
 
-        // 2. Update: walk the BAT link list for (branch, direction).
-        for entry in fa.actions(idx, dir) {
-            let tslot = fa.branches[entry.target as usize].slot as usize;
-            let old = self.stack[frame_idx].bsv[tslot];
-            let new = entry.action.applied(old);
-            self.stack[frame_idx].bsv[tslot] = new;
+        // 2. Update: walk the flattened BAT row for (branch, direction).
+        let row = (idx as usize) * 2 + usize::from(dir);
+        let (start, end) = (
+            tables.bat_start[row] as usize,
+            tables.bat_start[row + 1] as usize,
+        );
+        for e in start..end {
+            let tslot = tables.bat_target_slot[e] as usize;
+            let old = bsv_get(&frame.bsv, tslot);
+            // Action bits 01/10/11 install taken/not-taken/unknown; 00 (NC)
+            // is never stored in the BAT but would leave the slot untouched.
+            let new = match tables.bat_action[e] {
+                0b01 => 0b01,
+                0b10 => 0b10,
+                0b11 => 0b00,
+                _ => old,
+            };
+            bsv_set(&mut frame.bsv, tslot, new);
             outcome.table_accesses += 1;
             outcome.bat_entries += 1;
             if new != old {
@@ -269,8 +424,83 @@ impl<'a> IpdsChecker<'a> {
             self.stats.bat_entries_applied += 1;
         }
 
-        self.stats.table_accesses += outcome.table_accesses as u64;
+        self.stats.table_accesses += u64::from(outcome.table_accesses);
         outcome
+    }
+
+    /// Batched variant of [`IpdsChecker::on_branch`]: processes a *run* of
+    /// committed branches — all of the current (top) frame, since branches
+    /// never push or pop activations — resolving the frame stack and the
+    /// function tables once for the whole slice. Returns the elementwise sum
+    /// of the per-branch outcomes (`alarm`/`verified` become counts via the
+    /// aggregate's `table_accesses`-style fields of [`IpdsStats`]; consult
+    /// [`IpdsChecker::stats`]/[`IpdsChecker::alarms`] for details).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is active or any PC does not belong to the top
+    /// frame's function.
+    pub fn on_branch_run(&mut self, events: &[(u64, bool)]) -> BranchOutcome {
+        let mut total = BranchOutcome::default();
+        if events.is_empty() {
+            return total;
+        }
+        let frame = self.stack.last_mut().expect("no active frame");
+        let func = frame.func;
+        let tables = &self.tables[func.0 as usize];
+        for &(pc, dir) in events {
+            self.stats.branches += 1;
+            let Some(idx) = tables.branch_of_pc(pc) else {
+                let name = &self.analysis.of(func).name;
+                panic!("pc {pc:#x} is not a branch of {name}");
+            };
+            total.table_accesses += 1;
+            self.stats.table_accesses += 1;
+            if tables.is_checked(idx) {
+                total.verified = true;
+                total.table_accesses += 1;
+                self.stats.table_accesses += 1;
+                self.stats.verified += 1;
+                let slot = tables.slot_of[idx as usize] as usize;
+                let expected = BranchStatus::from_bits(bsv_get(&frame.bsv, slot));
+                if !expected.matches(dir) {
+                    total.alarm = true;
+                    self.stats.alarms += 1;
+                    self.alarms.push(Alarm {
+                        func,
+                        pc,
+                        expected,
+                        actual: dir,
+                        branch_seq: self.stats.branches,
+                    });
+                }
+            }
+            let row = (idx as usize) * 2 + usize::from(dir);
+            let (start, end) = (
+                tables.bat_start[row] as usize,
+                tables.bat_start[row + 1] as usize,
+            );
+            for e in start..end {
+                let tslot = tables.bat_target_slot[e] as usize;
+                let old = bsv_get(&frame.bsv, tslot);
+                let new = match tables.bat_action[e] {
+                    0b01 => 0b01,
+                    0b10 => 0b10,
+                    0b11 => 0b00,
+                    _ => old,
+                };
+                bsv_set(&mut frame.bsv, tslot, new);
+                total.table_accesses += 1;
+                total.bat_entries += 1;
+                self.stats.table_accesses += 1;
+                if new != old {
+                    total.bsv_transitions += 1;
+                    self.stats.bsv_transitions += 1;
+                }
+                self.stats.bat_entries_applied += 1;
+            }
+        }
+        total
     }
 
     /// Non-panicking variant of [`IpdsChecker::on_branch`] for fault
@@ -284,7 +514,7 @@ impl<'a> IpdsChecker<'a> {
         let known = self
             .tables
             .get(frame.func.0 as usize)
-            .is_some_and(|t| t.by_pc.contains_key(&pc));
+            .is_some_and(|t| t.branch_of_pc(pc).is_some());
         if !known {
             self.stats.branches += 1;
             return None;
@@ -296,9 +526,48 @@ impl<'a> IpdsChecker<'a> {
     /// frame (test/diagnostic hook).
     pub fn expected_status(&self, pc: u64) -> Option<BranchStatus> {
         let frame = self.stack.last()?;
-        let fa = self.func_analysis(frame.func);
-        let idx = *self.tables[frame.func.0 as usize].by_pc.get(&pc)?;
-        Some(frame.bsv[fa.branches[idx as usize].slot as usize])
+        let tables = &self.tables[frame.func.0 as usize];
+        let idx = tables.branch_of_pc(pc)?;
+        let slot = tables.slot_of[idx as usize] as usize;
+        Some(BranchStatus::from_bits(bsv_get(&frame.bsv, slot)))
+    }
+
+    /// Captures the checker's mutable state. [`IpdsChecker::restore`]
+    /// rewinds to it exactly; repeated snapshot/restore cycles reuse the
+    /// snapshot's and the checker's allocations.
+    pub fn snapshot(&self) -> CheckerSnapshot {
+        CheckerSnapshot {
+            frames: self.stack.iter().map(|f| (f.func, f.bsv.clone())).collect(),
+            stats: self.stats,
+            alarms: self.alarms.clone(),
+        }
+    }
+
+    /// Rewinds the checker to a previously captured [`CheckerSnapshot`]
+    /// (taken from a checker over the *same* analysis). The derived tables
+    /// and the retired-BSV pool are untouched.
+    pub fn restore(&mut self, snap: &CheckerSnapshot) {
+        while self.stack.len() > snap.frames.len() {
+            let frame = self.stack.pop().expect("len checked");
+            if self.bsv_pool.len() < BSV_POOL_CAP {
+                self.bsv_pool.push(frame.bsv);
+            }
+        }
+        for (i, (func, bsv)) in snap.frames.iter().enumerate() {
+            if let Some(frame) = self.stack.get_mut(i) {
+                frame.func = *func;
+                frame.bsv.clone_from(bsv);
+            } else {
+                let mut buf = self.bsv_pool.pop().unwrap_or_default();
+                buf.clone_from(bsv);
+                self.stack.push(Frame {
+                    func: *func,
+                    bsv: buf,
+                });
+            }
+        }
+        self.stats = snap.stats;
+        self.alarms.clone_from(&snap.alarms);
     }
 
     /// All alarms raised so far.
@@ -536,5 +805,99 @@ mod tests {
         assert!(out.verified);
         assert!(out.table_accesses >= 3, "{out:?}");
         assert!(ipds.stats().table_accesses >= out.table_accesses as u64);
+    }
+
+    #[test]
+    fn batched_run_matches_per_event_processing() {
+        let (_, a) = setup(
+            "fn main() -> int { int x; int i; x = read_int(); \
+             for (i = 0; i < 4; i = i + 1) { \
+               if (x == 1) { print_int(1); } \
+               if (x == 1) { print_int(2); } else { print_int(3); } \
+             } return 0; }",
+        );
+        let main = &a.functions[0];
+        let pcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+        let mut events = Vec::new();
+        for round in 0..4 {
+            events.push((pcs[0], true));
+            // Flip the x-tests mid-run so the batch path exercises alarms.
+            let dir = round < 2;
+            events.push((pcs[1], dir));
+            events.push((pcs[2], dir));
+        }
+        events.push((pcs[0], false));
+
+        let mut serial = IpdsChecker::new(&a);
+        serial.on_call(main.func);
+        for &(pc, dir) in &events {
+            serial.on_branch(pc, dir);
+        }
+        let mut batched = IpdsChecker::new(&a);
+        batched.on_call(main.func);
+        batched.on_branch_run(&events);
+        assert_eq!(serial.stats(), batched.stats());
+        assert_eq!(serial.alarms(), batched.alarms());
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_exactly() {
+        let (_, a) = setup(
+            "fn inner(int v) -> int { if (v == 1) { return 1; } return 0; } \
+             fn main() -> int { int x; x = read_int(); \
+             if (x == 1) { print_int(1); } \
+             inner(0); \
+             if (x == 1) { print_int(2); } return 0; }",
+        );
+        let main = a.functions.iter().find(|f| f.name == "main").unwrap();
+        let inner = a.functions.iter().find(|f| f.name == "inner").unwrap();
+        let mpcs: Vec<u64> = main.branches.iter().map(|b| b.pc).collect();
+        let ipc = inner.branches[0].pc;
+
+        let mut ipds = IpdsChecker::new(&a);
+        ipds.on_call(main.func);
+        ipds.on_branch(mpcs[0], true);
+        ipds.on_call(inner.func);
+        let snap = ipds.snapshot();
+        let stats_at_snap = *ipds.stats();
+
+        // Diverge: finish the inner call and trip an alarm in main.
+        ipds.on_branch(ipc, false);
+        ipds.on_return().unwrap();
+        assert!(ipds.on_branch(mpcs[1], false).alarm);
+
+        // Rewind and replay a clean suffix instead.
+        ipds.restore(&snap);
+        assert_eq!(ipds.stats(), &stats_at_snap);
+        assert_eq!(ipds.depth(), 2);
+        assert!(!ipds.detected());
+        ipds.on_branch(ipc, true);
+        ipds.on_return().unwrap();
+        assert!(!ipds.on_branch(mpcs[1], true).alarm);
+        assert!(!ipds.detected());
+    }
+
+    #[test]
+    fn bsv_pool_is_capped_with_high_water_telemetry() {
+        let (_, a) = setup(
+            "fn rec(int n) -> int { if (n < 1) { return 0; } return rec(n - 1); } \
+             fn main() -> int { return rec(read_int()); }",
+        );
+        let rec = a.functions.iter().find(|f| f.name == "rec").unwrap();
+        let mut ipds = IpdsChecker::new(&a);
+        assert_eq!(ipds.bsv_pool_high_water(), 0);
+        // Simulate a deep recursion, then reset: the retired buffers must
+        // not accumulate beyond the cap.
+        for _ in 0..(BSV_POOL_CAP + 40) {
+            ipds.on_call(rec.func);
+        }
+        ipds.reset();
+        assert_eq!(ipds.bsv_pool_high_water(), BSV_POOL_CAP);
+        // Another deep run drains and refills the pool without growing it.
+        for _ in 0..(BSV_POOL_CAP + 40) {
+            ipds.on_call(rec.func);
+        }
+        ipds.reset();
+        assert_eq!(ipds.bsv_pool_high_water(), BSV_POOL_CAP);
     }
 }

@@ -26,7 +26,9 @@ pub mod context;
 pub mod error;
 pub mod onchip;
 
-pub use checker::{Alarm, BranchOutcome, IpdsChecker, IpdsStats};
+pub use checker::{
+    Alarm, BranchOutcome, CheckerSnapshot, IpdsChecker, IpdsStats, BSV_POOL_CAP, CHECKER_COUNTERS,
+};
 pub use config::HwConfig;
 pub use error::RuntimeError;
 pub use onchip::{OnChipModel, SpillStats};

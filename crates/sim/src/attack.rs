@@ -18,9 +18,10 @@ use ipds_ir::Program;
 use ipds_runtime::IpdsChecker;
 use ipds_telemetry::{AttackRecord, EventSink, MetricsRegistry, NullSink, NULL_SINK};
 
-use crate::interp::{ExecLimits, ExecStatus, Input, Interp};
+use crate::interp::{ExecLimits, ExecStatus, Input, Interp, InterpSnapshot};
 use crate::observer::{BranchTrace, IpdsObserver, Tee};
 use crate::rng::StdRng;
+use ipds_runtime::CheckerSnapshot;
 
 /// Which vulnerability class the attack models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +140,182 @@ impl GoldenRun {
     }
 }
 
+/// Periodic snapshots of the clean execution: interpreter state, checker
+/// state and committed-branch count captured every few thousand steps of
+/// one golden run. Every attack's pre-trigger phase re-executes a prefix of
+/// exactly that run, so a campaign captures one `WarmStart` and each attack
+/// restores the nearest snapshot at-or-before its trigger step — a few
+/// memcpys — instead of re-interpreting the whole prefix. Snapshots are
+/// immutable after capture and shared by reference across worker threads.
+///
+/// Warm starts are transparent to campaign *results*: restoring a snapshot
+/// and replaying the remaining steps commits the same state, branch trace
+/// suffix and checker verdicts as interpreting from scratch (the prefix is
+/// deterministic), and [`first_divergence_from`] accounts for the elided
+/// golden prefix when diffing traces. They are **not** transparent to
+/// per-branch telemetry — the elided prefix emits no `BranchRecord`s — so
+/// engines only enable them for sinks that report
+/// [`EventSink::wants_branch_stream`]` == false`.
+#[derive(Debug)]
+pub struct WarmStart {
+    snaps: Vec<WarmSnap>,
+    /// Steps the full clean run took (the fast-forward outcome's step
+    /// count).
+    final_steps: u64,
+    /// How the clean run terminated.
+    final_status: ExecStatus,
+    /// True if the clean run raised no checker alarm — the precondition for
+    /// reconvergence fast-forwarding (a clean suffix implies an alarm-free
+    /// suffix). Always true in practice: the checker is zero-false-positive
+    /// on benign traces.
+    clean: bool,
+}
+
+#[derive(Debug)]
+struct WarmSnap {
+    /// Interpreter steps executed at capture time.
+    steps: u64,
+    /// Golden branches committed at capture time (the trace-diff offset).
+    trace_len: usize,
+    interp: InterpSnapshot,
+    checker: CheckerSnapshot,
+    /// Bitmask over cell addresses: every cell the golden run reads from
+    /// this snapshot to the end of the run (instruction loads and builtin
+    /// string/copy reads). Reconvergence only requires memory equality on
+    /// these cells — a tampered value the remaining run never looks at
+    /// cannot change its behaviour.
+    suffix_reads: Vec<u64>,
+}
+
+/// Observer recording every cell address read by execution (instruction
+/// loads plus builtin-level reads) as a bitmask. Teed alongside the golden
+/// capture run to build the per-snapshot suffix read-sets.
+#[derive(Debug, Default)]
+struct ReadSetRecorder {
+    bits: Vec<u64>,
+}
+
+impl ReadSetRecorder {
+    /// Hands the accumulated segment mask to the caller and starts the next
+    /// segment empty.
+    fn take_segment(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.bits)
+    }
+}
+
+impl crate::observer::ExecObserver for ReadSetRecorder {
+    const WANTS_MEM: bool = true;
+    const WANTS_BUILTIN_READS: bool = true;
+
+    fn on_mem(&mut self, _pc: u64, addr: usize, store: bool) {
+        if !store {
+            let w = addr / 64;
+            if w >= self.bits.len() {
+                self.bits.resize(w + 1, 0);
+            }
+            self.bits[w] |= 1u64 << (addr % 64);
+        }
+    }
+}
+
+/// In-place union of two address bitmasks (`dst |= src`).
+fn or_mask_into(dst: &mut Vec<u64>, src: &[u64]) {
+    if src.len() > dst.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+impl WarmStart {
+    /// Snapshot cadence: aim for ~128 snapshots across the run, but never
+    /// denser than every 64 steps (below that restoring costs about as much
+    /// as the replay it saves).
+    fn interval(golden_steps: u64) -> u64 {
+        (golden_steps / 128).max(64)
+    }
+
+    /// Re-runs the golden execution once, capturing a snapshot every
+    /// [`WarmStart::interval`] steps (including step 0). The checker is
+    /// driven exactly as [`AttackRunner::run`] drives it, so restored state
+    /// is indistinguishable from a cold prefix execution.
+    pub fn capture(
+        program: &Program,
+        analysis: &ProgramAnalysis,
+        inputs: &[Input],
+        golden_steps: u64,
+        limits: ExecLimits,
+    ) -> WarmStart {
+        let main = program.main().expect("program must define `main`").id;
+        let interval = WarmStart::interval(golden_steps);
+        let mut interp = Interp::new(program, inputs.to_vec(), limits);
+        let mut ipds = IpdsObserver::new(IpdsChecker::new(analysis));
+        ipds.checker.on_call(main);
+        let mut trace = BranchTrace::with_cap(0);
+        let mut reads = ReadSetRecorder::default();
+        let mut snaps = Vec::new();
+        let mut segments = Vec::new();
+        while *interp.status() == ExecStatus::Running {
+            snaps.push(WarmSnap {
+                steps: interp.steps(),
+                trace_len: trace.trace.len(),
+                interp: interp.snapshot(),
+                checker: ipds.checker.snapshot(),
+                suffix_reads: Vec::new(),
+            });
+            let mut inner = Tee::new(&mut trace, &mut ipds);
+            let mut tee = Tee::new(&mut inner, &mut reads);
+            interp.run_steps(interval, &mut tee);
+            // Cells read between this snapshot and the next (or the end).
+            segments.push(reads.take_segment());
+        }
+        debug_assert_eq!(
+            interp.steps(),
+            golden_steps,
+            "capture must replay the golden run"
+        );
+        // Each snapshot's mask must cover every read from it to the END of
+        // the run (reconvergence skips the whole tail), so accumulate the
+        // per-segment sets back to front.
+        let mut suffix = Vec::new();
+        for (snap, seg) in snaps.iter_mut().zip(segments).rev() {
+            or_mask_into(&mut suffix, &seg);
+            snap.suffix_reads = suffix.clone();
+        }
+        WarmStart {
+            snaps,
+            final_steps: interp.steps(),
+            final_status: interp.status().clone(),
+            clean: !ipds.checker.detected(),
+        }
+    }
+
+    /// The snapshot with the greatest step count ≤ `trigger_step`. Always
+    /// exists: capture starts with a step-0 snapshot.
+    fn nearest(&self, trigger_step: u64) -> &WarmSnap {
+        let i = self.snaps.partition_point(|s| s.steps <= trigger_step);
+        &self.snaps[i - 1]
+    }
+
+    /// The first snapshot strictly after `steps`, if any.
+    fn next_after(&self, steps: u64) -> Option<&WarmSnap> {
+        self.snaps
+            .get(self.snaps.partition_point(|s| s.steps <= steps))
+    }
+
+    /// Number of snapshots held.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True if no snapshots were captured (never happens for a program that
+    /// runs at least one step).
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+}
+
 /// Runs the golden (clean) execution and returns its branch trace and step
 /// count. Tuple-flavored convenience over [`GoldenRun::capture`].
 pub fn golden_run(
@@ -163,6 +340,7 @@ pub struct AttackRunner<'a, S: EventSink = NullSink> {
     interp: Interp<'a>,
     ipds: IpdsObserver<'a, S>,
     trace: BranchTrace,
+    warm: Option<&'a WarmStart>,
 }
 
 impl<'a> AttackRunner<'a, NullSink> {
@@ -204,7 +382,25 @@ impl<'a, S: EventSink> AttackRunner<'a, S> {
             interp: Interp::new(program, inputs.to_vec(), limits),
             ipds: IpdsObserver::with_sink(IpdsChecker::new(analysis), sink),
             trace: BranchTrace::with_cap(0),
+            warm: None,
         }
+    }
+
+    /// Attaches golden-run snapshots: subsequent [`AttackRunner::run`] calls
+    /// restore the nearest snapshot at-or-before the trigger instead of
+    /// re-interpreting the clean prefix. The caller is responsible for only
+    /// doing this when the sink tolerates the elided per-branch records
+    /// (see [`WarmStart`]).
+    pub fn with_warm_start(mut self, warm: &'a WarmStart) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+
+    /// High-water mark of the wrapped checker's BSV frame pool (the
+    /// `checker.bsv_pool_high_water` telemetry value; see
+    /// [`ipds_runtime::BSV_POOL_CAP`]).
+    pub fn bsv_pool_high_water(&self) -> usize {
+        self.ipds.checker.bsv_pool_high_water()
     }
 
     /// Runs one attack: execute to `trigger_step`, tamper cell(s) chosen by
@@ -216,18 +412,29 @@ impl<'a, S: EventSink> AttackRunner<'a, S> {
         model: AttackModel,
         rng: &mut StdRng,
     ) -> AttackOutcome {
-        self.interp.reset(self.inputs.iter().cloned());
-        self.ipds.checker.reset();
-        // Mirror the interpreter's startup convention: main's frame is
-        // active.
-        self.ipds.checker.on_call(self.main);
         self.trace.clear();
 
-        // Phase 1: run cleanly to the trigger point.
-        {
+        // Phase 1: reach the trigger point. With warm start the clean
+        // prefix comes from a golden snapshot (a few memcpys) plus a short
+        // replay; the trace buffer then holds only the suffix from the
+        // snapshot on, and `trace_offset` golden branches are implied.
+        let trace_offset = if let Some(warm) = self.warm {
+            let snap = warm.nearest(trigger_step);
+            self.interp.restore(&snap.interp);
+            self.ipds.checker.restore(&snap.checker);
+            let mut tee = Tee::new(&mut self.trace, &mut self.ipds);
+            self.interp.run_steps(trigger_step - snap.steps, &mut tee);
+            snap.trace_len
+        } else {
+            self.interp.reset(self.inputs.iter().cloned());
+            self.ipds.checker.reset();
+            // Mirror the interpreter's startup convention: main's frame is
+            // active.
+            self.ipds.checker.on_call(self.main);
             let mut tee = Tee::new(&mut self.trace, &mut self.ipds);
             self.interp.run_steps(trigger_step, &mut tee);
-        }
+            0
+        };
 
         // Phase 2: tamper.
         let candidates = match model {
@@ -270,14 +477,72 @@ impl<'a, S: EventSink> AttackRunner<'a, S> {
             false
         };
 
-        // Phase 3: run to completion under checking.
-        let status = {
-            let mut tee = Tee::new(&mut self.trace, &mut self.ipds);
-            self.interp.run(&mut tee)
+        // Phase 3: run to completion under checking. With warm start the
+        // run pauses at each golden snapshot boundary and checks whether it
+        // has *reconverged* with the clean run: trace still a golden prefix
+        // (same count, same entries — which pins the whole instruction
+        // path, including calls/returns, and therefore the checker state)
+        // and interpreter state equal to the snapshot on everything the
+        // remaining golden run can observe — the activation stack with its
+        // registers, the input stream, and every memory cell the suffix
+        // will ever read (`WarmSnap::suffix_reads`; a tampered value the
+        // tail never looks at cannot steer it). From such a point the
+        // remainder commits the golden suffix verbatim: no divergence, no
+        // alarms (the clean run has none), terminal status, exit value and
+        // step count already known — so the tail is skipped outright. Once
+        // the trace diverges no reconvergence shortcut exists and the run
+        // simply plays out.
+        let status = 'run: {
+            let Some(warm) = self.warm.filter(|w| w.clean) else {
+                let mut tee = Tee::new(&mut self.trace, &mut self.ipds);
+                break 'run self.interp.run(&mut tee);
+            };
+            let mut matched = 0usize;
+            loop {
+                let Some(snap) = warm.next_after(self.interp.steps()) else {
+                    let mut tee = Tee::new(&mut self.trace, &mut self.ipds);
+                    break 'run self.interp.run(&mut tee);
+                };
+                {
+                    let mut tee = Tee::new(&mut self.trace, &mut self.ipds);
+                    self.interp
+                        .run_steps(snap.steps - self.interp.steps(), &mut tee);
+                }
+                if *self.interp.status() != ExecStatus::Running {
+                    break 'run self.interp.status().clone();
+                }
+                // Verify the branches committed since the last checkpoint
+                // against the golden trace (each entry is compared once).
+                let new = &self.trace.trace[matched..];
+                let gstart = trace_offset + matched;
+                let still_prefix = gstart + new.len() <= self.golden.len()
+                    && *new == self.golden[gstart..gstart + new.len()];
+                if !still_prefix {
+                    // Diverged: play the rest out under checking.
+                    let mut tee = Tee::new(&mut self.trace, &mut self.ipds);
+                    break 'run self.interp.run(&mut tee);
+                }
+                matched = self.trace.trace.len();
+                if trace_offset + matched == snap.trace_len
+                    && self
+                        .interp
+                        .state_eq_masked(&snap.interp, &snap.suffix_reads)
+                {
+                    // Reconverged with the clean run: the tail is golden.
+                    return AttackOutcome {
+                        tampered,
+                        control_flow_changed: false,
+                        detected: self.ipds.checker.detected(),
+                        detection_lag_branches: None,
+                        status: warm.final_status.clone(),
+                        steps: warm.final_steps,
+                    };
+                }
+            }
         };
 
-        // Diff against the golden trace.
-        let divergence = first_divergence(self.golden, &self.trace.trace);
+        // Diff against the golden trace (offset past the elided prefix).
+        let divergence = first_divergence_from(self.golden, &self.trace.trace, trace_offset);
         let control_flow_changed = divergence.is_some();
         let detected = self.ipds.checker.detected();
         let detection_lag_branches = match (divergence, self.ipds.checker.alarms().first()) {
@@ -319,15 +584,24 @@ pub fn run_attack(
     AttackRunner::new(program, analysis, inputs, golden, limits).run(trigger_step, model, rng)
 }
 
-fn first_divergence(golden: &[(u64, bool)], attacked: &[(u64, bool)]) -> Option<usize> {
-    let n = golden.len().min(attacked.len());
+/// First index at which `golden` and the attacked trace differ, where the
+/// attacked trace is known to start with `golden[..offset]` (elided by a
+/// warm start) followed by `tail`. Returns an index into the full traces;
+/// `offset == 0` is the plain whole-trace diff.
+fn first_divergence_from(
+    golden: &[(u64, bool)],
+    tail: &[(u64, bool)],
+    offset: usize,
+) -> Option<usize> {
+    let golden_tail = &golden[offset.min(golden.len())..];
+    let n = golden_tail.len().min(tail.len());
     for i in 0..n {
-        if golden[i] != attacked[i] {
-            return Some(i);
+        if golden_tail[i] != tail[i] {
+            return Some(offset + i);
         }
     }
-    if golden.len() != attacked.len() {
-        Some(n)
+    if golden_tail.len() != tail.len() {
+        Some(offset + n)
     } else {
         None
     }
@@ -464,6 +738,11 @@ pub fn run_campaign_instrumented<S: EventSink>(
         "golden run must not fault: {:?}",
         golden.status
     );
+    // One golden-snapshot set amortized over the whole campaign — skipped
+    // for detail sinks (which need every prefix branch record) and for
+    // single-attack campaigns (capture costs about one clean run).
+    let warm = (!sink.wants_branch_stream() && campaign.attacks > 1)
+        .then(|| WarmStart::capture(program, analysis, inputs, golden.steps, campaign.limits));
     let mut runner = AttackRunner::with_sink(
         program,
         analysis,
@@ -472,6 +751,9 @@ pub fn run_campaign_instrumented<S: EventSink>(
         campaign.limits,
         sink,
     );
+    if let Some(warm) = &warm {
+        runner = runner.with_warm_start(warm);
+    }
     let mut metrics = MetricsRegistry::new();
     let mut outcomes = Vec::with_capacity(campaign.attacks as usize);
     for i in 0..campaign.attacks {
@@ -480,6 +762,16 @@ pub fn run_campaign_instrumented<S: EventSink>(
         record_attack(sink, &mut metrics, campaign, i, trigger, &outcome);
         outcomes.push(outcome);
     }
+    // Mirror the worker pool's degenerate single-worker accounting (one
+    // worker, one chunk, nothing stolen) so the deterministic telemetry
+    // keys match the threaded engine bit for bit.
+    metrics.add("pool.tasks_executed", u64::from(campaign.attacks));
+    metrics.add("pool.chunks_claimed", u64::from(campaign.attacks > 0));
+    metrics.add("pool.chunks_stolen", 0);
+    metrics.add(
+        "checker.bsv_pool_high_water",
+        runner.bsv_pool_high_water() as u64,
+    );
     (aggregate(campaign.attacks, &outcomes), metrics)
 }
 
@@ -571,6 +863,56 @@ mod tests {
         // This victim's control flow is entirely user-driven: some attacks
         // must both land and be detected.
         assert!(r.detected > 0, "{r:?}");
+    }
+
+    #[test]
+    fn warm_start_matches_cold_execution_per_attack() {
+        // Run the same attacks cold and warm-started and require identical
+        // outcomes — divergence index arithmetic, detection lag, steps and
+        // status all go through the elided-prefix path.
+        let (p, a) = setup(VICTIM);
+        let inputs = vec![Input::Int(1), Input::Int(3)];
+        let limits = ExecLimits::default();
+        let golden = GoldenRun::capture(&p, &inputs, limits);
+        let warm = WarmStart::capture(&p, &a, &inputs, golden.steps, limits);
+        assert!(!warm.is_empty());
+        for model in [
+            AttackModel::FormatString,
+            AttackModel::BufferOverflow,
+            AttackModel::ContiguousOverflow,
+        ] {
+            let c = Campaign {
+                attacks: 30,
+                seed: 2006,
+                model,
+                limits,
+            };
+            let mut cold = AttackRunner::new(&p, &a, &inputs, &golden.trace, limits);
+            let mut warmed =
+                AttackRunner::new(&p, &a, &inputs, &golden.trace, limits).with_warm_start(&warm);
+            for i in 0..c.attacks {
+                let (mut rng_c, trigger) = attack_rng(&c, golden.steps, i);
+                let (mut rng_w, _) = attack_rng(&c, golden.steps, i);
+                let a_cold = cold.run(trigger, c.model, &mut rng_c);
+                let a_warm = warmed.run(trigger, c.model, &mut rng_w);
+                assert_eq!(a_cold, a_warm, "{model:?} attack {i} trigger {trigger}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_snapshots_cover_every_trigger() {
+        // Trigger steps right on, before and after snapshot boundaries all
+        // restore a snapshot at-or-before the trigger.
+        let (p, a) = setup(VICTIM);
+        let inputs = vec![Input::Int(0), Input::Int(7)];
+        let limits = ExecLimits::default();
+        let golden = GoldenRun::capture(&p, &inputs, limits);
+        let warm = WarmStart::capture(&p, &a, &inputs, golden.steps, limits);
+        for trigger in 1..golden.steps {
+            let snap = warm.nearest(trigger);
+            assert!(snap.steps <= trigger, "trigger {trigger}");
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@ use ipds_ir::{
     Address, Builtin, Callee, FuncId, Function, Inst, Operand, Program, Reg, Terminator, VarId,
 };
 
-use crate::memory::Memory;
+use crate::memory::{MemSnapshot, Memory};
 use crate::observer::ExecObserver;
 
 /// One element of the program's input stream.
@@ -88,7 +88,7 @@ impl PcMap {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, PartialEq, Eq)]
 struct Activation {
     func: u32,
     block: usize,
@@ -96,6 +96,83 @@ struct Activation {
     regs: Vec<i64>,
     frame: usize,
     ret_dst: Option<Reg>,
+}
+
+impl Clone for Activation {
+    fn clone(&self) -> Activation {
+        Activation {
+            func: self.func,
+            block: self.block,
+            idx: self.idx,
+            regs: self.regs.clone(),
+            frame: self.frame,
+            ret_dst: self.ret_dst,
+        }
+    }
+
+    // Snapshot captures clone the whole activation stack repeatedly; reusing
+    // the register vectors keeps that allocation-free in steady state.
+    fn clone_from(&mut self, src: &Activation) {
+        self.func = src.func;
+        self.block = src.block;
+        self.idx = src.idx;
+        self.regs.clone_from(&src.regs);
+        self.frame = src.frame;
+        self.ret_dst = src.ret_dst;
+    }
+}
+
+/// A point-in-time copy of a *running* interpreter's mutable state (memory,
+/// activation stack, remaining inputs, output, step count). Restoring one
+/// via [`Interp::restore`] rewinds execution to exactly that instant — the
+/// campaign warm-start engine uses mid-run golden snapshots to skip
+/// re-executing the shared prefix of every attack.
+#[derive(Debug, Clone, Default)]
+pub struct InterpSnapshot {
+    mem: MemSnapshot,
+    stack: Vec<Activation>,
+    inputs: VecDeque<Input>,
+    output: Vec<i64>,
+    steps: u64,
+}
+
+impl InterpSnapshot {
+    /// The step count at which this snapshot was taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[inline]
+fn operand_of(act: &Activation, op: Operand) -> i64 {
+    match op {
+        Operand::Reg(r) => act.regs[r.0 as usize],
+        Operand::Imm(v) => v,
+    }
+}
+
+/// Resolves an address expression to an absolute cell address.
+///
+/// `Err(raw)` carries the computed address when it is negative — a
+/// tampered or underflowed pointer. Callers turn that into a memory
+/// fault: clamping it (the old behavior) silently aliased tampered
+/// pointers onto cell 0, masking exactly the corruption the IPDS
+/// exists to surface.
+#[inline]
+fn resolve_addr(mem: &Memory, act: &Activation, addr: &Address) -> Result<usize, i64> {
+    let raw = match addr {
+        Address::Var(v) => return Ok(mem.addr_of(act.frame, *v)),
+        Address::Element { base, index } => {
+            let b = mem.addr_of(act.frame, *base);
+            let i = operand_of(act, *index);
+            // Deliberately unchecked against the array bound: this is
+            // the buffer-overflow surface. Positive overruns walk into
+            // neighboring cells; negative ones are reported via `Err`.
+            (b as i64).wrapping_add(i)
+        }
+        Address::Ptr { reg, offset } => act.regs[reg.0 as usize].wrapping_add(*offset),
+    };
+    usize::try_from(raw).map_err(|_| raw)
 }
 
 /// The interpreter.
@@ -115,6 +192,9 @@ pub struct Interp<'a> {
     /// execution (and campaign reuse via [`Interp::reset`]) allocates no
     /// per-call register storage.
     reg_pool: Vec<Vec<i64>>,
+    /// Scratch buffer for call-argument evaluation in the generic step path,
+    /// reused so calls allocate no per-call argv.
+    arg_scratch: Vec<i64>,
 }
 
 impl<'a> Interp<'a> {
@@ -140,6 +220,7 @@ impl<'a> Interp<'a> {
             steps: 0,
             limits,
             reg_pool: Vec::new(),
+            arg_scratch: Vec::new(),
         };
         let main = program.main().expect("program must define `main`");
         interp.enter(main.id, &[], None);
@@ -210,27 +291,293 @@ impl<'a> Interp<'a> {
         self.stack.len()
     }
 
-    /// Runs until exit/fault/budget, notifying `obs`.
-    pub fn run(&mut self, obs: &mut impl ExecObserver) -> ExecStatus {
-        while self.status == ExecStatus::Running {
-            self.step(obs);
+    /// Captures the interpreter's mutable state into `snap`, reusing its
+    /// allocations (repeated captures into the same snapshot are
+    /// allocation-free in steady state). Only meaningful while the status is
+    /// [`ExecStatus::Running`].
+    pub fn snapshot_into(&self, snap: &mut InterpSnapshot) {
+        debug_assert_eq!(self.status, ExecStatus::Running, "snapshot of a dead run");
+        self.mem.snapshot_into(&mut snap.mem);
+        snap.stack.clone_from(&self.stack);
+        snap.inputs.clone_from(&self.inputs);
+        snap.output.clone_from(&self.output);
+        snap.steps = self.steps;
+    }
+
+    /// True if the interpreter's live state equals the captured snapshot's —
+    /// everything future execution depends on: step count, activation
+    /// stack, remaining inputs and memory. Collected output is deliberately
+    /// excluded: it is append-only and never read back, so it cannot
+    /// influence the remaining run. Cheapest discriminators run first.
+    pub fn state_eq(&self, snap: &InterpSnapshot) -> bool {
+        self.steps == snap.steps
+            && self.stack == snap.stack
+            && self.inputs == snap.inputs
+            && self.mem.state_eq(&snap.mem)
+    }
+
+    /// Like [`Interp::state_eq`], but memory only has to match on the cells
+    /// set in `read_mask` (see [`Memory::state_eq_masked`]). The activation
+    /// stack — including every live register — and the remaining input
+    /// stream still compare exactly.
+    pub fn state_eq_masked(&self, snap: &InterpSnapshot, read_mask: &[u64]) -> bool {
+        self.steps == snap.steps
+            && self.stack == snap.stack
+            && self.inputs == snap.inputs
+            && self.mem.state_eq_masked(&snap.mem, read_mask)
+    }
+
+    /// Captures the interpreter's mutable state (see
+    /// [`Interp::snapshot_into`]).
+    pub fn snapshot(&self) -> InterpSnapshot {
+        let mut snap = InterpSnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Rewinds the interpreter to a previously captured [`InterpSnapshot`]
+    /// (taken from an interpreter over the *same* program). Equivalent to
+    /// replaying the original run's first `snap.steps()` steps, but a few
+    /// memcpys instead; existing allocations are reused.
+    pub fn restore(&mut self, snap: &InterpSnapshot) {
+        self.mem.restore(&snap.mem);
+        while self.stack.len() > snap.stack.len() {
+            let act = self.stack.pop().expect("len checked");
+            self.reg_pool.push(act.regs);
         }
-        self.status.clone()
+        for (i, src) in snap.stack.iter().enumerate() {
+            if let Some(dst) = self.stack.get_mut(i) {
+                dst.clone_from(src);
+            } else {
+                let mut regs = self.reg_pool.pop().unwrap_or_default();
+                regs.clone_from(&src.regs);
+                self.stack.push(Activation {
+                    func: src.func,
+                    block: src.block,
+                    idx: src.idx,
+                    regs,
+                    frame: src.frame,
+                    ret_dst: src.ret_dst,
+                });
+            }
+        }
+        self.inputs.clone_from(&snap.inputs);
+        self.output.clone_from(&snap.output);
+        self.steps = snap.steps;
+        self.status = ExecStatus::Running;
+    }
+
+    /// Runs until exit/fault/budget, notifying `obs`.
+    pub fn run<O: ExecObserver>(&mut self, obs: &mut O) -> ExecStatus {
+        self.run_steps(u64::MAX, obs)
     }
 
     /// Runs at most `n` further steps.
-    pub fn run_steps(&mut self, n: u64, obs: &mut impl ExecObserver) -> ExecStatus {
+    ///
+    /// Observers that want neither instruction nor memory events (the
+    /// campaign hot path) take a burst dispatch loop that caches the
+    /// function/block lookups [`Interp::step`] redoes per instruction;
+    /// everything else runs the single-step machine. Both produce identical
+    /// state, step accounting and observer event streams.
+    pub fn run_steps<O: ExecObserver>(&mut self, n: u64, obs: &mut O) -> ExecStatus {
         let target = self.steps.saturating_add(n);
-        while self.status == ExecStatus::Running && self.steps < target {
-            self.step(obs);
+        if O::WANTS_INST || O::WANTS_MEM {
+            while self.status == ExecStatus::Running && self.steps < target {
+                self.step(obs);
+            }
+        } else {
+            while self.status == ExecStatus::Running && self.steps < target {
+                self.burst(target, obs);
+                // The burst stops short of the rare ops it does not handle
+                // (builtin calls, an empty stack); one generic step covers
+                // them, then the next burst resumes.
+                if self.status == ExecStatus::Running && self.steps < target {
+                    self.step(obs);
+                }
+            }
         }
         self.status.clone()
     }
 
-    fn operand(&self, act: &Activation, op: Operand) -> i64 {
-        match op {
-            Operand::Reg(r) => act.regs[r.0 as usize],
-            Operand::Imm(v) => v,
+    /// Executes instructions, jumps, branches, direct calls and returns in a
+    /// burst until it reaches `target` steps, a builtin call, or a terminal
+    /// state. The function and basic-block references are resolved once per
+    /// control transfer instead of once per step, which is where the
+    /// single-step machine spends most of its time.
+    ///
+    /// Semantics mirror [`Interp::step`] exactly: identical step accounting
+    /// (budget overrun consumes the step), identical fault messages and
+    /// points, and observer events fired in the same order. Only valid for
+    /// observers with both capability flags off — per-slot PCs are
+    /// materialized solely for committed branches.
+    fn burst<O: ExecObserver>(&mut self, target: u64, obs: &mut O) {
+        debug_assert!(!O::WANTS_INST && !O::WANTS_MEM);
+        let program = self.program;
+        let Interp {
+            mem,
+            pcs,
+            stack,
+            status,
+            steps,
+            limits,
+            reg_pool,
+            ..
+        } = self;
+        'act: loop {
+            let depth = stack.len();
+            let Some(act) = stack.last_mut() else {
+                return; // step() records the exit
+            };
+            let func = &program.functions[act.func as usize];
+            let pcmap = &pcs[act.func as usize];
+            loop {
+                let bb = &func.blocks[act.block];
+                while act.idx < bb.insts.len() {
+                    if *steps >= target {
+                        return;
+                    }
+                    let inst = &bb.insts[act.idx];
+                    if let Inst::Call { callee, .. } = inst {
+                        if matches!(callee, Callee::Builtin(_)) {
+                            return; // step() runs the builtin
+                        }
+                    }
+                    *steps += 1;
+                    if *steps > limits.max_steps {
+                        *status = ExecStatus::OutOfBudget;
+                        return;
+                    }
+                    match inst {
+                        Inst::Const { dst, value } => act.regs[dst.0 as usize] = *value,
+                        Inst::BinOp { dst, op, lhs, rhs } => {
+                            let a = operand_of(act, *lhs);
+                            let b = operand_of(act, *rhs);
+                            act.regs[dst.0 as usize] = op.eval(a, b);
+                        }
+                        Inst::Cmp {
+                            dst,
+                            pred,
+                            lhs,
+                            rhs,
+                        } => {
+                            let a = operand_of(act, *lhs);
+                            let b = operand_of(act, *rhs);
+                            act.regs[dst.0 as usize] = pred.eval(a, b) as i64;
+                        }
+                        Inst::Load { dst, addr } => match resolve_addr(mem, act, addr) {
+                            Ok(a) => act.regs[dst.0 as usize] = mem.load(a),
+                            Err(raw) => {
+                                *status = ExecStatus::Fault(format!(
+                                    "load from out-of-bounds address {raw}"
+                                ));
+                                return;
+                            }
+                        },
+                        Inst::Store { addr, src } => match resolve_addr(mem, act, addr) {
+                            Ok(a) => {
+                                let v = operand_of(act, *src);
+                                if !mem.store(a, v) {
+                                    *status = ExecStatus::Fault(format!("store fault at cell {a}"));
+                                    return;
+                                }
+                            }
+                            Err(raw) => {
+                                *status = ExecStatus::Fault(format!(
+                                    "store to out-of-bounds address {raw}"
+                                ));
+                                return;
+                            }
+                        },
+                        Inst::AddrOf { dst, base, offset } => {
+                            let b = mem.addr_of(act.frame, *base);
+                            let o = operand_of(act, *offset);
+                            act.regs[dst.0 as usize] = (b as i64).wrapping_add(o);
+                        }
+                        Inst::Call { dst, callee, args } => {
+                            let Callee::Direct(fid) = callee else {
+                                unreachable!("builtins bail out above")
+                            };
+                            if depth >= limits.max_depth {
+                                *status = ExecStatus::Fault("call stack overflow".into());
+                                return;
+                            }
+                            // Inline `enter`: push the callee frame, store
+                            // the arguments (frame cells were just
+                            // allocated; those stores cannot fault), seed
+                            // the register file from the pool.
+                            let f = &program.functions[fid.0 as usize];
+                            let frame = mem.push_frame(f);
+                            for (i, &a) in args.iter().enumerate() {
+                                let v = operand_of(act, a);
+                                let addr = mem.addr_of(frame, VarId::local(i as u32));
+                                let ok = mem.store(addr, v);
+                                debug_assert!(ok);
+                            }
+                            let mut regs = reg_pool.pop().unwrap_or_default();
+                            regs.clear();
+                            regs.resize(f.next_reg as usize, 0);
+                            act.idx += 1; // advance the caller past the call
+                            let entry = f.entry.index();
+                            let fid = *fid;
+                            let ret_dst = *dst;
+                            stack.push(Activation {
+                                func: fid.0,
+                                block: entry,
+                                idx: 0,
+                                regs,
+                                frame,
+                                ret_dst,
+                            });
+                            obs.on_call(fid);
+                            continue 'act;
+                        }
+                    }
+                    act.idx += 1;
+                }
+                if *steps >= target {
+                    return;
+                }
+                *steps += 1;
+                if *steps > limits.max_steps {
+                    *status = ExecStatus::OutOfBudget;
+                    return;
+                }
+                match &bb.term {
+                    Terminator::Jump(t) => {
+                        act.block = t.index();
+                        act.idx = 0;
+                    }
+                    Terminator::Branch {
+                        cond,
+                        taken,
+                        not_taken,
+                    } => {
+                        let pc = pcmap.pc(func, act.block, act.idx);
+                        let dir = act.regs[cond.0 as usize] != 0;
+                        let t = if dir { taken } else { not_taken };
+                        act.block = t.index();
+                        act.idx = 0;
+                        obs.on_branch(pc, dir);
+                    }
+                    Terminator::Return(v) => {
+                        let value = v.map(|op| operand_of(act, op));
+                        let fin = stack.pop().expect("active frame");
+                        mem.pop_frame();
+                        if stack.is_empty() {
+                            *status = ExecStatus::Exited(value.unwrap_or(0));
+                            reg_pool.push(fin.regs);
+                            return;
+                        }
+                        obs.on_return();
+                        if let Some(dst) = fin.ret_dst {
+                            let caller = stack.len() - 1;
+                            stack[caller].regs[dst.0 as usize] = value.unwrap_or(0);
+                        }
+                        reg_pool.push(fin.regs);
+                        continue 'act;
+                    }
+                }
+            }
         }
     }
 
@@ -238,27 +585,10 @@ impl<'a> Interp<'a> {
         self.status = ExecStatus::Fault(msg.into());
     }
 
-    /// Resolves an address expression to an absolute cell address.
-    ///
-    /// `Err(raw)` carries the computed address when it is negative — a
-    /// tampered or underflowed pointer. Callers turn that into a memory
-    /// fault: clamping it (the old behavior) silently aliased tampered
-    /// pointers onto cell 0, masking exactly the corruption the IPDS
-    /// exists to surface.
-    fn resolve(&self, act: &Activation, addr: &Address) -> Result<usize, i64> {
-        let raw = match addr {
-            Address::Var(v) => return Ok(self.mem.addr_of(act.frame, *v)),
-            Address::Element { base, index } => {
-                let b = self.mem.addr_of(act.frame, *base);
-                let i = self.operand(act, *index);
-                // Deliberately unchecked against the array bound: this is
-                // the buffer-overflow surface. Positive overruns walk into
-                // neighboring cells; negative ones are reported via `Err`.
-                (b as i64).wrapping_add(i)
-            }
-            Address::Ptr { reg, offset } => act.regs[reg.0 as usize].wrapping_add(*offset),
-        };
-        usize::try_from(raw).map_err(|_| raw)
+    /// The PC of the instruction slot `(block, idx)` of `func_id`.
+    #[inline]
+    fn pc_of(&self, func_id: u32, block: usize, idx: usize) -> u64 {
+        self.pcs[func_id as usize].pc(self.func(func_id), block, idx)
     }
 
     /// Converts a builtin's pointer argument into a cell address, faulting
@@ -275,7 +605,13 @@ impl<'a> Interp<'a> {
     }
 
     /// Executes one instruction or terminator.
-    pub fn step(&mut self, obs: &mut impl ExecObserver) {
+    ///
+    /// The PC of the committed slot is computed lazily: only observers whose
+    /// [`ExecObserver::WANTS_INST`]/[`ExecObserver::WANTS_MEM`] capability
+    /// flags ask for it (or a committed branch, which always carries its PC)
+    /// pay for the layout lookup — the campaign hot path runs with both
+    /// flags off.
+    pub fn step<O: ExecObserver>(&mut self, obs: &mut O) {
         if self.status != ExecStatus::Running {
             return;
         }
@@ -293,31 +629,40 @@ impl<'a> Interp<'a> {
             (a.func, a.block, a.idx)
         };
         let func = self.func(func_id);
-        let pc = self.pcs[func_id as usize].pc(func, block, idx);
-        obs.on_inst(pc);
+        if O::WANTS_INST {
+            obs.on_inst(self.pc_of(func_id, block, idx));
+        }
 
         let bb = &func.blocks[block];
         if idx < bb.insts.len() {
-            self.exec_inst(act_idx, &bb.insts[idx], pc, obs);
+            self.exec_inst(act_idx, &bb.insts[idx], (func_id, block, idx), obs);
             if self.status == ExecStatus::Running {
                 // exec_inst may have pushed a new activation (call); only
                 // advance the original one.
                 self.stack[act_idx].idx = idx + 1;
             }
         } else {
-            self.exec_terminator(act_idx, &bb.term, pc, obs);
+            self.exec_terminator(act_idx, &bb.term, (func_id, block, idx), obs);
         }
     }
 
-    fn exec_inst(&mut self, act_idx: usize, inst: &Inst, pc: u64, obs: &mut impl ExecObserver) {
+    fn exec_inst<O: ExecObserver>(
+        &mut self,
+        act_idx: usize,
+        inst: &Inst,
+        slot: (u32, usize, usize),
+        obs: &mut O,
+    ) {
         match inst {
             Inst::Const { dst, value } => {
-                self.stack[act_idx].regs[dst.0 as usize] = *value;
+                let act = &mut self.stack[act_idx];
+                act.regs[dst.0 as usize] = *value;
             }
             Inst::BinOp { dst, op, lhs, rhs } => {
-                let a = self.operand(&self.stack[act_idx], *lhs);
-                let b = self.operand(&self.stack[act_idx], *rhs);
-                self.stack[act_idx].regs[dst.0 as usize] = op.eval(a, b);
+                let act = &mut self.stack[act_idx];
+                let a = operand_of(act, *lhs);
+                let b = operand_of(act, *rhs);
+                act.regs[dst.0 as usize] = op.eval(a, b);
             }
             Inst::Cmp {
                 dst,
@@ -325,40 +670,52 @@ impl<'a> Interp<'a> {
                 lhs,
                 rhs,
             } => {
-                let a = self.operand(&self.stack[act_idx], *lhs);
-                let b = self.operand(&self.stack[act_idx], *rhs);
-                self.stack[act_idx].regs[dst.0 as usize] = pred.eval(a, b) as i64;
+                let act = &mut self.stack[act_idx];
+                let a = operand_of(act, *lhs);
+                let b = operand_of(act, *rhs);
+                act.regs[dst.0 as usize] = pred.eval(a, b) as i64;
             }
-            Inst::Load { dst, addr } => match self.resolve(&self.stack[act_idx], addr) {
+            Inst::Load { dst, addr } => match resolve_addr(&self.mem, &self.stack[act_idx], addr) {
                 Ok(a) => {
-                    obs.on_mem(pc, a, false);
-                    self.stack[act_idx].regs[dst.0 as usize] = self.mem.load(a);
+                    if O::WANTS_MEM {
+                        obs.on_mem(self.pc_of(slot.0, slot.1, slot.2), a, false);
+                    }
+                    let act = &mut self.stack[act_idx];
+                    act.regs[dst.0 as usize] = self.mem.load(a);
                 }
                 Err(raw) => self.fault(format!("load from out-of-bounds address {raw}")),
             },
-            Inst::Store { addr, src } => match self.resolve(&self.stack[act_idx], addr) {
-                Ok(a) => {
-                    let v = self.operand(&self.stack[act_idx], *src);
-                    obs.on_mem(pc, a, true);
-                    if !self.mem.store(a, v) {
-                        self.fault(format!("store fault at cell {a}"));
+            Inst::Store { addr, src } => {
+                match resolve_addr(&self.mem, &self.stack[act_idx], addr) {
+                    Ok(a) => {
+                        let v = operand_of(&self.stack[act_idx], *src);
+                        if O::WANTS_MEM {
+                            obs.on_mem(self.pc_of(slot.0, slot.1, slot.2), a, true);
+                        }
+                        if !self.mem.store(a, v) {
+                            self.fault(format!("store fault at cell {a}"));
+                        }
                     }
+                    Err(raw) => self.fault(format!("store to out-of-bounds address {raw}")),
                 }
-                Err(raw) => self.fault(format!("store to out-of-bounds address {raw}")),
-            },
+            }
             Inst::AddrOf { dst, base, offset } => {
                 let b = self.mem.addr_of(self.stack[act_idx].frame, *base);
-                let o = self.operand(&self.stack[act_idx], *offset);
-                self.stack[act_idx].regs[dst.0 as usize] = (b as i64).wrapping_add(o);
+                let act = &mut self.stack[act_idx];
+                let o = operand_of(act, *offset);
+                act.regs[dst.0 as usize] = (b as i64).wrapping_add(o);
             }
             Inst::Call { dst, callee, args } => {
-                let argv: Vec<i64> = args
-                    .iter()
-                    .map(|a| self.operand(&self.stack[act_idx], *a))
-                    .collect();
+                let mut argv = std::mem::take(&mut self.arg_scratch);
+                argv.clear();
+                {
+                    let act = &self.stack[act_idx];
+                    argv.extend(args.iter().map(|a| operand_of(act, *a)));
+                }
                 match callee {
                     Callee::Direct(fid) => {
                         if self.stack.len() >= self.limits.max_depth {
+                            self.arg_scratch = argv;
                             self.fault("call stack overflow");
                             return;
                         }
@@ -366,10 +723,17 @@ impl<'a> Interp<'a> {
                         // after we return; the new activation starts at its
                         // entry block independently.
                         self.enter(*fid, &argv, *dst);
+                        self.arg_scratch = argv;
                         obs.on_call(*fid);
                     }
                     Callee::Builtin(b) => {
+                        let pc = if O::WANTS_MEM {
+                            self.pc_of(slot.0, slot.1, slot.2)
+                        } else {
+                            0
+                        };
                         let result = self.exec_builtin(*b, &argv, pc, obs);
+                        self.arg_scratch = argv;
                         if self.status != ExecStatus::Running {
                             return;
                         }
@@ -382,32 +746,34 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn exec_terminator(
+    fn exec_terminator<O: ExecObserver>(
         &mut self,
         act_idx: usize,
         term: &Terminator,
-        pc: u64,
-        obs: &mut impl ExecObserver,
+        slot: (u32, usize, usize),
+        obs: &mut O,
     ) {
         match term {
             Terminator::Jump(t) => {
-                self.stack[act_idx].block = t.index();
-                self.stack[act_idx].idx = 0;
+                let act = &mut self.stack[act_idx];
+                act.block = t.index();
+                act.idx = 0;
             }
             Terminator::Branch {
                 cond,
                 taken,
                 not_taken,
             } => {
-                let c = self.stack[act_idx].regs[cond.0 as usize];
-                let dir = c != 0;
-                obs.on_branch(pc, dir);
+                let pc = self.pc_of(slot.0, slot.1, slot.2);
+                let act = &mut self.stack[act_idx];
+                let dir = act.regs[cond.0 as usize] != 0;
                 let target = if dir { taken } else { not_taken };
-                self.stack[act_idx].block = target.index();
-                self.stack[act_idx].idx = 0;
+                act.block = target.index();
+                act.idx = 0;
+                obs.on_branch(pc, dir);
             }
             Terminator::Return(v) => {
-                let value = v.map(|op| self.operand(&self.stack[act_idx], op));
+                let value = v.map(|op| operand_of(&self.stack[act_idx], op));
                 let act = self.stack.pop().expect("active frame");
                 self.mem.pop_frame();
                 if self.stack.is_empty() {
@@ -427,9 +793,18 @@ impl<'a> Interp<'a> {
         }
     }
 
-    fn read_cstr(&self, addr: usize, max: usize) -> Vec<i64> {
+    fn read_cstr<O: ExecObserver>(
+        &self,
+        addr: usize,
+        max: usize,
+        pc: u64,
+        obs: &mut O,
+    ) -> Vec<i64> {
         let mut out = Vec::new();
         for i in 0..max {
+            if O::WANTS_BUILTIN_READS {
+                obs.on_mem(pc, addr + i, false);
+            }
             let c = self.mem.load(addr + i);
             if c == 0 {
                 break;
@@ -439,12 +814,12 @@ impl<'a> Interp<'a> {
         out
     }
 
-    fn exec_builtin(
+    fn exec_builtin<O: ExecObserver>(
         &mut self,
         b: Builtin,
         args: &[i64],
         pc: u64,
-        obs: &mut impl ExecObserver,
+        obs: &mut O,
     ) -> Option<i64> {
         match b {
             Builtin::ReadInt => loop {
@@ -470,14 +845,18 @@ impl<'a> Interp<'a> {
                 // buffer is the classic overflow bug.
                 let mut wrote = 0usize;
                 for (i, c) in s.chars().take(max).enumerate() {
-                    obs.on_mem(pc, dst + i, true);
+                    if O::WANTS_MEM {
+                        obs.on_mem(pc, dst + i, true);
+                    }
                     if !self.mem.store(dst + i, c as i64) {
                         self.fault(format!("read_str overflow fault at cell {}", dst + i));
                         return None;
                     }
                     wrote = i + 1;
                 }
-                obs.on_mem(pc, dst + wrote, true);
+                if O::WANTS_MEM {
+                    obs.on_mem(pc, dst + wrote, true);
+                }
                 if !self.mem.store(dst + wrote, 0) {
                     self.fault("read_str NUL fault");
                     return None;
@@ -490,7 +869,7 @@ impl<'a> Interp<'a> {
             }
             Builtin::PrintStr => {
                 let a = self.addr_arg("print_str", args[0])?;
-                let s = self.read_cstr(a, 4096);
+                let s = self.read_cstr(a, 4096, pc, obs);
                 self.output.extend(s);
                 None
             }
@@ -502,8 +881,8 @@ impl<'a> Interp<'a> {
                 };
                 let lhs = self.addr_arg("strcmp", args[0])?;
                 let rhs = self.addr_arg("strcmp", args[1])?;
-                let a = self.read_cstr(lhs, limit);
-                let c = self.read_cstr(rhs, limit);
+                let a = self.read_cstr(lhs, limit, pc, obs);
+                let c = self.read_cstr(rhs, limit, pc, obs);
                 for i in 0..limit {
                     let x = a.get(i).copied().unwrap_or(0);
                     let y = c.get(i).copied().unwrap_or(0);
@@ -519,15 +898,19 @@ impl<'a> Interp<'a> {
             Builtin::StrCpy => {
                 let dst = self.addr_arg("strcpy", args[0])?;
                 let from = self.addr_arg("strcpy", args[1])?;
-                let src = self.read_cstr(from, 4096);
+                let src = self.read_cstr(from, 4096, pc, obs);
                 for (i, &c) in src.iter().enumerate() {
-                    obs.on_mem(pc, dst + i, true);
+                    if O::WANTS_MEM {
+                        obs.on_mem(pc, dst + i, true);
+                    }
                     if !self.mem.store(dst + i, c) {
                         self.fault(format!("strcpy fault at cell {}", dst + i));
                         return None;
                     }
                 }
-                obs.on_mem(pc, dst + src.len(), true);
+                if O::WANTS_MEM {
+                    obs.on_mem(pc, dst + src.len(), true);
+                }
                 if !self.mem.store(dst + src.len(), 0) {
                     self.fault("strcpy NUL fault");
                 }
@@ -535,11 +918,11 @@ impl<'a> Interp<'a> {
             }
             Builtin::StrLen => {
                 let a = self.addr_arg("strlen", args[0])?;
-                Some(self.read_cstr(a, 4096).len() as i64)
+                Some(self.read_cstr(a, 4096, pc, obs).len() as i64)
             }
             Builtin::Atoi => {
                 let a = self.addr_arg("atoi", args[0])?;
-                let s = self.read_cstr(a, 64);
+                let s = self.read_cstr(a, 64, pc, obs);
                 let text: String = s
                     .iter()
                     .map(|&c| char::from_u32(c as u32).unwrap_or('\0'))
@@ -552,7 +935,9 @@ impl<'a> Interp<'a> {
                 // A negative count writes nothing.
                 let n = usize::try_from(args[2]).unwrap_or(0);
                 for i in 0..n {
-                    obs.on_mem(pc, dst + i, true);
+                    if O::WANTS_MEM {
+                        obs.on_mem(pc, dst + i, true);
+                    }
                     if !self.mem.store(dst + i, v) {
                         self.fault(format!("memset fault at cell {}", dst + i));
                         return None;
@@ -565,8 +950,13 @@ impl<'a> Interp<'a> {
                 let src = self.addr_arg("memcpy", args[1])?;
                 let n = usize::try_from(args[2]).unwrap_or(0);
                 for i in 0..n {
+                    if O::WANTS_BUILTIN_READS {
+                        obs.on_mem(pc, src + i, false);
+                    }
                     let v = self.mem.load(src + i);
-                    obs.on_mem(pc, dst + i, true);
+                    if O::WANTS_MEM {
+                        obs.on_mem(pc, dst + i, true);
+                    }
                     if !self.mem.store(dst + i, v) {
                         self.fault(format!("memcpy fault at cell {}", dst + i));
                         return None;

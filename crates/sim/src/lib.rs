@@ -47,7 +47,7 @@ pub use ipds_telemetry as telemetry;
 
 pub use attack::{
     attack_seed, run_campaign_instrumented, AttackModel, AttackOutcome, AttackRunner, Campaign,
-    CampaignResult, GoldenRun,
+    CampaignResult, GoldenRun, WarmStart,
 };
 pub use faults::{
     fault_plan, fault_seed, fault_site, run_fault_campaign, run_fault_campaign_threaded,
@@ -55,6 +55,7 @@ pub use faults::{
     FaultRunner, FaultSite, FAULT_COUNTERS, FAULT_HISTOGRAMS,
 };
 pub use interp::{ExecLimits, ExecStatus, Input, Interp};
+pub use ipds_parallel::POOL_COUNTERS;
 pub use memory::Memory;
 pub use observer::{expectation_of, ExecObserver, IpdsObserver, NullObserver};
 pub use parallel::{default_threads, run_campaign_threaded, run_campaign_threaded_instrumented};

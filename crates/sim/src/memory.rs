@@ -11,17 +11,36 @@ use ipds_ir::{Function, Program, VarId, VarKind};
 /// Base address of the globals segment (cell 0 stays reserved as "null").
 pub const GLOBAL_BASE: usize = 16;
 
-/// One active stack frame's layout.
-#[derive(Debug, Clone)]
+/// One active stack frame's layout. Plain `Copy` data — the per-variable
+/// offsets live in the per-function layout table shared by all activations
+/// of a function, so pushing a frame allocates nothing and snapshotting the
+/// frame stack is a memcpy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameLayout {
     /// Owning function index.
     pub func: u32,
     /// First cell of the frame.
     pub base: usize,
-    /// Per-variable offsets from `base` (indexed by local `VarId` index).
-    pub var_offsets: Vec<usize>,
     /// Total frame size in cells.
     pub size: usize,
+}
+
+/// Per-function frame layout, computed once at startup.
+#[derive(Debug, Clone)]
+struct FuncLayout {
+    /// Per-variable offsets from the frame base (indexed by local `VarId`
+    /// index).
+    var_offsets: Vec<usize>,
+    /// Total frame size in cells.
+    size: usize,
+}
+
+/// A point-in-time copy of the mutable memory state (cells + frame stack);
+/// see [`Memory::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct MemSnapshot {
+    cells: Vec<i64>,
+    frames: Vec<FrameLayout>,
 }
 
 /// The simulated memory.
@@ -31,6 +50,7 @@ pub struct Memory {
     global_offsets: Vec<usize>,
     stack_base: usize,
     frames: Vec<FrameLayout>,
+    func_layouts: Vec<FuncLayout>,
     /// Cells that are read-only (string literals etc.); enforced against
     /// program stores, exempt from tampering per the machine model.
     readonly_from_to: Vec<(usize, usize)>,
@@ -57,12 +77,29 @@ impl Memory {
             }
         }
         let stack_base = cells.len();
+        let func_layouts = program
+            .functions
+            .iter()
+            .map(|f| {
+                let mut var_offsets = Vec::with_capacity(f.vars.len());
+                let mut off = 0usize;
+                for v in &f.vars {
+                    var_offsets.push(off);
+                    off += v.size as usize;
+                }
+                FuncLayout {
+                    var_offsets,
+                    size: off,
+                }
+            })
+            .collect();
         Memory {
             pristine: cells.clone(),
             cells,
             global_offsets,
             stack_base,
             frames: Vec::new(),
+            func_layouts,
             readonly_from_to: readonly,
         }
     }
@@ -77,23 +114,70 @@ impl Memory {
     }
 
     /// Pushes a frame for `func`, zero-initializing its cells. Returns the
-    /// frame index.
+    /// frame index. Allocation-free in steady state: the layout was computed
+    /// at startup and the cell vector reuses its capacity.
     pub fn push_frame(&mut self, func: &Function) -> usize {
         let base = self.cells.len();
-        let mut var_offsets = Vec::with_capacity(func.vars.len());
-        let mut off = 0usize;
-        for v in &func.vars {
-            var_offsets.push(off);
-            off += v.size as usize;
-        }
-        self.cells.resize(base + off, 0);
+        let size = self.func_layouts[func.id.0 as usize].size;
+        self.cells.resize(base + size, 0);
         self.frames.push(FrameLayout {
             func: func.id.0,
             base,
-            var_offsets,
-            size: off,
+            size,
         });
         self.frames.len() - 1
+    }
+
+    /// Captures the mutable memory state (cells + frame stack) into `snap`,
+    /// reusing its allocations. Restoring with [`Memory::restore`] rewinds
+    /// to exactly this point.
+    pub fn snapshot_into(&self, snap: &mut MemSnapshot) {
+        snap.cells.clone_from(&self.cells);
+        snap.frames.clone_from(&self.frames);
+    }
+
+    /// Rewinds the mutable memory state to a previously captured
+    /// [`MemSnapshot`] (taken from a `Memory` over the same program).
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        self.cells.clone_from(&snap.cells);
+        self.frames.clone_from(&snap.frames);
+    }
+
+    /// True if the mutable memory state (cells and frame stack) equals the
+    /// captured snapshot's.
+    pub fn state_eq(&self, snap: &MemSnapshot) -> bool {
+        self.frames == snap.frames && self.cells == snap.cells
+    }
+
+    /// Like [`Memory::state_eq`], but only requires equality on the cells
+    /// set in `read_mask` (a bitmask over cell addresses, 64 per word).
+    /// Cells outside the mask may hold arbitrary divergent values.
+    ///
+    /// The warm-start engine passes the set of cells the golden suffix will
+    /// ever read: a run whose state matches on those — with an identical
+    /// frame stack, so all future layout decisions and bounds checks agree —
+    /// performs exactly the golden suffix regardless of what the unread
+    /// cells hold. Mask bits at or beyond the current allocation are
+    /// ignored: unmapped cells read as a deterministic 0 and are
+    /// zero-filled on (re)allocation, identically on both sides.
+    pub fn state_eq_masked(&self, snap: &MemSnapshot, read_mask: &[u64]) -> bool {
+        if self.frames != snap.frames || self.cells.len() != snap.cells.len() {
+            return false;
+        }
+        for (w, &word) in read_mask.iter().enumerate() {
+            let mut m = word;
+            while m != 0 {
+                let addr = w * 64 + m.trailing_zeros() as usize;
+                if addr >= self.cells.len() {
+                    break;
+                }
+                if self.cells[addr] != snap.cells[addr] {
+                    return false;
+                }
+                m &= m - 1;
+            }
+        }
+        true
     }
 
     /// Pops the top frame.
@@ -117,7 +201,7 @@ impl Memory {
             self.global_offsets[var.index()]
         } else {
             let f = &self.frames[frame_idx];
-            f.base + f.var_offsets[var.index()]
+            f.base + self.func_layouts[f.func as usize].var_offsets[var.index()]
         }
     }
 

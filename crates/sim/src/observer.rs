@@ -20,6 +20,24 @@ pub fn expectation_of(status: BranchStatus) -> Expectation {
 /// Default implementations ignore everything, so observers implement only
 /// what they need. The interpreter calls these in commit order.
 pub trait ExecObserver {
+    /// Whether this observer consumes [`ExecObserver::on_inst`]. The
+    /// interpreter skips the per-step PC computation *and* the call for
+    /// observers that leave this `false` (the default) — an observer that
+    /// overrides `on_inst` must set it to `true` or it will never be
+    /// called from the interpreter's hot loop.
+    const WANTS_INST: bool = false;
+    /// Whether this observer consumes [`ExecObserver::on_mem`]; same
+    /// contract as [`ExecObserver::WANTS_INST`].
+    const WANTS_MEM: bool = false;
+    /// Whether this observer additionally wants the *builtin-level* memory
+    /// reads (`print_str`/`strcmp`/`strlen`/`atoi` string walks, the
+    /// `memcpy` source) reported through [`ExecObserver::on_mem`]. Kept
+    /// separate from [`ExecObserver::WANTS_MEM`] so read-set capture (the
+    /// warm-start engine's reconvergence masks) can opt in without
+    /// perturbing observers — like the timing model — calibrated to the
+    /// instruction-level access stream.
+    const WANTS_BUILTIN_READS: bool = false;
+
     /// An instruction (of any kind) committed at `pc`.
     fn on_inst(&mut self, pc: u64) {
         let _ = pc;
@@ -138,6 +156,10 @@ impl<'a, A: ExecObserver, B: ExecObserver> Tee<'a, A, B> {
 }
 
 impl<A: ExecObserver, B: ExecObserver> ExecObserver for Tee<'_, A, B> {
+    const WANTS_INST: bool = A::WANTS_INST || B::WANTS_INST;
+    const WANTS_MEM: bool = A::WANTS_MEM || B::WANTS_MEM;
+    const WANTS_BUILTIN_READS: bool = A::WANTS_BUILTIN_READS || B::WANTS_BUILTIN_READS;
+
     fn on_inst(&mut self, pc: u64) {
         self.a.on_inst(pc);
         self.b.on_inst(pc);

@@ -29,6 +29,7 @@ pub use ipds_parallel::default_threads;
 
 use crate::attack::{
     aggregate, attack_rng, record_attack, AttackRunner, Campaign, CampaignResult, GoldenRun,
+    WarmStart,
 };
 use crate::interp::{ExecStatus, Input};
 
@@ -72,7 +73,11 @@ pub fn run_campaign_threaded_with_golden(
 /// [`MetricsRegistry`] folded into the returned one after the join. All
 /// telemetry aggregation commutes, so both the [`CampaignResult`] *and* the
 /// merged registry (and any [`CountingSink`](ipds_telemetry::CountingSink)
-/// snapshot) are bit-identical for every thread count.
+/// snapshot) are bit-identical for every thread count — with one documented
+/// exception: the pool's chunk-accounting counters (`pool.chunks_claimed`,
+/// `pool.chunks_stolen`) describe how the scheduler happened to carve the
+/// index space and legitimately vary with thread count and timing. See
+/// `docs/PERF.md`.
 ///
 /// # Panics
 ///
@@ -98,15 +103,21 @@ pub fn run_campaign_threaded_instrumented<S: EventSink>(
         );
     }
 
+    // One golden-snapshot set, captured by the coordinator and shared
+    // immutably by every worker (same gating as the serial engine, so both
+    // engines elide exactly the same prefixes).
+    let warm = (!sink.wants_branch_stream() && campaign.attacks > 1)
+        .then(|| WarmStart::capture(program, analysis, inputs, golden.steps, campaign.limits));
+
     // Shard attack indices over the shared pool; each worker owns one
     // reusable runner arena plus a private metrics registry. The pool merges
     // outcomes back into seed order, so the fold below is exactly the serial
     // engine's.
-    let (outcomes, states) = ipds_parallel::map_indexed(
+    let (outcomes, states, pool) = ipds_parallel::map_indexed_stats(
         campaign.attacks,
         workers,
         |_| {
-            let runner = AttackRunner::with_sink(
+            let mut runner = AttackRunner::with_sink(
                 program,
                 analysis,
                 inputs,
@@ -114,6 +125,9 @@ pub fn run_campaign_threaded_instrumented<S: EventSink>(
                 campaign.limits,
                 sink,
             );
+            if let Some(warm) = &warm {
+                runner = runner.with_warm_start(warm);
+            }
             (runner, MetricsRegistry::new())
         },
         |(runner, local_metrics), i| {
@@ -127,6 +141,18 @@ pub fn run_campaign_threaded_instrumented<S: EventSink>(
     for (_, local_metrics) in &states {
         metrics.merge(local_metrics);
     }
+    metrics.add("pool.tasks_executed", pool.tasks_executed);
+    metrics.add("pool.chunks_claimed", pool.chunks_claimed);
+    metrics.add("pool.chunks_stolen", pool.chunks_stolen);
+    // The BSV-pool high water is a max, and a max over per-worker maxima
+    // equals the serial engine's whole-campaign max, so this stays
+    // bit-identical across thread counts.
+    let high_water = states
+        .iter()
+        .map(|(runner, _)| runner.bsv_pool_high_water())
+        .max()
+        .unwrap_or(0);
+    metrics.add("checker.bsv_pool_high_water", high_water as u64);
     (aggregate(campaign.attacks, &outcomes), metrics)
 }
 

@@ -197,6 +197,9 @@ impl<'a> TimingModel<'a> {
 }
 
 impl ExecObserver for TimingModel<'_> {
+    const WANTS_INST: bool = true;
+    const WANTS_MEM: bool = true;
+
     fn on_inst(&mut self, pc: u64) {
         self.instructions += 1;
         // Base commit throughput.

@@ -126,6 +126,18 @@ pub trait EventSink: Sync {
         false
     }
 
+    /// True if this sink consumes the raw per-branch record stream
+    /// ([`EventSink::on_branch`]). Defaults to `true` — the safe answer for
+    /// any counting or logging sink. Engines keep full-fidelity execution
+    /// for such sinks; when `false` (the [`NullSink`] case) an engine may
+    /// elide re-executing deterministic work whose branch records would be
+    /// discarded anyway, e.g. warm-starting attacks from golden-run
+    /// snapshots.
+    #[inline]
+    fn wants_branch_stream(&self) -> bool {
+        true
+    }
+
     /// A committed conditional branch was checked.
     #[inline]
     fn on_branch(&self, record: &BranchRecord) {
@@ -143,7 +155,14 @@ pub trait EventSink: Sync {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullSink;
 
-impl EventSink for NullSink {}
+impl EventSink for NullSink {
+    /// The null sink discards branch records, so engines are free to elide
+    /// the executions that would produce them.
+    #[inline]
+    fn wants_branch_stream(&self) -> bool {
+        false
+    }
+}
 
 /// Shared reference to the canonical [`NullSink`] instance.
 pub static NULL_SINK: NullSink = NullSink;

@@ -33,12 +33,13 @@ cargo run -q --release -p ipds --bin ipdsc -- \
 echo "==> property suites (vendored mini-proptest)"
 export PROPTEST_CASES="${PROPTEST_CASES:-64}"
 cargo test -q --release --features props
-for crate in ipds-ir ipds-dataflow ipds-analysis ipds-absint; do
+for crate in ipds-ir ipds-dataflow ipds-analysis ipds-absint ipds-parallel; do
     cargo test -q --release -p "$crate" --features props
 done
 
 echo "==> bench harness compiles (vendored mini-criterion)"
 cargo build --release -p ipds-bench --benches --features bench-harness
+cargo build --release -p ipds-runtime --benches --features bench-harness
 
 echo "==> campaign smoke (parallel engine, 10 attacks/workload)"
 cargo run -q --release -p ipds-bench --bin exp_fig7 -- --attacks 10
@@ -58,5 +59,26 @@ for key in '"telemetry"' '"spans"' '"compile"' '"analyze"' '"golden"' \
     grep -q "$key" results/bench_campaign.json \
         || { echo "missing $key in results/bench_campaign.json"; exit 1; }
 done
+
+echo "==> scaling gate (parallelism must not be a loss; see docs/PERF.md)"
+# First scaling row is 1 thread, last is the max thread count. On a real
+# multicore box the max-thread throughput must not fall below the 1-thread
+# throughput (minus measurement noise — quick campaigns are short). A
+# single-hardware-thread box can at best tie and pays a real thread-spawn
+# tax on these tiny campaigns, so there the gate only catches a collapse
+# of the work-stealing pool (a serialization bug reads ~0.1, the tax ~0.6).
+cores=$(nproc 2>/dev/null || echo 1)
+floor=0.90
+[ "$cores" -le 1 ] && floor=0.45
+mapfile -t aps < <(sed -n '/"scaling": \[/,/\]/p' results/bench_campaign.json \
+    | grep -o '"attacks_per_sec": [0-9.]*' | awk '{print $2}')
+[ "${#aps[@]}" -ge 2 ] || { echo "scaling sweep missing from results/bench_campaign.json"; exit 1; }
+awk -v one="${aps[0]}" -v max="${aps[${#aps[@]}-1]}" -v floor="$floor" 'BEGIN {
+    if (max < floor * one) {
+        printf "scaling regression: max-thread %.1f attacks/s < %.0f%% of 1-thread %.1f\n", max, floor * 100, one
+        exit 1
+    }
+    printf "scaling ok: 1T %.1f attacks/s, maxT %.1f attacks/s (ratio %.2f, floor %.2f)\n", one, max, max / one, floor
+}'
 
 echo "CI OK"

@@ -13,7 +13,8 @@ use std::collections::BTreeSet;
 
 use ipds::analysis::pipeline::{build_source, BuildOptions};
 use ipds::analysis::PIPELINE_COUNTERS;
-use ipds::sim::{FAULT_COUNTERS, FAULT_HISTOGRAMS};
+use ipds::runtime::CHECKER_COUNTERS;
+use ipds::sim::{FAULT_COUNTERS, FAULT_HISTOGRAMS, POOL_COUNTERS};
 use ipds::workloads;
 
 /// Extracts every `<prefix><snake_case>` token from a documentation file.
@@ -106,15 +107,63 @@ fn fault_campaigns_emit_exactly_the_documented_keys() {
         .seed(7)
         .run_metered();
     let counters: BTreeSet<String> = metrics.counters().map(|(k, _)| k.to_string()).collect();
-    let canonical: BTreeSet<String> = FAULT_COUNTERS.iter().map(|s| s.to_string()).collect();
+    let canonical: BTreeSet<String> = FAULT_COUNTERS
+        .iter()
+        .chain(POOL_COUNTERS)
+        .map(|s| s.to_string())
+        .collect();
     assert_eq!(
         counters, canonical,
-        "a fault campaign must emit exactly FAULT_COUNTERS"
+        "a fault campaign must emit exactly FAULT_COUNTERS plus the pool keys"
     );
     for key in FAULT_HISTOGRAMS {
         assert!(
             metrics.histogram(key).is_some(),
             "a fault campaign must emit the `{key}` histogram"
+        );
+    }
+}
+
+#[test]
+fn perf_doc_agrees_with_the_pool_and_checker_counter_lists() {
+    let pool: BTreeSet<String> = POOL_COUNTERS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        doc_keys("docs/PERF.md", "pool."),
+        pool,
+        "docs/PERF.md must document exactly the POOL_COUNTERS keys"
+    );
+    let checker: BTreeSet<String> = CHECKER_COUNTERS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        doc_keys("docs/PERF.md", "checker."),
+        checker,
+        "docs/PERF.md must document exactly the CHECKER_COUNTERS keys"
+    );
+}
+
+#[test]
+fn attack_campaigns_emit_the_pool_and_checker_counters() {
+    let w = &workloads::all()[0];
+    let p = ipds::Protected::from_program(w.program(), &ipds::Config::default());
+    let inputs = w.inputs(7);
+    for threads in [1, 4] {
+        let (_, metrics) = p
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(8)
+            .seed(7)
+            .threads(threads)
+            .run_metered();
+        let emitted: BTreeSet<String> = metrics.counters().map(|(k, _)| k.to_string()).collect();
+        for key in POOL_COUNTERS.iter().chain(CHECKER_COUNTERS) {
+            assert!(
+                emitted.contains(*key),
+                "a {threads}-thread campaign must emit `{key}`"
+            );
+        }
+        assert_eq!(
+            metrics.counter("pool.tasks_executed"),
+            8,
+            "one pool task per attack"
         );
     }
 }

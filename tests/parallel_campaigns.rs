@@ -110,7 +110,26 @@ fn counting_sink_is_bit_identical_across_thread_counts() {
             let (result, counts, metrics) = instrumented(&w, threads);
             assert_eq!(base_result, result, "{} @ {threads} threads", w.name);
             assert_eq!(base_counts, counts, "{} @ {threads} threads", w.name);
-            assert_eq!(base_metrics, metrics, "{} @ {threads} threads", w.name);
+            // Chunk accounting observes the scheduler and is the one
+            // telemetry pair allowed to vary with thread count (see
+            // docs/PERF.md); every other key must merge identically.
+            let stable = |m: &ipds::telemetry::MetricsRegistry| {
+                m.counters()
+                    .filter(|(k, _)| *k != "pool.chunks_claimed" && *k != "pool.chunks_stolen")
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                stable(&base_metrics),
+                stable(&metrics),
+                "{} @ {threads} threads",
+                w.name
+            );
+            assert_eq!(
+                base_metrics.histograms().collect::<Vec<_>>(),
+                metrics.histograms().collect::<Vec<_>>(),
+                "{} @ {threads} threads",
+                w.name
+            );
         }
     }
 }
