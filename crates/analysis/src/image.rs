@@ -226,6 +226,23 @@ impl TableImage {
         Some(HEADER_BYTES + count * INFO_BYTES)
     }
 
+    /// The checksum the header *claims* (bytes 8..12, MSB first), or `None`
+    /// on images too short to carry a header. Cache keys derive from this —
+    /// it identifies an image build without hashing the whole payload.
+    /// Whether the claim is *true* is only established by
+    /// [`TableImage::load`].
+    pub fn checksum(&self) -> Option<u32> {
+        if self.bytes.len() < HEADER_BYTES {
+            return None;
+        }
+        Some(u32::from_be_bytes([
+            self.bytes[8],
+            self.bytes[9],
+            self.bytes[10],
+            self.bytes[11],
+        ]))
+    }
+
     /// Recomputes and rewrites the header checksum over the current bytes.
     ///
     /// The fault-injection engine uses this to model a loader with its

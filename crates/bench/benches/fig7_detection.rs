@@ -11,7 +11,15 @@ fn bench_campaigns(c: &mut Criterion) {
         let protected = ipds_bench::protect(&w);
         let inputs = w.inputs(1);
         group.bench_with_input(BenchmarkId::from_parameter(w.name), &w, |b, w| {
-            b.iter(|| protected.campaign(&inputs, 10, 7, w.vuln));
+            b.iter(|| {
+                protected
+                    .campaign_spec()
+                    .inputs(&inputs)
+                    .attacks(10)
+                    .seed(7)
+                    .model(w.vuln)
+                    .run()
+            });
         });
     }
     group.finish();

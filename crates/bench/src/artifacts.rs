@@ -122,7 +122,7 @@ fn compile(w: &Workload, config: &Config, optimize: bool) -> (Arc<Protected>, Ar
     let program = w.program();
     let gen_secs = gen_start.elapsed().as_secs_f64();
     let build = Protected::build()
-        .config(config.clone())
+        .analysis(config.clone())
         .optimize(optimize)
         .threads(ipds_sim::default_threads())
         .verify_tables(true)
@@ -133,7 +133,7 @@ fn compile(w: &Workload, config: &Config, optimize: bool) -> (Arc<Protected>, Ar
     // Campaigns must consume tables identical to a plain compile, so the
     // refiner runs on a throwaway build: only its counters are kept.
     let refine = Protected::build()
-        .config(config.clone())
+        .analysis(config.clone())
         .optimize(optimize)
         .threads(ipds_sim::default_threads())
         .verify_tables(true)
@@ -312,7 +312,13 @@ mod tests {
             .seed(9)
             .model(AttackModel::FormatString)
             .run();
-        let direct = crate::protect(&w).campaign(&w.inputs(3), 25, 9, AttackModel::FormatString);
+        let direct = crate::protect(&w)
+            .campaign_spec()
+            .inputs(&w.inputs(3))
+            .attacks(25)
+            .seed(9)
+            .model(AttackModel::FormatString)
+            .run();
         assert_eq!(via_cache, direct);
     }
 }

@@ -90,6 +90,27 @@ fn main() {
     );
     println!();
 
+    let fleet = timed(&mut wall, "fleet", || fleet_phase(quick, threads));
+    println!(
+        "fleet service: {} sessions ({} rejected), {} events, {} incidents -> \
+         {} root causes ({} tampered image, {} hot region, {} isolated noise), \
+         every injected tamper surfaced",
+        fleet.sessions,
+        fleet.rejected,
+        fleet.events,
+        fleet.incidents,
+        fleet.root_causes,
+        fleet.tampered_images,
+        fleet.hot_regions,
+        fleet.isolated_noise,
+    );
+    // Throughput is wall-clock-dependent, so stderr like the overhead probe.
+    eprintln!(
+        "fleet throughput: {:.0} sessions/s, {:.0} events/s ({} ingestion workers)",
+        fleet.sessions_per_sec, fleet.events_per_sec, fleet.workers
+    );
+    println!();
+
     let scaling = scaling_sweep(attacks, threads, quick);
     let overhead = null_sink_overhead(if quick { 60 } else { 300 }, if quick { 3 } else { 5 });
     // Wall-clock-dependent, so stderr: stdout stays byte-identical run-to-run.
@@ -101,7 +122,7 @@ fn main() {
     let counters = campaign_counters(attacks.min(50));
     let compiles = compile_reports();
     match write_bench_json(
-        attacks, threads, &wall, &scaling, &overhead, &counters, &compiles, &faults,
+        attacks, threads, &wall, &scaling, &overhead, &counters, &compiles, &faults, &fleet,
     ) {
         Ok(path) => println!("campaign throughput written to {path}"),
         Err(e) => eprintln!("warning: could not write bench_campaign.json: {e}"),
@@ -296,6 +317,53 @@ fn fault_campaigns(flips: u32, threads: usize) -> FaultsSummary {
     summary
 }
 
+/// The `ipdsd` fleet phase for the JSON: one deterministic synthetic
+/// fleet (see docs/SERVICE.md) with shadow-validated tampered images, a
+/// hot-memory-region cluster and isolated injections. `FleetReport::ok()`
+/// is ground truth — the phase hard-fails if any injected tamper goes
+/// unsurfaced or any root cause comes out wrong.
+struct FleetSummary {
+    sessions: usize,
+    rejected: u64,
+    events: u64,
+    workers: usize,
+    incidents: u64,
+    root_causes: u64,
+    tampered_images: u64,
+    hot_regions: u64,
+    isolated_noise: u64,
+    sessions_per_sec: f64,
+    events_per_sec: f64,
+}
+
+fn fleet_phase(quick: bool, threads: usize) -> FleetSummary {
+    let sessions = if quick { 32 } else { 64 };
+    let report = ipds::ServiceSpec::new()
+        .sessions(sessions)
+        .threads(threads)
+        .seed(2006)
+        .run();
+    assert!(
+        report.ok(),
+        "fleet must surface every injected tamper with its expected root cause: {:?}",
+        report.missed
+    );
+    let m = &report.metrics;
+    FleetSummary {
+        sessions,
+        rejected: m.counter("service.sessions_rejected"),
+        events: m.counter("service.events_ingested"),
+        workers: threads,
+        incidents: m.counter("service.incidents_opened"),
+        root_causes: m.counter("fleet.root_causes"),
+        tampered_images: m.counter("fleet.tampered_images"),
+        hot_regions: m.counter("fleet.hot_regions"),
+        isolated_noise: m.counter("fleet.isolated_noise"),
+        sessions_per_sec: report.sessions_per_sec,
+        events_per_sec: report.events_per_sec,
+    }
+}
+
 /// One instrumented campaign with a [`CountingSink`], for the event-count
 /// section of the JSON (what the checker actually did, not how long it
 /// took).
@@ -340,7 +408,8 @@ fn compile_reports() -> Vec<std::sync::Arc<ipds_bench::artifacts::CompileReport>
 /// compile breakdown (per-pass seconds, hash retries, BAT entries, image
 /// bytes), the pipeline spans the telemetry layer recorded
 /// (compile → analyze → golden → campaign, with `compile.<pass>` children),
-/// the NullSink overhead measurement and one campaign's event counters.
+/// the NullSink overhead measurement, one campaign's event counters and
+/// the fleet-service phase (sessions/s, events/s, incident counts).
 #[allow(clippy::too_many_arguments)]
 fn write_bench_json(
     attacks: u32,
@@ -351,6 +420,7 @@ fn write_bench_json(
     counters: &CounterSnapshot,
     compiles: &[std::sync::Arc<ipds_bench::artifacts::CompileReport>],
     faults: &FaultsSummary,
+    fleet: &FleetSummary,
 ) -> std::io::Result<String> {
     let workloads = ipds_workloads::all().len() as u32;
     let fig7_seconds = wall
@@ -453,6 +523,32 @@ fn write_bench_json(
             .join(", ")
     ));
     json.push_str("    }\n");
+    json.push_str("  },\n");
+    json.push_str("  \"fleet\": {\n");
+    json.push_str(&format!("    \"sessions\": {},\n", fleet.sessions));
+    json.push_str(&format!("    \"sessions_rejected\": {},\n", fleet.rejected));
+    json.push_str(&format!("    \"events_ingested\": {},\n", fleet.events));
+    json.push_str(&format!("    \"ingest_workers\": {},\n", fleet.workers));
+    json.push_str(&format!(
+        "    \"sessions_per_sec\": {:.1},\n",
+        fleet.sessions_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"events_per_sec\": {:.1},\n",
+        fleet.events_per_sec
+    ));
+    json.push_str(&format!("    \"incidents\": {},\n", fleet.incidents));
+    json.push_str(&format!("    \"root_causes\": {},\n", fleet.root_causes));
+    json.push_str(&format!(
+        "    \"tampered_images\": {},\n",
+        fleet.tampered_images
+    ));
+    json.push_str(&format!("    \"hot_regions\": {},\n", fleet.hot_regions));
+    json.push_str(&format!(
+        "    \"isolated_noise\": {},\n",
+        fleet.isolated_noise
+    ));
+    json.push_str("    \"all_tampers_surfaced\": true\n");
     json.push_str("  },\n");
     json.push_str("  \"telemetry\": {\n");
     json.push_str("    \"spans\": [\n");

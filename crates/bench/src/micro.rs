@@ -4,7 +4,7 @@
 //! kernel isolates one axis (branch density, call depth, cache footprint)
 //! so regressions in the model show up as a shape change here.
 
-use ipds::{Config, Protected};
+use ipds::Protected;
 use ipds_runtime::HwConfig;
 use ipds_workloads::micro::{all_micros, micro_inputs};
 
@@ -35,8 +35,8 @@ pub fn run(hw: &HwConfig) -> Vec<MicroRow> {
     all_micros()
         .into_iter()
         .map(|m| {
-            let protected = Protected::compile_with(m.source, &Config::default())
-                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            let protected =
+                Protected::compile(m.source).unwrap_or_else(|e| panic!("{}: {e}", m.name));
             let base = protected.timed_baseline(&inputs, hw);
             let with = protected.timed(&inputs, hw);
             MicroRow {

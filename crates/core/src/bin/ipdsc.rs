@@ -9,9 +9,18 @@
 //! ipdsc run FILE [--input LIST] [--events FILE]   run under IPDS checking
 //! ipdsc attack FILE --var NAME --value V --step N [--input LIST] [--events FILE]
 //! ipdsc campaign FILE [--attacks N] [--seed S] [--model fs|boa|block] [--input LIST]
+//! ipdsc serve [--workloads LIST|all] [--sessions N] [--batch B] [--threads T]
+//!             [--seed S] [--window W]   run the ipdsd fleet service
 //! ipdsc time FILE [--input LIST]        cycle model, baseline vs IPDS
 //! ipdsc trace FILE [--input LIST] [--limit N]   per-branch check trace
 //! ```
+//!
+//! `serve` drives a deterministic synthetic fleet through the long-lived
+//! `ipdsd` service (`crates/service`, `docs/SERVICE.md`): shared image
+//! cache, pooled per-session checkers, sharded batch ingestion and the
+//! incident-correlation stage. The injected image/memory/BSV tampers are
+//! shadow-validated at planning time, so a nonzero exit means the service
+//! itself failed to surface one — the CI smoke gate.
 //!
 //! `build` drives the explicit pass pipeline: `--threads N` shards the
 //! per-function analysis (output is bit-identical to serial), `--timings`
@@ -64,6 +73,9 @@ fn run(args: &[String]) -> Result<(), String> {
     if cmd == "faults" {
         return faults_cmd(&args[1..]);
     }
+    if cmd == "serve" {
+        return serve_cmd(&args[1..]);
+    }
     let Some(file) = args.get(1) else {
         return Err(usage());
     };
@@ -102,11 +114,90 @@ fn run(args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> String {
-    "usage: ipdsc <compile|build|lint|faults|run|attack|campaign|time|trace> FILE [options]\n\
+    "usage: ipdsc <compile|build|lint|faults|serve|run|attack|campaign|time|trace> FILE [options]\n\
      (build, lint and faults also accept --workloads instead of FILE)\n\
      faults options: --flips N --seed S --threads T --no-checksum --input LIST\n\
+     serve options: --workloads LIST|all --sessions N --batch B --threads T --seed S --window W\n\
      see `ipdsc` module docs for options"
         .to_string()
+}
+
+/// `ipdsc serve`: runs the `ipdsd` fleet service against a deterministic
+/// synthetic fleet (see `docs/SERVICE.md`). Every session's schedule is
+/// derived from `--seed`, the planned image/memory/BSV tampers are
+/// shadow-validated to be detectable, and the exit status is nonzero if
+/// the service misses any of them or assigns a wrong fleet-level root
+/// cause — the CI smoke gate.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    let mut spec = ipds::ServiceSpec::new();
+    if let Some(list) = flag_value(args, "--workloads") {
+        if list != "all" {
+            let picked: Vec<_> = ipds::workloads::all()
+                .into_iter()
+                .filter(|w| list.split(',').any(|n| n == w.name))
+                .collect();
+            if picked.is_empty() {
+                return Err(format!("no bundled workload matches `{list}`"));
+            }
+            spec = spec.workloads(picked);
+        }
+    }
+    if let Some(n) = parse_num(args, "--sessions") {
+        spec = spec.sessions(n.max(1) as usize);
+    }
+    if let Some(b) = parse_num(args, "--batch") {
+        spec = spec.batch(b.max(1) as usize);
+    }
+    if let Some(t) = parse_num(args, "--threads") {
+        spec = spec.threads(t.max(1) as usize);
+    }
+    if let Some(s) = parse_num(args, "--seed") {
+        spec = spec.seed(s as u64);
+    }
+    if let Some(w) = parse_num(args, "--window") {
+        spec = spec.window(w.max(1) as usize);
+    }
+    let report = spec.run();
+    let sessions = report.outcome.sessions.len();
+    let counter = |key: &str| {
+        report
+            .outcome
+            .counters
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(0, |(_, v)| *v)
+    };
+    println!(
+        "fleet  : {sessions} sessions ({} rejected at open), {} events in {} batches",
+        counter("service.sessions_rejected"),
+        counter("service.events_ingested"),
+        counter("service.batches_ingested"),
+    );
+    println!(
+        "rate   : {:.0} sessions/s, {:.0} events/s ({:.3}s ingest)",
+        report.sessions_per_sec, report.events_per_sec, report.elapsed
+    );
+    println!(
+        "images : {} verified, {} cache hits, {} rejected",
+        counter("service.images_verified"),
+        counter("service.image_hits"),
+        counter("service.image_rejects"),
+    );
+    println!("incidents: {}", report.outcome.incidents.len());
+    for cause in &report.outcome.root_causes {
+        println!("  cause: {cause}");
+    }
+    for miss in &report.missed {
+        println!("MISSED : {miss}");
+    }
+    if !report.ok() {
+        return Err(format!(
+            "fleet verification failed: {} divergence(s) from the injected ground truth",
+            report.missed.len()
+        ));
+    }
+    println!("verdict: every injected tamper surfaced with the expected root cause");
+    Ok(())
 }
 
 /// `ipdsc lint`: audit the emitted tables of a file or every bundled
@@ -294,7 +385,16 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
 /// True if `arg` is the value slot of a value-taking flag (e.g. the `4` of
 /// `--threads 4`), so the positional-FILE scan skips it.
 fn is_flag_value(args: &[String], arg: &String) -> bool {
-    const VALUE_FLAGS: &[&str] = &["--threads", "--flips", "--seed", "--input"];
+    const VALUE_FLAGS: &[&str] = &[
+        "--threads",
+        "--flips",
+        "--seed",
+        "--input",
+        "--sessions",
+        "--batch",
+        "--window",
+        "--workloads",
+    ];
     args.iter()
         .position(|a| std::ptr::eq(a, arg))
         .and_then(|i| i.checked_sub(1))
@@ -381,7 +481,7 @@ fn inputs_of(args: &[String]) -> Result<Vec<Input>, String> {
 }
 
 fn protect(source: &str) -> Result<Protected, String> {
-    Protected::compile_with(source, &Config::default()).map_err(|e| e.to_string())
+    Protected::compile(source).map_err(|e| e.to_string())
 }
 
 fn compile(source: &str, dump: bool) -> Result<(), String> {
@@ -512,7 +612,13 @@ fn campaign(
     model: AttackModel,
 ) -> Result<(), String> {
     let p = protect(source)?;
-    let r = p.campaign(inputs, attacks, seed, model);
+    let r = p
+        .campaign_spec()
+        .inputs(inputs)
+        .attacks(attacks)
+        .seed(seed)
+        .model(model)
+        .run();
     println!("{attacks} attacks under {model:?}:");
     println!(
         "  control flow changed: {:>4} ({:.1}%)",

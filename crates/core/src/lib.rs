@@ -72,10 +72,10 @@ use std::fmt;
 
 use ipds_analysis::pipeline::{build_program, build_source, BuildOptions, BuildOutput};
 use ipds_analysis::{
-    analyze_program, AnalysisConfig, AnalysisCounters, ProgramAnalysis, TableImage,
+    analyze_program, AnalysisConfig, AnalysisCounters, ImageError, ProgramAnalysis, TableImage,
 };
 use ipds_ir::{CompileError, Program, VarId};
-use ipds_runtime::{Alarm, HwConfig, IpdsChecker, IpdsStats};
+use ipds_runtime::{Alarm, HwConfig, IpdsChecker, IpdsStats, RuntimeError};
 use ipds_sim::pipeline::core::{timed_run, timed_run_metered};
 use ipds_sim::{AttackModel, Campaign, ExecLimits, ExecStatus, Interp, IpdsObserver, PerfReport};
 use ipds_telemetry::{EventSink, MetricsRegistry, NullSink, NULL_SINK};
@@ -87,9 +87,19 @@ pub use ipds_analysis::{
 pub use ipds_dataflow as dataflow;
 pub use ipds_ir::{self as ir};
 pub use ipds_runtime::{self as runtime};
+pub use ipds_service as service;
 pub use ipds_sim::{self as sim, Input as SimInput};
 pub use ipds_telemetry as telemetry;
 pub use ipds_workloads as workloads;
+
+// The fleet-service vocabulary, first-class at the root: configure a
+// deterministic synthetic fleet with [`ServiceSpec`], or drive the
+// long-lived [`Service`] engine directly (see `docs/SERVICE.md`).
+pub use ipds_service::{
+    correlate, FleetOutcome, FleetPlan, FleetReport, GuestEvent, ImageCache, Incident,
+    IncidentKind, RootCause, Service, ServiceError, ServiceReport, ServiceSpec, SessionPool,
+    SessionSummary, WorkloadArtifact,
+};
 
 // Re-export the most used leaf types at the top level.
 pub use ipds_analysis::AnalysisConfig as Config;
@@ -99,10 +109,10 @@ pub use ipds_sim::{
     GoldenRun, Input,
 };
 
-/// Everything that can fail in the facade API.
-///
-/// Both variants convert via `From`, so `?` works across compile and run
-/// steps (see the crate-level example).
+/// Everything that can fail across the facade and service APIs, unified:
+/// every layer's error converts via `From`, so `?` works end to end, and
+/// [`Error::kind`] gives a stable coarse classification that survives
+/// variant payload changes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
     /// MiniC compilation failed (lexical, syntactic or semantic).
@@ -111,6 +121,47 @@ pub enum Error {
     Tamper(TamperError),
     /// The pass pipeline failed (hash search, table verification, ordering).
     Pipeline(PipelineError),
+    /// The runtime checker rejected the event stream (frame-stack
+    /// underflow and friends).
+    Runtime(RuntimeError),
+    /// A serialized table image failed verification on load.
+    Image(ImageError),
+    /// The fleet service refused an operation (unknown workload or
+    /// session, rejected image registration).
+    Service(ServiceError),
+}
+
+/// Coarse classification of an [`Error`] — one tag per layer, stable
+/// across payload evolution, so callers can branch without matching the
+/// full variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Front-end ([`Error::Compile`]).
+    Compile,
+    /// Tamper specification ([`Error::Tamper`]).
+    Tamper,
+    /// Pass pipeline ([`Error::Pipeline`]).
+    Pipeline,
+    /// Runtime checker ([`Error::Runtime`]).
+    Runtime,
+    /// Table image ([`Error::Image`]).
+    Image,
+    /// Fleet service ([`Error::Service`]).
+    Service,
+}
+
+impl Error {
+    /// The layer this error came from.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Compile(_) => ErrorKind::Compile,
+            Error::Tamper(_) => ErrorKind::Tamper,
+            Error::Pipeline(_) => ErrorKind::Pipeline,
+            Error::Runtime(_) => ErrorKind::Runtime,
+            Error::Image(_) => ErrorKind::Image,
+            Error::Service(_) => ErrorKind::Service,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -119,6 +170,9 @@ impl fmt::Display for Error {
             Error::Compile(e) => write!(f, "compile error: {e}"),
             Error::Tamper(e) => write!(f, "tamper error: {e}"),
             Error::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            Error::Runtime(e) => write!(f, "runtime error: {e}"),
+            Error::Image(e) => write!(f, "image error: {e}"),
+            Error::Service(e) => write!(f, "service error: {e}"),
         }
     }
 }
@@ -129,6 +183,9 @@ impl std::error::Error for Error {
             Error::Compile(e) => Some(e),
             Error::Tamper(e) => Some(e),
             Error::Pipeline(e) => Some(e),
+            Error::Runtime(e) => Some(e),
+            Error::Image(e) => Some(e),
+            Error::Service(e) => Some(e),
         }
     }
 }
@@ -153,6 +210,24 @@ impl From<PipelineError> for Error {
             PipelineError::Compile(c) => Error::Compile(c),
             other => Error::Pipeline(other),
         }
+    }
+}
+
+impl From<RuntimeError> for Error {
+    fn from(e: RuntimeError) -> Error {
+        Error::Runtime(e)
+    }
+}
+
+impl From<ImageError> for Error {
+    fn from(e: ImageError) -> Error {
+        Error::Image(e)
+    }
+}
+
+impl From<ServiceError> for Error {
+    fn from(e: ServiceError) -> Error {
+        Error::Service(e)
     }
 }
 
@@ -184,6 +259,100 @@ impl fmt::Display for TamperError {
 
 impl std::error::Error for TamperError {}
 
+/// Anything [`Protected::compile`] can start from: MiniC source text, an
+/// already-built IR program, or a bundled workload.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// MiniC source text, to be parsed.
+    Text(String),
+    /// An IR program built elsewhere (generators, workloads, tests).
+    Program(Program),
+}
+
+impl From<&str> for Source {
+    fn from(text: &str) -> Source {
+        Source::Text(text.to_string())
+    }
+}
+
+impl From<String> for Source {
+    fn from(text: String) -> Source {
+        Source::Text(text)
+    }
+}
+
+impl From<Program> for Source {
+    fn from(program: Program) -> Source {
+        Source::Program(program)
+    }
+}
+
+impl From<&ipds_workloads::Workload> for Source {
+    fn from(workload: &ipds_workloads::Workload) -> Source {
+        Source::Program(workload.program())
+    }
+}
+
+/// The shared execution vocabulary every spec consumes through its
+/// `session_config` method: worker `threads`, master `seed`, execution
+/// `limits`. Configure once, apply to [`BuildSpec`], [`RunSession`],
+/// [`CampaignSpec`] and [`FaultSpec`] alike — each spec picks up the
+/// knobs that apply to it and documents the ones that do not.
+///
+/// ```
+/// # fn main() -> Result<(), ipds::Error> {
+/// use ipds::{Protected, SessionConfig};
+///
+/// let cfg = SessionConfig::new().threads(2).seed(7);
+/// let p = Protected::compile("fn main() -> int { return 0; }")?;
+/// let r = p.campaign_spec().session_config(cfg).attacks(10).run();
+/// assert!(r.detected <= 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionConfig {
+    threads: usize,
+    seed: u64,
+    limits: ExecLimits,
+}
+
+impl Default for SessionConfig {
+    fn default() -> SessionConfig {
+        SessionConfig {
+            threads: 1,
+            seed: 0x1bd5,
+            limits: ExecLimits::default(),
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Starts from the spec defaults: serial, seed `0x1bd5`, default
+    /// execution limits.
+    pub fn new() -> SessionConfig {
+        SessionConfig::default()
+    }
+
+    /// Worker threads for whatever the consuming spec parallelizes.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Master seed for whatever the consuming spec randomizes.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Execution budget (steps, call depth) for interpreted runs.
+    pub fn limits(mut self, limits: ExecLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+}
+
 /// Result of one protected execution.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -214,15 +383,21 @@ pub struct Protected {
 }
 
 impl Protected {
-    /// Compiles MiniC source and runs the full correlation analysis with
-    /// default settings.
+    /// Compiles anything [`Source`]-shaped — MiniC text, a prebuilt IR
+    /// [`Program`], or a bundled [`Workload`](ipds_workloads::Workload)
+    /// reference — and runs the full correlation analysis with default
+    /// settings.
     ///
     /// # Errors
     ///
-    /// Returns the underlying [`CompileError`] on lexical, syntactic or
-    /// semantic problems.
-    pub fn compile(source: &str) -> Result<Protected, CompileError> {
-        Protected::compile_with(source, &AnalysisConfig::default())
+    /// [`Error::Compile`] on lexical, syntactic or semantic problems
+    /// (text sources only; programs and workloads are already parsed).
+    pub fn compile(source: impl Into<Source>) -> Result<Protected, Error> {
+        let program = match source.into() {
+            Source::Text(text) => ipds_ir::parse(&text)?,
+            Source::Program(program) => program,
+        };
+        Ok(Protected::from_program(program, &AnalysisConfig::default()))
     }
 
     /// Compiles with explicit analysis settings (ablation switches etc.).
@@ -230,6 +405,12 @@ impl Protected {
     /// # Errors
     ///
     /// Returns the underlying [`CompileError`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Protected::compile` for defaults, or \
+                `Protected::from_program(ipds::ir::parse(src)?, &config)` \
+                for explicit analysis settings"
+    )]
     pub fn compile_with(source: &str, config: &AnalysisConfig) -> Result<Protected, CompileError> {
         let program = ipds_ir::parse(source)?;
         let analysis = analyze_program(&program, config);
@@ -310,6 +491,10 @@ impl Protected {
     ///
     /// Shorthand for
     /// `self.fault_spec().inputs(..).flips(..).seed(..).run()`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `fault_spec().inputs(..).flips(..).seed(..).run()`"
+    )]
     pub fn faults(&self, inputs: &[Input], flips: u32, seed: u64) -> FaultCampaignResult {
         self.fault_spec()
             .inputs(inputs)
@@ -320,10 +505,15 @@ impl Protected {
 
     /// Executes cleanly under IPDS checking.
     pub fn run(&self, inputs: &[Input]) -> RunReport {
-        self.run_limited(inputs, ExecLimits::default())
+        self.run_impl(inputs, ExecLimits::default(), None, &NULL_SINK)
     }
 
     /// Executes cleanly under IPDS checking with explicit limits.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `session().inputs(..).limits(..).run()` (or \
+                `session_config` with a shared `SessionConfig`)"
+    )]
     pub fn run_limited(&self, inputs: &[Input], limits: ExecLimits) -> RunReport {
         self.run_impl(inputs, limits, None, &NULL_SINK)
     }
@@ -339,6 +529,7 @@ impl Protected {
     /// [`TamperError::UnknownVar`] if `var_name` names no variable of
     /// `main` or global scope — reported before anything executes, whether
     /// or not the trigger would ever fire.
+    #[deprecated(since = "0.2.0", note = "use `session().inputs(..).tamper(..).run()`")]
     pub fn run_with_tamper(
         &self,
         inputs: &[Input],
@@ -415,6 +606,10 @@ impl Protected {
     ///
     /// Shorthand for
     /// `self.campaign_spec().inputs(..).attacks(..).seed(..).model(..).run()`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `campaign_spec().inputs(..).attacks(..).seed(..).model(..).run()`"
+    )]
     pub fn campaign(
         &self,
         inputs: &[Input],
@@ -493,9 +688,22 @@ pub struct BuildSpec {
 
 impl BuildSpec {
     /// Analysis tuning (ablation switches, hash-space cap).
-    pub fn config(mut self, config: AnalysisConfig) -> Self {
+    pub fn analysis(mut self, config: AnalysisConfig) -> Self {
         self.options.config = config;
         self
+    }
+
+    /// Analysis tuning (ablation switches, hash-space cap).
+    #[deprecated(since = "0.2.0", note = "renamed to `BuildSpec::analysis`")]
+    pub fn config(self, config: AnalysisConfig) -> Self {
+        self.analysis(config)
+    }
+
+    /// Applies the shared [`SessionConfig`] vocabulary. For a build only
+    /// `threads` applies (seed and limits concern executions, not
+    /// analysis).
+    pub fn session_config(self, config: SessionConfig) -> Self {
+        self.threads(config.threads)
     }
 
     /// Run the load-forwarding optimizer before analysis (default off).
@@ -620,6 +828,13 @@ impl<'a, S: EventSink> RunSession<'a, S> {
         self
     }
 
+    /// Applies the shared [`SessionConfig`] vocabulary. For a single
+    /// session only `limits` applies (threads and seed concern campaigns,
+    /// not one run).
+    pub fn session_config(self, config: SessionConfig) -> Self {
+        self.limits(config.limits)
+    }
+
     /// Schedules a single tamper: after `trigger_step` interpreter steps,
     /// overwrite `var` (a `main` local or a global) with `value`.
     pub fn tamper(mut self, trigger_step: u64, var: &'a str, value: i64) -> Self {
@@ -713,6 +928,13 @@ impl<'a, S: EventSink> CampaignSpec<'a, S> {
     pub fn golden(mut self, golden: &'a GoldenRun, limits: ExecLimits) -> Self {
         self.golden = Some((golden, limits));
         self
+    }
+
+    /// Applies the shared [`SessionConfig`] vocabulary: `threads` and
+    /// `seed` (limits are derived from the golden run, see
+    /// [`Protected::campaign_artifacts`]).
+    pub fn session_config(self, config: SessionConfig) -> Self {
+        self.threads(config.threads).seed(config.seed)
     }
 
     /// Attaches an event sink shared by every worker.
@@ -837,6 +1059,12 @@ impl<'a> FaultSpec<'a> {
         self
     }
 
+    /// Applies the shared [`SessionConfig`] vocabulary: `threads` and
+    /// `seed` (limits are derived from the golden run).
+    pub fn session_config(self, config: SessionConfig) -> Self {
+        self.threads(config.threads).seed(config.seed)
+    }
+
     /// Runs the campaign.
     ///
     /// # Panics
@@ -899,7 +1127,10 @@ mod tests {
         let p = Protected::compile(SRC).unwrap();
         // Flip user from 0 to 1 after the first check has committed.
         let r = p
-            .run_with_tamper(&[Input::Int(0), Input::Int(9)], 8, "user", 1)
+            .session()
+            .inputs(&[Input::Int(0), Input::Int(9)])
+            .tamper(8, "user", 1)
+            .run()
             .unwrap();
         assert!(r.detected());
         let a = &r.alarms[0];
@@ -907,23 +1138,160 @@ mod tests {
         assert!(a.actual);
     }
 
+    /// The deprecated shims must stay behaviorally identical to the
+    /// builders that replaced them for as long as they exist — this is the
+    /// one place in the tree allowed to call them.
     #[test]
-    fn session_builder_matches_plain_methods() {
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builders() {
         let p = Protected::compile(SRC).unwrap();
         let inputs = [Input::Int(0), Input::Int(9)];
         let plain = p.run(&inputs);
         let built = p.session().inputs(&inputs).run().unwrap();
         assert_eq!(plain.output, built.output);
         assert_eq!(plain.status, built.status);
-        let tampered = p.run_with_tamper(&inputs, 8, "user", 1).unwrap();
+
+        let shim = p.run_with_tamper(&inputs, 8, "user", 1).unwrap();
         let built = p
             .session()
             .inputs(&inputs)
             .tamper(8, "user", 1)
             .run()
             .unwrap();
-        assert_eq!(tampered.output, built.output);
-        assert_eq!(tampered.alarms, built.alarms);
+        assert_eq!(shim.output, built.output);
+        assert_eq!(shim.alarms, built.alarms);
+
+        let shim = p.run_limited(&inputs, ExecLimits::default());
+        let built = p
+            .session()
+            .inputs(&inputs)
+            .limits(ExecLimits::default())
+            .run()
+            .unwrap();
+        assert_eq!(shim.output, built.output);
+
+        let shim = p.campaign(&inputs, 20, 3, AttackModel::FormatString);
+        let built = p
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(20)
+            .seed(3)
+            .model(AttackModel::FormatString)
+            .run();
+        assert_eq!(shim, built);
+
+        let shim = p.faults(&inputs, 4, 3);
+        let built = p.fault_spec().inputs(&inputs).flips(4).seed(3).run();
+        assert_eq!(shim, built);
+
+        let shim = Protected::compile_with(SRC, &AnalysisConfig::default()).unwrap();
+        assert_eq!(
+            TableImage::build(&shim.analysis).as_bytes(),
+            TableImage::build(&p.analysis).as_bytes()
+        );
+
+        let shim = Protected::build().config(AnalysisConfig::default());
+        let renamed = Protected::build().analysis(AnalysisConfig::default());
+        assert_eq!(
+            shim.compile(SRC).unwrap().image.as_bytes(),
+            renamed.compile(SRC).unwrap().image.as_bytes()
+        );
+    }
+
+    #[test]
+    fn compile_accepts_programs_and_workloads() {
+        // Identical tables whether compiled from text, from the parsed
+        // program, or from a workload reference.
+        let from_text = Protected::compile(SRC).unwrap();
+        let from_program = Protected::compile(ipds_ir::parse(SRC).unwrap()).unwrap();
+        assert_eq!(
+            TableImage::build(&from_text.analysis).as_bytes(),
+            TableImage::build(&from_program.analysis).as_bytes()
+        );
+        let w = &ipds_workloads::all()[0];
+        let from_workload = Protected::compile(w).unwrap();
+        let direct = Protected::from_program(w.program(), &AnalysisConfig::default());
+        assert_eq!(
+            TableImage::build(&from_workload.analysis).as_bytes(),
+            TableImage::build(&direct.analysis).as_bytes()
+        );
+    }
+
+    #[test]
+    fn session_config_reaches_every_spec() {
+        let p = Protected::compile(SRC).unwrap();
+        let inputs = [Input::Int(0), Input::Int(9)];
+        let cfg = SessionConfig::new().threads(2).seed(3);
+
+        // CampaignSpec: threads+seed from the shared config == explicit.
+        let explicit = p
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(20)
+            .seed(3)
+            .threads(2)
+            .run();
+        let shared = p
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(20)
+            .session_config(cfg)
+            .run();
+        assert_eq!(explicit, shared);
+
+        // FaultSpec: same equivalence.
+        let explicit = p
+            .fault_spec()
+            .inputs(&inputs)
+            .flips(4)
+            .seed(3)
+            .threads(2)
+            .run();
+        let shared = p
+            .fault_spec()
+            .inputs(&inputs)
+            .flips(4)
+            .session_config(cfg)
+            .run();
+        assert_eq!(explicit, shared);
+
+        // RunSession picks up the limits; a starved budget must show.
+        let tight = SessionConfig::new().limits(ExecLimits {
+            max_steps: 1,
+            max_depth: 4,
+        });
+        let r = p
+            .session()
+            .inputs(&inputs)
+            .session_config(tight)
+            .run()
+            .unwrap();
+        assert!(matches!(r.status, ExecStatus::OutOfBudget));
+
+        // BuildSpec picks up the threads (output bit-identical anyway).
+        let serial = Protected::build().compile(SRC).unwrap();
+        let threaded = Protected::build().session_config(cfg).compile(SRC).unwrap();
+        assert_eq!(serial.image.as_bytes(), threaded.image.as_bytes());
+    }
+
+    #[test]
+    fn error_kind_is_stable() {
+        let err = Protected::compile("fn main( {").unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Compile);
+        let p = Protected::compile(SRC).unwrap();
+        let err = p.session().tamper(1, "ghost", 1).run().unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Tamper);
+        // Cross-layer errors convert via `From` and classify by layer.
+        let err = Error::from(ipds_runtime::RuntimeError::FrameStackUnderflow {
+            component: "checker",
+        });
+        assert_eq!(err.kind(), ErrorKind::Runtime);
+        let image = TableImage::from_bytes(vec![0u8; 4]);
+        let err = Error::from(image.load().unwrap_err());
+        assert_eq!(err.kind(), ErrorKind::Image);
+        let err = Error::from(ServiceError::UnknownSession { session: 7 });
+        assert_eq!(err.kind(), ErrorKind::Service);
+        assert!(err.to_string().contains("service error"));
     }
 
     #[test]
@@ -941,12 +1309,13 @@ mod tests {
     #[test]
     fn campaign_smoke() {
         let p = Protected::compile(SRC).unwrap();
-        let r = p.campaign(
-            &[Input::Int(0), Input::Int(9)],
-            40,
-            3,
-            AttackModel::FormatString,
-        );
+        let r = p
+            .campaign_spec()
+            .inputs(&[Input::Int(0), Input::Int(9)])
+            .attacks(40)
+            .seed(3)
+            .model(AttackModel::FormatString)
+            .run();
         assert!(r.detected <= r.cf_changed);
         assert!(r.detected > 0);
     }
@@ -955,7 +1324,13 @@ mod tests {
     fn campaign_threads_knob_is_bit_identical() {
         let p = Protected::compile(SRC).unwrap();
         let inputs = [Input::Int(0), Input::Int(9)];
-        let serial = p.campaign(&inputs, 30, 3, AttackModel::FormatString);
+        let serial = p
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(30)
+            .seed(3)
+            .model(AttackModel::FormatString)
+            .run();
         for threads in [2, 4] {
             let par = p
                 .campaign_spec()
@@ -974,7 +1349,13 @@ mod tests {
         let p = Protected::compile(SRC).unwrap();
         let inputs = [Input::Int(0), Input::Int(9)];
         let (golden, limits) = p.campaign_artifacts(&inputs);
-        let direct = p.campaign(&inputs, 20, 3, AttackModel::FormatString);
+        let direct = p
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(20)
+            .seed(3)
+            .model(AttackModel::FormatString)
+            .run();
         let cached = p
             .campaign_spec()
             .inputs(&inputs)
@@ -1034,7 +1415,10 @@ mod tests {
         // And still catch the tamper the plain tables catch.
         let r = build
             .protected
-            .run_with_tamper(&[Input::Int(0), Input::Int(9)], 8, "user", 1)
+            .session()
+            .inputs(&[Input::Int(0), Input::Int(9)])
+            .tamper(8, "user", 1)
+            .run()
             .unwrap();
         assert!(r.detected());
     }
@@ -1083,7 +1467,7 @@ mod tests {
     #[test]
     fn tamper_unknown_var_is_reported() {
         let p = Protected::compile(SRC).unwrap();
-        let err = p.run_with_tamper(&[], 1, "ghost", 1).unwrap_err();
+        let err = p.resolve_var("ghost").unwrap_err();
         let TamperError::UnknownVar { name, candidates } = err;
         assert_eq!(name, "ghost");
         assert!(candidates.contains(&"user".to_string()), "{candidates:?}");

@@ -1,0 +1,26 @@
+use ipds_service::ServiceSpec;
+
+fn main() {
+    let plan = ServiceSpec::new().plan();
+    eprintln!(
+        "planned {} sessions, {} events",
+        plan.sessions(),
+        plan.events()
+    );
+    let r1 = plan.execute(1);
+    let r8 = plan.execute(8);
+    eprintln!("missed(1): {:?}", r1.missed);
+    eprintln!("causes: {:?}", r1.outcome.root_causes);
+    eprintln!("outcome identical 1 vs 8: {}", r1.outcome == r8.outcome);
+    eprintln!(
+        "sessions/s {:.0} events/s {:.0}",
+        r8.sessions_per_sec, r8.events_per_sec
+    );
+    for (k, v) in r1.metrics.counters() {
+        if k.starts_with("service.") || k.starts_with("fleet.") {
+            eprintln!("  {k} = {v}");
+        }
+    }
+    assert!(r1.ok() && r8.ok());
+    assert_eq!(r1.outcome, r8.outcome);
+}

@@ -1,0 +1,120 @@
+//! The shared image cache: verify once, share everywhere.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ipds_analysis::{ProgramAnalysis, TableImage};
+
+use crate::error::ServiceError;
+
+/// A verified table image, loaded into the analysis tables every session
+/// of the workload shares. Immutable after construction; handed out as
+/// `Arc` so worker threads borrow the same tables with no copies.
+#[derive(Debug)]
+pub struct WorkloadArtifact {
+    /// The workload the image was registered under.
+    pub name: String,
+    /// Content checksum of the registered bytes (the cache key component).
+    pub checksum: u32,
+    /// The reconstructed analysis tables (BSV layouts, BCV, BAT, hashes).
+    pub analysis: ProgramAnalysis,
+}
+
+/// Cache traffic counters (the `service.images_verified` /
+/// `service.image_hits` / `service.image_rejects` telemetry keys).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Images that passed verification and entered the cache.
+    pub verified: u64,
+    /// Registrations served from the cache without re-verification.
+    pub hits: u64,
+    /// Images rejected by the loader (never cached).
+    pub rejects: u64,
+}
+
+/// FNV-1a over the full image bytes.
+///
+/// The cache key must be derived from the *content*, not from the checksum
+/// field the header claims: a tampered payload still claims the original
+/// checksum, and trusting it would let corrupted bytes alias a previously
+/// verified entry and skip verification entirely. Hashing the whole image
+/// keeps the "verified once" guarantee honest — identical bytes hit,
+/// different bytes verify.
+fn content_checksum(bytes: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Immutable [`WorkloadArtifact`]s keyed by workload + content checksum.
+#[derive(Debug, Default)]
+pub struct ImageCache {
+    entries: HashMap<(String, u32), Arc<WorkloadArtifact>>,
+    stats: CacheStats,
+}
+
+impl ImageCache {
+    /// Creates an empty cache.
+    pub fn new() -> ImageCache {
+        ImageCache::default()
+    }
+
+    /// Registers an image under `workload`: returns the shared artifact,
+    /// verifying the bytes only if no identical image was registered
+    /// before.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Image`] if verification fails — rejected images
+    /// never enter the cache, so a later registration of the *genuine*
+    /// bytes is unaffected.
+    pub fn load(
+        &mut self,
+        workload: &str,
+        image: &TableImage,
+    ) -> Result<Arc<WorkloadArtifact>, ServiceError> {
+        let checksum = content_checksum(image.as_bytes());
+        let key = (workload.to_string(), checksum);
+        if let Some(artifact) = self.entries.get(&key) {
+            self.stats.hits += 1;
+            return Ok(Arc::clone(artifact));
+        }
+        match image.load() {
+            Ok(analysis) => {
+                let artifact = Arc::new(WorkloadArtifact {
+                    name: workload.to_string(),
+                    checksum,
+                    analysis,
+                });
+                self.stats.verified += 1;
+                self.entries.insert(key, Arc::clone(&artifact));
+                Ok(artifact)
+            }
+            Err(error) => {
+                self.stats.rejects += 1;
+                Err(ServiceError::Image {
+                    workload: workload.to_string(),
+                    error,
+                })
+            }
+        }
+    }
+
+    /// Cache traffic so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of distinct verified images resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been verified yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

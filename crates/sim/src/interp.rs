@@ -49,7 +49,7 @@ pub enum ExecStatus {
 }
 
 /// Execution limits.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecLimits {
     /// Maximum interpreted steps (instructions + terminators).
     pub max_steps: u64,

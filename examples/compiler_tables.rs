@@ -6,10 +6,10 @@
 //! cargo run --example compiler_tables
 //! ```
 
-use ipds::{Config, Protected};
+use ipds::Protected;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let protected = Protected::compile_with(
+    let protected = Protected::compile(
         r#"
         fn main() -> int {
             int y; int x; int i;
@@ -23,7 +23,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             return 0;
         }
         "#,
-        &Config::default(),
     )?;
 
     let f = &protected.analysis.functions[0];

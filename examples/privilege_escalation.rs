@@ -68,12 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // is between its two checks.
     let mut detected_at = None;
     for step in 1..60 {
-        let r = protected.run_with_tamper(
-            &[Input::Int(1), Input::Str("hello".into())],
-            step,
-            "user",
-            1,
-        )?;
+        let r = protected
+            .session()
+            .inputs(&[Input::Int(1), Input::Str("hello".into())])
+            .tamper(step, "user", 1)
+            .run()?;
         if r.output.contains(&999) {
             // Privilege escalation happened...
             if r.detected() {

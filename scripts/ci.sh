@@ -48,6 +48,14 @@ echo "==> fault-injection gate (every checksummed image flip must be rejected)"
 cargo run -q --release -p ipds --bin ipdsc -- \
     faults --workloads --flips 24 --seed 2006 --threads 4
 
+echo "==> serve smoke (fleet monitor must surface every injected tamper)"
+# `ipdsc serve` exits nonzero if any shadow-validated injected tamper is
+# missed or any root cause comes out wrong, at both 1 worker and many.
+cargo run -q --release -p ipds --bin ipdsc -- \
+    serve --workloads all --sessions 32 --threads 1
+cargo run -q --release -p ipds --bin ipdsc -- \
+    serve --workloads all --sessions 32 --threads 4
+
 echo "==> telemetry smoke (exp_all --quick must emit phase spans)"
 cargo run -q --release -p ipds-bench --bin exp_all -- --quick
 for key in '"telemetry"' '"spans"' '"compile"' '"analyze"' '"golden"' \
@@ -55,7 +63,10 @@ for key in '"telemetry"' '"spans"' '"compile"' '"analyze"' '"golden"' \
            '"compile.analyze-functions"' '"hash_retries"' '"bat_bytes"' \
            '"passes"' '"lint_errors"' '"lint_warnings"' '"refine_proved"' \
            '"refine_demoted"' '"faults_detected"' '"faults_masked"' \
-           '"detect_latency_p50"' '"detect_latency_histogram"'; do
+           '"detect_latency_p50"' '"detect_latency_histogram"' \
+           '"fleet"' '"sessions_per_sec"' '"events_per_sec"' \
+           '"tampered_images"' '"hot_regions"' '"isolated_noise"' \
+           '"all_tampers_surfaced": true'; do
     grep -q "$key" results/bench_campaign.json \
         || { echo "missing $key in results/bench_campaign.json"; exit 1; }
 done

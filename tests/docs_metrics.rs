@@ -7,13 +7,16 @@
 //! set — no documented-but-dead counters, no shipped-but-undocumented
 //! ones. docs/FAULTS.md gets the same treatment against
 //! `ipds_sim::faults::{FAULT_COUNTERS, FAULT_HISTOGRAMS}` and a live
-//! fault campaign.
+//! fault campaign, and docs/SERVICE.md against the service crate's
+//! `SERVICE_COUNTERS` / `SERVICE_HISTOGRAMS` / `FLEET_COUNTERS` and a
+//! live synthetic fleet.
 
 use std::collections::BTreeSet;
 
 use ipds::analysis::pipeline::{build_source, BuildOptions};
 use ipds::analysis::PIPELINE_COUNTERS;
 use ipds::runtime::CHECKER_COUNTERS;
+use ipds::service::{FLEET_COUNTERS, SERVICE_COUNTERS, SERVICE_HISTOGRAMS};
 use ipds::sim::{FAULT_COUNTERS, FAULT_HISTOGRAMS, POOL_COUNTERS};
 use ipds::workloads;
 
@@ -120,6 +123,61 @@ fn fault_campaigns_emit_exactly_the_documented_keys() {
         assert!(
             metrics.histogram(key).is_some(),
             "a fault campaign must emit the `{key}` histogram"
+        );
+    }
+}
+
+#[test]
+fn service_doc_agrees_with_the_canonical_key_lists() {
+    let service: BTreeSet<String> = SERVICE_COUNTERS
+        .iter()
+        .chain(SERVICE_HISTOGRAMS)
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(
+        doc_keys("docs/SERVICE.md", "service."),
+        service,
+        "docs/SERVICE.md must document exactly SERVICE_COUNTERS and SERVICE_HISTOGRAMS"
+    );
+    let fleet: BTreeSet<String> = FLEET_COUNTERS.iter().map(|s| s.to_string()).collect();
+    assert_eq!(
+        doc_keys("docs/SERVICE.md", "fleet."),
+        fleet,
+        "docs/SERVICE.md must document exactly the FLEET_COUNTERS keys"
+    );
+}
+
+#[test]
+fn fleet_runs_emit_exactly_the_documented_keys() {
+    // A small two-workload fleet exercises every counter class: verified
+    // and rejected images, accepted and refused sessions, ingestion,
+    // incidents and correlation verdicts.
+    let wl: Vec<_> = workloads::all().into_iter().take(2).collect();
+    let report = ipds::ServiceSpec::new()
+        .workloads(wl)
+        .sessions(8)
+        .batch(64)
+        .window(4)
+        .min_cluster(2)
+        .run();
+    let emitted: BTreeSet<String> = report
+        .metrics
+        .counters()
+        .map(|(k, _)| k.to_string())
+        .collect();
+    let canonical: BTreeSet<String> = SERVICE_COUNTERS
+        .iter()
+        .chain(FLEET_COUNTERS)
+        .map(|s| s.to_string())
+        .collect();
+    assert_eq!(
+        emitted, canonical,
+        "a fleet run must emit exactly the documented service and fleet counters"
+    );
+    for key in SERVICE_HISTOGRAMS {
+        assert!(
+            report.metrics.histogram(key).is_some(),
+            "a fleet run must emit the `{key}` histogram"
         );
     }
 }

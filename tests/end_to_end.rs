@@ -12,7 +12,13 @@ fn campaigns_detect_something_on_every_correlated_workload() {
     for w in ipds_workloads::all() {
         let protected = Protected::from_program(w.program(), &Config::default());
         let inputs = w.inputs(1);
-        let r = protected.campaign(&inputs, 60, 99, w.vuln);
+        let r = protected
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(60)
+            .seed(99)
+            .model(w.vuln)
+            .run();
         assert!(
             r.cf_changed > 0,
             "{}: no attack changed control flow",
@@ -33,8 +39,20 @@ fn campaigns_are_reproducible() {
     let w = ipds_workloads::by_name("httpd").unwrap();
     let protected = Protected::from_program(w.program(), &Config::default());
     let inputs = w.inputs(3);
-    let a = protected.campaign(&inputs, 30, 5, AttackModel::BufferOverflow);
-    let b = protected.campaign(&inputs, 30, 5, AttackModel::BufferOverflow);
+    let a = protected
+        .campaign_spec()
+        .inputs(&inputs)
+        .attacks(30)
+        .seed(5)
+        .model(AttackModel::BufferOverflow)
+        .run();
+    let b = protected
+        .campaign_spec()
+        .inputs(&inputs)
+        .attacks(30)
+        .seed(5)
+        .model(AttackModel::BufferOverflow)
+        .run();
     assert_eq!(a, b, "same seed must reproduce exactly");
 }
 
@@ -125,7 +143,13 @@ fn detection_lag_is_reported_in_branches() {
     let w = ipds_workloads::by_name("telnetd").unwrap();
     let protected = Protected::from_program(w.program(), &Config::default());
     let inputs = w.inputs(0);
-    let r = protected.campaign(&inputs, 80, 17, AttackModel::BufferOverflow);
+    let r = protected
+        .campaign_spec()
+        .inputs(&inputs)
+        .attacks(80)
+        .seed(17)
+        .model(AttackModel::BufferOverflow)
+        .run();
     if r.detected > 0 {
         assert!(r.mean_lag_branches >= 0.0);
         // A detection within the same session should happen within the
@@ -146,10 +170,20 @@ fn contiguous_overflows_hit_harder_than_single_cells() {
         let protected = Protected::from_program(w.program(), &Config::default());
         let inputs = w.inputs(9);
         single_cf += protected
-            .campaign(&inputs, 40, 13, AttackModel::BufferOverflow)
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(40)
+            .seed(13)
+            .model(AttackModel::BufferOverflow)
+            .run()
             .cf_changed;
         block_cf += protected
-            .campaign(&inputs, 40, 13, AttackModel::ContiguousOverflow)
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(40)
+            .seed(13)
+            .model(AttackModel::ContiguousOverflow)
+            .run()
             .cf_changed;
     }
     assert!(

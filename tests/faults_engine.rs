@@ -100,8 +100,8 @@ fn every_single_bit_image_flip_is_detected_at_load() {
 #[test]
 fn seeds_select_distinct_campaigns() {
     let (p, inputs) = protect("crond");
-    let a = p.faults(&inputs, 8, 1);
-    let b = p.faults(&inputs, 8, 2);
+    let a = p.fault_spec().inputs(&inputs).flips(8).seed(1).run();
+    let b = p.fault_spec().inputs(&inputs).flips(8).seed(2).run();
     // Outcome tallies may coincide, but the plans differ, so the full
     // result (latency vector included) almost surely does; at minimum the
     // campaign must be internally consistent either way.

@@ -37,7 +37,10 @@ fn figure1_attack_without_code_injection() {
     let mut caught = false;
     for step in 1..40 {
         let r = protected
-            .run_with_tamper(&[Input::Int(0), Input::Int(7)], step, "user", 1)
+            .session()
+            .inputs(&[Input::Int(0), Input::Int(7)])
+            .tamper(step, "user", 1)
+            .run()
             .unwrap();
         if r.detected() {
             caught = true;
@@ -90,7 +93,10 @@ fn figure2_loop_backward_branch_is_forced() {
     let mut caught = false;
     for step in 5..120 {
         let r = protected
-            .run_with_tamper(&[Input::Int(-5)], step, "x", 50)
+            .session()
+            .inputs(&[Input::Int(-5)])
+            .tamper(step, "x", 50)
+            .run()
             .unwrap();
         if r.detected() {
             caught = true;
@@ -133,7 +139,10 @@ fn figure3a_subsume_and_redefine() {
     let mut caught = false;
     for step in 4..30 {
         let r = protected
-            .run_with_tamper(&[Input::Int(0), Input::Int(2)], step, "y", 42)
+            .session()
+            .inputs(&[Input::Int(0), Input::Int(2)])
+            .tamper(step, "y", 42)
+            .run()
             .unwrap();
         caught |= r.detected();
     }
@@ -167,7 +176,10 @@ fn figure3c_arithmetic_chain() {
     let mut caught = false;
     for step in 4..20 {
         let r = protected
-            .run_with_tamper(&[Input::Int(3)], step, "y", 100)
+            .session()
+            .inputs(&[Input::Int(3)])
+            .tamper(step, "y", 100)
+            .run()
             .unwrap();
         caught |= r.detected();
     }

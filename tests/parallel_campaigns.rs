@@ -24,7 +24,13 @@ fn campaign_pair(
 ) -> (ipds::CampaignResult, ipds::CampaignResult) {
     let protected = protect(w);
     let inputs = w.inputs(INPUT_SEED);
-    let serial = protected.campaign(&inputs, ATTACKS, SEED, model);
+    let serial = protected
+        .campaign_spec()
+        .inputs(&inputs)
+        .attacks(ATTACKS)
+        .seed(SEED)
+        .model(model)
+        .run();
     let parallel = protected
         .campaign_spec()
         .inputs(&inputs)
@@ -141,7 +147,13 @@ fn null_sink_campaign_matches_uninstrumented_engine() {
     for w in ipds_workloads::all() {
         let protected = protect(&w);
         let inputs = w.inputs(INPUT_SEED);
-        let plain = protected.campaign(&inputs, ATTACKS, SEED, w.vuln);
+        let plain = protected
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(ATTACKS)
+            .seed(SEED)
+            .model(w.vuln)
+            .run();
         for threads in [1, 4] {
             let with_null = protected
                 .campaign_spec()

@@ -44,8 +44,18 @@ fn loaded_image_detects_the_same_attack() {
         analysis: loaded,
     };
     let inputs = [ipds::Input::Int(0), ipds::Input::Int(9)];
-    let a = protected.run_with_tamper(&inputs, 8, "user", 1).unwrap();
-    let b = reloaded.run_with_tamper(&inputs, 8, "user", 1).unwrap();
+    let a = protected
+        .session()
+        .inputs(&inputs)
+        .tamper(8, "user", 1)
+        .run()
+        .unwrap();
+    let b = reloaded
+        .session()
+        .inputs(&inputs)
+        .tamper(8, "user", 1)
+        .run()
+        .unwrap();
     assert!(a.detected() && b.detected());
     assert_eq!(a.alarms, b.alarms);
 }

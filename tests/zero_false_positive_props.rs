@@ -26,14 +26,19 @@ proptest! {
             const_store,
             ..Config::default()
         };
-        let protected = Protected::compile_with(&src, &cfg).expect("generated program compiles");
+        let protected = Protected::from_program(
+            ipds::ir::parse(&src).expect("generated program compiles"),
+            &cfg,
+        );
         let inputs: Vec<Input> = (0..48)
             .map(|i| Input::Int(((input_seed as i64).wrapping_mul(31) + i * 7) % 41 - 20))
             .collect();
-        let report = protected.run_limited(
-            &inputs,
-            ExecLimits { max_steps: 2_000_000, max_depth: 64 },
-        );
+        let report = protected
+            .session()
+            .inputs(&inputs)
+            .limits(ExecLimits { max_steps: 2_000_000, max_depth: 64 })
+            .run()
+            .expect("clean session runs");
         prop_assert!(
             report.alarms.is_empty(),
             "seed {} raised {:?}\n{}",
