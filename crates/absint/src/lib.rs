@@ -530,6 +530,10 @@ impl<'a> Ctx<'a> {
                     env.set_reg(*d, Range::Full);
                 }
             }
+            // Phis only exist inside the SSA construction window; the
+            // abstract interpreter runs after deconstruction. Stay total
+            // and conservative: the join of unknown paths is unknown.
+            Inst::Phi { dst, .. } => env.set_reg(*dst, Range::Full),
         }
     }
 

@@ -51,6 +51,8 @@ use crate::verify_tables::{verify_tables, TableVerifyError};
 pub const PIPELINE_COUNTERS: &[&str] = &[
     "pipeline.tokens",
     "pipeline.functions",
+    "pipeline.promoted_vars",
+    "pipeline.ssa_phis",
     "pipeline.loads_forwarded",
     "pipeline.branches",
     "pipeline.checked_branches",
@@ -68,6 +70,13 @@ pub const PIPELINE_COUNTERS: &[&str] = &[
 pub struct BuildOptions {
     /// Analysis tuning (ablation switches, hash-space cap).
     pub config: AnalysisConfig,
+    /// Register-promotion budget in percent (`0..=100`). When non-zero the
+    /// `ssa → mem2reg → deconstruct-ssa` window runs between verify-ir and
+    /// the analyses: the top `promote`% of eligible variables (ranked by
+    /// access count, deterministically) become register-resident, eroding
+    /// the anchor set the correlation analysis can check. `0` skips the
+    /// window entirely — the build is byte-identical to a pre-SSA pipeline.
+    pub promote: u32,
     /// Run the load-forwarding optimizer between verify-ir and alias.
     pub optimize: bool,
     /// Worker threads for per-function analysis (`0`/`1` = serial; results
@@ -88,6 +97,7 @@ impl Default for BuildOptions {
     fn default() -> Self {
         BuildOptions {
             config: AnalysisConfig::default(),
+            promote: 0,
             optimize: false,
             threads: 1,
             verify: false,
@@ -120,6 +130,9 @@ pub struct CompilationSession {
     pub items: Option<Vec<Item>>,
     /// The IR program (`lower` output; every later pass reads it).
     pub program: Option<Program>,
+    /// SSA bookkeeping (`ssa` output; consumed by `mem2reg` and
+    /// `deconstruct-ssa`, present only while the window is enabled).
+    pub ssa: Option<ipds_ir::SsaForm>,
     /// Optimizer statistics (`opt` output, when the pass runs).
     pub opt_stats: Option<OptStats>,
     /// Whole-program points-to facts (`alias` output).
@@ -271,18 +284,25 @@ impl PassManager {
     }
 
     /// The canonical pipeline for `options`: parse → lower → verify-ir →
-    /// \[opt\] → alias → summaries → \[intervals\] → analyze-functions →
-    /// \[refine-correlations\] → image → \[verify-tables\] →
-    /// \[lint-tables\], with the bracketed passes present when the
-    /// corresponding option is set (`intervals` runs whenever refine or
-    /// lint needs it). When `from_source` is false the front-end passes
-    /// (parse/lower) are omitted — the session must start with a program.
+    /// \[ssa → mem2reg → deconstruct-ssa\] → \[opt\] → alias → summaries →
+    /// \[intervals\] → analyze-functions → \[refine-correlations\] → image →
+    /// \[verify-tables\] → \[lint-tables\], with the bracketed passes
+    /// present when the corresponding option is set (the SSA window when
+    /// `promote > 0`; `intervals` runs whenever refine or lint needs it).
+    /// When `from_source` is false the front-end passes (parse/lower) are
+    /// omitted — the session must start with a program.
     pub fn standard(options: &BuildOptions, from_source: bool) -> PassManager {
         let mut pm = PassManager::new();
         if from_source {
             pm = pm.with_pass(ParsePass).with_pass(LowerPass);
         }
         pm = pm.with_pass(VerifyIrPass);
+        if options.promote > 0 {
+            pm = pm
+                .with_pass(SsaPass)
+                .with_pass(Mem2RegPass)
+                .with_pass(DeconstructSsaPass);
+        }
         if options.optimize {
             pm = pm.with_pass(OptPass);
         }
@@ -383,6 +403,95 @@ impl Pass for VerifyIrPass {
 
     fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
         let program = session.need_program("verify-ir")?;
+        ipds_ir::verify::verify_program(program)
+            .map_err(|e| PipelineError::Compile(CompileError::Verify(e)))?;
+        Ok(())
+    }
+}
+
+/// SSA construction over the promotion set (the `promote` knob): loads and
+/// stores of selected variables become register def–use chains, with phis
+/// at the joins. First pass of the `ssa → mem2reg → deconstruct-ssa`
+/// window.
+pub struct SsaPass;
+
+impl Pass for SsaPass {
+    fn name(&self) -> &'static str {
+        "ssa"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let promote = session.options.promote;
+        let program = session
+            .program
+            .as_mut()
+            .ok_or(PipelineError::MissingStage {
+                pass: "ssa",
+                needs: "program",
+            })?;
+        let form = ipds_ir::build_ssa(program, promote);
+        session.metrics.add("pipeline.ssa_phis", form.phis);
+        session.ssa = Some(form);
+        Ok(())
+    }
+}
+
+/// Register promotion proper: marks the SSA-rewritten variables
+/// [`ipds_ir::VarKind::Promoted`] — from here on the alias analysis treats
+/// them as register-like (no unique-alias class, no anchors, no BSV entry)
+/// — and checks the SSA invariants ([`ipds_ir::verify_ssa`]).
+pub struct Mem2RegPass;
+
+impl Pass for Mem2RegPass {
+    fn name(&self) -> &'static str {
+        "mem2reg"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let form = session.ssa.take().ok_or(PipelineError::MissingStage {
+            pass: "mem2reg",
+            needs: "ssa",
+        })?;
+        let program = session
+            .program
+            .as_mut()
+            .ok_or(PipelineError::MissingStage {
+                pass: "mem2reg",
+                needs: "program",
+            })?;
+        ipds_ir::mark_promoted(program, &form);
+        ipds_ir::verify_ssa(program)
+            .map_err(|e| PipelineError::Compile(CompileError::Verify(e)))?;
+        session.metrics.add("pipeline.promoted_vars", form.promoted);
+        session.ssa = Some(form);
+        Ok(())
+    }
+}
+
+/// Closes the SSA window: each surviving phi is lowered back to a spill
+/// through its source variable's stack slot, restoring the no-phi,
+/// single-static-definition form every downstream analysis assumes (and
+/// re-checking it with the structural verifier).
+pub struct DeconstructSsaPass;
+
+impl Pass for DeconstructSsaPass {
+    fn name(&self) -> &'static str {
+        "deconstruct-ssa"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let form = session.ssa.take().ok_or(PipelineError::MissingStage {
+            pass: "deconstruct-ssa",
+            needs: "ssa",
+        })?;
+        let program = session
+            .program
+            .as_mut()
+            .ok_or(PipelineError::MissingStage {
+                pass: "deconstruct-ssa",
+                needs: "program",
+            })?;
+        ipds_ir::deconstruct_ssa(program, &form);
         ipds_ir::verify::verify_program(program)
             .map_err(|e| PipelineError::Compile(CompileError::Verify(e)))?;
         Ok(())
@@ -943,6 +1052,7 @@ mod tests {
         let out = build_source(
             SRC,
             BuildOptions {
+                promote: 100,
                 optimize: true,
                 verify: true,
                 refine: true,
@@ -956,6 +1066,88 @@ mod tests {
         let canonical: std::collections::BTreeSet<&str> =
             PIPELINE_COUNTERS.iter().copied().collect();
         assert_eq!(emitted, canonical);
+    }
+
+    #[test]
+    fn ssa_window_is_gated_and_named() {
+        let off = PassManager::standard(&BuildOptions::default(), true);
+        assert!(!off.pass_names().contains(&"ssa"));
+        let on = PassManager::standard(
+            &BuildOptions {
+                promote: 50,
+                ..BuildOptions::default()
+            },
+            true,
+        );
+        let names = on.pass_names();
+        let ssa = names.iter().position(|n| *n == "ssa").unwrap();
+        assert_eq!(names[ssa..ssa + 3], ["ssa", "mem2reg", "deconstruct-ssa"]);
+        assert!(ssa > names.iter().position(|n| *n == "verify-ir").unwrap());
+        assert!(ssa < names.iter().position(|n| *n == "alias").unwrap());
+    }
+
+    #[test]
+    fn promote_zero_is_byte_identical_to_the_pre_ssa_pipeline() {
+        let base = build_source(SRC, BuildOptions::default()).unwrap();
+        let zero = build_source(
+            SRC,
+            BuildOptions {
+                promote: 0,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base.image.as_bytes(), zero.image.as_bytes());
+        assert_eq!(base.counters, zero.counters);
+    }
+
+    #[test]
+    fn promotion_levels_verify_and_stay_thread_identical() {
+        for promote in [25, 50, 75, 100] {
+            let opts = |threads| BuildOptions {
+                promote,
+                verify: true,
+                refine: true,
+                lint: true,
+                threads,
+                ..BuildOptions::default()
+            };
+            let serial =
+                build_source(SRC, opts(1)).unwrap_or_else(|e| panic!("promote {promote}: {e}"));
+            let report = serial.lint.as_ref().unwrap();
+            assert_eq!(report.error_count(), 0, "promote {promote}: {report}");
+            for threads in [2, 4, 8] {
+                let par = build_source(SRC, opts(threads)).unwrap();
+                assert_eq!(
+                    serial.image.as_bytes(),
+                    par.image.as_bytes(),
+                    "promote {promote}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn promotion_erodes_checked_branch_coverage() {
+        // The headline ablation effect, in miniature: promoting everything
+        // strips the memory anchors correlation discovery needs, so checked
+        // coverage can only shrink.
+        let base = build_source(SRC, BuildOptions::default()).unwrap();
+        let full = build_source(
+            SRC,
+            BuildOptions {
+                promote: 100,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(base.counters.checked > 0);
+        assert!(
+            full.counters.checked < base.counters.checked,
+            "promotion must erode coverage: base {} vs promoted {}",
+            base.counters.checked,
+            full.counters.checked
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_time");
     for w in ipds_workloads::all() {
         group.bench_with_input(BenchmarkId::from_parameter(w.name), &w.source, |b, src| {
-            b.iter(|| Protected::compile(src).expect("workload compiles"));
+            b.iter(|| Protected::compile(*src).expect("workload compiles"));
         });
     }
     group.finish();

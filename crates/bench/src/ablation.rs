@@ -122,6 +122,100 @@ fn measure(
     }
 }
 
+/// One point of the register-promotion ablation: a workload compiled at a
+/// given `mem2reg` budget.
+#[derive(Debug, Clone)]
+pub struct PromotionRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Promotion budget (percent of eligible scalars).
+    pub promote: u32,
+    /// Scalars actually promoted.
+    pub promoted_vars: u64,
+    /// Conditional branches in the program.
+    pub branches: u64,
+    /// Branches the tables check (have a correlation direction).
+    pub checked: u64,
+    /// BAT entries emitted.
+    pub bat_entries: u64,
+    /// Mean BSV bits per function.
+    pub avg_bsv_bits: f64,
+    /// Lint errors (must stay 0 — promotion may erode coverage, never
+    /// soundness).
+    pub lint_errors: usize,
+    /// Lint warnings.
+    pub lint_warnings: usize,
+}
+
+impl PromotionRow {
+    /// Checked-branch coverage at this budget.
+    pub fn coverage(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.checked as f64 / self.branches as f64
+        }
+    }
+}
+
+/// The promotion budgets the ablation sweeps.
+pub const PROMOTION_LEVELS: [u32; 5] = [0, 25, 50, 75, 100];
+
+/// Runs the register-promotion ablation: every extended-suite workload is
+/// compiled (and linted) at each budget in [`PROMOTION_LEVELS`]. Promoted
+/// scalars stop being unique memory cells, so the checked-branch coverage
+/// curve falls as the budget rises — the quantitative version of the
+/// paper's "compiler optimizations can remove some correlations" remark.
+/// Compile-and-lint only; no simulations run.
+pub fn promotion_sweep() -> Vec<PromotionRow> {
+    let mut rows = Vec::new();
+    for w in ipds_workloads::extended() {
+        for pct in PROMOTION_LEVELS {
+            let build = ipds::Protected::build()
+                .promote(pct)
+                .lint_tables(true)
+                .compile(w.source)
+                .unwrap_or_else(|e| panic!("{} @ {pct}%: {e}", w.name));
+            let lint = build.lint.as_ref().expect("lint requested");
+            rows.push(PromotionRow {
+                workload: w.name,
+                promote: pct,
+                promoted_vars: build.metrics.counter("pipeline.promoted_vars"),
+                branches: build.counters.branches,
+                checked: build.counters.checked,
+                bat_entries: build.counters.bat_entries,
+                avg_bsv_bits: build.protected.size_stats().avg_bsv_bits,
+                lint_errors: lint.error_count(),
+                lint_warnings: lint.warning_count(),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the promotion ablation as one coverage curve per workload.
+pub fn print_promotion(rows: &[PromotionRow]) {
+    println!("Ablation C. Register promotion vs checked-branch coverage");
+    println!("{:-<72}", "");
+    println!(
+        "{:<10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>10} {:>5}",
+        "workload", "promote", "promoted", "branches", "checked", "BAT", "BSV bits", "lint"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>7}% {:>9} {:>9} {:>9} {:>9} {:>10.1} {:>5}",
+            r.workload,
+            r.promote,
+            r.promoted_vars,
+            r.branches,
+            r.checked,
+            r.bat_entries,
+            r.avg_bsv_bits,
+            r.lint_errors
+        );
+    }
+}
+
 /// On-chip buffer sweep: normalized performance as the BAT buffer shrinks.
 #[derive(Debug, Clone)]
 pub struct BufferRow {
@@ -206,6 +300,37 @@ mod tests {
             optimized.sizes.avg_checked < full.sizes.avg_checked,
             "{rows:?}"
         );
+    }
+
+    #[test]
+    fn promotion_erodes_coverage_without_lint_errors() {
+        let rows = promotion_sweep();
+        let names: Vec<&str> = ipds_workloads::extended().iter().map(|w| w.name).collect();
+        for name in names {
+            let curve: Vec<&PromotionRow> = rows.iter().filter(|r| r.workload == name).collect();
+            assert_eq!(curve.len(), PROMOTION_LEVELS.len(), "{name}");
+            // Coverage is monotonically non-increasing in the budget, and
+            // full promotion strictly erodes it on every workload.
+            for pair in curve.windows(2) {
+                assert!(
+                    pair[1].checked <= pair[0].checked,
+                    "{name}: {} -> {}",
+                    pair[0].promote,
+                    pair[1].promote
+                );
+            }
+            assert!(
+                curve.last().unwrap().checked < curve.first().unwrap().checked,
+                "{name}: full promotion should remove some correlations"
+            );
+            // Soundness: the lint auditor never finds an error at any level.
+            for r in &curve {
+                assert_eq!(r.lint_errors, 0, "{name} @ {}%", r.promote);
+            }
+            // Budget 0 promotes nothing; budget 100 promotes something.
+            assert_eq!(curve[0].promoted_vars, 0, "{name}");
+            assert!(curve.last().unwrap().promoted_vars > 0, "{name}");
+        }
     }
 
     #[test]

@@ -69,6 +69,13 @@ fn main() {
     });
     ipds_bench::ablation::print(&ab, &buf);
     println!();
+    let promotion = timed(
+        &mut wall,
+        "promotion",
+        ipds_bench::ablation::promotion_sweep,
+    );
+    ipds_bench::ablation::print_promotion(&promotion);
+    println!();
     let ctx = timed(&mut wall, "context", || ipds_bench::context::run(&hw));
     ipds_bench::context::print(&ctx);
     println!();
@@ -122,7 +129,8 @@ fn main() {
     let counters = campaign_counters(attacks.min(50));
     let compiles = compile_reports();
     match write_bench_json(
-        attacks, threads, &wall, &scaling, &overhead, &counters, &compiles, &faults, &fleet,
+        attacks, threads, &wall, &scaling, &overhead, &counters, &compiles, &promotion, &faults,
+        &fleet,
     ) {
         Ok(path) => println!("campaign throughput written to {path}"),
         Err(e) => eprintln!("warning: could not write bench_campaign.json: {e}"),
@@ -419,6 +427,7 @@ fn write_bench_json(
     overhead: &Overhead,
     counters: &CounterSnapshot,
     compiles: &[std::sync::Arc<ipds_bench::artifacts::CompileReport>],
+    promotion: &[ipds_bench::ablation::PromotionRow],
     faults: &FaultsSummary,
     fleet: &FleetSummary,
 ) -> std::io::Result<String> {
@@ -492,6 +501,26 @@ fn write_bench_json(
             ));
         }
         json.push_str(&format!("      ] }}{comma}\n"));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"promotion\": [\n");
+    for (i, r) in promotion.iter().enumerate() {
+        let comma = if i + 1 < promotion.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"promote\": {}, \"promoted_vars\": {}, \
+             \"branches\": {}, \"checked\": {}, \"coverage\": {:.4}, \"bat_entries\": {}, \
+             \"avg_bsv_bits\": {:.1}, \"lint_errors\": {}, \"lint_warnings\": {} }}{comma}\n",
+            r.workload,
+            r.promote,
+            r.promoted_vars,
+            r.branches,
+            r.checked,
+            r.coverage(),
+            r.bat_entries,
+            r.avg_bsv_bits,
+            r.lint_errors,
+            r.lint_warnings
+        ));
     }
     json.push_str("  ],\n");
     json.push_str("  \"faults\": {\n");

@@ -3,9 +3,11 @@
 //! ```text
 //! ipdsc compile FILE [--dump]           parse + analyze, print table summary
 //! ipdsc build (FILE | --workloads) [--threads N] [--optimize] [--timings]
-//!             [--verify-tables] [--determinism]   explicit pass pipeline
+//!             [--verify-tables] [--determinism] [--promote PCT]
+//!             explicit pass pipeline
 //! ipdsc lint (FILE | --workloads) [--threads N] [--optimize] [--refine]
-//!             audit emitted tables; exit nonzero on any lint error
+//!             [--promote PCT]   audit emitted tables; exit nonzero on any
+//!             lint error
 //! ipdsc run FILE [--input LIST] [--events FILE]   run under IPDS checking
 //! ipdsc attack FILE --var NAME --value V --step N [--input LIST] [--events FILE]
 //! ipdsc campaign FILE [--attacks N] [--seed S] [--model fs|boa|block] [--input LIST]
@@ -26,9 +28,11 @@
 //! per-function analysis (output is bit-identical to serial), `--timings`
 //! prints per-pass wall-clock spans, `--verify-tables` appends the
 //! table-verification pass, and `--determinism` proves serial and threaded
-//! builds emit byte-identical images. `--workloads` builds every bundled
-//! workload under **both** optimizer settings instead of reading a file —
-//! the CI gate.
+//! builds emit byte-identical images (it therefore conflicts with an
+//! explicit `--threads 1`). `--promote PCT` opens the SSA/`mem2reg` window
+//! at that register-promotion budget before analysis. `--workloads` builds
+//! every bundled workload under **both** optimizer settings instead of
+//! reading a file — the CI gate.
 //!
 //! `lint` replays every emitted BAT action against the interval-analysis
 //! and anchor-pair oracles (see `docs/ABSINT.md`) and prints one ranked
@@ -116,6 +120,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: ipdsc <compile|build|lint|faults|serve|run|attack|campaign|time|trace> FILE [options]\n\
      (build, lint and faults also accept --workloads instead of FILE)\n\
+     build/lint options: --threads T --optimize --promote PCT (--determinism needs threads > 1)\n\
      faults options: --flips N --seed S --threads T --no-checksum --input LIST\n\
      serve options: --workloads LIST|all --sessions N --batch B --threads T --seed S --window W\n\
      see `ipdsc` module docs for options"
@@ -206,11 +211,13 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
     let threads = parse_num(args, "--threads").unwrap_or(1).max(1) as usize;
     let optimized = has_flag(args, "--optimize");
     let refine = has_flag(args, "--refine");
+    let promote = promote_pct(args)?;
     let spec = || {
         Protected::build()
             .optimize(optimized)
             .threads(threads)
             .refine_correlations(refine)
+            .promote(promote)
             .lint_tables(true)
     };
 
@@ -334,6 +341,15 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
     let timings = has_flag(args, "--timings");
     let verify = has_flag(args, "--verify-tables");
     let determinism = has_flag(args, "--determinism");
+    let promote = promote_pct(args)?;
+    if determinism && flag_value(args, "--threads").as_deref() == Some("1") {
+        return Err(
+            "--determinism proves serial and threaded builds agree, so it needs \
+             more than one thread; drop `--threads 1` (or the flag itself — the \
+             check always compares against a wide build)"
+                .to_string(),
+        );
+    }
 
     if has_flag(args, "--workloads") {
         let mut total_image_bytes = 0usize;
@@ -345,6 +361,7 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
                     threads,
                     verify,
                     determinism,
+                    promote,
                     &format!("{} (opt={optimized})", w.name),
                     timings,
                 )?;
@@ -376,6 +393,7 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
         threads,
         verify,
         determinism,
+        promote,
         file,
         timings,
     )?;
@@ -394,6 +412,7 @@ fn is_flag_value(args: &[String], arg: &String) -> bool {
         "--batch",
         "--window",
         "--workloads",
+        "--promote",
     ];
     args.iter()
         .position(|a| std::ptr::eq(a, arg))
@@ -407,16 +426,23 @@ fn is_flag_value(args: &[String], arg: &String) -> bool {
 /// configured spec from whatever front end the caller has (source text or a
 /// prebuilt program), so the determinism check can rebuild at other thread
 /// counts.
+#[allow(clippy::too_many_arguments)]
 fn build_one(
     run: impl Fn(ipds::BuildSpec) -> Result<ipds::Build, ipds::Error>,
     optimized: bool,
     threads: usize,
     verify: bool,
     determinism: bool,
+    promote: u32,
     label: &str,
     timings: bool,
 ) -> Result<ipds::Build, String> {
-    let spec = || Protected::build().optimize(optimized).verify_tables(verify);
+    let spec = || {
+        Protected::build()
+            .optimize(optimized)
+            .verify_tables(verify)
+            .promote(promote)
+    };
     let build = run(spec().threads(threads)).map_err(|e| format!("{label}: {e}"))?;
     println!(
         "{label}: {} functions, {} branches ({} checked), {} BAT entries, {} hash retries, image {} bytes",
@@ -449,6 +475,18 @@ fn build_one(
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parses `--promote PCT` (a 0..=100 register-promotion budget; default 0,
+/// which keeps the pipeline on its classic all-memory path).
+fn promote_pct(args: &[String]) -> Result<u32, String> {
+    match flag_value(args, "--promote") {
+        None => Ok(0),
+        Some(v) => match v.parse::<u32>() {
+            Ok(pct) if pct <= 100 => Ok(pct),
+            _ => Err(format!("--promote takes a percentage 0..=100, got `{v}`")),
+        },
+    }
 }
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {

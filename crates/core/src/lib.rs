@@ -712,6 +712,17 @@ impl BuildSpec {
         self
     }
 
+    /// Register-promotion budget for the SSA/`mem2reg` window, as a
+    /// percentage of eligible scalars (0 = window skipped entirely, the
+    /// paper's memory-resident model; 100 = promote every eligible local).
+    /// Promoted variables stop being unique memory cells, so their branches
+    /// lose anchors — the promotion-ablation experiment sweeps this knob.
+    /// Values above 100 are clamped.
+    pub fn promote(mut self, pct: u32) -> Self {
+        self.options.promote = pct.min(100);
+        self
+    }
+
     /// Worker threads for per-function analysis (default 1 = serial; the
     /// output is bit-identical for every thread count).
     pub fn threads(mut self, threads: usize) -> Self {

@@ -288,6 +288,20 @@ impl AliasAnalysis {
                 }
                 changed
             }
+            // Phis only exist inside the SSA construction window (before
+            // this analysis runs in the standard pipeline), but stay sound
+            // if analyzed: the joined value may be any incoming pointer.
+            Inst::Phi { dst, args } => {
+                let mut s = PtsSet::default();
+                for (_, a) in args {
+                    s.merge_from(&self.operand(func, *a));
+                }
+                if s.vars.is_empty() && !s.any {
+                    false
+                } else {
+                    self.merge_into_reg(func, *dst, &s)
+                }
+            }
             Inst::Const { .. } | Inst::Cmp { .. } => false,
         }
     }
@@ -303,11 +317,18 @@ impl AliasAnalysis {
     /// accesses are a known single-object [`AccessClass::May`]; pointer
     /// accesses use the points-to solution and widen to
     /// [`AccessClass::Any`] when the pointer's origin is unknown.
+    ///
+    /// Variables promoted to registers by `mem2reg` are **register-like**:
+    /// their residual memory traffic (phi spills from SSA deconstruction)
+    /// never classifies as `Unique`, so they grow no anchors and no BSV
+    /// entries — the value lives in registers, where the paper's
+    /// memory-tamper threat model cannot check it. This is the knob the
+    /// promotion ablation measures.
     pub fn classify(&self, program: &Program, func: FuncId, addr: &Address) -> AccessClass {
         match addr {
             Address::Var(v) => {
                 let mv = MemVar::resolve(func, *v);
-                if mv.size(program) == 1 {
+                if mv.size(program) == 1 && mv.kind(program) != ipds_ir::VarKind::Promoted {
                     AccessClass::Unique(mv)
                 } else {
                     AccessClass::May([mv].into_iter().collect())

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ipds_ir::{FuncId, Function, Program, VarId};
+use ipds_ir::{FuncId, Function, Program, VarId, VarKind};
 
 /// A memory variable named uniquely across the whole program.
 ///
@@ -54,6 +54,14 @@ impl MemVar {
         match self.func {
             None => program.globals[self.var.index()].size,
             Some(f) => program.function(f).vars[self.var.index()].size,
+        }
+    }
+
+    /// Looks up the variable's kind (local/param/global/promoted).
+    pub fn kind(self, program: &Program) -> VarKind {
+        match self.func {
+            None => program.globals[self.var.index()].kind,
+            Some(f) => program.function(f).vars[self.var.index()].kind,
         }
     }
 

@@ -13,6 +13,14 @@ pub enum Item {
         /// Initializer.
         init: GlobalInit,
     },
+    /// `struct Name { int f1; int f2; }` — a fixed-offset aggregate of
+    /// `int` fields (one memory cell each).
+    Struct {
+        /// Struct type name.
+        name: String,
+        /// Field names, in declaration (and cell-offset) order.
+        fields: Vec<String>,
+    },
     /// `fn name(params) -> int { … }` (the `-> int` is optional).
     Function {
         /// Function name.
@@ -43,8 +51,13 @@ pub enum GlobalInit {
 pub struct ParamDecl {
     /// Parameter name.
     pub name: String,
-    /// True for `int *name` (a pointer passed by cell address).
+    /// True for `int *name` or `struct T *name` (a pointer passed by cell
+    /// address).
     pub is_ptr: bool,
+    /// The pointee struct type for `struct T *name` parameters; `None` for
+    /// plain `int`/`int *` parameters. Structs are always passed by
+    /// pointer.
+    pub struct_of: Option<String>,
 }
 
 /// A statement.
@@ -60,6 +73,15 @@ pub enum Stmt {
         is_ptr: bool,
         /// Optional scalar initializer.
         init: Option<Expr>,
+    },
+    /// Struct declaration: `struct T s;` or `struct T *p;`.
+    StructDecl {
+        /// The struct type name.
+        struct_name: String,
+        /// Variable name.
+        name: String,
+        /// True for a pointer-to-struct declaration.
+        is_ptr: bool,
     },
     /// Assignment through an lvalue.
     Assign {
@@ -114,6 +136,10 @@ pub enum LValue {
     Var(String),
     /// `name[index]`.
     Index(String, Expr),
+    /// `name.field` — a member of a struct variable.
+    Member(String, String),
+    /// `name->field` — a member through a struct pointer.
+    PtrMember(String, String),
     /// `*expr`.
     Deref(Expr),
 }
@@ -181,6 +207,13 @@ pub enum Expr {
     Var(String),
     /// `name[index]`.
     Index(String, Box<Expr>),
+    /// `name.field` — a member of a struct variable.
+    Member(String, String),
+    /// `name->field` — a member through a struct pointer.
+    PtrMember(String, String),
+    /// `&name.field` — the address of a struct member (a pointer to
+    /// member).
+    AddrOfMember(String, String),
     /// Unary operation.
     Unary(UnaryOp, Box<Expr>),
     /// Binary operation.

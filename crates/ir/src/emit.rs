@@ -1,0 +1,321 @@
+//! MiniC source emission from the AST.
+//!
+//! [`emit_items`] renders parsed items back to MiniC source such that
+//! re-parsing yields a structurally identical AST: `parse_items(lex(
+//! emit_items(items))) == items`. Subexpressions are fully parenthesized so
+//! the emitted text never depends on precedence, and parentheses are not
+//! represented in the AST, so the round trip is exact.
+//!
+//! This is the inverse direction of the parser and is what the round-trip
+//! property suite exercises; the IR pretty-printer ([`crate::pretty`])
+//! serves human inspection instead and does not round-trip.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinaryOp, Expr, GlobalInit, Item, LValue, Stmt, UnaryOp};
+
+/// Renders items to compilable MiniC source.
+#[must_use]
+pub fn emit_items(items: &[Item]) -> String {
+    let mut out = String::new();
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        emit_item(&mut out, item);
+    }
+    out
+}
+
+fn emit_item(out: &mut String, item: &Item) {
+    match item {
+        Item::Global { name, size, init } => match init {
+            GlobalInit::None => match size {
+                Some(n) => _ = writeln!(out, "int {name}[{n}];"),
+                None => _ = writeln!(out, "int {name};"),
+            },
+            GlobalInit::Scalar(v) => _ = writeln!(out, "int {name} = {v};"),
+            GlobalInit::Str(s) => match size {
+                Some(n) => _ = writeln!(out, "int {name}[{n}] = {};", quote(s)),
+                None => _ = writeln!(out, "int {name}[] = {};", quote(s)),
+            },
+        },
+        Item::Struct { name, fields } => {
+            _ = writeln!(out, "struct {name} {{");
+            for f in fields {
+                _ = writeln!(out, "    int {f};");
+            }
+            out.push_str("}\n");
+        }
+        Item::Function {
+            name,
+            params,
+            returns,
+            body,
+        } => {
+            _ = write!(out, "fn {name}(");
+            for (i, p) in params.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match (&p.struct_of, p.is_ptr) {
+                    (Some(s), _) => _ = write!(out, "struct {s} *{}", p.name),
+                    (None, true) => _ = write!(out, "int *{}", p.name),
+                    (None, false) => _ = write!(out, "int {}", p.name),
+                }
+            }
+            out.push(')');
+            if *returns {
+                out.push_str(" -> int");
+            }
+            out.push_str(" {\n");
+            for s in body {
+                emit_stmt(out, s, 1);
+            }
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn emit_stmt(out: &mut String, stmt: &Stmt, depth: usize) {
+    indent(out, depth);
+    match stmt {
+        Stmt::Decl {
+            name,
+            size,
+            is_ptr,
+            init,
+        } => {
+            let star = if *is_ptr { "*" } else { "" };
+            match (size, init) {
+                (Some(n), _) => _ = writeln!(out, "int {star}{name}[{n}];"),
+                (None, Some(e)) => _ = writeln!(out, "int {star}{name} = {};", expr(e)),
+                (None, None) => _ = writeln!(out, "int {star}{name};"),
+            }
+        }
+        Stmt::StructDecl {
+            struct_name,
+            name,
+            is_ptr,
+        } => {
+            let star = if *is_ptr { "*" } else { "" };
+            _ = writeln!(out, "struct {struct_name} {star}{name};");
+        }
+        Stmt::Assign { .. } | Stmt::ExprStmt(_) => {
+            _ = writeln!(out, "{};", simple_stmt(stmt));
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            _ = writeln!(out, "if ({}) {{", expr(cond));
+            for s in then_body {
+                emit_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            if else_body.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for s in else_body {
+                    emit_stmt(out, s, depth + 1);
+                }
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        Stmt::While { cond, body } => {
+            _ = writeln!(out, "while ({}) {{", expr(cond));
+            for s in body {
+                emit_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            out.push_str("for (");
+            if let Some(s) = init {
+                out.push_str(&simple_stmt(s));
+            }
+            out.push(';');
+            if let Some(c) = cond {
+                _ = write!(out, " {}", expr(c));
+            }
+            out.push(';');
+            if let Some(s) = step {
+                _ = write!(out, " {}", simple_stmt(s));
+            }
+            out.push_str(") {\n");
+            for s in body {
+                emit_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        Stmt::Return(None) => out.push_str("return;\n"),
+        Stmt::Return(Some(e)) => _ = writeln!(out, "return {};", expr(e)),
+        Stmt::Break => out.push_str("break;\n"),
+        Stmt::Continue => out.push_str("continue;\n"),
+        Stmt::Block(stmts) => {
+            out.push_str("{\n");
+            for s in stmts {
+                emit_stmt(out, s, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+    }
+}
+
+/// Renders an assignment or expression statement without the trailing `;`
+/// (also used inside `for` clauses, matching the parser's `simple_stmt`).
+fn simple_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Assign { target, value } => {
+            let lhs = match target {
+                LValue::Var(name) => name.clone(),
+                LValue::Index(name, i) => format!("{name}[{}]", expr(i)),
+                LValue::Member(name, f) => format!("{name}.{f}"),
+                LValue::PtrMember(name, f) => format!("{name}->{f}"),
+                LValue::Deref(e) => format!("*({})", expr(e)),
+            };
+            format!("{lhs} = {}", expr(value))
+        }
+        Stmt::ExprStmt(e) => expr(e),
+        other => unreachable!("not a simple statement: {other:?}"),
+    }
+}
+
+/// Renders an expression. Composite operands are parenthesized so the text
+/// re-parses to exactly this tree regardless of operator precedence.
+fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => format!("{v}"),
+        Expr::Str(s) => quote(s),
+        Expr::Var(name) => name.clone(),
+        Expr::Index(name, i) => format!("{name}[{}]", expr(i)),
+        Expr::Member(name, f) => format!("{name}.{f}"),
+        Expr::PtrMember(name, f) => format!("{name}->{f}"),
+        Expr::AddrOfMember(name, f) => format!("&{name}.{f}"),
+        Expr::Unary(UnaryOp::Neg, inner) => format!("-({})", expr(inner)),
+        Expr::Unary(UnaryOp::Not, inner) => format!("!({})", expr(inner)),
+        Expr::Binary(op, a, b) => {
+            format!("({} {} {})", expr(a), binop(*op), expr(b))
+        }
+        Expr::Call(name, args) => {
+            let args: Vec<String> = args.iter().map(expr).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::AddrOf(name, None) => format!("&{name}"),
+        Expr::AddrOf(name, Some(i)) => format!("&{name}[{}]", expr(i)),
+        Expr::Deref(inner) => format!("*({})", expr(inner)),
+    }
+}
+
+fn binop(op: BinaryOp) -> &'static str {
+    match op {
+        BinaryOp::Add => "+",
+        BinaryOp::Sub => "-",
+        BinaryOp::Mul => "*",
+        BinaryOp::Div => "/",
+        BinaryOp::Rem => "%",
+        BinaryOp::And => "&",
+        BinaryOp::Or => "|",
+        BinaryOp::Xor => "^",
+        BinaryOp::Shl => "<<",
+        BinaryOp::Shr => ">>",
+        BinaryOp::Eq => "==",
+        BinaryOp::Ne => "!=",
+        BinaryOp::Lt => "<",
+        BinaryOp::Le => "<=",
+        BinaryOp::Gt => ">",
+        BinaryOp::Ge => ">=",
+        BinaryOp::LAnd => "&&",
+        BinaryOp::LOr => "||",
+    }
+}
+
+/// Quotes a string literal, re-applying the lexer's escapes.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\0' => out.push_str("\\0"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_items;
+
+    fn roundtrip(src: &str) {
+        let items = parse_items(&lex(src).unwrap()).unwrap();
+        let emitted = emit_items(&items);
+        let reparsed = parse_items(&lex(&emitted).unwrap())
+            .unwrap_or_else(|e| panic!("emitted source fails to parse: {e}\n{emitted}"));
+        assert_eq!(items, reparsed, "round trip diverged:\n{emitted}");
+    }
+
+    #[test]
+    fn roundtrips_every_language_feature() {
+        roundtrip(
+            "int g; int h = -3; int buf[8]; int msg[] = \"hi\\n\\\"q\\\"\\t\\\\x\\0\";\n\
+             struct Pair { int a; int b; }\n\
+             fn add(struct Pair *p, int k) -> int { return p->a + k; }\n\
+             fn main() -> int {\n\
+               int x = 1; int *q; int arr[4]; struct Pair pr;\n\
+               pr.a = 2; pr.b = pr.a * 3; q = &pr.b; *q = *q + 1;\n\
+               arr[0] = x; arr[x + 1] = arr[0];\n\
+               if (x < 2 && (pr.a == 2 || !(x >= 0))) { x = -x; } else { x = x << 1; }\n\
+               while (x != 0) { x = x - 1; if (x == 1) { break; } continue; }\n\
+               for (x = 0; x < 3; x = x + 1) { q = &arr[x]; }\n\
+               for (;;) { break; }\n\
+               { int shadowed = 5; x = shadowed % 2; }\n\
+               x = add(&pr, 'a') ^ (10 / 2) | (7 & 3);\n\
+               read_int();\n\
+               return x;\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn roundtrips_struct_items_and_single_field_structs() {
+        roundtrip(
+            "struct One { int only; }\n\
+             fn main() -> int { struct One s; struct One *p; s.only = 1; p = &s; p->only = 2; return s.only; }",
+        );
+    }
+
+    #[test]
+    fn parenthesization_preserves_tree_shape() {
+        // `a - (b - c)` must not re-associate into `(a - b) - c`.
+        let items =
+            parse_items(&lex("fn main() -> int { return 1 - (2 - 3) - 4; }").unwrap()).unwrap();
+        let emitted = emit_items(&items);
+        let reparsed = parse_items(&lex(&emitted).unwrap()).unwrap();
+        assert_eq!(items, reparsed, "{emitted}");
+    }
+}

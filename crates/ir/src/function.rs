@@ -89,6 +89,13 @@ pub enum VarKind {
     Local,
     /// Function parameter (also stack resident in our model).
     Param,
+    /// A local or parameter promoted to registers by `mem2reg` (see
+    /// [`crate::ssa`]). The stack slot still exists — phi deconstruction
+    /// spills through it at control-flow joins — but the analyses treat the
+    /// variable as register-like: no unique-alias classification, no branch
+    /// anchors, no BSV participation. This is the knob the promotion
+    /// ablation turns.
+    Promoted,
 }
 
 /// A memory-resident variable (scalar or array of cells).

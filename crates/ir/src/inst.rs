@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use crate::function::VarId;
+use crate::function::{BlockId, VarId};
 
 /// A virtual register.
 ///
@@ -465,6 +465,20 @@ pub enum Inst {
         /// Argument operands (pointers are absolute cell addresses).
         args: Vec<Operand>,
     },
+    /// `dst = phi [(pred, value)…]` — an SSA join point. Phis exist **only
+    /// transiently** inside the SSA construction window of the pipeline
+    /// (`ssa → mem2reg → deconstruct-ssa`, see [`crate::ssa`]): the
+    /// deconstruction pass lowers every phi back to per-variable memory
+    /// slots before any analysis, simulation or table emission runs, which
+    /// preserves the paper's single-static-definition, no-phi invariant for
+    /// everything downstream.
+    Phi {
+        /// Destination register.
+        dst: Reg,
+        /// One incoming value per CFG predecessor of the owning block, in
+        /// a fixed (deterministic) predecessor order.
+        args: Vec<(BlockId, Operand)>,
+    },
 }
 
 impl Inst {
@@ -475,7 +489,8 @@ impl Inst {
             | Inst::BinOp { dst, .. }
             | Inst::Cmp { dst, .. }
             | Inst::Load { dst, .. }
-            | Inst::AddrOf { dst, .. } => Some(*dst),
+            | Inst::AddrOf { dst, .. }
+            | Inst::Phi { dst, .. } => Some(*dst),
             Inst::Call { dst, .. } => *dst,
             Inst::Store { .. } => None,
         }
@@ -502,6 +517,11 @@ impl Inst {
             Inst::AddrOf { offset, .. } => push(offset, out),
             Inst::Call { args, .. } => {
                 for a in args {
+                    push(a, out);
+                }
+            }
+            Inst::Phi { args, .. } => {
+                for (_, a) in args {
                     push(a, out);
                 }
             }
@@ -563,6 +583,16 @@ impl fmt::Display for Inst {
                     write!(f, "{a}")?;
                 }
                 write!(f, ")")
+            }
+            Inst::Phi { dst, args } => {
+                write!(f, "{dst} = phi ")?;
+                for (i, (b, a)) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "[{b}: {a}]")?;
+                }
+                Ok(())
             }
         }
     }

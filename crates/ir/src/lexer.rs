@@ -92,6 +92,9 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some('/') if self.peek2() == Some('*') => {
+                    // Report an unterminated comment at its opening `/*`,
+                    // not wherever the file happens to end.
+                    let (open_line, open_col) = (self.line, self.col);
                     self.bump();
                     self.bump();
                     loop {
@@ -101,7 +104,13 @@ impl<'a> Lexer<'a> {
                                 break;
                             }
                             Some(_) => {}
-                            None => return Err(self.error("unterminated block comment")),
+                            None => {
+                                return Err(ParseError::new(
+                                    open_line,
+                                    open_col,
+                                    "unterminated block comment (opened here)",
+                                ))
+                            }
                         }
                     }
                 }
@@ -142,6 +151,7 @@ impl<'a> Lexer<'a> {
             ']' => TokenKind::RBracket,
             ';' => TokenKind::Semi,
             ',' => TokenKind::Comma,
+            '.' => TokenKind::Dot,
             '+' => TokenKind::Plus,
             '-' => two(self, '>', TokenKind::Arrow, TokenKind::Minus),
             '*' => TokenKind::Star,
@@ -225,6 +235,7 @@ impl<'a> Lexer<'a> {
         match text.as_str() {
             "fn" => TokenKind::KwFn,
             "int" => TokenKind::KwInt,
+            "struct" => TokenKind::KwStruct,
             "if" => TokenKind::KwIf,
             "else" => TokenKind::KwElse,
             "while" => TokenKind::KwWhile,
@@ -237,6 +248,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn unescape(&mut self) -> Result<char, ParseError> {
+        // A malformed escape is reported at its backslash, not at the
+        // position the cursor reaches after consuming it.
+        let (esc_line, esc_col) = (self.line, self.col);
+        let at_escape = |msg: String| ParseError::new(esc_line, esc_col, msg);
         match self.bump() {
             Some('\\') => match self.bump() {
                 Some('n') => Ok('\n'),
@@ -245,8 +260,8 @@ impl<'a> Lexer<'a> {
                 Some('\\') => Ok('\\'),
                 Some('\'') => Ok('\''),
                 Some('"') => Ok('"'),
-                Some(c) => Err(self.error(format!("unknown escape `\\{c}`"))),
-                None => Err(self.error("unterminated escape")),
+                Some(c) => Err(at_escape(format!("unknown escape `\\{c}`"))),
+                None => Err(at_escape("unterminated escape".into())),
             },
             Some(c) => Ok(c),
             None => Err(self.error("unterminated literal")),
@@ -254,6 +269,8 @@ impl<'a> Lexer<'a> {
     }
 
     fn lex_string(&mut self) -> Result<TokenKind, ParseError> {
+        // Report an unterminated string at its opening quote, not at EOF.
+        let (open_line, open_col) = (self.line, self.col);
         self.bump(); // opening quote
         let mut text = String::new();
         loop {
@@ -263,7 +280,13 @@ impl<'a> Lexer<'a> {
                     return Ok(TokenKind::Str(text));
                 }
                 Some(_) => text.push(self.unescape()?),
-                None => return Err(self.error("unterminated string literal")),
+                None => {
+                    return Err(ParseError::new(
+                        open_line,
+                        open_col,
+                        "unterminated string literal (opened here)",
+                    ))
+                }
             }
         }
     }
@@ -370,5 +393,43 @@ mod tests {
         assert!(lex("/* nope").is_err());
         assert!(lex("\"nope").is_err());
         assert!(lex("'a").is_err());
+    }
+
+    #[test]
+    fn lexes_struct_tokens() {
+        assert_eq!(
+            kinds("struct s.f p->f"),
+            vec![
+                TokenKind::KwStruct,
+                TokenKind::Ident("s".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("f".into()),
+                TokenKind::Ident("p".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("f".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_block_comment_points_at_its_opening() {
+        let err = lex("int a;\n  /* never closed\nint b;").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 3), "{err}");
+        assert!(err.to_string().contains("block comment"), "{err}");
+    }
+
+    #[test]
+    fn unterminated_string_points_at_its_opening_quote() {
+        let err = lex("int a;\n   \"runs off the end\nmore").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 4), "{err}");
+        assert!(err.to_string().contains("string literal"), "{err}");
+    }
+
+    #[test]
+    fn bad_escape_points_at_its_backslash() {
+        let err = lex("\"ok\\qbad\"").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 4), "{err}");
+        assert!(err.to_string().contains("\\q"), "{err}");
     }
 }

@@ -37,6 +37,7 @@
 pub mod ast;
 pub mod builder;
 pub mod cfg;
+pub mod emit;
 pub mod error;
 pub mod function;
 pub mod inst;
@@ -46,15 +47,18 @@ pub mod opt;
 pub mod parser;
 pub mod pretty;
 pub mod program;
+pub mod ssa;
 pub mod token;
 pub mod verify;
 
 pub use ast::{BinaryOp, Expr, Item, Stmt, UnaryOp};
 pub use builder::FunctionBuilder;
+pub use emit::emit_items;
 pub use error::{CompileError, ParseError};
 pub use function::{BasicBlock, BlockId, FuncId, Function, Terminator, VarId, VarKind, Variable};
 pub use inst::{Address, BinOp, Builtin, Callee, Inst, Operand, Pred, Reg};
 pub use program::Program;
+pub use ssa::{build_ssa, deconstruct_ssa, mark_promoted, verify_ssa, SsaForm};
 
 /// Parses MiniC source text into an IR [`Program`].
 ///

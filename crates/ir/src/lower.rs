@@ -56,6 +56,7 @@ struct LowerCtx {
     global_names: HashMap<String, VarId>,
     str_pool: HashMap<String, VarId>,
     func_sigs: HashMap<String, (FuncId, usize, bool)>,
+    struct_defs: HashMap<String, Vec<String>>,
     functions: Vec<Function>,
 }
 
@@ -66,6 +67,7 @@ impl LowerCtx {
             global_names: HashMap::new(),
             str_pool: HashMap::new(),
             func_sigs: HashMap::new(),
+            struct_defs: HashMap::new(),
             functions: Vec::new(),
         };
         // Pass 1: collect globals and function signatures.
@@ -103,6 +105,17 @@ impl LowerCtx {
                         init: init_cells,
                     });
                     ctx.global_names.insert(name.clone(), id);
+                }
+                Item::Struct { name, fields } => {
+                    if ctx.struct_defs.contains_key(name) {
+                        return Err(err(format!("duplicate struct `{name}`")));
+                    }
+                    for (i, f) in fields.iter().enumerate() {
+                        if fields[..i].contains(f) {
+                            return Err(err(format!("duplicate field `{f}` in struct `{name}`")));
+                        }
+                    }
+                    ctx.struct_defs.insert(name.clone(), fields.clone());
                 }
                 Item::Function {
                     name,
@@ -163,12 +176,22 @@ impl LowerCtx {
                 returns_value: returns,
             },
             scopes: vec![HashMap::new()],
+            structs: HashMap::new(),
             current: BlockId(0),
             terminated: false,
             loops: Vec::new(),
         };
         for p in params {
             let vid = VarId::local(fl.func.vars.len() as u32);
+            if let Some(sname) = &p.struct_of {
+                if !fl.ctx.struct_defs.contains_key(sname) {
+                    return Err(err(format!(
+                        "unknown struct `{sname}` in parameter `{}`",
+                        p.name
+                    )));
+                }
+                fl.structs.insert(vid, (sname.clone(), true));
+            }
             fl.func
                 .vars
                 .push(Variable::scalar(p.name.clone(), VarKind::Param));
@@ -216,6 +239,8 @@ struct FuncLower<'a> {
     ctx: &'a mut LowerCtx,
     func: Function,
     scopes: Vec<HashMap<String, VarId>>,
+    // Struct typing for locals/params: var -> (struct name, is-pointer).
+    structs: HashMap<VarId, (String, bool)>,
     current: BlockId,
     terminated: bool,
     loops: Vec<(BlockId, BlockId)>, // (break target, continue target)
@@ -326,6 +351,31 @@ impl<'a> FuncLower<'a> {
                 }
                 Ok(())
             }
+            Stmt::StructDecl {
+                struct_name,
+                name,
+                is_ptr,
+            } => {
+                let field_count = self
+                    .ctx
+                    .struct_defs
+                    .get(struct_name)
+                    .ok_or_else(|| err(format!("unknown struct `{struct_name}`")))?
+                    .len() as u32;
+                let vid = VarId::local(self.func.vars.len() as u32);
+                let var = if *is_ptr || field_count == 1 {
+                    Variable::scalar(name.clone(), VarKind::Local)
+                } else {
+                    Variable::array(name.clone(), VarKind::Local, field_count)
+                };
+                self.func.vars.push(var);
+                let scope = self.scopes.last_mut().expect("scope stack never empty");
+                if scope.insert(name.clone(), vid).is_some() {
+                    return Err(err(format!("duplicate local `{name}`")));
+                }
+                self.structs.insert(vid, (struct_name.clone(), *is_ptr));
+                Ok(())
+            }
             Stmt::Assign { target, value } => {
                 let v = self.lower_expr(value)?;
                 match target {
@@ -333,6 +383,11 @@ impl<'a> FuncLower<'a> {
                         let id = self
                             .lookup(name)
                             .ok_or_else(|| err(format!("undefined variable `{name}`")))?;
+                        if matches!(self.structs.get(&id), Some((_, false))) {
+                            return Err(err(format!(
+                                "cannot assign to struct `{name}` (assign to its fields)"
+                            )));
+                        }
                         if self.is_array(id) {
                             return Err(err(format!("cannot assign to array `{name}`")));
                         }
@@ -343,6 +398,14 @@ impl<'a> FuncLower<'a> {
                     }
                     LValue::Index(name, index) => {
                         let addr = self.element_addr(name, index)?;
+                        self.emit(Inst::Store { addr, src: v });
+                    }
+                    LValue::Member(name, field) => {
+                        let addr = self.member_addr(name, field, false)?;
+                        self.emit(Inst::Store { addr, src: v });
+                    }
+                    LValue::PtrMember(name, field) => {
+                        let addr = self.member_addr(name, field, true)?;
                         self.emit(Inst::Store { addr, src: v });
                     }
                     LValue::Deref(ptr) => {
@@ -530,6 +593,69 @@ impl<'a> FuncLower<'a> {
         }
     }
 
+    /// Resolves `name.field` / `name->field` to a memory address. Struct
+    /// values address their field cell directly (`Element` for multi-field
+    /// structs, the variable cell itself for single-field ones); struct
+    /// pointers load the base and address through `Ptr` with the field
+    /// offset.
+    fn member_addr(
+        &mut self,
+        name: &str,
+        field: &str,
+        through_ptr: bool,
+    ) -> Result<Address, CompileError> {
+        let id = self
+            .lookup(name)
+            .ok_or_else(|| err(format!("undefined variable `{name}`")))?;
+        let (sname, is_ptr) = self
+            .structs
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| err(format!("`{name}` is not a struct variable")))?;
+        if through_ptr && !is_ptr {
+            return Err(err(format!(
+                "`{name}` is a struct value; use `.` instead of `->`"
+            )));
+        }
+        if !through_ptr && is_ptr {
+            return Err(err(format!(
+                "`{name}` is a struct pointer; use `->` instead of `.`"
+            )));
+        }
+        let idx = self.field_offset(&sname, field)?;
+        if through_ptr {
+            let dst = self.fresh_reg();
+            self.emit(Inst::Load {
+                dst,
+                addr: Address::Var(id),
+            });
+            Ok(Address::Ptr {
+                reg: dst,
+                offset: idx,
+            })
+        } else if self.var_size(id) > 1 {
+            Ok(Address::Element {
+                base: id,
+                index: Operand::Imm(idx),
+            })
+        } else {
+            // Single-field structs occupy one cell; the field is the
+            // variable itself.
+            Ok(Address::Var(id))
+        }
+    }
+
+    fn field_offset(&self, sname: &str, field: &str) -> Result<i64, CompileError> {
+        self.ctx
+            .struct_defs
+            .get(sname)
+            .ok_or_else(|| err(format!("unknown struct `{sname}`")))?
+            .iter()
+            .position(|f| f == field)
+            .map(|i| i as i64)
+            .ok_or_else(|| err(format!("struct `{sname}` has no field `{field}`")))
+    }
+
     fn lower_expr(&mut self, e: &Expr) -> Result<Operand, CompileError> {
         match e {
             Expr::Int(v) => Ok(Operand::Imm(*v)),
@@ -547,8 +673,8 @@ impl<'a> FuncLower<'a> {
                 let id = self
                     .lookup(name)
                     .ok_or_else(|| err(format!("undefined variable `{name}`")))?;
-                if self.is_array(id) {
-                    // Array decays to its base address.
+                if self.is_array(id) || matches!(self.structs.get(&id), Some((_, false))) {
+                    // Arrays and struct values decay to their base address.
                     let dst = self.fresh_reg();
                     self.emit(Inst::AddrOf {
                         dst,
@@ -619,6 +745,41 @@ impl<'a> FuncLower<'a> {
                     pred: Pred::Eq,
                     lhs: v,
                     rhs: Operand::Imm(0),
+                });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::Member(name, field) => {
+                let addr = self.member_addr(name, field, false)?;
+                let dst = self.fresh_reg();
+                self.emit(Inst::Load { dst, addr });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::PtrMember(name, field) => {
+                let addr = self.member_addr(name, field, true)?;
+                let dst = self.fresh_reg();
+                self.emit(Inst::Load { dst, addr });
+                Ok(Operand::Reg(dst))
+            }
+            Expr::AddrOfMember(name, field) => {
+                let id = self
+                    .lookup(name)
+                    .ok_or_else(|| err(format!("undefined variable `{name}`")))?;
+                let (sname, is_ptr) = self
+                    .structs
+                    .get(&id)
+                    .cloned()
+                    .ok_or_else(|| err(format!("`{name}` is not a struct variable")))?;
+                if is_ptr {
+                    return Err(err(format!(
+                        "`&{name}.{field}` needs a struct value; `{name}` is a pointer"
+                    )));
+                }
+                let idx = self.field_offset(&sname, field)?;
+                let dst = self.fresh_reg();
+                self.emit(Inst::AddrOf {
+                    dst,
+                    base: id,
+                    offset: Operand::Imm(idx),
                 });
                 Ok(Operand::Reg(dst))
             }
@@ -981,6 +1142,153 @@ mod tests {
             .iter()
             .any(|b| matches!(b.term, Terminator::Return(Some(Operand::Imm(0)))));
         assert!(has_ret_zero);
+    }
+
+    #[test]
+    fn struct_members_lower_to_fixed_offsets() {
+        let p = parse(
+            "struct Point { int x; int y; }\n\
+             fn main() -> int { struct Point p; p.x = 3; p.y = 4; return p.x + p.y; }",
+        )
+        .unwrap();
+        let f = p.main().unwrap();
+        let entry = f.block(f.entry);
+        // Stores to both field cells at constant element offsets.
+        let offsets: Vec<i64> = entry
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                Inst::Store {
+                    addr:
+                        Address::Element {
+                            index: Operand::Imm(k),
+                            ..
+                        },
+                    ..
+                } => Some(*k),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offsets, vec![0, 1]);
+    }
+
+    #[test]
+    fn single_field_structs_collapse_to_the_variable_cell() {
+        let p = parse(
+            "struct Cell { int v; }\n\
+             fn main() -> int { struct Cell c; c.v = 9; return c.v; }",
+        )
+        .unwrap();
+        let f = p.main().unwrap();
+        let entry = f.block(f.entry);
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::Store {
+                addr: Address::Var(_),
+                ..
+            }
+        )));
+        assert!(!entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::Store {
+                addr: Address::Element { .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn struct_pointers_address_through_ptr_with_field_offset() {
+        let p = parse(
+            "struct Pair { int a; int b; }\n\
+             fn bump(struct Pair *p) { p->b = p->a + 1; }\n\
+             fn main() -> int { struct Pair q; q.a = 1; bump(&q); return q.b; }",
+        )
+        .unwrap();
+        let f = p.function_by_name("bump").unwrap();
+        let entry = f.block(f.entry);
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::Store {
+                addr: Address::Ptr { offset: 1, .. },
+                ..
+            }
+        )));
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::Load {
+                addr: Address::Ptr { offset: 0, .. },
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn pointer_to_member_takes_the_field_address() {
+        let p = parse(
+            "struct Pair { int a; int b; }\n\
+             fn main() -> int { struct Pair q; int *m; m = &q.b; *m = 7; return q.b; }",
+        )
+        .unwrap();
+        let f = p.main().unwrap();
+        let entry = f.block(f.entry);
+        assert!(entry.insts.iter().any(|i| matches!(
+            i,
+            Inst::AddrOf {
+                offset: Operand::Imm(1),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn struct_semantic_errors_are_reported() {
+        // Unknown struct type.
+        assert!(parse("fn main() -> int { struct T s; return 0; }").is_err());
+        // Unknown field.
+        assert!(
+            parse("struct T { int a; } fn main() -> int { struct T s; s.b = 1; return 0; }")
+                .is_err()
+        );
+        // `.` through a pointer and `->` on a value.
+        assert!(parse(
+            "struct T { int a; } fn f(struct T *p) { p.a = 1; } fn main() -> int { return 0; }"
+        )
+        .is_err());
+        assert!(
+            parse("struct T { int a; } fn main() -> int { struct T s; s->a = 1; return 0; }")
+                .is_err()
+        );
+        // Member access on a non-struct variable.
+        assert!(parse("fn main() -> int { int x; x.a = 1; return 0; }").is_err());
+        // Whole-struct assignment is rejected.
+        assert!(parse(
+            "struct T { int a; int b; } fn main() -> int { struct T s; struct T u; return 0; }"
+        )
+        .is_ok());
+        assert!(
+            parse("struct T { int a; } fn main() -> int { struct T s; s = 1; return 0; }").is_err()
+        );
+        // Duplicate struct and duplicate field.
+        assert!(
+            parse("struct T { int a; } struct T { int b; } fn main() -> int { return 0; }")
+                .is_err()
+        );
+        assert!(parse("struct T { int a; int a; } fn main() -> int { return 0; }").is_err());
+    }
+
+    #[test]
+    fn struct_programs_execute_correctly() {
+        use crate::parse;
+        let p = parse(
+            "struct Acc { int sum; int n; }\n\
+             fn add(struct Acc *a, int v) { a->sum = a->sum + v; a->n = a->n + 1; }\n\
+             fn main() -> int { struct Acc acc; acc.sum = 0; acc.n = 0; add(&acc, 4); add(&acc, 6); return acc.sum + acc.n; }",
+        )
+        .unwrap();
+        crate::verify::verify_program(&p).unwrap();
+        let f = p.main().unwrap();
+        assert!(f.inst_count() > 0);
     }
 
     #[test]

@@ -207,6 +207,14 @@ fn rewrite_uses(
                 fix_op(a);
             }
         }
+        // Phis only exist inside the SSA window; the optimizer runs outside
+        // it, but stay total so a misordered pipeline fails loudly in
+        // `verify` rather than silently mis-forwarding here.
+        Inst::Phi { args, .. } => {
+            for (_, a) in args {
+                fix_op(a);
+            }
+        }
     }
 }
 

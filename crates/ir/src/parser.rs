@@ -98,8 +98,25 @@ impl<'a> Parser<'a> {
         match self.peek_kind() {
             TokenKind::KwFn => self.function(),
             TokenKind::KwInt => self.global(),
-            other => Err(self.error(format!("expected `fn` or `int`, found {other}"))),
+            TokenKind::KwStruct => self.struct_def(),
+            other => Err(self.error(format!("expected `fn`, `int` or `struct`, found {other}"))),
         }
+    }
+
+    fn struct_def(&mut self) -> Result<Item, ParseError> {
+        self.expect(&TokenKind::KwStruct)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            self.expect(&TokenKind::KwInt)?;
+            fields.push(self.ident()?);
+            self.expect(&TokenKind::Semi)?;
+        }
+        if fields.is_empty() {
+            return Err(self.error(format!("struct `{name}` has no fields")));
+        }
+        Ok(Item::Struct { name, fields })
     }
 
     fn global(&mut self) -> Result<Item, ParseError> {
@@ -162,12 +179,20 @@ impl<'a> Parser<'a> {
         let mut params = Vec::new();
         if !self.at(&TokenKind::RParen) {
             loop {
-                self.expect(&TokenKind::KwInt)?;
-                let is_ptr = self.eat(&TokenKind::Star);
+                let struct_of = if self.eat(&TokenKind::KwStruct) {
+                    let sname = self.ident()?;
+                    self.expect(&TokenKind::Star)?;
+                    Some(sname)
+                } else {
+                    self.expect(&TokenKind::KwInt)?;
+                    None
+                };
+                let is_ptr = struct_of.is_some() || self.eat(&TokenKind::Star);
                 let pname = self.ident()?;
                 params.push(ParamDecl {
                     name: pname,
                     is_ptr,
+                    struct_of,
                 });
                 if !self.eat(&TokenKind::Comma) {
                     break;
@@ -208,6 +233,7 @@ impl<'a> Parser<'a> {
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
         match self.peek_kind() {
             TokenKind::KwInt => self.decl(),
+            TokenKind::KwStruct => self.struct_decl(),
             TokenKind::KwIf => self.if_stmt(),
             TokenKind::KwWhile => self.while_stmt(),
             TokenKind::KwFor => self.for_stmt(),
@@ -270,6 +296,19 @@ impl<'a> Parser<'a> {
             size,
             is_ptr,
             init,
+        })
+    }
+
+    fn struct_decl(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::KwStruct)?;
+        let struct_name = self.ident()?;
+        let is_ptr = self.eat(&TokenKind::Star);
+        let name = self.ident()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::StructDecl {
+            struct_name,
+            name,
+            is_ptr,
         })
     }
 
@@ -374,6 +413,22 @@ impl<'a> Parser<'a> {
                             target: LValue::Index(name, index),
                             value,
                         });
+                    }
+                    self.pos = save;
+                }
+                TokenKind::Dot | TokenKind::Arrow => {
+                    let save = self.pos;
+                    self.bump();
+                    let through_ptr = matches!(self.bump().kind, TokenKind::Arrow);
+                    let field = self.ident()?;
+                    if self.eat(&TokenKind::Assign) {
+                        let value = self.expr()?;
+                        let target = if through_ptr {
+                            LValue::PtrMember(name, field)
+                        } else {
+                            LValue::Member(name, field)
+                        };
+                        return Ok(Stmt::Assign { target, value });
                     }
                     self.pos = save;
                 }
@@ -502,6 +557,10 @@ impl<'a> Parser<'a> {
             TokenKind::Amp => {
                 self.bump();
                 let name = self.ident()?;
+                if self.eat(&TokenKind::Dot) {
+                    let field = self.ident()?;
+                    return Ok(Expr::AddrOfMember(name, field));
+                }
                 let index = if self.eat(&TokenKind::LBracket) {
                     let e = self.expr()?;
                     self.expect(&TokenKind::RBracket)?;
@@ -517,17 +576,34 @@ impl<'a> Parser<'a> {
 
     fn postfix(&mut self) -> Result<Expr, ParseError> {
         let mut e = self.primary()?;
-        while self.at(&TokenKind::LBracket) {
-            let name = match &e {
-                Expr::Var(name) => name.clone(),
-                _ => return Err(self.error("indexing is only supported on named variables")),
-            };
-            self.bump();
-            let index = self.expr()?;
-            self.expect(&TokenKind::RBracket)?;
-            e = Expr::Index(name, Box::new(index));
+        loop {
+            if self.at(&TokenKind::LBracket) {
+                let name = match &e {
+                    Expr::Var(name) => name.clone(),
+                    _ => return Err(self.error("indexing is only supported on named variables")),
+                };
+                self.bump();
+                let index = self.expr()?;
+                self.expect(&TokenKind::RBracket)?;
+                e = Expr::Index(name, Box::new(index));
+            } else if self.at(&TokenKind::Dot) || self.at(&TokenKind::Arrow) {
+                let name = match &e {
+                    Expr::Var(name) => name.clone(),
+                    _ => {
+                        return Err(self.error("member access is only supported on named variables"))
+                    }
+                };
+                let through_ptr = matches!(self.bump().kind, TokenKind::Arrow);
+                let field = self.ident()?;
+                e = if through_ptr {
+                    Expr::PtrMember(name, field)
+                } else {
+                    Expr::Member(name, field)
+                };
+            } else {
+                return Ok(e);
+            }
         }
-        Ok(e)
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {

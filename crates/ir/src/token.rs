@@ -15,6 +15,8 @@ pub enum TokenKind {
     KwFn,
     /// `int`
     KwInt,
+    /// `struct`
+    KwStruct,
     /// `if`
     KwIf,
     /// `else`
@@ -45,6 +47,8 @@ pub enum TokenKind {
     Semi,
     /// `,`
     Comma,
+    /// `.`
+    Dot,
     /// `->`
     Arrow,
     /// `+`
@@ -99,6 +103,7 @@ impl fmt::Display for TokenKind {
             TokenKind::Str(s) => write!(f, "string {s:?}"),
             TokenKind::KwFn => write!(f, "`fn`"),
             TokenKind::KwInt => write!(f, "`int`"),
+            TokenKind::KwStruct => write!(f, "`struct`"),
             TokenKind::KwIf => write!(f, "`if`"),
             TokenKind::KwElse => write!(f, "`else`"),
             TokenKind::KwWhile => write!(f, "`while`"),
@@ -114,6 +119,7 @@ impl fmt::Display for TokenKind {
             TokenKind::RBracket => write!(f, "`]`"),
             TokenKind::Semi => write!(f, "`;`"),
             TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
             TokenKind::Arrow => write!(f, "`->`"),
             TokenKind::Plus => write!(f, "`+`"),
             TokenKind::Minus => write!(f, "`-`"),

@@ -119,6 +119,12 @@ pub fn verify_function(program: &Program, func: &Function) -> Result<(), VerifyE
                         }
                     }
                 },
+                Inst::Phi { .. } => {
+                    return fail(format!(
+                        "{bid}: phi outside the SSA construction window \
+                         (deconstruct-ssa must run before this verifier)"
+                    ));
+                }
                 _ => {}
             }
         }

@@ -531,6 +531,12 @@ impl<'a> Interp<'a> {
                             obs.on_call(fid);
                             continue 'act;
                         }
+                        Inst::Phi { .. } => {
+                            *status = ExecStatus::Fault(
+                                "phi reached the simulator (deconstruct-ssa must run first)".into(),
+                            );
+                            return;
+                        }
                     }
                     act.idx += 1;
                 }
@@ -742,6 +748,12 @@ impl<'a> Interp<'a> {
                         }
                     }
                 }
+            }
+            // Executable programs are post-deconstruction by contract (the
+            // structural verifier rejects phis); fault rather than guess a
+            // predecessor.
+            Inst::Phi { .. } => {
+                self.fault("phi reached the simulator (deconstruct-ssa must run first)");
             }
         }
     }

@@ -178,6 +178,41 @@ pub fn normal_inputs(name: &str, seed: u64, requests: u32) -> Vec<Input> {
             }
             v.push(Input::Int(0));
         }
+        "connpool" => {
+            // Auth handshake, then open/send/name/stat traffic.
+            if rng.gen_bool(0.7) {
+                v.push(Input::Int(1));
+                v.push(Input::Int(4242));
+            } else {
+                v.push(Input::Int(rng.gen_range(0..3)));
+                v.push(Input::Int(rng.gen_range(0..100)));
+            }
+            for _ in 0..requests {
+                let cmd = rng.gen_range(1..=4);
+                v.push(Input::Int(cmd));
+                match cmd {
+                    1 => v.push(Input::Int(rng.gen_range(0..4))),
+                    2 => v.push(Input::Int(rng.gen_range(0..8))),
+                    3 => v.push(short_str(&mut rng, 4)),
+                    _ => {}
+                }
+            }
+            v.push(Input::Int(0));
+        }
+        "statsd" => {
+            // Optional admin token, then sample/tag/flush traffic.
+            v.push(Input::Int(if rng.gen_bool(0.3) { 7 } else { 1 }));
+            for _ in 0..requests {
+                let cmd = rng.gen_range(1..=4);
+                v.push(Input::Int(cmd));
+                match cmd {
+                    1 | 2 => v.push(Input::Int(rng.gen_range(0..90))),
+                    3 => v.push(short_str(&mut rng, 4)),
+                    _ => {}
+                }
+            }
+            v.push(Input::Int(0));
+        }
         other => panic!("unknown workload `{other}`"),
     }
     v
@@ -191,7 +226,7 @@ mod tests {
     fn generators_are_deterministic() {
         for name in [
             "telnetd", "wuftpd", "xinetd", "crond", "sysklogd", "atftpd", "httpd", "sendmail",
-            "sshd", "portmap",
+            "sshd", "portmap", "connpool", "statsd",
         ] {
             let a = normal_inputs(name, 5, 10);
             let b = normal_inputs(name, 5, 10);
@@ -205,7 +240,7 @@ mod tests {
     fn strings_stay_short() {
         for name in [
             "telnetd", "wuftpd", "xinetd", "crond", "sysklogd", "atftpd", "httpd", "sendmail",
-            "sshd", "portmap",
+            "sshd", "portmap", "connpool", "statsd",
         ] {
             for seed in 0..5 {
                 for i in normal_inputs(name, seed, 16) {

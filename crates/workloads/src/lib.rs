@@ -126,9 +126,30 @@ pub fn all() -> Vec<Workload> {
     ]
 }
 
-/// Looks a workload up by name.
+/// The extended suite: the paper's ten workloads plus the struct-based
+/// servers added with MiniC's struct support. Promotion-ablation sweeps run
+/// over this list so register-like locals and memory-resident struct fields
+/// are both represented.
+pub fn extended() -> Vec<Workload> {
+    let mut v = all();
+    v.push(Workload {
+        name: "connpool",
+        source: programs::CONNPOOL,
+        vuln: AttackModel::BufferOverflow,
+        default_requests: 48,
+    });
+    v.push(Workload {
+        name: "statsd",
+        source: programs::STATSD,
+        vuln: AttackModel::BufferOverflow,
+        default_requests: 48,
+    });
+    v
+}
+
+/// Looks a workload up by name (searches the extended suite).
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    extended().into_iter().find(|w| w.name == name)
 }
 
 #[cfg(test)]
@@ -138,7 +159,7 @@ mod tests {
 
     #[test]
     fn all_workloads_compile() {
-        for w in all() {
+        for w in extended() {
             let p = w.program();
             assert!(p.main().is_some(), "{} needs main", w.name);
             assert!(
@@ -152,7 +173,7 @@ mod tests {
 
     #[test]
     fn all_workloads_run_cleanly_on_normal_traffic() {
-        for w in all() {
+        for w in extended() {
             let p = w.program();
             for seed in 0..3 {
                 let mut interp = Interp::new(&p, w.inputs(seed), ExecLimits::default());
@@ -169,7 +190,25 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert!(by_name("httpd").is_some());
+        assert!(by_name("connpool").is_some());
         assert!(by_name("nonesuch").is_none());
         assert_eq!(all().len(), 10);
+        assert_eq!(extended().len(), 12);
+    }
+
+    #[test]
+    fn struct_workloads_promote_and_stay_clean() {
+        for w in extended() {
+            if w.name != "connpool" && w.name != "statsd" {
+                continue;
+            }
+            let mut p = w.program();
+            let form = ipds_ir::build_ssa(&mut p, 100);
+            ipds_ir::mark_promoted(&mut p, &form);
+            ipds_ir::verify_ssa(&p).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(form.promoted > 0, "{} promotes scalars", w.name);
+            ipds_ir::deconstruct_ssa(&mut p, &form);
+            ipds_ir::verify::verify_program(&p).unwrap();
+        }
     }
 }

@@ -942,3 +942,169 @@ fn main() -> int {
     return reqs;
 }
 "#;
+
+/// connpool — a connection-pool broker built around `struct Conn`
+/// session records passed by pointer to helpers (extended suite; exercises
+/// struct member access through both `.` and `->`).
+pub const CONNPOOL: &str = r#"
+// connpool: per-session connection records as structs, helpers take
+// struct pointers. Auth and quota flags are re-tested at use sites (the
+// correlation idiom), and the peer-name buffer is the overflow surface.
+struct Conn {
+    int state;
+    int owner;
+    int sent;
+}
+
+int total_sent;
+int sessions;
+
+fn conn_reset(struct Conn *c) {
+    c->state = 0;
+    c->owner = -1;
+    c->sent = 0;
+}
+
+fn conn_open(struct Conn *c, int owner, int authed) -> int {
+    if (authed == 0 && owner != 0) { return 0; }
+    c->state = 1;
+    c->owner = owner;
+    return 1;
+}
+
+fn conn_send(struct Conn *c, int n, int quota) -> int {
+    if (c->state != 1) { return 0; }
+    if (n < 0) { return 0; }
+    if (c->sent + n > quota && c->owner != 0) { return 0; }
+    c->sent = c->sent + n;
+    return n;
+}
+
+fn main() -> int {
+    struct Conn conn;
+    int authed; int quota; int cmd; int arg; int ok; int guard;
+    int peer[6];
+    authed = 0;
+    quota = 64;
+    total_sent = 0;
+    sessions = 0;
+    conn_reset(&conn);
+    if (read_int() == 1) {
+        if (read_int() == 4242) { authed = 1; }
+    }
+    guard = 0;
+    while (guard < 200) {
+        guard = guard + 1;
+        cmd = read_int();
+        if (cmd == 0) { break; }
+        if (cmd == 1) {
+            arg = read_int();
+            ok = conn_open(&conn, arg, authed);
+            if (ok == 1) { sessions = sessions + 1; }
+            else { print_int(-1); }
+        } else if (cmd == 2) {
+            arg = read_int();
+            ok = conn_send(&conn, arg, quota);
+            // Privileged owners bypass quota; the check must agree with
+            // the one inside conn_send.
+            if (ok > 0 && (conn.owner == 0 || conn.sent <= quota)) {
+                total_sent = total_sent + ok;
+            }
+        } else if (cmd == 3) {
+            // VULN: peer name is 6 cells but 12 are allowed through.
+            read_str(peer, 12);
+            if (peer[0] == 'r' && authed == 0) { print_int(-2); }
+            else { print_int(peer[0]); }
+        } else if (cmd == 4) {
+            if (conn.state == 1) {
+                print_int(conn.sent);
+            } else {
+                print_int(0);
+            }
+            conn_reset(&conn);
+        }
+    }
+    print_int(total_sent);
+    print_int(sessions);
+    return sessions;
+}
+"#;
+
+/// statsd — metric accumulators as structs with pointer-to-member hot
+/// fields (extended suite; exercises `&s.f` pointers to members).
+pub const STATSD: &str = r#"
+// statsd: two struct accumulators updated through helpers, a hot-field
+// pointer taken with &acc.count, and a tag buffer overflow surface.
+struct Acc {
+    int count;
+    int sum;
+    int peak;
+}
+
+int flushes;
+
+fn acc_reset(struct Acc *a) {
+    a->count = 0;
+    a->sum = 0;
+    a->peak = 0;
+}
+
+fn acc_add(struct Acc *a, int v, int cap) -> int {
+    if (v < 0) { return 0; }
+    if (a->count >= cap) { return 0; }
+    a->count = a->count + 1;
+    a->sum = a->sum + v;
+    if (v > a->peak) { a->peak = v; }
+    return 1;
+}
+
+fn main() -> int {
+    struct Acc fast;
+    struct Acc slow;
+    int cmd; int v; int cap; int admin; int guard; int *hot;
+    int tag[6];
+    admin = 0;
+    cap = 32;
+    flushes = 0;
+    acc_reset(&fast);
+    acc_reset(&slow);
+    if (read_int() == 7) { admin = 1; }
+    // Pointer to the hot field: bumped directly on the fast path.
+    hot = &fast.count;
+    guard = 0;
+    while (guard < 200) {
+        guard = guard + 1;
+        cmd = read_int();
+        if (cmd == 0) { break; }
+        if (cmd == 1) {
+            v = read_int();
+            if (acc_add(&fast, v, cap) == 0) {
+                if (admin == 1) {
+                    // Admin overrides the cap; mirror of the helper check.
+                    fast.sum = fast.sum + v;
+                    *hot = *hot + 1;
+                } else {
+                    print_int(-1);
+                }
+            }
+        } else if (cmd == 2) {
+            v = read_int();
+            if (acc_add(&slow, v, cap * 4) == 1) {
+                if (slow.peak > 100 && admin == 0) { print_int(-2); }
+            }
+        } else if (cmd == 3) {
+            // VULN: tag is 6 cells but 12 are allowed through.
+            read_str(tag, 12);
+            print_int(tag[0]);
+        } else if (cmd == 4) {
+            print_int(fast.sum + slow.sum);
+            print_int(fast.peak);
+            if (fast.count > 0 || slow.count > 0) { flushes = flushes + 1; }
+            acc_reset(&fast);
+            acc_reset(&slow);
+        }
+    }
+    print_int(flushes);
+    return flushes;
+}
+"#;

@@ -1,0 +1,42 @@
+//! Pretty-printer round-trip property: for every program we ship or
+//! generate, `parse(emit(parse(src)))` reproduces the exact AST. The
+//! emitter fully parenthesizes expressions, so structural equality (not
+//! textual) is the contract — `emit` is a faithful inverse of `parse`
+//! modulo whitespace and redundant parens.
+
+use ipds_ir::{emit_items, lexer, parser};
+use ipds_workloads::generator::{generate_program, GenConfig};
+
+fn roundtrip(label: &str, src: &str) {
+    let tokens = lexer::lex(src).unwrap_or_else(|e| panic!("{label}: lex: {e:?}"));
+    let items = parser::parse_items(&tokens).unwrap_or_else(|e| panic!("{label}: parse: {e:?}"));
+    let emitted = emit_items(&items);
+    let tokens2 =
+        lexer::lex(&emitted).unwrap_or_else(|e| panic!("{label}: re-lex: {e:?}\n{emitted}"));
+    let items2 = parser::parse_items(&tokens2)
+        .unwrap_or_else(|e| panic!("{label}: re-parse: {e:?}\n{emitted}"));
+    assert_eq!(items, items2, "{label}: round-trip changed the AST");
+    // Emission is a fixpoint after one round: emit(parse(emit(p))) == emit(p).
+    assert_eq!(
+        emitted,
+        emit_items(&items2),
+        "{label}: emitted text is not a fixpoint"
+    );
+}
+
+#[test]
+fn stock_workloads_round_trip() {
+    let workloads = ipds_workloads::extended();
+    assert!(workloads.len() >= 12);
+    for w in workloads {
+        roundtrip(w.name, w.source);
+    }
+}
+
+#[test]
+fn generated_corpus_round_trips() {
+    for seed in 0..64 {
+        let src = generate_program(seed, GenConfig::default());
+        roundtrip(&format!("gen[{seed}]"), &src);
+    }
+}

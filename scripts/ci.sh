@@ -11,7 +11,7 @@ echo "==> clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> clippy (analysis-side crates, explicit)"
-for crate in ipds-analysis ipds-dataflow ipds-absint; do
+for crate in ipds-ir ipds-analysis ipds-dataflow ipds-absint; do
     cargo clippy -p "$crate" --all-targets -- -D warnings
 done
 
@@ -26,9 +26,24 @@ echo "==> pipeline gate (verify tables + serial/threaded determinism, all worklo
 cargo run -q --release -p ipds --bin ipdsc -- \
     build --workloads --verify-tables --determinism --threads 4
 
+echo "==> SSA determinism gate (promotion window on: bit-identical at 1/2/4/8 threads)"
+# --determinism rebuilds serially and wide and compares images byte-for-byte;
+# loop the explicit thread counts so every pool width goes through the window.
+for t in 2 4 8; do
+    cargo run -q --release -p ipds --bin ipdsc -- \
+        build --workloads --promote 50 --determinism --threads "$t" > /dev/null
+done
+cargo run -q --release -p ipds --bin ipdsc -- \
+    build --workloads --promote 100 --determinism --threads 4 > /dev/null
+echo "promotion window byte-identical across thread counts"
+
 echo "==> lint gate (table soundness audit, all workloads; fails on any LintError)"
 cargo run -q --release -p ipds --bin ipdsc -- \
     lint --workloads --threads 4
+
+echo "==> lint gate at full register promotion (erosion must stay sound)"
+cargo run -q --release -p ipds --bin ipdsc -- \
+    lint --workloads --promote 100 --threads 4
 
 echo "==> property suites (vendored mini-proptest)"
 export PROPTEST_CASES="${PROPTEST_CASES:-64}"
@@ -66,7 +81,9 @@ for key in '"telemetry"' '"spans"' '"compile"' '"analyze"' '"golden"' \
            '"detect_latency_p50"' '"detect_latency_histogram"' \
            '"fleet"' '"sessions_per_sec"' '"events_per_sec"' \
            '"tampered_images"' '"hot_regions"' '"isolated_noise"' \
-           '"all_tampers_surfaced": true'; do
+           '"all_tampers_surfaced": true' \
+           '"promotion"' '"promote"' '"promoted_vars"' '"coverage"' \
+           '"avg_bsv_bits"'; do
     grep -q "$key" results/bench_campaign.json \
         || { echo "missing $key in results/bench_campaign.json"; exit 1; }
 done

@@ -58,7 +58,9 @@ fn docs_agree_with_the_canonical_counter_list() {
 #[test]
 fn full_featured_build_emits_exactly_the_documented_keys() {
     // Compile from source so the front-end passes (and their `tokens` /
-    // `functions` counters) run too.
+    // `functions` counters) run too. A nonzero `promote` budget opens the
+    // ssa → mem2reg → deconstruct-ssa window, whose counters are
+    // conditional like the refiner's and linter's.
     let w = &workloads::all()[0];
     let build = build_source(
         w.source,
@@ -68,6 +70,7 @@ fn full_featured_build_emits_exactly_the_documented_keys() {
             verify: true,
             refine: true,
             lint: true,
+            promote: 50,
             ..BuildOptions::default()
         },
     )
