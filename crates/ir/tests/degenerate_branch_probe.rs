@@ -1,0 +1,34 @@
+use ipds_ir::builder::assemble;
+use ipds_ir::{build_ssa, deconstruct_ssa, mark_promoted, verify_ssa, FunctionBuilder, Operand, Pred};
+
+#[test]
+fn degenerate_branch_preserves_reaching_values() {
+    // entry: x = 7; c = (x < 5); branch c, join, join
+    // join:  return x
+    let mut b = FunctionBuilder::new("f", 0, true);
+    let x = b.add_scalar("x");
+    let join = b.add_block();
+    b.store_var(x, Operand::Imm(7));
+    let v = b.load_var(x);
+    let c = b.cmp(Pred::Lt, v.into(), Operand::Imm(5));
+    b.branch(c, join, join);
+    b.switch_to(join);
+    let r = b.load_var(x);
+    b.ret(Some(r.into()));
+    let mut program = assemble(Vec::new(), vec![b.finish()]).unwrap();
+    let form = build_ssa(&mut program, 100);
+    mark_promoted(&mut program, &form);
+    verify_ssa(&program).expect("ssa verifies");
+    deconstruct_ssa(&mut program, &form);
+    ipds_ir::verify::verify_program(&program).unwrap();
+    // The join block must return the stored 7, not the zero initial value.
+    let f = &program.functions[0];
+    let join_block = &f.blocks[1];
+    println!("join: {join_block:?}");
+    match &join_block.term {
+        ipds_ir::Terminator::Return(Some(op)) => {
+            assert_eq!(*op, Operand::Imm(7), "reaching value lost across degenerate branch: {op:?}");
+        }
+        t => panic!("unexpected terminator {t:?}"),
+    }
+}
