@@ -40,7 +40,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ipds_dataflow::{AccessClass, AliasAnalysis, BranchAnchor, MemVar, Range, Summaries};
-use ipds_ir::{BinOp, BlockId, Function, Inst, Operand, Pred, Program, Reg, Terminator};
+use ipds_ir::{
+    Address, BinOp, BlockId, Function, Inst, Operand, Pred, Program, Reg, Terminator, VarKind,
+};
 
 /// Bounds with absolute value at most this are "safe": adding or
 /// subtracting two safe bounds cannot leave the `i64` value space, so exact
@@ -510,7 +512,10 @@ impl<'a> Ctx<'a> {
             Inst::Load { dst, addr } => {
                 let r = match self.alias.classify(self.program, self.func.id, addr) {
                     AccessClass::Unique(v) => env.var(v),
-                    _ => Range::Full,
+                    _ => match self.promoted_cell(addr) {
+                        Some(v) => env.var(v),
+                        None => Range::Full,
+                    },
                 };
                 env.set_reg(*dst, r);
             }
@@ -520,6 +525,8 @@ impl<'a> Ctx<'a> {
                 if let AccessClass::Unique(v) =
                     self.alias.classify(self.program, self.func.id, addr)
                 {
+                    env.set_var(v, value);
+                } else if let Some(v) = self.promoted_cell(addr) {
                     env.set_var(v, value);
                 }
             }
@@ -535,6 +542,29 @@ impl<'a> Ctx<'a> {
             // and conservative: the join of unknown paths is unknown.
             Inst::Phi { dst, .. } => env.set_reg(*dst, Range::Full),
         }
+    }
+
+    /// Tracks a direct access to a promoted scalar as an exact cell.
+    ///
+    /// `mem2reg` only promotes scalars whose address is never taken, so a
+    /// promoted variable's residual memory traffic (phi-spill stores and
+    /// reloads after SSA deconstruction) all goes through direct
+    /// [`Address::Var`] accesses — there is no aliasing path to it. The
+    /// alias layer still refuses `Unique` for promoted variables (their
+    /// spill slots are rewritten freely by later passes, so correlation
+    /// anchors must not form on them), which without this special case
+    /// would drop their ranges to ⊤ and make [`IntervalAnalysis::var_on_edge`]
+    /// — and hence feasibility pruning — strictly less precise under
+    /// promotion. Indirect writes stay sound: any store that may write the
+    /// variable havocs it before this refinement applies.
+    fn promoted_cell(&self, addr: &Address) -> Option<MemVar> {
+        if let Address::Var(v) = addr {
+            let mv = MemVar::resolve(self.func.id, *v);
+            if mv.size(self.program) == 1 && mv.kind(self.program) == VarKind::Promoted {
+                return Some(mv);
+            }
+        }
+        None
     }
 
     /// Drops every tracked variable the instruction may write (per the
@@ -887,6 +917,40 @@ mod tests {
         } else {
             panic!("expected branch");
         }
+    }
+
+    #[test]
+    fn promoted_vars_stay_tracked_through_phi_spills() {
+        // Under full register promotion `m`'s surviving memory traffic is
+        // phi spills, which the alias layer refuses to class as Unique. The
+        // interval domain must still track the spill slot, or the merged
+        // `m ∈ [1, 3]` is lost and the dead `m > 5` edge stops being
+        // provable. (The two arms must disagree, or SSA folds the phi away
+        // and no spill survives to exercise the tracking.)
+        let src = "fn main() -> int { int m; int t; t = read_int(); m = 1; \
+                   if (t < 5) { m = 3; } \
+                   if (m > 5) { print_int(1); } return 0; }";
+        let mut p = ipds_ir::parse(src).unwrap();
+        let form = ipds_ir::build_ssa(&mut p, 100);
+        ipds_ir::mark_promoted(&mut p, &form);
+        ipds_ir::deconstruct_ssa(&mut p, &form);
+        let a = AliasAnalysis::analyze(&p);
+        let s = Summaries::compute(&p, &a);
+        let f = p.main().unwrap();
+        let ia = IntervalAnalysis::analyze(&p, f, &a, &s);
+        let m = local(&p, "main", "m");
+        assert_eq!(m.kind(&p), VarKind::Promoted, "promotion must cover m");
+        // The `m > 5` guard is the last branch in block order; `m` is 3 on
+        // every path into it.
+        let guard = *branch_blocks(&p).last().unwrap();
+        assert!(
+            !ia.edge_feasible(guard, true),
+            "m ∈ [1, 3] on every path; the taken edge of m > 5 must be infeasible"
+        );
+        assert_eq!(
+            ia.var_on_edge(guard, false, m),
+            Range::Interval { lo: 1, hi: 3 }
+        );
     }
 
     #[test]

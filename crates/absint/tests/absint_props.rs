@@ -56,6 +56,21 @@ fn any_range() -> impl Strategy<Value = Range> {
     ]
 }
 
+/// Operand values biased toward the representable ends, where the
+/// interval arithmetic has to saturate instead of silently inverting.
+fn extreme() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        Just(i64::MIN),
+        Just(i64::MIN + 1),
+        Just(-1i64),
+        Just(0i64),
+        Just(1i64),
+        Just(i64::MAX - 1),
+        Just(i64::MAX),
+        any::<i64>(),
+    ]
+}
+
 /// A range guaranteed to contain `v`, of varying shape.
 fn range_containing(v: i64, kind: i64, a: i64, b: i64) -> Range {
     match kind.rem_euclid(4) {
@@ -149,6 +164,94 @@ proptest! {
         let wide = cmp_range(pred, a2, b2);
         if narrow.contains(v) {
             prop_assert!(wide.contains(v), "{pred:?}: {narrow} ∋ {v} escapes {wide}");
+        }
+    }
+
+    /// Saturation soundness: exact operands at the representable ends must
+    /// still produce ranges containing the wrapping concrete result. This
+    /// is where the shift/negate helpers used to invert an interval (e.g.
+    /// `−1 × MIN` or `MAX + 1`) and silently claim the result impossible.
+    #[test]
+    fn binop_range_is_sound_at_extreme_operands(
+        op in any_binop(),
+        a in extreme(),
+        b in extreme(),
+    ) {
+        let out = binop_range(op, Range::exact(a), Range::exact(b));
+        let concrete = op.eval(a, b);
+        prop_assert!(
+            out.contains(concrete),
+            "{op:?}: exact({a}) ⋄ exact({b}) = {out} misses {concrete}"
+        );
+    }
+
+    /// Saturation soundness with one extreme exact operand against a
+    /// small range of arbitrary shape (the shift-by-constant fast paths).
+    #[test]
+    fn binop_range_saturates_against_small_ranges(
+        op in any_binop(),
+        va in -50i64..50,
+        ka in 0i64..4, aa in 0i64..40, ba in 0i64..40,
+        c in extreme(),
+        flip in proptest::bool::ANY,
+    ) {
+        let ra = range_containing(va, ka, aa, ba);
+        prop_assert!(ra.contains(va));
+        let (l, r, cl, cr) = if flip {
+            (Range::exact(c), ra, c, va)
+        } else {
+            (ra, Range::exact(c), va, c)
+        };
+        let out = binop_range(op, l, r);
+        let concrete = op.eval(cl, cr);
+        prop_assert!(
+            out.contains(concrete),
+            "{op:?}: {cl} ∈ {l}, {cr} ∈ {r}, but {concrete} ∉ {out}"
+        );
+    }
+
+    /// The comparison transfer stays sound when either side sits at the
+    /// representable ends (`from_pred` must collapse to ∅, not wrap).
+    #[test]
+    fn cmp_range_is_sound_at_extreme_operands(
+        pred in any_pred(),
+        a in extreme(),
+        b in extreme(),
+        va in -50i64..50,
+        ka in 0i64..4, aa in 0i64..40, ba in 0i64..40,
+        mix in proptest::bool::ANY,
+    ) {
+        let (l, r, cl, cr) = if mix {
+            let ra = range_containing(va, ka, aa, ba);
+            (ra, Range::exact(b), va, b)
+        } else {
+            (Range::exact(a), Range::exact(b), a, b)
+        };
+        let out = cmp_range(pred, l, r);
+        let concrete = i64::from(pred.eval(cl, cr));
+        prop_assert!(
+            out.contains(concrete),
+            "{pred:?}: {cl} ∈ {l}, {cr} ∈ {r}, but {concrete} ∉ {out}"
+        );
+    }
+
+    /// Strictness: an empty input (the canonical `Empty` or an inverted
+    /// interval) makes every transfer result empty — dead edges stay dead
+    /// through arithmetic, they never resurrect into spurious values.
+    #[test]
+    fn empty_ranges_propagate_through_transfers(
+        op in any_binop(),
+        pred in any_pred(),
+        r in any_range(),
+        flip in proptest::bool::ANY,
+    ) {
+        let inverted = Range::Interval { lo: 7, hi: -7 };
+        for e in [Range::Empty, inverted] {
+            let (l, rr) = if flip { (e, r) } else { (r, e) };
+            let b = binop_range(op, l, rr);
+            prop_assert!(b.is_empty(), "{op:?}: {l} ⋄ {rr} = {b} not empty");
+            let c = cmp_range(pred, l, rr);
+            prop_assert!(c.is_empty(), "{pred:?}: {l} ⋄ {rr} = {c} not empty");
         }
     }
 

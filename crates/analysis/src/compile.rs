@@ -10,10 +10,10 @@
 use std::error::Error;
 use std::fmt;
 
-use ipds_dataflow::{AliasAnalysis, Facts, Summaries};
+use ipds_dataflow::{AliasAnalysis, Facts, PrunedCfg, Summaries};
 use ipds_ir::{FuncId, Function, Program};
 
-use crate::correlate::build_tables;
+use crate::correlate::build_tables_view;
 use crate::encode::table_sizes;
 use crate::hash::{find_perfect_hash_counted, PerfectHashError};
 use crate::tables::{BranchInfo, FunctionAnalysis};
@@ -153,7 +153,28 @@ pub fn try_analyze_function(
     summaries: &Summaries,
     config: &AnalysisConfig,
 ) -> Result<(FunctionAnalysis, AnalysisCounters), FunctionHashError> {
-    let raw = build_tables(program, func, alias, summaries, config);
+    try_analyze_function_view(
+        program,
+        func,
+        alias,
+        summaries,
+        config,
+        &ipds_dataflow::PrunedFunction::default(),
+    )
+}
+
+/// [`try_analyze_function`] over the feasibility-pruned view: correlation
+/// discovery skips proved-dead edges and blocks, while the branch inventory,
+/// PCs and perfect hash stay those of the full function.
+pub fn try_analyze_function_view(
+    program: &Program,
+    func: &Function,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+    view: &ipds_dataflow::PrunedFunction,
+) -> Result<(FunctionAnalysis, AnalysisCounters), FunctionHashError> {
+    let raw = build_tables_view(program, func, alias, summaries, config, view);
     let pcs: Vec<u64> = raw
         .branch_blocks
         .iter()
@@ -218,13 +239,40 @@ pub fn analyze_program_threaded(
     config: &AnalysisConfig,
     threads: usize,
 ) -> Result<(ProgramAnalysis, AnalysisCounters), FunctionHashError> {
+    let full = PrunedCfg::full(program);
+    analyze_program_threaded_view(program, alias, summaries, config, threads, &full)
+}
+
+/// [`analyze_program_threaded`] over the feasibility-pruned view — the
+/// sharding and id-order merge are identical, so the result stays
+/// bit-identical to the serial path at any thread count.
+///
+/// # Errors
+///
+/// The first (in function-id order) [`FunctionHashError`], if any function's
+/// hash search fails.
+pub fn analyze_program_threaded_view(
+    program: &Program,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+    threads: usize,
+    view: &PrunedCfg,
+) -> Result<(ProgramAnalysis, AnalysisCounters), FunctionHashError> {
     let (per_func, _) = ipds_parallel::map_indexed(
         program.functions.len() as u32,
         threads,
         |_| (),
         |(), i| {
             let func = &program.functions[i as usize];
-            try_analyze_function(program, func, alias, summaries, config)
+            try_analyze_function_view(
+                program,
+                func,
+                alias,
+                summaries,
+                config,
+                view.function(func.id),
+            )
         },
     );
     let mut functions = Vec::with_capacity(per_func.len());

@@ -29,7 +29,8 @@
 use std::collections::BTreeMap;
 
 use ipds_dataflow::{
-    find_anchors, AliasAnalysis, AnchorKind, BranchAnchor, MemVar, Range, Summaries,
+    find_anchors_view, AliasAnalysis, AnchorKind, BranchAnchor, MemVar, PrunedFunction, Range,
+    Summaries,
 };
 use ipds_ir::{BlockId, Function, Inst, Operand, Program, Terminator};
 
@@ -59,6 +60,34 @@ pub fn build_tables(
     summaries: &Summaries,
     config: &AnalysisConfig,
 ) -> RawTables {
+    build_tables_view(
+        program,
+        func,
+        alias,
+        summaries,
+        config,
+        &PrunedFunction::default(),
+    )
+}
+
+/// [`build_tables`] over the feasibility-pruned view of `func`.
+///
+/// The branch inventory (and hence the BCV length and the PCs fed to the
+/// perfect hash) stays the **full** inventory — the runtime still observes
+/// every branch, and traversing a pruned edge is itself the anomaly. What
+/// changes is discovery: anchors in dead blocks do not exist, BAT rows are
+/// never attached to proved-dead trigger edges, and region kills ignore
+/// stores that only feasible-path-unreachable code performs. The `alias`
+/// and `summaries` passed here should be the pruned-view facts so
+/// store-freedom checks agree with the view.
+pub fn build_tables_view(
+    program: &Program,
+    func: &Function,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    config: &AnalysisConfig,
+    view: &PrunedFunction,
+) -> RawTables {
     let branch_blocks: Vec<BlockId> = func
         .iter_blocks()
         .filter(|(_, b)| b.term.is_branch())
@@ -70,7 +99,7 @@ pub fn build_tables(
         .map(|(i, b)| (*b, i as u32))
         .collect();
 
-    let mut anchors = find_anchors(program, func, alias, summaries);
+    let mut anchors = find_anchors_view(program, func, alias, summaries, view);
     // Ablation switches: drop whole anchor classes.
     for list in anchors.values_mut() {
         list.retain(|a| match a.kind {
@@ -111,6 +140,11 @@ pub fn build_tables(
         };
         for a in list {
             for dir in [true, false] {
+                // A proved-dead trigger edge never commits on a feasible
+                // path: attach nothing to it.
+                if !view.edge_live(*block, dir) {
+                    continue;
+                }
                 let implied: Range = a.implied_range(dir);
                 for (&target_idx, target_anchors) in &load_anchored {
                     for b in target_anchors {
@@ -158,6 +192,9 @@ pub fn build_tables(
     // block's terminating branch (either direction) carries the action.
     if config.const_store {
         for (bid, block) in func.iter_blocks() {
+            if !view.block_live(bid) {
+                continue;
+            }
             let Terminator::Branch { .. } = block.term else {
                 continue;
             };
@@ -186,18 +223,17 @@ pub fn build_tables(
                             continue;
                         }
                         if let Some(d) = b.direction_for(Range::exact(*c)) {
-                            merge_into(
-                                &mut merged,
-                                (trigger_idx, true),
-                                target_idx,
-                                BrAction::set_dir(d),
-                            );
-                            merge_into(
-                                &mut merged,
-                                (trigger_idx, false),
-                                target_idx,
-                                BrAction::set_dir(d),
-                            );
+                            for dir in [true, false] {
+                                if !view.edge_live(bid, dir) {
+                                    continue;
+                                }
+                                merge_into(
+                                    &mut merged,
+                                    (trigger_idx, dir),
+                                    target_idx,
+                                    BrAction::set_dir(d),
+                                );
+                            }
                         }
                     }
                 }
@@ -225,8 +261,16 @@ pub fn build_tables(
     }
 
     for ((trigger_block, dir), locs) in &regions {
+        // Regions of proved-dead edges (or of branches in dead blocks)
+        // never execute on a feasible path.
+        if !view.edge_live(*trigger_block, *dir) {
+            continue;
+        }
         let trigger_idx = index_of[trigger_block];
         for &(b, i) in locs {
+            if !view.block_live(b) {
+                continue;
+            }
             let inst = &func.block(b).insts[i];
             let eff = summaries.may_write(program, alias, func.id, inst);
             if eff.is_nothing() {

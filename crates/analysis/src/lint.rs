@@ -30,7 +30,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use ipds_absint::IntervalAnalysis;
-use ipds_dataflow::{find_anchors, AliasAnalysis, Summaries};
+use ipds_dataflow::{find_anchors_view, AliasAnalysis, PrunedCfg, PrunedFunction, Summaries};
 use ipds_ir::{BlockId, FuncId, Function, Program, Terminator};
 
 use crate::action::BrAction;
@@ -190,7 +190,34 @@ pub fn lint_function(
     intervals: &IntervalAnalysis,
     tables: &FunctionAnalysis,
 ) -> Vec<LintDiagnostic> {
-    let anchors = find_anchors(program, func, alias, summaries);
+    lint_function_view(
+        program,
+        func,
+        alias,
+        summaries,
+        intervals,
+        tables,
+        &PrunedFunction::default(),
+    )
+}
+
+/// [`lint_function`] with the feasibility-pruned view as its oracle:
+/// anchors are discovered on the pruned graph (so actions only the pruned
+/// facts justify still re-prove), and a trigger edge the view pruned is
+/// treated exactly like a statically infeasible one. Witness paths always
+/// respect the interval feasibility oracle — they never traverse a
+/// proved-dead edge, in any mode.
+#[allow(clippy::too_many_arguments)]
+pub fn lint_function_view(
+    program: &Program,
+    func: &Function,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    intervals: &IntervalAnalysis,
+    tables: &FunctionAnalysis,
+    view: &PrunedFunction,
+) -> Vec<LintDiagnostic> {
+    let anchors = find_anchors_view(program, func, alias, summaries, view);
     let oracle = DirectionOracle {
         anchors: &anchors,
         intervals,
@@ -198,7 +225,8 @@ pub fn lint_function(
     let mut out = Vec::new();
     for (&(trigger, dir), entries) in &tables.bat {
         let trigger_info = &tables.branches[trigger as usize];
-        let feasible = intervals.edge_feasible(trigger_info.block, dir);
+        let feasible = intervals.edge_feasible(trigger_info.block, dir)
+            && view.edge_live(trigger_info.block, dir);
         for e in entries {
             let target_info = &tables.branches[e.target as usize];
             let diag = |rule, severity, detail| LintDiagnostic {
@@ -212,7 +240,7 @@ pub fn lint_function(
                 target: e.target,
                 target_pc: target_info.pc,
                 action: e.action,
-                witness: witness_path(func, trigger_info.block, dir, target_info.block),
+                witness: witness_path(func, intervals, trigger_info.block, dir, target_info.block),
                 detail,
             };
             if !feasible {
@@ -268,19 +296,39 @@ pub fn lint_program(
     analysis: &ProgramAnalysis,
     threads: usize,
 ) -> LintReport {
+    let full = PrunedCfg::full(program);
+    lint_program_view(
+        program, alias, summaries, intervals, analysis, threads, &full,
+    )
+}
+
+/// [`lint_program`] with the feasibility-pruned view as its oracle — what
+/// the pipeline runs under `--prune`. Sharding and merge order are
+/// unchanged, so the report stays bit-identical at any thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn lint_program_view(
+    program: &Program,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    intervals: &[IntervalAnalysis],
+    analysis: &ProgramAnalysis,
+    threads: usize,
+    view: &PrunedCfg,
+) -> LintReport {
     let (per_func, _) = ipds_parallel::map_indexed(
         program.functions.len().min(analysis.functions.len()) as u32,
         threads,
         |_| (),
         |(), i| {
             let func = &program.functions[i as usize];
-            lint_function(
+            lint_function_view(
                 program,
                 func,
                 alias,
                 summaries,
                 &intervals[i as usize],
                 &analysis.functions[i as usize],
+                view.function(func.id),
             )
         },
     );
@@ -292,21 +340,36 @@ pub fn lint_program(
     LintReport { diagnostics }
 }
 
-/// Terminator PCs of a shortest CFG path entry → `trigger`, continued from
-/// the `dir` successor of the trigger branch to `target` when reachable.
-fn witness_path(func: &Function, trigger: BlockId, dir: bool, target: BlockId) -> Vec<u64> {
+/// Terminator PCs of a shortest *feasible* CFG path entry → `trigger`,
+/// continued from the `dir` successor of the trigger branch to `target`
+/// when reachable. The search never traverses an interval-proved
+/// infeasible branch edge — a witness is supposed to describe an execution
+/// benign traffic can actually perform, and proved-dead edges cannot occur
+/// on one. When the trigger itself sits behind dead edges only, the
+/// witness degenerates to the trigger alone; when the trigger edge is
+/// dead, the witness ends at the trigger.
+fn witness_path(
+    func: &Function,
+    intervals: &IntervalAnalysis,
+    trigger: BlockId,
+    dir: bool,
+    target: BlockId,
+) -> Vec<u64> {
     let pcs = terminator_pcs(func);
-    let mut witness: Vec<u64> = shortest_path(func, func.entry, trigger)
+    let mut witness: Vec<u64> = shortest_path(func, intervals, func.entry, trigger)
         .unwrap_or_else(|| vec![trigger])
         .iter()
         .map(|b| pcs[b.index()])
         .collect();
+    if !intervals.edge_feasible(trigger, dir) {
+        return witness;
+    }
     if let Terminator::Branch {
         taken, not_taken, ..
     } = &func.block(trigger).term
     {
         let succ = if dir { *taken } else { *not_taken };
-        if let Some(tail) = shortest_path(func, succ, target) {
+        if let Some(tail) = shortest_path(func, intervals, succ, target) {
             witness.extend(tail.iter().map(|b| pcs[b.index()]));
         }
     }
@@ -325,9 +388,14 @@ fn terminator_pcs(func: &Function) -> Vec<u64> {
     pcs
 }
 
-/// BFS shortest path `from` → `to` (inclusive), successors visited in
-/// (taken, not-taken) order for determinism.
-fn shortest_path(func: &Function, from: BlockId, to: BlockId) -> Option<Vec<BlockId>> {
+/// BFS shortest path `from` → `to` (inclusive) over **feasible** edges
+/// only, successors visited in (taken, not-taken) order for determinism.
+fn shortest_path(
+    func: &Function,
+    intervals: &IntervalAnalysis,
+    from: BlockId,
+    to: BlockId,
+) -> Option<Vec<BlockId>> {
     let mut prev: BTreeMap<u32, u32> = BTreeMap::new();
     let mut queue = VecDeque::new();
     queue.push_back(from);
@@ -343,7 +411,18 @@ fn shortest_path(func: &Function, from: BlockId, to: BlockId) -> Option<Vec<Bloc
             path.reverse();
             return Some(path);
         }
-        for succ in func.block(b).term.successors() {
+        let succs: Vec<BlockId> = match &func.block(b).term {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch {
+                taken, not_taken, ..
+            } => [(*taken, true), (*not_taken, false)]
+                .into_iter()
+                .filter(|&(_, d)| intervals.edge_feasible(b, d))
+                .map(|(s, _)| s)
+                .collect(),
+            Terminator::Return(_) => Vec::new(),
+        };
+        for succ in succs {
             prev.entry(succ.0).or_insert_with(|| {
                 queue.push_back(succ);
                 b.0
@@ -458,6 +537,39 @@ mod tests {
         assert!(
             report.warnings().any(|d| d.rule == LintRule::DeadTrigger),
             "{report}"
+        );
+    }
+
+    #[test]
+    fn witness_never_traverses_infeasible_edges() {
+        // The target branch is only reachable through the (mode > 5) taken
+        // edge, which the intervals prove dead (`mode` is pinned to 1). A
+        // witness that routed through it would describe an execution benign
+        // traffic cannot perform — the search must stop at the trigger.
+        let (program, alias, summaries, mut analysis) = setup(
+            "int mode; \
+             fn main() -> int { int x; int y; mode = 1; x = read_int(); y = read_int(); \
+             if (x < 5) { if (mode > 5) { if (y < 7) { print_int(1); } } } \
+             return 0; }",
+        );
+        let tables = &mut analysis.functions[0];
+        assert_eq!(tables.branches.len(), 3);
+        // Forge an unprovable action from the x-guard onto the y-branch.
+        tables.bat.entry((0, true)).or_default().push(BatEntry {
+            target: 2,
+            action: BrAction::SetTaken,
+        });
+        let intervals = analyze_intervals(&program, &alias, &summaries);
+        let report = lint_program(&program, &alias, &summaries, &intervals, &analysis, 1);
+        let d = report
+            .errors()
+            .find(|d| d.rule == LintRule::UnprovableAction)
+            .expect("forged action must be unprovable");
+        assert!(d.witness.contains(&d.trigger_pc), "{:?}", d.witness);
+        assert!(
+            !d.witness.contains(&d.target_pc),
+            "witness {:?} reaches the target only through a proved-dead edge",
+            d.witness
         );
     }
 

@@ -2,9 +2,10 @@
 //!
 //! Compilation is an ordered sequence of named [`Pass`]es over a
 //! [`CompilationSession`]: **parse → lower → verify-ir → opt → alias →
-//! summaries → intervals → analyze-functions → refine-correlations → image
-//! → verify-tables → lint-tables** (the interval, refine and lint passes
-//! are opt-in; see [`BuildOptions`]). Each pass reads the session products
+//! summaries → intervals → prune-cfg → analyze-functions →
+//! refine-correlations → image → verify-tables → lint-tables** (the
+//! interval, prune, refine and lint passes are opt-in; see
+//! [`BuildOptions`]). Each pass reads the session products
 //! earlier passes deposited and adds its own; the [`PassManager`] runs them
 //! in order, records a wall-clock [`PassSpan`] per pass, and stops at the
 //! first typed [`PipelineError`].
@@ -30,19 +31,22 @@ use std::error::Error;
 use std::fmt;
 use std::time::Instant;
 
+use std::collections::BTreeSet;
+
 use ipds_absint::IntervalAnalysis;
-use ipds_dataflow::{AliasAnalysis, Summaries};
+use ipds_dataflow::{find_anchors_view, AliasAnalysis, PrunedCfg, Summaries};
 use ipds_ir::ast::Item;
 use ipds_ir::opt::OptStats;
-use ipds_ir::{CompileError, Program};
+use ipds_ir::{BlockId, CompileError, Program};
 use ipds_telemetry::MetricsRegistry;
 
 use crate::compile::{
-    analyze_program_threaded, AnalysisConfig, AnalysisCounters, FunctionHashError, ProgramAnalysis,
+    analyze_program_threaded, analyze_program_threaded_view, AnalysisConfig, AnalysisCounters,
+    FunctionHashError, ProgramAnalysis,
 };
 use crate::image::TableImage;
-use crate::lint::{lint_program, LintReport};
-use crate::refine::{refine_function, RefineStats};
+use crate::lint::{lint_program_view, LintReport};
+use crate::refine::{refine_function_view, RefineStats};
 use crate::verify_tables::{verify_tables, TableVerifyError};
 
 /// Every `pipeline.*` counter the passes can emit, in pipeline order. This
@@ -54,16 +58,25 @@ pub const PIPELINE_COUNTERS: &[&str] = &[
     "pipeline.promoted_vars",
     "pipeline.ssa_phis",
     "pipeline.loads_forwarded",
+    "pipeline.pruned_edges",
+    "pipeline.pruned_blocks",
+    "pipeline.prune_rounds",
     "pipeline.branches",
     "pipeline.checked_branches",
     "pipeline.bat_entries",
     "pipeline.hash_retries",
+    "pipeline.coverage_lift",
     "pipeline.refine_proved",
     "pipeline.refine_demoted",
     "pipeline.image_bytes",
     "pipeline.lint_errors",
     "pipeline.lint_warnings",
 ];
+
+/// Cap on feasibility-pruning fixpoint rounds. Two rounds cover the common
+/// cascade (prune → sharper facts → prune again); further rounds buy
+/// nothing on the stock workloads and a cap keeps build time predictable.
+const MAX_PRUNE_ROUNDS: u64 = 2;
 
 /// What to build and how: the knobs `ipdsc build` exposes.
 #[derive(Debug, Clone)]
@@ -87,6 +100,13 @@ pub struct BuildOptions {
     /// Run the interval analyzer and the `refine-correlations` pass before
     /// image emission (see [`crate::refine`]).
     pub refine: bool,
+    /// Run the `prune-cfg` pass: drop interval-proved infeasible edges from
+    /// the discovery CFG and re-run alias classification, summaries, anchor
+    /// discovery and correlation discovery over the pruned view (to a
+    /// capped fixpoint). The branch inventory, PCs and perfect hashes stay
+    /// those of the full function — pruning only sharpens what discovery
+    /// may use, it never drops a branch from the tables.
+    pub prune_feasibility: bool,
     /// Append the `lint-tables` auditor after everything else (see
     /// [`crate::lint`]). Findings land in [`BuildOutput::lint`]; the build
     /// itself still succeeds — callers decide what a `LintError` costs.
@@ -102,6 +122,7 @@ impl Default for BuildOptions {
             threads: 1,
             verify: false,
             refine: false,
+            prune_feasibility: false,
             lint: false,
         }
     }
@@ -140,8 +161,13 @@ pub struct CompilationSession {
     /// Callee side-effect summaries (`summaries` output).
     pub summaries: Option<Summaries>,
     /// Per-function interval analyses in `FuncId` order (`intervals`
-    /// output, present when refine or lint runs).
+    /// output, present when refine, lint or prune runs).
     pub intervals: Option<Vec<IntervalAnalysis>>,
+    /// Feasibility-pruned facts (`prune-cfg` output, present when
+    /// `prune_feasibility` is set). Downstream passes (analyze-functions,
+    /// refine-correlations, lint-tables) consume these instead of the stock
+    /// facts when present.
+    pub pruned: Option<PrunedProducts>,
     /// Per-function tables (`analyze-functions` output).
     pub analysis: Option<ProgramAnalysis>,
     /// Work counters summed over all functions.
@@ -285,12 +311,14 @@ impl PassManager {
 
     /// The canonical pipeline for `options`: parse → lower → verify-ir →
     /// \[ssa → mem2reg → deconstruct-ssa\] → \[opt\] → alias → summaries →
-    /// \[intervals\] → analyze-functions → \[refine-correlations\] → image →
-    /// \[verify-tables\] → \[lint-tables\], with the bracketed passes
-    /// present when the corresponding option is set (the SSA window when
-    /// `promote > 0`; `intervals` runs whenever refine or lint needs it).
-    /// When `from_source` is false the front-end passes (parse/lower) are
-    /// omitted — the session must start with a program.
+    /// \[intervals\] → \[prune-cfg\] → analyze-functions →
+    /// \[refine-correlations\] → image → \[verify-tables\] →
+    /// \[lint-tables\], with the bracketed passes present when the
+    /// corresponding option is set (the SSA window when `promote > 0`;
+    /// `intervals` runs whenever refine, lint or prune needs it; `prune-cfg`
+    /// when `prune_feasibility` is set). When `from_source` is false the
+    /// front-end passes (parse/lower) are omitted — the session must start
+    /// with a program.
     pub fn standard(options: &BuildOptions, from_source: bool) -> PassManager {
         let mut pm = PassManager::new();
         if from_source {
@@ -307,8 +335,11 @@ impl PassManager {
             pm = pm.with_pass(OptPass);
         }
         pm = pm.with_pass(AliasPass).with_pass(SummariesPass);
-        if options.refine || options.lint {
+        if options.refine || options.lint || options.prune_feasibility {
             pm = pm.with_pass(IntervalsPass);
+        }
+        if options.prune_feasibility {
+            pm = pm.with_pass(PruneCfgPass);
         }
         pm = pm.with_pass(AnalyzeFunctionsPass);
         if options.refine {
@@ -584,6 +615,155 @@ impl Pass for IntervalsPass {
     }
 }
 
+/// Everything the `prune-cfg` pass deposits: the pruned CFG view plus the
+/// whole-program facts recomputed over it. The view only ever removes
+/// conditional-branch edges the interval oracle proved infeasible (and the
+/// blocks those edges orphaned) — the branch inventory downstream encoding
+/// works from is untouched.
+#[derive(Debug)]
+pub struct PrunedProducts {
+    /// Dead edges and newly-unreachable blocks, per function.
+    pub view: PrunedCfg,
+    /// Points-to facts recomputed with dead blocks excluded.
+    pub alias: AliasAnalysis,
+    /// Call summaries recomputed with dead blocks excluded.
+    pub summaries: Summaries,
+    /// Interval analyses re-run over the pruned facts (and pruned anchors).
+    pub intervals: Vec<IntervalAnalysis>,
+    /// Fixpoint rounds executed (0 when nothing was provably dead; capped
+    /// at [`MAX_PRUNE_ROUNDS`]).
+    pub rounds: u64,
+}
+
+/// The feasibility-aware analysis loop: collects interval-proved dead
+/// edges into a [`PrunedCfg`] view, recomputes alias facts, summaries,
+/// anchors and intervals over the pruned graph, and repeats while the
+/// sharper facts expose new dead edges (capped at [`MAX_PRUNE_ROUNDS`]
+/// rounds). Every recomputation shards by function id and merges in id
+/// order, so the loop is bit-identical at any thread count.
+pub struct PruneCfgPass;
+
+impl PruneCfgPass {
+    /// Folds every infeasible conditional-branch edge of `intervals` into
+    /// `dead`; true when a new edge was added.
+    fn collect_dead(
+        program: &Program,
+        intervals: &[IntervalAnalysis],
+        dead: &mut [BTreeSet<(BlockId, bool)>],
+    ) -> bool {
+        let mut grew = false;
+        for func in &program.functions {
+            for (bid, block) in func.iter_blocks() {
+                if !block.term.is_branch() {
+                    continue;
+                }
+                for dir in [true, false] {
+                    if !intervals[func.id.0 as usize].edge_feasible(bid, dir)
+                        && dead[func.id.0 as usize].insert((bid, dir))
+                    {
+                        grew = true;
+                    }
+                }
+            }
+        }
+        grew
+    }
+
+    /// Recomputes the whole-program facts over `view`: pruned alias, pruned
+    /// summaries, and per-function intervals seeded with pruned anchors.
+    fn recompute(
+        program: &Program,
+        view: &PrunedCfg,
+        threads: usize,
+    ) -> (AliasAnalysis, Summaries, Vec<IntervalAnalysis>) {
+        let alias = AliasAnalysis::analyze_view(program, view);
+        let summaries = Summaries::compute_view(program, &alias, view);
+        let (intervals, _) = ipds_parallel::map_indexed(
+            program.functions.len() as u32,
+            threads,
+            |_| (),
+            |(), i| {
+                let func = &program.functions[i as usize];
+                let anchors =
+                    find_anchors_view(program, func, &alias, &summaries, view.function(func.id));
+                IntervalAnalysis::analyze_with_anchors(program, func, &alias, &summaries, &anchors)
+            },
+        );
+        (alias, summaries, intervals)
+    }
+}
+
+impl Pass for PruneCfgPass {
+    fn name(&self) -> &'static str {
+        "prune-cfg"
+    }
+
+    fn run(&self, session: &mut CompilationSession) -> Result<(), PipelineError> {
+        let threads = session.options.threads;
+        let program = session.need_program("prune-cfg")?;
+        let _ = need_facts(session, "prune-cfg")?;
+        let stock_intervals = session
+            .intervals
+            .as_ref()
+            .ok_or(PipelineError::MissingStage {
+                pass: "prune-cfg",
+                needs: "intervals",
+            })?;
+
+        // The dead-edge set only ever grows across rounds: an edge proved
+        // infeasible against the stock facts stays pruned even if a later
+        // (sharper) round no longer mentions it, so the loop is monotone
+        // and trivially terminates at the cap.
+        let mut dead: Vec<BTreeSet<(BlockId, bool)>> =
+            vec![BTreeSet::new(); program.functions.len()];
+        let mut rounds = 0u64;
+        let mut current: Option<(PrunedCfg, AliasAnalysis, Summaries, Vec<IntervalAnalysis>)> =
+            None;
+        while rounds < MAX_PRUNE_ROUNDS {
+            let intervals = current
+                .as_ref()
+                .map(|(_, _, _, ia)| ia.as_slice())
+                .unwrap_or(stock_intervals);
+            if !Self::collect_dead(program, intervals, &mut dead) {
+                break;
+            }
+            rounds += 1;
+            let view = PrunedCfg::from_oracle(program, |fid, b, dir| {
+                dead[fid.0 as usize].contains(&(b, dir))
+            });
+            let (alias, summaries, intervals) = Self::recompute(program, &view, threads);
+            current = Some((view, alias, summaries, intervals));
+        }
+
+        let pruned = match current {
+            Some((view, alias, summaries, intervals)) => PrunedProducts {
+                view,
+                alias,
+                summaries,
+                intervals,
+                rounds,
+            },
+            // Nothing provably dead: the pruned world is the stock world.
+            None => PrunedProducts {
+                view: PrunedCfg::full(program),
+                alias: session.alias.clone().expect("checked above"),
+                summaries: session.summaries.clone().expect("checked above"),
+                intervals: stock_intervals.clone(),
+                rounds: 0,
+            },
+        };
+        session
+            .metrics
+            .add("pipeline.pruned_edges", pruned.view.pruned_edges());
+        session
+            .metrics
+            .add("pipeline.pruned_blocks", pruned.view.pruned_blocks());
+        session.metrics.add("pipeline.prune_rounds", pruned.rounds);
+        session.pruned = Some(pruned);
+        Ok(())
+    }
+}
+
 /// Folds interval facts back into the tables: promotes interval-proved
 /// directions, demotes directional actions no oracle re-proves (see
 /// [`crate::refine`]). Sharded by function id, merged in id order.
@@ -608,6 +788,17 @@ impl Pass for RefineCorrelationsPass {
                 pass: "refine-correlations",
                 needs: "intervals",
             })?;
+        // When prune-cfg ran, refinement reads the pruned world: pruned
+        // facts, pruned-fact intervals, and the pruned view as its edge
+        // oracle.
+        let full;
+        let (alias, summaries, intervals, view) = match &session.pruned {
+            Some(p) => (&p.alias, &p.summaries, p.intervals.as_slice(), &p.view),
+            None => {
+                full = PrunedCfg::full(program);
+                (alias, summaries, intervals.as_slice(), &full)
+            }
+        };
         let functions = std::mem::take(&mut analysis.functions);
         let (refined, _) = ipds_parallel::map_indexed(
             functions.len() as u32,
@@ -616,13 +807,14 @@ impl Pass for RefineCorrelationsPass {
             |(), i| {
                 let mut tables = functions[i as usize].clone();
                 let func = &program.functions[tables.func.0 as usize];
-                let stats = refine_function(
+                let stats = refine_function_view(
                     program,
                     func,
                     alias,
                     summaries,
                     &intervals[i as usize],
                     &mut tables,
+                    view.function(func.id),
                 );
                 (tables, stats)
             },
@@ -673,13 +865,25 @@ impl Pass for LintTablesPass {
                 pass: "lint-tables",
                 needs: "analysis",
             })?;
-        let report = lint_program(
+        // Under pruning the auditor's oracle is the pruned graph: witness
+        // paths may not traverse a proved-dead edge, and actions the
+        // pruned-fact intervals justify are accepted.
+        let full;
+        let (alias, summaries, intervals, view) = match &session.pruned {
+            Some(p) => (&p.alias, &p.summaries, p.intervals.as_slice(), &p.view),
+            None => {
+                full = PrunedCfg::full(program);
+                (alias, summaries, intervals.as_slice(), &full)
+            }
+        };
+        let report = lint_program_view(
             program,
             alias,
             summaries,
             intervals,
             analysis,
             session.options.threads,
+            view,
         );
         session
             .metrics
@@ -743,13 +947,41 @@ impl Pass for AnalyzeFunctionsPass {
                 })
             }
         };
-        let (analysis, counters) = analyze_program_threaded(
-            program,
-            alias,
-            summaries,
-            &session.options.config,
-            session.options.threads,
-        )?;
+        let (analysis, counters) = match &session.pruned {
+            Some(pruned) => {
+                // Baseline run over the stock facts first: the coverage
+                // lift is the checked-branch delta pruning bought, and the
+                // stock run is what an unpruned build of the same program
+                // would have produced.
+                let (_, baseline) = analyze_program_threaded(
+                    program,
+                    alias,
+                    summaries,
+                    &session.options.config,
+                    session.options.threads,
+                )?;
+                let (analysis, counters) = analyze_program_threaded_view(
+                    program,
+                    &pruned.alias,
+                    &pruned.summaries,
+                    &session.options.config,
+                    session.options.threads,
+                    &pruned.view,
+                )?;
+                session.metrics.add(
+                    "pipeline.coverage_lift",
+                    counters.checked.saturating_sub(baseline.checked),
+                );
+                (analysis, counters)
+            }
+            None => analyze_program_threaded(
+                program,
+                alias,
+                summaries,
+                &session.options.config,
+                session.options.threads,
+            )?,
+        };
         session.metrics.add("pipeline.branches", counters.branches);
         session
             .metrics
@@ -1056,6 +1288,7 @@ mod tests {
                 optimize: true,
                 verify: true,
                 refine: true,
+                prune_feasibility: true,
                 lint: true,
                 ..BuildOptions::default()
             },
@@ -1066,6 +1299,106 @@ mod tests {
         let canonical: std::collections::BTreeSet<&str> =
             PIPELINE_COUNTERS.iter().copied().collect();
         assert_eq!(emitted, canonical);
+    }
+
+    /// `mode = 1` makes the `mode > 5` taken edge provably dead, which
+    /// orphans its then-block; the two `x < 5` branches stay live and keep
+    /// correlation discovery busy.
+    const PRUNE_SRC: &str = "int mode; \
+        fn main() -> int { int x; x = read_int(); mode = 1; \
+        if (mode > 5) { print_int(9); } \
+        if (x < 5) { mode = 2; } \
+        if (x < 5) { print_int(1); } \
+        return 0; }";
+
+    #[test]
+    fn prune_pass_is_gated_and_named() {
+        let off = PassManager::standard(&BuildOptions::default(), true);
+        assert!(!off.pass_names().contains(&"prune-cfg"));
+        let on = PassManager::standard(
+            &BuildOptions {
+                prune_feasibility: true,
+                ..BuildOptions::default()
+            },
+            true,
+        );
+        let names = on.pass_names();
+        let prune = names.iter().position(|n| *n == "prune-cfg").unwrap();
+        // Pruning needs the interval oracle and must precede discovery.
+        assert_eq!(names[prune - 1], "intervals");
+        assert_eq!(names[prune + 1], "analyze-functions");
+    }
+
+    #[test]
+    fn pruned_build_prunes_verifies_and_stays_thread_identical() {
+        let opts = |threads| BuildOptions {
+            prune_feasibility: true,
+            verify: true,
+            refine: true,
+            lint: true,
+            threads,
+            ..BuildOptions::default()
+        };
+        let serial = build_source(PRUNE_SRC, opts(1)).expect("pruned pipeline must succeed");
+        assert!(
+            serial.metrics.counter("pipeline.pruned_edges") >= 1,
+            "the mode > 5 taken edge is provably dead"
+        );
+        assert!(
+            serial.metrics.counter("pipeline.pruned_blocks") >= 1,
+            "the dead edge orphans its then-block"
+        );
+        assert!(serial.metrics.counter("pipeline.prune_rounds") >= 1);
+        let report = serial.lint.as_ref().expect("lint report present");
+        assert_eq!(report.error_count(), 0, "{report}");
+        for threads in [2, 4, 8] {
+            let par = build_source(PRUNE_SRC, opts(threads)).unwrap();
+            assert_eq!(
+                serial.image.as_bytes(),
+                par.image.as_bytes(),
+                "{threads} threads"
+            );
+            assert_eq!(serial.counters, par.counters, "{threads} threads");
+            assert_eq!(serial.refine, par.refine, "{threads} threads");
+            assert_eq!(serial.lint, par.lint, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn prune_without_dead_edges_is_byte_identical_to_baseline() {
+        // SRC has no interval-provable dead edge, so the pruned world is
+        // the stock world and the image must not move.
+        let base = build_source(SRC, BuildOptions::default()).unwrap();
+        let pruned = build_source(
+            SRC,
+            BuildOptions {
+                prune_feasibility: true,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pruned.metrics.counter("pipeline.pruned_edges"), 0);
+        assert_eq!(pruned.metrics.counter("pipeline.prune_rounds"), 0);
+        assert_eq!(base.image.as_bytes(), pruned.image.as_bytes());
+        assert_eq!(base.counters, pruned.counters);
+    }
+
+    #[test]
+    fn prune_never_loses_branches_from_the_inventory() {
+        // Pruning restricts discovery, never the branch inventory: the
+        // pruned build reports exactly as many branches as the baseline,
+        // and verify-tables re-proves the inventory against the IR.
+        let base = build_source(PRUNE_SRC, BuildOptions::default()).unwrap();
+        let pruned = build_source(
+            PRUNE_SRC,
+            BuildOptions {
+                prune_feasibility: true,
+                verify: true,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(base.counters.branches, pruned.counters.branches);
     }
 
     #[test]

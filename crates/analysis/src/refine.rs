@@ -38,7 +38,9 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use ipds_absint::IntervalAnalysis;
-use ipds_dataflow::{find_anchors, AliasAnalysis, AnchorKind, BranchAnchor, Summaries};
+use ipds_dataflow::{
+    find_anchors_view, AliasAnalysis, AnchorKind, BranchAnchor, PrunedFunction, Summaries,
+};
 use ipds_ir::{BlockId, Function, Program};
 
 use crate::action::BrAction;
@@ -116,7 +118,32 @@ pub fn refine_function(
     intervals: &IntervalAnalysis,
     tables: &mut FunctionAnalysis,
 ) -> RefineStats {
-    let anchors = find_anchors(program, func, alias, summaries);
+    refine_function_view(
+        program,
+        func,
+        alias,
+        summaries,
+        intervals,
+        tables,
+        &PrunedFunction::default(),
+    )
+}
+
+/// [`refine_function`] over the feasibility-pruned view: anchors are
+/// discovered on the pruned graph and promotions never attach to a
+/// proved-dead trigger edge. The facts and intervals should be the
+/// pruned-round ones so both oracles agree with the view.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_function_view(
+    program: &Program,
+    func: &Function,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    intervals: &IntervalAnalysis,
+    tables: &mut FunctionAnalysis,
+    view: &PrunedFunction,
+) -> RefineStats {
+    let anchors = find_anchors_view(program, func, alias, summaries, view);
     let oracle = DirectionOracle {
         anchors: &anchors,
         intervals,
@@ -157,7 +184,7 @@ pub fn refine_function(
     // region-kill completeness argument) intact.
     for (trigger_idx, trigger) in branches.iter().enumerate() {
         for dir in [false, true] {
-            if !intervals.edge_feasible(trigger.block, dir) {
+            if !intervals.edge_feasible(trigger.block, dir) || !view.edge_live(trigger.block, dir) {
                 continue;
             }
             let mut additions: Vec<BatEntry> = Vec::new();

@@ -216,6 +216,132 @@ pub fn print_promotion(rows: &[PromotionRow]) {
     }
 }
 
+/// One point of the feasibility ablation: a workload compiled with or
+/// without the `prune-cfg` pass at a given promotion budget.
+#[derive(Debug, Clone)]
+pub struct FeasibilityRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Promotion budget (percent of eligible scalars).
+    pub promote: u32,
+    /// Whether the `prune-cfg` pass ran.
+    pub prune: bool,
+    /// Interval-proved dead edges removed from the discovery CFG.
+    pub pruned_edges: u64,
+    /// Blocks unreachable once dead edges are removed.
+    pub pruned_blocks: u64,
+    /// Prune/re-analyze fixpoint rounds executed.
+    pub prune_rounds: u64,
+    /// Conditional branches in the program (inventory; never pruned).
+    pub branches: u64,
+    /// Branches the tables check.
+    pub checked: u64,
+    /// Checked branches gained over the same build without pruning.
+    pub coverage_lift: u64,
+    /// Unknown-direction entries the refiner proved.
+    pub refine_proved: u64,
+    /// Lint errors (must stay 0 — pruning sharpens discovery, never
+    /// soundness).
+    pub lint_errors: usize,
+    /// Lint warnings.
+    pub lint_warnings: usize,
+}
+
+impl FeasibilityRow {
+    /// Checked-branch coverage at this point.
+    pub fn coverage(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.checked as f64 / self.branches as f64
+        }
+    }
+}
+
+/// The promotion budgets the feasibility ablation crosses with prune
+/// on/off: the classic all-memory pipeline and a half-promoted one (where
+/// interval precision depends on the promoted-scalar tracking of
+/// `docs/ABSINT.md`).
+pub const FEASIBILITY_PROMOTE: [u32; 2] = [0, 50];
+
+/// Runs the feasibility ablation: every extended-suite workload is built
+/// (refined and linted) at prune off/on × promote 0/50%. Pruning removes
+/// interval-proved dead edges from the discovery CFG and re-runs alias
+/// classification, anchor discovery and correlation discovery over the
+/// pruned view, so stores on infeasible paths stop killing correlations —
+/// the lift shows up as extra checked branches or extra refiner proofs.
+/// Compile-and-lint only; no simulations run.
+pub fn feasibility_sweep() -> Vec<FeasibilityRow> {
+    let mut rows = Vec::new();
+    for w in ipds_workloads::extended() {
+        for pct in FEASIBILITY_PROMOTE {
+            for prune in [false, true] {
+                let build = ipds::Protected::build()
+                    .promote(pct)
+                    .refine_correlations(true)
+                    .prune_feasibility(prune)
+                    .lint_tables(true)
+                    .compile(w.source)
+                    .unwrap_or_else(|e| panic!("{} @ {pct}% prune={prune}: {e}", w.name));
+                let lint = build.lint.as_ref().expect("lint requested");
+                rows.push(FeasibilityRow {
+                    workload: w.name,
+                    promote: pct,
+                    prune,
+                    pruned_edges: build.metrics.counter("pipeline.pruned_edges"),
+                    pruned_blocks: build.metrics.counter("pipeline.pruned_blocks"),
+                    prune_rounds: build.metrics.counter("pipeline.prune_rounds"),
+                    branches: build.counters.branches,
+                    checked: build.counters.checked,
+                    coverage_lift: build.metrics.counter("pipeline.coverage_lift"),
+                    refine_proved: build.metrics.counter("pipeline.refine_proved"),
+                    lint_errors: lint.error_count(),
+                    lint_warnings: lint.warning_count(),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Prints the feasibility ablation, one prune-off/on pair per line.
+pub fn print_feasibility(rows: &[FeasibilityRow]) {
+    println!("Ablation D. Feasibility pruning vs discovery coverage");
+    println!("{:-<78}", "");
+    println!(
+        "{:<10} {:>8} {:>6} {:>6} {:>7} {:>9} {:>8} {:>5} {:>7} {:>5}",
+        "workload",
+        "promote",
+        "edges",
+        "blocks",
+        "rounds",
+        "checked",
+        "lift",
+        "BCV+",
+        "proved",
+        "lint"
+    );
+    for r in rows.iter().filter(|r| r.prune) {
+        let base = rows
+            .iter()
+            .find(|b| !b.prune && b.workload == r.workload && b.promote == r.promote)
+            .expect("paired unpruned row");
+        println!(
+            "{:<10} {:>7}% {:>6} {:>6} {:>7} {:>9} {:>8} {:>+5} {:>+7} {:>5}",
+            r.workload,
+            r.promote,
+            r.pruned_edges,
+            r.pruned_blocks,
+            r.prune_rounds,
+            r.checked,
+            r.coverage_lift,
+            r.checked as i64 - base.checked as i64,
+            r.refine_proved as i64 - base.refine_proved as i64,
+            r.lint_errors,
+        );
+    }
+}
+
 /// On-chip buffer sweep: normalized performance as the BAT buffer shrinks.
 #[derive(Debug, Clone)]
 pub struct BufferRow {
@@ -331,6 +457,61 @@ mod tests {
             assert_eq!(curve[0].promoted_vars, 0, "{name}");
             assert!(curve.last().unwrap().promoted_vars > 0, "{name}");
         }
+    }
+
+    #[test]
+    fn feasibility_pruning_lifts_discovery_without_lint_errors() {
+        let rows = feasibility_sweep();
+        // A build without the pass reports no prune activity.
+        for r in rows.iter().filter(|r| !r.prune) {
+            assert_eq!(
+                (
+                    r.pruned_edges,
+                    r.pruned_blocks,
+                    r.prune_rounds,
+                    r.coverage_lift
+                ),
+                (0, 0, 0, 0),
+                "{} @ {}%",
+                r.workload,
+                r.promote
+            );
+        }
+        // Soundness: the auditor never finds an error, pruned or not, and
+        // the branch inventory is identical across the prune axis.
+        for r in &rows {
+            assert_eq!(
+                r.lint_errors, 0,
+                "{} @ {}% prune={}",
+                r.workload, r.promote, r.prune
+            );
+        }
+        let mut lifted = false;
+        for w in ipds_workloads::all() {
+            for pct in FEASIBILITY_PROMOTE {
+                let pick = |prune: bool| {
+                    rows.iter()
+                        .find(|r| r.prune == prune && r.workload == w.name && r.promote == pct)
+                        .unwrap()
+                };
+                let (base, pruned) = (pick(false), pick(true));
+                assert_eq!(
+                    pruned.branches, base.branches,
+                    "{}: pruning must not shrink the branch inventory",
+                    w.name
+                );
+                if pruned.checked > base.checked || pruned.refine_proved > base.refine_proved {
+                    lifted = true;
+                }
+            }
+        }
+        // The point of the pass: on at least one stock workload, pruning
+        // interval-dead edges buys strictly more checked branches or more
+        // refiner proofs than the unpruned build.
+        assert!(
+            lifted,
+            "no stock workload gained checked coverage or proofs from pruning"
+        );
     }
 
     #[test]

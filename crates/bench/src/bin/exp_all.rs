@@ -76,6 +76,13 @@ fn main() {
     );
     ipds_bench::ablation::print_promotion(&promotion);
     println!();
+    let feasibility = timed(
+        &mut wall,
+        "feasibility",
+        ipds_bench::ablation::feasibility_sweep,
+    );
+    ipds_bench::ablation::print_feasibility(&feasibility);
+    println!();
     let ctx = timed(&mut wall, "context", || ipds_bench::context::run(&hw));
     ipds_bench::context::print(&ctx);
     println!();
@@ -129,7 +136,16 @@ fn main() {
     let counters = campaign_counters(attacks.min(50));
     let compiles = compile_reports();
     match write_bench_json(
-        attacks, threads, &wall, &scaling, &overhead, &counters, &compiles, &promotion, &faults,
+        attacks,
+        threads,
+        &wall,
+        &scaling,
+        &overhead,
+        &counters,
+        &compiles,
+        &promotion,
+        &feasibility,
+        &faults,
         &fleet,
     ) {
         Ok(path) => println!("campaign throughput written to {path}"),
@@ -428,6 +444,7 @@ fn write_bench_json(
     counters: &CounterSnapshot,
     compiles: &[std::sync::Arc<ipds_bench::artifacts::CompileReport>],
     promotion: &[ipds_bench::ablation::PromotionRow],
+    feasibility: &[ipds_bench::ablation::FeasibilityRow],
     faults: &FaultsSummary,
     fleet: &FleetSummary,
 ) -> std::io::Result<String> {
@@ -518,6 +535,31 @@ fn write_bench_json(
             r.coverage(),
             r.bat_entries,
             r.avg_bsv_bits,
+            r.lint_errors,
+            r.lint_warnings
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"feasibility\": [\n");
+    for (i, r) in feasibility.iter().enumerate() {
+        let comma = if i + 1 < feasibility.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"promote\": {}, \"prune\": {}, \
+             \"pruned_edges\": {}, \"pruned_blocks\": {}, \"prune_rounds\": {}, \
+             \"branches\": {}, \"checked\": {}, \"coverage\": {:.4}, \
+             \"coverage_lift\": {}, \"refine_proved\": {}, \"lint_errors\": {}, \
+             \"lint_warnings\": {} }}{comma}\n",
+            r.workload,
+            r.promote,
+            r.prune,
+            r.pruned_edges,
+            r.pruned_blocks,
+            r.prune_rounds,
+            r.branches,
+            r.checked,
+            r.coverage(),
+            r.coverage_lift,
+            r.refine_proved,
             r.lint_errors,
             r.lint_warnings
         ));

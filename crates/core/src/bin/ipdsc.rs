@@ -3,11 +3,11 @@
 //! ```text
 //! ipdsc compile FILE [--dump]           parse + analyze, print table summary
 //! ipdsc build (FILE | --workloads) [--threads N] [--optimize] [--timings]
-//!             [--verify-tables] [--determinism] [--promote PCT]
+//!             [--verify-tables] [--determinism] [--promote PCT] [--prune]
 //!             explicit pass pipeline
 //! ipdsc lint (FILE | --workloads) [--threads N] [--optimize] [--refine]
-//!             [--promote PCT]   audit emitted tables; exit nonzero on any
-//!             lint error
+//!             [--promote PCT] [--prune]   audit emitted tables; exit
+//!             nonzero on any lint error
 //! ipdsc run FILE [--input LIST] [--events FILE]   run under IPDS checking
 //! ipdsc attack FILE --var NAME --value V --step N [--input LIST] [--events FILE]
 //! ipdsc campaign FILE [--attacks N] [--seed S] [--model fs|boa|block] [--input LIST]
@@ -30,9 +30,12 @@
 //! table-verification pass, and `--determinism` proves serial and threaded
 //! builds emit byte-identical images (it therefore conflicts with an
 //! explicit `--threads 1`). `--promote PCT` opens the SSA/`mem2reg` window
-//! at that register-promotion budget before analysis. `--workloads` builds
-//! every bundled workload under **both** optimizer settings instead of
-//! reading a file — the CI gate.
+//! at that register-promotion budget before analysis. `--prune` runs the
+//! `prune-cfg` pass: interval-proved dead edges are dropped from the
+//! discovery CFG and correlation discovery re-runs over the pruned view
+//! (see `docs/PIPELINE.md`). `--workloads` builds every bundled workload
+//! under **both** optimizer settings instead of reading a file — the CI
+//! gate.
 //!
 //! `lint` replays every emitted BAT action against the interval-analysis
 //! and anchor-pair oracles (see `docs/ABSINT.md`) and prints one ranked
@@ -120,7 +123,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage: ipdsc <compile|build|lint|faults|serve|run|attack|campaign|time|trace> FILE [options]\n\
      (build, lint and faults also accept --workloads instead of FILE)\n\
-     build/lint options: --threads T --optimize --promote PCT (--determinism needs threads > 1)\n\
+     build/lint options: --threads T --optimize --promote PCT --prune (--determinism needs threads > 1)\n\
      faults options: --flips N --seed S --threads T --no-checksum --input LIST\n\
      serve options: --workloads LIST|all --sessions N --batch B --threads T --seed S --window W\n\
      see `ipdsc` module docs for options"
@@ -212,12 +215,14 @@ fn lint_cmd(args: &[String]) -> Result<(), String> {
     let optimized = has_flag(args, "--optimize");
     let refine = has_flag(args, "--refine");
     let promote = promote_pct(args)?;
+    let prune = has_flag(args, "--prune");
     let spec = || {
         Protected::build()
             .optimize(optimized)
             .threads(threads)
             .refine_correlations(refine)
             .promote(promote)
+            .prune_feasibility(prune)
             .lint_tables(true)
     };
 
@@ -342,6 +347,7 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
     let verify = has_flag(args, "--verify-tables");
     let determinism = has_flag(args, "--determinism");
     let promote = promote_pct(args)?;
+    let prune = has_flag(args, "--prune");
     if determinism && flag_value(args, "--threads").as_deref() == Some("1") {
         return Err(
             "--determinism proves serial and threaded builds agree, so it needs \
@@ -362,6 +368,7 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
                     verify,
                     determinism,
                     promote,
+                    prune,
                     &format!("{} (opt={optimized})", w.name),
                     timings,
                 )?;
@@ -394,6 +401,7 @@ fn build_cmd(args: &[String]) -> Result<(), String> {
         verify,
         determinism,
         promote,
+        prune,
         file,
         timings,
     )?;
@@ -434,6 +442,7 @@ fn build_one(
     verify: bool,
     determinism: bool,
     promote: u32,
+    prune: bool,
     label: &str,
     timings: bool,
 ) -> Result<ipds::Build, String> {
@@ -442,6 +451,7 @@ fn build_one(
             .optimize(optimized)
             .verify_tables(verify)
             .promote(promote)
+            .prune_feasibility(prune)
     };
     let build = run(spec().threads(threads)).map_err(|e| format!("{label}: {e}"))?;
     println!(

@@ -745,6 +745,16 @@ impl BuildSpec {
         self
     }
 
+    /// Run the `prune-cfg` pass: drop interval-proved infeasible edges
+    /// from the discovery CFG and re-run alias classification, anchors and
+    /// correlation discovery over the pruned view (default off). The
+    /// branch inventory and table layout stay those of the full function —
+    /// pruning only sharpens what discovery may use.
+    pub fn prune_feasibility(mut self, on: bool) -> Self {
+        self.options.prune_feasibility = on;
+        self
+    }
+
     /// Append the `lint-tables` auditor: replay every BAT action against
     /// the interval and anchor oracles and collect ranked diagnostics into
     /// [`Build::lint`] (default off). The build succeeds regardless of

@@ -76,7 +76,7 @@ impl PtsSet {
 }
 
 /// Results of the points-to/alias analysis for a whole program.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AliasAnalysis {
     /// Points-to sets for registers, keyed by (function, register).
     reg_pts: HashMap<(FuncId, Reg), PtsSet>,
@@ -91,15 +91,27 @@ pub struct AliasAnalysis {
 impl AliasAnalysis {
     /// Runs the analysis to fixpoint over `program`.
     pub fn analyze(program: &Program) -> AliasAnalysis {
+        Self::analyze_view(program, &crate::prune::PrunedCfg::full(program))
+    }
+
+    /// Runs the analysis over the feasibility-pruned view: instructions in
+    /// blocks the pruning proved unreachable contribute nothing, so
+    /// address-taken sets and points-to solutions shrink to what feasible
+    /// paths can actually establish. With the identity view this is exactly
+    /// [`AliasAnalysis::analyze`].
+    pub fn analyze_view(program: &Program, view: &crate::prune::PrunedCfg) -> AliasAnalysis {
         let mut a = AliasAnalysis {
             reg_pts: HashMap::new(),
             mem_pts: HashMap::new(),
             ret_pts: HashMap::new(),
             address_taken: BTreeSet::new(),
         };
-        // Address-taken set is syntactic and stable.
+        // Address-taken set is syntactic and stable (over live blocks).
         for func in &program.functions {
-            for (_, block) in func.iter_blocks() {
+            for (bid, block) in func.iter_blocks() {
+                if !view.block_live(func.id, bid) {
+                    continue;
+                }
                 for inst in &block.insts {
                     if let Inst::AddrOf { base, .. } = inst {
                         a.address_taken.insert(MemVar::resolve(func.id, *base));
@@ -107,11 +119,14 @@ impl AliasAnalysis {
                 }
             }
         }
-        // Iterate transfer over all instructions until stable.
+        // Iterate transfer over all live instructions until stable.
         loop {
             let mut changed = false;
             for func in &program.functions {
-                for (_, block) in func.iter_blocks() {
+                for (bid, block) in func.iter_blocks() {
+                    if !view.block_live(func.id, bid) {
+                        continue;
+                    }
                     for inst in &block.insts {
                         changed |= a.transfer(program, func.id, inst);
                     }

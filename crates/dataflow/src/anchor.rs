@@ -24,6 +24,7 @@ use ipds_ir::{Address, BlockId, Function, Inst, Operand, Pred, Program, Reg, Ter
 
 use crate::alias::{AccessClass, AliasAnalysis};
 use crate::memvar::MemVar;
+use crate::prune::PrunedFunction;
 use crate::range::Range;
 use crate::summary::Summaries;
 
@@ -92,6 +93,20 @@ pub fn find_anchors(
     alias: &AliasAnalysis,
     summaries: &Summaries,
 ) -> BTreeMap<BlockId, Vec<BranchAnchor>> {
+    find_anchors_view(program, func, alias, summaries, &PrunedFunction::default())
+}
+
+/// [`find_anchors`] restricted to the feasibility-pruned view: branches in
+/// proved-unreachable blocks grow no anchors (they cannot commit on any
+/// feasible path). The facts passed in should be the pruned-view facts so
+/// store-freedom checks see the pruned may-write sets.
+pub fn find_anchors_view(
+    program: &Program,
+    func: &Function,
+    alias: &AliasAnalysis,
+    summaries: &Summaries,
+    view: &PrunedFunction,
+) -> BTreeMap<BlockId, Vec<BranchAnchor>> {
     let finder = AnchorFinder {
         program,
         func,
@@ -101,6 +116,9 @@ pub fn find_anchors(
     };
     let mut out = BTreeMap::new();
     for (bid, block) in func.iter_blocks() {
+        if !view.block_live(bid) {
+            continue;
+        }
         if let Terminator::Branch { cond, .. } = &block.term {
             let anchors = finder.anchors_for(bid, *cond);
             if !anchors.is_empty() {

@@ -20,16 +20,21 @@
 //!   branch, the memory variable, affine transform and predicate such that
 //!   the branch's direction implies a range of that variable (and vice
 //!   versa).
+//! * [`prune`] — feasibility-pruned CFG views: the overlay that removes
+//!   interval-proved dead edges (and the blocks they orphan) so the other
+//!   analyses can be re-run over feasible paths only.
 
 pub mod alias;
 pub mod anchor;
 pub mod memvar;
+pub mod prune;
 pub mod range;
 pub mod summary;
 
 pub use alias::{AccessClass, AliasAnalysis};
-pub use anchor::{find_anchors, AnchorKind, BranchAnchor};
+pub use anchor::{find_anchors, find_anchors_view, AnchorKind, BranchAnchor};
 pub use memvar::MemVar;
+pub use prune::{PrunedCfg, PrunedFunction};
 pub use range::Range;
 pub use summary::{CallEffect, Summaries};
 

@@ -154,11 +154,24 @@ impl Range {
         match self {
             Range::Empty => Range::Empty,
             Range::Full => Range::Full,
-            Range::Interval { lo, hi } => Range::Interval {
-                lo: if lo <= LO_INF { LO_INF } else { lo + k },
-                hi: if hi >= HI_INF { HI_INF } else { hi + k },
+            Range::Interval { lo, hi } => {
+                let nl = if lo <= LO_INF { LO_INF } else { lo + k };
+                let nh = if hi >= HI_INF { HI_INF } else { hi + k };
+                if nl > HI_INF || nh < LO_INF {
+                    // The whole finite range crossed the representable
+                    // window: every concrete image wraps around, and only
+                    // ⊤ covers both shores.
+                    Range::Full
+                } else {
+                    // A single bound poking past the window saturates back
+                    // to its infinity sentinel (an over-approximation).
+                    Range::Interval {
+                        lo: nl.max(LO_INF),
+                        hi: nh.min(HI_INF),
+                    }
+                    .norm()
+                }
             }
-            .norm(),
             Range::Ne(c) => match (c as i128).checked_add(k) {
                 Some(v) if (LO_INF..=HI_INF).contains(&v) => Range::Ne(v as i64),
                 _ => Range::Full,
@@ -171,7 +184,23 @@ impl Range {
         match self {
             Range::Empty => Range::Empty,
             Range::Full => Range::Full,
-            Range::Interval { lo, hi } => Range::Interval { lo: -hi, hi: -lo }.norm(),
+            Range::Interval { lo: _, hi } if hi <= LO_INF => {
+                // The singleton {MIN}: −MIN wraps straight back to MIN, so
+                // the naive mirror would produce an inverted (empty) range
+                // and silently drop a reachable value.
+                Range::Interval {
+                    lo: LO_INF,
+                    hi: LO_INF,
+                }
+            }
+            Range::Interval { lo, hi } => {
+                // Infinity sentinels mirror to the opposite sentinel —
+                // negating them arithmetically would leave a near-sentinel
+                // finite bound that later shifts misread as wraparound.
+                let nl = if hi >= HI_INF { LO_INF } else { -hi };
+                let nh = if lo <= LO_INF { HI_INF } else { -lo };
+                Range::Interval { lo: nl, hi: nh }.norm()
+            }
             Range::Ne(c) => match c.checked_neg() {
                 Some(v) => Range::Ne(v),
                 None => Range::Full,

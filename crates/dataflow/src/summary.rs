@@ -69,7 +69,7 @@ impl CallEffect {
 }
 
 /// Per-function write summaries for a whole program.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Summaries {
     per_func: HashMap<FuncId, CallEffect>,
 }
@@ -77,6 +77,18 @@ pub struct Summaries {
 impl Summaries {
     /// Computes summaries to fixpoint over the call graph.
     pub fn compute(program: &Program, alias: &AliasAnalysis) -> Summaries {
+        Self::compute_view(program, alias, &crate::prune::PrunedCfg::full(program))
+    }
+
+    /// Computes summaries over the feasibility-pruned view: stores and calls
+    /// in proved-unreachable blocks cannot happen on any feasible path, so
+    /// they do not contribute to the callee's caller-visible write set. With
+    /// the identity view this is exactly [`Summaries::compute`].
+    pub fn compute_view(
+        program: &Program,
+        alias: &AliasAnalysis,
+        view: &crate::prune::PrunedCfg,
+    ) -> Summaries {
         let mut per_func: HashMap<FuncId, CallEffect> = program
             .functions
             .iter()
@@ -86,7 +98,10 @@ impl Summaries {
             let mut changed = false;
             for func in &program.functions {
                 let mut eff = CallEffect::Nothing;
-                for (_, block) in func.iter_blocks() {
+                for (bid, block) in func.iter_blocks() {
+                    if !view.block_live(func.id, bid) {
+                        continue;
+                    }
                     for inst in &block.insts {
                         match inst {
                             Inst::Store { addr, .. } => {

@@ -1,5 +1,7 @@
 use ipds_ir::builder::assemble;
-use ipds_ir::{build_ssa, deconstruct_ssa, mark_promoted, verify_ssa, FunctionBuilder, Operand, Pred};
+use ipds_ir::{
+    build_ssa, deconstruct_ssa, mark_promoted, verify_ssa, FunctionBuilder, Operand, Pred,
+};
 
 #[test]
 fn degenerate_branch_preserves_reaching_values() {
@@ -27,7 +29,11 @@ fn degenerate_branch_preserves_reaching_values() {
     println!("join: {join_block:?}");
     match &join_block.term {
         ipds_ir::Terminator::Return(Some(op)) => {
-            assert_eq!(*op, Operand::Imm(7), "reaching value lost across degenerate branch: {op:?}");
+            assert_eq!(
+                *op,
+                Operand::Imm(7),
+                "reaching value lost across degenerate branch: {op:?}"
+            );
         }
         t => panic!("unexpected terminator {t:?}"),
     }

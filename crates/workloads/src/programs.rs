@@ -295,10 +295,22 @@ int job_min[4];
 int job_owner[4];
 int job_live[4];
 int fired;
+int jobs_accepted;
 
 fn valid_minute(int m) -> int {
     if (m >= 0 && m < 60) { return 1; }
     return 0;
+}
+
+fn flush_spool(int count) -> int {
+    int compat;
+    // The legacy spool format rewrote the accepted-job count in place
+    // while flushing; modern crond pins the compat shim off at build
+    // time, so the rewrite below is dead code on every feasible path.
+    compat = 0;
+    if (compat == 1) { jobs_accepted = 0 - count; }
+    print_int(count);
+    return count;
 }
 
 fn cmd_safe(int *c) -> int {
@@ -345,6 +357,11 @@ fn main() -> int {
             job_live[i] = 0;
         }
     }
+    // Flush the accepted spool and sanity-check the count against the
+    // table size before ticking.
+    jobs_accepted = n;
+    flush_spool(jobs_accepted);
+    if (jobs_accepted > 4) { return 0 - jobs_accepted; }
     limit = read_int();
     if (limit < 0) { limit = 0; }
     if (limit > 30) { limit = 30; }

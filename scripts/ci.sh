@@ -37,6 +37,19 @@ cargo run -q --release -p ipds --bin ipdsc -- \
     build --workloads --promote 100 --determinism --threads 4 > /dev/null
 echo "promotion window byte-identical across thread counts"
 
+echo "==> prune gate (feasibility pruning: bit-identical at 2/4/8 threads, lint-clean)"
+# prune-cfg re-runs discovery over the pruned view; the image must stay
+# deterministic at every pool width and the pruned tables must audit clean.
+for t in 2 4 8; do
+    cargo run -q --release -p ipds --bin ipdsc -- \
+        build --workloads --prune --determinism --threads "$t" > /dev/null
+done
+cargo run -q --release -p ipds --bin ipdsc -- \
+    build --workloads --prune --promote 50 --determinism --threads 4 > /dev/null
+echo "pruned builds byte-identical across thread counts"
+cargo run -q --release -p ipds --bin ipdsc -- \
+    lint --workloads --prune --threads 4
+
 echo "==> lint gate (table soundness audit, all workloads; fails on any LintError)"
 cargo run -q --release -p ipds --bin ipdsc -- \
     lint --workloads --threads 4
@@ -83,7 +96,9 @@ for key in '"telemetry"' '"spans"' '"compile"' '"analyze"' '"golden"' \
            '"tampered_images"' '"hot_regions"' '"isolated_noise"' \
            '"all_tampers_surfaced": true' \
            '"promotion"' '"promote"' '"promoted_vars"' '"coverage"' \
-           '"avg_bsv_bits"'; do
+           '"avg_bsv_bits"' \
+           '"feasibility"' '"prune"' '"pruned_edges"' '"pruned_blocks"' \
+           '"prune_rounds"' '"coverage_lift"'; do
     grep -q "$key" results/bench_campaign.json \
         || { echo "missing $key in results/bench_campaign.json"; exit 1; }
 done

@@ -60,7 +60,8 @@ fn full_featured_build_emits_exactly_the_documented_keys() {
     // Compile from source so the front-end passes (and their `tokens` /
     // `functions` counters) run too. A nonzero `promote` budget opens the
     // ssa → mem2reg → deconstruct-ssa window, whose counters are
-    // conditional like the refiner's and linter's.
+    // conditional like the refiner's and linter's, and `prune_feasibility`
+    // turns on the prune-cfg pass so its four counters are emitted.
     let w = &workloads::all()[0];
     let build = build_source(
         w.source,
@@ -71,6 +72,7 @@ fn full_featured_build_emits_exactly_the_documented_keys() {
             refine: true,
             lint: true,
             promote: 50,
+            prune_feasibility: true,
             ..BuildOptions::default()
         },
     )
