@@ -915,8 +915,8 @@ fn need_facts<'a>(
 }
 
 /// Per-function correlate → perfect-hash → encode, sharded by function id
-/// over the shared worker pool and merged in id order (bit-identical to
-/// serial at any thread count).
+/// over the persistent global worker pool (`ipds_parallel::map_indexed`)
+/// and merged in id order (bit-identical to serial at any thread count).
 pub struct AnalyzeFunctionsPass;
 
 impl Pass for AnalyzeFunctionsPass {

@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use ipds::analysis::AnalysisCounters;
-use ipds::{Config, GoldenRun, Protected};
+use ipds::{Config, GoldenRun, Protected, WarmStart};
 use ipds_sim::{ExecLimits, Input};
 use ipds_telemetry::phases;
 use ipds_workloads::Workload;
@@ -86,11 +86,15 @@ type ProtectedKey = (&'static str, String, bool);
 /// Level-2 key: workload name, optimizer on/off, input seed.
 type GoldenKey = (&'static str, bool, u64);
 type GoldenEntry = (Arc<Vec<Input>>, Arc<GoldenRun>, ExecLimits);
+/// Level-3 key: a warm start is checker state, so unlike the golden run it
+/// *does* depend on the analysis fingerprint.
+type WarmKey = (&'static str, String, bool, u64);
 
 #[derive(Default)]
 struct Inner {
     protected: HashMap<ProtectedKey, (Arc<Protected>, Arc<CompileReport>)>,
     golden: HashMap<GoldenKey, GoldenEntry>,
+    warm: HashMap<WarmKey, Arc<WarmStart>>,
 }
 
 fn cache() -> &'static Mutex<Inner> {
@@ -214,6 +218,31 @@ pub fn campaign_artifacts(
         golden,
         limits,
     }
+}
+
+/// Fetches (capturing on first use) the golden-snapshot warm start for a
+/// workload variant and input seed. Capture costs about one clean run —
+/// drivers that launch many campaigns against the same artifacts (the
+/// scaling sweep above all, which replays every workload at four thread
+/// counts) pay it once per artifact set instead of once per campaign.
+pub fn warm_start(
+    w: &Workload,
+    config: &Config,
+    optimize: bool,
+    input_seed: u64,
+) -> Arc<WarmStart> {
+    let art = campaign_artifacts(w, config, optimize, input_seed);
+    let key = (w.name, format!("{config:?}"), optimize, input_seed);
+    let mut inner = cache().lock().unwrap();
+    if let Some(warm) = inner.warm.get(&key) {
+        return Arc::clone(warm);
+    }
+    let warm = Arc::new(phases().time("golden", || {
+        art.protected
+            .warm_start(&art.inputs, &art.golden, art.limits)
+    }));
+    inner.warm.insert(key, Arc::clone(&warm));
+    warm
 }
 
 #[cfg(test)]

@@ -126,6 +126,13 @@ fn main() {
     println!();
 
     let scaling = scaling_sweep(attacks, threads, quick);
+    // Wall-clock-dependent, so stderr: stdout stays byte-identical run-to-run.
+    for s in &scaling {
+        eprintln!(
+            "scaling: {}T, {} attacks/workload in {:.3}s -> {:.0} attacks/s (speedup {:.2}x)",
+            s.threads, s.attacks, s.seconds, s.attacks_per_sec, s.speedup
+        );
+    }
     let overhead = null_sink_overhead(if quick { 60 } else { 300 }, if quick { 3 } else { 5 });
     // Wall-clock-dependent, so stderr: stdout stays byte-identical run-to-run.
     eprintln!(
@@ -156,20 +163,55 @@ fn main() {
 /// One row of the thread-scaling sweep.
 struct Scaling {
     threads: usize,
+    /// Attacks per workload this point ran (after calibration — every row
+    /// of one sweep uses the same count).
+    attacks: u32,
     seconds: f64,
     attacks_per_sec: f64,
     /// Throughput relative to the 1-thread row of the same sweep.
     speedup: f64,
 }
 
+/// Every sweep point must run at least this long, or the curve measures
+/// dispatch overhead and timer noise instead of the checker (the old sweep
+/// timed ~17 ms of work per point at `--quick` and concluded threads were
+/// a loss).
+const MIN_POINT_SECONDS: f64 = 0.25;
+
 /// Re-runs the Fig. 7 campaign at 1/2/4/8 threads (plus the machine
-/// default if it is higher). All compiles and golden runs are already
-/// cached by the earlier phases, so this times the campaign engine alone;
-/// on an N-core machine the sweep shows the near-linear speedup
-/// (bit-identical results at every point). `scripts/ci.sh` gates on the
-/// resulting curve — see docs/PERF.md for the methodology.
+/// default if it is higher). All compiles, golden runs and warm starts are
+/// already cached by the earlier phases, so this times the campaign engine
+/// alone. The per-workload attack count is calibrated upward until the
+/// 1-thread point takes at least [`MIN_POINT_SECONDS`], so the sweep never
+/// degenerates into a thread-dispatch benchmark; each row records the
+/// calibrated `attacks` and its own `seconds` so the curve is
+/// interpretable. On an N-core machine the sweep shows the near-linear
+/// speedup (bit-identical results at every point). `scripts/ci.sh` gates
+/// on every point of the resulting curve — see docs/PERF.md for the
+/// methodology.
 fn scaling_sweep(attacks: u32, default_threads: usize, quick: bool) -> Vec<Scaling> {
-    let total_attacks = (u64::from(attacks) * ipds_workloads::all().len() as u64) as f64;
+    let workloads = ipds_workloads::all().len() as u64;
+    let time_point = |attacks: u32, threads: usize| -> f64 {
+        let start = Instant::now();
+        ipds_bench::fig7::run_threaded(attacks, 2006, 2006, None, threads);
+        start.elapsed().as_secs_f64()
+    };
+
+    // Calibrate the work floor on the 1-thread engine. Aim a little above
+    // the floor so the scaled run cannot land just under it; cap the growth
+    // so a pathological timer cannot run away.
+    let mut attacks = attacks.max(1);
+    let mut base_seconds = time_point(attacks, 1);
+    for _ in 0..12 {
+        if base_seconds >= MIN_POINT_SECONDS || attacks >= 1_000_000 {
+            break;
+        }
+        let factor = (MIN_POINT_SECONDS * 1.3 / base_seconds.max(1e-6)).clamp(2.0, 64.0);
+        attacks = ((f64::from(attacks) * factor) as u32).min(1_000_000);
+        base_seconds = time_point(attacks, 1);
+    }
+
+    let total_attacks = (u64::from(attacks) * workloads) as f64;
     let mut counts = vec![1usize, 2, 4, 8];
     if !quick && !counts.contains(&default_threads) {
         counts.push(default_threads);
@@ -177,11 +219,14 @@ fn scaling_sweep(attacks: u32, default_threads: usize, quick: bool) -> Vec<Scali
     let mut rows: Vec<Scaling> = counts
         .into_iter()
         .map(|t| {
-            let start = Instant::now();
-            ipds_bench::fig7::run_threaded(attacks, 2006, 2006, None, t);
-            let seconds = start.elapsed().as_secs_f64();
+            let seconds = if t == 1 {
+                base_seconds
+            } else {
+                time_point(attacks, t)
+            };
             Scaling {
                 threads: t,
+                attacks,
                 seconds,
                 attacks_per_sec: if seconds > 0.0 {
                     total_attacks / seconds
@@ -474,9 +519,9 @@ fn write_bench_json(
     for (i, s) in scaling.iter().enumerate() {
         let comma = if i + 1 < scaling.len() { "," } else { "" };
         json.push_str(&format!(
-            "    {{ \"threads\": {}, \"seconds\": {:.6}, \"attacks_per_sec\": {:.1}, \
-             \"speedup\": {:.3} }}{comma}\n",
-            s.threads, s.seconds, s.attacks_per_sec, s.speedup
+            "    {{ \"threads\": {}, \"attacks\": {}, \"seconds\": {:.6}, \
+             \"attacks_per_sec\": {:.1}, \"speedup\": {:.3} }}{comma}\n",
+            s.threads, s.attacks, s.seconds, s.attacks_per_sec, s.speedup
         ));
     }
     json.push_str("  ],\n");

@@ -66,11 +66,13 @@ pub fn run_threaded(
     for w in all() {
         let art =
             crate::artifacts::campaign_artifacts(&w, &ipds::Config::default(), false, input_seed);
+        let warm = crate::artifacts::warm_start(&w, &ipds::Config::default(), false, input_seed);
         let r = ipds_telemetry::phases().time("campaign", || {
             art.protected
                 .campaign_spec()
                 .inputs(&art.inputs)
                 .golden(&art.golden, art.limits)
+                .warm_start(&warm)
                 .attacks(attacks)
                 .seed(seed ^ w.name.len() as u64)
                 .model(model.unwrap_or(w.vuln))

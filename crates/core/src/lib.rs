@@ -106,7 +106,7 @@ pub use ipds_analysis::AnalysisConfig as Config;
 pub use ipds_runtime::HwConfig as Hardware;
 pub use ipds_sim::{
     AnomalyReport, CampaignResult, FaultCampaign, FaultCampaignResult, FaultOutcome, FaultSite,
-    GoldenRun, Input,
+    GoldenRun, Input, WarmStart,
 };
 
 /// Everything that can fail across the facade and service APIs, unified:
@@ -469,6 +469,7 @@ impl Protected {
             model: AttackModel::FormatString,
             threads: 1,
             golden: None,
+            warm: None,
             sink: &NULL_SINK,
         }
     }
@@ -638,6 +639,20 @@ impl Protected {
             max_depth: 256,
         };
         (golden, limits)
+    }
+
+    /// Captures the golden-snapshot set campaigns use to fast-forward past
+    /// the untampered prefix. Capture costs about one clean run; a driver
+    /// launching many campaigns against the same artifacts caches the
+    /// result and passes it to [`CampaignSpec::warm_start`] so the cost is
+    /// paid once per artifact set instead of once per campaign.
+    pub fn warm_start(
+        &self,
+        inputs: &[Input],
+        golden: &GoldenRun,
+        limits: ExecLimits,
+    ) -> WarmStart {
+        WarmStart::capture(&self.program, &self.analysis, inputs, golden.steps, limits)
     }
 
     /// Cycle-level run **with** the IPDS attached.
@@ -905,6 +920,7 @@ pub struct CampaignSpec<'a, S: EventSink = NullSink> {
     model: AttackModel,
     threads: usize,
     golden: Option<(&'a GoldenRun, ExecLimits)>,
+    warm: Option<&'a WarmStart>,
     sink: &'a S,
 }
 
@@ -951,6 +967,16 @@ impl<'a, S: EventSink> CampaignSpec<'a, S> {
         self
     }
 
+    /// Reuses a precomputed warm start (golden-snapshot set, from
+    /// [`Protected::warm_start`]) instead of capturing one per campaign.
+    /// Results are bit-identical with or without it — the warm path is
+    /// gated exactly as the on-demand capture (detail sinks and
+    /// single-attack campaigns run cold).
+    pub fn warm_start(mut self, warm: &'a WarmStart) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+
     /// Applies the shared [`SessionConfig`] vocabulary: `threads` and
     /// `seed` (limits are derived from the golden run, see
     /// [`Protected::campaign_artifacts`]).
@@ -968,6 +994,7 @@ impl<'a, S: EventSink> CampaignSpec<'a, S> {
             model: self.model,
             threads: self.threads,
             golden: self.golden,
+            warm: self.warm,
             sink,
         }
     }
@@ -1014,7 +1041,7 @@ impl<'a, S: EventSink> CampaignSpec<'a, S> {
             model: self.model,
             limits,
         };
-        ipds_sim::run_campaign_threaded_instrumented(
+        ipds_sim::run_campaign_threaded_instrumented_warm(
             &self.protected.program,
             &self.protected.analysis,
             self.inputs,
@@ -1022,6 +1049,7 @@ impl<'a, S: EventSink> CampaignSpec<'a, S> {
             &campaign,
             self.threads,
             self.sink,
+            self.warm,
         )
     }
 }

@@ -1,10 +1,17 @@
-//! # ipds-parallel — the deterministic chunked work-stealing pool
+//! # ipds-parallel — the deterministic persistent work-stealing pool
 //!
 //! Both halves of the system fan embarrassingly parallel work over threads:
 //! the sim side runs independently seeded attacks, the compiler side
 //! analyzes independent functions. Both need the *same* contract, so the
 //! pool lives here, below either of them:
 //!
+//! * **Persistent workers.** A [`Pool`] spawns its worker threads once and
+//!   parks them on a condvar between calls. Repeated [`map_indexed`] /
+//!   [`map_indexed_stats`] calls are broadcast to the *same* threads — the
+//!   per-call cost is one mutex round-trip and a wakeup, not a fleet of
+//!   `clone(2)` calls. The process-wide [`Pool::global`] instance is what
+//!   the free functions use, so every campaign shard, fault batch and
+//!   compiler shard in a process shares one set of threads.
 //! * **Chunked self-scheduling with range stealing.** The index space is
 //!   pre-split into one contiguous range per worker. A worker claims the
 //!   next *chunk* of its own range with one CAS (chunk size adapts to the
@@ -18,11 +25,16 @@
 //!   slot is written exactly once and the output of [`map_indexed`] is
 //!   **bit-identical** to the serial loop for any thread count and any
 //!   scheduling, with no tag-and-sort pass.
-//! * **Per-worker state.** Each worker owns one `W` built by the `init`
-//!   closure (an arena, a scratch metrics registry); the states come back
-//!   to the caller after the join so commutative aggregates can be folded
-//!   deterministically. Arenas live for the whole call — they are *never*
-//!   rebuilt per task or per chunk.
+//! * **Per-worker state.** Each participating worker owns one `W` built by
+//!   the `init` closure (an arena, a scratch metrics registry); the states
+//!   come back to the caller after the call completes so commutative
+//!   aggregates can be folded deterministically. Arenas live for the whole
+//!   call — they are *never* rebuilt per task or per chunk.
+//! * **A work floor.** Dispatching a batch smaller than
+//!   [`MIN_TASKS_PER_WORKER`] tasks per worker hands out one-task chunks
+//!   and leaves the surplus workers spinning on the steal path, so
+//!   [`effective_workers`] clamps the worker count to the batch size and
+//!   tiny batches run inline on the caller's thread — no wakeup at all.
 //!
 //! Scheduling observability: [`map_indexed_stats`] additionally returns a
 //! [`PoolStats`] (claimed/stolen chunk counts, executed tasks). The task
@@ -30,13 +42,19 @@
 //! scheduling-dependent and is surfaced for observability only — see the
 //! [`POOL_COUNTERS`] contract.
 //!
-//! `std::thread::scope` only — no external dependencies, and borrowed
-//! inputs (programs, analyses, traces) flow into workers without `Arc`.
+//! Standard library only — no external dependencies, and borrowed inputs
+//! (programs, analyses, traces) flow into workers without `Arc`: a call
+//! publishes a lifetime-erased pointer to its stack context, participates
+//! in its own batch, and does not return until every worker that touched
+//! the batch has finished with it.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread;
 
 /// The canonical `pool.*` metric keys the campaign and fault engines emit
@@ -54,6 +72,12 @@ pub const POOL_COUNTERS: &[&str] = &[
     "pool.chunks_stolen",
 ];
 
+/// Below this many tasks per worker, extra workers cost more in dispatch
+/// and steal traffic than they recover in parallelism; [`effective_workers`]
+/// sheds them. A batch smaller than `2 * MIN_TASKS_PER_WORKER` therefore
+/// runs inline on the caller's thread.
+pub const MIN_TASKS_PER_WORKER: u32 = 8;
+
 /// Picks a worker count: the machine's available parallelism capped at 8
 /// (both campaign and analysis shards are short; more threads just pay
 /// startup cost).
@@ -64,10 +88,22 @@ pub fn default_threads() -> usize {
         .min(8)
 }
 
+/// The worker count a `(tasks, threads)` batch is actually dispatched to:
+/// `threads`, clamped so every worker has at least [`MIN_TASKS_PER_WORKER`]
+/// tasks. `1` means the batch runs inline on the caller's thread with no
+/// pool interaction at all (the old degenerate path handed surplus workers
+/// one-task chunks and left them spinning on `steal_back`).
+pub fn effective_workers(tasks: u32, threads: usize) -> usize {
+    let floor = (tasks / MIN_TASKS_PER_WORKER).max(1) as usize;
+    threads.max(1).min(floor)
+}
+
 /// Scheduling statistics of one [`map_indexed_stats`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Workers that actually ran (≤ requested threads, ≥ 1).
+    /// Workers the batch was shaped for (≤ requested threads, ≥ 1). A
+    /// worker busy elsewhere may contribute nothing — its range is drained
+    /// by steals — so fewer states than this can come back.
     pub workers: u32,
     /// Tasks executed (= the task count; every index runs exactly once).
     pub tasks_executed: u64,
@@ -150,15 +186,16 @@ impl Range {
 }
 
 /// Write-once result slots shared by all workers. The ranges partition the
-/// index space, so no two workers ever touch the same slot; the join at the
-/// end of `thread::scope` provides the happens-before edge that makes every
-/// write visible before the slots are read back.
+/// index space, so no two workers ever touch the same slot; the batch
+/// completion handshake (every participant's finish is observed under the
+/// pool mutex) provides the happens-before edge that makes every write
+/// visible before the slots are read back.
 struct Slots<R> {
     cells: UnsafeCell<Vec<MaybeUninit<R>>>,
 }
 
 // SAFETY: workers write disjoint indices (the ranges partition `0..tasks`)
-// and the caller only reads after joining every worker.
+// and the caller only reads after the completion handshake.
 unsafe impl<R: Send> Sync for Slots<R> {}
 
 impl<R> Slots<R> {
@@ -180,8 +217,8 @@ impl<R> Slots<R> {
 
     /// # Safety
     ///
-    /// Every slot must have been written (all ranges drained) and all
-    /// workers joined.
+    /// Every slot must have been written (all ranges drained) and every
+    /// participant finished.
     unsafe fn into_results(self) -> Vec<R> {
         let cells = self.cells.into_inner();
         // MaybeUninit<R> and R have identical layout; every slot is
@@ -195,6 +232,29 @@ impl<R> Slots<R> {
     }
 }
 
+/// One participant's contribution to a batch: its final worker state plus
+/// its (executed, claimed, stolen) tallies.
+type WorkerOut<W> = Option<(W, u64, u64, u64)>;
+
+/// Per-worker output of one batch. `None` until that worker index
+/// participates; a slot is written by at most one participant.
+struct OutSlots<W> {
+    cells: Vec<UnsafeCell<WorkerOut<W>>>,
+}
+
+// SAFETY: participant `w` writes only `cells[w]` (participation slots are
+// claimed uniquely under the pool mutex) and the submitter only reads after
+// the completion handshake.
+unsafe impl<W: Send> Sync for OutSlots<W> {}
+
+impl<W> OutSlots<W> {
+    fn new(workers: usize) -> OutSlots<W> {
+        let mut cells = Vec::with_capacity(workers);
+        cells.resize_with(workers, || UnsafeCell::new(None));
+        OutSlots { cells }
+    }
+}
+
 /// The chunk size for a given task/worker ratio: big enough to amortize
 /// claim CASes, small enough that a steal can still rebalance the tail.
 /// Heavyweight shards (few tasks) degrade to chunk 1 — maximum balance;
@@ -203,12 +263,482 @@ fn chunk_size(tasks: u32, workers: usize) -> u32 {
     (tasks / (workers as u32 * 8)).clamp(1, 256)
 }
 
-/// Runs `run(worker_state, index)` for every index in `0..tasks` across
-/// `threads` workers and returns the results **in index order**, plus every
-/// worker's final state (in worker order).
+thread_local! {
+    /// Set while this thread is executing a batch participant. A nested
+    /// `map_indexed` from inside the pool would deadlock on the submit
+    /// mutex (the outer batch cannot finish until the nested caller
+    /// returns), so nested calls run inline instead.
+    static IN_POOL_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The borrowed batch context a worker participates in, erased to a raw
+/// pointer while published. `needed`/`claimed`/`finished`/`closed` are the
+/// completion handshake: workers claim participation slots under the pool
+/// mutex while the batch is open; the submitter closes it after draining
+/// the index space and then waits until every claimed slot has finished —
+/// only then may the stack frame owning the context unwind.
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    needed: usize,
+    claimed: usize,
+    finished: usize,
+    closed: bool,
+    panicked: bool,
+}
+
+// SAFETY: the raw context pointer is only dereferenced by participants
+// between publication and the completion handshake, while the submitter's
+// frame is pinned.
+unsafe impl Send for Job {}
+
+struct State {
+    shutdown: bool,
+    job: Option<Job>,
+    /// Detached long-running tasks ([`Pool::spawn`]); drained with priority
+    /// over batch participation.
+    detached: VecDeque<Box<dyn FnOnce() + Send + 'static>>,
+    /// Worker threads spawned so far.
+    helpers: usize,
+    /// Workers currently inside a detached task (unavailable for batches).
+    detached_busy: usize,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Workers park here between batches.
+    work: Condvar,
+    /// The submitter parks here waiting for claimed participants to finish.
+    done: Condvar,
+}
+
+/// A user panic unwinding through a lock would otherwise poison it and
+/// wedge every later batch; the pool's own invariants are restored before
+/// any panic propagates, so poisoning carries no information here.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+/// A persistent worker pool: threads are spawned once (lazily, as batches
+/// and detached tasks demand them) and parked between calls. Dropping the
+/// pool shuts the workers down and joins them; the process-wide
+/// [`Pool::global`] instance lives for the process lifetime.
+pub struct Pool {
+    inner: Arc<Inner>,
+    /// One batch in flight at a time; concurrent calls line up here and
+    /// reuse the same workers.
+    submit: Mutex<()>,
+    handles: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Creates a pool sized for `threads`-wide batches: `threads - 1`
+    /// helper threads are spawned up front (the submitting thread is always
+    /// worker 0 of its own batch). Wider batches grow the pool on demand.
+    pub fn new(threads: usize) -> Pool {
+        let pool = Pool {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    shutdown: false,
+                    job: None,
+                    detached: VecDeque::new(),
+                    helpers: 0,
+                    detached_busy: 0,
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+            }),
+            submit: Mutex::new(()),
+            handles: Mutex::new(Vec::new()),
+        };
+        pool.ensure_helpers(threads.saturating_sub(1));
+        pool
+    }
+
+    /// The process-wide pool every free-function call goes through, sized
+    /// for [`default_threads`] and grown on demand by wider requests.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(default_threads()))
+    }
+
+    /// Spawns helper threads until at least `want` of them are not tied up
+    /// in detached tasks.
+    fn ensure_helpers(&self, want: usize) {
+        let mut st = lock(&self.inner.state);
+        let busy = st.detached_busy + st.detached.len();
+        let deficit = (busy + want).saturating_sub(st.helpers);
+        if deficit == 0 {
+            return;
+        }
+        let mut handles = lock(&self.handles);
+        for _ in 0..deficit {
+            st.helpers += 1;
+            let inner = Arc::clone(&self.inner);
+            handles.push(
+                thread::Builder::new()
+                    .name("ipds-pool".into())
+                    .spawn(move || worker_loop(&inner))
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+    }
+
+    /// Runs `f` on a pool thread, detached from any batch. Every detached
+    /// task is guaranteed a worker that is not running another detached
+    /// task (the pool grows if needed), so long-lived service loops cannot
+    /// starve each other or the batch path. The task must finish before the
+    /// pool can be dropped; the global pool is never dropped.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        {
+            let mut st = lock(&self.inner.state);
+            st.detached.push_back(Box::new(f));
+            let busy = st.detached_busy + st.detached.len();
+            if busy > st.helpers {
+                let deficit = busy - st.helpers;
+                let mut handles = lock(&self.handles);
+                for _ in 0..deficit {
+                    st.helpers += 1;
+                    let inner = Arc::clone(&self.inner);
+                    handles.push(
+                        thread::Builder::new()
+                            .name("ipds-pool".into())
+                            .spawn(move || worker_loop(&inner))
+                            .expect("failed to spawn pool worker"),
+                    );
+                }
+            }
+        }
+        self.inner.work.notify_all();
+    }
+
+    /// Runs `run(worker_state, index)` for every index in `0..tasks` across
+    /// up to `threads` pool workers and returns the results **in index
+    /// order**, plus every participating worker's final state.
+    ///
+    /// Small batches (fewer than [`MIN_TASKS_PER_WORKER`] tasks per worker)
+    /// shed surplus workers; below two workers' worth of tasks the call
+    /// runs inline on the calling thread with no pool interaction.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker (results produced by other
+    /// workers are leaked, never observed). The pool itself survives and
+    /// serves later calls.
+    pub fn map_indexed<W, R, I, F>(
+        &self,
+        tasks: u32,
+        threads: usize,
+        init: I,
+        run: F,
+    ) -> (Vec<R>, Vec<W>)
+    where
+        W: Send,
+        R: Send,
+        I: Fn(usize) -> W + Sync,
+        F: Fn(&mut W, u32) -> R + Sync,
+    {
+        let (results, states, _) = self.map_indexed_stats(tasks, threads, init, run);
+        (results, states)
+    }
+
+    /// [`Pool::map_indexed`] plus the scheduling statistics of the call
+    /// (chunks claimed/stolen, tasks executed) for the `pool.*` telemetry
+    /// keys.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker.
+    pub fn map_indexed_stats<W, R, I, F>(
+        &self,
+        tasks: u32,
+        threads: usize,
+        init: I,
+        run: F,
+    ) -> (Vec<R>, Vec<W>, PoolStats)
+    where
+        W: Send,
+        R: Send,
+        I: Fn(usize) -> W + Sync,
+        F: Fn(&mut W, u32) -> R + Sync,
+    {
+        let workers = effective_workers(tasks, threads);
+        if workers <= 1 || IN_POOL_JOB.get() {
+            return serial_map(tasks, &init, &run);
+        }
+
+        // Pre-split the index space into one contiguous range per worker;
+        // the split is as even as possible (first `rem` ranges get one
+        // extra task).
+        let per = tasks / workers as u32;
+        let rem = (tasks % workers as u32) as usize;
+        let mut ranges = Vec::with_capacity(workers);
+        let mut next = 0u32;
+        for w in 0..workers {
+            let len = per + u32::from(w < rem);
+            ranges.push(Range::new(next, next + len));
+            next += len;
+        }
+        debug_assert_eq!(next, tasks);
+
+        let slots = Slots::new(tasks as usize);
+        let outs = OutSlots::new(workers);
+        let ctx = BatchCtx {
+            ranges: &ranges,
+            slots: &slots,
+            outs: &outs,
+            init: &init,
+            run: &run,
+            chunk: chunk_size(tasks, workers),
+            workers,
+        };
+
+        let submit = lock(&self.submit);
+        self.ensure_helpers(workers - 1);
+        {
+            let mut st = lock(&self.inner.state);
+            st.job = Some(Job {
+                data: (&ctx as *const BatchCtx<'_, W, R, I, F>).cast::<()>(),
+                call: participate_thunk::<W, R, I, F>,
+                needed: workers - 1,
+                claimed: 0,
+                finished: 0,
+                closed: false,
+                panicked: false,
+            });
+        }
+        self.inner.work.notify_all();
+
+        // The submitter is always worker 0 of its own batch: it drains its
+        // range and then steals, so the batch completes even if every
+        // helper is busy elsewhere.
+        IN_POOL_JOB.set(true);
+        let mine = catch_unwind(AssertUnwindSafe(|| ctx.participate(0)));
+        IN_POOL_JOB.set(false);
+
+        // Completion handshake: close the batch (no new participants), then
+        // wait until every claimed participant has finished with `ctx`.
+        // Only after that may this frame unwind or read the slots.
+        let helper_panicked = {
+            let mut st = lock(&self.inner.state);
+            st.job
+                .as_mut()
+                .expect("the job is published until its submitter takes it")
+                .closed = true;
+            loop {
+                let job = st
+                    .job
+                    .as_ref()
+                    .expect("the job is published until its submitter takes it");
+                if job.finished >= job.claimed {
+                    break;
+                }
+                st = wait(&self.inner.done, st);
+            }
+            st.job
+                .take()
+                .expect("the job is published until its submitter takes it")
+                .panicked
+        };
+        drop(submit);
+        if mine.is_err() || helper_panicked {
+            panic!("pool worker panicked");
+        }
+
+        let mut states: Vec<W> = Vec::with_capacity(workers);
+        let mut stats = PoolStats {
+            workers: workers as u32,
+            ..PoolStats::default()
+        };
+        for cell in outs.cells {
+            if let Some((state, executed, claimed, stolen)) = cell.into_inner() {
+                states.push(state);
+                stats.tasks_executed += executed;
+                stats.chunks_claimed += claimed;
+                stats.chunks_stolen += stolen;
+            }
+        }
+        debug_assert_eq!(stats.tasks_executed, u64::from(tasks));
+
+        // SAFETY: every range was drained (participants only exit after a
+        // full empty scan) and the completion handshake above observed
+        // every participant finish.
+        let results = unsafe { slots.into_results() };
+        (results, states, stats)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.inner.state);
+            st.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        for handle in lock(&self.handles).drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The serial degenerate path: one worker state, a plain indexed loop,
+/// no pool interaction. Chunk accounting collapses to a single claimed
+/// chunk covering the whole (non-empty) batch.
+fn serial_map<W, R, I, F>(tasks: u32, init: &I, run: &F) -> (Vec<R>, Vec<W>, PoolStats)
+where
+    I: Fn(usize) -> W,
+    F: Fn(&mut W, u32) -> R,
+{
+    let mut state = init(0);
+    let results = (0..tasks).map(|i| run(&mut state, i)).collect();
+    let stats = PoolStats {
+        workers: 1,
+        tasks_executed: u64::from(tasks),
+        chunks_claimed: u64::from(tasks > 0),
+        chunks_stolen: 0,
+    };
+    (results, vec![state], stats)
+}
+
+/// The borrowed per-batch context shared by all participants.
+struct BatchCtx<'a, W, R, I, F> {
+    ranges: &'a [Range],
+    slots: &'a Slots<R>,
+    outs: &'a OutSlots<W>,
+    init: &'a I,
+    run: &'a F,
+    chunk: u32,
+    workers: usize,
+}
+
+impl<W, R, I, F> BatchCtx<'_, W, R, I, F>
+where
+    W: Send,
+    R: Send,
+    I: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, u32) -> R + Sync,
+{
+    /// Worker `w`'s share of the batch: drain the own range, then scan the
+    /// others for work to steal; stop only when a full scan finds every
+    /// range empty.
+    fn participate(&self, w: usize) {
+        let mut state = (self.init)(w);
+        let mut executed = 0u64;
+        let mut claimed = 0u64;
+        let mut stolen = 0u64;
+        'work: loop {
+            while let Some((lo, hi)) = self.ranges[w].claim_front(self.chunk) {
+                claimed += 1;
+                for i in lo..hi {
+                    // SAFETY: each index is claimed exactly once (ranges
+                    // partition the space, claims and steals detach
+                    // disjoint subranges).
+                    unsafe { self.slots.write(i, (self.run)(&mut state, i)) };
+                    executed += 1;
+                }
+            }
+            for off in 1..self.workers {
+                let victim = (w + off) % self.workers;
+                if let Some((lo, hi)) = self.ranges[victim].steal_back() {
+                    stolen += 1;
+                    for i in lo..hi {
+                        // SAFETY: as above — the stolen back half is
+                        // detached atomically.
+                        unsafe { self.slots.write(i, (self.run)(&mut state, i)) };
+                        executed += 1;
+                    }
+                    continue 'work;
+                }
+            }
+            break;
+        }
+        // SAFETY: participation slot `w` was claimed by exactly this
+        // participant; the submitter reads only after the handshake.
+        unsafe { *self.outs.cells[w].get() = Some((state, executed, claimed, stolen)) };
+    }
+}
+
+/// Monomorphized trampoline stored in the type-erased [`Job`]: participant
+/// slot `s` is worker `s + 1` of the batch (the submitter is worker 0).
 ///
-/// `threads <= 1` (or `tasks <= 1`) degenerates to a plain serial loop over
-/// one worker state — zero threads spawned, identical results either way.
+/// # Safety
+///
+/// `data` must point to a live `BatchCtx<W, R, I, F>` (guaranteed by the
+/// completion handshake) and `slot + 1` must be a uniquely claimed worker
+/// index below `ctx.workers`.
+unsafe fn participate_thunk<W, R, I, F>(data: *const (), slot: usize)
+where
+    W: Send,
+    R: Send,
+    I: Fn(usize) -> W + Sync,
+    F: Fn(&mut W, u32) -> R + Sync,
+{
+    let ctx = &*data.cast::<BatchCtx<'_, W, R, I, F>>();
+    ctx.participate(slot + 1);
+}
+
+/// The body of every pool worker thread: detached tasks first, then batch
+/// participation, then park on the condvar.
+fn worker_loop(inner: &Inner) {
+    let mut st = lock(&inner.state);
+    loop {
+        if st.shutdown {
+            return;
+        }
+        if let Some(task) = st.detached.pop_front() {
+            st.detached_busy += 1;
+            drop(st);
+            // A detached task is not a batch participant: it may submit
+            // batches of its own (the submit mutex serializes them), so
+            // the nesting guard stays clear.
+            let _ = catch_unwind(AssertUnwindSafe(task));
+            st = lock(&inner.state);
+            st.detached_busy -= 1;
+            continue;
+        }
+        let claimed_slot = match st.job.as_mut() {
+            Some(job) if !job.closed && job.claimed < job.needed => {
+                let slot = job.claimed;
+                job.claimed += 1;
+                Some((slot, job.data, job.call))
+            }
+            _ => None,
+        };
+        if let Some((slot, data, call)) = claimed_slot {
+            drop(st);
+            IN_POOL_JOB.set(true);
+            // SAFETY: the submitter keeps the context alive until this
+            // participant's finish is recorded below.
+            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { call(data, slot) }));
+            IN_POOL_JOB.set(false);
+            st = lock(&inner.state);
+            let job = st
+                .job
+                .as_mut()
+                .expect("the job outlives its claimed participants");
+            job.finished += 1;
+            if outcome.is_err() {
+                job.panicked = true;
+            }
+            inner.done.notify_all();
+            continue;
+        }
+        st = wait(&inner.work, st);
+    }
+}
+
+/// Runs `run(worker_state, index)` for every index in `0..tasks` across
+/// `threads` workers of the process-wide [`Pool::global`] pool and returns
+/// the results **in index order**, plus every participating worker's final
+/// state.
+///
+/// `threads <= 1` (or a batch below the [`MIN_TASKS_PER_WORKER`] work
+/// floor) degenerates to a plain serial loop over one worker state — no
+/// pool interaction, identical results either way.
 ///
 /// # Panics
 ///
@@ -221,8 +751,7 @@ where
     I: Fn(usize) -> W + Sync,
     F: Fn(&mut W, u32) -> R + Sync,
 {
-    let (results, states, _) = map_indexed_stats(tasks, threads, init, run);
-    (results, states)
+    Pool::global().map_indexed(tasks, threads, init, run)
 }
 
 /// [`map_indexed`] plus the scheduling statistics of the call (chunks
@@ -243,98 +772,7 @@ where
     I: Fn(usize) -> W + Sync,
     F: Fn(&mut W, u32) -> R + Sync,
 {
-    let workers = threads.max(1).min(tasks.max(1) as usize);
-    if workers <= 1 {
-        let mut state = init(0);
-        let results = (0..tasks).map(|i| run(&mut state, i)).collect();
-        let stats = PoolStats {
-            workers: 1,
-            tasks_executed: u64::from(tasks),
-            chunks_claimed: u64::from(tasks > 0),
-            chunks_stolen: 0,
-        };
-        return (results, vec![state], stats);
-    }
-
-    // Pre-split the index space into one contiguous range per worker; the
-    // split is as even as possible (first `rem` ranges get one extra task).
-    let per = tasks / workers as u32;
-    let rem = (tasks % workers as u32) as usize;
-    let mut ranges = Vec::with_capacity(workers);
-    let mut next = 0u32;
-    for w in 0..workers {
-        let len = per + u32::from(w < rem);
-        ranges.push(Range::new(next, next + len));
-        next += len;
-    }
-    debug_assert_eq!(next, tasks);
-
-    let chunk = chunk_size(tasks, workers);
-    let slots = Slots::new(tasks as usize);
-    let mut states: Vec<W> = Vec::with_capacity(workers);
-    let mut stats = PoolStats {
-        workers: workers as u32,
-        ..PoolStats::default()
-    };
-    thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let ranges = &ranges;
-                let slots = &slots;
-                let init = &init;
-                let run = &run;
-                scope.spawn(move || {
-                    let mut state = init(w);
-                    let mut executed = 0u64;
-                    let mut claimed = 0u64;
-                    let mut stolen = 0u64;
-                    // Drain the own range, then scan the others for work to
-                    // steal; stop only when a full scan finds every range
-                    // empty.
-                    'work: loop {
-                        while let Some((lo, hi)) = ranges[w].claim_front(chunk) {
-                            claimed += 1;
-                            for i in lo..hi {
-                                // SAFETY: each index is claimed exactly once
-                                // (ranges partition the space, claims and
-                                // steals detach disjoint subranges).
-                                unsafe { slots.write(i, run(&mut state, i)) };
-                                executed += 1;
-                            }
-                        }
-                        for off in 1..workers {
-                            let victim = (w + off) % workers;
-                            if let Some((lo, hi)) = ranges[victim].steal_back() {
-                                stolen += 1;
-                                for i in lo..hi {
-                                    // SAFETY: as above — the stolen back
-                                    // half is detached atomically.
-                                    unsafe { slots.write(i, run(&mut state, i)) };
-                                    executed += 1;
-                                }
-                                continue 'work;
-                            }
-                        }
-                        break;
-                    }
-                    (state, executed, claimed, stolen)
-                })
-            })
-            .collect();
-        for handle in handles {
-            let (state, executed, claimed, stolen) = handle.join().expect("pool worker panicked");
-            states.push(state);
-            stats.tasks_executed += executed;
-            stats.chunks_claimed += claimed;
-            stats.chunks_stolen += stolen;
-        }
-    });
-    debug_assert_eq!(stats.tasks_executed, u64::from(tasks));
-
-    // SAFETY: every range was drained (workers only exit after a full empty
-    // scan) and every worker was joined above.
-    let results = unsafe { slots.into_results() };
-    (results, states, stats)
+    Pool::global().map_indexed_stats(tasks, threads, init, run)
 }
 
 #[cfg(test)]
@@ -380,6 +818,28 @@ mod tests {
         let (results, states) = map_indexed(3, 16, |w| w, |_, i| i);
         assert_eq!(results, vec![0, 1, 2]);
         assert!(states.len() <= 3);
+    }
+
+    #[test]
+    fn small_batches_run_inline_without_dispatch() {
+        // Below the work floor the batch must not touch the pool at all:
+        // exactly one worker state, a single claimed chunk, no steals.
+        for tasks in [0u32, 1, 5, 15] {
+            let (results, states, stats) =
+                map_indexed_stats(tasks, 8, |w| w, |_, i| u64::from(i) * 2);
+            assert_eq!(
+                results,
+                (0..u64::from(tasks)).map(|i| i * 2).collect::<Vec<_>>()
+            );
+            assert_eq!(states, vec![0], "{tasks} tasks must run inline");
+            assert_eq!(stats.workers, 1);
+            assert_eq!(stats.chunks_claimed, u64::from(tasks > 0));
+            assert_eq!(stats.chunks_stolen, 0, "no idle worker may spin");
+        }
+        // The floor sheds surplus workers even when some dispatch happens.
+        assert_eq!(effective_workers(16, 8), 2);
+        assert_eq!(effective_workers(100, 8), 8);
+        assert_eq!(effective_workers(7, 3), 1);
     }
 
     #[test]
@@ -435,6 +895,114 @@ mod tests {
         );
         assert_eq!(got, (0..64u64).map(|i| i * 7).collect::<Vec<_>>());
         assert_eq!(stats.tasks_executed, 64);
+    }
+
+    #[test]
+    fn a_dedicated_pool_serves_repeated_calls_deterministically() {
+        // 100 consecutive batches through one pool must be bit-identical
+        // to a fresh pool and to the serial loop, at every thread count.
+        let serial: Vec<u64> = (0..200)
+            .map(|i| (i as u64).wrapping_mul(0x9e37) ^ 7)
+            .collect();
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            for call in 0..100 {
+                let (got, _, stats) = pool.map_indexed_stats(
+                    200,
+                    threads,
+                    |_| (),
+                    |(), i| (u64::from(i)).wrapping_mul(0x9e37) ^ 7,
+                );
+                assert_eq!(got, serial, "call {call} at {threads} threads");
+                assert_eq!(stats.tasks_executed, 200);
+            }
+            let fresh = Pool::new(threads);
+            let (got, _) = fresh.map_indexed(
+                200,
+                threads,
+                |_| (),
+                |(), i| (u64::from(i)).wrapping_mul(0x9e37) ^ 7,
+            );
+            assert_eq!(got, serial, "fresh pool at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn the_global_pool_reuses_its_threads() {
+        // Two wide calls back to back: the pool must not grow between them
+        // (the same parked helpers serve both).
+        let (a, _) = map_indexed(128, 4, |_| (), |(), i| i + 1);
+        let helpers_after_first = lock(&Pool::global().inner.state).helpers;
+        let (b, _) = map_indexed(128, 4, |_| (), |(), i| i + 1);
+        let helpers_after_second = lock(&Pool::global().inner.state).helpers;
+        assert_eq!(a, b);
+        assert_eq!(
+            helpers_after_first, helpers_after_second,
+            "repeated batches must reuse parked workers"
+        );
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        // A task that itself calls map_indexed must not deadlock on the
+        // submit mutex: the nested call runs serially on the worker.
+        let (got, _) = map_indexed(
+            64,
+            4,
+            |_| (),
+            |(), i| {
+                let (inner, _) = map_indexed(64, 4, |_| (), |(), j| u64::from(j));
+                inner.iter().sum::<u64>() + u64::from(i)
+            },
+        );
+        let expect: Vec<u64> = (0..64u64).map(|i| (0..64).sum::<u64>() + i).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn a_worker_panic_propagates_and_the_pool_survives() {
+        let pool = Pool::new(4);
+        let boom = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(
+                64,
+                4,
+                |_| (),
+                |(), i| {
+                    assert!(i != 33, "injected failure");
+                    i
+                },
+            )
+        }));
+        assert!(boom.is_err(), "the panic must propagate to the caller");
+        // The same pool must still serve clean batches afterwards.
+        let (got, _) = pool.map_indexed(64, 4, |_| (), |(), i| i * 2);
+        assert_eq!(got, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn detached_tasks_get_dedicated_workers() {
+        use std::sync::mpsc;
+        let pool = Pool::new(1);
+        let (tx, rx) = mpsc::channel();
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        // Two long-lived tasks on a 1-wide pool: both must run concurrently
+        // (the second blocks until the first confirms it started — that
+        // only works if each gets its own thread).
+        let tx2 = tx.clone();
+        pool.spawn(move || {
+            tx2.send("a started").unwrap();
+            gate_rx.recv().unwrap();
+        });
+        pool.spawn(move || {
+            tx.send("b started").unwrap();
+            gate_tx.send(()).unwrap();
+        });
+        let mut started: Vec<_> = [rx.recv().unwrap(), rx.recv().unwrap()].into();
+        started.sort_unstable();
+        assert_eq!(started, ["a started", "b started"]);
+        // Batches still work while/after detached tasks occupy workers.
+        let (got, _) = pool.map_indexed(64, 2, |_| (), |(), i| i);
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! The long-lived service: control plane + sharded ingestion workers.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use ipds_runtime::IpdsStats;
 use ipds_telemetry::MetricsRegistry;
@@ -75,20 +74,32 @@ pub struct ServiceReport {
     pub pool: SessionPoolStats,
 }
 
+/// Ingestion-channel depth [`Service::start`] uses: deep enough that a
+/// bursty guest rarely stalls, shallow enough that a session outpacing its
+/// worker blocks on back-pressure instead of growing the queue without
+/// bound (ROADMAP #2). [`Service::start_bounded`] overrides it.
+pub const DEFAULT_INGEST_CAPACITY: usize = 256;
+
 /// The `ipdsd` engine: a control plane routing guest sessions to sharded
-/// ingestion workers over `mpsc` channels.
+/// ingestion workers over bounded `mpsc` channels.
 ///
 /// Sessions shard by `session_id % workers`; each worker drains its
 /// channel in order, so one session's stream is always replayed in
-/// submission order no matter how many workers run. Per-session results
-/// merge by session id at [`Service::finish`] — fleet results are
-/// bit-identical for every worker count (the per-worker pool pair
-/// `service.pool_reuses`/`service.pool_high_water` is the documented
-/// scheduler-shaped exception).
+/// submission order no matter how many workers run. The channels are
+/// *bounded*: a submit that finds its shard's channel full blocks until
+/// the worker catches up (counted in `service.backpressure_stalls`), so
+/// guest memory use is capped per worker. Worker threads come from the
+/// process-wide [`ipds_parallel::Pool`] — starting and finishing services
+/// repeatedly reuses the same OS threads. Per-session results merge by
+/// session id at [`Service::finish`] — fleet results are bit-identical for
+/// every worker count (the per-worker pool pair
+/// `service.pool_reuses`/`service.pool_high_water` and the timing-shaped
+/// `service.backpressure_stalls` are the documented scheduler-shaped
+/// exceptions).
 #[derive(Debug)]
 pub struct Service {
-    txs: Vec<Sender<WorkerMsg>>,
-    handles: Vec<JoinHandle<WorkerOutput>>,
+    txs: Vec<SyncSender<WorkerMsg>>,
+    outputs: Vec<Receiver<WorkerOutput>>,
     names: HashMap<String, usize>,
     open: HashSet<u64>,
     /// Minimum same-PC cluster size the correlation stage folds into a
@@ -100,14 +111,27 @@ pub struct Service {
     peak: u64,
     batches: u64,
     events: u64,
+    stalls: u64,
     rejected: Vec<(u64, String)>,
 }
 
 impl Service {
-    /// Spawns `workers` ingestion threads over the verified artifacts and
-    /// returns the running service. Sessions open by workload *name*; a
-    /// name with no verified artifact is refused (see [`Service::open`]).
+    /// Starts `workers` ingestion workers over the verified artifacts and
+    /// returns the running service, with the default
+    /// [`DEFAULT_INGEST_CAPACITY`] channel depth. Sessions open by
+    /// workload *name*; a name with no verified artifact is refused (see
+    /// [`Service::open`]).
     pub fn start(artifacts: Vec<Arc<WorkloadArtifact>>, workers: usize) -> Service {
+        Service::start_bounded(artifacts, workers, DEFAULT_INGEST_CAPACITY)
+    }
+
+    /// [`Service::start`] with an explicit ingestion-channel depth
+    /// (`capacity` messages per worker, minimum 1).
+    pub fn start_bounded(
+        artifacts: Vec<Arc<WorkloadArtifact>>,
+        workers: usize,
+        capacity: usize,
+    ) -> Service {
         let workers = workers.max(1);
         let names = artifacts
             .iter()
@@ -116,16 +140,22 @@ impl Service {
             .collect();
         let shared = Arc::new(artifacts);
         let mut txs = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
+        let mut outputs = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = channel();
+            let (tx, rx) = sync_channel(capacity.max(1));
+            let (out_tx, out_rx) = channel();
             let artifacts = Arc::clone(&shared);
             txs.push(tx);
-            handles.push(std::thread::spawn(move || worker_loop(&artifacts, rx)));
+            outputs.push(out_rx);
+            // Long-lived loops ride the persistent pool's detached lane:
+            // each is guaranteed its own thread, reused across services.
+            ipds_parallel::Pool::global().spawn(move || {
+                let _ = out_tx.send(worker_loop(&artifacts, rx));
+            });
         }
         Service {
             txs,
-            handles,
+            outputs,
             names,
             open: HashSet::new(),
             min_cluster: 3,
@@ -135,6 +165,7 @@ impl Service {
             peak: 0,
             batches: 0,
             events: 0,
+            stalls: 0,
             rejected: Vec::new(),
         }
     }
@@ -208,11 +239,21 @@ impl Service {
         Ok(())
     }
 
-    fn route(&self, session: u64, msg: WorkerMsg) {
+    fn route(&mut self, session: u64, msg: WorkerMsg) {
         let shard = (session % self.txs.len() as u64) as usize;
-        // A worker can only be gone if it panicked; joining in `finish`
-        // will surface that panic, so a failed send is ignorable here.
-        let _ = self.txs[shard].send(msg);
+        match self.txs[shard].try_send(msg) {
+            Ok(()) => {}
+            Err(TrySendError::Full(msg)) => {
+                // Back-pressure: the guest outpaced this shard's worker.
+                // Block until the worker catches up — the queue stays
+                // bounded — and count the stall.
+                self.stalls += 1;
+                let _ = self.txs[shard].send(msg);
+            }
+            // A worker can only be gone if it panicked; `finish` will
+            // surface that panic, so a failed send is ignorable here.
+            Err(TrySendError::Disconnected(_)) => {}
+        }
     }
 
     /// Shuts the service down: drains and joins every worker, merges
@@ -227,8 +268,10 @@ impl Service {
         let mut sessions: Vec<SessionSummary> = Vec::new();
         let mut pool = SessionPoolStats::default();
         let mut metrics = MetricsRegistry::new();
-        for handle in self.handles {
-            let out = handle.join().expect("ingestion worker panicked");
+        for out_rx in self.outputs {
+            // A worker that panicked never sends its output; the closed
+            // channel surfaces it here, like the join it replaces did.
+            let out = out_rx.recv().expect("ingestion worker panicked");
             sessions.extend(out.summaries);
             pool.checkouts += out.pool.checkouts;
             pool.reuses += out.pool.reuses;
@@ -270,6 +313,7 @@ impl Service {
         metrics.add("service.pool_checkouts", pool.checkouts);
         metrics.add("service.pool_reuses", pool.reuses);
         metrics.add("service.pool_high_water", pool.high_water);
+        metrics.add("service.backpressure_stalls", self.stalls);
         metrics.add("fleet.root_causes", root_causes.len() as u64);
         let count = |f: fn(&RootCause) -> bool| root_causes.iter().filter(|c| f(c)).count() as u64;
         metrics.add(

@@ -166,7 +166,9 @@ pub struct FleetOutcome {
     /// The correlation verdicts.
     pub root_causes: Vec<RootCause>,
     /// Invariant `service.*`/`fleet.*` counters, sorted by key
-    /// (`service.pool_reuses` and `service.pool_high_water` excluded).
+    /// (the scheduler-shaped `service.pool_reuses`,
+    /// `service.pool_high_water` and `service.backpressure_stalls`
+    /// excluded).
     pub counters: Vec<(String, u64)>,
 }
 
@@ -601,7 +603,11 @@ impl FleetPlan {
         let counters = {
             let mut c: Vec<(String, u64)> = metrics
                 .counters()
-                .filter(|(k, _)| *k != "service.pool_reuses" && *k != "service.pool_high_water")
+                .filter(|(k, _)| {
+                    *k != "service.pool_reuses"
+                        && *k != "service.pool_high_water"
+                        && *k != "service.backpressure_stalls"
+                })
                 .map(|(k, v)| (k.to_string(), v))
                 .collect();
             c.sort();

@@ -15,8 +15,9 @@
 //!   borrowed from the shared artifact; BSV arenas and scratch buffers are
 //!   recycled on session close instead of reallocated).
 //! * [`Service`] — sharded ingestion: guest sessions push
-//!   [`GuestEvent`] batches over `mpsc` channels into worker threads that
-//!   drive the flat SoA checker hot path
+//!   [`GuestEvent`] batches over *bounded* `mpsc` channels (back-pressure
+//!   instead of unbounded queue growth) into persistent-pool worker
+//!   threads that drive the flat SoA checker hot path
 //!   ([`IpdsChecker::on_branch_run`](ipds_runtime::IpdsChecker::on_branch_run)).
 //!   Per-session results merge in session-id order, so fleet results are
 //!   bit-identical for every ingestion-worker count.
@@ -46,7 +47,7 @@ mod incident;
 mod pool;
 
 pub use cache::{CacheStats, ImageCache, WorkloadArtifact};
-pub use engine::{Service, ServiceReport, SessionSummary};
+pub use engine::{Service, ServiceReport, SessionSummary, DEFAULT_INGEST_CAPACITY};
 pub use error::ServiceError;
 pub use event::GuestEvent;
 pub use fleet::{FleetOutcome, FleetPlan, FleetReport, ServiceSpec};
@@ -57,11 +58,13 @@ pub use pool::{SessionPool, SessionPoolStats, SessionState};
 /// `docs/SERVICE.md` (asserted by `tests/docs_metrics.rs`).
 ///
 /// All of them are invariant across ingestion-worker counts except the
-/// final pool pair: `service.pool_reuses` / `service.pool_high_water`
-/// describe how sessions landed on per-worker pools and — like
+/// final three: `service.pool_reuses` / `service.pool_high_water` describe
+/// how sessions landed on per-worker pools and — like
 /// `pool.chunks_claimed` / `pool.chunks_stolen` in the campaign engine —
-/// legitimately vary with sharding. The fleet-wide concurrency high water
-/// is the invariant `service.peak_sessions`.
+/// legitimately vary with sharding, and `service.backpressure_stalls`
+/// counts submits that found their shard's bounded channel full (pure
+/// timing). The fleet-wide concurrency high water is the invariant
+/// `service.peak_sessions`.
 pub const SERVICE_COUNTERS: &[&str] = &[
     "service.images_verified",
     "service.image_hits",
@@ -76,6 +79,7 @@ pub const SERVICE_COUNTERS: &[&str] = &[
     "service.pool_checkouts",
     "service.pool_reuses",
     "service.pool_high_water",
+    "service.backpressure_stalls",
 ];
 
 /// Canonical `service.*` histogram keys (events per ingested batch).

@@ -733,6 +733,29 @@ pub fn run_campaign_instrumented<S: EventSink>(
     campaign: &Campaign,
     sink: &S,
 ) -> (CampaignResult, MetricsRegistry) {
+    run_campaign_instrumented_warm(program, analysis, inputs, golden, campaign, sink, None)
+}
+
+/// [`run_campaign_instrumented`] over a precomputed [`WarmStart`], so a
+/// driver running many campaigns against the same artifacts (the scaling
+/// sweep, the ablation grid) captures the golden snapshots once instead of
+/// once per campaign. `warm.is_none()` captures on demand exactly as
+/// before; either way the warm path is subject to the same gating (detail
+/// sinks and single-attack campaigns run cold), so results stay
+/// bit-identical with and without a precomputed warm start.
+///
+/// # Panics
+///
+/// Panics if the golden run faulted — benign traffic must be fault-free.
+pub fn run_campaign_instrumented_warm<S: EventSink>(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    golden: &GoldenRun,
+    campaign: &Campaign,
+    sink: &S,
+    warm: Option<&WarmStart>,
+) -> (CampaignResult, MetricsRegistry) {
     assert!(
         !matches!(golden.status, ExecStatus::Fault(_)),
         "golden run must not fault: {:?}",
@@ -741,8 +764,14 @@ pub fn run_campaign_instrumented<S: EventSink>(
     // One golden-snapshot set amortized over the whole campaign — skipped
     // for detail sinks (which need every prefix branch record) and for
     // single-attack campaigns (capture costs about one clean run).
-    let warm = (!sink.wants_branch_stream() && campaign.attacks > 1)
+    let use_warm = !sink.wants_branch_stream() && campaign.attacks > 1;
+    let owned = (use_warm && warm.is_none())
         .then(|| WarmStart::capture(program, analysis, inputs, golden.steps, campaign.limits));
+    let warm = if use_warm {
+        warm.or(owned.as_ref())
+    } else {
+        None
+    };
     let mut runner = AttackRunner::with_sink(
         program,
         analysis,
@@ -751,7 +780,7 @@ pub fn run_campaign_instrumented<S: EventSink>(
         campaign.limits,
         sink,
     );
-    if let Some(warm) = &warm {
+    if let Some(warm) = warm {
         runner = runner.with_warm_start(warm);
     }
     let mut metrics = MetricsRegistry::new();

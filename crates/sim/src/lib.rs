@@ -14,9 +14,10 @@
 //!   memory tampering at a chosen instant (format-string = any live cell,
 //!   buffer-overflow = stack cells), control-flow diffing and detection
 //!   measurement over seeded campaigns;
-//! * [`parallel`] — a scoped-thread worker pool running campaign attacks
-//!   concurrently with results bit-identical to the serial path (attacks
-//!   are independently seeded; outcomes merge in seed order);
+//! * [`parallel`] — campaign sharding over the persistent
+//!   [`ipds_parallel`] worker pool, with results bit-identical to the
+//!   serial path (attacks are independently seeded; outcomes merge in seed
+//!   order);
 //! * [`faults`] — a deterministic seeded fault-injection engine striking
 //!   the table image, live checker state and guest memory, grading each
 //!   fault detected/masked/crashed and measuring detection latency in
@@ -46,8 +47,8 @@ pub mod rng;
 pub use ipds_telemetry as telemetry;
 
 pub use attack::{
-    attack_seed, run_campaign_instrumented, AttackModel, AttackOutcome, AttackRunner, Campaign,
-    CampaignResult, GoldenRun, WarmStart,
+    attack_seed, run_campaign_instrumented, run_campaign_instrumented_warm, AttackModel,
+    AttackOutcome, AttackRunner, Campaign, CampaignResult, GoldenRun, WarmStart,
 };
 pub use faults::{
     fault_plan, fault_seed, fault_site, run_fault_campaign, run_fault_campaign_threaded,
@@ -58,7 +59,10 @@ pub use interp::{ExecLimits, ExecStatus, Input, Interp};
 pub use ipds_parallel::POOL_COUNTERS;
 pub use memory::Memory;
 pub use observer::{expectation_of, ExecObserver, IpdsObserver, NullObserver};
-pub use parallel::{default_threads, run_campaign_threaded, run_campaign_threaded_instrumented};
+pub use parallel::{
+    default_threads, run_campaign_threaded, run_campaign_threaded_instrumented,
+    run_campaign_threaded_instrumented_warm,
+};
 pub use pipeline::{PerfReport, TimingModel};
 pub use rng::{SplitMix64, StdRng};
 pub use telemetry::{

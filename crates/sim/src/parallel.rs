@@ -4,8 +4,9 @@
 //! independently (`campaign.seed ^ splitmix_constant * (i + 1)`), runs
 //! against the same immutable artifacts (program, analysis, inputs, golden
 //! trace), and contributes one [`AttackOutcome`]. The engine shards the
-//! attack indices over a scoped worker pool — `std::thread::scope`, no
-//! external dependencies — where each worker owns one reusable
+//! attack indices over the persistent [`ipds_parallel`] worker pool — the
+//! threads are spawned once per process and parked between campaigns —
+//! where each worker owns one reusable
 //! [`AttackRunner`] arena. Outcomes are tagged with their attack index,
 //! merged back into seed order, and folded through the same
 //! [`aggregate`](crate::attack::aggregate) function the serial engine uses,
@@ -91,28 +92,65 @@ pub fn run_campaign_threaded_instrumented<S: EventSink>(
     threads: usize,
     sink: &S,
 ) -> (CampaignResult, MetricsRegistry) {
+    run_campaign_threaded_instrumented_warm(
+        program, analysis, inputs, golden, campaign, threads, sink, None,
+    )
+}
+
+/// [`run_campaign_threaded_instrumented`] over a precomputed [`WarmStart`],
+/// so a driver running many campaigns against the same artifacts (the
+/// scaling sweep, the ablation grid) captures the golden snapshots once
+/// instead of once per campaign. `warm.is_none()` captures on demand
+/// exactly as before; either way the warm path is subject to the same
+/// gating as the serial engine (detail sinks and single-attack campaigns
+/// run cold), so results stay bit-identical with and without a precomputed
+/// warm start, at every thread count.
+///
+/// # Panics
+///
+/// Panics if the golden run faulted, or if a worker thread panics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_threaded_instrumented_warm<S: EventSink>(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    inputs: &[Input],
+    golden: &GoldenRun,
+    campaign: &Campaign,
+    threads: usize,
+    sink: &S,
+    warm: Option<&WarmStart>,
+) -> (CampaignResult, MetricsRegistry) {
     assert!(
         !matches!(golden.status, ExecStatus::Fault(_)),
         "golden run must not fault: {:?}",
         golden.status
     );
-    let workers = threads.max(1).min(campaign.attacks.max(1) as usize);
+    // The pool sheds workers below its per-worker work floor; campaigns
+    // that would dispatch to a single worker take the serial engine
+    // directly so both engines share one degenerate path.
+    let workers = ipds_parallel::effective_workers(campaign.attacks, threads);
     if workers <= 1 {
-        return crate::attack::run_campaign_instrumented(
-            program, analysis, inputs, golden, campaign, sink,
+        return crate::attack::run_campaign_instrumented_warm(
+            program, analysis, inputs, golden, campaign, sink, warm,
         );
     }
 
-    // One golden-snapshot set, captured by the coordinator and shared
-    // immutably by every worker (same gating as the serial engine, so both
-    // engines elide exactly the same prefixes).
-    let warm = (!sink.wants_branch_stream() && campaign.attacks > 1)
+    // One golden-snapshot set, captured (or taken precomputed) by the
+    // coordinator and shared immutably by every worker (same gating as the
+    // serial engine, so both engines elide exactly the same prefixes).
+    let use_warm = !sink.wants_branch_stream() && campaign.attacks > 1;
+    let owned = (use_warm && warm.is_none())
         .then(|| WarmStart::capture(program, analysis, inputs, golden.steps, campaign.limits));
+    let warm = if use_warm {
+        warm.or(owned.as_ref())
+    } else {
+        None
+    };
 
-    // Shard attack indices over the shared pool; each worker owns one
-    // reusable runner arena plus a private metrics registry. The pool merges
-    // outcomes back into seed order, so the fold below is exactly the serial
-    // engine's.
+    // Shard attack indices over the shared persistent pool; each worker
+    // owns one reusable runner arena plus a private metrics registry. The
+    // pool merges outcomes back into seed order, so the fold below is
+    // exactly the serial engine's.
     let (outcomes, states, pool) = ipds_parallel::map_indexed_stats(
         campaign.attacks,
         workers,
@@ -125,7 +163,7 @@ pub fn run_campaign_threaded_instrumented<S: EventSink>(
                 campaign.limits,
                 sink,
             );
-            if let Some(warm) = &warm {
+            if let Some(warm) = warm {
                 runner = runner.with_warm_start(warm);
             }
             (runner, MetricsRegistry::new())

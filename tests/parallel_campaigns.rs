@@ -1,9 +1,10 @@
 //! Workspace-level guarantee for the parallel campaign engine: for every
-//! workload and every attack model, the scoped-thread pool produces results
-//! bit-identical to the serial path, and the whole protocol is
+//! workload and every attack model, the persistent worker pool produces
+//! results bit-identical to the serial path, and the whole protocol is
 //! deterministic under the in-repo RNG (same seed ⇒ same figures, on any
-//! machine, at any thread count). Telemetry rides the same guarantee: all
-//! sink and metric aggregation commutes, so counter snapshots and merged
+//! machine, at any thread count, no matter how many campaigns already ran
+//! through the pool). Telemetry rides the same guarantee: all sink and
+//! metric aggregation commutes, so counter snapshots and merged
 //! registries are bit-identical too.
 
 use ipds::telemetry::{CounterSnapshot, CountingSink, MetricsRegistry};
@@ -170,6 +171,42 @@ fn null_sink_campaign_matches_uninstrumented_engine() {
                 "{} @ {threads} threads",
                 w.name
             );
+        }
+    }
+}
+
+#[test]
+fn repeated_campaigns_reuse_the_persistent_pool_bit_identically() {
+    // 100 consecutive campaigns through the shared persistent pool, with
+    // the golden run and warm start captured once and amortized across
+    // all of them: every repetition at every thread count must match the
+    // first serial result bit for bit. This is the regression shape that
+    // motivated the pool rework — a campaign-per-shard driver hammering
+    // the engine in a loop.
+    let w = ipds_workloads::all()
+        .into_iter()
+        .find(|w| w.name == "telnetd")
+        .unwrap();
+    let protected = protect(&w);
+    let inputs = w.inputs(INPUT_SEED);
+    let (golden, limits) = protected.campaign_artifacts(&inputs);
+    let warm = protected.warm_start(&inputs, &golden, limits);
+    let run = |threads: usize| {
+        protected
+            .campaign_spec()
+            .inputs(&inputs)
+            .attacks(ATTACKS)
+            .seed(SEED)
+            .model(w.vuln)
+            .threads(threads)
+            .golden(&golden, limits)
+            .warm_start(&warm)
+            .run()
+    };
+    let base = run(1);
+    for round in 0..25 {
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(base, run(threads), "round {round} @ {threads} threads");
         }
     }
 }

@@ -193,6 +193,42 @@ fn correlation_rules_are_deterministic() {
 }
 
 #[test]
+fn bounded_ingestion_backpressure_never_changes_results() {
+    let w = &ipds::workloads::all()[0];
+    let (_cache, artifact, _image) = cached_artifact(w);
+    let main = Protected::compile(w).unwrap().program.main().unwrap().id;
+    let batch = || vec![GuestEvent::Call(main), GuestEvent::Return];
+    // Depth-1 channels: a burst of submits outruns the worker, so the
+    // control plane blocks on the full channel (counted as stalls)
+    // instead of queueing without bound. Same stream through the default
+    // capacity for comparison.
+    let mut tight = Service::start_bounded(vec![artifact.clone()], 1, 1);
+    let mut roomy = Service::start(vec![artifact], 1);
+    for service in [&mut tight, &mut roomy] {
+        service.open(0, w.name).unwrap();
+        for _ in 0..256 {
+            service.submit(0, batch()).unwrap();
+        }
+        service.close(0).unwrap();
+    }
+    let tight = tight.finish();
+    let roomy = roomy.finish();
+    // Back-pressure is pure flow control: every observable result is
+    // identical to the unconstrained run.
+    assert_eq!(tight.sessions, roomy.sessions);
+    assert_eq!(tight.incidents, roomy.incidents);
+    assert_eq!(tight.sessions[0].batches, 256);
+    assert_eq!(tight.metrics.counter("service.events_ingested"), 512);
+    // Stall *counts* are timing-shaped, but the counter is always emitted.
+    for report in [&tight, &roomy] {
+        assert!(report
+            .metrics
+            .counters()
+            .any(|(k, _)| k == "service.backpressure_stalls"));
+    }
+}
+
+#[test]
 fn fleet_is_bit_identical_across_worker_counts() {
     // One plan (shadow-validated injections included), executed at four
     // worker counts: the outcome — sessions, incidents, causes and every
